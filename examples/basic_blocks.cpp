@@ -1,0 +1,78 @@
+// Basic-block granularity profiling (the paper's libtempestperblk).
+//
+// "Tempest also supports measurement at basic block granularity using
+// libtempestperblk.so. Basic block measurement is non-transparent and
+// requires explicit API calls." This example profiles the blocks
+// *inside* one solver function: the block profile shows that only the
+// inner stencil loop is hot — detail a function-level profile cannot
+// provide.
+//
+//   $ ./examples/basic_blocks
+#include <iostream>
+
+#include "core/api.hpp"
+#include "core/perblk.hpp"
+#include "core/workbench.hpp"
+#include "parser/parse.hpp"
+#include "report/stdout_format.hpp"
+#include "simnode/cluster.hpp"
+
+namespace {
+
+using tempest::core::Workbench;
+
+void solver_step(Workbench& bench) {
+  TEMPEST_FUNCTION();
+  {
+    TEMPEST_BLOCK("solver_step", "setup");
+    bench.idle(0.05);  // gather coefficients ("memory bound")
+  }
+  {
+    TEMPEST_BLOCK("solver_step", "stencil_loop");
+    bench.burn(0.6);  // the hot inner loop
+  }
+  {
+    TEMPEST_BLOCK("solver_step", "reduction");
+    bench.burn(0.08);
+  }
+  {
+    TEMPEST_BLOCK("solver_step", "write_back");
+    bench.idle(0.05);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto node_config =
+      tempest::simnode::make_node_config(tempest::simnode::NodeKind::kX86Basic);
+  node_config.package.time_scale = 30.0;
+  tempest::simnode::SimNode node(node_config);
+  auto& session = tempest::core::Session::instance();
+  session.clear_nodes();
+  const auto node_id = session.register_sim_node(&node);
+
+  tempest::core::SessionConfig config;
+  config.sample_hz = 16.0;
+  config.bind_affinity = false;
+  if (auto status = session.start(config); !status) {
+    std::cerr << status.message() << "\n";
+    return 1;
+  }
+  Workbench bench(&node, node_id);
+  bench.attach();
+  for (int step = 0; step < 4; ++step) solver_step(bench);
+  bench.detach();
+  (void)session.stop();
+
+  auto parsed = tempest::parser::parse_trace(session.take_trace());
+  if (!parsed.is_ok()) {
+    std::cerr << parsed.message() << "\n";
+    return 1;
+  }
+  tempest::report::print_profile(std::cout, parsed.value());
+  std::cout << "Note the per-block rows (solver_step:stencil_loop etc.): the\n"
+               "stencil loop carries both the time and the heat, while setup\n"
+               "and write_back stay at the cooler baseline.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Hot-spot hunting in a mixed-phase application (paper §1, Q1/Q2:
+// "What parts of my parallel application will benefit from thermal
+// management techniques? Where do I start optimizing?").
+//
+// The app below interleaves I/O-ish waits, a cache-friendly compute
+// kernel, a long dense hot loop, and a communication phase across four
+// ranks. Tempest's function-level timeline makes the answer obvious:
+// only `dense_kernel` both runs long AND runs hot.
+//
+//   $ ./examples/hotspot_hunt
+#include <iostream>
+
+#include "core/api.hpp"
+#include "core/workbench.hpp"
+#include "minimpi/runtime.hpp"
+#include "parser/parse.hpp"
+#include "report/stdout_format.hpp"
+#include "simnode/cluster.hpp"
+
+namespace {
+
+using tempest::ScopedRegion;
+using tempest::core::Workbench;
+
+void load_input(Workbench& bench) {
+  ScopedRegion region("load_input");
+  bench.idle(0.4);  // "disk"
+}
+
+void preprocess(Workbench& bench) {
+  ScopedRegion region("preprocess");
+  bench.burn(0.3);
+  bench.idle(0.1);
+}
+
+void dense_kernel(Workbench& bench) {
+  ScopedRegion region("dense_kernel");
+  bench.burn(1.8);  // the hot spot
+}
+
+void exchange_halos(minimpi::Comm& comm, Workbench& bench) {
+  ScopedRegion region("exchange_halos");
+  std::vector<double> halo(32768, 1.0);
+  std::vector<double> incoming(32768);
+  const int left = (comm.rank() + comm.size() - 1) % comm.size();
+  const int right = (comm.rank() + 1) % comm.size();
+  for (int round = 0; round < 6; ++round) {
+    comm.send_n(right, 7, halo.data(), halo.size());
+    comm.recv_n(left, 7, incoming.data(), incoming.size());
+    bench.burn(0.02);
+  }
+}
+
+void write_output(Workbench& bench) {
+  ScopedRegion region("write_output");
+  bench.idle(0.3);
+}
+
+}  // namespace
+
+int main() {
+  tempest::simnode::ClusterConfig cc;
+  cc.nodes = 4;
+  cc.kind = tempest::simnode::NodeKind::kOpteron;
+  cc.time_scale = 30.0;
+  tempest::simnode::Cluster cluster(cc);
+
+  auto& session = tempest::core::Session::instance();
+  session.clear_nodes();
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    session.register_sim_node(&cluster.node(n));
+  }
+  tempest::core::SessionConfig config;
+  config.sample_hz = 8.0;
+  config.bind_affinity = false;
+  if (auto status = session.start(config); !status) {
+    std::cerr << status.message() << "\n";
+    return 1;
+  }
+
+  minimpi::RunOptions options;
+  options.cluster = &cluster;
+  options.net = minimpi::gige_network();
+  minimpi::run(4, [&](minimpi::Comm& comm) {
+    auto& placement = comm.world().placement(comm.rank());
+    Workbench bench(placement.node, placement.node_id, placement.core);
+    load_input(bench);
+    preprocess(bench);
+    comm.barrier();
+    dense_kernel(bench);
+    exchange_halos(comm, bench);
+    write_output(bench);
+  }, options);
+
+  (void)session.stop();
+  auto parsed = tempest::parser::parse_trace(session.take_trace());
+  if (!parsed.is_ok()) {
+    std::cerr << parsed.message() << "\n";
+    return 1;
+  }
+
+  tempest::report::StdoutOptions opts;
+  opts.max_functions = 6;
+  tempest::report::print_profile(std::cout, parsed.value(), opts);
+
+  // The answer to "where do I start optimizing?": combine time and heat.
+  std::cout << "Where to start (node 1, die sensor):\n";
+  for (const auto& fn : parsed.value().nodes.front().functions) {
+    for (const auto& sp : fn.sensors) {
+      if (sp.sensor_id != 3 || !fn.significant) continue;
+      std::printf("  %-16s %6.2f s, avg %6.1f F, max %6.1f F%s\n", fn.name.c_str(),
+                  fn.total_time_s, sp.stats.avg, sp.stats.max,
+                  fn.name == "dense_kernel" ? "   <-- hot spot" : "");
+    }
+  }
+  return 0;
+}

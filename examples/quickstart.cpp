@@ -1,0 +1,75 @@
+// Quickstart: profile a program's thermal behaviour in ~30 lines.
+//
+// Tempest usage mirrors the paper's workflow: pick a sensor source
+// (real hwmon sensors when the host has them, a simulated node
+// otherwise), start the session, run your code — transparently
+// instrumented or with explicit regions — stop, parse, print.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "core/api.hpp"
+#include "core/workbench.hpp"
+#include "parser/parse.hpp"
+#include "report/stdout_format.hpp"
+#include "simnode/cluster.hpp"
+
+int main() {
+  using namespace tempest;
+
+  // 1. A node to profile: try the host's real lm-sensors (hwmon) path
+  //    first; fall back to a simulated node driven by a thermal model.
+  auto& session = core::Session::instance();
+  auto node_config = simnode::make_node_config(simnode::NodeKind::kX86Basic);
+  node_config.package.time_scale = 25.0;  // compress thermal time for the demo
+  simnode::SimNode sim_node(node_config);
+
+  auto hwmon = session.register_hwmon_node();
+  std::uint16_t node_id;
+  if (hwmon.is_ok()) {
+    node_id = hwmon.value();
+    std::cout << "using real hwmon sensors\n";
+  } else {
+    node_id = session.register_sim_node(&sim_node);
+    std::cout << "no hwmon sensors here (" << hwmon.message()
+              << "); using the simulated node\n";
+  }
+
+  // 2. Start profiling (4 Hz sampling, Fahrenheit — the paper's setup).
+  core::SessionConfig config = core::SessionConfig::from_env();
+  config.bind_affinity = false;
+  if (auto status = tempest::start(config); !status) {
+    std::cerr << "start failed: " << status.message() << "\n";
+    return 1;
+  }
+
+  // 3. Run the workload. ScopedRegion names phases explicitly; code
+  //    compiled with -finstrument-functions needs no annotations at all.
+  core::Workbench bench(&sim_node, node_id);
+  bench.attach();
+  {
+    ScopedRegion region("warmup");
+    bench.burn(0.5);
+  }
+  {
+    ScopedRegion region("hot_loop");
+    bench.burn(2.0);
+  }
+  {
+    ScopedRegion region("cooldown_io");
+    bench.idle(1.0);
+  }
+  bench.detach();
+
+  // 4. Stop and print the per-function thermal profile.
+  (void)tempest::stop();
+  auto profile = parser::parse_trace(session.take_trace());
+  if (!profile.is_ok()) {
+    std::cerr << "parse failed: " << profile.message() << "\n";
+    return 1;
+  }
+  report::print_profile(std::cout, profile.value());
+
+  std::cout << "Try: TEMPEST_HZ=16 TEMPEST_UNIT=C ./examples/quickstart\n";
+  return 0;
+}

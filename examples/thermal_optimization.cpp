@@ -1,0 +1,105 @@
+// Validating a thermal-management technique with Tempest (paper §1 Q4,
+// §5 future work made concrete).
+//
+// Scenario: a nightly batch job (BT-like ADI solver) trips thermal
+// alarms. The proposed fix is a DVFS throttling governor. Tempest
+// quantifies both sides of the trade before deployment: how much cooler
+// the hot phase runs, and exactly which functions pay the slowdown.
+//
+//   $ ./examples/thermal_optimization
+#include <iostream>
+
+#include "core/api.hpp"
+#include "minimpi/runtime.hpp"
+#include "npb/bt.hpp"
+#include "parser/parse.hpp"
+#include "report/stdout_format.hpp"
+#include "simnode/cluster.hpp"
+
+namespace {
+
+struct Outcome {
+  tempest::parser::RunProfile profile;
+  double elapsed_s = 0.0;
+  std::size_t throttle_events = 0;
+};
+
+Outcome profiled_run(bool governor_on) {
+  tempest::simnode::ClusterConfig cc;
+  cc.nodes = 4;
+  cc.kind = tempest::simnode::NodeKind::kOpteron;
+  cc.time_scale = 50.0;
+  if (governor_on) {
+    cc.governor.mode = tempest::thermal::GovernorMode::kThreshold;
+    cc.governor.high_water_c = 43.0;
+    cc.governor.low_water_c = 40.0;
+  }
+  tempest::simnode::Cluster cluster(cc);
+  auto& session = tempest::core::Session::instance();
+  session.clear_nodes();
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    session.register_sim_node(&cluster.node(n));
+  }
+  tempest::core::SessionConfig config;
+  config.sample_hz = 8.0;
+  config.bind_affinity = false;
+  (void)session.start(config);
+
+  npb::BtResult result;
+  minimpi::RunOptions options;
+  options.cluster = &cluster;
+  options.net = minimpi::gige_network();
+  minimpi::run(4, [&](minimpi::Comm& comm) {
+    result = npb::bt_run(comm, npb::BtConfig{24, 24, 24, 60, 0.005, false});
+  }, options);
+  (void)session.stop();
+
+  Outcome out;
+  out.elapsed_s = result.elapsed_s;
+  auto parsed = tempest::parser::parse_trace(session.take_trace());
+  if (parsed.is_ok()) out.profile = std::move(parsed).value();
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    out.throttle_events += cluster.node(n).package().governor().throttle_events();
+  }
+  session.clear_nodes();
+  return out;
+}
+
+void print_adi(const Outcome& outcome, const char* label) {
+  std::cout << "--- " << label << " (elapsed " << outcome.elapsed_s << " s, "
+            << outcome.throttle_events << " throttle events) ---\n";
+  const auto* adi = outcome.profile.find(0, "adi");
+  if (adi != nullptr) {
+    tempest::report::print_function(std::cout, *adi, outcome.profile.unit);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Step 1: baseline profile (DVFS pinned at full speed)\n\n";
+  const Outcome baseline = profiled_run(false);
+  print_adi(baseline, "baseline");
+
+  std::cout << "Step 2: candidate optimization (hysteresis thermal governor)\n\n";
+  const Outcome managed = profiled_run(true);
+  print_adi(managed, "with governor");
+
+  const auto* adi_before = baseline.profile.find(0, "adi");
+  const auto* adi_after = managed.profile.find(0, "adi");
+  if (adi_before != nullptr && adi_after != nullptr &&
+      !adi_before->sensors.empty() && !adi_after->sensors.empty()) {
+    const auto& before = adi_before->sensors[3].stats;  // core-0 diode
+    const auto& after = adi_after->sensors[3].stats;
+    std::cout << "Verdict:\n";
+    std::printf("  adi max die temp: %.1f F -> %.1f F\n", before.max, after.max);
+    std::printf("  adi inclusive time: %.2f s -> %.2f s (%.0f%% slower)\n",
+                adi_before->total_time_s, adi_after->total_time_s,
+                100.0 * (adi_after->total_time_s / adi_before->total_time_s - 1.0));
+    std::cout << "  -> Tempest pinpoints the trade: the governor trims the\n"
+                 "     thermal peak of exactly the adi phase while the rest\n"
+                 "     of the run is untouched.\n";
+  }
+  return 0;
+}

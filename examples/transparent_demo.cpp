@@ -1,0 +1,62 @@
+// The paper's zero-annotation workflow, end to end.
+//
+// This program contains no Tempest calls in its workload: the whole
+// file is compiled with -finstrument-functions and linked against
+// tempest_hooks + tempest_auto. The session starts before main, tempd
+// samples while the code runs, and the profile prints at exit.
+//
+//   $ ./examples/transparent_demo
+//   $ TEMPEST_OUT=/tmp/demo.trace TEMPEST_REPORT=0 ./examples/transparent_demo
+//   $ ./tools/tempest_parse --plot /tmp/demo.trace
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/auto_session.hpp"
+
+namespace {
+
+// Plain application code — nothing Tempest-specific below.
+
+__attribute__((noinline)) double matrix_mult_pass(std::vector<double>& m, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double cell = 0.0;
+      for (int k = 0; k < n; ++k) {
+        cell += m[static_cast<std::size_t>(i * n + k)] *
+                m[static_cast<std::size_t>(k * n + j)];
+      }
+      acc += cell;
+    }
+  }
+  return acc;
+}
+
+__attribute__((noinline)) double crunch_numbers() {
+  const int n = 200;
+  std::vector<double> m(static_cast<std::size_t>(n * n));
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = std::sin(static_cast<double>(i));
+  double acc = 0.0;
+  for (int pass = 0; pass < 120; ++pass) acc += matrix_mult_pass(m, n);
+  return acc;
+}
+
+__attribute__((noinline)) void wait_for_input() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("tempest auto session: %s\n",
+              tempest::core::auto_session_active() ? "active" : "inactive");
+  wait_for_input();
+  const double result = crunch_numbers();
+  wait_for_input();
+  std::printf("result checksum: %.3e\n", result);
+  return 0;  // profile prints from the library destructor
+}

@@ -1,0 +1,35 @@
+#include "common/affinity.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace tempest {
+
+Status bind_current_thread_to_cpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return Status::error("negative cpu index");
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    return Status::error(std::string("sched_setaffinity: ") + std::strerror(errno));
+  }
+  return Status::ok();
+#else
+  (void)cpu;
+  return Status::error("affinity binding unsupported on this platform");
+#endif
+}
+
+int online_cpu_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace tempest

@@ -1,0 +1,19 @@
+// CPU affinity binding.
+//
+// Tempest compensates for cross-core TSC skew by binding the profiled
+// application to one processor/core for the duration of execution
+// (paper §3.3). These helpers wrap sched_setaffinity for that purpose.
+#pragma once
+
+#include "common/status.hpp"
+
+namespace tempest {
+
+/// Pin the calling thread to `cpu` (logical index). Returns an error
+/// status when the kernel rejects the mask (e.g. cpu out of range).
+Status bind_current_thread_to_cpu(int cpu);
+
+/// Number of logical CPUs currently available to this process.
+int online_cpu_count();
+
+}  // namespace tempest

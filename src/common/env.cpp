@@ -1,0 +1,55 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace tempest {
+
+bool env_raw(const char* name, std::string* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  *out = v;
+  return true;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  std::string v;
+  return env_raw(name, &v) ? v : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  std::string v;
+  if (!env_raw(name, &v)) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    return pos == v.size() ? d : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+long env_long(const char* name, long fallback) {
+  std::string v;
+  if (!env_raw(name, &v)) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long n = std::stol(v, &pos);
+    return pos == v.size() ? n : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool env_bool(const char* name, bool fallback) {
+  std::string v;
+  if (!env_raw(name, &v)) return fallback;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace tempest

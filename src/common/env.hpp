@@ -1,0 +1,21 @@
+// Environment-variable configuration helpers.
+//
+// Tempest is configured transparently (link the library, run the code),
+// so all knobs have env-var overrides: TEMPEST_HZ, TEMPEST_OUT,
+// TEMPEST_UNIT, ... These helpers parse them defensively — a malformed
+// value falls back to the default rather than aborting the profiled run.
+#pragma once
+
+#include <string>
+
+namespace tempest {
+
+/// Raw lookup; empty optional semantics via found flag.
+bool env_raw(const char* name, std::string* out);
+
+std::string env_string(const char* name, const std::string& fallback);
+double env_double(const char* name, double fallback);
+long env_long(const char* name, long fallback);
+bool env_bool(const char* name, bool fallback);
+
+}  // namespace tempest

@@ -1,0 +1,66 @@
+// Statistics used in Tempest reports.
+//
+// The paper's standard output prints, per function and per sensor:
+// Min, Avg, Max, Sdv, Var, Med (median), Mod (mode). Median and mode
+// need the sample population, so SampleSet keeps the values (temperature
+// sample counts are tiny: 4 Hz * run length). StreamingStats is the
+// allocation-free Welford variant used on hot paths (activity metering,
+// overhead accounting).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tempest {
+
+/// Summary of a sample population; all fields valid when count > 0.
+struct StatsSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double avg = 0.0;
+  double max = 0.0;
+  double sdv = 0.0;  ///< population standard deviation
+  double var = 0.0;  ///< population variance
+  double med = 0.0;  ///< median (midpoint average for even counts)
+  double mod = 0.0;  ///< mode (smallest value among ties)
+};
+
+/// Collects raw samples and produces the full seven-statistic summary.
+class SampleSet {
+ public:
+  void add(double value) { values_.push_back(value); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Compute the summary. Mode ties break toward the smallest value;
+  /// mode equality uses exact double comparison, which is correct here
+  /// because sensor readings are quantised before they reach the stats.
+  StatsSummary summarize() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Welford online mean/variance with min/max; O(1) memory.
+class StreamingStats {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return mean_; }
+  /// Population variance (0 for fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace tempest

@@ -1,0 +1,66 @@
+// Minimal error-handling vocabulary used across Tempest.
+//
+// Sensor reads, trace I/O and ELF parsing can all fail for environmental
+// reasons (missing /sys files, truncated traces); exceptions are reserved
+// for programming errors, so fallible leaf operations return Status or
+// Result<T>.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tempest {
+
+/// Outcome of an operation that produces no value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  static Status ok() { return Status{}; }
+  static Status error(std::string message) { return Status{std::move(message)}; }
+
+  bool is_ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Message of a failed status; empty string when OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+/// Outcome of an operation that produces a T on success.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result error(std::string message) { return Result{Status::error(std::move(message))}; }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    if (!value_) throw std::logic_error("Result::value on error: " + status_.message());
+    return *value_;
+  }
+  T&& value() && {
+    if (!value_) throw std::logic_error("Result::value on error: " + status_.message());
+    return std::move(*value_);
+  }
+  T value_or(T fallback) const { return value_ ? *value_ : std::move(fallback); }
+
+  const Status& status() const { return status_; }
+  const std::string& message() const { return status_.message(); }
+
+ private:
+  explicit Result(Status status) : status_(std::move(status)) {}
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tempest

@@ -1,0 +1,69 @@
+#include "common/tsc.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace tempest {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double calibrate() {
+#if defined(__x86_64__) || defined(__i386__)
+  // Two spins: the first warms caches/branch predictors, the second is
+  // the measurement. 20 ms keeps startup cheap while bounding relative
+  // error well under the paper's 5% run-to-run variance.
+  double rate = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::uint64_t t0_ns = steady_ns();
+    const std::uint64_t t0 = rdtsc();
+    while (steady_ns() - t0_ns < 20'000'000) {
+    }
+    const std::uint64_t t1 = rdtsc();
+    const std::uint64_t t1_ns = steady_ns();
+    rate = static_cast<double>(t1 - t0) / (static_cast<double>(t1_ns - t0_ns) * 1e-9);
+  }
+  return rate;
+#else
+  return 1e9;  // fallback clock ticks in nanoseconds
+#endif
+}
+
+}  // namespace
+
+std::uint64_t rdtsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return steady_ns();
+#endif
+}
+
+double tsc_ticks_per_second() {
+  static const double rate = [] {
+    static std::once_flag flag;
+    static double value = 0.0;
+    std::call_once(flag, [] { value = calibrate(); });
+    return value;
+  }();
+  return rate;
+}
+
+double tsc_to_seconds(std::uint64_t ticks) {
+  return static_cast<double>(ticks) / tsc_ticks_per_second();
+}
+
+std::uint64_t seconds_to_tsc(double seconds) {
+  return static_cast<std::uint64_t>(seconds * tsc_ticks_per_second());
+}
+
+}  // namespace tempest

@@ -1,0 +1,55 @@
+// Cycle-accurate timestamping.
+//
+// The paper avoids OS timer syscalls and samples the hardware time-stamp
+// counter directly (rdtsc on x86, the timebase register on PowerPC).
+// This module wraps the platform instruction, calibrates ticks-per-second
+// against std::chrono::steady_clock once at startup, and provides the
+// conversion helpers the trace parser uses.
+#pragma once
+
+#include <cstdint>
+
+namespace tempest {
+
+/// Raw time-stamp-counter read. On x86 this compiles to `rdtsc`; on other
+/// architectures it falls back to steady_clock nanoseconds, preserving
+/// the paper's "identify the equivalent instruction" portability note.
+std::uint64_t rdtsc();
+
+/// Ticks of rdtsc() per second, measured once (thread-safe, cached).
+/// Calibration busy-spins ~20 ms against steady_clock.
+double tsc_ticks_per_second();
+
+/// Convert a tick delta to seconds using the calibrated rate.
+double tsc_to_seconds(std::uint64_t ticks);
+
+/// Convert seconds to ticks (used by tests and the simulated clock).
+std::uint64_t seconds_to_tsc(double seconds);
+
+/// A per-node virtual TSC: real ticks skewed by an offset and a drift
+/// rate, emulating unsynchronised counters across cluster nodes (the
+/// clock-skew limitation in §3.3 of the paper). drift_ppm = 50 means the
+/// virtual clock runs 50 parts-per-million fast.
+class VirtualTsc {
+ public:
+  VirtualTsc() = default;
+  VirtualTsc(std::int64_t offset_ticks, double drift_ppm)
+      : offset_(offset_ticks), drift_ppm_(drift_ppm) {}
+
+  std::uint64_t now() const { return translate(rdtsc()); }
+
+  /// Map a real (global) TSC value into this node's clock domain.
+  std::uint64_t translate(std::uint64_t real) const {
+    const double skewed = static_cast<double>(real) * (1.0 + drift_ppm_ * 1e-6);
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(skewed) + offset_);
+  }
+
+  std::int64_t offset_ticks() const { return offset_; }
+  double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  std::int64_t offset_ = 0;
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace tempest

@@ -1,0 +1,31 @@
+#include "common/units.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace tempest {
+
+const char* unit_suffix(TempUnit unit) { return unit == TempUnit::kCelsius ? "C" : "F"; }
+
+bool parse_temp_unit(const std::string& text, TempUnit* out) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "c" || lower == "celsius") {
+    *out = TempUnit::kCelsius;
+    return true;
+  }
+  if (lower == "f" || lower == "fahrenheit") {
+    *out = TempUnit::kFahrenheit;
+    return true;
+  }
+  return false;
+}
+
+double quantize(double value, double step) {
+  if (step <= 0.0) return value;
+  return std::round(value / step) * step;
+}
+
+}  // namespace tempest

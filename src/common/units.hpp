@@ -1,0 +1,32 @@
+// Temperature unit handling.
+//
+// The thermal model works in Celsius (SI-adjacent, matches hwmon's
+// millidegree convention); the paper reports everything in Fahrenheit, so
+// reports convert at the presentation layer only.
+#pragma once
+
+#include <string>
+
+namespace tempest {
+
+enum class TempUnit { kCelsius, kFahrenheit };
+
+constexpr double celsius_to_fahrenheit(double c) { return c * 9.0 / 5.0 + 32.0; }
+constexpr double fahrenheit_to_celsius(double f) { return (f - 32.0) * 5.0 / 9.0; }
+
+/// Convert a Celsius reading into the requested display unit.
+constexpr double to_unit(double celsius, TempUnit unit) {
+  return unit == TempUnit::kCelsius ? celsius : celsius_to_fahrenheit(celsius);
+}
+
+/// "F" or "C"; used in report headers.
+const char* unit_suffix(TempUnit unit);
+
+/// Parse "C"/"celsius"/"F"/"fahrenheit" (case-insensitive).
+bool parse_temp_unit(const std::string& text, TempUnit* out);
+
+/// Quantise a reading to a sensor's step (e.g. 1.0 °F diode granularity,
+/// 0.5 °C hwmon granularity). step <= 0 means no quantisation.
+double quantize(double value, double step);
+
+}  // namespace tempest

@@ -1,0 +1,23 @@
+#include "core/api.hpp"
+
+namespace tempest {
+
+Status start(const core::SessionConfig& config) {
+  return core::Session::instance().start(config);
+}
+
+Status stop() { return core::Session::instance().stop(); }
+
+bool active() { return core::Session::instance().active(); }
+
+void region_enter(const std::string& name) {
+  auto& session = core::Session::instance();
+  session.record_enter(session.synthetic_addr(name));
+}
+
+void region_exit(const std::string& name) {
+  auto& session = core::Session::instance();
+  session.record_exit(session.synthetic_addr(name));
+}
+
+}  // namespace tempest

@@ -1,0 +1,79 @@
+// Tempest public API.
+//
+// Two usage styles, as in the paper:
+//  1. Transparent: compile workload TUs with -finstrument-functions and
+//     link tempest_hooks — every function entry/exit is traced with no
+//     source changes.
+//  2. Explicit ("non-transparent profiling library independent of the
+//     compiler"): ScopedRegion / TEMPEST_FUNCTION for named regions.
+//
+// Both feed the same session; profiles mix freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/config.hpp"
+#include "core/session.hpp"
+
+namespace tempest {
+
+/// Start profiling with the given (or env-derived) configuration.
+/// Requires at least one registered node; see Session::register_*.
+Status start(const core::SessionConfig& config = core::SessionConfig::from_env());
+
+/// Stop profiling and assemble the trace.
+Status stop();
+
+bool active();
+
+/// Pre-resolved synthetic address for a region name. Construct once
+/// (e.g. as a function-local static) so hot call sites skip the
+/// name-table lookup — the explicit-API analogue of the hooks' raw
+/// function-pointer key.
+class RegionHandle {
+ public:
+  explicit RegionHandle(const std::string& name)
+      : addr_(core::Session::instance().synthetic_addr(name)) {}
+  std::uint64_t addr() const { return addr_; }
+
+ private:
+  std::uint64_t addr_;
+};
+
+/// RAII explicit region: records enter at construction, exit at
+/// destruction, under a stable synthetic "function" named `name`.
+class ScopedRegion {
+ public:
+  explicit ScopedRegion(const std::string& name)
+      : addr_(core::Session::instance().synthetic_addr(name)) {
+    core::Session::instance().record_enter(addr_);
+  }
+  explicit ScopedRegion(const RegionHandle& handle) : addr_(handle.addr()) {
+    core::Session::instance().record_enter(addr_);
+  }
+  ~ScopedRegion() { core::Session::instance().record_exit(addr_); }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  std::uint64_t addr_;
+};
+
+/// Explicit enter/exit for C-style call sites (must be balanced).
+void region_enter(const std::string& name);
+void region_exit(const std::string& name);
+
+}  // namespace tempest
+
+/// Profile the enclosing function body as a named region. The handle is
+/// a function-local static, so repeated calls cost only two records.
+#define TEMPEST_FUNCTION()                                       \
+  static const ::tempest::RegionHandle tempest_region_handle(__func__); \
+  ::tempest::ScopedRegion tempest_region_scope(tempest_region_handle)
+
+/// Profile a named sub-scope (name must be a constant expression).
+#define TEMPEST_SCOPE(name)                                          \
+  static const ::tempest::RegionHandle tempest_scope_handle_##__LINE__(name); \
+  ::tempest::ScopedRegion tempest_scope_##__LINE__(tempest_scope_handle_##__LINE__)

@@ -1,0 +1,115 @@
+#include "core/auto_session.hpp"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/env.hpp"
+#include "common/tsc.hpp"
+#include "core/session.hpp"
+#include "parser/parse.hpp"
+#include "report/stdout_format.hpp"
+#include "simnode/cluster.hpp"
+
+namespace tempest::core {
+namespace {
+
+/// Feeds a simulated node the process's CPU utilisation, sampled from
+/// getrusage deltas at every tempd tick.
+class RusageDriver {
+ public:
+  explicit RusageDriver(simnode::SimNode* node) : node_(node) {
+    last_cpu_s_ = process_cpu_seconds();
+    last_tsc_ = rdtsc();
+  }
+
+  void tick() {
+    const double cpu = process_cpu_seconds();
+    const std::uint64_t now = rdtsc();
+    const double wall = tsc_to_seconds(now - last_tsc_);
+    if (wall > 1e-6) {
+      const double u = (cpu - last_cpu_s_) / wall;
+      // Spread measured utilisation across the node's cores, capping
+      // each at 1 (a 2-core node at u=1.6 runs both cores at 0.8).
+      const double per_core =
+          std::min(1.0, u / static_cast<double>(node_->core_count()));
+      for (std::size_t c = 0; c < node_->core_count(); ++c) {
+        node_->set_utilization_override(c, per_core);
+      }
+    }
+    last_cpu_s_ = cpu;
+    last_tsc_ = now;
+  }
+
+ private:
+  static double process_cpu_seconds() {
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+    auto tv_s = [](const timeval& tv) {
+      return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return tv_s(usage.ru_utime) + tv_s(usage.ru_stime);
+  }
+
+  simnode::SimNode* node_;
+  double last_cpu_s_ = 0.0;
+  std::uint64_t last_tsc_ = 0;
+};
+
+struct AutoState {
+  bool active = false;
+  std::unique_ptr<simnode::SimNode> sim_node;
+  std::unique_ptr<RusageDriver> driver;
+};
+
+AutoState& auto_state() {
+  static AutoState* state = new AutoState();
+  return *state;
+}
+
+__attribute__((constructor)) void tempest_auto_start() {
+  if (!env_bool("TEMPEST_AUTO", true)) return;
+  auto& session = Session::instance();
+  AutoState& state = auto_state();
+
+  auto hwmon = session.register_hwmon_node();
+  if (!hwmon.is_ok()) {
+    auto node_config = simnode::make_node_config(simnode::NodeKind::kX86Basic);
+    node_config.hostname = "localhost(sim)";
+    node_config.package.time_scale = env_double("TEMPEST_TIME_SCALE", 20.0);
+    state.sim_node = std::make_unique<simnode::SimNode>(node_config);
+    const auto node_id = session.register_sim_node(state.sim_node.get());
+    state.driver = std::make_unique<RusageDriver>(state.sim_node.get());
+    (void)session.set_node_tick_hook(node_id, [&state] { state.driver->tick(); });
+  }
+
+  if (session.start(SessionConfig::from_env())) {
+    state.active = true;
+  }
+}
+
+__attribute__((destructor)) void tempest_auto_stop() {
+  AutoState& state = auto_state();
+  if (!state.active) return;
+  auto& session = Session::instance();
+  const bool report = session.config().auto_report;
+  if (!session.stop()) return;
+  state.active = false;
+  if (report) {
+    auto parsed = parser::parse_trace(session.take_trace());
+    if (parsed.is_ok()) {
+      std::cout << "\n===== Tempest profile =====\n";
+      report::print_profile(std::cout, parsed.value());
+    } else {
+      std::fprintf(stderr, "tempest: parse failed: %s\n", parsed.message().c_str());
+    }
+  }
+}
+
+}  // namespace
+
+bool auto_session_active() { return auto_state().active; }
+
+}  // namespace tempest::core

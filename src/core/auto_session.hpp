@@ -1,0 +1,27 @@
+// Transparent auto-profiling (link-and-run mode).
+//
+// This is the paper's headline usage: "Users must simply compile with
+// instrumentation enabled, link to one or more Tempest libraries, run
+// their code, and invoke the Tempest parser". Linking tempest_auto adds
+// a constructor that starts the session before main ("the tempd process
+// ... is launched before the main function of the profiled application
+// is invoked") and a destructor that stops it, prints the standard
+// output profile, and writes the trace file ("upon ... exiting, the
+// destructor in the shared library is called which sends a signal to
+// tempd for termination and performs cleanup").
+//
+// Sensor source: real hwmon sensors when the host exposes them;
+// otherwise a simulated node whose utilisation is driven by the
+// process's measured CPU time — so a CPU-bound phase genuinely heats
+// the simulated die with no cooperation from the profiled code.
+//
+// Environment knobs (in addition to the TEMPEST_* session variables):
+//   TEMPEST_AUTO=0   disable without relinking
+#pragma once
+
+namespace tempest::core {
+
+/// True when the auto session started at process startup and is active.
+bool auto_session_active();
+
+}  // namespace tempest::core

@@ -1,0 +1,22 @@
+#include "core/config.hpp"
+
+#include "common/env.hpp"
+
+namespace tempest::core {
+
+SessionConfig SessionConfig::from_env() {
+  SessionConfig c;
+  c.sample_hz = env_double("TEMPEST_HZ", c.sample_hz);
+  if (c.sample_hz <= 0.0) c.sample_hz = 4.0;
+  c.output_path = env_string("TEMPEST_OUT", c.output_path);
+  TempUnit unit = c.unit;
+  if (parse_temp_unit(env_string("TEMPEST_UNIT", "F"), &unit)) c.unit = unit;
+  c.bind_affinity = env_bool("TEMPEST_BIND", c.bind_affinity);
+  c.bind_cpu = static_cast<int>(env_long("TEMPEST_CPU", c.bind_cpu));
+  c.auto_report = env_bool("TEMPEST_REPORT", c.auto_report);
+  const long min_samples = env_long("TEMPEST_MIN_SAMPLES", 2);
+  c.min_samples_significant = min_samples < 0 ? 0 : static_cast<std::size_t>(min_samples);
+  return c;
+}
+
+}  // namespace tempest::core

@@ -1,0 +1,37 @@
+// Tempest session configuration.
+//
+// Everything is settable programmatically and overridable from the
+// environment so a transparently-instrumented binary (compile with
+// -finstrument-functions, link libtempest, run) needs no code changes:
+//
+//   TEMPEST_HZ      sampling rate (default 4, the paper's rate)
+//   TEMPEST_OUT     trace file path ("" keeps the trace in memory)
+//   TEMPEST_UNIT    C or F for reports (paper prints Fahrenheit)
+//   TEMPEST_BIND    bind the main thread to a CPU (default 1, see §3.3)
+//   TEMPEST_CPU     which CPU to bind to (default 0)
+//   TEMPEST_REPORT  print the standard-output profile at exit (default 1)
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace tempest::core {
+
+struct SessionConfig {
+  double sample_hz = 4.0;
+  std::string output_path;
+  TempUnit unit = TempUnit::kFahrenheit;
+  bool bind_affinity = true;
+  int bind_cpu = 0;
+  bool auto_report = true;
+  /// Minimum temperature samples inside a function's intervals for its
+  /// thermal statistics to be reported as significant.
+  std::size_t min_samples_significant = 2;
+
+  /// Defaults overlaid with any TEMPEST_* environment variables.
+  static SessionConfig from_env();
+};
+
+}  // namespace tempest::core

@@ -1,0 +1,38 @@
+// GCC instrumentation hooks.
+//
+// TUs compiled with -finstrument-functions call these on every function
+// entry/exit. They live in their own small library (tempest_hooks) so
+// the profiler never instruments itself; no_instrument_function guards
+// against accidental flag leakage. The call_site argument is unused —
+// Tempest keys its timeline on the function address alone.
+#include <atomic>
+#include <cstdint>
+
+#include "core/session.hpp"
+
+// Secondary consumers (the gprof-like baseline profiler) register
+// themselves here so one instrumented binary can be profiled by either
+// tool — the apples-to-apples setup of the paper's overhead comparison.
+std::atomic<void (*)(void*)> tempest_alt_enter_hook{nullptr};
+std::atomic<void (*)(void*)> tempest_alt_exit_hook{nullptr};
+
+extern "C" {
+
+void __cyg_profile_func_enter(void* fn, void* call_site)
+    __attribute__((no_instrument_function));
+void __cyg_profile_func_exit(void* fn, void* call_site)
+    __attribute__((no_instrument_function));
+
+void __cyg_profile_func_enter(void* fn, void* /*call_site*/) {
+  tempest::core::Session::instance().record_enter(
+      reinterpret_cast<std::uint64_t>(fn));
+  if (auto* alt = tempest_alt_enter_hook.load(std::memory_order_relaxed)) alt(fn);
+}
+
+void __cyg_profile_func_exit(void* fn, void* /*call_site*/) {
+  tempest::core::Session::instance().record_exit(
+      reinterpret_cast<std::uint64_t>(fn));
+  if (auto* alt = tempest_alt_exit_hook.load(std::memory_order_relaxed)) alt(fn);
+}
+
+}  // extern "C"

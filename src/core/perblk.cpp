@@ -1,0 +1,26 @@
+#include "core/perblk.hpp"
+
+#include <string>
+
+#include "core/session.hpp"
+
+namespace {
+
+std::uint64_t block_addr(const char* function, const char* block) {
+  return tempest::core::Session::instance().synthetic_addr(
+      std::string(function) + ":" + block);
+}
+
+}  // namespace
+
+extern "C" {
+
+void tempest_blk_begin(const char* function, const char* block) {
+  tempest::core::Session::instance().record_enter(block_addr(function, block));
+}
+
+void tempest_blk_end(const char* function, const char* block) {
+  tempest::core::Session::instance().record_exit(block_addr(function, block));
+}
+
+}  // extern "C"

@@ -1,0 +1,37 @@
+// Per-basic-block measurement API (the paper's libtempestperblk.so).
+//
+// "Tempest also supports measurement at basic block granularity ...
+// Basic block measurement is non-transparent and requires explicit API
+// calls." Blocks are named "function:block" so the parser's profile
+// shows them alongside (and nested within) their enclosing function.
+#pragma once
+
+extern "C" {
+
+/// Begin a basic block. Blocks may nest and interleave with function
+/// instrumentation; begin/end must balance per thread.
+void tempest_blk_begin(const char* function, const char* block);
+void tempest_blk_end(const char* function, const char* block);
+}
+
+namespace tempest {
+
+/// RAII wrapper over the C block API.
+class ScopedBlock {
+ public:
+  ScopedBlock(const char* function, const char* block)
+      : function_(function), block_(block) {
+    tempest_blk_begin(function_, block_);
+  }
+  ~ScopedBlock() { tempest_blk_end(function_, block_); }
+  ScopedBlock(const ScopedBlock&) = delete;
+  ScopedBlock& operator=(const ScopedBlock&) = delete;
+
+ private:
+  const char* function_;
+  const char* block_;
+};
+
+}  // namespace tempest
+
+#define TEMPEST_BLOCK(fn, blk) ::tempest::ScopedBlock tempest_blk_##__LINE__(fn, blk)

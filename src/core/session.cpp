@@ -1,0 +1,148 @@
+#include "core/session.hpp"
+
+#include <unistd.h>
+
+#include "common/affinity.hpp"
+#include "common/tsc.hpp"
+#include "sensors/hwmon.hpp"
+#include "symtab/resolver.hpp"
+#include "trace/writer.hpp"
+
+namespace tempest::core {
+namespace {
+
+std::string self_exe_path() {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+#endif
+  return {};
+}
+
+}  // namespace
+
+Session& Session::instance() {
+  static Session* session = new Session();  // intentionally leaked: hooks
+  return *session;                          // may fire during static dtors
+}
+
+std::uint16_t Session::register_sim_node(simnode::SimNode* node) {
+  const auto id = static_cast<std::uint16_t>(nodes_.size());
+  NodeBinding binding;
+  binding.node_id = id;
+  binding.hostname = node->hostname();
+  binding.backend = &node->sensor_backend();
+  binding.sim = node;
+  binding.sensors = binding.backend->enumerate();
+  nodes_.push_back(std::move(binding));
+  return id;
+}
+
+Result<std::uint16_t> Session::register_hwmon_node(const std::string& hostname) {
+  auto backend = std::make_unique<sensors::HwmonBackend>();
+  if (!backend->available()) {
+    return Result<std::uint16_t>::error(
+        "no hwmon temperature sensors on this host (is /sys/class/hwmon populated?)");
+  }
+  const auto id = static_cast<std::uint16_t>(nodes_.size());
+  NodeBinding binding;
+  binding.node_id = id;
+  binding.hostname = hostname;
+  binding.backend = backend.get();
+  binding.owned_backend = std::move(backend);
+  binding.sensors = binding.backend->enumerate();
+  nodes_.push_back(std::move(binding));
+  return id;
+}
+
+void Session::clear_nodes() {
+  if (active()) return;  // refuse while running
+  nodes_.clear();
+}
+
+Status Session::set_node_tick_hook(std::uint16_t node_id, std::function<void()> hook) {
+  if (active()) return Status::error("cannot install tick hook while active");
+  if (node_id >= nodes_.size()) return Status::error("tick hook: unknown node id");
+  nodes_[node_id].on_tick = std::move(hook);
+  return Status::ok();
+}
+
+Status Session::start(const SessionConfig& config) {
+  if (active()) return Status::error("Tempest session already active");
+  if (nodes_.empty()) return Status::error("no nodes registered");
+  config_ = config;
+
+  if (config_.bind_affinity) {
+    // Best effort: containers may restrict the mask; profiling proceeds
+    // (with the §3.3 skew caveat) when binding fails.
+    (void)bind_current_thread_to_cpu(config_.bind_cpu);
+  }
+
+  registry_.reset();
+  trace_ = trace::Trace{};
+  // Calibrate the TSC on this thread now, so the one-time busy-spin
+  // never lands on the tempd thread (it would show up as tempd CPU).
+  (void)tsc_ticks_per_second();
+  start_tsc_ = rdtsc();
+  tempd_.start(config_.sample_hz, &nodes_);
+  active_.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+Status Session::stop() {
+  if (!active()) return Status::error("Tempest session not active");
+  active_.store(false, std::memory_order_release);
+  tempd_.stop();
+
+  trace_.tsc_ticks_per_second = tsc_ticks_per_second();
+  trace_.executable = self_exe_path();
+  trace_.load_bias = symtab::current_load_bias();
+  for (const auto& node : nodes_) {
+    trace_.nodes.push_back({node.node_id, node.hostname});
+    for (const auto& s : node.sensors) {
+      trace_.sensors.push_back({node.node_id, s.id, s.name, s.quant_step_c});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(synth_mu_);
+    trace_.synthetic_symbols = synthetic_;
+  }
+  registry_.drain_into(&trace_);
+  trace_.temp_samples = std::move(tempd_.samples());
+  trace_.clock_syncs = std::move(tempd_.clock_syncs());
+  trace_.sort_by_time();
+
+  if (!config_.output_path.empty()) {
+    return trace::write_trace_file(config_.output_path, trace_);
+  }
+  return Status::ok();
+}
+
+Status Session::attach_current_thread(std::uint16_t node_id, std::uint16_t core) {
+  if (node_id >= nodes_.size()) return Status::error("attach: unknown node id");
+  const NodeBinding& node = nodes_[node_id];
+  const VirtualTsc* clock = node.sim != nullptr ? &node.sim->clock() : nullptr;
+  registry_.bind_current(node_id, core, clock);
+  return Status::ok();
+}
+
+std::uint64_t Session::synthetic_addr(const std::string& name) {
+  std::lock_guard<std::mutex> lock(synth_mu_);
+  for (const auto& s : synthetic_) {
+    if (s.name == name) return s.addr;
+  }
+  const std::uint64_t addr = trace::kSyntheticAddrBase + synthetic_.size();
+  synthetic_.push_back({addr, name});
+  return addr;
+}
+
+simnode::SimNode* Session::sim_node(std::uint16_t node_id) {
+  if (node_id >= nodes_.size()) return nullptr;
+  return nodes_[node_id].sim;
+}
+
+}  // namespace tempest::core

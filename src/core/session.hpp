@@ -1,0 +1,114 @@
+// The Tempest profiling session.
+//
+// One per process (like the paper's shared library): owns the node
+// bindings, the tempd sampler, the per-thread event buffers, and the
+// synthetic-symbol registry for the explicit API. Lifecycle mirrors the
+// paper: start before the workload (the library constructor launches
+// tempd "before the main function of the profiled application is
+// invoked"), stop at exit ("the destructor ... sends a signal to tempd
+// for termination and performs cleanup"), then the parser takes over.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/config.hpp"
+#include "core/tempd.hpp"
+#include "core/thread_buffer.hpp"
+#include "simnode/node.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::core {
+
+class Session {
+ public:
+  /// The process-wide session (function-local static; never destroyed
+  /// before hooks can fire).
+  static Session& instance();
+
+  // -- setup (only while inactive) --------------------------------------
+
+  /// Register a simulated node; returns its node id. The node must
+  /// outlive the session run.
+  std::uint16_t register_sim_node(simnode::SimNode* node);
+
+  /// Register this host as a node using real hwmon sensors. Fails when
+  /// the host exposes none (callers then fall back to a simulated node).
+  Result<std::uint16_t> register_hwmon_node(const std::string& hostname = "localhost");
+
+  /// Drop all node bindings (between runs in one process).
+  void clear_nodes();
+
+  /// Install a per-sampling-tick hook on a registered node (used by the
+  /// auto-profiling mode to feed measured CPU utilisation to the
+  /// simulated node). Only while inactive.
+  Status set_node_tick_hook(std::uint16_t node_id, std::function<void()> hook);
+
+  // -- lifecycle ---------------------------------------------------------
+
+  /// Start profiling: binds affinity per config, starts tempd, arms the
+  /// instrumentation hooks. Error if already active or no nodes.
+  Status start(const SessionConfig& config);
+
+  /// Stop: disarms hooks, stops tempd, assembles the trace (events,
+  /// samples, metadata, synthetic symbols) and writes it to
+  /// config.output_path when set.
+  Status stop();
+
+  bool active() const { return active_.load(std::memory_order_acquire); }
+  const SessionConfig& config() const { return config_; }
+
+  /// The assembled trace of the last completed run.
+  const trace::Trace& last_trace() const { return trace_; }
+  trace::Trace take_trace() { return std::move(trace_); }
+
+  const Tempd::Stats& tempd_stats() const { return tempd_.stats(); }
+
+  // -- hot path (called by hooks / explicit API) --------------------------
+
+  void record_enter(std::uint64_t addr) {
+    if (!active_.load(std::memory_order_relaxed)) return;
+    ThreadState* ts = registry_.current();
+    ts->events.push({ts->now(), addr, ts->thread_id, ts->node_id,
+                     trace::FnEventKind::kEnter});
+  }
+
+  void record_exit(std::uint64_t addr) {
+    if (!active_.load(std::memory_order_relaxed)) return;
+    ThreadState* ts = registry_.current();
+    ts->events.push({ts->now(), addr, ts->thread_id, ts->node_id,
+                     trace::FnEventKind::kExit});
+  }
+
+  // -- thread/node association -------------------------------------------
+
+  /// Bind the calling thread's future events to a registered node and
+  /// core (the message-passing runtime calls this as each rank starts).
+  Status attach_current_thread(std::uint16_t node_id, std::uint16_t core);
+
+  /// Synthetic address for a named region (explicit/per-block API).
+  /// Stable for the process lifetime; same name -> same address.
+  std::uint64_t synthetic_addr(const std::string& name);
+
+  ThreadRegistry& registry() { return registry_; }
+  simnode::SimNode* sim_node(std::uint16_t node_id);
+
+ private:
+  Session() = default;
+
+  SessionConfig config_;
+  std::atomic<bool> active_{false};
+  std::vector<NodeBinding> nodes_;
+  Tempd tempd_;
+  ThreadRegistry registry_;
+  trace::Trace trace_;
+  std::uint64_t start_tsc_ = 0;
+
+  std::mutex synth_mu_;
+  std::vector<trace::SyntheticSymbol> synthetic_;
+};
+
+}  // namespace tempest::core

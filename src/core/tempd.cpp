@@ -1,0 +1,93 @@
+#include "core/tempd.hpp"
+
+#include <chrono>
+
+#include "common/tsc.hpp"
+
+#if defined(__linux__)
+#include <ctime>
+#endif
+
+namespace tempest::core {
+namespace {
+
+double thread_cpu_seconds() {
+#if defined(__linux__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+void Tempd::start(double hz, std::vector<NodeBinding>* nodes) {
+  if (running()) return;
+  nodes_ = nodes;
+  samples_.clear();
+  clock_syncs_.clear();
+  stats_ = Stats{};
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this, hz] { run_loop(hz); });
+}
+
+void Tempd::stop() {
+  if (!running()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Tempd::run_loop(double hz) {
+  using clock = std::chrono::steady_clock;
+  const auto period = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(1.0 / hz));
+  auto next = clock::now();
+
+  // One sample immediately: short functions at the very start of a run
+  // should still see a reading at-or-before their window.
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    sample_all_nodes();
+    ++stats_.ticks;
+    next += period;
+    // sleep_until in small slices so stop() is responsive at low rates.
+    while (!stop_requested_.load(std::memory_order_acquire)) {
+      const auto now = clock::now();
+      if (now >= next) break;
+      const auto remaining = next - now;
+      std::this_thread::sleep_for(
+          std::min(remaining, clock::duration(std::chrono::milliseconds(20))));
+    }
+  }
+  // Final sample so every function interval is bracketed by readings.
+  sample_all_nodes();
+  ++stats_.ticks;
+  stats_.cpu_seconds = thread_cpu_seconds();
+}
+
+void Tempd::sample_all_nodes() {
+  for (NodeBinding& node : *nodes_) {
+    if (node.on_tick) node.on_tick();
+    const std::uint64_t global_now = rdtsc();
+    std::uint64_t node_now = global_now;
+    if (node.sim != nullptr) {
+      node.sim->advance_to(global_now);
+      node_now = node.sim->clock().translate(global_now);
+      clock_syncs_.push_back({node_now, global_now, node.node_id});
+    }
+    for (const auto& sensor : node.sensors) {
+      auto reading = node.backend->read_celsius(sensor.id);
+      if (!reading.is_ok()) {
+        ++stats_.read_errors;
+        continue;
+      }
+      samples_.push_back({node_now, reading.value(), node.node_id, sensor.id});
+      ++stats_.samples;
+    }
+  }
+}
+
+}  // namespace tempest::core

@@ -1,0 +1,76 @@
+#include "core/thread_buffer.hpp"
+
+namespace tempest::core {
+namespace {
+
+struct TlsSlot {
+  ThreadState* state = nullptr;
+  std::uint64_t generation = 0;
+};
+
+thread_local TlsSlot tls_slot;
+
+// Generation bumps on reset() so stale TLS pointers from a previous
+// session re-register instead of dangling.
+std::uint64_t g_generation = 1;
+
+}  // namespace
+
+void EventBuffer::new_chunk() {
+  chunks_.push_back(std::make_unique<trace::FnEvent[]>(kChunkSize));
+  pos_ = 0;
+}
+
+void EventBuffer::append_to(std::vector<trace::FnEvent>* out) const {
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const std::size_t n = (i + 1 == chunks_.size()) ? pos_ : kChunkSize;
+    out->insert(out->end(), chunks_[i].get(), chunks_[i].get() + n);
+  }
+}
+
+ThreadState* ThreadRegistry::current() {
+  if (tls_slot.state == nullptr || tls_slot.generation != g_generation) {
+    tls_slot.state = register_thread();
+    tls_slot.generation = g_generation;
+  }
+  return tls_slot.state;
+}
+
+ThreadState* ThreadRegistry::register_thread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.push_back(std::make_unique<ThreadState>());
+  threads_.back()->thread_id = next_id_++;
+  return threads_.back().get();
+}
+
+void ThreadRegistry::bind_current(std::uint16_t node_id, std::uint16_t core,
+                                  const VirtualTsc* clock) {
+  ThreadState* ts = current();
+  ts->node_id = node_id;
+  ts->core = core;
+  ts->clock = clock;
+}
+
+void ThreadRegistry::drain_into(trace::Trace* trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ts : threads_) {
+    ts->events.append_to(&trace->fn_events);
+    trace->threads.push_back({ts->thread_id, ts->node_id, ts->core});
+  }
+}
+
+std::size_t ThreadRegistry::total_events() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& ts : threads_) total += ts->events.size();
+  return total;
+}
+
+void ThreadRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.clear();
+  next_id_ = 0;
+  ++g_generation;
+}
+
+}  // namespace tempest::core

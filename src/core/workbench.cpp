@@ -1,0 +1,62 @@
+#include "core/workbench.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/tsc.hpp"
+#include "core/session.hpp"
+
+namespace tempest::core {
+namespace {
+
+// Spin sink: opaque to the optimizer so the burn loop does real work.
+volatile std::uint64_t g_burn_sink = 0;
+
+/// Busy-spin for roughly `seconds` of wall time.
+void spin_for(double seconds) {
+  const std::uint64_t start = rdtsc();
+  const std::uint64_t ticks = seconds_to_tsc(seconds);
+  std::uint64_t x = g_burn_sink + 0x9e3779b97f4a7c15ULL;
+  while (rdtsc() - start < ticks) {
+    for (int i = 0; i < 64; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+  }
+  g_burn_sink = x;
+}
+
+}  // namespace
+
+Workbench::Workbench(simnode::SimNode* node, std::uint16_t node_id, std::uint16_t core)
+    : node_(node), node_id_(node_id), core_(core) {}
+
+void Workbench::attach() {
+  (void)Session::instance().attach_current_thread(node_id_, core_);
+  node_->core_meter(core_).set_busy(rdtsc());
+}
+
+void Workbench::detach() { node_->core_meter(core_).set_idle(rdtsc()); }
+
+void Workbench::burn(double work_seconds) {
+  node_->core_meter(core_).set_busy(rdtsc());
+  // Integrate work in small slices: each slice of wall time dt completes
+  // dt * speed_factor of work, so a throttled node takes longer. The
+  // credit uses measured elapsed time so preemption does not inflate
+  // the burn (the scheduler stretching a slice still counts as work).
+  constexpr double kSlice = 0.002;
+  double done = 0.0;
+  while (done < work_seconds) {
+    const std::uint64_t t0 = rdtsc();
+    spin_for(kSlice);
+    done += tsc_to_seconds(rdtsc() - t0) * node_->speed_factor();
+  }
+}
+
+void Workbench::idle(double wall_seconds) {
+  simnode::IdleScope idle(node_->core_meter(core_), rdtsc());
+  std::this_thread::sleep_for(std::chrono::duration<double>(wall_seconds));
+}
+
+}  // namespace tempest::core

@@ -1,0 +1,45 @@
+// Workbench: drives a simulated node from a serial workload.
+//
+// The paper's micro-benchmarks pair a "CPU burn" code (heats the die)
+// with timer waits (lets it cool). On real hardware burn/wait map to
+// computation and sleep; against a simulated node the workload must also
+// feed the activity meter, which is what Workbench encapsulates:
+// burn() genuinely spins the host CPU (so profiling overhead is real)
+// while marking the core busy, idle() sleeps while marking it idle, and
+// both honour the node's DVFS speed factor so throttling visibly
+// stretches execution time (the §5 thermal-optimization experiment).
+#pragma once
+
+#include <cstdint>
+
+#include "simnode/node.hpp"
+
+namespace tempest::core {
+
+class Workbench {
+ public:
+  /// `node` must be registered with the session under `node_id`.
+  Workbench(simnode::SimNode* node, std::uint16_t node_id, std::uint16_t core = 0);
+
+  /// Bind the calling thread to the node (clock + meter busy).
+  void attach();
+  /// Mark the core idle (end of workload).
+  void detach();
+
+  /// Burn `work_seconds` of full-speed CPU work; wall time stretches
+  /// when the DVFS governor throttles the node.
+  void burn(double work_seconds);
+
+  /// Idle (sleep) for `wall_seconds`, metering the core idle.
+  void idle(double wall_seconds);
+
+  simnode::SimNode* node() { return node_; }
+  std::uint16_t node_id() const { return node_id_; }
+
+ private:
+  simnode::SimNode* node_;
+  std::uint16_t node_id_;
+  std::uint16_t core_;
+};
+
+}  // namespace tempest::core

@@ -1,0 +1,124 @@
+#include "gprofsim/flat_profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/tsc.hpp"
+#include "symtab/resolver.hpp"
+
+// Defined in tempest_hooks (core/hooks.cpp).
+extern std::atomic<void (*)(void*)> tempest_alt_enter_hook;
+extern std::atomic<void (*)(void*)> tempest_alt_exit_hook;
+
+namespace gprofsim {
+namespace {
+
+thread_local FlatProfiler::ThreadBuckets* tls_buckets = nullptr;
+std::atomic<std::uint64_t> g_generation{1};
+thread_local std::uint64_t tls_generation = 0;
+
+void enter_trampoline(void* fn) { FlatProfiler::instance().on_enter(fn); }
+void exit_trampoline(void* fn) { FlatProfiler::instance().on_exit(fn); }
+
+}  // namespace
+
+FlatProfiler& FlatProfiler::instance() {
+  static FlatProfiler* profiler = new FlatProfiler();
+  return *profiler;
+}
+
+FlatProfiler::ThreadBuckets* FlatProfiler::current_thread() {
+  if (tls_buckets == nullptr || tls_generation != g_generation.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.push_back(std::make_unique<ThreadBuckets>());
+    tls_buckets = threads_.back().get();
+    tls_generation = g_generation.load(std::memory_order_relaxed);
+  }
+  return tls_buckets;
+}
+
+void FlatProfiler::start() {
+  if (active_) return;
+  active_ = true;
+  tempest_alt_enter_hook.store(&enter_trampoline, std::memory_order_release);
+  tempest_alt_exit_hook.store(&exit_trampoline, std::memory_order_release);
+}
+
+void FlatProfiler::stop() {
+  if (!active_) return;
+  tempest_alt_enter_hook.store(nullptr, std::memory_order_release);
+  tempest_alt_exit_hook.store(nullptr, std::memory_order_release);
+  active_ = false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : threads_) {
+    for (const auto& [addr, bucket] : t->buckets) {
+      Bucket& m = merged_[addr];
+      m.calls += bucket.calls;
+      m.self_ticks += bucket.self_ticks;
+      m.total_ticks += bucket.total_ticks;
+    }
+  }
+}
+
+void FlatProfiler::on_enter(void* fn) {
+  if (!active_) return;
+  ThreadBuckets* t = current_thread();
+  const auto addr = reinterpret_cast<std::uint64_t>(fn);
+  auto& depth = t->open_depth[addr];
+  t->stack.push_back({addr, tempest::rdtsc(), 0, depth});
+  ++depth;
+  ++t->buckets[addr].calls;
+}
+
+void FlatProfiler::on_exit(void* fn) {
+  if (!active_) return;
+  ThreadBuckets* t = current_thread();
+  const auto addr = reinterpret_cast<std::uint64_t>(fn);
+  if (t->stack.empty() || t->stack.back().addr != addr) return;  // unbalanced
+  const Frame frame = t->stack.back();
+  t->stack.pop_back();
+  const std::uint64_t now = tempest::rdtsc();
+  const std::uint64_t elapsed = now - frame.enter_tsc;
+
+  Bucket& bucket = t->buckets[addr];
+  bucket.self_ticks += elapsed - frame.child_ticks;
+  auto& depth = t->open_depth[addr];
+  if (depth > 0) --depth;
+  if (frame.depth_of_same == 0) bucket.total_ticks += elapsed;  // outermost only
+  if (!t->stack.empty()) t->stack.back().child_ticks += elapsed;
+}
+
+std::vector<FlatEntry> FlatProfiler::flat_profile() const {
+  auto resolver = tempest::symtab::Resolver::for_current_process();
+  std::vector<FlatEntry> out;
+  for (const auto& [addr, bucket] : merged_) {
+    FlatEntry e;
+    e.addr = addr;
+    e.name = resolver.is_ok() ? resolver.value().resolve(addr) : "<unknown>";
+    e.calls = bucket.calls;
+    e.self_s = tempest::tsc_to_seconds(bucket.self_ticks);
+    e.total_s = tempest::tsc_to_seconds(bucket.total_ticks);
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlatEntry& a, const FlatEntry& b) { return a.self_s > b.self_s; });
+  return out;
+}
+
+double FlatProfiler::self_seconds(const std::string& name) const {
+  for (const auto& e : flat_profile()) {
+    if (e.name == name) return e.self_s;
+  }
+  return 0.0;
+}
+
+void FlatProfiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.clear();
+  merged_.clear();
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace gprofsim

@@ -1,0 +1,86 @@
+// gprofsim: a gprof-style flat bucket profiler.
+//
+// The baseline of the paper's verification section, implemented as the
+// paper characterises gprof: "gprof creates buckets for functions and
+// adds to buckets as it spends time in various functions: gprof does
+// not pinpoint which function was executing at time X". This profiler
+// therefore keeps only per-function accumulators (calls, self time,
+// inclusive time) with no timeline — exactly the design Tempest had to
+// reject, retained here for the §3.4 overhead/accuracy comparison and
+// as the bucket-vs-timeline ablation.
+//
+// It consumes the same -finstrument-functions events as Tempest by
+// registering alternate hooks, so one instrumented binary can run under
+// baseline / gprofsim / Tempest configurations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gprofsim {
+
+struct Bucket {
+  std::uint64_t calls = 0;
+  std::uint64_t self_ticks = 0;   ///< time excluding instrumented children
+  std::uint64_t total_ticks = 0;  ///< inclusive time of outermost activations
+};
+
+struct FlatEntry {
+  std::string name;
+  std::uint64_t addr = 0;
+  std::uint64_t calls = 0;
+  double self_s = 0.0;
+  double total_s = 0.0;
+};
+
+class FlatProfiler {
+ public:
+  static FlatProfiler& instance();
+
+  /// Arm the alternate instrumentation hooks. One profiler per process.
+  void start();
+  /// Disarm and aggregate per-thread buckets.
+  void stop();
+  bool active() const { return active_; }
+
+  /// Called from the instrumentation hooks (hot path, per thread).
+  void on_enter(void* fn);
+  void on_exit(void* fn);
+
+  /// Flat profile sorted by self time, symbolised via the current
+  /// process's ELF symbol table (valid after stop()).
+  std::vector<FlatEntry> flat_profile() const;
+
+  /// Self-time seconds for one function (0 when absent).
+  double self_seconds(const std::string& name) const;
+
+  void reset();
+
+  struct Frame {
+    std::uint64_t addr;
+    std::uint64_t enter_tsc;
+    std::uint64_t child_ticks;
+    std::uint64_t depth_of_same;  ///< recursion depth of this addr at entry
+  };
+  struct ThreadBuckets {
+    std::vector<Frame> stack;
+    std::map<std::uint64_t, Bucket> buckets;
+    std::map<std::uint64_t, std::uint64_t> open_depth;
+  };
+
+ private:
+  FlatProfiler() = default;
+
+  ThreadBuckets* current_thread();
+
+  bool active_ = false;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuckets>> threads_;
+  std::map<std::uint64_t, Bucket> merged_;
+};
+
+}  // namespace gprofsim

@@ -1,0 +1,131 @@
+#include "micro/micro.hpp"
+
+// Workload functions deliberately contain no Tempest API calls; the
+// whole TU is compiled with -finstrument-functions. noinline keeps each
+// function a distinct instrumented entity at any optimisation level.
+#define MICRO_FN __attribute__((noinline))
+
+namespace micro {
+namespace {
+
+using tempest::core::Workbench;
+
+// ---- D: main { foo1() { foo2(); } foo2(); } --------------------------
+
+MICRO_FN void foo2(const MicroParams& params) {
+  // "foo2 simply exits after a short timer expires": foo2 itself is
+  // nearly instant (the paper reports 0.000159 s total) — it arms the
+  // timer; the caller waits it out, which is when the die cools.
+  params.bench->idle(0.05 * params.time_scale);
+}
+
+MICRO_FN void foo1(const MicroParams& params) {
+  // "a CPU burn benchmark ... heats up the CPU rapidly".
+  params.bench->burn(50.0 * params.time_scale);
+  foo2(params);
+}
+
+// ---- B/C helpers ------------------------------------------------------
+
+MICRO_FN void work_small(const MicroParams& params) {
+  params.bench->burn(8.0 * params.time_scale);
+}
+
+MICRO_FN void work_medium(const MicroParams& params) {
+  params.bench->burn(16.0 * params.time_scale);
+}
+
+MICRO_FN void cool_wait(const MicroParams& params) {
+  params.bench->idle(6.0 * params.time_scale);
+}
+
+// ---- E: recursion with interleaving -----------------------------------
+
+MICRO_FN void rec_leaf(const MicroParams& params) {
+  params.bench->burn(1.0 * params.time_scale);
+}
+
+MICRO_FN void rec_fn(const MicroParams& params, int depth) {
+  params.bench->burn(2.0 * params.time_scale);
+  if (depth > 0) {
+    rec_fn(params, depth - 1);
+    rec_leaf(params);
+  }
+}
+
+MICRO_FN std::uint64_t tiny_fn(std::uint64_t x) { return x * 2862933555777941757ULL + 3037000493ULL; }
+
+// ---- G: work-bound functions for the overhead comparison --------------
+
+MICRO_FN std::uint64_t work_chunk_a(std::uint64_t x) {
+  for (int i = 0; i < 4000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+MICRO_FN std::uint64_t work_chunk_b(std::uint64_t x) {
+  for (int i = 0; i < 4000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    x ^= x >> 33;
+  }
+  return x;
+}
+
+MICRO_FN std::uint64_t work_chunk_c(std::uint64_t x) {
+  for (int i = 0; i < 2000; ++i) {
+    x += (x << 21) ^ (x >> 11);
+    x *= 0x9e3779b97f4a7c15ULL;
+  }
+  return x;
+}
+
+}  // namespace
+
+void run_micro_a(const MicroParams& params) {
+  // Main alone: burn directly in the (instrumented) caller.
+  params.bench->burn(10.0 * params.time_scale);
+}
+
+void run_micro_b(const MicroParams& params) { work_small(params); }
+
+void run_micro_c(const MicroParams& params) {
+  work_small(params);
+  work_medium(params);
+  cool_wait(params);
+}
+
+void run_micro_d(const MicroParams& params) {
+  foo1(params);
+  foo2(params);
+  // The timer foo2 armed expires here, in main: the temperature "drops
+  // abruptly while the timer is set and expires" (Fig 2b).
+  params.bench->idle(4.0 * params.time_scale);
+}
+
+void run_micro_e(const MicroParams& params) {
+  rec_fn(params, 3);
+  cool_wait(params);
+  rec_fn(params, 1);
+}
+
+std::uint64_t run_micro_f(const MicroParams& params, std::uint64_t calls) {
+  (void)params;
+  std::uint64_t acc = 0x9e3779b9;
+  for (std::uint64_t i = 0; i < calls; ++i) acc = tiny_fn(acc);
+  return acc;
+}
+
+std::uint64_t run_micro_g(std::uint64_t outer_iters) {
+  std::uint64_t acc = 0x2545F4914F6CDD1DULL;
+  for (std::uint64_t i = 0; i < outer_iters; ++i) {
+    acc = work_chunk_a(acc);
+    acc = work_chunk_b(acc);
+    acc = work_chunk_c(acc);
+  }
+  return acc;
+}
+
+}  // namespace micro

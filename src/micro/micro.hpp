@@ -1,0 +1,44 @@
+// Micro-benchmarks from the paper's Table 1.
+//
+// "All benchmarks include: A (main alone), B (one function), C
+// (multiple functions), D (multiple functions with interleaving), and
+// E (multiple functions with recursion and interleaving)." Variant D is
+// the one shown in Figure 2: foo1 dominates execution running a CPU
+// burn while foo2 simply exits after a short timer expires.
+//
+// The workload functions carry no profiling calls: this translation
+// unit is compiled with -finstrument-functions, so Tempest traces them
+// transparently through the GCC hooks. Micro F adds the §3.3 stressor
+// (a function with a very short life span invoked repeatedly).
+#pragma once
+
+#include <cstdint>
+
+#include "core/workbench.hpp"
+
+namespace micro {
+
+/// Scales every burn/wait below; 1.0 reproduces roughly the paper's
+/// 60-second micro D, 0.02 keeps unit tests around a second.
+struct MicroParams {
+  tempest::core::Workbench* bench = nullptr;
+  double time_scale = 0.05;
+};
+
+void run_micro_a(const MicroParams& params);  ///< main alone
+void run_micro_b(const MicroParams& params);  ///< one function
+void run_micro_c(const MicroParams& params);  ///< multiple functions
+void run_micro_d(const MicroParams& params);  ///< interleaving (Fig 2)
+void run_micro_e(const MicroParams& params);  ///< recursion + interleaving
+
+/// §3.3 stressor: `calls` invocations of a near-empty function.
+/// Returns a value derived from the work to keep the calls observable.
+std::uint64_t run_micro_f(const MicroParams& params, std::uint64_t calls);
+
+/// Work-bound overhead workload (§3.4): a fixed amount of computation
+/// split across medium-grained instrumented functions (~10 us each), so
+/// wall time changes measure profiler overhead rather than timer drift.
+/// Needs no Workbench. Returns a checksum of the work.
+std::uint64_t run_micro_g(std::uint64_t outer_iters);
+
+}  // namespace micro

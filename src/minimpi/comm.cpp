@@ -1,0 +1,139 @@
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/tsc.hpp"
+#include "simnode/activity.hpp"
+
+namespace minimpi {
+namespace {
+
+/// Marks the rank's core idle for the duration of a blocking wait when
+/// the rank is placed on a simulated node; no-op otherwise.
+class WaitGuard {
+ public:
+  explicit WaitGuard(RankPlacement& placement) {
+    if (placement.node != nullptr) {
+      meter_ = &placement.node->core_meter(placement.core);
+      meter_->set_idle(tempest::rdtsc());
+    }
+  }
+  ~WaitGuard() {
+    if (meter_ != nullptr) meter_->set_busy(tempest::rdtsc());
+  }
+  WaitGuard(const WaitGuard&) = delete;
+  WaitGuard& operator=(const WaitGuard&) = delete;
+
+ private:
+  tempest::simnode::ActivityMeter* meter_ = nullptr;
+};
+
+}  // namespace
+
+void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
+  if (dest < 0 || dest >= size()) throw std::out_of_range("send: bad destination rank");
+  world_->post(rank_, dest, tag, data, bytes);
+}
+
+void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
+  if (src < 0 || src >= size()) throw std::out_of_range("recv: bad source rank");
+  WaitGuard idle(world_->placement(rank_));
+  const std::size_t got = world_->take(src, rank_, tag, data, bytes);
+  if (got != bytes) {
+    throw std::length_error("recv: message size mismatch (protocol error)");
+  }
+}
+
+void Comm::barrier() {
+  WaitGuard idle(world_->placement(rank_));
+  world_->barrier();
+}
+
+void Comm::bcast(void* data, std::size_t bytes, int root) {
+  const int tag = next_collective_tag();
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, tag, data, bytes);
+    }
+  } else {
+    recv(root, tag, data, bytes);
+  }
+}
+
+void Comm::reduce_sum(const double* in, double* out, std::size_t n, int root) {
+  const int tag = next_collective_tag();
+  if (rank_ == root) {
+    std::copy(in, in + n, out);
+    std::vector<double> tmp(n);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      recv_n(r, tag, tmp.data(), n);
+      for (std::size_t i = 0; i < n; ++i) out[i] += tmp[i];
+    }
+  } else {
+    send_n(root, tag, in, n);
+    if (out != in) std::fill(out, out + n, 0.0);
+  }
+}
+
+void Comm::allreduce_sum(const double* in, double* out, std::size_t n) {
+  reduce_sum(in, out, n, 0);
+  bcast(out, n * sizeof(double), 0);
+}
+
+void Comm::allreduce_sum_inplace(double* data, std::size_t n) {
+  std::vector<double> in(data, data + n);
+  allreduce_sum(in.data(), data, n);
+}
+
+double Comm::allreduce_max(double value) {
+  const int tag = next_collective_tag();
+  if (rank_ == 0) {
+    double result = value;
+    double tmp = 0.0;
+    for (int r = 1; r < size(); ++r) {
+      recv_n(r, tag, &tmp, 1);
+      result = std::max(result, tmp);
+    }
+    value = result;
+  } else {
+    send_n(0, tag, &value, 1);
+  }
+  bcast(&value, sizeof(double), 0);
+  return value;
+}
+
+void Comm::alltoall_bytes(const void* send_buf, void* recv_buf, std::size_t block_bytes) {
+  const int tag = next_collective_tag();
+  const auto* src = static_cast<const std::uint8_t*>(send_buf);
+  auto* dst = static_cast<std::uint8_t*>(recv_buf);
+  // Post all sends first (buffered, non-blocking), then drain receives;
+  // the self-block is a straight copy.
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    send(r, tag, src + static_cast<std::size_t>(r) * block_bytes, block_bytes);
+  }
+  std::memcpy(dst + static_cast<std::size_t>(rank_) * block_bytes,
+              src + static_cast<std::size_t>(rank_) * block_bytes, block_bytes);
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    recv(r, tag, dst + static_cast<std::size_t>(r) * block_bytes, block_bytes);
+  }
+}
+
+void Comm::allgather_bytes(const void* send_buf, void* recv_buf, std::size_t bytes) {
+  const int tag = next_collective_tag();
+  auto* dst = static_cast<std::uint8_t*>(recv_buf);
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    send(r, tag, send_buf, bytes);
+  }
+  std::memcpy(dst + static_cast<std::size_t>(rank_) * bytes, send_buf, bytes);
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    recv(r, tag, dst + static_cast<std::size_t>(r) * bytes, bytes);
+  }
+}
+
+}  // namespace minimpi

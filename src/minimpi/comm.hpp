@@ -1,0 +1,121 @@
+// Per-rank communicator.
+//
+// The MPI-flavoured API the NAS-like benchmarks are written against:
+// blocking point-to-point with tags plus the collectives the suite
+// needs (barrier, bcast, reduce/allreduce, alltoall, allgather).
+// Every blocking wait is wrapped in an IdleScope on the rank's core, so
+// communication-bound phases genuinely cool the simulated die — the
+// effect behind the paper's FT observations.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "minimpi/world.hpp"
+
+namespace minimpi {
+
+class Comm {
+ public:
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+  double wtime() const { return world_->elapsed_s(); }
+  World& world() { return *world_; }
+
+  // -- point-to-point ----------------------------------------------------
+
+  /// Buffered send: copies and returns immediately.
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive of exactly `bytes` (mismatch throws).
+  void recv(int src, int tag, void* data, std::size_t bytes);
+
+  template <typename T>
+  void send_n(int dest, int tag, const T* data, std::size_t count) {
+    send(dest, tag, data, count * sizeof(T));
+  }
+  template <typename T>
+  void recv_n(int src, int tag, T* data, std::size_t count) {
+    recv(src, tag, data, count * sizeof(T));
+  }
+
+  /// Symmetric exchange (send to `peer`, receive from `peer`).
+  template <typename T>
+  void sendrecv(int peer, int tag, const T* send_buf, T* recv_buf, std::size_t count) {
+    send_n(peer, tag, send_buf, count);
+    recv_n(peer, tag, recv_buf, count);
+  }
+
+  // -- collectives ---------------------------------------------------------
+  // All ranks must call each collective in the same order (MPI rule);
+  // internal tags are sequenced per rank to keep rounds separate.
+
+  void barrier();
+  void bcast(void* data, std::size_t bytes, int root);
+
+  void reduce_sum(const double* in, double* out, std::size_t n, int root);
+  void allreduce_sum(const double* in, double* out, std::size_t n);
+  void allreduce_sum_inplace(double* data, std::size_t n);
+  double allreduce_max(double value);
+
+  /// Each rank contributes `block` elements per destination; receives
+  /// `block` elements from each source (MPI_Alltoall).
+  template <typename T>
+  void alltoall(const T* send_buf, T* recv_buf, std::size_t block) {
+    alltoall_bytes(send_buf, recv_buf, block * sizeof(T));
+  }
+
+  /// Gather equal-size contributions from all ranks to all ranks.
+  template <typename T>
+  void allgather(const T* send_buf, T* recv_buf, std::size_t count) {
+    allgather_bytes(send_buf, recv_buf, count * sizeof(T));
+  }
+
+  /// Variable-size all-to-all (MPI_Alltoallv): rank r receives
+  /// recv_counts[s] elements from each source s, packed contiguously in
+  /// source order; sends send_counts[d] to each destination d from a
+  /// contiguous send buffer in destination order. Counts are in
+  /// elements; both sides must agree (exchange counts with alltoall
+  /// first, as the NAS IS benchmark does).
+  template <typename T>
+  void alltoallv(const T* send_buf, const std::size_t* send_counts, T* recv_buf,
+                 const std::size_t* recv_counts) {
+    const int tag = next_collective_tag();
+    std::size_t send_offset = 0;
+    for (int r = 0; r < size(); ++r) {
+      if (r != rank_) {
+        send(r, tag, send_buf + send_offset, send_counts[r] * sizeof(T));
+      }
+      send_offset += send_counts[r];
+    }
+    std::size_t recv_offset = 0;
+    std::size_t self_send_offset = 0;
+    for (int r = 0; r < rank_; ++r) self_send_offset += send_counts[r];
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) {
+        std::copy(send_buf + self_send_offset,
+                  send_buf + self_send_offset + send_counts[rank_],
+                  recv_buf + recv_offset);
+      } else {
+        recv(r, tag, recv_buf + recv_offset, recv_counts[r] * sizeof(T));
+      }
+      recv_offset += recv_counts[r];
+    }
+  }
+
+ private:
+  void alltoall_bytes(const void* send_buf, void* recv_buf, std::size_t block_bytes);
+  void allgather_bytes(const void* send_buf, void* recv_buf, std::size_t bytes);
+  int next_collective_tag() { return kCollectiveTagBase + (collective_seq_++ & 0xFFFF); }
+
+  static constexpr int kCollectiveTagBase = 1 << 24;
+
+  World* world_;
+  int rank_;
+  std::uint32_t collective_seq_ = 0;
+};
+
+}  // namespace minimpi

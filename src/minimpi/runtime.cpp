@@ -1,0 +1,59 @@
+#include "minimpi/runtime.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/tsc.hpp"
+#include "core/session.hpp"
+
+namespace minimpi {
+
+void run(int nranks, const RankFn& fn, const RunOptions& options) {
+  World world(nranks, options.net);
+
+  if (options.cluster != nullptr) {
+    const std::size_t nodes = options.cluster->size();
+    for (int r = 0; r < nranks; ++r) {
+      const std::size_t node_index = static_cast<std::size_t>(r) % nodes;
+      auto& node = options.cluster->node(node_index);
+      RankPlacement& placement = world.placement(r);
+      placement.node = &node;
+      placement.node_id = static_cast<std::uint16_t>(node_index);
+      placement.core = static_cast<std::uint16_t>(
+          (static_cast<std::size_t>(r) / nodes) % node.core_count());
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      RankPlacement& placement = world.placement(r);
+      if (placement.node != nullptr) {
+        if (options.attach_to_session) {
+          (void)tempest::core::Session::instance().attach_current_thread(
+              placement.node_id, placement.core);
+        }
+        placement.node->core_meter(placement.core).set_busy(tempest::rdtsc());
+      }
+      try {
+        Comm comm(&world, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      if (placement.node != nullptr) {
+        placement.node->core_meter(placement.core).set_idle(tempest::rdtsc());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace minimpi

@@ -1,0 +1,39 @@
+// Rank launcher.
+//
+// run() spawns one thread per rank, places ranks round-robin across the
+// simulated cluster's nodes (rank i -> node i % N, core (i / N) % cores
+// — one rank per node for NP == cluster size, the paper's NP=4 setup),
+// attaches each rank thread to the Tempest session (node clock + id for
+// its trace events), and marks cores busy/idle around the rank body.
+// Exceptions thrown by rank functions are captured and rethrown on the
+// launching thread after all ranks join.
+#pragma once
+
+#include <functional>
+
+#include "minimpi/comm.hpp"
+#include "simnode/cluster.hpp"
+
+namespace minimpi {
+
+using RankFn = std::function<void(Comm&)>;
+
+struct RunOptions {
+  /// Place ranks on this cluster and meter their activity; null runs
+  /// ranks unplaced (pure algorithm tests).
+  tempest::simnode::Cluster* cluster = nullptr;
+  /// Attach rank threads to the active Tempest session. Node ids must
+  /// match the order nodes were registered with the session (register
+  /// cluster nodes 0..N-1 in order).
+  bool attach_to_session = true;
+  /// Interconnect model (latency/bandwidth); defaults to instant.
+  NetParams net;
+};
+
+/// GigE-era cluster interconnect, as on the paper's 2007 testbed.
+inline NetParams gige_network() { return {50e-6, 110e6}; }
+
+/// Run `fn` on `nranks` ranks and block until all complete.
+void run(int nranks, const RankFn& fn, const RunOptions& options = {});
+
+}  // namespace minimpi

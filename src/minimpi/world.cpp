@@ -1,0 +1,101 @@
+#include "minimpi/world.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <stdexcept>
+
+#include "common/tsc.hpp"
+
+namespace minimpi {
+
+World::World(int nranks, NetParams net)
+    : nranks_(nranks), net_(net), placements_(static_cast<std::size_t>(nranks)) {
+  if (nranks <= 0) throw std::invalid_argument("world needs >= 1 rank");
+  start_tsc_ = tempest::rdtsc();
+}
+
+void World::post(int src, int dst, int tag, const void* data, std::size_t bytes) {
+  Message msg;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (net_.latency_s > 0.0 || net_.bandwidth_bytes_per_s > 0.0) {
+      // Ingress-link model: each receiver's NIC drains one transfer at
+      // a time, so concurrent senders to the same destination serialise
+      // (the congestion that makes a real all-to-all expensive).
+      // Latency is propagation on top of the link occupancy.
+      const std::uint64_t now = tempest::rdtsc();
+      std::uint64_t start = std::max(now, link_free_at_[dst]);
+      std::uint64_t occupancy = 0;
+      if (net_.bandwidth_bytes_per_s > 0.0) {
+        occupancy = tempest::seconds_to_tsc(static_cast<double>(bytes) /
+                                            net_.bandwidth_bytes_per_s);
+      }
+      link_free_at_[dst] = start + occupancy;
+      msg.deliver_at_tsc =
+          start + occupancy + tempest::seconds_to_tsc(net_.latency_s);
+    }
+    mailboxes_[{src, dst, tag}].push_back(std::move(msg));
+    ++messages_;
+    bytes_ += bytes;
+  }
+  cv_.notify_all();
+}
+
+std::size_t World::take(int src, int dst, int tag, void* data, std::size_t capacity) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Key key{src, dst, tag};
+  cv_.wait(lock, [&] {
+    const auto it = mailboxes_.find(key);
+    return it != mailboxes_.end() && !it->second.empty();
+  });
+  auto& queue = mailboxes_[key];
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  lock.unlock();
+
+  // Model the wire: the payload is not available before its delivery
+  // time, so the receiver keeps blocking (idle) until then.
+  while (msg.deliver_at_tsc != 0 && tempest::rdtsc() < msg.deliver_at_tsc) {
+    const double remaining =
+        tempest::tsc_to_seconds(msg.deliver_at_tsc - tempest::rdtsc());
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::min(remaining, 0.001)));
+  }
+
+  if (msg.payload.size() > capacity) {
+    throw std::length_error("minimpi: receive buffer smaller than message");
+  }
+  if (!msg.payload.empty()) std::memcpy(data, msg.payload.data(), msg.payload.size());
+  return msg.payload.size();
+}
+
+void World::barrier() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_waiting_ == nranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+}
+
+double World::elapsed_s() const {
+  return tempest::tsc_to_seconds(tempest::rdtsc() - start_tsc_);
+}
+
+std::uint64_t World::messages_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_;
+}
+
+std::uint64_t World::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace minimpi

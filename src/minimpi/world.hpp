@@ -1,0 +1,91 @@
+// Shared state of a message-passing world.
+//
+// The substrate under the NAS-like benchmarks: ranks are threads, and
+// this object carries the mailboxes (matched by source/dest/tag, like
+// MPI point-to-point semantics), the generation barrier, and the
+// per-rank node/core placement. Sends are buffered (copy into the
+// mailbox, never block), so symmetric exchange patterns cannot
+// deadlock; receives block until a matching message arrives.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "simnode/node.hpp"
+
+namespace minimpi {
+
+/// Placement of one rank on the simulated cluster (nullptrs for runs
+/// without a cluster — pure algorithm tests).
+struct RankPlacement {
+  tempest::simnode::SimNode* node = nullptr;
+  std::uint16_t node_id = 0;
+  std::uint16_t core = 0;
+};
+
+/// Interconnect model: messages become available to the receiver only
+/// after latency + size/bandwidth. Defaults (0) deliver instantly —
+/// pure algorithm tests. The FT/BT figure benches use GigE-era values
+/// so communication-bound phases leave the receiving core genuinely
+/// idle, as on the paper's cluster.
+struct NetParams {
+  double latency_s = 0.0;
+  double bandwidth_bytes_per_s = 0.0;  ///< 0 = infinite
+};
+
+class World {
+ public:
+  explicit World(int nranks, NetParams net = {});
+
+  int size() const { return nranks_; }
+
+  /// Copy `bytes` into (src,dst,tag)'s mailbox and wake receivers.
+  void post(int src, int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Block until a (src,dst,tag) message is available, then copy it
+  /// out. Returns the message size; throws std::length_error when the
+  /// buffer is too small (message truncation is a programming error).
+  std::size_t take(int src, int dst, int tag, void* data, std::size_t capacity);
+
+  /// Generation barrier over all ranks.
+  void barrier();
+
+  RankPlacement& placement(int rank) { return placements_.at(static_cast<std::size_t>(rank)); }
+
+  /// Seconds since world construction (Comm::wtime).
+  double elapsed_s() const;
+
+  /// Message/byte counters (benchmark diagnostics).
+  std::uint64_t messages_sent() const;
+  std::uint64_t bytes_sent() const;
+
+ private:
+  using Key = std::tuple<int, int, int>;
+
+  struct Message {
+    std::vector<std::uint8_t> payload;
+    std::uint64_t deliver_at_tsc = 0;
+  };
+
+  int nranks_;
+  NetParams net_;
+  std::vector<RankPlacement> placements_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Message>> mailboxes_;
+  std::map<int, std::uint64_t> link_free_at_;  ///< per-dst ingress occupancy
+
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t start_tsc_ = 0;
+};
+
+}  // namespace minimpi

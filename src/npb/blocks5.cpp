@@ -1,0 +1,69 @@
+#include "npb/blocks5.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace npb {
+
+void matvec_sub5(const Mat5& a, const Vec5& x, Vec5& b) {
+  for (int i = 0; i < 5; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < 5; ++j) acc += at(a, i, j) * x[static_cast<std::size_t>(j)];
+    b[static_cast<std::size_t>(i)] -= acc;
+  }
+}
+
+void matmul_sub5(const Mat5& a, const Mat5& b, Mat5& c) {
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < 5; ++k) acc += at(a, i, k) * at(b, k, j);
+      at(c, i, j) -= acc;
+    }
+  }
+}
+
+namespace {
+
+/// Shared elimination: reduce lhs to identity, mirroring the row ops
+/// into `c` (when non-null) and `r`.
+void eliminate(Mat5& lhs, Mat5* c, Vec5& r) {
+  for (int p = 0; p < 5; ++p) {
+    int pivot = p;
+    for (int i = p + 1; i < 5; ++i) {
+      if (std::fabs(at(lhs, i, p)) > std::fabs(at(lhs, pivot, p))) pivot = i;
+    }
+    if (pivot != p) {
+      for (int j = 0; j < 5; ++j) std::swap(at(lhs, p, j), at(lhs, pivot, j));
+      if (c != nullptr) {
+        for (int j = 0; j < 5; ++j) std::swap(at(*c, p, j), at(*c, pivot, j));
+      }
+      std::swap(r[static_cast<std::size_t>(p)], r[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / at(lhs, p, p);
+    for (int j = p; j < 5; ++j) at(lhs, p, j) *= inv;
+    if (c != nullptr) {
+      for (int j = 0; j < 5; ++j) at(*c, p, j) *= inv;
+    }
+    r[static_cast<std::size_t>(p)] *= inv;
+
+    for (int i = 0; i < 5; ++i) {
+      if (i == p) continue;
+      const double f = at(lhs, i, p);
+      if (f == 0.0) continue;
+      for (int j = p; j < 5; ++j) at(lhs, i, j) -= f * at(lhs, p, j);
+      if (c != nullptr) {
+        for (int j = 0; j < 5; ++j) at(*c, i, j) -= f * at(*c, p, j);
+      }
+      r[static_cast<std::size_t>(i)] -= f * r[static_cast<std::size_t>(p)];
+    }
+  }
+}
+
+}  // namespace
+
+void binvcrhs5(Mat5& lhs, Mat5& c, Vec5& r) { eliminate(lhs, &c, r); }
+
+void binvrhs5(Mat5& lhs, Vec5& r) { eliminate(lhs, nullptr, r); }
+
+}  // namespace npb

@@ -1,0 +1,41 @@
+// 5x5 block kernels of the BT solver.
+//
+// These are the per-cell operations of the NAS BT ADI sweep:
+// matvec_sub (b -= A x), matmul_sub (C -= A B), binvcrhs (eliminate a
+// diagonal block against its super-diagonal block and right-hand side)
+// and binvrhs (last cell of a line). They are the hot path — BT calls
+// them per grid cell — so they are plain free functions; the
+// Tempest-visible wrappers in bt.cpp batch them per line.
+#pragma once
+
+#include <array>
+
+namespace npb {
+
+using Mat5 = std::array<double, 25>;  ///< row-major 5x5
+using Vec5 = std::array<double, 5>;
+
+inline double& at(Mat5& m, int r, int c) { return m[static_cast<std::size_t>(r * 5 + c)]; }
+inline double at(const Mat5& m, int r, int c) { return m[static_cast<std::size_t>(r * 5 + c)]; }
+
+/// b -= A * x
+void matvec_sub5(const Mat5& a, const Vec5& x, Vec5& b);
+
+/// C -= A * B
+void matmul_sub5(const Mat5& a, const Mat5& b, Mat5& c);
+
+/// Gaussian elimination with partial pivoting on `lhs`, applied to the
+/// super-diagonal block `c` and rhs `r`: c <- lhs^-1 c, r <- lhs^-1 r.
+/// (NAS omits pivoting; we pivot for robustness on synthetic blocks.)
+void binvcrhs5(Mat5& lhs, Mat5& c, Vec5& r);
+
+/// As binvcrhs5 for the last cell of a line (no super-diagonal block).
+void binvrhs5(Mat5& lhs, Vec5& r);
+
+inline Mat5 identity5() {
+  Mat5 m{};
+  for (int i = 0; i < 5; ++i) at(m, i, i) = 1.0;
+  return m;
+}
+
+}  // namespace npb

@@ -1,0 +1,201 @@
+#include "npb/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/api.hpp"
+#include "minimpi/runtime.hpp"
+#include "npb/nas_rng.hpp"
+
+namespace npb {
+namespace {
+
+/// Partition [0, n) across ranks; returns [begin, end) of `rank`.
+std::pair<int, int> row_range(int n, int size, int rank) {
+  const int base = n / size;
+  const int extra = n % size;
+  const int begin = rank * base + std::min(rank, extra);
+  const int end = begin + base + (rank < extra ? 1 : 0);
+  return {begin, end};
+}
+
+/// Local rows of q = A p (p is the full vector).
+void sparse_matvec(const SparseMatrix& a, int row_begin, int row_end,
+                   const std::vector<double>& p, std::vector<double>* q) {
+  TEMPEST_FUNCTION();
+  for (int i = row_begin; i < row_end; ++i) {
+    double acc = 0.0;
+    for (int k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i + 1)]; ++k) {
+      acc += a.val[static_cast<std::size_t>(k)] *
+             p[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+    }
+    (*q)[static_cast<std::size_t>(i - row_begin)] = acc;
+  }
+}
+
+double dot_local(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// One inner CG solve: z ~= A^-1 x, returns ||x - A z||.
+double conj_grad(minimpi::Comm& comm, const SparseMatrix& a, int row_begin,
+                 int row_end, const std::vector<double>& x_full,
+                 std::vector<double>* z_local, int inner_iters,
+                 std::vector<double>* scratch_full) {
+  TEMPEST_FUNCTION();
+  const std::size_t local_n = static_cast<std::size_t>(row_end - row_begin);
+  std::vector<double> r(x_full.begin() + row_begin, x_full.begin() + row_end);
+  std::vector<double> p_local(r);
+  std::vector<double> q(local_n);
+  z_local->assign(local_n, 0.0);
+
+  // Full-length gather buffer; ranks may own unequal counts, so gather
+  // via allreduce of a zero-padded vector (simple and adequate at this n).
+  auto gather_full = [&](const std::vector<double>& local, std::vector<double>* full) {
+    std::fill(full->begin(), full->end(), 0.0);
+    std::copy(local.begin(), local.end(), full->begin() + row_begin);
+    comm.allreduce_sum_inplace(full->data(), full->size());
+  };
+
+  double rho = dot_local(r, r);
+  comm.allreduce_sum_inplace(&rho, 1);
+
+  for (int it = 0; it < inner_iters; ++it) {
+    gather_full(p_local, scratch_full);
+    sparse_matvec(a, row_begin, row_end, *scratch_full, &q);
+    double pq = dot_local(p_local, q);
+    comm.allreduce_sum_inplace(&pq, 1);
+    const double alpha = rho / pq;
+    for (std::size_t i = 0; i < local_n; ++i) {
+      (*z_local)[i] += alpha * p_local[i];
+      r[i] -= alpha * q[i];
+    }
+    double rho_next = dot_local(r, r);
+    comm.allreduce_sum_inplace(&rho_next, 1);
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::size_t i = 0; i < local_n; ++i) p_local[i] = r[i] + beta * p_local[i];
+  }
+
+  // Residual ||x - A z||.
+  gather_full(*z_local, scratch_full);
+  sparse_matvec(a, row_begin, row_end, *scratch_full, &q);
+  double res = 0.0;
+  for (std::size_t i = 0; i < local_n; ++i) {
+    const double d = x_full[static_cast<std::size_t>(row_begin) + i] - q[i];
+    res += d * d;
+  }
+  comm.allreduce_sum_inplace(&res, 1);
+  return std::sqrt(res);
+}
+
+}  // namespace
+
+CgConfig CgConfig::for_class(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::S: return {400, 7, 10, 15, 10.0};
+    case ProblemClass::W: return {1400, 8, 15, 25, 12.0};
+    case ProblemClass::A: return {3000, 11, 15, 25, 20.0};
+  }
+  return {};
+}
+
+SparseMatrix cg_makea(const CgConfig& config) {
+  TEMPEST_FUNCTION();
+  const int n = config.n;
+  // Symmetric pattern via map of (i,j) -> value, j > i.
+  std::map<std::pair<int, int>, double> upper;
+  double seed = kNasSeed;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < config.row_nonzeros; ++k) {
+      const int j = static_cast<int>(randlc(&seed, kNasMult) * n);
+      const double v = randlc(&seed, kNasMult) - 0.5;
+      if (j == i || j >= n) continue;
+      const auto key = std::minmax(i, j);
+      upper[{key.first, key.second}] += v;
+    }
+  }
+  // Assemble CSR with a dominant diagonal (SPD by Gershgorin).
+  std::vector<std::vector<std::pair<int, double>>> rows(static_cast<std::size_t>(n));
+  std::vector<double> offdiag_sum(static_cast<std::size_t>(n), 0.0);
+  for (const auto& [key, v] : upper) {
+    rows[static_cast<std::size_t>(key.first)].push_back({key.second, v});
+    rows[static_cast<std::size_t>(key.second)].push_back({key.first, v});
+    offdiag_sum[static_cast<std::size_t>(key.first)] += std::fabs(v);
+    offdiag_sum[static_cast<std::size_t>(key.second)] += std::fabs(v);
+  }
+  SparseMatrix a;
+  a.n = n;
+  a.row_ptr.push_back(0);
+  for (int i = 0; i < n; ++i) {
+    auto& row = rows[static_cast<std::size_t>(i)];
+    row.push_back({i, offdiag_sum[static_cast<std::size_t>(i)] + config.shift});
+    std::sort(row.begin(), row.end());
+    for (const auto& [j, v] : row) {
+      a.col.push_back(j);
+      a.val.push_back(v);
+    }
+    a.row_ptr.push_back(static_cast<int>(a.col.size()));
+  }
+  return a;
+}
+
+CgResult cg_run(minimpi::Comm& comm, const CgConfig& config) {
+  TEMPEST_FUNCTION();
+  const double t0 = comm.wtime();
+  const SparseMatrix a = cg_makea(config);
+  const auto [row_begin, row_end] = row_range(config.n, comm.size(), comm.rank());
+
+  std::vector<double> x_full(static_cast<std::size_t>(config.n), 1.0);
+  std::vector<double> z_local;
+  std::vector<double> scratch(static_cast<std::size_t>(config.n));
+
+  CgResult result;
+  for (int it = 0; it < config.outer_iters; ++it) {
+    StretchScope stretch(comm);
+    result.final_rnorm = conj_grad(comm, a, row_begin, row_end, x_full, &z_local,
+                                   config.inner_iters, &scratch);
+    // zeta = shift + 1 / (x . z); then x = z / ||z||.
+    double xz = 0.0, zz = 0.0;
+    for (std::size_t i = 0; i < z_local.size(); ++i) {
+      xz += x_full[static_cast<std::size_t>(row_begin) + i] * z_local[i];
+      zz += z_local[i] * z_local[i];
+    }
+    double sums[2] = {xz, zz};
+    comm.allreduce_sum_inplace(sums, 2);
+    result.zeta = config.shift + 1.0 / sums[0];
+    const double inv_norm = 1.0 / std::sqrt(sums[1]);
+    std::fill(scratch.begin(), scratch.end(), 0.0);
+    for (std::size_t i = 0; i < z_local.size(); ++i) {
+      scratch[static_cast<std::size_t>(row_begin) + i] = z_local[i] * inv_norm;
+    }
+    comm.allreduce_sum_inplace(scratch.data(), scratch.size());
+    x_full = scratch;
+  }
+  result.elapsed_s = comm.wtime() - t0;
+  return result;
+}
+
+CgResult cg_serial(const CgConfig& config) {
+  CgResult result;
+  minimpi::run(1, [&](minimpi::Comm& comm) { result = cg_run(comm, config); });
+  return result;
+}
+
+VerifyResult cg_verify(const CgResult& got, const CgConfig& config) {
+  const CgResult want = cg_serial(config);
+  VerifyResult v;
+  std::ostringstream detail;
+  v.passed = close_rel(got.zeta, want.zeta, 1e-8);
+  detail << "zeta " << got.zeta << " vs serial " << want.zeta << " (rnorm "
+         << got.final_rnorm << ")";
+  v.detail = detail.str();
+  return v;
+}
+
+}  // namespace npb

@@ -1,0 +1,53 @@
+// CG: conjugate-gradient NAS benchmark (scaled).
+//
+// Estimates the largest eigenvalue of a sparse symmetric positive-
+// definite matrix by inverse power iteration, each outer step solving
+// (A - shift I)-free system A z = x with `inner_iters` CG iterations.
+// The matrix is generated deterministically from the NAS LCG (a
+// simplified makea: banded random pattern symmetrised, with a dominant
+// diagonal — same irregular-access character, far less code than the
+// reference's sparse assembly). Rows are block-partitioned; the matvec
+// allgathers the full vector; dot products allreduce — CG's
+// characteristic latency-bound communication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "npb/support.hpp"
+
+namespace npb {
+
+struct CgConfig {
+  int n = 1400;          ///< matrix order
+  int row_nonzeros = 7;  ///< off-diagonal nonzeros per row (pre-symmetry)
+  int outer_iters = 15;
+  int inner_iters = 25;
+  double shift = 10.0;   ///< NAS lambda shift in the zeta estimate
+  static CgConfig for_class(ProblemClass c);
+};
+
+struct CgResult {
+  double zeta = 0.0;
+  double final_rnorm = 0.0;  ///< ||r|| of the last inner solve
+  double elapsed_s = 0.0;
+};
+
+/// Deterministic sparse SPD matrix in CSR (shared by all ranks; order
+/// is small enough that replication matches NAS's replicated makea
+/// metadata while rows are still computed in parallel).
+struct SparseMatrix {
+  int n = 0;
+  std::vector<int> row_ptr;
+  std::vector<int> col;
+  std::vector<double> val;
+};
+
+SparseMatrix cg_makea(const CgConfig& config);
+
+CgResult cg_run(minimpi::Comm& comm, const CgConfig& config);
+CgResult cg_serial(const CgConfig& config);
+VerifyResult cg_verify(const CgResult& got, const CgConfig& config);
+
+}  // namespace npb

@@ -1,0 +1,41 @@
+// EP: the embarrassingly-parallel NAS benchmark.
+//
+// Generates 2^M pairs of uniform deviates with the NAS LCG, converts
+// accepted pairs to Gaussian deviates (Marsaglia polar method as in the
+// reference code), accumulates the sums and the square-annulus counts,
+// and combines with one allreduce at the end. Each rank jumps the
+// random stream directly to its segment, so the parallel result is
+// bit-identical to the serial reference — EP's exact verification.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "minimpi/comm.hpp"
+#include "npb/support.hpp"
+
+namespace npb {
+
+struct EpConfig {
+  int log2_pairs = 18;  ///< 2^log2_pairs Gaussian pair attempts
+  static EpConfig for_class(ProblemClass c);
+};
+
+struct EpResult {
+  double sx = 0.0;
+  double sy = 0.0;
+  std::array<std::int64_t, 10> counts{};
+  std::int64_t accepted = 0;
+  double elapsed_s = 0.0;
+};
+
+/// Parallel run across the communicator's ranks.
+EpResult ep_run(minimpi::Comm& comm, const EpConfig& config);
+
+/// Single-threaded reference (same stream, one segment).
+EpResult ep_serial(const EpConfig& config);
+
+/// Exactness check of a parallel result against the serial reference.
+VerifyResult ep_verify(const EpResult& got, const EpConfig& config);
+
+}  // namespace npb

@@ -1,0 +1,309 @@
+#include "npb/ft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/api.hpp"
+#include "minimpi/runtime.hpp"
+#include "npb/nas_rng.hpp"
+
+namespace npb {
+namespace {
+
+using Complex = std::complex<double>;
+
+constexpr double kAlpha = 1e-6;
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Frequency index shifted into [-n/2, n/2).
+int shifted(int i, int n) { return i >= n / 2 ? i - n : i; }
+
+struct Slabs {
+  // z-slab: (k_local * ny + j) * nx + i
+  std::vector<Complex> zs;
+  // x-slab: (i_local * ny + j) * nz + k
+  std::vector<Complex> xs;
+  int nzl = 0, nxl = 0;
+};
+
+void compute_initial_conditions(minimpi::Comm& comm, const FtConfig& c, Slabs* s) {
+  TEMPEST_FUNCTION();
+  const int plane = c.nx * c.ny;
+  const int z0 = comm.rank() * s->nzl;
+  std::vector<double> line(static_cast<std::size_t>(2 * plane));
+  for (int k = 0; k < s->nzl; ++k) {
+    // Jump the global stream to this plane so the field is identical
+    // for any rank count (NAS's per-plane seed computation).
+    double seed = seed_after(kNasSeed, kNasMult,
+                             static_cast<std::uint64_t>(2 * (z0 + k)) *
+                                 static_cast<std::uint64_t>(plane));
+    vranlc(2 * plane, &seed, kNasMult, line.data());
+    for (int p = 0; p < plane; ++p) {
+      s->zs[static_cast<std::size_t>(k * plane + p)] =
+          Complex(line[static_cast<std::size_t>(2 * p)],
+                  line[static_cast<std::size_t>(2 * p + 1)]);
+    }
+  }
+}
+
+/// FFT along x for every (k_local, j) row of the z-slab.
+void cffts1(const FtConfig& c, Slabs* s, int sign) {
+  TEMPEST_FUNCTION();
+  for (int k = 0; k < s->nzl; ++k) {
+    for (int j = 0; j < c.ny; ++j) {
+      fft1d(&s->zs[static_cast<std::size_t>((k * c.ny + j) * c.nx)], c.nx, sign);
+    }
+  }
+}
+
+/// FFT along y for every (k_local, i) column of the z-slab.
+void cffts2(const FtConfig& c, Slabs* s, int sign) {
+  TEMPEST_FUNCTION();
+  std::vector<Complex> line(static_cast<std::size_t>(c.ny));
+  for (int k = 0; k < s->nzl; ++k) {
+    for (int i = 0; i < c.nx; ++i) {
+      for (int j = 0; j < c.ny; ++j) {
+        line[static_cast<std::size_t>(j)] =
+            s->zs[static_cast<std::size_t>((k * c.ny + j) * c.nx + i)];
+      }
+      fft1d(line.data(), c.ny, sign);
+      for (int j = 0; j < c.ny; ++j) {
+        s->zs[static_cast<std::size_t>((k * c.ny + j) * c.nx + i)] =
+            line[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+
+/// FFT along z for every (i_local, j) pencil of the x-slab.
+void cffts3(const FtConfig& c, Slabs* s, int sign) {
+  TEMPEST_FUNCTION();
+  for (int i = 0; i < s->nxl; ++i) {
+    for (int j = 0; j < c.ny; ++j) {
+      fft1d(&s->xs[static_cast<std::size_t>((i * c.ny + j) * c.nz)], c.nz, sign);
+    }
+  }
+}
+
+/// Global transpose between slab orientations. Forward moves z-slab
+/// data into the x-slab (each rank keeps its x-range of every plane);
+/// reverse inverts it. This is FT's all-to-all.
+void transpose(minimpi::Comm& comm, const FtConfig& c, Slabs* s, bool forward) {
+  TEMPEST_FUNCTION();
+  const int np = comm.size();
+  const std::size_t block =
+      static_cast<std::size_t>(s->nzl) * static_cast<std::size_t>(c.ny) *
+      static_cast<std::size_t>(s->nxl);
+  std::vector<Complex> sendbuf(block * static_cast<std::size_t>(np));
+  std::vector<Complex> recvbuf(block * static_cast<std::size_t>(np));
+
+  if (forward) {
+    for (int r = 0; r < np; ++r) {
+      Complex* dst = &sendbuf[block * static_cast<std::size_t>(r)];
+      const int i0 = r * s->nxl;
+      std::size_t p = 0;
+      for (int k = 0; k < s->nzl; ++k) {
+        for (int j = 0; j < c.ny; ++j) {
+          for (int i = 0; i < s->nxl; ++i) {
+            dst[p++] = s->zs[static_cast<std::size_t>((k * c.ny + j) * c.nx + i0 + i)];
+          }
+        }
+      }
+    }
+    comm.alltoall(sendbuf.data(), recvbuf.data(), block);
+    for (int r = 0; r < np; ++r) {
+      const Complex* src = &recvbuf[block * static_cast<std::size_t>(r)];
+      const int k0 = r * s->nzl;
+      std::size_t p = 0;
+      for (int k = 0; k < s->nzl; ++k) {
+        for (int j = 0; j < c.ny; ++j) {
+          for (int i = 0; i < s->nxl; ++i) {
+            s->xs[static_cast<std::size_t>((i * c.ny + j) * c.nz + k0 + k)] = src[p++];
+          }
+        }
+      }
+    }
+  } else {
+    for (int r = 0; r < np; ++r) {
+      Complex* dst = &sendbuf[block * static_cast<std::size_t>(r)];
+      const int k0 = r * s->nzl;
+      std::size_t p = 0;
+      for (int k = 0; k < s->nzl; ++k) {
+        for (int j = 0; j < c.ny; ++j) {
+          for (int i = 0; i < s->nxl; ++i) {
+            dst[p++] = s->xs[static_cast<std::size_t>((i * c.ny + j) * c.nz + k0 + k)];
+          }
+        }
+      }
+    }
+    comm.alltoall(sendbuf.data(), recvbuf.data(), block);
+    for (int r = 0; r < np; ++r) {
+      const Complex* src = &recvbuf[block * static_cast<std::size_t>(r)];
+      const int i0 = r * s->nxl;
+      std::size_t p = 0;
+      for (int k = 0; k < s->nzl; ++k) {
+        for (int j = 0; j < c.ny; ++j) {
+          for (int i = 0; i < s->nxl; ++i) {
+            s->zs[static_cast<std::size_t>((k * c.ny + j) * c.nx + i0 + i)] = src[p++];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// One step of spectral decay: u *= exp(-4 a pi^2 |kbar|^2).
+void evolve(minimpi::Comm& comm, const FtConfig& c, Slabs* s) {
+  TEMPEST_FUNCTION();
+  const int i0 = comm.rank() * s->nxl;
+  const double coeff = -4.0 * kAlpha * std::numbers::pi * std::numbers::pi;
+  for (int i = 0; i < s->nxl; ++i) {
+    const double ii = shifted(i0 + i, c.nx);
+    for (int j = 0; j < c.ny; ++j) {
+      const double jj = shifted(j, c.ny);
+      for (int k = 0; k < c.nz; ++k) {
+        const double kk = shifted(k, c.nz);
+        const double decay = std::exp(coeff * (ii * ii + jj * jj + kk * kk));
+        s->xs[static_cast<std::size_t>((i * c.ny + j) * c.nz + k)] *= decay;
+      }
+    }
+  }
+}
+
+Complex checksum(minimpi::Comm& comm, const FtConfig& c, const Slabs& s) {
+  TEMPEST_FUNCTION();
+  const int z0 = comm.rank() * s.nzl;
+  Complex local(0.0, 0.0);
+  for (int j = 1; j <= 1024; ++j) {
+    const int q = (5 * j) % c.nx;
+    const int r = (3 * j) % c.ny;
+    const int sidx = j % c.nz;
+    if (sidx < z0 || sidx >= z0 + s.nzl) continue;
+    local += s.zs[static_cast<std::size_t>(((sidx - z0) * c.ny + r) * c.nx + q)];
+  }
+  double parts[2] = {local.real(), local.imag()};
+  comm.allreduce_sum_inplace(parts, 2);
+  return Complex(parts[0], parts[1]);
+}
+
+}  // namespace
+
+void fft1d(Complex* data, int n, int sign) {
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / len;
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (int i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (int j = 0; j < len / 2; ++j) {
+        const Complex u = data[i + j];
+        const Complex v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+FtConfig FtConfig::for_class(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::S: return {32, 32, 32, 6};
+    case ProblemClass::W: return {64, 64, 32, 6};
+    case ProblemClass::A: return {64, 64, 64, 8};
+  }
+  return {};
+}
+
+FtResult ft_run(minimpi::Comm& comm, const FtConfig& config) {
+  TEMPEST_FUNCTION();
+  if (!is_pow2(config.nx) || !is_pow2(config.ny) || !is_pow2(config.nz)) {
+    throw std::invalid_argument("FT: grid dimensions must be powers of two");
+  }
+  if (config.nx % comm.size() != 0 || config.nz % comm.size() != 0) {
+    throw std::invalid_argument("FT: rank count must divide nx and nz");
+  }
+  const double t0 = comm.wtime();
+  Slabs s;
+  s.nzl = config.nz / comm.size();
+  s.nxl = config.nx / comm.size();
+  s.zs.resize(static_cast<std::size_t>(s.nzl) * config.ny * config.nx);
+  s.xs.resize(static_cast<std::size_t>(s.nxl) * config.ny * config.nz);
+
+  compute_initial_conditions(comm, config, &s);
+
+  // Forward 3-D FFT into the frequency domain (x-slab layout).
+  {
+    StretchScope stretch(comm);
+    cffts1(config, &s, -1);
+    cffts2(config, &s, -1);
+  }
+  transpose(comm, config, &s, true);
+  {
+    StretchScope stretch(comm);
+    cffts3(config, &s, -1);
+  }
+
+  FtResult result;
+  const double norm = 1.0 / (static_cast<double>(config.nx) * config.ny * config.nz);
+  for (int iter = 0; iter < config.niter; ++iter) {
+    {
+      StretchScope stretch(comm);
+      evolve(comm, config, &s);
+    }
+    // Inverse FFT into physical space on a working copy of the slabs.
+    Slabs w = s;
+    {
+      StretchScope stretch(comm);
+      cffts3(config, &w, +1);
+    }
+    transpose(comm, config, &w, false);
+    {
+      StretchScope stretch(comm);
+      cffts2(config, &w, +1);
+      cffts1(config, &w, +1);
+      for (auto& v : w.zs) v *= norm;
+    }
+    result.checksums.push_back(checksum(comm, config, w));
+  }
+  result.elapsed_s = comm.wtime() - t0;
+  return result;
+}
+
+FtResult ft_serial(const FtConfig& config) {
+  FtResult result;
+  minimpi::run(1, [&](minimpi::Comm& comm) { result = ft_run(comm, config); });
+  return result;
+}
+
+VerifyResult ft_verify(const FtResult& got, const FtConfig& config) {
+  const FtResult want = ft_serial(config);
+  VerifyResult v;
+  v.passed = got.checksums.size() == want.checksums.size();
+  std::ostringstream detail;
+  for (std::size_t i = 0; v.passed && i < got.checksums.size(); ++i) {
+    v.passed = close_rel(got.checksums[i].real(), want.checksums[i].real(), 1e-9) &&
+               close_rel(got.checksums[i].imag(), want.checksums[i].imag(), 1e-9);
+  }
+  if (!got.checksums.empty()) {
+    detail << "final checksum " << got.checksums.back().real() << "+"
+           << got.checksums.back().imag() << "i";
+    if (!v.passed && !want.checksums.empty()) {
+      detail << " (serial " << want.checksums.back().real() << "+"
+             << want.checksums.back().imag() << "i)";
+    }
+  }
+  v.detail = detail.str();
+  return v;
+}
+
+}  // namespace npb

@@ -1,0 +1,39 @@
+// FT: the NAS 3-D FFT benchmark (scaled).
+//
+// Solves the model PDE spectrally: random initial state, one forward
+// 3-D FFT, then per iteration an evolve (multiply by Gaussian decay
+// factors in frequency space), an inverse 3-D FFT, and a checksum over
+// a fixed index stride. The grid is slab-decomposed: x/y line FFTs are
+// local to a z-slab; the z-direction FFT requires the global transpose
+// — the all-to-all that makes FT the paper's example of a
+// communication-bound (and therefore cool-running) code.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "npb/support.hpp"
+
+namespace npb {
+
+struct FtConfig {
+  int nx = 32, ny = 32, nz = 32;  ///< powers of two; np must divide nx and nz
+  int niter = 6;
+  static FtConfig for_class(ProblemClass c);
+};
+
+struct FtResult {
+  std::vector<std::complex<double>> checksums;  ///< one per iteration
+  double elapsed_s = 0.0;
+};
+
+FtResult ft_run(minimpi::Comm& comm, const FtConfig& config);
+FtResult ft_serial(const FtConfig& config);
+VerifyResult ft_verify(const FtResult& got, const FtConfig& config);
+
+/// In-place radix-2 complex FFT; `sign` -1 forward / +1 inverse (no
+/// normalisation; FT's evolve/checksum account for scale as NAS does).
+void fft1d(std::complex<double>* data, int n, int sign);
+
+}  // namespace npb

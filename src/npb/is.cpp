@@ -1,0 +1,160 @@
+#include "npb/is.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <sstream>
+
+#include "core/api.hpp"
+#include "minimpi/runtime.hpp"
+#include "npb/nas_rng.hpp"
+
+namespace npb {
+namespace {
+
+/// NAS IS key generation: each key averages four LCG draws, giving the
+/// reference code's centre-heavy distribution. Rank-independent: key k
+/// of the global sequence uses draws 4k..4k+3.
+std::vector<int> create_keys(std::int64_t first, std::int64_t count, int max_key) {
+  TEMPEST_FUNCTION();
+  std::vector<int> keys;
+  keys.reserve(static_cast<std::size_t>(count));
+  double seed = seed_after(kNasSeed, kNasMult, static_cast<std::uint64_t>(4 * first));
+  for (std::int64_t i = 0; i < count; ++i) {
+    double acc = 0.0;
+    for (int d = 0; d < 4; ++d) acc += randlc(&seed, kNasMult);
+    keys.push_back(static_cast<int>(acc * 0.25 * max_key));
+  }
+  return keys;
+}
+
+/// Histogram keys into `np` contiguous key-range buckets.
+std::vector<std::size_t> bucket_counts(const std::vector<int>& keys, int max_key,
+                                       int np) {
+  TEMPEST_FUNCTION();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(np), 0);
+  const int per_bucket = (max_key + np - 1) / np;
+  for (int k : keys) {
+    ++counts[static_cast<std::size_t>(std::min(k / per_bucket, np - 1))];
+  }
+  return counts;
+}
+
+/// Counting sort of the received keys (the rank's key sub-range).
+void local_sort(std::vector<int>* keys, int max_key) {
+  TEMPEST_FUNCTION();
+  std::vector<std::uint32_t> histogram(static_cast<std::size_t>(max_key), 0);
+  for (int k : *keys) ++histogram[static_cast<std::size_t>(k)];
+  std::size_t out = 0;
+  for (int value = 0; value < max_key; ++value) {
+    for (std::uint32_t c = 0; c < histogram[static_cast<std::size_t>(value)]; ++c) {
+      (*keys)[out++] = value;
+    }
+  }
+}
+
+}  // namespace
+
+IsConfig IsConfig::for_class(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::S: return {14, 13, 8};
+    case ProblemClass::W: return {16, 16, 10};
+    case ProblemClass::A: return {19, 19, 10};
+  }
+  return {};
+}
+
+IsResult is_run(minimpi::Comm& comm, const IsConfig& config) {
+  TEMPEST_FUNCTION();
+  const double t0 = comm.wtime();
+  const int np = comm.size();
+  const std::int64_t total = 1LL << config.log2_keys;
+  if (total % np != 0) throw std::invalid_argument("IS: ranks must divide key count");
+  const std::int64_t per_rank = total / np;
+  const int max_key = 1 << config.log2_max_key;
+  const int per_bucket = (max_key + np - 1) / np;
+
+  IsResult result;
+  std::vector<int> final_keys;
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    StretchScope stretch(comm);
+    // NAS perturbs the sequence each iteration; we shift the stream.
+    const std::int64_t first =
+        per_rank * comm.rank() + static_cast<std::int64_t>(iter) * total;
+    std::vector<int> keys = create_keys(first, per_rank, max_key);
+
+    // Rank-local bucketing, then the redistribution counts exchange.
+    const std::vector<std::size_t> send_counts = bucket_counts(keys, max_key, np);
+    std::vector<std::size_t> recv_counts(static_cast<std::size_t>(np));
+    comm.alltoall(send_counts.data(), recv_counts.data(), 1);
+
+    // Pack keys in destination order.
+    std::vector<int> packed(keys.size());
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(np), 0);
+    for (int r = 1; r < np; ++r) {
+      offsets[static_cast<std::size_t>(r)] =
+          offsets[static_cast<std::size_t>(r - 1)] +
+          send_counts[static_cast<std::size_t>(r - 1)];
+    }
+    for (int k : keys) {
+      const auto dest = static_cast<std::size_t>(std::min(k / per_bucket, np - 1));
+      packed[offsets[dest]++] = k;
+    }
+
+    std::size_t total_recv = 0;
+    for (std::size_t c : recv_counts) total_recv += c;
+    std::vector<int> mine(total_recv);
+    comm.alltoallv(packed.data(), send_counts.data(), mine.data(), recv_counts.data());
+
+    local_sort(&mine, max_key);
+    result.globally_sorted &= std::is_sorted(mine.begin(), mine.end());
+    if (iter == config.iterations - 1) final_keys = std::move(mine);
+  }
+
+  // Global sortedness: each rank's range must sit entirely below the
+  // next rank's (exchange per-rank min/max).
+  double bounds[2] = {final_keys.empty() ? 1e300 : final_keys.front(),
+                      final_keys.empty() ? -1e300 : final_keys.back()};
+  std::vector<double> all_bounds(static_cast<std::size_t>(2 * np));
+  comm.allgather(bounds, all_bounds.data(), 2);
+  for (int r = 1; r < np; ++r) {
+    const double prev_max = all_bounds[static_cast<std::size_t>(2 * (r - 1) + 1)];
+    const double next_min = all_bounds[static_cast<std::size_t>(2 * r)];
+    if (prev_max > next_min) result.globally_sorted = false;
+  }
+
+  // Partition-independent content checks: key population is preserved
+  // bit-for-bit regardless of rank count.
+  double sums[3] = {0.0, 0.0, static_cast<double>(final_keys.size())};
+  for (int k : final_keys) {
+    sums[0] += k;
+    sums[1] += static_cast<double>(k) * k;
+  }
+  comm.allreduce_sum_inplace(sums, 3);
+  result.key_sum = sums[0];
+  result.key_sq_sum = sums[1];
+  result.total_keys = static_cast<std::int64_t>(sums[2]);
+  result.elapsed_s = comm.wtime() - t0;
+  return result;
+}
+
+IsResult is_serial(const IsConfig& config) {
+  IsResult result;
+  minimpi::run(1, [&](minimpi::Comm& comm) { result = is_run(comm, config); });
+  return result;
+}
+
+VerifyResult is_verify(const IsResult& got, const IsConfig& config) {
+  const IsResult want = is_serial(config);
+  VerifyResult v;
+  std::ostringstream detail;
+  v.passed = got.globally_sorted && got.total_keys == want.total_keys &&
+             got.key_sum == want.key_sum && got.key_sq_sum == want.key_sq_sum;
+  detail << "total " << got.total_keys << " (want " << want.total_keys
+         << "), sum " << got.key_sum << " (want " << want.key_sum
+         << "), sorted " << got.globally_sorted;
+  v.detail = detail.str();
+  return v;
+}
+
+}  // namespace npb

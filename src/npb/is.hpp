@@ -1,0 +1,39 @@
+// IS: the NAS integer-sort benchmark (scaled).
+//
+// Sorts N uniformly-distributed integer keys per iteration with the
+// reference algorithm: per-rank key generation from the NAS LCG
+// (Gaussian-ish via averaged draws, as in the reference code), local
+// bucketing by key range, an alltoall of bucket sizes followed by the
+// alltoallv key redistribution, then a local counting sort. IS is the
+// suite's memory- and communication-bound member — thermally the
+// coolest of the codes Tempest profiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "npb/support.hpp"
+
+namespace npb {
+
+struct IsConfig {
+  int log2_keys = 16;     ///< total keys per iteration (split across ranks)
+  int log2_max_key = 16;  ///< keys uniform-ish in [0, 2^log2_max_key)
+  int iterations = 10;    ///< rank count must divide 2^log2_keys
+  static IsConfig for_class(ProblemClass c);
+};
+
+struct IsResult {
+  double key_sum = 0.0;      ///< sum of all keys after the final sort
+  double key_sq_sum = 0.0;   ///< sum of squared keys (partition-independent)
+  std::int64_t total_keys = 0;
+  bool globally_sorted = true;  ///< per-rank sorted + rank ranges ascending
+  double elapsed_s = 0.0;
+};
+
+IsResult is_run(minimpi::Comm& comm, const IsConfig& config);
+IsResult is_serial(const IsConfig& config);
+VerifyResult is_verify(const IsResult& got, const IsConfig& config);
+
+}  // namespace npb

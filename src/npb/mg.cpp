@@ -1,0 +1,337 @@
+#include "npb/mg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/api.hpp"
+#include "minimpi/runtime.hpp"
+#include "npb/nas_rng.hpp"
+
+namespace npb {
+namespace {
+
+constexpr int kZTagDown = 201;
+constexpr int kZTagUp = 202;
+
+// NAS MG stencil coefficients by neighbour class (centre, face, edge,
+// corner): A is the Poisson-like operator, S the smoother.
+constexpr double kA[4] = {-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0};
+constexpr double kS[4] = {-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0};
+
+/// One grid level, z-decomposed, with one ghost shell on every side
+/// (x/y ghosts are periodic wraps handled locally; z ghosts cross
+/// ranks).
+struct Level {
+  int n = 0;    ///< global edge length
+  int nzl = 0;  ///< owned z planes
+  std::vector<double> u, v, r;
+
+  std::size_t idx(int i, int j, int k) const {
+    return ((static_cast<std::size_t>(k + 1) * (n + 2)) + (j + 1)) *
+               static_cast<std::size_t>(n + 2) +
+           static_cast<std::size_t>(i + 1);
+  }
+  std::size_t cells() const {
+    return static_cast<std::size_t>(nzl + 2) * (n + 2) * (n + 2);
+  }
+};
+
+struct MgState {
+  MgConfig c;
+  int np = 1, rank = 0;
+  std::vector<Level> levels;  ///< [0] finest
+};
+
+/// Ghost exchange on one field of a level: periodic x/y locally,
+/// periodic z via neighbour ranks (self-wrap when np == 1).
+void comm3(minimpi::Comm& comm, Level* lv, std::vector<double>* field) {
+  TEMPEST_FUNCTION();
+  const int n = lv->n;
+  auto& f = *field;
+  // x wrap (local: x is not decomposed).
+  for (int k = 0; k < lv->nzl; ++k) {
+    for (int j = 0; j < n; ++j) {
+      f[lv->idx(-1, j, k)] = f[lv->idx(n - 1, j, k)];
+      f[lv->idx(n, j, k)] = f[lv->idx(0, j, k)];
+    }
+  }
+  // y wrap, including x ghosts just filled.
+  for (int k = 0; k < lv->nzl; ++k) {
+    for (int i = -1; i <= n; ++i) {
+      f[lv->idx(i, -1, k)] = f[lv->idx(i, n - 1, k)];
+      f[lv->idx(i, n, k)] = f[lv->idx(i, 0, k)];
+    }
+  }
+  // z exchange across ranks (periodic ring).
+  const int np = comm.size();
+  const std::size_t plane = static_cast<std::size_t>(n + 2) * (n + 2);
+  const int up = (comm.rank() + 1) % np;
+  const int down = (comm.rank() + np - 1) % np;
+  if (np == 1) {
+    std::copy_n(&f[lv->idx(-1, -1, lv->nzl - 1)], plane, &f[lv->idx(-1, -1, -1)]);
+    std::copy_n(&f[lv->idx(-1, -1, 0)], plane, &f[lv->idx(-1, -1, lv->nzl)]);
+    return;
+  }
+  std::vector<double> buf(plane);
+  comm.send(up, kZTagUp, &f[lv->idx(-1, -1, lv->nzl - 1)], plane * sizeof(double));
+  comm.recv(down, kZTagUp, buf.data(), plane * sizeof(double));
+  std::copy(buf.begin(), buf.end(), f.begin() + static_cast<std::ptrdiff_t>(lv->idx(-1, -1, -1)));
+  comm.send(down, kZTagDown, &f[lv->idx(-1, -1, 0)], plane * sizeof(double));
+  comm.recv(up, kZTagDown, buf.data(), plane * sizeof(double));
+  std::copy(buf.begin(), buf.end(), f.begin() + static_cast<std::ptrdiff_t>(lv->idx(-1, -1, lv->nzl)));
+}
+
+/// Apply a 27-point class stencil: out = in2 - stencil(in1) when
+/// `residual`, else out += stencil(in1) (smoother update).
+template <bool kResidual>
+void apply_stencil(const double coeff[4], Level* lv, const std::vector<double>& in1,
+                   const std::vector<double>* in2, std::vector<double>* out) {
+  const int n = lv->n;
+  for (int k = 0; k < lv->nzl; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        double face = 0.0, edge = 0.0, corner = 0.0;
+        for (int dk = -1; dk <= 1; ++dk) {
+          for (int dj = -1; dj <= 1; ++dj) {
+            for (int di = -1; di <= 1; ++di) {
+              const int cls = std::abs(di) + std::abs(dj) + std::abs(dk);
+              if (cls == 0) continue;
+              const double val = in1[lv->idx(i + di, j + dj, k + dk)];
+              if (cls == 1) {
+                face += val;
+              } else if (cls == 2) {
+                edge += val;
+              } else {
+                corner += val;
+              }
+            }
+          }
+        }
+        const double stencil = coeff[0] * in1[lv->idx(i, j, k)] + coeff[1] * face +
+                               coeff[2] * edge + coeff[3] * corner;
+        if constexpr (kResidual) {
+          (*out)[lv->idx(i, j, k)] = (*in2)[lv->idx(i, j, k)] - stencil;
+        } else {
+          (*out)[lv->idx(i, j, k)] += stencil;
+        }
+      }
+    }
+  }
+}
+
+/// r = v - A u
+void resid(minimpi::Comm& comm, Level* lv) {
+  TEMPEST_FUNCTION();
+  comm3(comm, lv, &lv->u);
+  apply_stencil<true>(kA, lv, lv->u, &lv->v, &lv->r);
+  comm3(comm, lv, &lv->r);
+}
+
+/// u += S r  (one smoothing application)
+void psinv(minimpi::Comm& comm, Level* lv) {
+  TEMPEST_FUNCTION();
+  comm3(comm, lv, &lv->r);
+  apply_stencil<false>(kS, lv, lv->r, nullptr, &lv->u);
+  comm3(comm, lv, &lv->u);
+}
+
+/// Full-weighting restriction of the fine residual to the coarse v.
+void rprj3(minimpi::Comm& comm, Level* fine, Level* coarse) {
+  TEMPEST_FUNCTION();
+  comm3(comm, fine, &fine->r);
+  const int nc = coarse->n;
+  // Weights by distance class from the coarse point (NAS full weighting).
+  const double w[4] = {1.0 / 2.0, 1.0 / 4.0, 1.0 / 8.0, 1.0 / 16.0};
+  for (int k = 0; k < coarse->nzl; ++k) {
+    for (int j = 0; j < nc; ++j) {
+      for (int i = 0; i < nc; ++i) {
+        double acc = 0.0;
+        for (int dk = -1; dk <= 1; ++dk) {
+          for (int dj = -1; dj <= 1; ++dj) {
+            for (int di = -1; di <= 1; ++di) {
+              const int cls = std::abs(di) + std::abs(dj) + std::abs(dk);
+              acc += w[cls] * fine->r[fine->idx(2 * i + di, 2 * j + dj, 2 * k + dk)];
+            }
+          }
+        }
+        coarse->v[coarse->idx(i, j, k)] = acc;
+      }
+    }
+  }
+}
+
+/// Trilinear prolongation: u_fine += P(u_coarse).
+void interp(minimpi::Comm& comm, Level* coarse, Level* fine) {
+  TEMPEST_FUNCTION();
+  comm3(comm, coarse, &coarse->u);
+  const int nc = coarse->n;
+  for (int k = 0; k < coarse->nzl; ++k) {
+    for (int j = 0; j < nc; ++j) {
+      for (int i = 0; i < nc; ++i) {
+        // Each coarse cell contributes to the 2x2x2 fine cells whose
+        // trilinear weights reference it and its +1 neighbours.
+        for (int dk = 0; dk <= 1; ++dk) {
+          for (int dj = 0; dj <= 1; ++dj) {
+            for (int di = 0; di <= 1; ++di) {
+              double acc = 0.0;
+              for (int ck = 0; ck <= dk; ++ck) {
+                for (int cj = 0; cj <= dj; ++cj) {
+                  for (int ci = 0; ci <= di; ++ci) {
+                    acc += coarse->u[coarse->idx(i + ci, j + cj, k + ck)];
+                  }
+                }
+              }
+              const double weight =
+                  1.0 / ((di + 1.0) * (dj + 1.0) * (dk + 1.0));
+              fine->u[fine->idx(2 * i + di, 2 * j + dj, 2 * k + dk)] += weight * acc;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Global L2 norm of the residual.
+double norm2u3(minimpi::Comm& comm, const Level& lv) {
+  TEMPEST_FUNCTION();
+  double acc = 0.0;
+  for (int k = 0; k < lv.nzl; ++k) {
+    for (int j = 0; j < lv.n; ++j) {
+      for (int i = 0; i < lv.n; ++i) {
+        const double v = lv.r[lv.idx(i, j, k)];
+        acc += v * v;
+      }
+    }
+  }
+  comm.allreduce_sum_inplace(&acc, 1);
+  const double total = static_cast<double>(lv.n) * lv.n * lv.n;
+  return std::sqrt(acc / total);
+}
+
+/// One V-cycle.
+void mg3p(minimpi::Comm& comm, MgState* st) {
+  TEMPEST_FUNCTION();
+  auto& levels = st->levels;
+  const std::size_t depth = levels.size();
+  // Down: restrict residuals to the coarsest level.
+  for (std::size_t l = 0; l + 1 < depth; ++l) {
+    rprj3(comm, &levels[l], &levels[l + 1]);
+    if (l + 1 < depth - 1) {
+      // Residual on the coarser level starts as v (zero initial guess).
+      levels[l + 1].u.assign(levels[l + 1].cells(), 0.0);
+      levels[l + 1].r = levels[l + 1].v;
+    }
+  }
+  // Coarsest: smooth from a zero guess.
+  Level& coarsest = levels[depth - 1];
+  coarsest.u.assign(coarsest.cells(), 0.0);
+  coarsest.r = coarsest.v;
+  psinv(comm, &coarsest);
+  // Up: interpolate the correction and post-smooth.
+  for (std::size_t l = depth - 1; l-- > 0;) {
+    if (l > 0) {
+      levels[l].u.assign(levels[l].cells(), 0.0);
+    }
+    interp(comm, &levels[l + 1], &levels[l]);
+    resid(comm, &levels[l]);
+    psinv(comm, &levels[l]);
+  }
+}
+
+/// NAS-style charge placement: 10 cells at +1 and 10 at -1, chosen from
+/// the NAS LCG stream, identical for every rank count.
+void zero3_and_zran3(MgState* st, minimpi::Comm& comm) {
+  TEMPEST_FUNCTION();
+  Level& top = st->levels[0];
+  top.v.assign(top.cells(), 0.0);
+  const int n = top.n;
+  const int z0 = comm.rank() * top.nzl;
+  double seed = kNasSeed;
+  for (int q = 0; q < 20; ++q) {
+    const int i = static_cast<int>(randlc(&seed, kNasMult) * n);
+    const int j = static_cast<int>(randlc(&seed, kNasMult) * n);
+    const int k = static_cast<int>(randlc(&seed, kNasMult) * n);
+    if (k >= z0 && k < z0 + top.nzl) {
+      top.v[top.idx(i, j, k - z0)] = (q < 10) ? -1.0 : 1.0;
+    }
+  }
+}
+
+}  // namespace
+
+MgConfig MgConfig::for_class(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::S: return {16, 4, 2};
+    case ProblemClass::W: return {32, 4, 3};
+    case ProblemClass::A: return {64, 4, 4};
+  }
+  return {};
+}
+
+MgResult mg_run(minimpi::Comm& comm, const MgConfig& config) {
+  TEMPEST_FUNCTION();
+  if (config.n % comm.size() != 0) {
+    throw std::invalid_argument("MG: rank count must divide n");
+  }
+  const int coarsest_nzl = (config.n >> (config.nlevels - 1)) / comm.size();
+  if (coarsest_nzl < 1) {
+    throw std::invalid_argument("MG: too many levels for this rank count");
+  }
+  const double t0 = comm.wtime();
+
+  MgState st;
+  st.c = config;
+  st.np = comm.size();
+  st.rank = comm.rank();
+  for (int l = 0; l < config.nlevels; ++l) {
+    Level lv;
+    lv.n = config.n >> l;
+    lv.nzl = lv.n / comm.size();
+    lv.u.assign(lv.cells(), 0.0);
+    lv.v.assign(lv.cells(), 0.0);
+    lv.r.assign(lv.cells(), 0.0);
+    st.levels.push_back(std::move(lv));
+  }
+
+  zero3_and_zran3(&st, comm);
+  resid(comm, &st.levels[0]);
+
+  MgResult result;
+  for (int it = 0; it < config.niter; ++it) {
+    StretchScope stretch(comm);
+    mg3p(comm, &st);
+    resid(comm, &st.levels[0]);
+    result.rnorms.push_back(norm2u3(comm, st.levels[0]));
+  }
+  result.elapsed_s = comm.wtime() - t0;
+  return result;
+}
+
+MgResult mg_serial(const MgConfig& config) {
+  MgResult result;
+  minimpi::run(1, [&](minimpi::Comm& comm) { result = mg_run(comm, config); });
+  return result;
+}
+
+VerifyResult mg_verify(const MgResult& got, const MgConfig& config) {
+  const MgResult want = mg_serial(config);
+  VerifyResult v;
+  v.passed = got.rnorms.size() == want.rnorms.size();
+  for (std::size_t i = 0; v.passed && i < got.rnorms.size(); ++i) {
+    v.passed = close_rel(got.rnorms[i], want.rnorms[i], 1e-8);
+  }
+  if (v.passed && !got.rnorms.empty()) {
+    v.passed = got.rnorms.back() < got.rnorms.front();
+  }
+  std::ostringstream detail;
+  if (!got.rnorms.empty()) {
+    detail << "rnorm " << got.rnorms.front() << " -> " << got.rnorms.back();
+  }
+  v.detail = detail.str();
+  return v;
+}
+
+}  // namespace npb

@@ -1,0 +1,36 @@
+// MG: the NAS multigrid benchmark (scaled).
+//
+// V-cycle multigrid on the 3-D Poisson problem with periodic
+// boundaries, using the reference code's 27-point operator classes:
+// resid (r = v - A u), psinv (the smoother), rprj3 (full-weighting
+// restriction), interp (trilinear prolongation), norm2u3 (global
+// norms), comm3 (ghost exchange — periodic in x/y locally, across
+// ranks in the z decomposition). The nearest-neighbour z exchanges at
+// every level give MG its characteristic mixed compute/communication
+// phase pattern.
+#pragma once
+
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "npb/support.hpp"
+
+namespace npb {
+
+struct MgConfig {
+  int n = 32;       ///< finest grid edge (power of two; np must divide n)
+  int niter = 4;
+  int nlevels = 3;  ///< grid levels (coarsest keeps >= 1 plane per rank)
+  static MgConfig for_class(ProblemClass c);
+};
+
+struct MgResult {
+  std::vector<double> rnorms;  ///< residual L2 norm per iteration
+  double elapsed_s = 0.0;
+};
+
+MgResult mg_run(minimpi::Comm& comm, const MgConfig& config);
+MgResult mg_serial(const MgConfig& config);
+VerifyResult mg_verify(const MgResult& got, const MgConfig& config);
+
+}  // namespace npb

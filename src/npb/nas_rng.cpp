@@ -1,0 +1,60 @@
+#include "npb/nas_rng.hpp"
+
+namespace npb {
+namespace {
+
+constexpr double r23 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 *
+                       0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5;
+constexpr double t23 = 1.0 / r23;
+constexpr double r46 = r23 * r23;
+constexpr double t46 = t23 * t23;
+
+}  // namespace
+
+double randlc(double* x, double a) {
+  // Split a and x into high/low 23-bit halves; form the 46-bit product
+  // modulo 2^46 without ever losing precision.
+  const double t1a = r23 * a;
+  const double a1 = static_cast<double>(static_cast<long long>(t1a));
+  const double a2 = a - t23 * a1;
+
+  const double t1x = r23 * (*x);
+  const double x1 = static_cast<double>(static_cast<long long>(t1x));
+  const double x2 = *x - t23 * x1;
+
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+  const double z = t1 - t23 * t2;
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<long long>(r46 * t3));
+  *x = t3 - t46 * t4;
+  return r46 * (*x);
+}
+
+void vranlc(int n, double* x, double a, double* y) {
+  for (int i = 0; i < n; ++i) y[i] = randlc(x, a);
+}
+
+double randlc_jump(double a, std::uint64_t exponent) {
+  // Repeated squaring in the same 46-bit arithmetic: randlc(&t, t)
+  // squares t (mod 2^46); randlc(&result, t) multiplies result by t.
+  double result = 1.0;
+  double t = a;
+  while (exponent > 0) {
+    if (exponent & 1) (void)randlc(&result, t);
+    double sq = t;
+    (void)randlc(&sq, t);
+    t = sq;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+double seed_after(double seed, double a, std::uint64_t steps) {
+  const double jump = randlc_jump(a, steps);
+  double x = seed;
+  (void)randlc(&x, jump);
+  return x;
+}
+
+}  // namespace npb

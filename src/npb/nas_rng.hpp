@@ -1,0 +1,31 @@
+// The NAS Parallel Benchmarks pseudo-random number generator.
+//
+// Linear congruential x_{k+1} = a * x_k mod 2^46, evaluated in double
+// precision exactly as the reference implementation does (splitting
+// operands into 23-bit halves so no product exceeds 2^46). randlc
+// advances one step; vranlc fills a vector; randlc_jump computes
+// a^exponent mod 2^46 so each rank can leap directly to its segment of
+// the stream — the mechanism EP uses to parallelise deterministically.
+#pragma once
+
+#include <cstdint>
+
+namespace npb {
+
+inline constexpr double kNasSeed = 314159265.0;
+inline constexpr double kNasMult = 1220703125.0;
+
+/// Advance *x one LCG step with multiplier a; returns x / 2^46 in (0,1).
+double randlc(double* x, double a);
+
+/// Fill y[0..n) with successive uniforms, advancing *x n steps.
+void vranlc(int n, double* x, double a, double* y);
+
+/// a^exponent mod 2^46 (as a double-coded 46-bit integer), by repeated
+/// squaring through randlc. exponent >= 0.
+double randlc_jump(double a, std::uint64_t exponent);
+
+/// Seed after `steps` LCG steps from `seed` with multiplier `a`.
+double seed_after(double seed, double a, std::uint64_t steps);
+
+}  // namespace npb

@@ -1,0 +1,446 @@
+#include "npb/sp.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/api.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace npb {
+
+PentaSolver::PentaSolver(int n, double a0, double a1, double a2)
+    : n_(n), a1_(a1), a2_(a2) {
+  if (n < 3) throw std::invalid_argument("pentadiagonal system needs n >= 3");
+  std::vector<double> sub2(static_cast<std::size_t>(n), a2);
+  std::vector<double> sub1(static_cast<std::size_t>(n), a1);
+  d_.assign(static_cast<std::size_t>(n), a0);
+  u1_.assign(static_cast<std::size_t>(n), a1);
+  u2_.assign(static_cast<std::size_t>(n), a2);
+  l1_.assign(static_cast<std::size_t>(n), 0.0);
+  l2_.assign(static_cast<std::size_t>(n), 0.0);
+  sub2[0] = sub2[1] = sub1[0] = 0.0;
+  u1_[static_cast<std::size_t>(n - 1)] = 0.0;
+  u2_[static_cast<std::size_t>(n - 1)] = 0.0;
+  if (n >= 2) u2_[static_cast<std::size_t>(n - 2)] = 0.0;
+
+  // Banded Doolittle elimination, bandwidth 2, no pivoting (the ADI
+  // factors are strictly diagonally dominant).
+  for (int i = 0; i < n; ++i) {
+    const double piv = d_[static_cast<std::size_t>(i)];
+    if (i + 1 < n) {
+      const double f = sub1[static_cast<std::size_t>(i + 1)] / piv;
+      l1_[static_cast<std::size_t>(i + 1)] = f;
+      d_[static_cast<std::size_t>(i + 1)] -= f * u1_[static_cast<std::size_t>(i)];
+      u1_[static_cast<std::size_t>(i + 1)] -= f * u2_[static_cast<std::size_t>(i)];
+    }
+    if (i + 2 < n) {
+      const double f2 = sub2[static_cast<std::size_t>(i + 2)] / piv;
+      l2_[static_cast<std::size_t>(i + 2)] = f2;
+      sub1[static_cast<std::size_t>(i + 2)] -= f2 * u1_[static_cast<std::size_t>(i)];
+      d_[static_cast<std::size_t>(i + 2)] -= f2 * u2_[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void PentaSolver::solve(double* x, int stride) const {
+  auto at = [&](int i) -> double& { return x[i * stride]; };
+  // Forward: y = L^-1 b.
+  for (int i = 1; i < n_; ++i) {
+    double v = at(i) - l1_[static_cast<std::size_t>(i)] * at(i - 1);
+    if (i >= 2) v -= l2_[static_cast<std::size_t>(i)] * at(i - 2);
+    at(i) = v;
+  }
+  // Back: x = U^-1 y.
+  at(n_ - 1) /= d_[static_cast<std::size_t>(n_ - 1)];
+  if (n_ >= 2) {
+    at(n_ - 2) = (at(n_ - 2) - u1_[static_cast<std::size_t>(n_ - 2)] * at(n_ - 1)) /
+                 d_[static_cast<std::size_t>(n_ - 2)];
+  }
+  for (int i = n_ - 3; i >= 0; --i) {
+    at(i) = (at(i) - u1_[static_cast<std::size_t>(i)] * at(i + 1) -
+             u2_[static_cast<std::size_t>(i)] * at(i + 2)) /
+            d_[static_cast<std::size_t>(i)];
+  }
+}
+
+namespace {
+
+constexpr int kGhostUp = 301;
+constexpr int kGhostDown = 302;
+
+/// Per-component diffusivities: scalar systems, slightly different per
+/// component (the "5 independent scalar solves" character of SP).
+double kappa(int m) { return 1.0 + 0.1 * m; }
+
+struct SpGrid {
+  SpConfig c;
+  int np = 1, rank = 0, nzl = 0, z0 = 0, nyl = 0;
+  std::vector<double> u;        ///< ghosts in z: k in [-1, nzl]
+  std::vector<double> forcing;  ///< interior
+  std::vector<double> rhs;
+
+  std::size_t u_index(int i, int j, int k, int m) const {
+    return ((static_cast<std::size_t>(k + 1) * c.ny + j) * c.nx + i) * 5 +
+           static_cast<std::size_t>(m);
+  }
+  std::size_t cell(int i, int j, int k) const {
+    return ((static_cast<std::size_t>(k) * c.ny + j) * c.nx + i) * 5;
+  }
+  double& u_at(int i, int j, int k, int m) { return u[u_index(i, j, k, m)]; }
+  double u_at(int i, int j, int k, int m) const { return u[u_index(i, j, k, m)]; }
+};
+
+double exact_sp(const SpConfig& c, int i, int j, int k, int m) {
+  const double x = static_cast<double>(i) / (c.nx - 1);
+  const double y = static_cast<double>(j) / (c.ny - 1);
+  const double z = static_cast<double>(k) / (c.nz - 1);
+  return 1.0 + 0.15 * (m + 1) * std::sin(std::numbers::pi * x) *
+                   std::sin(std::numbers::pi * y) * std::sin(std::numbers::pi * z) +
+         0.04 * (2.0 * x + y + z) * (m + 1);
+}
+
+double laplacian(const SpGrid& g, int i, int j, int k, int m) {
+  const auto& c = g.c;
+  const double dx2 = 1.0 / ((c.nx - 1) * (c.nx - 1));
+  const double dy2 = 1.0 / ((c.ny - 1) * (c.ny - 1));
+  const double dz2 = 1.0 / ((c.nz - 1) * (c.nz - 1));
+  const double uc = g.u_at(i, j, k, m);
+  return kappa(m) *
+         ((g.u_at(i - 1, j, k, m) - 2 * uc + g.u_at(i + 1, j, k, m)) / dx2 +
+          (g.u_at(i, j - 1, k, m) - 2 * uc + g.u_at(i, j + 1, k, m)) / dy2 +
+          (g.u_at(i, j, k - 1, m) - 2 * uc + g.u_at(i, j, k + 1, m)) / dz2);
+}
+
+void exchange_ghosts(minimpi::Comm& comm, SpGrid* g) {
+  const auto& c = g->c;
+  const std::size_t plane = static_cast<std::size_t>(c.nx) * c.ny * 5;
+  std::vector<double> buf(plane);
+  if (g->rank + 1 < g->np) {
+    comm.send(g->rank + 1, kGhostUp, &g->u[g->u_index(0, 0, g->nzl - 1, 0)],
+              plane * sizeof(double));
+  }
+  if (g->rank > 0) {
+    comm.recv(g->rank - 1, kGhostUp, buf.data(), plane * sizeof(double));
+    std::copy(buf.begin(), buf.end(),
+              g->u.begin() + static_cast<std::ptrdiff_t>(g->u_index(0, 0, -1, 0)));
+  }
+  if (g->rank > 0) {
+    comm.send(g->rank - 1, kGhostDown, &g->u[g->u_index(0, 0, 0, 0)],
+              plane * sizeof(double));
+  }
+  if (g->rank + 1 < g->np) {
+    comm.recv(g->rank + 1, kGhostDown, buf.data(), plane * sizeof(double));
+    std::copy(buf.begin(), buf.end(),
+              g->u.begin() + static_cast<std::ptrdiff_t>(g->u_index(0, 0, g->nzl, 0)));
+  }
+}
+
+void sp_initialize(SpGrid* g) {
+  TEMPEST_FUNCTION();
+  const auto& c = g->c;
+  g->u.assign(static_cast<std::size_t>(g->nzl + 2) * c.ny * c.nx * 5, 0.0);
+  for (int k = -1; k <= g->nzl; ++k) {
+    const int kg = g->z0 + k;
+    if (kg < 0 || kg >= c.nz) continue;
+    for (int j = 0; j < c.ny; ++j) {
+      for (int i = 0; i < c.nx; ++i) {
+        const bool boundary = (i == 0 || i == c.nx - 1 || j == 0 ||
+                               j == c.ny - 1 || kg == 0 || kg == c.nz - 1);
+        for (int m = 0; m < 5; ++m) {
+          const double ue = exact_sp(c, i, j, kg, m);
+          g->u_at(i, j, k, m) = boundary ? ue : 0.85 * ue + 0.15;
+        }
+      }
+    }
+  }
+}
+
+void sp_exact_rhs(SpGrid* g) {
+  TEMPEST_FUNCTION();
+  const auto& c = g->c;
+  g->forcing.assign(static_cast<std::size_t>(g->nzl) * c.ny * c.nx * 5, 0.0);
+  SpGrid exact = *g;
+  for (int k = -1; k <= g->nzl; ++k) {
+    const int kg = g->z0 + k;
+    if (kg < 0 || kg >= c.nz) continue;
+    for (int j = 0; j < c.ny; ++j) {
+      for (int i = 0; i < c.nx; ++i) {
+        for (int m = 0; m < 5; ++m) {
+          exact.u_at(i, j, k, m) = exact_sp(c, i, j, kg, m);
+        }
+      }
+    }
+  }
+  for (int k = 0; k < g->nzl; ++k) {
+    const int kg = g->z0 + k;
+    if (kg == 0 || kg == c.nz - 1) continue;
+    for (int j = 1; j < c.ny - 1; ++j) {
+      for (int i = 1; i < c.nx - 1; ++i) {
+        for (int m = 0; m < 5; ++m) {
+          g->forcing[g->cell(i, j, k) + static_cast<std::size_t>(m)] =
+              -laplacian(exact, i, j, k, m);
+        }
+      }
+    }
+  }
+}
+
+void sp_compute_rhs(minimpi::Comm& comm, SpGrid* g) {
+  TEMPEST_FUNCTION();
+  exchange_ghosts(comm, g);
+  const auto& c = g->c;
+  g->rhs.assign(static_cast<std::size_t>(g->nzl) * c.ny * c.nx * 5, 0.0);
+  for (int k = 0; k < g->nzl; ++k) {
+    const int kg = g->z0 + k;
+    if (kg == 0 || kg == c.nz - 1) continue;
+    for (int j = 1; j < c.ny - 1; ++j) {
+      for (int i = 1; i < c.nx - 1; ++i) {
+        for (int m = 0; m < 5; ++m) {
+          g->rhs[g->cell(i, j, k) + static_cast<std::size_t>(m)] =
+              c.dt * (laplacian(g[0], i, j, k, m) +
+                      g->forcing[g->cell(i, j, k) + static_cast<std::size_t>(m)]);
+        }
+      }
+    }
+  }
+}
+
+/// Implicit factor along a direction of extent n: I + dt kappa c2 D2 +
+/// dissipation (4th difference), pentadiagonal.
+PentaSolver make_solver(const SpConfig& c, int extent, int m) {
+  const double h2 = 1.0 / ((extent - 1.0) * (extent - 1.0));
+  const double k2 = c.dt * kappa(m) / h2;
+  const double k4 = c.dissipation * k2;
+  return PentaSolver(extent - 2, 1.0 + 2.0 * k2 + 6.0 * k4, -k2 - 4.0 * k4, k4);
+}
+
+void sp_x_solve(SpGrid* g, const std::vector<PentaSolver>& solvers) {
+  TEMPEST_FUNCTION();
+  const auto& c = g->c;
+  for (int k = 0; k < g->nzl; ++k) {
+    const int kg = g->z0 + k;
+    if (kg == 0 || kg == c.nz - 1) continue;
+    for (int j = 1; j < c.ny - 1; ++j) {
+      for (int m = 0; m < 5; ++m) {
+        solvers[static_cast<std::size_t>(m)].solve(
+            &g->rhs[g->cell(1, j, k) + static_cast<std::size_t>(m)], 5);
+      }
+    }
+  }
+}
+
+void sp_y_solve(SpGrid* g, const std::vector<PentaSolver>& solvers) {
+  TEMPEST_FUNCTION();
+  const auto& c = g->c;
+  for (int k = 0; k < g->nzl; ++k) {
+    const int kg = g->z0 + k;
+    if (kg == 0 || kg == c.nz - 1) continue;
+    for (int i = 1; i < c.nx - 1; ++i) {
+      for (int m = 0; m < 5; ++m) {
+        solvers[static_cast<std::size_t>(m)].solve(
+            &g->rhs[g->cell(i, 1, k) + static_cast<std::size_t>(m)], 5 * c.nx);
+      }
+    }
+  }
+}
+
+/// z sweep via transpose: redistribute so each rank owns full-z data
+/// for a stripe of j, solve, transpose back.
+void sp_z_solve(minimpi::Comm& comm, SpGrid* g,
+                const std::vector<PentaSolver>& solvers) {
+  TEMPEST_FUNCTION();
+  const auto& c = g->c;
+  const int np = g->np;
+  const int nyl = g->nyl;
+  // block sent to rank r: all local k, r's j-stripe, all i, all m.
+  const std::size_t block = static_cast<std::size_t>(g->nzl) * nyl * c.nx * 5;
+  std::vector<double> sendbuf(block * static_cast<std::size_t>(np));
+  std::vector<double> recvbuf(block * static_cast<std::size_t>(np));
+
+  for (int r = 0; r < np; ++r) {
+    double* dst = &sendbuf[block * static_cast<std::size_t>(r)];
+    std::size_t p = 0;
+    for (int k = 0; k < g->nzl; ++k) {
+      for (int j = 0; j < nyl; ++j) {
+        const double* src = &g->rhs[g->cell(0, r * nyl + j, k)];
+        std::copy(src, src + static_cast<std::size_t>(c.nx) * 5, dst + p);
+        p += static_cast<std::size_t>(c.nx) * 5;
+      }
+    }
+  }
+  comm.alltoall(sendbuf.data(), recvbuf.data(), block);
+
+  // recvbuf from rank r holds its k-range for OUR j-stripe; assemble
+  // zbuf[j_local][nz][nx][5] and solve along k (stride nx*5).
+  std::vector<double> zbuf(static_cast<std::size_t>(nyl) * c.nz * c.nx * 5);
+  auto z_index = [&](int j, int k, int i) {
+    return ((static_cast<std::size_t>(j) * c.nz + k) * c.nx + i) * 5;
+  };
+  for (int r = 0; r < np; ++r) {
+    const double* src = &recvbuf[block * static_cast<std::size_t>(r)];
+    std::size_t p = 0;
+    for (int k = 0; k < g->nzl; ++k) {
+      for (int j = 0; j < nyl; ++j) {
+        std::copy(src + p, src + p + static_cast<std::size_t>(c.nx) * 5,
+                  &zbuf[z_index(j, r * g->nzl + k, 0)]);
+        p += static_cast<std::size_t>(c.nx) * 5;
+      }
+    }
+  }
+  for (int j = 0; j < nyl; ++j) {
+    const int jg = g->rank * nyl + j;
+    if (jg == 0 || jg == c.ny - 1) continue;
+    for (int i = 1; i < c.nx - 1; ++i) {
+      for (int m = 0; m < 5; ++m) {
+        solvers[static_cast<std::size_t>(m)].solve(
+            &zbuf[z_index(j, 1, i) + static_cast<std::size_t>(m)], 5 * c.nx);
+      }
+    }
+  }
+  // Transpose back.
+  for (int r = 0; r < np; ++r) {
+    double* dst = &sendbuf[block * static_cast<std::size_t>(r)];
+    std::size_t p = 0;
+    for (int k = 0; k < g->nzl; ++k) {
+      for (int j = 0; j < nyl; ++j) {
+        std::copy(&zbuf[z_index(j, r * g->nzl + k, 0)],
+                  &zbuf[z_index(j, r * g->nzl + k, 0)] +
+                      static_cast<std::size_t>(c.nx) * 5,
+                  dst + p);
+        p += static_cast<std::size_t>(c.nx) * 5;
+      }
+    }
+  }
+  comm.alltoall(sendbuf.data(), recvbuf.data(), block);
+  for (int r = 0; r < np; ++r) {
+    const double* src = &recvbuf[block * static_cast<std::size_t>(r)];
+    std::size_t p = 0;
+    for (int k = 0; k < g->nzl; ++k) {
+      for (int j = 0; j < nyl; ++j) {
+        double* dst = &g->rhs[g->cell(0, r * nyl + j, k)];
+        std::copy(src + p, src + p + static_cast<std::size_t>(c.nx) * 5, dst);
+        p += static_cast<std::size_t>(c.nx) * 5;
+      }
+    }
+  }
+}
+
+void sp_add(SpGrid* g) {
+  TEMPEST_FUNCTION();
+  const auto& c = g->c;
+  for (int k = 0; k < g->nzl; ++k) {
+    const int kg = g->z0 + k;
+    if (kg == 0 || kg == c.nz - 1) continue;
+    for (int j = 1; j < c.ny - 1; ++j) {
+      for (int i = 1; i < c.nx - 1; ++i) {
+        for (int m = 0; m < 5; ++m) {
+          g->u_at(i, j, k, m) +=
+              g->rhs[g->cell(i, j, k) + static_cast<std::size_t>(m)];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SpConfig SpConfig::for_class(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::S: return {12, 12, 12, 6, 0.02, 0.05};
+    case ProblemClass::W: return {16, 16, 16, 8, 0.012, 0.05};
+    case ProblemClass::A: return {28, 28, 28, 10, 0.006, 0.05};
+  }
+  return {};
+}
+
+SpResult sp_run(minimpi::Comm& comm, const SpConfig& config) {
+  TEMPEST_FUNCTION();
+  if (config.nz % comm.size() != 0 || config.ny % comm.size() != 0) {
+    throw std::invalid_argument("SP: rank count must divide ny and nz");
+  }
+  if (config.nz / comm.size() < 1) {
+    throw std::invalid_argument("SP: need >= 1 z plane per rank");
+  }
+  const double t0 = comm.wtime();
+  SpGrid g;
+  g.c = config;
+  g.np = comm.size();
+  g.rank = comm.rank();
+  g.nzl = config.nz / comm.size();
+  g.z0 = g.rank * g.nzl;
+  g.nyl = config.ny / comm.size();
+
+  std::vector<PentaSolver> sx, sy, sz;
+  for (int m = 0; m < 5; ++m) {
+    sx.push_back(make_solver(config, config.nx, m));
+    sy.push_back(make_solver(config, config.ny, m));
+    sz.push_back(make_solver(config, config.nz, m));
+  }
+
+  sp_initialize(&g);
+  sp_exact_rhs(&g);
+  comm.barrier();
+
+  SpResult result;
+  for (int it = 0; it < config.niter; ++it) {
+    StretchScope stretch(comm);
+    sp_compute_rhs(comm, &g);
+    sp_x_solve(&g, sx);
+    sp_y_solve(&g, sy);
+    sp_z_solve(comm, &g, sz);
+    sp_add(&g);
+
+    sp_compute_rhs(comm, &g);
+    double norm = 0.0;
+    for (double v : g.rhs) norm += v * v;
+    comm.allreduce_sum_inplace(&norm, 1);
+    result.rhs_norms.push_back(std::sqrt(norm));
+  }
+
+  double err = 0.0;
+  for (int k = 0; k < g.nzl; ++k) {
+    for (int j = 0; j < config.ny; ++j) {
+      for (int i = 0; i < config.nx; ++i) {
+        for (int m = 0; m < 5; ++m) {
+          const double d =
+              g.u_at(i, j, k, m) - exact_sp(config, i, j, g.z0 + k, m);
+          err += d * d;
+        }
+      }
+    }
+  }
+  comm.allreduce_sum_inplace(&err, 1);
+  result.final_error = std::sqrt(err);
+  result.elapsed_s = comm.wtime() - t0;
+  return result;
+}
+
+SpResult sp_serial(const SpConfig& config) {
+  SpResult result;
+  minimpi::run(1, [&](minimpi::Comm& comm) { result = sp_run(comm, config); });
+  return result;
+}
+
+VerifyResult sp_verify(const SpResult& got, const SpConfig& config) {
+  const SpResult want = sp_serial(config);
+  VerifyResult v;
+  v.passed = got.rhs_norms.size() == want.rhs_norms.size();
+  for (std::size_t i = 0; v.passed && i < got.rhs_norms.size(); ++i) {
+    v.passed = close_rel(got.rhs_norms[i], want.rhs_norms[i], 1e-8);
+  }
+  if (v.passed && !got.rhs_norms.empty()) {
+    v.passed = got.rhs_norms.back() < got.rhs_norms.front() &&
+               close_rel(got.final_error, want.final_error, 1e-8);
+  }
+  std::ostringstream detail;
+  if (!got.rhs_norms.empty()) {
+    detail << "rhs " << got.rhs_norms.front() << " -> " << got.rhs_norms.back()
+           << ", error " << got.final_error;
+  }
+  v.detail = detail.str();
+  return v;
+}
+
+}  // namespace npb

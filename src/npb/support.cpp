@@ -1,0 +1,41 @@
+#include "npb/support.hpp"
+
+#include <cmath>
+
+#include "common/tsc.hpp"
+
+namespace npb {
+
+const char* class_name(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::S: return "S";
+    case ProblemClass::W: return "W";
+    case ProblemClass::A: return "A";
+  }
+  return "?";
+}
+
+bool close_rel(double got, double want, double epsilon) {
+  const double denom = std::fabs(want) > 1e-300 ? std::fabs(want) : 1.0;
+  return std::fabs(got - want) / denom <= epsilon;
+}
+
+void stretch_compute(minimpi::Comm& comm, double elapsed_s) {
+  auto& placement = comm.world().placement(comm.rank());
+  if (placement.node == nullptr || elapsed_s <= 0.0) return;
+  const double speed = placement.node->speed_factor();
+  if (speed >= 0.999) return;
+  const double extra = elapsed_s * (1.0 / speed - 1.0);
+  const std::uint64_t until = tempest::rdtsc() + tempest::seconds_to_tsc(extra);
+  volatile std::uint64_t sink = 0;
+  while (tempest::rdtsc() < until) {
+    sink = sink * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+}
+
+StretchScope::StretchScope(minimpi::Comm& comm)
+    : comm_(comm), start_s_(comm.wtime()) {}
+
+StretchScope::~StretchScope() { stretch_compute(comm_, comm_.wtime() - start_s_); }
+
+}  // namespace npb

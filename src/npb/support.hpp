@@ -1,0 +1,45 @@
+// Shared NPB support: problem classes, verification, DVFS stretching.
+#pragma once
+
+#include <string>
+
+#include "minimpi/comm.hpp"
+
+namespace npb {
+
+/// Scaled-down analogues of the NAS classes. Sizes are chosen so a
+/// full run takes on the order of seconds in this environment while
+/// preserving each benchmark's compute/communication ratio.
+enum class ProblemClass { S, W, A };
+
+const char* class_name(ProblemClass c);
+
+struct VerifyResult {
+  bool passed = false;
+  std::string detail;
+};
+
+/// Relative-error check used by the benchmark verifiers.
+bool close_rel(double got, double want, double epsilon);
+
+/// Honour DVFS throttling for real compute: when the rank's node is
+/// throttled to speed factor s < 1, a phase that did `elapsed_s` of
+/// work busy-spins an extra elapsed_s * (1/s - 1), exactly as the same
+/// instructions would take longer at a lower clock. No-op unplaced or
+/// at full speed.
+void stretch_compute(minimpi::Comm& comm, double elapsed_s);
+
+/// RAII phase stretcher: measures a scope and applies stretch_compute.
+class StretchScope {
+ public:
+  explicit StretchScope(minimpi::Comm& comm);
+  ~StretchScope();
+  StretchScope(const StretchScope&) = delete;
+  StretchScope& operator=(const StretchScope&) = delete;
+
+ private:
+  minimpi::Comm& comm_;
+  double start_s_;
+};
+
+}  // namespace npb

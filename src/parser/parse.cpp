@@ -1,0 +1,59 @@
+#include "parser/parse.hpp"
+
+#include <optional>
+
+#include "trace/align.hpp"
+#include "trace/reader.hpp"
+
+namespace tempest::parser {
+
+Result<RunProfile> parse_trace(trace::Trace trace, const ParseOptions& options,
+                               const symtab::Resolver* resolver) {
+  if (options.align_clocks) {
+    const Status aligned = trace::align_clocks(&trace);
+    if (!aligned) return Result<RunProfile>::error(aligned.message());
+  } else {
+    trace.sort_by_time();
+  }
+
+  TimelineDiagnostics diag;
+  const TimelineMap timeline = build_timeline(trace, &diag);
+
+  // Symbolise every distinct address: synthetic names win (they were
+  // minted by the explicit API), then the ELF resolver.
+  std::optional<symtab::Resolver> own_resolver;
+  if (resolver == nullptr && !trace.executable.empty()) {
+    auto built = symtab::Resolver::for_executable(trace.executable, trace.load_bias);
+    if (built.is_ok()) {
+      own_resolver.emplace(std::move(built).value());
+      resolver = &*own_resolver;
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, std::string>> names;
+  names.reserve(timeline.size() + trace.synthetic_symbols.size());
+  for (const auto& s : trace.synthetic_symbols) names.emplace_back(s.addr, s.name);
+  for (const auto& [key, fi] : timeline) {
+    if (fi.addr >= trace::kSyntheticAddrBase) continue;
+    if (resolver != nullptr) {
+      names.emplace_back(fi.addr, resolver->resolve(fi.addr));
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "0x%llx",
+                    static_cast<unsigned long long>(fi.addr));
+      names.emplace_back(fi.addr, buf);
+    }
+  }
+
+  ProfileBuilder builder(trace, options.profile);
+  return builder.build(timeline, names, diag);
+}
+
+Result<RunProfile> parse_trace_file(const std::string& path,
+                                    const ParseOptions& options) {
+  auto loaded = trace::read_trace_file(path);
+  if (!loaded.is_ok()) return Result<RunProfile>::error(loaded.message());
+  return parse_trace(std::move(loaded).value(), options);
+}
+
+}  // namespace tempest::parser

@@ -1,0 +1,138 @@
+#include "parser/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tempest::parser {
+
+const FunctionProfile* RunProfile::find(std::uint16_t node_id,
+                                        const std::string& name) const {
+  for (const auto& node : nodes) {
+    if (node.node_id != node_id) continue;
+    for (const auto& fn : node.functions) {
+      if (fn.name == name) return &fn;
+    }
+  }
+  return nullptr;
+}
+
+RunProfile ProfileBuilder::build(
+    const TimelineMap& timeline,
+    const std::vector<std::pair<std::uint64_t, std::string>>& names,
+    TimelineDiagnostics diagnostics) const {
+  RunProfile run;
+  run.unit = options_.unit;
+  run.diagnostics = diagnostics;
+
+  std::map<std::uint64_t, std::string> name_map(names.begin(), names.end());
+
+  // Sensor metadata by (node, sensor).
+  std::map<std::pair<std::uint16_t, std::uint16_t>, const trace::SensorMeta*> sensor_meta;
+  for (const auto& s : trace_.sensors) sensor_meta[{s.node_id, s.sensor_id}] = &s;
+
+  // Samples grouped per node, time-sorted (trace is pre-sorted).
+  std::map<std::uint16_t, std::vector<const trace::TempSample*>> node_samples;
+  for (const auto& s : trace_.temp_samples) node_samples[s.node_id].push_back(&s);
+
+  const std::uint64_t run_start = trace_.start_tsc();
+  const std::uint64_t run_end = trace_.end_tsc();
+  const double ticks_per_s = trace_.tsc_ticks_per_second > 0.0
+                                 ? trace_.tsc_ticks_per_second
+                                 : 1.0;
+  run.duration_s = static_cast<double>(run_end - run_start) / ticks_per_s;
+
+  std::map<std::uint16_t, NodeProfile> nodes;
+  for (const auto& n : trace_.nodes) {
+    nodes[n.node_id].node_id = n.node_id;
+    nodes[n.node_id].hostname = n.hostname;
+  }
+
+  for (const auto& [key, fn_intervals] : timeline) {
+    const std::uint16_t node_id = key.first;
+    NodeProfile& node = nodes[node_id];  // creates on demand for unlisted nodes
+    node.node_id = node_id;
+
+    FunctionProfile fn;
+    fn.addr = fn_intervals.addr;
+    const auto name_it = name_map.find(fn.addr);
+    fn.name = name_it != name_map.end() ? name_it->second : "<unknown>";
+    fn.total_time_s = static_cast<double>(fn_intervals.total_ticks) / ticks_per_s;
+    fn.calls = fn_intervals.calls;
+
+    // Per-sensor attribution: samples landing inside the intervals.
+    std::map<std::uint16_t, SampleSet> per_sensor;
+    const auto samples_it = node_samples.find(node_id);
+    if (samples_it != node_samples.end()) {
+      for (const trace::TempSample* s : samples_it->second) {
+        if (fn_intervals.contains(s->tsc)) {
+          per_sensor[s->sensor_id].add(to_unit(s->temp_c, options_.unit));
+        }
+      }
+    }
+
+    // Significance: the paper flags functions whose execution is short
+    // relative to the 4 Hz sampling interval. We require the configured
+    // minimum sample count inside the intervals.
+    std::size_t max_count = 0;
+    for (const auto& [sid, set] : per_sensor) max_count = std::max(max_count, set.count());
+    fn.significant = max_count >= options_.min_samples_significant;
+
+    if (!fn.significant && samples_it != node_samples.end() &&
+        !samples_it->second.empty() && !fn_intervals.merged.empty()) {
+      // Nearest-sample snapshot: closest reading per sensor to the
+      // function's first activation.
+      per_sensor.clear();
+      const std::uint64_t at = fn_intervals.merged.front().begin;
+      std::map<std::uint16_t, std::pair<std::uint64_t, double>> best;  // id -> (dist, temp)
+      for (const trace::TempSample* s : samples_it->second) {
+        const std::uint64_t dist = s->tsc > at ? s->tsc - at : at - s->tsc;
+        const auto it = best.find(s->sensor_id);
+        if (it == best.end() || dist < it->second.first) {
+          best[s->sensor_id] = {dist, to_unit(s->temp_c, options_.unit)};
+        }
+      }
+      for (const auto& [sid, dt] : best) per_sensor[sid].add(dt.second);
+    }
+
+    for (const auto& [sid, set] : per_sensor) {
+      SensorProfile sp;
+      sp.sensor_id = sid;
+      const auto meta_it = sensor_meta.find({node_id, sid});
+      sp.name = meta_it != sensor_meta.end() ? meta_it->second->name
+                                             : "sensor" + std::to_string(sid + 1);
+      sp.sample_count = set.count();
+      sp.stats = set.summarize();
+      fn.sensors.push_back(std::move(sp));
+    }
+    node.functions.push_back(std::move(fn));
+  }
+
+  for (auto& [id, node] : nodes) {
+    std::sort(node.functions.begin(), node.functions.end(),
+              [](const FunctionProfile& a, const FunctionProfile& b) {
+                return a.total_time_s > b.total_time_s;
+              });
+    // Node duration: span of this node's events and samples.
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    const auto samples_it = node_samples.find(id);
+    if (samples_it != node_samples.end()) {
+      for (const trace::TempSample* s : samples_it->second) {
+        lo = std::min(lo, s->tsc);
+        hi = std::max(hi, s->tsc);
+      }
+    }
+    for (const auto& [key, fi] : timeline) {
+      if (key.first != id || fi.merged.empty()) continue;
+      lo = std::min(lo, fi.merged.front().begin);
+      hi = std::max(hi, fi.merged.back().end);
+    }
+    node.duration_s = (hi > lo && lo != UINT64_MAX)
+                          ? static_cast<double>(hi - lo) / ticks_per_s
+                          : 0.0;
+    run.nodes.push_back(std::move(node));
+  }
+  return run;
+}
+
+}  // namespace tempest::parser

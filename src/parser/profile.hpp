@@ -1,0 +1,77 @@
+// Profile model: the parser's output.
+//
+// Mirrors the paper's standard output: per node, functions ordered by
+// total inclusive time, each with per-sensor Min/Avg/Max/Sdv/Var/Med/Mod
+// over the temperature samples that fell inside the function's
+// execution intervals (inclusive attribution: a sample credits every
+// function on the stack, which is why `main` summarises the whole run).
+// Functions shorter than the sampling interval carry a nearest-sample
+// snapshot flagged not significant, as discussed for foo2 in Fig 2a.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "parser/timeline.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::parser {
+
+struct SensorProfile {
+  std::uint16_t sensor_id = 0;
+  std::string name;
+  std::size_t sample_count = 0;
+  StatsSummary stats;  ///< in the profile's display unit
+};
+
+struct FunctionProfile {
+  std::uint64_t addr = 0;
+  std::string name;
+  double total_time_s = 0.0;  ///< inclusive
+  std::uint64_t calls = 0;
+  bool significant = true;  ///< enough samples for meaningful thermal stats
+  std::vector<SensorProfile> sensors;  ///< ordered by sensor id
+};
+
+struct NodeProfile {
+  std::uint16_t node_id = 0;
+  std::string hostname;
+  double duration_s = 0.0;  ///< first to last event/sample on this node
+  std::vector<FunctionProfile> functions;  ///< sorted by total time, descending
+};
+
+struct RunProfile {
+  TempUnit unit = TempUnit::kFahrenheit;
+  double duration_s = 0.0;
+  std::vector<NodeProfile> nodes;  ///< ordered by node id
+  TimelineDiagnostics diagnostics;
+
+  /// Find a function profile by (node, name); nullptr when absent.
+  const FunctionProfile* find(std::uint16_t node_id, const std::string& name) const;
+};
+
+struct ProfileOptions {
+  TempUnit unit = TempUnit::kFahrenheit;
+  std::size_t min_samples_significant = 2;
+};
+
+/// Attribute samples to the timeline and assemble the profile.
+/// `names` must map every address appearing in the timeline.
+class ProfileBuilder {
+ public:
+  ProfileBuilder(const trace::Trace& trace, ProfileOptions options)
+      : trace_(trace), options_(options) {}
+
+  RunProfile build(const TimelineMap& timeline,
+                   const std::vector<std::pair<std::uint64_t, std::string>>& names,
+                   TimelineDiagnostics diagnostics) const;
+
+ private:
+  const trace::Trace& trace_;
+  ProfileOptions options_;
+};
+
+}  // namespace tempest::parser

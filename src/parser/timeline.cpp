@@ -1,0 +1,117 @@
+#include "parser/timeline.hpp"
+
+#include <algorithm>
+
+namespace tempest::parser {
+
+bool FunctionIntervals::contains(std::uint64_t tsc) const {
+  const auto it = std::upper_bound(
+      merged.begin(), merged.end(), tsc,
+      [](std::uint64_t t, const Interval& iv) { return t < iv.begin; });
+  if (it == merged.begin()) return false;
+  const Interval& iv = *std::prev(it);
+  return tsc >= iv.begin && tsc < iv.end;
+}
+
+void merge_intervals(std::vector<Interval>* intervals) {
+  if (intervals->empty()) return;
+  std::sort(intervals->begin(), intervals->end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  std::vector<Interval> out;
+  out.reserve(intervals->size());
+  out.push_back((*intervals)[0]);
+  for (std::size_t i = 1; i < intervals->size(); ++i) {
+    const Interval& iv = (*intervals)[i];
+    if (iv.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  *intervals = std::move(out);
+}
+
+TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag) {
+  TimelineDiagnostics local_diag;
+
+  // Per (thread, addr): open recursion depth and outermost entry time.
+  struct OpenState {
+    std::uint64_t depth = 0;
+    std::uint64_t first_enter = 0;
+  };
+  std::map<std::pair<std::uint32_t, std::uint64_t>, OpenState> open;
+  std::map<std::uint32_t, std::uint16_t> thread_node;
+  for (const auto& t : trace.threads) thread_node[t.thread_id] = t.node_id;
+
+  // Per (node, addr): raw per-thread intervals before the union.
+  std::map<std::pair<std::uint16_t, std::uint64_t>, std::vector<Interval>> raw;
+  TimelineMap result;
+
+  auto node_of = [&](const trace::FnEvent& e) -> std::uint16_t {
+    const auto it = thread_node.find(e.thread_id);
+    return it != thread_node.end() ? it->second : e.node_id;
+  };
+
+  // Events must be time-ordered per thread; Trace::sort_by_time provides
+  // a stable global order which implies per-thread order.
+  for (const auto& e : trace.fn_events) {
+    const auto key = std::make_pair(e.thread_id, e.addr);
+    const std::uint16_t node = node_of(e);
+    auto& fn = result[{node, e.addr}];
+    fn.addr = e.addr;
+    fn.node_id = node;
+
+    if (e.kind == trace::FnEventKind::kEnter) {
+      OpenState& st = open[key];
+      if (st.depth == 0) st.first_enter = e.tsc;
+      ++st.depth;
+      ++fn.calls;
+    } else {
+      const auto it = open.find(key);
+      if (it == open.end() || it->second.depth == 0) {
+        ++local_diag.unmatched_exits;
+        continue;
+      }
+      --it->second.depth;
+      if (it->second.depth == 0) {
+        const Interval iv{it->second.first_enter, e.tsc};
+        raw[{node, e.addr}].push_back(iv);
+        fn.total_ticks += iv.length();
+      }
+    }
+  }
+
+  // Close activations still open when the trace ends (e.g. main, or a
+  // run interrupted mid-function).
+  const std::uint64_t end = trace.end_tsc();
+  for (const auto& [key, st] : open) {
+    if (st.depth == 0) continue;
+    ++local_diag.force_closed;
+    const std::uint32_t tid = key.first;
+    const std::uint64_t addr = key.second;
+    const auto nit = thread_node.find(tid);
+    const std::uint16_t node = nit != thread_node.end() ? nit->second : 0;
+    const Interval iv{st.first_enter, end};
+    raw[{node, addr}].push_back(iv);
+    result[{node, addr}].total_ticks += iv.length();
+  }
+
+  for (auto& [key, intervals] : raw) {
+    merge_intervals(&intervals);
+    result[key].merged = std::move(intervals);
+  }
+  // Drop functions that were entered but produced no interval at all
+  // (possible only for unmatched-exit-only addresses).
+  for (auto it = result.begin(); it != result.end();) {
+    if (it->second.merged.empty()) {
+      it = result.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (diag != nullptr) *diag = local_diag;
+  return result;
+}
+
+}  // namespace tempest::parser

@@ -1,0 +1,60 @@
+// Function timeline reconstruction.
+//
+// This is the capability the paper built Tempest for instead of
+// modifying gprof: gprof's buckets cannot say *which function was
+// executing at time X*, but thermal samples arrive in real time and the
+// same function may run at different temperatures at different moments.
+// The builder replays each thread's entry/exit stream into per-function
+// inclusive interval sets, handling the Table 1 cases: interleaving
+// (D) and recursion with interleaving (E) — a recursive function's
+// nested activations collapse into one interval per outermost call, so
+// inclusive time is never double-counted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tempest::parser {
+
+/// Half-open tick interval [begin, end).
+struct Interval {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t length() const { return end > begin ? end - begin : 0; }
+};
+
+/// All activity of one function address on one node.
+struct FunctionIntervals {
+  std::uint64_t addr = 0;
+  std::uint16_t node_id = 0;
+  /// Sorted, non-overlapping union of the function's activations across
+  /// the node's threads (used for sample attribution).
+  std::vector<Interval> merged;
+  /// Inclusive busy ticks, summed per thread before merging (so two
+  /// ranks running the function concurrently both count).
+  std::uint64_t total_ticks = 0;
+  std::uint64_t calls = 0;
+
+  /// True when `tsc` falls inside any merged interval.
+  bool contains(std::uint64_t tsc) const;
+};
+
+struct TimelineDiagnostics {
+  std::uint64_t unmatched_exits = 0;  ///< exit with no open activation
+  std::uint64_t force_closed = 0;     ///< still open at trace end
+};
+
+/// Key: (node_id, function address).
+using TimelineMap = std::map<std::pair<std::uint16_t, std::uint64_t>, FunctionIntervals>;
+
+/// Build per-function interval sets from a (time-sorted) trace.
+TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag = nullptr);
+
+/// Merge a sorted interval list in place (coalesce overlaps/adjacency).
+void merge_intervals(std::vector<Interval>* intervals);
+
+}  // namespace tempest::parser

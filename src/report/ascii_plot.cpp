@@ -1,0 +1,112 @@
+#include "report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace tempest::report {
+namespace {
+
+constexpr char kGlyphs[] = "*o+x#@%&";
+
+struct NodeGroup {
+  std::uint16_t node_id;
+  std::string node_name;
+  std::vector<const SensorSeries*> sensors;
+};
+
+}  // namespace
+
+void plot_series(std::ostream& out, const ThermalSeries& series,
+                 const PlotOptions& options) {
+  if (series.sensors.empty()) {
+    out << "(no temperature samples)\n";
+    return;
+  }
+  const int w = std::max(20, options.width);
+  const int h = std::max(5, options.height);
+  const double duration = std::max(series.duration_s, 1e-9);
+
+  // Group by node, apply the sensor filter.
+  std::map<std::uint16_t, NodeGroup> groups;
+  for (const auto& s : series.sensors) {
+    if (!options.sensor_filter.empty() && s.sensor_name != options.sensor_filter) continue;
+    auto& g = groups[s.node_id];
+    g.node_id = s.node_id;
+    g.node_name = s.node_name;
+    g.sensors.push_back(&s);
+  }
+
+  // Shared y-range across all plotted sensors keeps node charts
+  // comparable (the paper's stacked axes share scale per figure).
+  double lo = 1e300, hi = -1e300;
+  for (const auto& [id, g] : groups) {
+    for (const auto* s : g.sensors) {
+      for (const auto& p : s->points) {
+        lo = std::min(lo, p.temp);
+        hi = std::max(hi, p.temp);
+      }
+    }
+  }
+  if (lo > hi) {
+    out << "(no samples after filtering)\n";
+    return;
+  }
+  lo -= options.y_margin;
+  hi += options.y_margin;
+  if (hi - lo < 1e-9) hi = lo + 1.0;
+
+  for (const auto& [id, g] : groups) {
+    out << "--- " << g.node_name << " ---\n";
+
+    // Function-span band across the top.
+    const std::vector<FunctionSpan>* spans = &series.spans;
+    std::string band(static_cast<std::size_t>(w), ' ');
+    std::string labels;
+    for (const auto& span : *spans) {
+      if (span.node_id != g.node_id) continue;
+      const int c0 = std::clamp(static_cast<int>(span.begin_s / duration * (w - 1)), 0, w - 1);
+      const int c1 = std::clamp(static_cast<int>(span.end_s / duration * (w - 1)), c0, w - 1);
+      for (int c = c0; c <= c1; ++c) band[static_cast<std::size_t>(c)] = '=';
+      if (!labels.empty()) labels += "  ";
+      labels += span.name + "[" + std::to_string(c0) + ".." + std::to_string(c1) + "]";
+    }
+    if (!labels.empty()) {
+      out << "        " << band << "\n";
+      out << "        spans: " << labels << "\n";
+    }
+
+    std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+    std::size_t glyph_index = 0;
+    std::vector<std::pair<char, std::string>> legend;
+    for (const auto* s : g.sensors) {
+      const char glyph = kGlyphs[glyph_index % (sizeof(kGlyphs) - 1)];
+      ++glyph_index;
+      legend.emplace_back(glyph, s->sensor_name);
+      for (const auto& p : s->points) {
+        const int col = std::clamp(static_cast<int>(p.time_s / duration * (w - 1)), 0, w - 1);
+        const int row = std::clamp(
+            static_cast<int>((hi - p.temp) / (hi - lo) * (h - 1)), 0, h - 1);
+        grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+      }
+    }
+
+    for (int r = 0; r < h; ++r) {
+      const double y = hi - (hi - lo) * r / (h - 1);
+      out << std::right << std::setw(6) << std::fixed << std::setprecision(1) << y
+          << " |" << grid[static_cast<std::size_t>(r)] << "\n";
+    }
+    out << "       +" << std::string(static_cast<std::size_t>(w), '-') << "\n";
+    out << "        0s" << std::string(static_cast<std::size_t>(w) - 12, ' ')
+        << std::fixed << std::setprecision(1) << duration << "s\n";
+    out << "        legend:";
+    for (const auto& [glyph, name] : legend) out << " " << glyph << "=" << name;
+    out << "  (" << unit_suffix(series.unit) << ")\n\n";
+  }
+}
+
+}  // namespace tempest::report

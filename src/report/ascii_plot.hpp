@@ -1,0 +1,29 @@
+// ASCII rendering of thermal profiles (terminal stand-in for the
+// paper's Figure 2b / 3 / 4 plots).
+//
+// Each node renders as one chart: y-axis temperature, x-axis seconds,
+// one glyph per sensor; function spans draw as a band across the top,
+// matching "the duration of each function is shown across the top of
+// the figure". Multi-node output stacks charts vertically with a shared
+// x-axis so phase alignment across nodes is visible (Figs 3/4).
+#pragma once
+
+#include <ostream>
+
+#include "report/series.hpp"
+
+namespace tempest::report {
+
+struct PlotOptions {
+  int width = 90;   ///< plot body columns
+  int height = 14;  ///< plot body rows per node
+  /// Render only this sensor name on each node ("" = all sensors).
+  std::string sensor_filter;
+  /// Pad the y-range by this many degrees on both sides.
+  double y_margin = 1.0;
+};
+
+void plot_series(std::ostream& out, const ThermalSeries& series,
+                 const PlotOptions& options = {});
+
+}  // namespace tempest::report

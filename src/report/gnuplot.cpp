@@ -1,0 +1,70 @@
+#include "report/gnuplot.hpp"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace tempest::report {
+
+void write_series_gnuplot_data(std::ostream& out, const ThermalSeries& series) {
+  bool first = true;
+  for (const auto& s : series.sensors) {
+    if (!first) out << "\n\n";
+    first = false;
+    out << "# node=" << s.node_name << " sensor=" << s.sensor_name << "\n";
+    for (const auto& p : s.points) {
+      out << p.time_s << " " << p.temp << "\n";
+    }
+  }
+}
+
+void write_series_gnuplot_script(std::ostream& out, const ThermalSeries& series,
+                                 const std::string& data_path,
+                                 const std::string& output_png) {
+  // Node list and the series index each (node, sensor) occupies.
+  std::vector<std::uint16_t> nodes;
+  std::map<std::uint16_t, std::vector<std::pair<int, std::string>>> node_series;
+  int index = 0;
+  for (const auto& s : series.sensors) {
+    if (node_series.find(s.node_id) == node_series.end()) nodes.push_back(s.node_id);
+    node_series[s.node_id].push_back({index++, s.sensor_name});
+  }
+  if (nodes.empty()) {
+    out << "# no data\n";
+    return;
+  }
+
+  out << "# Tempest thermal profile (generated)\n";
+  out << "set terminal pngcairo size 900," << 220 * nodes.size()
+      << " enhanced\n";
+  out << "set output '" << output_png << "'\n";
+  out << "set multiplot layout " << nodes.size() << ",1 title 'Tempest thermal profile'\n";
+  out << "set xlabel 'time (s)'\n";
+  out << "set ylabel 'temp (" << unit_suffix(series.unit) << ")'\n";
+  out << "set xrange [0:" << series.duration_s << "]\n";
+  out << "set key outside right\n";
+
+  for (std::uint16_t node : nodes) {
+    // Function spans as shaded boxes behind the curves.
+    int object_id = 1;
+    for (const auto& span : series.spans) {
+      if (span.node_id != node) continue;
+      out << "set object " << object_id++ << " rect from " << span.begin_s
+          << ", graph 0 to " << span.end_s
+          << ", graph 1 fc rgb '#eeeeee' behind\n";
+    }
+    const auto& entries = node_series[node];
+    out << "set title 'node " << (node + 1) << "'\n";
+    out << "plot ";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "'" << data_path << "' index " << entries[i].first
+          << " using 1:2 with linespoints title '" << entries[i].second << "'";
+    }
+    out << "\n";
+    out << "unset object\n";
+  }
+  out << "unset multiplot\n";
+}
+
+}  // namespace tempest::report

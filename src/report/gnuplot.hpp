@@ -1,0 +1,26 @@
+// Gnuplot output: a publication-style rendering of the Fig 2b/3/4
+// thermal profiles ("data can be dumped to a file in a variety of
+// formats").
+//
+// Emits a .dat file (one block per node/sensor series, blank-line
+// separated) and a .gp driver script that renders stacked per-node
+// panels with shared axes — the layout of the paper's Figures 3/4.
+#pragma once
+
+#include <ostream>
+
+#include "report/series.hpp"
+
+namespace tempest::report {
+
+/// Data file: "# node sensor" header comments, then "time temp" rows,
+/// series separated by two blank lines (gnuplot index-addressable).
+void write_series_gnuplot_data(std::ostream& out, const ThermalSeries& series);
+
+/// Driver script that plots `data_path` as one panel per node using
+/// multiplot; function spans render as shaded x-ranges.
+void write_series_gnuplot_script(std::ostream& out, const ThermalSeries& series,
+                                 const std::string& data_path,
+                                 const std::string& output_png = "profile.png");
+
+}  // namespace tempest::report

@@ -1,0 +1,68 @@
+#include "report/json.hpp"
+
+#include <iomanip>
+
+namespace tempest::report {
+namespace {
+
+void put_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_profile_json(std::ostream& out, const parser::RunProfile& profile) {
+  out << std::fixed << std::setprecision(6);
+  out << "{\"unit\":\"" << unit_suffix(profile.unit) << "\",";
+  out << "\"duration_s\":" << profile.duration_s << ",";
+  out << "\"unmatched_exits\":" << profile.diagnostics.unmatched_exits << ",";
+  out << "\"force_closed\":" << profile.diagnostics.force_closed << ",";
+  out << "\"nodes\":[";
+  for (std::size_t n = 0; n < profile.nodes.size(); ++n) {
+    const auto& node = profile.nodes[n];
+    if (n > 0) out << ",";
+    out << "{\"node_id\":" << node.node_id << ",\"hostname\":";
+    put_escaped(out, node.hostname);
+    out << ",\"duration_s\":" << node.duration_s << ",\"functions\":[";
+    for (std::size_t f = 0; f < node.functions.size(); ++f) {
+      const auto& fn = node.functions[f];
+      if (f > 0) out << ",";
+      out << "{\"name\":";
+      put_escaped(out, fn.name);
+      out << ",\"total_time_s\":" << fn.total_time_s << ",\"calls\":" << fn.calls
+          << ",\"significant\":" << (fn.significant ? "true" : "false")
+          << ",\"sensors\":[";
+      for (std::size_t s = 0; s < fn.sensors.size(); ++s) {
+        const auto& sp = fn.sensors[s];
+        if (s > 0) out << ",";
+        out << "{\"name\":";
+        put_escaped(out, sp.name);
+        out << ",\"samples\":" << sp.sample_count << ",\"min\":" << sp.stats.min
+            << ",\"avg\":" << sp.stats.avg << ",\"max\":" << sp.stats.max
+            << ",\"sdv\":" << sp.stats.sdv << ",\"var\":" << sp.stats.var
+            << ",\"med\":" << sp.stats.med << ",\"mod\":" << sp.stats.mod << "}";
+      }
+      out << "]}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+}
+
+}  // namespace tempest::report

@@ -1,0 +1,15 @@
+// JSON profile dump ("data can be dumped to a file in a variety of
+// formats" — text, CSV and JSON here).
+#pragma once
+
+#include <ostream>
+
+#include "parser/profile.hpp"
+
+namespace tempest::report {
+
+/// Serialise the complete profile as a JSON object (stable key order,
+/// strings escaped; suitable for downstream tooling).
+void write_profile_json(std::ostream& out, const parser::RunProfile& profile);
+
+}  // namespace tempest::report

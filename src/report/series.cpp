@@ -1,0 +1,98 @@
+#include "report/series.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "parser/parse.hpp"
+#include "parser/timeline.hpp"
+
+namespace tempest::report {
+
+ThermalSeries extract_series(const trace::Trace& trace, TempUnit unit,
+                             const std::vector<std::string>& span_functions) {
+  ThermalSeries out;
+  out.unit = unit;
+
+  const std::uint64_t start = trace.start_tsc();
+  const double rate = trace.tsc_ticks_per_second > 0.0 ? trace.tsc_ticks_per_second : 1.0;
+  auto to_s = [&](std::uint64_t tsc) {
+    return tsc > start ? static_cast<double>(tsc - start) / rate : 0.0;
+  };
+  out.duration_s = to_s(trace.end_tsc());
+
+  std::map<std::uint16_t, std::string> node_names;
+  for (const auto& n : trace.nodes) node_names[n.node_id] = n.hostname;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::string> sensor_names;
+  for (const auto& s : trace.sensors) sensor_names[{s.node_id, s.sensor_id}] = s.name;
+
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::size_t> index;
+  for (const auto& s : trace.temp_samples) {
+    const auto key = std::make_pair(s.node_id, s.sensor_id);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      SensorSeries series;
+      series.node_id = s.node_id;
+      series.sensor_id = s.sensor_id;
+      series.node_name = node_names.count(s.node_id) ? node_names[s.node_id]
+                                                     : "node" + std::to_string(s.node_id + 1);
+      series.sensor_name = sensor_names.count(key)
+                               ? sensor_names[key]
+                               : "sensor" + std::to_string(s.sensor_id + 1);
+      index[key] = out.sensors.size();
+      out.sensors.push_back(std::move(series));
+      it = index.find(key);
+    }
+    out.sensors[it->second].points.push_back({to_s(s.tsc), to_unit(s.temp_c, unit)});
+  }
+  std::sort(out.sensors.begin(), out.sensors.end(),
+            [](const SensorSeries& a, const SensorSeries& b) {
+              return std::tie(a.node_id, a.sensor_id) < std::tie(b.node_id, b.sensor_id);
+            });
+
+  if (!span_functions.empty()) {
+    // Reuse the parser's timeline + symbolisation to find the functions.
+    parser::TimelineDiagnostics diag;
+    const parser::TimelineMap timeline = parser::build_timeline(trace, &diag);
+
+    std::map<std::uint64_t, std::string> names;
+    for (const auto& s : trace.synthetic_symbols) names[s.addr] = s.name;
+    auto resolver = symtab::Resolver::for_executable(trace.executable, trace.load_bias);
+    for (const auto& [key, fi] : timeline) {
+      if (names.count(fi.addr) == 0 && resolver.is_ok()) {
+        names[fi.addr] = resolver.value().resolve(fi.addr);
+      }
+    }
+    for (const auto& [key, fi] : timeline) {
+      const auto name_it = names.find(fi.addr);
+      if (name_it == names.end()) continue;
+      if (std::find(span_functions.begin(), span_functions.end(), name_it->second) ==
+          span_functions.end()) {
+        continue;
+      }
+      for (const auto& iv : fi.merged) {
+        out.spans.push_back({key.first, name_it->second, to_s(iv.begin), to_s(iv.end)});
+      }
+    }
+    std::sort(out.spans.begin(), out.spans.end(),
+              [](const FunctionSpan& a, const FunctionSpan& b) {
+                return std::tie(a.node_id, a.begin_s) < std::tie(b.node_id, b.begin_s);
+              });
+  }
+  return out;
+}
+
+void write_series_csv(std::ostream& out, const ThermalSeries& series) {
+  out << "time_s,node,sensor,temp_" << unit_suffix(series.unit) << "\n";
+  for (const auto& s : series.sensors) {
+    for (const auto& p : s.points) {
+      out << p.time_s << "," << s.node_name << "," << s.sensor_name << "," << p.temp
+          << "\n";
+    }
+  }
+  for (const auto& span : series.spans) {
+    out << "# span," << span.node_id << "," << span.name << "," << span.begin_s << ","
+        << span.end_s << "\n";
+  }
+}
+
+}  // namespace tempest::report

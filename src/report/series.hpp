@@ -1,0 +1,56 @@
+// Thermal time-series extraction (the data behind Figs 2b, 3, 4).
+//
+// Converts a (clock-aligned) trace into per-node, per-sensor temperature
+// curves plus the execution spans of named functions — the x-axis bands
+// drawn "across the top of the figure" in the paper's profile plots.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::report {
+
+struct SeriesPoint {
+  double time_s = 0.0;  ///< relative to trace start
+  double temp = 0.0;    ///< in the requested unit
+};
+
+struct SensorSeries {
+  std::uint16_t node_id = 0;
+  std::uint16_t sensor_id = 0;
+  std::string node_name;
+  std::string sensor_name;
+  std::vector<SeriesPoint> points;
+};
+
+struct FunctionSpan {
+  std::uint16_t node_id = 0;
+  std::string name;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct ThermalSeries {
+  TempUnit unit = TempUnit::kFahrenheit;
+  double duration_s = 0.0;
+  std::vector<SensorSeries> sensors;
+  std::vector<FunctionSpan> spans;
+};
+
+/// Extract curves from an aligned, time-sorted trace. When
+/// `span_functions` names are given, their merged execution intervals
+/// are emitted as spans (names match symbolised or synthetic names).
+ThermalSeries extract_series(
+    const trace::Trace& trace, TempUnit unit,
+    const std::vector<std::string>& span_functions = {});
+
+/// CSV: time_s,node,sensor,temp — one row per point, spans appended as
+/// comment lines ("# span,<node>,<name>,<begin>,<end>").
+void write_series_csv(std::ostream& out, const ThermalSeries& series);
+
+}  // namespace tempest::report

@@ -1,0 +1,52 @@
+#include "report/stdout_format.hpp"
+
+#include <iomanip>
+
+namespace tempest::report {
+namespace {
+
+void print_stats_row(std::ostream& out, const parser::SensorProfile& sp) {
+  out << std::left << std::setw(10) << sp.name << std::right << std::fixed
+      << std::setprecision(2);
+  const StatsSummary& s = sp.stats;
+  out << std::setw(8) << s.min << std::setw(8) << s.avg << std::setw(8) << s.max
+      << std::setw(8) << s.sdv << std::setw(8) << s.var << std::setw(8) << s.med
+      << std::setw(8) << s.mod << "\n";
+}
+
+}  // namespace
+
+void print_function(std::ostream& out, const parser::FunctionProfile& fn,
+                    TempUnit unit) {
+  out << "Function: " << fn.name << "    Total Time(sec): " << std::fixed
+      << std::setprecision(6) << fn.total_time_s;
+  if (!fn.significant) out << "    [thermal data not significant]";
+  out << "\n";
+  out << std::left << std::setw(10) << "" << std::right << std::setw(8) << "Min"
+      << std::setw(8) << "Avg" << std::setw(8) << "Max" << std::setw(8) << "Sdv"
+      << std::setw(8) << "Var" << std::setw(8) << "Med" << std::setw(8) << "Mod"
+      << "   (" << unit_suffix(unit) << ")\n";
+  for (const auto& sp : fn.sensors) print_stats_row(out, sp);
+}
+
+void print_profile(std::ostream& out, const parser::RunProfile& profile,
+                   const StdoutOptions& options) {
+  for (const auto& node : profile.nodes) {
+    if (options.node_headers) {
+      out << "== Node " << (node.node_id + 1);
+      if (!node.hostname.empty()) out << " (" << node.hostname << ")";
+      out << "  duration " << std::fixed << std::setprecision(3) << node.duration_s
+          << " sec ==\n\n";
+    }
+    std::size_t printed = 0;
+    for (const auto& fn : node.functions) {
+      if (!options.show_insignificant && !fn.significant) continue;
+      if (options.max_functions != 0 && printed >= options.max_functions) break;
+      print_function(out, fn, profile.unit);
+      out << "\n";
+      ++printed;
+    }
+  }
+}
+
+}  // namespace tempest::report

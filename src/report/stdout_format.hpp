@@ -1,0 +1,33 @@
+// Tempest standard output (the paper's Figure 2a layout).
+//
+// "By default, Tempest writes data to the standard output": functions
+// listed by total inclusive time, each with a per-sensor table of
+// Min/Avg/Max/Sdv/Var/Med/Mod in the configured unit.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+#include "parser/profile.hpp"
+
+namespace tempest::report {
+
+struct StdoutOptions {
+  /// Limit functions printed per node (0 = all).
+  std::size_t max_functions = 0;
+  /// Print functions flagged thermally insignificant (their snapshot
+  /// row is annotated, as the paper discusses for short functions).
+  bool show_insignificant = true;
+  /// Print per-node headers (hostname + duration).
+  bool node_headers = true;
+};
+
+void print_profile(std::ostream& out, const parser::RunProfile& profile,
+                   const StdoutOptions& options = {});
+
+/// One function's block only (used by table benches to print the exact
+/// subset the paper's Tables 2/3 show).
+void print_function(std::ostream& out, const parser::FunctionProfile& fn,
+                    TempUnit unit);
+
+}  // namespace tempest::report

@@ -1,0 +1,40 @@
+// Sensor abstraction.
+//
+// Tempest's tempd samples "all available thermal sensors" through one
+// interface regardless of where they come from. On the paper's hardware
+// that is lm-sensors; here the same interface is implemented by the real
+// hwmon tree (when the host exposes one), by the simulated thermal
+// model, and by trace replay — so every layer above tempd is identical
+// to what would run on physical hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace tempest::sensors {
+
+/// Identity and characteristics of one thermal sensor.
+struct SensorInfo {
+  std::uint16_t id = 0;        ///< backend-local index, dense from 0
+  std::string name;            ///< e.g. "core0", "sensor3", "CPU A DIODE"
+  std::string source;          ///< origin, e.g. "hwmon1/temp2" or "sim:core0.die"
+  double quant_step_c = 1.0;   ///< reporting granularity in Celsius
+};
+
+class SensorBackend {
+ public:
+  virtual ~SensorBackend() = default;
+
+  /// Stable for the lifetime of the backend; ids dense in [0, size).
+  virtual std::vector<SensorInfo> enumerate() const = 0;
+
+  /// Current reading in Celsius. Errors are environmental (sensor
+  /// unplugged, sysfs read failure) and are skipped by tempd, matching
+  /// the "emergent and at times unstable" sensors note in §4.1.
+  virtual Result<double> read_celsius(std::uint16_t sensor_id) = 0;
+};
+
+}  // namespace tempest::sensors

@@ -1,0 +1,77 @@
+#include "sensors/hwmon.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace tempest::sensors {
+namespace {
+
+std::string read_trimmed(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::string line;
+  if (!in || !std::getline(in, line)) return {};
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+}  // namespace
+
+HwmonBackend::HwmonBackend(std::filesystem::path root) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(root, ec)) return;
+
+  std::vector<std::filesystem::path> chips;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    chips.push_back(entry.path());
+  }
+  std::sort(chips.begin(), chips.end());
+
+  for (const auto& chip : chips) {
+    const std::string chip_name = read_trimmed(chip / "name");
+    std::vector<std::filesystem::path> inputs;
+    std::error_code chip_ec;
+    for (const auto& f : std::filesystem::directory_iterator(chip, chip_ec)) {
+      const std::string fname = f.path().filename().string();
+      if (fname.rfind("temp", 0) == 0 && fname.size() > 5 &&
+          fname.substr(fname.find('_') + 1) == "input") {
+        inputs.push_back(f.path());
+      }
+    }
+    std::sort(inputs.begin(), inputs.end());
+    for (const auto& input : inputs) {
+      const std::string fname = input.filename().string();  // tempM_input
+      const std::string channel = fname.substr(0, fname.find('_'));
+      std::string label = read_trimmed(input.parent_path() / (channel + "_label"));
+      if (label.empty()) {
+        label = chip_name.empty() ? channel : chip_name + "." + channel;
+      }
+      SensorInfo info;
+      info.id = static_cast<std::uint16_t>(sensors_.size());
+      info.name = label;
+      info.source = chip.filename().string() + "/" + channel;
+      info.quant_step_c = 1.0;  // typical diode granularity reported via hwmon
+      sensors_.push_back(std::move(info));
+      input_paths_.push_back(input);
+    }
+  }
+}
+
+Result<double> HwmonBackend::read_celsius(std::uint16_t sensor_id) {
+  if (sensor_id >= input_paths_.size()) {
+    return Result<double>::error("hwmon: sensor id out of range");
+  }
+  const std::string text = read_trimmed(input_paths_[sensor_id]);
+  if (text.empty()) {
+    return Result<double>::error("hwmon: empty reading from " +
+                                 input_paths_[sensor_id].string());
+  }
+  try {
+    return std::stod(text) / 1000.0;  // millidegrees -> degrees
+  } catch (...) {
+    return Result<double>::error("hwmon: unparsable reading '" + text + "'");
+  }
+}
+
+}  // namespace tempest::sensors

@@ -1,0 +1,34 @@
+// Real Linux hwmon (lm-sensors) backend.
+//
+// Parses /sys/class/hwmon the way libsensors does: each hwmonN directory
+// is a chip with a `name` file and tempM_input files in millidegrees
+// Celsius, optionally labelled by tempM_label. The root is injectable so
+// tests fabricate chip trees and so the backend works in containers that
+// bind-mount a snapshot.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sensors/backend.hpp"
+
+namespace tempest::sensors {
+
+class HwmonBackend : public SensorBackend {
+ public:
+  /// Scans `root` once at construction; missing root yields 0 sensors.
+  explicit HwmonBackend(std::filesystem::path root = "/sys/class/hwmon");
+
+  std::vector<SensorInfo> enumerate() const override { return sensors_; }
+  Result<double> read_celsius(std::uint16_t sensor_id) override;
+
+  /// True when the host exposes at least one readable temperature.
+  bool available() const { return !sensors_.empty(); }
+
+ private:
+  std::vector<SensorInfo> sensors_;
+  std::vector<std::filesystem::path> input_paths_;
+};
+
+}  // namespace tempest::sensors

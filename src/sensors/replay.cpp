@@ -1,0 +1,50 @@
+#include "sensors/replay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tempest::sensors {
+
+ReplayBackend::ReplayBackend(std::vector<SensorInfo> sensors,
+                             std::vector<std::vector<ReplayPoint>> series)
+    : sensors_(std::move(sensors)), series_(std::move(series)) {
+  if (sensors_.size() != series_.size()) {
+    throw std::invalid_argument("replay: sensor/series count mismatch");
+  }
+}
+
+Result<double> ReplayBackend::read_celsius(std::uint16_t sensor_id) {
+  if (sensor_id >= series_.size()) {
+    return Result<double>::error("replay: sensor id out of range");
+  }
+  const auto& points = series_[sensor_id];
+  if (points.empty()) return Result<double>::error("replay: empty series");
+
+  const auto it = std::upper_bound(
+      points.begin(), points.end(), time_s_,
+      [](double t, const ReplayPoint& p) { return t < p.time_s; });
+  if (it == points.begin()) {
+    return Result<double>::error("replay: no sample at or before requested time");
+  }
+  return std::prev(it)->temp_c;
+}
+
+ConstantBackend::ConstantBackend(std::size_t count, double temp_c) : temp_c_(temp_c) {
+  for (std::size_t i = 0; i < count; ++i) {
+    SensorInfo info;
+    info.id = static_cast<std::uint16_t>(i);
+    info.name = "sensor" + std::to_string(i);
+    info.source = "const";
+    info.quant_step_c = 0.0;
+    sensors_.push_back(std::move(info));
+  }
+}
+
+Result<double> ConstantBackend::read_celsius(std::uint16_t sensor_id) {
+  if (sensor_id >= sensors_.size()) {
+    return Result<double>::error("const: sensor id out of range");
+  }
+  return temp_c_;
+}
+
+}  // namespace tempest::sensors

@@ -1,0 +1,56 @@
+// Replay and constant backends.
+//
+// ReplayBackend serves a recorded timestamped series per sensor — used
+// to re-run the parser against captured traces and in tests needing
+// exact sample sequences. ConstantBackend pins every sensor to a fixed
+// value (steady-state baselines, unit tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sensors/backend.hpp"
+
+namespace tempest::sensors {
+
+/// One recorded reading.
+struct ReplayPoint {
+  double time_s = 0.0;
+  double temp_c = 0.0;
+};
+
+class ReplayBackend : public SensorBackend {
+ public:
+  /// Each series must be sorted by time; empty series are invalid reads.
+  ReplayBackend(std::vector<SensorInfo> sensors,
+                std::vector<std::vector<ReplayPoint>> series);
+
+  /// Reads return the latest point at or before this time (step-hold).
+  void set_time(double time_s) { time_s_ = time_s; }
+
+  std::vector<SensorInfo> enumerate() const override { return sensors_; }
+  Result<double> read_celsius(std::uint16_t sensor_id) override;
+
+ private:
+  std::vector<SensorInfo> sensors_;
+  std::vector<std::vector<ReplayPoint>> series_;
+  double time_s_ = 0.0;
+};
+
+class ConstantBackend : public SensorBackend {
+ public:
+  /// `count` sensors named sensor0..sensorN-1 all reading `temp_c`.
+  ConstantBackend(std::size_t count, double temp_c);
+
+  std::vector<SensorInfo> enumerate() const override { return sensors_; }
+  Result<double> read_celsius(std::uint16_t sensor_id) override;
+
+  void set_value(double temp_c) { temp_c_ = temp_c; }
+
+ private:
+  std::vector<SensorInfo> sensors_;
+  double temp_c_;
+};
+
+}  // namespace tempest::sensors

@@ -1,0 +1,43 @@
+#include "sensors/sim_backend.hpp"
+
+#include "common/units.hpp"
+
+namespace tempest::sensors {
+
+SimBackend::SimBackend(const thermal::RcNetwork* network, std::vector<SimSensorSpec> specs,
+                       std::uint64_t noise_seed)
+    : network_(network), specs_(std::move(specs)), rng_(noise_seed) {
+  node_indices_.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    node_indices_.push_back(network_->node_index(spec.network_node));
+  }
+}
+
+std::vector<SensorInfo> SimBackend::enumerate() const {
+  std::vector<SensorInfo> out;
+  out.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    SensorInfo info;
+    info.id = static_cast<std::uint16_t>(i);
+    info.name = specs_[i].name;
+    info.source = "sim:" + specs_[i].network_node;
+    info.quant_step_c = specs_[i].quant_step_c;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<double> SimBackend::read_celsius(std::uint16_t sensor_id) {
+  if (sensor_id >= specs_.size()) {
+    return Result<double>::error("sim: sensor id out of range");
+  }
+  const SimSensorSpec& spec = specs_[sensor_id];
+  double t = network_->temperature(node_indices_[sensor_id]) + spec.offset_c;
+  if (spec.noise_sd_c > 0.0) {
+    std::normal_distribution<double> noise(0.0, spec.noise_sd_c);
+    t += noise(rng_);
+  }
+  return quantize(t, spec.quant_step_c);
+}
+
+}  // namespace tempest::sensors

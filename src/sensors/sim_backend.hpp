@@ -1,0 +1,45 @@
+// Simulated-sensor backend.
+//
+// Reads temperatures out of an RC thermal network, applying per-sensor
+// measurement noise and quantisation. Quantisation at 1 degree C is what
+// produces the paper's characteristic flat rows (Min=Max, Sdv=Var=0) and
+// the 1.8 F-stepped values (102.20, 104.00, 105.80 ...) in Tables 2/3.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sensors/backend.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace tempest::sensors {
+
+/// Where one simulated sensor taps the network.
+struct SimSensorSpec {
+  std::string name;            ///< reported sensor name
+  std::string network_node;    ///< RcNetwork node name to read
+  double quant_step_c = 1.0;   ///< 0 disables quantisation
+  double noise_sd_c = 0.0;     ///< gaussian measurement noise
+  double offset_c = 0.0;       ///< calibration offset (sensor bias)
+};
+
+class SimBackend : public SensorBackend {
+ public:
+  /// `network` must outlive the backend. Specs naming unknown network
+  /// nodes throw std::out_of_range up front (configuration bug).
+  SimBackend(const thermal::RcNetwork* network, std::vector<SimSensorSpec> specs,
+             std::uint64_t noise_seed = 0x7e57);
+
+  std::vector<SensorInfo> enumerate() const override;
+  Result<double> read_celsius(std::uint16_t sensor_id) override;
+
+ private:
+  const thermal::RcNetwork* network_;
+  std::vector<SimSensorSpec> specs_;
+  std::vector<std::size_t> node_indices_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace tempest::sensors

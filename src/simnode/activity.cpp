@@ -1,0 +1,67 @@
+#include "simnode/activity.hpp"
+
+#include <algorithm>
+
+#include "common/tsc.hpp"
+
+namespace tempest::simnode {
+
+void ActivityMeter::set_busy(std::uint64_t now_tsc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) {
+    window_start_ = now_tsc;
+    started_ = true;
+  }
+  if (!busy_) {
+    busy_ = true;
+    busy_since_ = now_tsc;
+  }
+}
+
+void ActivityMeter::set_idle(std::uint64_t now_tsc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) {
+    window_start_ = now_tsc;
+    started_ = true;
+  }
+  if (busy_) {
+    // Clip to the current window so a sample between transitions does
+    // not double-count ticks it already consumed.
+    const std::uint64_t from = std::max(busy_since_, window_start_);
+    if (now_tsc > from) busy_ticks_ += now_tsc - from;
+    busy_ = false;
+  }
+}
+
+double ActivityMeter::sample(std::uint64_t now_tsc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || now_tsc <= window_start_) {
+    window_start_ = now_tsc;
+    started_ = true;
+    busy_ticks_ = 0;
+    return busy_ ? 1.0 : 0.0;
+  }
+  std::uint64_t busy = busy_ticks_;
+  if (busy_) {
+    const std::uint64_t from = std::max(busy_since_, window_start_);
+    if (now_tsc > from) busy += now_tsc - from;
+  }
+  const double fraction = std::min(
+      1.0, static_cast<double>(busy) / static_cast<double>(now_tsc - window_start_));
+  busy_ticks_ = 0;
+  window_start_ = now_tsc;
+  return fraction;
+}
+
+bool ActivityMeter::busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_;
+}
+
+IdleScope::IdleScope(ActivityMeter& meter, std::uint64_t now_tsc) : meter_(meter) {
+  meter_.set_idle(now_tsc);
+}
+
+IdleScope::~IdleScope() { meter_.set_busy(rdtsc()); }
+
+}  // namespace tempest::simnode

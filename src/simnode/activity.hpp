@@ -1,0 +1,52 @@
+// Per-core activity metering.
+//
+// The power model needs each core's utilisation. Worker threads mark
+// busy/idle transitions (the message-passing runtime marks blocked-in-
+// communication time idle — the mechanism behind the paper's observation
+// that communication-bound FT runs cool); the sampler thread reads the
+// busy fraction accumulated since its previous sample and resets the
+// window. Transitions and samples race only on a short mutex-guarded
+// critical section.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace tempest::simnode {
+
+class ActivityMeter {
+ public:
+  /// Mark the core busy as of `now_tsc`. Idempotent when already busy.
+  void set_busy(std::uint64_t now_tsc);
+
+  /// Mark the core idle as of `now_tsc`. Idempotent when already idle.
+  void set_idle(std::uint64_t now_tsc);
+
+  /// Busy fraction in [0,1] over [last sample, now]; resets the window.
+  /// A zero-length window reports the instantaneous state.
+  double sample(std::uint64_t now_tsc);
+
+  bool busy() const;
+
+ private:
+  mutable std::mutex mu_;
+  bool busy_ = false;
+  std::uint64_t busy_since_ = 0;     ///< valid while busy_
+  std::uint64_t busy_ticks_ = 0;     ///< accumulated this window
+  std::uint64_t window_start_ = 0;
+  bool started_ = false;
+};
+
+/// RAII: marks a core idle for the duration of a scope (blocking waits).
+class IdleScope {
+ public:
+  IdleScope(ActivityMeter& meter, std::uint64_t now_tsc);
+  ~IdleScope();
+  IdleScope(const IdleScope&) = delete;
+  IdleScope& operator=(const IdleScope&) = delete;
+
+ private:
+  ActivityMeter& meter_;
+};
+
+}  // namespace tempest::simnode

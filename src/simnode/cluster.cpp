@@ -1,0 +1,71 @@
+#include "simnode/cluster.hpp"
+
+#include <random>
+
+#include "simnode/layouts.hpp"
+
+namespace tempest::simnode {
+
+NodeConfig make_node_config(NodeKind kind) {
+  NodeConfig config;
+  switch (kind) {
+    case NodeKind::kX86Basic:
+      config.package.cores = 2;
+      config.sensor_layout = x86_basic_layout();
+      break;
+    case NodeKind::kOpteron:
+      // Dual-processor dual-core modelled as one 4-core package: the
+      // phase behaviour Tempest profiles depends on core count and
+      // sensor layout, not on socket topology.
+      config.package.cores = 4;
+      config.sensor_layout = opteron_layout(config.package.cores);
+      break;
+    case NodeKind::kPowerPcG5:
+      config.package.cores = 2;
+      // G5 ran hotter; slightly weaker sink.
+      config.package.g_spreader_sink = 3.2;
+      config.sensor_layout = g5_layout();
+      break;
+  }
+  return config;
+}
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  std::uniform_real_distribution<double> positive(0.0, 1.0);
+
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    NodeConfig node = make_node_config(config.kind);
+    node.hostname = "node" + std::to_string(i + 1);
+    node.package.time_scale = config.time_scale;
+    node.package.governor = config.governor;
+    node.noise_seed = config.seed * 1000003 + i;
+
+    const double h = config.heterogeneity;
+    // Rack-position ambient spread (+-1.5 C), sink attach quality
+    // (+-20% conductance), fan tolerance (+-10%), leakage spread (+-10%).
+    node.package.ambient_c += h * 1.5 * unit(rng);
+    node.package.g_spreader_sink *= 1.0 + h * 0.20 * unit(rng);
+    node.package.g_die_spreader *= 1.0 + h * 0.15 * unit(rng);
+    node.package.fan.g_per_krpm *= 1.0 + h * 0.10 * unit(rng);
+    node.package.power.idle_watts *= 1.0 + h * 0.10 * unit(rng);
+    node.package.power.c_eff *= 1.0 + h * 0.08 * unit(rng);
+
+    if (config.max_tsc_offset_s > 0.0) {
+      node.tsc_offset_ticks = static_cast<std::int64_t>(
+          unit(rng) * config.max_tsc_offset_s * tsc_ticks_per_second());
+    }
+    if (config.max_tsc_drift_ppm > 0.0) {
+      node.tsc_drift_ppm = unit(rng) * config.max_tsc_drift_ppm;
+    }
+    (void)positive;
+    nodes_.push_back(std::make_unique<SimNode>(std::move(node)));
+  }
+}
+
+void Cluster::settle_all_idle() {
+  for (auto& n : nodes_) n->settle_idle();
+}
+
+}  // namespace tempest::simnode

@@ -1,0 +1,60 @@
+// Cluster factory with node heterogeneity.
+//
+// The paper's striking finding is that identical nodes under identical
+// load run at visibly different temperatures (Fig 3/4: node 3 above
+// 110 F while node 2 stays below 105 F). Real causes are manufacturing
+// spread, thermal-paste quality, rack position and inlet airflow. The
+// factory models that by perturbing each node's thermal parameters with
+// a seeded RNG, so node-to-node spread is reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simnode/node.hpp"
+
+namespace tempest::simnode {
+
+enum class NodeKind {
+  kX86Basic,     ///< 2 cores, 3 sensors
+  kOpteron,      ///< paper's cluster node: dual-processor dual-core, 6 sensors
+  kPowerPcG5,    ///< System X node: 2 cores, 7 sensors
+};
+
+struct ClusterConfig {
+  std::size_t nodes = 4;
+  NodeKind kind = NodeKind::kOpteron;
+  std::uint64_t seed = 42;
+  /// 0 = identical nodes; 1 = the default realistic spread.
+  double heterogeneity = 1.0;
+  /// Thermal time compression applied to every node (see PackageParams).
+  double time_scale = 1.0;
+  /// Emulated cross-node TSC skew: max |offset| in seconds and drift ppm.
+  double max_tsc_offset_s = 0.0;
+  double max_tsc_drift_ppm = 0.0;
+  thermal::GovernorParams governor;
+};
+
+/// Default per-kind node template (cores, sensors, package parameters).
+NodeConfig make_node_config(NodeKind kind);
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  std::size_t size() const { return nodes_.size(); }
+  SimNode& node(std::size_t i) { return *nodes_.at(i); }
+  const SimNode& node(std::size_t i) const { return *nodes_.at(i); }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Let every node return to idle steady state (paper methodology:
+  /// "we allowed the system to return to a steady state after every test").
+  void settle_all_idle();
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+};
+
+}  // namespace tempest::simnode

@@ -1,0 +1,47 @@
+#include "simnode/layouts.hpp"
+
+#include <stdexcept>
+
+#include "thermal/cpu_package.hpp"
+
+namespace tempest::simnode {
+
+using sensors::SimSensorSpec;
+using thermal::CpuPackage;
+
+std::vector<SimSensorSpec> x86_basic_layout() {
+  return {
+      {"CPU", CpuPackage::die_node_name(0), 1.0, 0.0, 0.0},
+      {"M/B", "chassis", 1.0, 0.0, 0.0},
+      {"SINK", "sink", 1.0, 0.0, 0.0},
+  };
+}
+
+std::vector<SimSensorSpec> opteron_layout(std::size_t cores) {
+  if (cores < 2) throw std::invalid_argument("opteron layout expects >= 2 cores");
+  // sensor1/sensor2: board ambient points (nearly flat during a run),
+  // sensor3: socket/spreader, sensor4/sensor5: core diodes,
+  // sensor6: heatsink. Names match the paper's anonymous sensorN style.
+  return {
+      {"sensor1", "chassis", 1.0, 0.0, -4.0},
+      {"sensor2", "chassis", 1.0, 0.0, -2.0},
+      {"sensor3", "spreader", 1.0, 0.0, 2.0},
+      {"sensor4", CpuPackage::die_node_name(0), 1.0, 0.0, 0.0},
+      {"sensor5", CpuPackage::die_node_name(1), 1.0, 0.0, 5.0},
+      {"sensor6", "sink", 1.0, 0.0, 4.0},
+  };
+}
+
+std::vector<SimSensorSpec> g5_layout() {
+  return {
+      {"CPU A DIODE", CpuPackage::die_node_name(0), 0.5, 0.0, 0.0},
+      {"CPU B DIODE", CpuPackage::die_node_name(1), 0.5, 0.0, 0.8},
+      {"U3 HEATSINK", "sink", 0.5, 0.0, 3.0},
+      {"MEMORY CONTROLLER", "spreader", 0.5, 0.0, 6.0},
+      {"BACKSIDE", "chassis", 0.5, 0.0, 0.0},
+      {"DRIVE BAY", "chassis", 0.5, 0.0, -1.5},
+      {"INLET", "chassis", 0.5, 0.0, -3.0},
+  };
+}
+
+}  // namespace tempest::simnode

@@ -1,0 +1,27 @@
+// Sensor layout presets.
+//
+// The paper observed "as few as 3 sensors on x86 platforms from AMD and
+// up to 7 sensors on PowerPC G5 systems", and its Tables 2/3 print six
+// sensors per Opteron node. These presets reproduce those layouts on
+// top of the CpuPackage network nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sensors/sim_backend.hpp"
+
+namespace tempest::simnode {
+
+/// Minimal x86 desktop: CPU diode, motherboard, heatsink. 1 C steps.
+std::vector<sensors::SimSensorSpec> x86_basic_layout();
+
+/// Paper's Opteron cluster node: six sensors (board ambients, socket,
+/// per-core diodes, heatsink), 1 C quantisation — the source of the flat
+/// Min=Max rows in Tables 2 and 3. `cores` must be >= 2.
+std::vector<sensors::SimSensorSpec> opteron_layout(std::size_t cores);
+
+/// PowerPC G5 (System X): seven sensors, finer 0.5 C granularity.
+std::vector<sensors::SimSensorSpec> g5_layout();
+
+}  // namespace tempest::simnode

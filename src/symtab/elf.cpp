@@ -1,0 +1,135 @@
+#include "symtab/elf.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace tempest::symtab {
+namespace {
+
+// ELF64 structures, laid out per the System V ABI. Defined locally so
+// the parser also builds on non-ELF hosts (where it just never runs).
+#pragma pack(push, 1)
+struct Elf64Ehdr {
+  unsigned char e_ident[16];
+  std::uint16_t e_type;
+  std::uint16_t e_machine;
+  std::uint32_t e_version;
+  std::uint64_t e_entry;
+  std::uint64_t e_phoff;
+  std::uint64_t e_shoff;
+  std::uint32_t e_flags;
+  std::uint16_t e_ehsize;
+  std::uint16_t e_phentsize;
+  std::uint16_t e_phnum;
+  std::uint16_t e_shentsize;
+  std::uint16_t e_shnum;
+  std::uint16_t e_shstrndx;
+};
+
+struct Elf64ShdrFull {
+  std::uint32_t sh_name;
+  std::uint32_t sh_type;
+  std::uint64_t sh_flags;
+  std::uint64_t sh_addr;
+  std::uint64_t sh_offset;
+  std::uint64_t sh_size;
+  std::uint32_t sh_link;
+  std::uint32_t sh_info;
+  std::uint64_t sh_addralign;
+  std::uint64_t sh_entsize;
+};
+
+struct Elf64Sym {
+  std::uint32_t st_name;
+  unsigned char st_info;
+  unsigned char st_other;
+  std::uint16_t st_shndx;
+  std::uint64_t st_value;
+  std::uint64_t st_size;
+};
+#pragma pack(pop)
+
+constexpr std::uint32_t kShtSymtab = 2;
+constexpr std::uint32_t kShtDynsym = 11;
+constexpr unsigned char kSttFunc = 2;
+
+Result<std::vector<FuncSymbol>> extract(const std::vector<char>& file,
+                                        const Elf64ShdrFull& symtab,
+                                        const Elf64ShdrFull& strtab) {
+  if (symtab.sh_offset + symtab.sh_size > file.size() ||
+      strtab.sh_offset + strtab.sh_size > file.size()) {
+    return Result<std::vector<FuncSymbol>>::error("ELF: section beyond end of file");
+  }
+  if (symtab.sh_entsize != sizeof(Elf64Sym)) {
+    return Result<std::vector<FuncSymbol>>::error("ELF: unexpected symbol entry size");
+  }
+  const std::size_t count = symtab.sh_size / sizeof(Elf64Sym);
+  const char* strings = file.data() + strtab.sh_offset;
+  const std::size_t strings_len = strtab.sh_size;
+
+  std::vector<FuncSymbol> out;
+  out.reserve(count / 4);
+  for (std::size_t i = 0; i < count; ++i) {
+    Elf64Sym sym;
+    std::memcpy(&sym, file.data() + symtab.sh_offset + i * sizeof(Elf64Sym), sizeof(sym));
+    if ((sym.st_info & 0x0f) != kSttFunc || sym.st_value == 0) continue;
+    if (sym.st_name >= strings_len) continue;
+    const char* name = strings + sym.st_name;
+    const std::size_t max_len = strings_len - sym.st_name;
+    const std::size_t len = strnlen(name, max_len);
+    if (len == 0 || len == max_len) continue;
+    out.push_back({sym.st_value, sym.st_size, std::string(name, len)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<FuncSymbol>> read_function_symbols(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Result<std::vector<FuncSymbol>>::error("cannot open " + path);
+  std::vector<char> file((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+
+  if (file.size() < sizeof(Elf64Ehdr)) {
+    return Result<std::vector<FuncSymbol>>::error("file too small for ELF header");
+  }
+  Elf64Ehdr ehdr;
+  std::memcpy(&ehdr, file.data(), sizeof(ehdr));
+  if (std::memcmp(ehdr.e_ident, "\x7f" "ELF", 4) != 0) {
+    return Result<std::vector<FuncSymbol>>::error("not an ELF file: " + path);
+  }
+  if (ehdr.e_ident[4] != 2 /* ELFCLASS64 */) {
+    return Result<std::vector<FuncSymbol>>::error("only ELF64 is supported");
+  }
+  if (ehdr.e_ident[5] != 1 /* little-endian */) {
+    return Result<std::vector<FuncSymbol>>::error("only little-endian ELF is supported");
+  }
+  if (ehdr.e_shentsize != sizeof(Elf64ShdrFull)) {
+    return Result<std::vector<FuncSymbol>>::error("unexpected section header size");
+  }
+  const std::uint64_t sh_end =
+      ehdr.e_shoff + static_cast<std::uint64_t>(ehdr.e_shnum) * sizeof(Elf64ShdrFull);
+  if (sh_end > file.size()) {
+    return Result<std::vector<FuncSymbol>>::error("section headers beyond end of file");
+  }
+
+  std::vector<Elf64ShdrFull> sections(ehdr.e_shnum);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    std::memcpy(&sections[i], file.data() + ehdr.e_shoff + i * sizeof(Elf64ShdrFull),
+                sizeof(Elf64ShdrFull));
+  }
+
+  // Prefer the full .symtab; fall back to .dynsym.
+  for (std::uint32_t want : {kShtSymtab, kShtDynsym}) {
+    for (const auto& sec : sections) {
+      if (sec.sh_type != want) continue;
+      if (sec.sh_link >= sections.size()) continue;
+      auto result = extract(file, sec, sections[sec.sh_link]);
+      if (result.is_ok() && !result.value().empty()) return result;
+    }
+  }
+  return Result<std::vector<FuncSymbol>>::error("no function symbols found in " + path);
+}
+
+}  // namespace tempest::symtab

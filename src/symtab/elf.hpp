@@ -1,0 +1,29 @@
+// Minimal ELF64 symbol-table reader.
+//
+// The Tempest parser "reads the symbol table of the executable to map
+// addresses of functions to their names". This is that component,
+// implemented directly against the ELF64 layout (no libelf dependency):
+// parse section headers, extract STT_FUNC symbols from .symtab
+// (falling back to .dynsym for stripped-but-dynamic binaries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace tempest::symtab {
+
+/// One function symbol at its link-time address.
+struct FuncSymbol {
+  std::uint64_t value = 0;  ///< st_value (link-time address)
+  std::uint64_t size = 0;   ///< st_size; 0 when the assembler omitted it
+  std::string name;         ///< raw (possibly mangled) name
+};
+
+/// Parse function symbols from an ELF64 file. Errors cover missing
+/// files, non-ELF input, wrong class/endianness, and truncation.
+Result<std::vector<FuncSymbol>> read_function_symbols(const std::string& path);
+
+}  // namespace tempest::symtab

@@ -1,0 +1,121 @@
+#include "symtab/resolver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <dlfcn.h>
+#include <link.h>
+#include <unistd.h>
+#endif
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
+
+namespace tempest::symtab {
+
+std::string demangle(const std::string& name) {
+#if defined(__GNUG__)
+  int status = 0;
+  char* out = abi::__cxa_demangle(name.c_str(), nullptr, nullptr, &status);
+  if (status == 0 && out != nullptr) {
+    std::string result(out);
+    std::free(out);
+    return result;
+  }
+  std::free(out);
+#endif
+  return name;
+}
+
+std::uint64_t current_load_bias() {
+#if defined(__linux__)
+  std::uint64_t bias = 0;
+  // The first dl_iterate_phdr entry with an empty name is the main
+  // executable; dlpi_addr is exactly the load bias.
+  dl_iterate_phdr(
+      [](struct dl_phdr_info* info, std::size_t, void* data) -> int {
+        if (info->dlpi_name == nullptr || info->dlpi_name[0] == '\0') {
+          *static_cast<std::uint64_t*>(data) = info->dlpi_addr;
+          return 1;  // stop iteration
+        }
+        return 0;
+      },
+      &bias);
+  return bias;
+#else
+  return 0;
+#endif
+}
+
+Resolver::Resolver(std::vector<FuncSymbol> symbols, std::uint64_t load_bias) {
+  ranges_.reserve(symbols.size());
+  for (auto& sym : symbols) {
+    Range r;
+    r.start = sym.value + load_bias;
+    r.end = sym.size > 0 ? r.start + sym.size : r.start;  // patched below
+    r.name = std::move(sym.name);
+    ranges_.push_back(std::move(r));
+  }
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const Range& a, const Range& b) { return a.start < b.start; });
+  // Zero-sized symbols (assembler stubs) extend to the next symbol.
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (ranges_[i].end == ranges_[i].start) {
+      ranges_[i].end = (i + 1 < ranges_.size()) ? ranges_[i + 1].start
+                                                : ranges_[i].start + 1;
+    }
+  }
+}
+
+Result<Resolver> Resolver::for_current_process() {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return Result<Resolver>::error("cannot readlink /proc/self/exe");
+  buf[n] = '\0';
+  return for_executable(buf, current_load_bias());
+#else
+  return Result<Resolver>::error("self-resolution requires Linux");
+#endif
+}
+
+Result<Resolver> Resolver::for_executable(const std::string& path,
+                                          std::uint64_t load_bias) {
+  auto symbols = read_function_symbols(path);
+  if (!symbols.is_ok()) return Result<Resolver>::error(symbols.message());
+  return Resolver(std::move(symbols).value(), load_bias);
+}
+
+bool Resolver::resolve_checked(std::uint64_t addr, std::string* name) const {
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), addr,
+      [](std::uint64_t a, const Range& r) { return a < r.start; });
+  if (it != ranges_.begin()) {
+    const Range& r = *std::prev(it);
+    if (addr >= r.start && addr < r.end) {
+      *name = demangle(r.name);
+      return true;
+    }
+  }
+#if defined(__linux__)
+  Dl_info info;
+  if (dladdr(reinterpret_cast<void*>(addr), &info) != 0 && info.dli_sname != nullptr) {
+    *name = demangle(info.dli_sname);
+    return true;
+  }
+#endif
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(addr));
+  *name = buf;
+  return false;
+}
+
+std::string Resolver::resolve(std::uint64_t addr) const {
+  std::string name;
+  resolve_checked(addr, &name);
+  return name;
+}
+
+}  // namespace tempest::symtab

@@ -1,0 +1,56 @@
+// Runtime address -> function name resolution.
+//
+// Combines the ELF symbol table with the process load bias (PIE
+// executables relocate), producing sorted [start, end) ranges for
+// binary-searched lookup. dladdr is the fallback for addresses the
+// table misses (e.g. shared-library functions); unresolvable addresses
+// render as hex so the profile is still usable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "symtab/elf.hpp"
+
+namespace tempest::symtab {
+
+/// Demangle a C++ symbol; returns the input unchanged when it is not a
+/// mangled name.
+std::string demangle(const std::string& name);
+
+/// Load bias of the main executable (0 for non-PIE).
+std::uint64_t current_load_bias();
+
+class Resolver {
+ public:
+  /// Build from explicit symbols and bias (offline trace parsing).
+  Resolver(std::vector<FuncSymbol> symbols, std::uint64_t load_bias);
+
+  /// Build for the running process: /proc/self/exe + current bias.
+  static Result<Resolver> for_current_process();
+
+  /// Build for a recorded executable path + recorded bias.
+  static Result<Resolver> for_executable(const std::string& path,
+                                         std::uint64_t load_bias);
+
+  /// Resolve a runtime address to a demangled function name.
+  std::string resolve(std::uint64_t addr) const;
+
+  /// Resolve, reporting whether the symbol table contained the address
+  /// (tests and the parser's unresolved-count diagnostics use this).
+  bool resolve_checked(std::uint64_t addr, std::string* name) const;
+
+  std::size_t symbol_count() const { return ranges_.size(); }
+
+ private:
+  struct Range {
+    std::uint64_t start;
+    std::uint64_t end;
+    std::string name;
+  };
+  std::vector<Range> ranges_;  ///< sorted by start
+};
+
+}  // namespace tempest::symtab

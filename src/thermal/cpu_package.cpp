@@ -1,0 +1,71 @@
+#include "thermal/cpu_package.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tempest::thermal {
+
+std::string CpuPackage::die_node_name(std::size_t core) {
+  return "core" + std::to_string(core) + ".die";
+}
+
+CpuPackage::CpuPackage(PackageParams params)
+    : params_(params),
+      power_(params.power, PStateTable{}),
+      fan_(params.fan),
+      governor_(params.governor, PStateTable{}.size()) {
+  if (params_.cores == 0) throw std::invalid_argument("CpuPackage needs >= 1 core");
+  const double ts = std::max(params_.time_scale, 1e-9);
+  net_.set_ambient_temp(params_.ambient_c);
+
+  spreader_ = net_.add_node("spreader", params_.spreader_cap_j_per_k / ts, params_.ambient_c);
+  sink_ = net_.add_node("sink", params_.sink_cap_j_per_k / ts, params_.ambient_c);
+  chassis_ = net_.add_node("chassis", params_.chassis_cap_j_per_k / ts, params_.ambient_c);
+
+  for (std::size_t c = 0; c < params_.cores; ++c) {
+    const std::size_t die =
+        net_.add_node(die_node_name(c), params_.die_cap_j_per_k / ts, params_.ambient_c);
+    die_nodes_.push_back(die);
+    net_.connect(die, spreader_, params_.g_die_spreader);
+  }
+  net_.connect(spreader_, sink_, params_.g_spreader_sink);
+  net_.connect(chassis_, sink_, params_.g_chassis_sink);
+  net_.connect_ambient(chassis_, params_.g_chassis_ambient);
+  net_.connect_ambient(sink_, fan_.conductance_w_per_k());
+}
+
+void CpuPackage::advance(double dt_seconds, const std::vector<double>& core_utilization) {
+  if (core_utilization.size() != params_.cores) {
+    throw std::invalid_argument("utilisation vector size != core count");
+  }
+  const std::size_t pstate = governor_.evaluate(hottest_die_temp());
+  for (std::size_t c = 0; c < params_.cores; ++c) {
+    net_.set_power(die_nodes_[c], power_.watts(core_utilization[c], pstate));
+  }
+  fan_.regulate(sink_temp());
+  net_.set_ambient_conductance(sink_, fan_.conductance_w_per_k());
+  net_.advance(dt_seconds);
+}
+
+void CpuPackage::settle_at(const std::vector<double>& core_utilization) {
+  if (core_utilization.size() != params_.cores) {
+    throw std::invalid_argument("utilisation vector size != core count");
+  }
+  for (std::size_t c = 0; c < params_.cores; ++c) {
+    net_.set_power(die_nodes_[c],
+                   power_.watts(core_utilization[c], governor_.current_pstate()));
+  }
+  net_.settle();
+}
+
+double CpuPackage::die_temp(std::size_t core) const {
+  return net_.temperature(die_nodes_.at(core));
+}
+
+double CpuPackage::hottest_die_temp() const {
+  double hottest = -1e9;
+  for (std::size_t n : die_nodes_) hottest = std::max(hottest, net_.temperature(n));
+  return hottest;
+}
+
+}  // namespace tempest::thermal

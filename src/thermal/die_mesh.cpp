@@ -1,0 +1,117 @@
+#include "thermal/die_mesh.hpp"
+
+#include <stdexcept>
+
+namespace tempest::thermal {
+
+std::vector<FloorplanUnit> default_floorplan(int width, int height) {
+  // Bottom band: shared L2. Upper region split into two cores, each
+  // with an ALU (inner) and FPU (outer) column block.
+  const int l2_top = height / 4;
+  const int mid = width / 2;
+  std::vector<FloorplanUnit> plan;
+  plan.push_back({"L2", 0, 0, width - 1, l2_top - 1});
+  plan.push_back({"core0.ALU", 0, l2_top, mid / 2 - 1, height - 1});
+  plan.push_back({"core0.FPU", mid / 2, l2_top, mid - 1, height - 1});
+  plan.push_back({"core1.ALU", mid, l2_top, mid + mid / 2 - 1, height - 1});
+  plan.push_back({"core1.FPU", mid + mid / 2, l2_top, width - 1, height - 1});
+  return plan;
+}
+
+DieMesh::DieMesh(DieMeshParams params) : params_(std::move(params)) {
+  if (params_.width < 2 || params_.height < 2) {
+    throw std::invalid_argument("die mesh needs at least 2x2 cells");
+  }
+  if (params_.floorplan.empty()) {
+    params_.floorplan = default_floorplan(params_.width, params_.height);
+  }
+  for (const auto& unit : params_.floorplan) {
+    if (unit.x0 < 0 || unit.y0 < 0 || unit.x1 >= params_.width ||
+        unit.y1 >= params_.height || unit.x1 < unit.x0 || unit.y1 < unit.y0) {
+      throw std::invalid_argument("floorplan unit out of mesh bounds: " + unit.name);
+    }
+  }
+
+  net_.set_ambient_temp(params_.ambient_c);
+  const int n_cells = params_.width * params_.height;
+  const double cell_cap = params_.die_cap_j_per_k / n_cells;
+  // Lateral conductance between adjacent cells; vertical share per cell.
+  const double g_lat = params_.lateral_g_w_per_k / n_cells;
+  const double g_vert = params_.vertical_g_w_per_k / n_cells;
+
+  spreader_ = net_.add_node("spreader", params_.spreader_cap_j_per_k, params_.ambient_c);
+  sink_ = net_.add_node("sink", params_.sink_cap_j_per_k, params_.ambient_c);
+  net_.connect(spreader_, sink_, params_.g_spreader_sink);
+  net_.connect_ambient(sink_, params_.g_sink_ambient);
+
+  cells_.reserve(static_cast<std::size_t>(n_cells));
+  for (int y = 0; y < params_.height; ++y) {
+    for (int x = 0; x < params_.width; ++x) {
+      const std::size_t cell = net_.add_node(
+          "cell" + std::to_string(x) + "_" + std::to_string(y), cell_cap,
+          params_.ambient_c);
+      cells_.push_back(cell);
+      net_.connect(cell, spreader_, g_vert);
+      if (x > 0) net_.connect(cell, cell_index(x - 1, y), g_lat);
+      if (y > 0) net_.connect(cell, cell_index(x, y - 1), g_lat);
+    }
+  }
+}
+
+void DieMesh::set_unit_power(const std::string& unit, double watts) {
+  for (const auto& u : params_.floorplan) {
+    if (u.name != unit) continue;
+    const int cells = (u.x1 - u.x0 + 1) * (u.y1 - u.y0 + 1);
+    const double per_cell = watts / cells;
+    for (int y = u.y0; y <= u.y1; ++y) {
+      for (int x = u.x0; x <= u.x1; ++x) {
+        net_.set_power(cell_index(x, y), per_cell);
+      }
+    }
+    return;
+  }
+  throw std::out_of_range("no floorplan unit named " + unit);
+}
+
+void DieMesh::advance(double dt_seconds) { net_.advance(dt_seconds); }
+void DieMesh::settle() { net_.settle(); }
+
+double DieMesh::cell_temp(int x, int y) const {
+  return net_.temperature(cells_.at(static_cast<std::size_t>(y * params_.width + x)));
+}
+
+double DieMesh::hottest_cell() const {
+  double best = -1e300;
+  for (std::size_t c : cells_) best = std::max(best, net_.temperature(c));
+  return best;
+}
+
+double DieMesh::coolest_cell() const {
+  double best = 1e300;
+  for (std::size_t c : cells_) best = std::min(best, net_.temperature(c));
+  return best;
+}
+
+double DieMesh::mean_die_temp() const {
+  double sum = 0.0;
+  for (std::size_t c : cells_) sum += net_.temperature(c);
+  return sum / static_cast<double>(cells_.size());
+}
+
+std::pair<int, int> DieMesh::hottest_xy() const {
+  int bx = 0, by = 0;
+  double best = -1e300;
+  for (int y = 0; y < params_.height; ++y) {
+    for (int x = 0; x < params_.width; ++x) {
+      const double t = cell_temp(x, y);
+      if (t > best) {
+        best = t;
+        bx = x;
+        by = y;
+      }
+    }
+  }
+  return {bx, by};
+}
+
+}  // namespace tempest::thermal

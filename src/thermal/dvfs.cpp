@@ -1,0 +1,19 @@
+#include "thermal/dvfs.hpp"
+
+namespace tempest::thermal {
+
+std::size_t DvfsGovernor::evaluate(double die_temp_c) {
+  if (params_.mode == GovernorMode::kPerformance || pstate_count_ <= 1) {
+    pstate_ = 0;
+    return pstate_;
+  }
+  if (die_temp_c > params_.high_water_c && pstate_ + 1 < pstate_count_) {
+    ++pstate_;
+    ++throttle_events_;
+  } else if (die_temp_c < params_.low_water_c && pstate_ > 0) {
+    --pstate_;
+  }
+  return pstate_;
+}
+
+}  // namespace tempest::thermal

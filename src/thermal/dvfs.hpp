@@ -1,0 +1,49 @@
+// DVFS governor.
+//
+// The paper disables DVFS for profiling runs (fixed highest frequency)
+// and motivates using Tempest to evaluate thermal optimisations; the
+// threshold governor here is the optimisation evaluated in
+// bench_thermal_opt / examples/thermal_optimization: throttle when the
+// die crosses a high-water mark, restore when it cools past a low-water
+// mark (hysteresis avoids oscillation).
+#pragma once
+
+#include <cstddef>
+
+#include "thermal/power.hpp"
+
+namespace tempest::thermal {
+
+enum class GovernorMode {
+  kPerformance,  ///< pin P-state 0 (the paper's profiling configuration)
+  kThreshold,    ///< hysteresis thermal throttling
+};
+
+struct GovernorParams {
+  GovernorMode mode = GovernorMode::kPerformance;
+  double high_water_c = 50.0;  ///< throttle (step down) above this
+  double low_water_c = 44.0;   ///< unthrottle (step up) below this
+};
+
+class DvfsGovernor {
+ public:
+  DvfsGovernor() = default;
+  DvfsGovernor(GovernorParams params, std::size_t pstate_count)
+      : params_(params), pstate_count_(pstate_count) {}
+
+  /// Evaluate against the hottest core-die temperature; returns the
+  /// (possibly unchanged) P-state index to run at.
+  std::size_t evaluate(double die_temp_c);
+
+  std::size_t current_pstate() const { return pstate_; }
+  std::size_t throttle_events() const { return throttle_events_; }
+  GovernorMode mode() const { return params_.mode; }
+
+ private:
+  GovernorParams params_;
+  std::size_t pstate_count_ = 1;
+  std::size_t pstate_ = 0;
+  std::size_t throttle_events_ = 0;
+};
+
+}  // namespace tempest::thermal

@@ -1,0 +1,21 @@
+#include "thermal/fan.hpp"
+
+namespace tempest::thermal {
+
+void Fan::set_fixed_rpm(double rpm) {
+  auto_mode_ = false;
+  rpm_ = std::clamp(rpm, params_.min_rpm, params_.max_rpm);
+}
+
+void Fan::regulate(double sink_temp_c) {
+  if (!auto_mode_) return;
+  const double error = sink_temp_c - params_.auto_target_c;
+  const double target = params_.min_rpm + params_.auto_gain_rpm_per_k * std::max(0.0, error);
+  rpm_ = std::clamp(target, params_.min_rpm, params_.max_rpm);
+}
+
+double Fan::conductance_w_per_k() const {
+  return params_.g_still_air + params_.g_per_krpm * (rpm_ / 1000.0);
+}
+
+}  // namespace tempest::thermal

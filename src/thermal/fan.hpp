@@ -1,0 +1,46 @@
+// Fan model.
+//
+// The heatsink-to-ambient conductance depends on airflow. The paper's
+// experiments pin the fan at a constant high speed (~3000 RPM) to remove
+// thermal-feedback effects; the auto mode implements the feedback
+// (a proportional controller on a target temperature) so the "disable
+// auto fan regulation" methodology step is itself reproducible.
+#pragma once
+
+#include <algorithm>
+
+namespace tempest::thermal {
+
+struct FanParams {
+  double min_rpm = 900.0;
+  double max_rpm = 6000.0;
+  double g_still_air = 0.25;       ///< sink->ambient conductance at 0 RPM [W/K]
+  double g_per_krpm = 0.40;        ///< added conductance per 1000 RPM [W/K]
+  double auto_target_c = 45.0;     ///< auto mode: sink temperature target
+  double auto_gain_rpm_per_k = 400.0;
+};
+
+class Fan {
+ public:
+  Fan() = default;
+  explicit Fan(FanParams params) : params_(params), rpm_(3000.0) {}
+
+  /// Fixed-speed mode (the paper's experimental setting).
+  void set_fixed_rpm(double rpm);
+  void set_auto(bool enabled) { auto_mode_ = enabled; }
+  bool auto_mode() const { return auto_mode_; }
+
+  /// In auto mode, update RPM from the observed sink temperature.
+  void regulate(double sink_temp_c);
+
+  double rpm() const { return rpm_; }
+  /// Current sink->ambient conductance for the RC network.
+  double conductance_w_per_k() const;
+
+ private:
+  FanParams params_;
+  double rpm_ = 3000.0;
+  bool auto_mode_ = false;
+};
+
+}  // namespace tempest::thermal

@@ -1,0 +1,22 @@
+#include "thermal/power.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tempest::thermal {
+
+PStateTable::PStateTable(std::vector<PState> states) : states_(std::move(states)) {
+  if (states_.empty()) throw std::invalid_argument("PStateTable requires at least one state");
+}
+
+double PStateTable::speed_factor(std::size_t i) const {
+  return states_.at(i).freq_ghz / states_.front().freq_ghz;
+}
+
+double PowerModel::watts(double utilization, std::size_t pstate) const {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  const PState& s = table_.at(pstate);
+  return params_.idle_watts + u * params_.c_eff * s.volts * s.volts * s.freq_ghz;
+}
+
+}  // namespace tempest::thermal

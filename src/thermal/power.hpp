@@ -1,0 +1,63 @@
+// CPU power model.
+//
+// The thermal network is driven by per-core power. We use the classic
+// decomposition P = P_idle + u * C_eff * V^2 * f (utilisation-scaled
+// dynamic power plus static/leakage power), which is the same family of
+// model the event-driven thermal literature the paper cites (Bellosa et
+// al.) fits empirically. DVFS changes (f, V) through a P-state table.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tempest::thermal {
+
+/// One DVFS operating point.
+struct PState {
+  double freq_ghz = 1.8;
+  double volts = 1.35;
+};
+
+/// Ordered highest-performance-first list of operating points.
+class PStateTable {
+ public:
+  PStateTable() : states_{{1.8, 1.35}, {1.4, 1.20}, {1.0, 1.10}} {}
+  explicit PStateTable(std::vector<PState> states);
+
+  std::size_t size() const { return states_.size(); }
+  const PState& at(std::size_t i) const { return states_.at(i); }
+  /// Relative performance of state i vs state 0 (frequency ratio).
+  double speed_factor(std::size_t i) const;
+
+ private:
+  std::vector<PState> states_;
+};
+
+/// Per-core power parameters. Defaults are tuned jointly with the
+/// CpuPackage conductances so a 2-core package idles near 34 C (93 F)
+/// and saturates near 51 C (124 F) — the paper's Figure 2 range.
+struct PowerParams {
+  double idle_watts = 4.2;       ///< leakage + uncore share, always drawn
+  double c_eff = 2.7;            ///< effective capacitance [W / (GHz * V^2)]
+};
+
+/// Computes core power from utilisation and the active P-state.
+class PowerModel {
+ public:
+  PowerModel() = default;
+  PowerModel(PowerParams params, PStateTable table)
+      : params_(params), table_(std::move(table)) {}
+
+  /// Instantaneous power [W] at utilisation u in [0,1] and P-state index.
+  double watts(double utilization, std::size_t pstate) const;
+
+  double idle_watts() const { return params_.idle_watts; }
+  double busy_watts(std::size_t pstate) const { return watts(1.0, pstate); }
+  const PStateTable& pstates() const { return table_; }
+
+ private:
+  PowerParams params_;
+  PStateTable table_;
+};
+
+}  // namespace tempest::thermal

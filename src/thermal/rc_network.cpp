@@ -1,0 +1,130 @@
+#include "thermal/rc_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tempest::thermal {
+
+std::size_t RcNetwork::add_node(std::string name, double capacitance_j_per_k,
+                                double initial_temp_c) {
+  if (capacitance_j_per_k <= 0.0) {
+    throw std::invalid_argument("thermal capacitance must be positive: " + name);
+  }
+  names_.push_back(std::move(name));
+  caps_.push_back(capacitance_j_per_k);
+  temps_.push_back(initial_temp_c);
+  powers_.push_back(0.0);
+  g_ambient_.push_back(0.0);
+  return temps_.size() - 1;
+}
+
+void RcNetwork::connect(std::size_t a, std::size_t b, double conductance_w_per_k) {
+  if (a >= temps_.size() || b >= temps_.size() || a == b) {
+    throw std::out_of_range("RcNetwork::connect: bad node pair");
+  }
+  if (conductance_w_per_k < 0.0) throw std::invalid_argument("negative conductance");
+  edges_.push_back({a, b, conductance_w_per_k});
+}
+
+void RcNetwork::connect_ambient(std::size_t node, double conductance_w_per_k) {
+  if (conductance_w_per_k < 0.0) throw std::invalid_argument("negative conductance");
+  g_ambient_.at(node) += conductance_w_per_k;
+}
+
+void RcNetwork::set_ambient_conductance(std::size_t node, double conductance_w_per_k) {
+  if (conductance_w_per_k < 0.0) throw std::invalid_argument("negative conductance");
+  g_ambient_.at(node) = conductance_w_per_k;
+}
+
+void RcNetwork::set_power(std::size_t node, double watts) { powers_.at(node) = watts; }
+
+std::size_t RcNetwork::node_index(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw std::out_of_range("RcNetwork: no node named " + name);
+}
+
+void RcNetwork::derivatives(const std::vector<double>& temps,
+                            std::vector<double>* out) const {
+  const std::size_t n = temps.size();
+  out->assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*out)[i] = powers_[i] + g_ambient_[i] * (ambient_c_ - temps[i]);
+  }
+  for (const Edge& e : edges_) {
+    const double flow = e.g * (temps[e.b] - temps[e.a]);
+    (*out)[e.a] += flow;
+    (*out)[e.b] -= flow;
+  }
+  for (std::size_t i = 0; i < n; ++i) (*out)[i] /= caps_[i];
+}
+
+double RcNetwork::max_stable_step() const {
+  // RK4 stays accurate well below the smallest node time constant
+  // tau_i = C_i / (sum of conductances touching i); use tau_min / 4.
+  double tau_min = 1e9;
+  std::vector<double> g_total(g_ambient_);
+  for (const Edge& e : edges_) {
+    g_total[e.a] += e.g;
+    g_total[e.b] += e.g;
+  }
+  for (std::size_t i = 0; i < caps_.size(); ++i) {
+    if (g_total[i] > 0.0) tau_min = std::min(tau_min, caps_[i] / g_total[i]);
+  }
+  return tau_min / 4.0;
+}
+
+void RcNetwork::advance(double dt_seconds) {
+  if (dt_seconds <= 0.0 || temps_.empty()) return;
+  const double h_max = max_stable_step();
+  const std::size_t steps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(dt_seconds / h_max)));
+  const double h = dt_seconds / static_cast<double>(steps);
+
+  const std::size_t n = temps_.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  for (std::size_t s = 0; s < steps; ++s) {
+    derivatives(temps_, &k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = temps_[i] + 0.5 * h * k1[i];
+    derivatives(tmp, &k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = temps_[i] + 0.5 * h * k2[i];
+    derivatives(tmp, &k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = temps_[i] + h * k3[i];
+    derivatives(tmp, &k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      temps_[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+  }
+}
+
+void RcNetwork::settle() {
+  // Gauss-Seidel on the steady-state balance equations; the network is
+  // diagonally dominant (every node couples to ambient directly or
+  // through the tree), so this converges quickly.
+  const std::size_t n = temps_.size();
+  for (int iter = 0; iter < 10'000; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double g_sum = g_ambient_[i];
+      double flow = powers_[i] + g_ambient_[i] * ambient_c_;
+      for (const Edge& e : edges_) {
+        if (e.a == i) {
+          g_sum += e.g;
+          flow += e.g * temps_[e.b];
+        } else if (e.b == i) {
+          g_sum += e.g;
+          flow += e.g * temps_[e.a];
+        }
+      }
+      if (g_sum <= 0.0) continue;  // isolated node holds its temperature
+      const double next = flow / g_sum;
+      max_delta = std::max(max_delta, std::fabs(next - temps_[i]));
+      temps_[i] = next;
+    }
+    if (max_delta < 1e-9) break;
+  }
+}
+
+}  // namespace tempest::thermal

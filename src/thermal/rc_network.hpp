@@ -1,0 +1,76 @@
+// Lumped-parameter RC thermal network.
+//
+// This is the compact-model core of the simulated-sensor substrate: the
+// same modelling family as HotSpot (the heavy-weight tool the paper
+// positions itself against), but deliberately small — a handful of nodes
+// per CPU package (die per core, heat spreader, heatsink) coupled to an
+// ambient reservoir. Heat flow between nodes i,j with conductance G_ij:
+//
+//   C_i dT_i/dt = P_i + sum_j G_ij (T_j - T_i) + G_i,amb (T_amb - T_i)
+//
+// advanced with RK4 using automatic sub-stepping bounded by the stiffest
+// node time constant.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tempest::thermal {
+
+class RcNetwork {
+ public:
+  /// Add a thermal node; returns its index. capacitance in J/K.
+  std::size_t add_node(std::string name, double capacitance_j_per_k,
+                       double initial_temp_c);
+
+  /// Symmetric conductance [W/K] between two nodes (additive on repeat).
+  void connect(std::size_t a, std::size_t b, double conductance_w_per_k);
+
+  /// Conductance from a node to the ambient reservoir.
+  void connect_ambient(std::size_t node, double conductance_w_per_k);
+
+  /// Replace (not add to) a node's ambient conductance — used by the fan
+  /// model when RPM changes.
+  void set_ambient_conductance(std::size_t node, double conductance_w_per_k);
+
+  void set_ambient_temp(double celsius) { ambient_c_ = celsius; }
+  double ambient_temp() const { return ambient_c_; }
+
+  /// Heat injected into a node [W]; persists until changed.
+  void set_power(std::size_t node, double watts);
+
+  /// Integrate the network forward by dt seconds (RK4, sub-stepped).
+  void advance(double dt_seconds);
+
+  /// Jump the whole network to its steady state for the current power
+  /// vector (fixed-point iteration; used for warm starts and tests).
+  void settle();
+
+  double temperature(std::size_t node) const { return temps_.at(node); }
+  void set_temperature(std::size_t node, double celsius) { temps_.at(node) = celsius; }
+  std::size_t node_count() const { return temps_.size(); }
+  const std::string& node_name(std::size_t node) const { return names_.at(node); }
+  /// Index of a node by name; throws std::out_of_range when absent.
+  std::size_t node_index(const std::string& name) const;
+
+ private:
+  struct Edge {
+    std::size_t a;
+    std::size_t b;
+    double g;
+  };
+
+  void derivatives(const std::vector<double>& temps, std::vector<double>* out) const;
+  double max_stable_step() const;
+
+  std::vector<std::string> names_;
+  std::vector<double> caps_;
+  std::vector<double> temps_;
+  std::vector<double> powers_;
+  std::vector<double> g_ambient_;
+  std::vector<Edge> edges_;
+  double ambient_c_ = 25.0;
+};
+
+}  // namespace tempest::thermal

@@ -1,0 +1,164 @@
+// The Tempest parser as a standalone command-line tool.
+//
+// Post-processing step of the paper's workflow: "run their code, and
+// invoke the Tempest parser for post processing. By default, Tempest
+// writes data to the standard output, but data can be dumped to a file
+// in a variety of formats."
+//
+//   tempest_parse [options] <trace file>
+//     --unit C|F          report unit (default F, the paper's choice)
+//     --format text|csv|json
+//                         text  = the Fig 2a standard output (default)
+//                         csv   = thermal time series
+//                         json  = full profile dump
+//     --plot [SENSOR]     append an ASCII thermal profile (Fig 2b style);
+//                         optional sensor-name filter
+//     --span FUNCTION     mark FUNCTION's execution spans on plots/CSV
+//                         (repeatable)
+//     --min-samples N     significance threshold (default 2)
+//     --top N             print at most N functions per node
+//     --gnuplot PREFIX    write PREFIX.dat + PREFIX.gp (render with
+//                         `gnuplot PREFIX.gp` -> profile.png)
+//     --no-align          skip cross-node clock alignment (diagnostics)
+//     --exe PATH          symbolise against PATH instead of the path
+//                         recorded in the trace
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "parser/parse.hpp"
+#include "report/ascii_plot.hpp"
+#include <fstream>
+
+#include "report/gnuplot.hpp"
+#include "report/json.hpp"
+#include "report/series.hpp"
+#include "report/stdout_format.hpp"
+#include "trace/align.hpp"
+#include "trace/reader.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--unit C|F] [--format text|csv|json] [--plot [SENSOR]]\n"
+               "       [--span FUNCTION]... [--min-samples N] [--top N]\n"
+               "       [--no-align] [--exe PATH] <trace file>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path, format = "text", plot_sensor, exe_override, gnuplot_prefix;
+  std::vector<std::string> span_functions;
+  bool plot = false, align = true;
+  tempest::parser::ParseOptions options;
+  std::size_t top = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unit") {
+      if (!tempest::parse_temp_unit(next("--unit"), &options.profile.unit)) {
+        std::cerr << "bad unit (use C or F)\n";
+        return 2;
+      }
+    } else if (arg == "--format") {
+      format = next("--format");
+    } else if (arg == "--plot") {
+      plot = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') plot_sensor = argv[++i];
+    } else if (arg == "--span") {
+      span_functions.push_back(next("--span"));
+    } else if (arg == "--min-samples") {
+      options.profile.min_samples_significant =
+          static_cast<std::size_t>(std::strtoul(next("--min-samples"), nullptr, 10));
+    } else if (arg == "--top") {
+      top = static_cast<std::size_t>(std::strtoul(next("--top"), nullptr, 10));
+    } else if (arg == "--gnuplot") {
+      gnuplot_prefix = next("--gnuplot");
+    } else if (arg == "--no-align") {
+      align = false;
+    } else if (arg == "--exe") {
+      exe_override = next("--exe");
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+  options.align_clocks = align;
+
+  auto loaded = tempest::trace::read_trace_file(path);
+  if (!loaded.is_ok()) {
+    std::cerr << "cannot read trace: " << loaded.message() << "\n";
+    return 1;
+  }
+  tempest::trace::Trace trace = std::move(loaded).value();
+  if (!exe_override.empty()) trace.executable = exe_override;
+  tempest::trace::Trace for_series = trace;  // series need the raw samples
+
+  auto parsed = tempest::parser::parse_trace(std::move(trace), options);
+  if (!parsed.is_ok()) {
+    std::cerr << "parse failed: " << parsed.message() << "\n";
+    return 1;
+  }
+  const auto& profile = parsed.value();
+
+  if (align) (void)tempest::trace::align_clocks(&for_series);
+
+  if (format == "text") {
+    tempest::report::StdoutOptions stdout_options;
+    stdout_options.max_functions = top;
+    tempest::report::print_profile(std::cout, profile, stdout_options);
+  } else if (format == "csv") {
+    const auto series = tempest::report::extract_series(
+        for_series, options.profile.unit, span_functions);
+    tempest::report::write_series_csv(std::cout, series);
+  } else if (format == "json") {
+    tempest::report::write_profile_json(std::cout, profile);
+    std::cout << "\n";
+  } else {
+    std::cerr << "unknown format '" << format << "'\n";
+    return 2;
+  }
+
+  if (plot) {
+    const auto series = tempest::report::extract_series(
+        for_series, options.profile.unit, span_functions);
+    tempest::report::PlotOptions plot_options;
+    plot_options.sensor_filter = plot_sensor;
+    tempest::report::plot_series(std::cout, series, plot_options);
+  }
+
+  if (!gnuplot_prefix.empty()) {
+    const auto series = tempest::report::extract_series(
+        for_series, options.profile.unit, span_functions);
+    std::ofstream dat(gnuplot_prefix + ".dat");
+    tempest::report::write_series_gnuplot_data(dat, series);
+    std::ofstream gp(gnuplot_prefix + ".gp");
+    tempest::report::write_series_gnuplot_script(gp, series, gnuplot_prefix + ".dat",
+                                                 gnuplot_prefix + ".png");
+    std::cerr << "wrote " << gnuplot_prefix << ".dat and " << gnuplot_prefix
+              << ".gp\n";
+  }
+
+  if (profile.diagnostics.unmatched_exits > 0 || profile.diagnostics.force_closed > 0) {
+    std::cerr << "note: " << profile.diagnostics.unmatched_exits
+              << " unmatched exits, " << profile.diagnostics.force_closed
+              << " functions force-closed at trace end\n";
+  }
+  return 0;
+}

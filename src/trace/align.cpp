@@ -1,0 +1,68 @@
+#include "trace/align.hpp"
+
+#include <vector>
+
+namespace tempest::trace {
+
+std::uint64_t ClockFit::to_global(std::uint64_t node_tsc) const {
+  const double dx = static_cast<double>(node_tsc) - static_cast<double>(ref);
+  const double g = a * dx + b;
+  return g <= 0.0 ? 0 : static_cast<std::uint64_t>(g);
+}
+
+std::map<std::uint16_t, ClockFit> fit_clocks(const Trace& trace) {
+  std::map<std::uint16_t, std::vector<const ClockSync*>> by_node;
+  for (const auto& s : trace.clock_syncs) by_node[s.node_id].push_back(&s);
+
+  std::map<std::uint16_t, ClockFit> fits;
+  for (const auto& [node, syncs] : by_node) {
+    ClockFit fit;
+    fit.ref = syncs.front()->node_tsc;
+    if (syncs.size() == 1) {
+      fit.a = 1.0;
+      fit.b = static_cast<double>(syncs.front()->global_tsc);
+    } else {
+      // Least squares on (node - ref, global) — deltas keep the doubles
+      // well inside their 53-bit exact range for any realistic run.
+      double sx = 0, sy = 0, sxx = 0, sxy = 0;
+      const double n = static_cast<double>(syncs.size());
+      for (const ClockSync* s : syncs) {
+        const double x = static_cast<double>(s->node_tsc) - static_cast<double>(fit.ref);
+        const double y = static_cast<double>(s->global_tsc);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+      }
+      const double denom = n * sxx - sx * sx;
+      if (denom > 0.0) {
+        fit.a = (n * sxy - sx * sy) / denom;
+        fit.b = (sy - fit.a * sx) / n;
+      } else {
+        fit.a = 1.0;
+        fit.b = sy / n;
+      }
+    }
+    fits[node] = fit;
+  }
+  return fits;
+}
+
+Status align_clocks(Trace* trace) {
+  if (trace->clock_syncs.empty()) return Status::ok();  // single clock domain
+  const auto fits = fit_clocks(*trace);
+
+  for (auto& e : trace->fn_events) {
+    const auto it = fits.find(e.node_id);
+    if (it != fits.end()) e.tsc = it->second.to_global(e.tsc);
+  }
+  for (auto& s : trace->temp_samples) {
+    const auto it = fits.find(s.node_id);
+    if (it != fits.end()) s.tsc = it->second.to_global(s.tsc);
+  }
+  trace->clock_syncs.clear();
+  trace->sort_by_time();
+  return Status::ok();
+}
+
+}  // namespace tempest::trace

@@ -1,0 +1,36 @@
+// Cross-node clock alignment.
+//
+// Node TSCs are unsynchronised (offset + drift — the paper's §3.3
+// limitation). During a run the runtime records ClockSync observations
+// pairing each node's clock with the global clock at barriers. This
+// module fits node_tsc -> global_tsc per node (least-squares line) and
+// rewrites every event/sample into the global domain so the parser can
+// correlate temperatures with code across nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/status.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::trace {
+
+/// Per-node affine clock map: global = a * (node - ref) + b.
+struct ClockFit {
+  std::uint64_t ref = 0;  ///< node-domain reference point
+  double a = 1.0;         ///< rate ratio (captures drift)
+  double b = 0.0;         ///< global value at ref (captures offset)
+
+  std::uint64_t to_global(std::uint64_t node_tsc) const;
+};
+
+/// Fit clock maps from the trace's sync records. Nodes with one sync get
+/// offset-only fits; nodes with none get the identity map.
+std::map<std::uint16_t, ClockFit> fit_clocks(const Trace& trace);
+
+/// Rewrite fn_events and temp_samples into the global clock domain and
+/// re-sort. Idempotent once syncs are consumed (they are cleared).
+Status align_clocks(Trace* trace);
+
+}  // namespace tempest::trace

@@ -1,0 +1,154 @@
+#include "trace/reader.hpp"
+
+#include <fstream>
+#include <limits>
+
+#include "trace/writer.hpp"
+
+namespace tempest::trace {
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::istream& in) : in_(in) {}
+
+  template <typename T>
+  bool get(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(out), sizeof(T));
+    return static_cast<bool>(in_);
+  }
+
+  bool get_string(std::string* out) {
+    std::uint32_t len = 0;
+    if (!get(&len)) return false;
+    if (len > kMaxString) return false;
+    out->resize(len);
+    in_.read(out->data(), len);
+    return static_cast<bool>(in_);
+  }
+
+ private:
+  static constexpr std::uint32_t kMaxString = 1 << 20;
+  std::istream& in_;
+};
+
+// A corrupt count field must fail at the first missing record, not
+// allocate count * sizeof(record) up front — so records are appended
+// one at a time with a bounded initial reserve.
+constexpr std::uint64_t kMaxRecords = 1ULL << 32;
+constexpr std::uint64_t kReserveCap = 1ULL << 16;
+
+}  // namespace
+
+Result<Trace> read_trace(std::istream& in) {
+  Cursor cur(in);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  Trace trace;
+
+  if (!cur.get(&magic) || magic != kTraceMagic) {
+    return Result<Trace>::error("not a Tempest trace (bad magic)");
+  }
+  if (!cur.get(&version) || version != kTraceVersion) {
+    return Result<Trace>::error("unsupported trace version");
+  }
+  if (!cur.get(&trace.tsc_ticks_per_second) || !cur.get_string(&trace.executable) ||
+      !cur.get(&trace.load_bias)) {
+    return Result<Trace>::error("truncated trace header");
+  }
+
+  std::uint32_t n32 = 0;
+  if (!cur.get(&n32)) return Result<Trace>::error("truncated node section");
+  trace.nodes.reserve(std::min<std::uint64_t>(n32, kReserveCap));
+  for (std::uint32_t i = 0; i < n32; ++i) {
+    NodeInfo n;
+    if (!cur.get(&n.node_id) || !cur.get_string(&n.hostname)) {
+      return Result<Trace>::error("truncated node record");
+    }
+    trace.nodes.push_back(std::move(n));
+  }
+
+  if (!cur.get(&n32)) return Result<Trace>::error("truncated sensor section");
+  trace.sensors.reserve(std::min<std::uint64_t>(n32, kReserveCap));
+  for (std::uint32_t i = 0; i < n32; ++i) {
+    SensorMeta s;
+    if (!cur.get(&s.node_id) || !cur.get(&s.sensor_id) || !cur.get(&s.quant_step_c) ||
+        !cur.get_string(&s.name)) {
+      return Result<Trace>::error("truncated sensor record");
+    }
+    trace.sensors.push_back(std::move(s));
+  }
+
+  if (!cur.get(&n32)) return Result<Trace>::error("truncated thread section");
+  trace.threads.reserve(std::min<std::uint64_t>(n32, kReserveCap));
+  for (std::uint32_t i = 0; i < n32; ++i) {
+    ThreadInfo t;
+    if (!cur.get(&t.thread_id) || !cur.get(&t.node_id) || !cur.get(&t.core)) {
+      return Result<Trace>::error("truncated thread record");
+    }
+    trace.threads.push_back(t);
+  }
+
+  if (!cur.get(&n32)) return Result<Trace>::error("truncated synthetic-symbol section");
+  trace.synthetic_symbols.reserve(std::min<std::uint64_t>(n32, kReserveCap));
+  for (std::uint32_t i = 0; i < n32; ++i) {
+    SyntheticSymbol s;
+    if (!cur.get(&s.addr) || !cur.get_string(&s.name)) {
+      return Result<Trace>::error("truncated synthetic symbol");
+    }
+    trace.synthetic_symbols.push_back(std::move(s));
+  }
+
+  std::uint64_t n64 = 0;
+  if (!cur.get(&n64) || n64 > kMaxRecords) {
+    return Result<Trace>::error("truncated or oversized event section");
+  }
+  trace.fn_events.reserve(std::min(n64, kReserveCap));
+  for (std::uint64_t i = 0; i < n64; ++i) {
+    FnEvent e;
+    std::uint8_t kind = 0;
+    if (!cur.get(&e.tsc) || !cur.get(&e.addr) || !cur.get(&e.thread_id) ||
+        !cur.get(&e.node_id) || !cur.get(&kind)) {
+      return Result<Trace>::error("truncated fn event");
+    }
+    if (kind != 1 && kind != 2) return Result<Trace>::error("corrupt fn event kind");
+    e.kind = static_cast<FnEventKind>(kind);
+    trace.fn_events.push_back(e);
+  }
+
+  if (!cur.get(&n64) || n64 > kMaxRecords) {
+    return Result<Trace>::error("truncated or oversized sample section");
+  }
+  trace.temp_samples.reserve(std::min(n64, kReserveCap));
+  for (std::uint64_t i = 0; i < n64; ++i) {
+    TempSample s;
+    if (!cur.get(&s.tsc) || !cur.get(&s.temp_c) || !cur.get(&s.node_id) ||
+        !cur.get(&s.sensor_id)) {
+      return Result<Trace>::error("truncated temp sample");
+    }
+    trace.temp_samples.push_back(s);
+  }
+
+  if (!cur.get(&n64) || n64 > kMaxRecords) {
+    return Result<Trace>::error("truncated or oversized clock-sync section");
+  }
+  trace.clock_syncs.reserve(std::min(n64, kReserveCap));
+  for (std::uint64_t i = 0; i < n64; ++i) {
+    ClockSync c;
+    if (!cur.get(&c.node_tsc) || !cur.get(&c.global_tsc) || !cur.get(&c.node_id)) {
+      return Result<Trace>::error("truncated clock sync");
+    }
+    trace.clock_syncs.push_back(c);
+  }
+
+  return trace;
+}
+
+Result<Trace> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Result<Trace>::error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+}  // namespace tempest::trace

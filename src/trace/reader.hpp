@@ -1,0 +1,18 @@
+// Binary trace deserialisation with bounds checking.
+//
+// Truncated or corrupt files come back as Status errors, never UB —
+// the parser is routinely pointed at files from interrupted runs.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "common/status.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::trace {
+
+Result<Trace> read_trace(std::istream& in);
+Result<Trace> read_trace_file(const std::string& path);
+
+}  // namespace tempest::trace

@@ -1,0 +1,34 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace tempest::trace {
+
+void Trace::sort_by_time() {
+  std::stable_sort(fn_events.begin(), fn_events.end(),
+                   [](const FnEvent& a, const FnEvent& b) { return a.tsc < b.tsc; });
+  std::stable_sort(temp_samples.begin(), temp_samples.end(),
+                   [](const TempSample& a, const TempSample& b) { return a.tsc < b.tsc; });
+}
+
+std::uint64_t Trace::start_tsc() const {
+  std::uint64_t start = UINT64_MAX;
+  for (const auto& e : fn_events) start = std::min(start, e.tsc);
+  for (const auto& s : temp_samples) start = std::min(start, s.tsc);
+  return start == UINT64_MAX ? 0 : start;
+}
+
+std::uint64_t Trace::end_tsc() const {
+  std::uint64_t end = 0;
+  for (const auto& e : fn_events) end = std::max(end, e.tsc);
+  for (const auto& s : temp_samples) end = std::max(end, s.tsc);
+  return end;
+}
+
+double Trace::seconds_from_start(std::uint64_t tsc) const {
+  const std::uint64_t start = start_tsc();
+  if (tsc <= start || tsc_ticks_per_second <= 0.0) return 0.0;
+  return static_cast<double>(tsc - start) / tsc_ticks_per_second;
+}
+
+}  // namespace tempest::trace

@@ -1,0 +1,98 @@
+// Trace data model.
+//
+// A Tempest run produces, per node: function entry/exit events stamped
+// with the node's TSC, temperature samples from tempd, and metadata
+// (hostname, sensor inventory, thread->core binding). Clock-sync records
+// pair node-local with global timestamps so the merger can align
+// unsynchronised counters (§3.3). The profiled process keeps everything
+// in this in-memory form and serialises once at exit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tempest::trace {
+
+enum class FnEventKind : std::uint8_t { kEnter = 1, kExit = 2 };
+
+/// Function entry or exit, stamped in the owning node's clock domain.
+struct FnEvent {
+  std::uint64_t tsc = 0;
+  std::uint64_t addr = 0;       ///< function address (symbolised later)
+  std::uint32_t thread_id = 0;  ///< dense per-process thread index
+  std::uint16_t node_id = 0;
+  FnEventKind kind = FnEventKind::kEnter;
+};
+
+/// One tempd reading.
+struct TempSample {
+  std::uint64_t tsc = 0;
+  double temp_c = 0.0;
+  std::uint16_t node_id = 0;
+  std::uint16_t sensor_id = 0;
+};
+
+/// (node clock, global clock) observation used for alignment.
+struct ClockSync {
+  std::uint64_t node_tsc = 0;
+  std::uint64_t global_tsc = 0;
+  std::uint16_t node_id = 0;
+};
+
+struct NodeInfo {
+  std::uint16_t node_id = 0;
+  std::string hostname;
+};
+
+struct SensorMeta {
+  std::uint16_t node_id = 0;
+  std::uint16_t sensor_id = 0;
+  std::string name;
+  double quant_step_c = 0.0;
+};
+
+struct ThreadInfo {
+  std::uint32_t thread_id = 0;
+  std::uint16_t node_id = 0;
+  std::uint16_t core = 0;
+};
+
+/// Name for a synthetic "function" address minted by the explicit
+/// region / per-block API (no ELF symbol exists for those).
+struct SyntheticSymbol {
+  std::uint64_t addr = 0;
+  std::string name;
+};
+
+/// Synthetic addresses live far above any plausible text segment.
+inline constexpr std::uint64_t kSyntheticAddrBase = 0xFFFF'F000'0000'0000ULL;
+
+/// A complete run's worth of profiling data.
+struct Trace {
+  double tsc_ticks_per_second = 0.0;
+  std::string executable;       ///< path used for symbol resolution
+  std::uint64_t load_bias = 0;  ///< runtime - link-time address delta (PIE)
+
+  std::vector<NodeInfo> nodes;
+  std::vector<SensorMeta> sensors;
+  std::vector<ThreadInfo> threads;
+  std::vector<SyntheticSymbol> synthetic_symbols;
+  std::vector<FnEvent> fn_events;
+  std::vector<TempSample> temp_samples;
+  std::vector<ClockSync> clock_syncs;
+
+  /// Sort events and samples by (timestamp, enter-before-exit ties kept
+  /// stable); callers run this after concatenating per-thread buffers.
+  void sort_by_time();
+
+  /// Earliest timestamp across events and samples (0 when empty).
+  std::uint64_t start_tsc() const;
+  /// Latest timestamp across events and samples (0 when empty).
+  std::uint64_t end_tsc() const;
+
+  /// Seconds between start and a given tsc, using the recorded rate.
+  double seconds_from_start(std::uint64_t tsc) const;
+};
+
+}  // namespace tempest::trace

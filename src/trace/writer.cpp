@@ -1,0 +1,90 @@
+#include "trace/writer.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace tempest::trace {
+namespace {
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+}  // namespace
+
+Status write_trace(std::ostream& out, const Trace& trace) {
+  put(out, kTraceMagic);
+  put(out, kTraceVersion);
+  put(out, trace.tsc_ticks_per_second);
+  put_string(out, trace.executable);
+  put(out, trace.load_bias);
+
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(trace.nodes.size()));
+  for (const auto& n : trace.nodes) {
+    put(out, n.node_id);
+    put_string(out, n.hostname);
+  }
+
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(trace.sensors.size()));
+  for (const auto& s : trace.sensors) {
+    put(out, s.node_id);
+    put(out, s.sensor_id);
+    put(out, s.quant_step_c);
+    put_string(out, s.name);
+  }
+
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(trace.threads.size()));
+  for (const auto& t : trace.threads) {
+    put(out, t.thread_id);
+    put(out, t.node_id);
+    put(out, t.core);
+  }
+
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(trace.synthetic_symbols.size()));
+  for (const auto& s : trace.synthetic_symbols) {
+    put(out, s.addr);
+    put_string(out, s.name);
+  }
+
+  put<std::uint64_t>(out, trace.fn_events.size());
+  for (const auto& e : trace.fn_events) {
+    put(out, e.tsc);
+    put(out, e.addr);
+    put(out, e.thread_id);
+    put(out, e.node_id);
+    put(out, static_cast<std::uint8_t>(e.kind));
+  }
+
+  put<std::uint64_t>(out, trace.temp_samples.size());
+  for (const auto& s : trace.temp_samples) {
+    put(out, s.tsc);
+    put(out, s.temp_c);
+    put(out, s.node_id);
+    put(out, s.sensor_id);
+  }
+
+  put<std::uint64_t>(out, trace.clock_syncs.size());
+  for (const auto& c : trace.clock_syncs) {
+    put(out, c.node_tsc);
+    put(out, c.global_tsc);
+    put(out, c.node_id);
+  }
+
+  if (!out) return Status::error("trace write failed (stream error)");
+  return Status::ok();
+}
+
+Status write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::error("cannot open trace file for writing: " + path);
+  return write_trace(out, trace);
+}
+
+}  // namespace tempest::trace

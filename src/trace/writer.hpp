@@ -1,0 +1,28 @@
+// Binary trace serialisation.
+//
+// Format: fixed header (magic, version, tsc rate, executable path),
+// then length-prefixed sections per record class. All integers are
+// little-endian; the format is the on-disk hand-off between the
+// profiled run and the Tempest parser, mirroring the paper's
+// "profiling information ... is aggregated into a trace file".
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/status.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::trace {
+
+inline constexpr std::uint64_t kTraceMagic = 0x5443'5254'5350'4d54ULL;  // "TMPSTRCT"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Serialise a complete trace to a stream. Returns error on I/O failure.
+Status write_trace(std::ostream& out, const Trace& trace);
+
+/// Convenience: write to a file path (truncates).
+Status write_trace_file(const std::string& path, const Trace& trace);
+
+}  // namespace tempest::trace

@@ -1,0 +1,137 @@
+// End-to-end CLI test: produce a trace in-process, then drive the
+// tempest_parse binary over it in every output mode.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/api.hpp"
+#include "core/workbench.hpp"
+#include "simnode/cluster.hpp"
+
+#ifndef TEMPEST_PARSE_BIN
+#define TEMPEST_PARSE_BIN "tools/tempest_parse"
+#endif
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_path_ = new std::string(::testing::TempDir() + "/cli.trace");
+    auto node_config =
+        tempest::simnode::make_node_config(tempest::simnode::NodeKind::kX86Basic);
+    node_config.package.time_scale = 30.0;
+    static tempest::simnode::SimNode node(node_config);
+    auto& session = tempest::core::Session::instance();
+    session.clear_nodes();
+    const auto node_id = session.register_sim_node(&node);
+    tempest::core::SessionConfig config;
+    config.sample_hz = 30.0;
+    config.bind_affinity = false;
+    config.output_path = *trace_path_;
+    ASSERT_TRUE(session.start(config));
+    tempest::core::Workbench bench(&node, node_id);
+    bench.attach();
+    {
+      tempest::ScopedRegion region("cli_hot");
+      bench.burn(0.4);
+    }
+    {
+      tempest::ScopedRegion region("cli_cool");
+      bench.idle(0.2);
+    }
+    bench.detach();
+    ASSERT_TRUE(session.stop());
+    session.clear_nodes();
+  }
+
+  /// Run the CLI; returns exit code, captures stdout to a file.
+  int run_cli(const std::string& args, std::string* output) {
+    const std::string out_path = ::testing::TempDir() + "/cli.out";
+    const std::string cmd = std::string(TEMPEST_PARSE_BIN) + " " + args + " \"" +
+                            *trace_path_ + "\" > " + out_path + " 2>/dev/null";
+    const int rc = std::system(cmd.c_str());
+    *output = slurp(out_path);
+    return rc;
+  }
+
+  static std::string* trace_path_;
+};
+
+std::string* CliTest::trace_path_ = nullptr;
+
+TEST_F(CliTest, DefaultTextOutput) {
+  std::string out;
+  ASSERT_EQ(run_cli("", &out), 0);
+  EXPECT_NE(out.find("Function: cli_hot"), std::string::npos);
+  EXPECT_NE(out.find("Total Time(sec)"), std::string::npos);
+  EXPECT_NE(out.find("(F)"), std::string::npos);
+}
+
+TEST_F(CliTest, CelsiusUnit) {
+  std::string out;
+  ASSERT_EQ(run_cli("--unit C", &out), 0);
+  EXPECT_NE(out.find("(C)"), std::string::npos);
+}
+
+TEST_F(CliTest, CsvFormat) {
+  std::string out;
+  ASSERT_EQ(run_cli("--format csv --span cli_hot", &out), 0);
+  EXPECT_NE(out.find("time_s,node,sensor,temp_F"), std::string::npos);
+  EXPECT_NE(out.find("# span,0,cli_hot"), std::string::npos);
+}
+
+TEST_F(CliTest, JsonFormat) {
+  std::string out;
+  ASSERT_EQ(run_cli("--format json", &out), 0);
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"cli_hot\""), std::string::npos);
+}
+
+TEST_F(CliTest, AsciiPlot) {
+  std::string out;
+  ASSERT_EQ(run_cli("--plot CPU", &out), 0);
+  EXPECT_NE(out.find("legend: *=CPU"), std::string::npos);
+}
+
+TEST_F(CliTest, GnuplotOutputs) {
+  const std::string prefix = ::testing::TempDir() + "/cli_gp";
+  std::string out;
+  ASSERT_EQ(run_cli("--gnuplot " + prefix, &out), 0);
+  const std::string dat = slurp(prefix + ".dat");
+  const std::string gp = slurp(prefix + ".gp");
+  EXPECT_NE(dat.find("# node=node1 sensor=CPU"), std::string::npos);
+  EXPECT_NE(gp.find("set multiplot"), std::string::npos);
+  EXPECT_NE(gp.find(prefix + ".dat"), std::string::npos);
+}
+
+TEST_F(CliTest, TopLimitsFunctions) {
+  std::string out;
+  ASSERT_EQ(run_cli("--top 1", &out), 0);
+  EXPECT_NE(out.find("Function: cli_hot"), std::string::npos);
+  EXPECT_EQ(out.find("Function: cli_cool"), std::string::npos);
+}
+
+TEST_F(CliTest, BadInputsFailGracefully) {
+  const std::string out_path = ::testing::TempDir() + "/cli.out";
+  EXPECT_NE(std::system((std::string(TEMPEST_PARSE_BIN) + " /nonexistent.trace > " +
+                         out_path + " 2>/dev/null")
+                            .c_str()),
+            0);
+  EXPECT_NE(std::system((std::string(TEMPEST_PARSE_BIN) + " > " + out_path +
+                         " 2>/dev/null")
+                            .c_str()),
+            0);
+}
+
+}  // namespace

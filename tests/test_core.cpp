@@ -1,0 +1,209 @@
+// libtempest core: session lifecycle, tempd sampling, explicit and
+// per-block APIs, config parsing, workbench DVFS stretching.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "core/api.hpp"
+#include "core/config.hpp"
+#include "core/perblk.hpp"
+#include "core/session.hpp"
+#include "core/workbench.hpp"
+#include "simnode/cluster.hpp"
+
+namespace {
+
+using namespace tempest;
+using core::Session;
+using core::SessionConfig;
+using core::Workbench;
+
+simnode::NodeConfig fast_node() {
+  auto config = simnode::make_node_config(simnode::NodeKind::kX86Basic);
+  config.package.time_scale = 30.0;
+  return config;
+}
+
+SessionConfig test_config(double hz = 50.0) {
+  SessionConfig c;
+  c.sample_hz = hz;
+  c.bind_affinity = false;
+  return c;
+}
+
+TEST(SessionConfig, EnvOverrides) {
+  ::setenv("TEMPEST_HZ", "8", 1);
+  ::setenv("TEMPEST_UNIT", "C", 1);
+  ::setenv("TEMPEST_BIND", "0", 1);
+  ::setenv("TEMPEST_OUT", "/tmp/t.trace", 1);
+  ::setenv("TEMPEST_MIN_SAMPLES", "5", 1);
+  const SessionConfig c = SessionConfig::from_env();
+  EXPECT_DOUBLE_EQ(c.sample_hz, 8.0);
+  EXPECT_EQ(c.unit, TempUnit::kCelsius);
+  EXPECT_FALSE(c.bind_affinity);
+  EXPECT_EQ(c.output_path, "/tmp/t.trace");
+  EXPECT_EQ(c.min_samples_significant, 5u);
+  ::unsetenv("TEMPEST_HZ");
+  ::unsetenv("TEMPEST_UNIT");
+  ::unsetenv("TEMPEST_BIND");
+  ::unsetenv("TEMPEST_OUT");
+  ::unsetenv("TEMPEST_MIN_SAMPLES");
+}
+
+TEST(SessionConfig, InvalidHzFallsBackToPaperRate) {
+  ::setenv("TEMPEST_HZ", "-3", 1);
+  EXPECT_DOUBLE_EQ(SessionConfig::from_env().sample_hz, 4.0);
+  ::unsetenv("TEMPEST_HZ");
+}
+
+TEST(Session, LifecycleErrors) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  // No nodes: start refuses.
+  EXPECT_FALSE(session.start(test_config()));
+  EXPECT_FALSE(session.stop());  // not active
+
+  simnode::SimNode node(fast_node());
+  session.register_sim_node(&node);
+  ASSERT_TRUE(session.start(test_config()));
+  EXPECT_TRUE(session.active());
+  EXPECT_FALSE(session.start(test_config()));  // double start
+  ASSERT_TRUE(session.stop());
+  EXPECT_FALSE(session.active());
+  session.clear_nodes();
+}
+
+TEST(Session, TempdSamplesAtConfiguredRate) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  simnode::SimNode node(fast_node());
+  session.register_sim_node(&node);
+
+  ASSERT_TRUE(session.start(test_config(20.0)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_TRUE(session.stop());
+
+  const auto& trace = session.last_trace();
+  // ~10 ticks x 3 sensors; allow generous scheduling slack.
+  EXPECT_GE(trace.temp_samples.size(), 3u * 6u);
+  EXPECT_LE(trace.temp_samples.size(), 3u * 20u);
+  // Sensor metadata recorded for the x86 layout.
+  EXPECT_EQ(trace.sensors.size(), 3u);
+  EXPECT_EQ(trace.nodes.size(), 1u);
+  EXPECT_GT(trace.tsc_ticks_per_second, 0.0);
+  EXPECT_FALSE(trace.executable.empty());
+  // tempd is light: well under the paper's 1% CPU bound even at 20 Hz.
+  EXPECT_LT(session.tempd_stats().cpu_seconds, 0.05);
+  EXPECT_EQ(session.tempd_stats().read_errors, 0u);
+  session.clear_nodes();
+}
+
+TEST(Session, ExplicitRegionsAndBlocks) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  simnode::SimNode node(fast_node());
+  const auto node_id = session.register_sim_node(&node);
+  ASSERT_TRUE(session.start(test_config()));
+  (void)session.attach_current_thread(node_id, 0);
+
+  {
+    ScopedRegion outer("outer_region");
+    tempest_blk_begin("outer_region", "block1");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    tempest_blk_end("outer_region", "block1");
+    region_enter("manual");
+    region_exit("manual");
+  }
+  ASSERT_TRUE(session.stop());
+  const auto& trace = session.last_trace();
+
+  // 3 synthetic names: outer_region, outer_region:block1, manual.
+  ASSERT_EQ(trace.synthetic_symbols.size(), 3u);
+  EXPECT_EQ(trace.fn_events.size(), 6u);
+  bool found_block = false;
+  for (const auto& s : trace.synthetic_symbols) {
+    found_block |= s.name == "outer_region:block1";
+  }
+  EXPECT_TRUE(found_block);
+  session.clear_nodes();
+}
+
+TEST(Session, SyntheticAddrStablePerName) {
+  auto& session = Session::instance();
+  const auto a1 = session.synthetic_addr("same_name");
+  const auto a2 = session.synthetic_addr("same_name");
+  const auto b = session.synthetic_addr("other_name");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_GE(a1, trace::kSyntheticAddrBase);
+}
+
+TEST(Session, EventsDroppedWhenInactive) {
+  auto& session = Session::instance();
+  const std::size_t before = session.registry().total_events();
+  session.record_enter(0x1234);  // inactive: dropped
+  session.record_exit(0x1234);
+  EXPECT_EQ(session.registry().total_events(), before);
+}
+
+TEST(Session, AttachRejectsUnknownNode) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  EXPECT_FALSE(session.attach_current_thread(7, 0));
+}
+
+TEST(Session, MultipleRunsInOneProcess) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  simnode::SimNode node(fast_node());
+  session.register_sim_node(&node);
+
+  for (int run = 0; run < 3; ++run) {
+    ASSERT_TRUE(session.start(test_config()));
+    {
+      ScopedRegion r("repeat_region");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(session.stop());
+    EXPECT_EQ(session.last_trace().fn_events.size(), 2u) << "run " << run;
+  }
+  session.clear_nodes();
+}
+
+TEST(Workbench, BurnHonoursDvfsSpeedFactor) {
+  // A throttled node stretches the same work: compare wall time at
+  // full speed vs pinned to the slowest P-state.
+  auto config = fast_node();
+  simnode::SimNode fast(config);
+  simnode::SimNode slow(config);
+  // Force the slow node's governor into its lowest state.
+  slow.package().governor() =
+      thermal::DvfsGovernor({thermal::GovernorMode::kThreshold, -100.0, -200.0}, 3);
+  (void)slow.package().governor().evaluate(50.0);
+  (void)slow.package().governor().evaluate(50.0);
+  ASSERT_LT(slow.speed_factor(), 1.0);
+
+  Workbench wb_fast(&fast, 0), wb_slow(&slow, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  wb_fast.burn(0.1);
+  const auto t1 = std::chrono::steady_clock::now();
+  wb_slow.burn(0.1);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double fast_s = std::chrono::duration<double>(t1 - t0).count();
+  const double slow_s = std::chrono::duration<double>(t2 - t1).count();
+  EXPECT_GT(slow_s, fast_s * 1.3);
+}
+
+TEST(Workbench, IdleMarksMeterIdle) {
+  simnode::SimNode node(fast_node());
+  Workbench bench(&node, 0);
+  bench.attach();
+  EXPECT_TRUE(node.core_meter(0).busy());
+  bench.idle(0.02);
+  EXPECT_TRUE(node.core_meter(0).busy());  // restored after idle scope
+  bench.detach();
+  EXPECT_FALSE(node.core_meter(0).busy());
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// The heavy-weight die mesh: hot-spot localisation, physical
+// invariants, and agreement with the compact model in aggregate.
+#include <gtest/gtest.h>
+
+#include "thermal/cpu_package.hpp"
+#include "thermal/die_mesh.hpp"
+
+namespace {
+
+using namespace tempest::thermal;
+
+TEST(DieMesh, DefaultFloorplanCoversTheDie) {
+  const auto plan = default_floorplan(8, 8);
+  ASSERT_EQ(plan.size(), 5u);
+  // Every cell belongs to exactly one unit.
+  std::vector<int> owners(64, 0);
+  for (const auto& u : plan) {
+    for (int y = u.y0; y <= u.y1; ++y) {
+      for (int x = u.x0; x <= u.x1; ++x) ++owners[static_cast<std::size_t>(y * 8 + x)];
+    }
+  }
+  for (int c = 0; c < 64; ++c) EXPECT_EQ(owners[static_cast<std::size_t>(c)], 1) << c;
+}
+
+TEST(DieMesh, HotUnitLocalisesTheHotSpot) {
+  DieMesh mesh{DieMeshParams{}};
+  mesh.set_unit_power("core0.FPU", 12.0);  // only one unit burns
+  mesh.set_unit_power("L2", 1.0);
+  mesh.settle();
+  const auto [hx, hy] = mesh.hottest_xy();
+  // core0.FPU occupies columns [2,3], rows [2,7] on the 8x8 default plan.
+  EXPECT_GE(hx, 2);
+  EXPECT_LE(hx, 3);
+  EXPECT_GE(hy, 2);
+  // The gradient across the die is visible — the detail a single-diode
+  // (or compact per-core) model cannot provide.
+  EXPECT_GT(mesh.hottest_cell(), mesh.coolest_cell() + 1.0);
+}
+
+TEST(DieMesh, MirrorSymmetricLoadHeatsMirrorCellsEqually) {
+  // The default floorplan mirrors core0.FPU (x 2-3) onto core1.ALU
+  // (x 4-5) under x -> 7-x; loading that pair equally must produce a
+  // left-right symmetric temperature field.
+  DieMesh mesh{DieMeshParams{}};
+  mesh.set_unit_power("core0.FPU", 8.0);
+  mesh.set_unit_power("core1.ALU", 8.0);
+  mesh.settle();
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_NEAR(mesh.cell_temp(x, y), mesh.cell_temp(7 - x, y), 1e-6)
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(DieMesh, AggregateAgreesWithCompactModelRegime) {
+  // Same total power through comparable vertical/sink parameters: the
+  // mesh's mean die temperature lands in the compact model's range
+  // (the fidelity claim: the middle-weight model loses detail, not
+  // aggregate truth).
+  PackageParams compact;
+  compact.cores = 2;
+  CpuPackage pkg(compact);
+  pkg.settle_at({1.0, 1.0});
+  const double compact_die = pkg.die_temp(0);
+
+  DieMeshParams mp;
+  mp.vertical_g_w_per_k = compact.g_die_spreader * 2;  // two cores' worth
+  mp.g_spreader_sink = compact.g_spreader_sink;
+  mp.g_sink_ambient = 1.9;  // compact fan at 3000 rpm + chassis path
+  DieMesh mesh(mp);
+  const double total = pkg.power_model().busy_watts(0) * 2;
+  mesh.set_unit_power("core0.ALU", total * 0.2);
+  mesh.set_unit_power("core0.FPU", total * 0.3);
+  mesh.set_unit_power("core1.ALU", total * 0.2);
+  mesh.set_unit_power("core1.FPU", total * 0.3);
+  mesh.settle();
+  EXPECT_NEAR(mesh.mean_die_temp(), compact_die, 6.0);
+}
+
+TEST(DieMesh, StateSizeScalesWithResolution) {
+  DieMeshParams small;
+  small.width = small.height = 4;
+  DieMeshParams big;
+  big.width = big.height = 16;
+  big.floorplan = default_floorplan(16, 16);
+  EXPECT_EQ(DieMesh(small).state_size(), 4u * 4u + 2u);
+  EXPECT_EQ(DieMesh(big).state_size(), 16u * 16u + 2u);
+}
+
+TEST(DieMesh, InvalidConfigsRejected) {
+  DieMeshParams bad;
+  bad.width = 1;
+  EXPECT_THROW(DieMesh{bad}, std::invalid_argument);
+
+  DieMeshParams out_of_bounds;
+  out_of_bounds.floorplan = {{"rogue", 0, 0, 99, 99}};
+  EXPECT_THROW(DieMesh{out_of_bounds}, std::invalid_argument);
+
+  DieMesh mesh{DieMeshParams{}};
+  EXPECT_THROW(mesh.set_unit_power("no_such_unit", 1.0), std::out_of_range);
+}
+
+TEST(DieMesh, TransientHeatingIsLocalisedBeforeItSpreads) {
+  DieMesh mesh{DieMeshParams{}};
+  mesh.set_unit_power("core1.FPU", 15.0);
+  mesh.advance(0.05);  // brief burst
+  // Early on, the burning unit leads the far corner by more than it
+  // will at steady state relative to its own rise (diffusion lag).
+  const double fpu_early = mesh.cell_temp(7, 7);
+  const double far_early = mesh.cell_temp(0, 0);
+  EXPECT_GT(fpu_early, far_early);
+  mesh.settle();
+  EXPECT_GT(mesh.cell_temp(7, 7), mesh.cell_temp(0, 0));
+}
+
+}  // namespace

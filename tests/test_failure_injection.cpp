@@ -1,0 +1,177 @@
+// Failure injection: flaky sensors, unbalanced instrumentation,
+// interrupted runs — the paper notes "thermal sensor technology is
+// emergent and at times unstable", so the pipeline must degrade
+// gracefully, never corrupt a profile.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/api.hpp"
+#include "core/session.hpp"
+#include "core/workbench.hpp"
+#include "parser/parse.hpp"
+#include "sensors/backend.hpp"
+#include "simnode/cluster.hpp"
+
+namespace {
+
+using namespace tempest;
+
+/// Fails every k-th read; otherwise returns a fixed temperature.
+class FlakyBackend : public sensors::SensorBackend {
+ public:
+  FlakyBackend(std::size_t count, int fail_every)
+      : fail_every_(fail_every) {
+    for (std::size_t i = 0; i < count; ++i) {
+      sensors::SensorInfo info;
+      info.id = static_cast<std::uint16_t>(i);
+      info.name = "flaky" + std::to_string(i);
+      info.source = "test";
+      sensors_.push_back(info);
+    }
+  }
+  std::vector<sensors::SensorInfo> enumerate() const override { return sensors_; }
+  Result<double> read_celsius(std::uint16_t id) override {
+    if (id >= sensors_.size()) return Result<double>::error("bad id");
+    if (++reads_ % fail_every_ == 0) {
+      return Result<double>::error("transient sensor failure");
+    }
+    return 40.0;
+  }
+  int reads() const { return reads_; }
+
+ private:
+  std::vector<sensors::SensorInfo> sensors_;
+  int fail_every_;
+  int reads_ = 0;
+};
+
+// Minimal binding surgery: register a sim node, then point tempd at a
+// flaky backend via a custom SimNode-free binding. The public API only
+// exposes sim/hwmon registration, so we exercise flakiness through a
+// SimNode whose backend wrapper fails — simplest is to register the
+// flaky backend through a friend-free path: use Session's hwmon-less
+// branch by constructing the binding equivalent manually is not public;
+// instead we validate tempd's error handling directly.
+#include "core/tempd.hpp"
+
+TEST(FailureInjection, TempdSkipsFailedReadsAndCounts) {
+  FlakyBackend backend(3, 4);  // every 4th read fails
+  std::vector<core::NodeBinding> bindings;
+  core::NodeBinding binding;
+  binding.node_id = 0;
+  binding.hostname = "flaky-node";
+  binding.backend = &backend;
+  binding.sensors = backend.enumerate();
+  bindings.push_back(std::move(binding));
+
+  core::Tempd tempd;
+  tempd.start(50.0, &bindings);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  tempd.stop();
+
+  EXPECT_GT(tempd.stats().read_errors, 0u);
+  EXPECT_GT(tempd.stats().samples, 0u);
+  // Samples + errors account for every attempted read.
+  EXPECT_EQ(tempd.stats().samples + tempd.stats().read_errors,
+            static_cast<std::uint64_t>(backend.reads()));
+  // All recorded samples carry the good value.
+  for (const auto& s : tempd.samples()) EXPECT_DOUBLE_EQ(s.temp_c, 40.0);
+}
+
+TEST(FailureInjection, UnbalancedExplicitRegionsSurviveParsing) {
+  auto& session = core::Session::instance();
+  auto config = simnode::make_node_config(simnode::NodeKind::kX86Basic);
+  simnode::SimNode node(config);
+  session.clear_nodes();
+  session.register_sim_node(&node);
+  core::SessionConfig sc;
+  sc.sample_hz = 50.0;
+  sc.bind_affinity = false;
+  ASSERT_TRUE(session.start(sc));
+
+  region_enter("opened_never_closed");
+  region_exit("closed_never_opened");
+  {
+    ScopedRegion ok("well_formed");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(session.stop());
+
+  auto parsed = parser::parse_trace(session.take_trace());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().diagnostics.unmatched_exits, 1u);
+  EXPECT_EQ(parsed.value().diagnostics.force_closed, 1u);
+  EXPECT_NE(parsed.value().find(0, "well_formed"), nullptr);
+  // The never-closed region still appears, closed at trace end.
+  EXPECT_NE(parsed.value().find(0, "opened_never_closed"), nullptr);
+  session.clear_nodes();
+}
+
+TEST(FailureInjection, EventsFromUnattachedThreadsLandOnNodeZero) {
+  auto& session = core::Session::instance();
+  auto config = simnode::make_node_config(simnode::NodeKind::kX86Basic);
+  simnode::SimNode node(config);
+  session.clear_nodes();
+  session.register_sim_node(&node);
+  core::SessionConfig sc;
+  sc.sample_hz = 50.0;
+  sc.bind_affinity = false;
+  ASSERT_TRUE(session.start(sc));
+
+  std::thread worker([] {
+    // Never attached to any node: defaults must hold.
+    ScopedRegion region("orphan_region");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  worker.join();
+  ASSERT_TRUE(session.stop());
+
+  auto parsed = parser::parse_trace(session.take_trace());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_NE(parsed.value().find(0, "orphan_region"), nullptr);
+  session.clear_nodes();
+}
+
+TEST(FailureInjection, StopWithoutEventsProducesEmptyButValidProfile) {
+  auto& session = core::Session::instance();
+  auto config = simnode::make_node_config(simnode::NodeKind::kX86Basic);
+  simnode::SimNode node(config);
+  session.clear_nodes();
+  session.register_sim_node(&node);
+  core::SessionConfig sc;
+  sc.sample_hz = 100.0;
+  sc.bind_affinity = false;
+  ASSERT_TRUE(session.start(sc));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(session.stop());
+
+  auto parsed = parser::parse_trace(session.take_trace());
+  ASSERT_TRUE(parsed.is_ok());
+  // Samples exist (tempd ran); no functions were traced.
+  for (const auto& n : parsed.value().nodes) EXPECT_TRUE(n.functions.empty());
+  session.clear_nodes();
+}
+
+TEST(FailureInjection, ParserToleratesSamplesOutsideAnyFunction) {
+  trace::Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.nodes = {{0, "n"}};
+  t.sensors = {{0, 0, "cpu", 1.0}};
+  t.threads = {{0, 0, 0}};
+  t.synthetic_symbols = {{trace::kSyntheticAddrBase, "fn"}};
+  t.fn_events = {{500, trace::kSyntheticAddrBase, 0, 0, trace::FnEventKind::kEnter},
+                 {600, trace::kSyntheticAddrBase, 0, 0, trace::FnEventKind::kExit}};
+  // Samples entirely before and after the only function.
+  t.temp_samples = {{100, 30.0, 0, 0}, {900, 35.0, 0, 0}};
+  auto parsed = parser::parse_trace(std::move(t));
+  ASSERT_TRUE(parsed.is_ok());
+  const auto* fn = parsed.value().find(0, "fn");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_FALSE(fn->significant);  // zero in-interval samples
+  // Snapshot fallback used the nearest reading.
+  ASSERT_FALSE(fn->sensors.empty());
+  EXPECT_EQ(fn->sensors.front().sample_count, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// The gprof-style flat bucket profiler: bucket semantics (self vs
+// inclusive time, recursion) and its agreement with Tempest on the same
+// instrumented workload (paper §3.4: "both tools provided similar
+// results for total execution time").
+#include <gtest/gtest.h>
+
+#include "core/workbench.hpp"
+#include "gprofsim/flat_profiler.hpp"
+#include "micro/micro.hpp"
+#include "simnode/cluster.hpp"
+
+namespace {
+
+using gprofsim::FlatProfiler;
+
+micro::MicroParams make_params(tempest::core::Workbench* bench) {
+  return micro::MicroParams{bench, 0.01};
+}
+
+TEST(FlatProfiler, BucketsSelfAndInclusiveTime) {
+  auto node_config = tempest::simnode::make_node_config(
+      tempest::simnode::NodeKind::kX86Basic);
+  tempest::simnode::SimNode node(node_config);
+  tempest::core::Workbench bench(&node, 0);
+
+  auto& profiler = FlatProfiler::instance();
+  profiler.reset();
+  profiler.start();
+  micro::run_micro_d(make_params(&bench));  // foo1 { burn; foo2 } ; foo2
+  profiler.stop();
+
+  const auto profile = profiler.flat_profile();
+  ASSERT_FALSE(profile.empty());
+
+  const gprofsim::FlatEntry* foo1 = nullptr;
+  const gprofsim::FlatEntry* foo2 = nullptr;
+  for (const auto& e : profile) {
+    if (e.name.find("foo1") != std::string::npos) foo1 = &e;
+    if (e.name.find("foo2") != std::string::npos) foo2 = &e;
+  }
+  ASSERT_NE(foo1, nullptr);
+  ASSERT_NE(foo2, nullptr);
+  EXPECT_EQ(foo1->calls, 1u);
+  EXPECT_EQ(foo2->calls, 2u);
+  // foo1's burn dominates its self time; foo2's waits are its own.
+  EXPECT_GT(foo1->self_s, 0.3);
+  // Inclusive foo1 covers its nested foo2 call, so self < total; the
+  // nested wait is ~half of foo2's accumulated self time.
+  EXPECT_GE(foo1->total_s, foo1->self_s + 0.3 * foo2->self_s);
+  EXPECT_LT(foo1->self_s, foo1->total_s);
+}
+
+TEST(FlatProfiler, RecursionDoesNotDoubleCountInclusive) {
+  auto node_config = tempest::simnode::make_node_config(
+      tempest::simnode::NodeKind::kX86Basic);
+  tempest::simnode::SimNode node(node_config);
+  tempest::core::Workbench bench(&node, 0);
+
+  auto& profiler = FlatProfiler::instance();
+  profiler.reset();
+  profiler.start();
+  micro::run_micro_e(make_params(&bench));  // recursive rec_fn
+  profiler.stop();
+
+  const gprofsim::FlatEntry* rec = nullptr;
+  for (const auto& e : profiler.flat_profile()) {
+    if (e.name.find("rec_fn") != std::string::npos) rec = &e;
+  }
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->calls, 6u);  // depths 3+1 -> 4 + 2 activations
+  // Inclusive counted only for outermost activations: strictly less
+  // than calls * per-call time would suggest, and >= self.
+  EXPECT_GE(rec->total_s, rec->self_s);
+  EXPECT_LT(rec->total_s, rec->self_s * 3.0);
+}
+
+TEST(FlatProfiler, InactiveHooksCostNothing) {
+  auto& profiler = FlatProfiler::instance();
+  profiler.reset();
+  EXPECT_FALSE(profiler.active());
+  profiler.on_enter(reinterpret_cast<void*>(0x1));  // ignored
+  profiler.on_exit(reinterpret_cast<void*>(0x1));
+  profiler.stop();  // no-op
+  EXPECT_TRUE(profiler.flat_profile().empty());
+}
+
+TEST(FlatProfiler, SelfSecondsLookupByName) {
+  auto node_config = tempest::simnode::make_node_config(
+      tempest::simnode::NodeKind::kX86Basic);
+  tempest::simnode::SimNode node(node_config);
+  tempest::core::Workbench bench(&node, 0);
+
+  auto& profiler = FlatProfiler::instance();
+  profiler.reset();
+  profiler.start();
+  micro::run_micro_b(make_params(&bench));
+  profiler.stop();
+
+  double found = 0.0;
+  for (const auto& e : profiler.flat_profile()) {
+    if (e.name.find("work_small") != std::string::npos) {
+      found = profiler.self_seconds(e.name);
+    }
+  }
+  EXPECT_GT(found, 0.02);
+  EXPECT_DOUBLE_EQ(profiler.self_seconds("no_such_function"), 0.0);
+}
+
+}  // namespace

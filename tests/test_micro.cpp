@@ -1,0 +1,150 @@
+// Table 1 micro-benchmark validation: each interleaving/recursion
+// variant traced through the full transparent-instrumentation pipeline
+// produces the expected function inventory, call counts and orderings.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "core/workbench.hpp"
+#include "micro/micro.hpp"
+#include "parser/parse.hpp"
+#include "simnode/cluster.hpp"
+
+namespace {
+
+using tempest::core::Session;
+using tempest::core::SessionConfig;
+using tempest::core::Workbench;
+
+class MicroPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto node_config =
+        tempest::simnode::make_node_config(tempest::simnode::NodeKind::kX86Basic);
+    node_config.package.time_scale = 30.0;
+    node_ = std::make_unique<tempest::simnode::SimNode>(node_config);
+    auto& session = Session::instance();
+    session.clear_nodes();
+    node_id_ = session.register_sim_node(node_.get());
+    bench_ = std::make_unique<Workbench>(node_.get(), node_id_);
+  }
+
+  tempest::parser::RunProfile profile_of(void (*variant)(const micro::MicroParams&),
+                                         double scale = 0.004) {
+    auto& session = Session::instance();
+    SessionConfig config;
+    config.sample_hz = 50.0;
+    config.bind_affinity = false;
+    EXPECT_TRUE(session.start(config));
+    bench_->attach();
+    variant(micro::MicroParams{bench_.get(), scale});
+    bench_->detach();
+    EXPECT_TRUE(session.stop());
+    auto parsed = tempest::parser::parse_trace(session.take_trace());
+    EXPECT_TRUE(parsed.is_ok()) << parsed.message();
+    return std::move(parsed).value();
+  }
+
+  const tempest::parser::FunctionProfile* find(const tempest::parser::RunProfile& p,
+                                               const std::string& substring) {
+    for (const auto& node : p.nodes) {
+      for (const auto& fn : node.functions) {
+        if (fn.name.find(substring) != std::string::npos) return &fn;
+      }
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<tempest::simnode::SimNode> node_;
+  std::unique_ptr<Workbench> bench_;
+  std::uint16_t node_id_ = 0;
+};
+
+TEST_F(MicroPipeline, VariantA_MainAlone) {
+  const auto profile = profile_of(&micro::run_micro_a);
+  const auto* a = find(profile, "run_micro_a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->calls, 1u);
+  EXPECT_GT(a->total_time_s, 0.02);
+  // No helper functions traced.
+  EXPECT_EQ(find(profile, "foo1"), nullptr);
+  EXPECT_EQ(find(profile, "work_small"), nullptr);
+}
+
+TEST_F(MicroPipeline, VariantB_OneFunction) {
+  const auto profile = profile_of(&micro::run_micro_b);
+  const auto* fn = find(profile, "work_small");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->calls, 1u);
+  const auto* outer = find(profile, "run_micro_b");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_GE(outer->total_time_s, fn->total_time_s);  // inclusive nesting
+}
+
+TEST_F(MicroPipeline, VariantC_MultipleFunctions) {
+  // Larger scale: the 2:1 medium/small ratio must dominate scheduler
+  // noise when the whole suite runs in parallel.
+  const auto profile = profile_of(&micro::run_micro_c, 0.02);
+  const auto* small = find(profile, "work_small");
+  const auto* medium = find(profile, "work_medium");
+  const auto* wait = find(profile, "cool_wait");
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(medium, nullptr);
+  ASSERT_NE(wait, nullptr);
+  // medium burns twice small's work.
+  EXPECT_GT(medium->total_time_s, small->total_time_s * 1.4);
+}
+
+TEST_F(MicroPipeline, VariantD_Interleaving) {
+  const auto profile = profile_of(&micro::run_micro_d);
+  const auto* foo1 = find(profile, "foo1");
+  const auto* foo2 = find(profile, "foo2");
+  ASSERT_NE(foo1, nullptr);
+  ASSERT_NE(foo2, nullptr);
+  EXPECT_EQ(foo1->calls, 1u);
+  EXPECT_EQ(foo2->calls, 2u);  // nested in foo1 + direct
+  // foo1 dominates the run (the Fig 2 shape).
+  const auto* driver = find(profile, "run_micro_d");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_GT(foo1->total_time_s / driver->total_time_s, 0.6);
+  // foo1 inclusive of its nested foo2 call, so > its burn share alone.
+  EXPECT_GT(foo1->total_time_s, foo2->total_time_s);
+}
+
+TEST_F(MicroPipeline, VariantE_RecursionWithInterleaving) {
+  const auto profile = profile_of(&micro::run_micro_e);
+  const auto* rec = find(profile, "rec_fn");
+  const auto* leaf = find(profile, "rec_leaf");
+  const auto* driver = find(profile, "run_micro_e");
+  ASSERT_NE(rec, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(rec->calls, 6u);   // depth-3 chain (4 calls) + depth-1 (2)
+  EXPECT_EQ(leaf->calls, 4u);  // one per unwind level
+  // Recursion must not double-count: rec_fn inclusive stays under the
+  // driver's total.
+  EXPECT_LE(rec->total_time_s, driver->total_time_s * 1.001);
+}
+
+TEST_F(MicroPipeline, VariantF_ShortFunctionsRecordCheaply) {
+  auto& session = Session::instance();
+  SessionConfig config;
+  config.sample_hz = 20.0;
+  config.bind_affinity = false;
+  ASSERT_TRUE(session.start(config));
+  bench_->attach();
+  const std::uint64_t result =
+      micro::run_micro_f(micro::MicroParams{bench_.get(), 1.0}, 50'000);
+  bench_->detach();
+  ASSERT_TRUE(session.stop());
+  EXPECT_NE(result, 0u);
+
+  auto parsed = tempest::parser::parse_trace(session.take_trace());
+  ASSERT_TRUE(parsed.is_ok());
+  const auto* tiny = find(parsed.value(), "tiny_fn");
+  ASSERT_NE(tiny, nullptr);
+  EXPECT_EQ(tiny->calls, 50'000u);
+  // Too short for thermal significance at 20 Hz... unless the whole
+  // loop happens to span samples; either way the profile must exist.
+}
+
+}  // namespace

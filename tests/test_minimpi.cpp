@@ -1,0 +1,201 @@
+// Message-passing runtime: point-to-point semantics, collectives,
+// barrier ordering, placement and error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "minimpi/runtime.hpp"
+
+namespace {
+
+using minimpi::Comm;
+
+TEST(MiniMpi, SendRecvDeliversInOrder) {
+  minimpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) comm.send_n(1, 5, &i, 1);
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int got = -1;
+        comm.recv_n(0, 5, &got, 1);
+        EXPECT_EQ(got, i);
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, TagsKeepStreamsSeparate) {
+  minimpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 111, b = 222;
+      comm.send_n(1, 1, &a, 1);
+      comm.send_n(1, 2, &b, 1);
+    } else {
+      int b = 0, a = 0;
+      comm.recv_n(0, 2, &b, 1);  // receive tag 2 first
+      comm.recv_n(0, 1, &a, 1);
+      EXPECT_EQ(a, 111);
+      EXPECT_EQ(b, 222);
+    }
+  });
+}
+
+TEST(MiniMpi, SizeMismatchThrows) {
+  EXPECT_THROW(
+      minimpi::run(2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 0) {
+                       const double big[4] = {1, 2, 3, 4};
+                       comm.send_n(1, 9, big, 4);
+                     } else {
+                       double small[2];
+                       comm.recv_n(0, 9, small, 2);
+                     }
+                   }),
+      std::length_error);
+}
+
+TEST(MiniMpi, BadRankThrows) {
+  EXPECT_THROW(minimpi::run(2,
+                            [](Comm& comm) {
+                              if (comm.rank() == 0) {
+                                int x = 0;
+                                comm.send_n(5, 0, &x, 1);
+                              }
+                            }),
+               std::out_of_range);
+}
+
+TEST(MiniMpi, BarrierSynchronises) {
+  std::atomic<int> before{0}, after{0};
+  minimpi::run(4, [&](Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    // Everyone incremented `before` by the time anyone passes.
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(MiniMpi, BcastFromEveryRoot) {
+  for (int root = 0; root < 3; ++root) {
+    minimpi::run(3, [root](Comm& comm) {
+      double value = comm.rank() == root ? 42.5 : 0.0;
+      comm.bcast(&value, sizeof(value), root);
+      EXPECT_DOUBLE_EQ(value, 42.5);
+    });
+  }
+}
+
+TEST(MiniMpi, AllreduceSumAndMax) {
+  minimpi::run(4, [](Comm& comm) {
+    double v[2] = {static_cast<double>(comm.rank()), 1.0};
+    comm.allreduce_sum_inplace(v, 2);
+    EXPECT_DOUBLE_EQ(v[0], 6.0);  // 0+1+2+3
+    EXPECT_DOUBLE_EQ(v[1], 4.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(comm.rank() * 10)), 30.0);
+  });
+}
+
+TEST(MiniMpi, ReduceSumToRoot) {
+  minimpi::run(3, [](Comm& comm) {
+    const double in = 2.0 * comm.rank() + 1.0;  // 1, 3, 5
+    double out = 0.0;
+    comm.reduce_sum(&in, &out, 1, 2);
+    if (comm.rank() == 2) {
+      EXPECT_DOUBLE_EQ(out, 9.0);
+    }
+  });
+}
+
+TEST(MiniMpi, AlltoallPermutesBlocks) {
+  minimpi::run(4, [](Comm& comm) {
+    // Rank r sends value 100*r + d to destination d.
+    std::vector<int> send(4), recv(4);
+    for (int d = 0; d < 4; ++d) send[static_cast<std::size_t>(d)] = 100 * comm.rank() + d;
+    comm.alltoall(send.data(), recv.data(), 1);
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)], 100 * s + comm.rank());
+    }
+  });
+}
+
+TEST(MiniMpi, AllgatherCollectsEqualBlocks) {
+  minimpi::run(3, [](Comm& comm) {
+    const double mine[2] = {static_cast<double>(comm.rank()), 7.0};
+    double all[6] = {};
+    comm.allgather(mine, all, 2);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_DOUBLE_EQ(all[2 * r], static_cast<double>(r));
+      EXPECT_DOUBLE_EQ(all[2 * r + 1], 7.0);
+    }
+  });
+}
+
+TEST(MiniMpi, CollectiveSequencesDoNotCollide) {
+  // Back-to-back collectives of the same kind must not mix rounds.
+  minimpi::run(3, [](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      double v = comm.rank() + round;
+      comm.allreduce_sum_inplace(&v, 1);
+      EXPECT_DOUBLE_EQ(v, 3.0 + 3.0 * round);
+    }
+  });
+}
+
+TEST(MiniMpi, RankExceptionPropagates) {
+  EXPECT_THROW(minimpi::run(2,
+                            [](Comm& comm) {
+                              if (comm.rank() == 1) throw std::runtime_error("rank boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(MiniMpi, PlacementRoundRobinAcrossCluster) {
+  tempest::simnode::ClusterConfig cc;
+  cc.nodes = 2;
+  tempest::simnode::Cluster cluster(cc);
+  minimpi::RunOptions options;
+  options.cluster = &cluster;
+  options.attach_to_session = false;
+
+  std::vector<int> node_of_rank(4, -1);
+  minimpi::run(4, [&](Comm& comm) {
+    node_of_rank[static_cast<std::size_t>(comm.rank())] =
+        comm.world().placement(comm.rank()).node_id;
+  }, options);
+  EXPECT_EQ(node_of_rank, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(MiniMpi, MessageCountersAdvance) {
+  minimpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const char payload[16] = {};
+      comm.send(1, 3, payload, sizeof(payload));
+    } else {
+      char payload[16];
+      comm.recv(0, 3, payload, sizeof(payload));
+      EXPECT_GE(comm.world().messages_sent(), 1u);
+      EXPECT_GE(comm.world().bytes_sent(), 16u);
+    }
+  });
+}
+
+TEST(MiniMpi, WtimeAdvances) {
+  minimpi::run(1, [](Comm& comm) {
+    const double t0 = comm.wtime();
+    double x = 0;
+    for (int i = 0; i < 100000; ++i) x += i;
+    volatile double sink = x; (void)sink;
+    EXPECT_GE(comm.wtime(), t0);
+  });
+}
+
+TEST(MiniMpi, ZeroRanksRejected) {
+  EXPECT_THROW(minimpi::run(0, [](Comm&) {}), std::invalid_argument);
+}
+
+}  // namespace

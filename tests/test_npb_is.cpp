@@ -1,0 +1,57 @@
+// IS benchmark: sorting correctness, population preservation across
+// rank counts, and the alltoallv path it exercises.
+#include <gtest/gtest.h>
+
+#include "minimpi/runtime.hpp"
+#include "npb/is.hpp"
+
+namespace {
+
+using namespace npb;
+
+class IsParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsParallel, MatchesSerialPopulationAndSorts) {
+  const int np = GetParam();
+  IsConfig config{12, 10, 4};
+  IsResult result;
+  minimpi::run(np, [&](minimpi::Comm& comm) { result = is_run(comm, config); });
+  const VerifyResult v = is_verify(result, config);
+  EXPECT_TRUE(v.passed) << v.detail;
+  EXPECT_EQ(result.total_keys, 1 << 12);
+  EXPECT_TRUE(result.globally_sorted);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, IsParallel, ::testing::Values(1, 2, 4, 8));
+
+TEST(Is, KeysRoughlyCentered) {
+  // Four averaged draws centre the distribution: mean near max_key/2,
+  // clearly non-uniform (low variance vs uniform).
+  const IsResult r = is_serial(IsConfig{12, 10, 1});
+  const double n = static_cast<double>(r.total_keys);
+  const double mean = r.key_sum / n;
+  const double var = r.key_sq_sum / n - mean * mean;
+  const double max_key = 1 << 10;
+  EXPECT_NEAR(mean, max_key / 2, max_key * 0.03);
+  // Uniform variance would be max_key^2/12; averaging 4 draws quarters it.
+  EXPECT_LT(var, max_key * max_key / 12.0 * 0.5);
+}
+
+TEST(Is, IndivisibleRankCountRejected) {
+  EXPECT_THROW(minimpi::run(3,
+                            [](minimpi::Comm& comm) {
+                              (void)is_run(comm, IsConfig{4, 8, 1});
+                            }),
+               std::invalid_argument);
+}
+
+TEST(Is, DeterministicAcrossRuns) {
+  IsConfig config = IsConfig::for_class(ProblemClass::S);
+  IsResult a, b;
+  minimpi::run(2, [&](minimpi::Comm& comm) { a = is_run(comm, config); });
+  minimpi::run(2, [&](minimpi::Comm& comm) { b = is_run(comm, config); });
+  EXPECT_EQ(a.key_sum, b.key_sum);
+  EXPECT_EQ(a.key_sq_sum, b.key_sq_sum);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// SP benchmark: pentadiagonal solver correctness and
+// parallel-vs-serial verification.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "minimpi/runtime.hpp"
+#include "npb/sp.hpp"
+
+namespace {
+
+using namespace npb;
+
+TEST(PentaSolver, SolvesAgainstDirectMultiplication) {
+  // Build the banded matrix explicitly, pick x, form b = A x, and
+  // check solve(b) == x.
+  const int n = 17;
+  const double a0 = 3.0, a1 = -0.8, a2 = 0.1;
+  PentaSolver solver(n, a0, a1, a2);
+
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = dist(rng);
+
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int d = -2; d <= 2; ++d) {
+      const int j = i + d;
+      if (j < 0 || j >= n) continue;
+      const double coeff = d == 0 ? a0 : (std::abs(d) == 1 ? a1 : a2);
+      b[static_cast<std::size_t>(i)] += coeff * x[static_cast<std::size_t>(j)];
+    }
+  }
+  solver.solve(b.data(), 1);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(i)], 1e-10)
+        << i;
+  }
+}
+
+TEST(PentaSolver, StridedSolveMatchesContiguous) {
+  const int n = 9;
+  PentaSolver solver(n, 4.0, -1.0, 0.2);
+  std::vector<double> contiguous(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) contiguous[static_cast<std::size_t>(i)] = i + 1.0;
+  std::vector<double> strided(static_cast<std::size_t>(n) * 3, 0.0);
+  for (int i = 0; i < n; ++i) strided[static_cast<std::size_t>(i) * 3] = i + 1.0;
+  solver.solve(contiguous.data(), 1);
+  solver.solve(strided.data(), 3);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(strided[static_cast<std::size_t>(i) * 3],
+                     contiguous[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(PentaSolver, TooSmallSystemRejected) {
+  EXPECT_THROW(PentaSolver(2, 1.0, 0.0, 0.0), std::invalid_argument);
+}
+
+class SpParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpParallel, MatchesSerialAndConverges) {
+  const int np = GetParam();
+  SpConfig config{8, 8, 8, 5, 0.02, 0.05};
+  SpResult result;
+  minimpi::run(np, [&](minimpi::Comm& comm) { result = sp_run(comm, config); });
+  const VerifyResult v = sp_verify(result, config);
+  EXPECT_TRUE(v.passed) << v.detail;
+  ASSERT_EQ(result.rhs_norms.size(), 5u);
+  EXPECT_LT(result.rhs_norms.back(), result.rhs_norms.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SpParallel, ::testing::Values(1, 2, 4));
+
+TEST(Sp, ErrorShrinksWithIterations) {
+  SpConfig base{10, 10, 10, 2, 0.02, 0.05};
+  SpConfig longer = base;
+  longer.niter = 12;
+  EXPECT_LT(sp_serial(longer).final_error, sp_serial(base).final_error);
+}
+
+TEST(Sp, InvalidDecompositionRejected) {
+  EXPECT_THROW(minimpi::run(3,
+                            [](minimpi::Comm& comm) {
+                              (void)sp_run(comm, SpConfig{8, 8, 8, 1, 0.02, 0.05});
+                            }),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Profile building: sample attribution, significance rule, unit
+// conversion, ordering, synthetic-symbol resolution.
+#include <gtest/gtest.h>
+
+#include "parser/parse.hpp"
+#include "parser/profile.hpp"
+
+namespace {
+
+using namespace tempest::parser;
+using tempest::trace::FnEventKind;
+using tempest::trace::Trace;
+
+/// A two-function trace on one node with a 4 Hz-like sample train.
+/// Function 1 ("hot") runs [0, 8e9) ticks at 1e9 ticks/s = 8 s; function
+/// 2 ("quick") runs [8e9, 8.05e9) = 50 ms, shorter than the sampling
+/// interval.
+Trace synthetic_trace() {
+  Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.nodes = {{0, "node1"}};
+  t.sensors = {{0, 0, "sensor1", 1.0}, {0, 1, "sensor2", 1.0}};
+  t.threads = {{0, 0, 0}};
+  t.synthetic_symbols = {{tempest::trace::kSyntheticAddrBase + 0, "hot"},
+                         {tempest::trace::kSyntheticAddrBase + 1, "quick"}};
+  const auto hot = tempest::trace::kSyntheticAddrBase + 0;
+  const auto quick = tempest::trace::kSyntheticAddrBase + 1;
+  t.fn_events = {
+      {0, hot, 0, 0, FnEventKind::kEnter},
+      {8'000'000'000ULL, hot, 0, 0, FnEventKind::kExit},
+      {8'000'000'000ULL, quick, 0, 0, FnEventKind::kEnter},
+      {8'050'000'000ULL, quick, 0, 0, FnEventKind::kExit},
+  };
+  // Samples every 0.25 s during hot: temperatures rising 30 -> 37 C.
+  for (int i = 0; i < 32; ++i) {
+    const auto tsc = static_cast<std::uint64_t>(i * 250'000'000ULL);
+    t.temp_samples.push_back({tsc, 30.0 + i * 0.22, 0, 0});
+    t.temp_samples.push_back({tsc, 25.0, 0, 1});  // flat board sensor
+  }
+  t.sort_by_time();
+  return t;
+}
+
+TEST(Parser, AttributesSamplesAndConvertsUnits) {
+  ParseOptions options;
+  options.profile.unit = tempest::TempUnit::kFahrenheit;
+  auto parsed = parse_trace(synthetic_trace(), options);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  const RunProfile& profile = parsed.value();
+
+  ASSERT_EQ(profile.nodes.size(), 1u);
+  const FunctionProfile* hot = profile.find(0, "hot");
+  ASSERT_NE(hot, nullptr);
+  EXPECT_NEAR(hot->total_time_s, 8.0, 1e-6);
+  EXPECT_TRUE(hot->significant);
+  ASSERT_EQ(hot->sensors.size(), 2u);
+  // sensor1 rises: min 86 F (30 C), max ~99.7 F.
+  EXPECT_NEAR(hot->sensors[0].stats.min, 86.0, 0.01);
+  EXPECT_GT(hot->sensors[0].stats.max, 97.0);
+  EXPECT_GT(hot->sensors[0].stats.sdv, 0.0);
+  // Flat sensor2: Sdv = Var = 0 (the Tables 2/3 signature).
+  EXPECT_DOUBLE_EQ(hot->sensors[1].stats.sdv, 0.0);
+  EXPECT_DOUBLE_EQ(hot->sensors[1].stats.var, 0.0);
+  EXPECT_DOUBLE_EQ(hot->sensors[1].stats.min, hot->sensors[1].stats.max);
+}
+
+TEST(Parser, CelsiusOutputSkipsConversion) {
+  ParseOptions options;
+  options.profile.unit = tempest::TempUnit::kCelsius;
+  auto parsed = parse_trace(synthetic_trace(), options);
+  ASSERT_TRUE(parsed.is_ok());
+  const FunctionProfile* hot = parsed.value().find(0, "hot");
+  ASSERT_NE(hot, nullptr);
+  EXPECT_NEAR(hot->sensors[0].stats.min, 30.0, 0.01);
+}
+
+TEST(Parser, ShortFunctionFlaggedInsignificantWithSnapshot) {
+  auto parsed = parse_trace(synthetic_trace());
+  ASSERT_TRUE(parsed.is_ok());
+  const FunctionProfile* quick = parsed.value().find(0, "quick");
+  ASSERT_NE(quick, nullptr);
+  EXPECT_FALSE(quick->significant);
+  // Snapshot still reports the nearest reading per sensor (one sample).
+  ASSERT_EQ(quick->sensors.size(), 2u);
+  EXPECT_EQ(quick->sensors[0].sample_count, 1u);
+  // Nearest sample to its start (t = 8 s) is the last one (t = 7.75 s).
+  EXPECT_NEAR(quick->sensors[0].stats.min,
+              tempest::celsius_to_fahrenheit(30.0 + 31 * 0.22), 0.01);
+}
+
+TEST(Parser, FunctionsSortedByTotalTime) {
+  auto parsed = parse_trace(synthetic_trace());
+  ASSERT_TRUE(parsed.is_ok());
+  const auto& fns = parsed.value().nodes[0].functions;
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].name, "hot");
+  EXPECT_EQ(fns[1].name, "quick");
+  EXPECT_GE(fns[0].total_time_s, fns[1].total_time_s);
+}
+
+TEST(Parser, MinSamplesOptionControlsSignificance) {
+  ParseOptions options;
+  options.profile.min_samples_significant = 1;
+  auto parsed = parse_trace(synthetic_trace(), options);
+  ASSERT_TRUE(parsed.is_ok());
+  // "quick" has 0 in-interval samples, still insignificant at min 1;
+  // lower to 0 and it becomes significant trivially.
+  EXPECT_FALSE(parsed.value().find(0, "quick")->significant);
+
+  options.profile.min_samples_significant = 0;
+  auto parsed0 = parse_trace(synthetic_trace(), options);
+  EXPECT_TRUE(parsed0.value().find(0, "quick")->significant);
+}
+
+TEST(Parser, RunDurationCoversEventsAndSamples) {
+  auto parsed = parse_trace(synthetic_trace());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_NEAR(parsed.value().duration_s, 8.05, 1e-6);
+  EXPECT_NEAR(parsed.value().nodes[0].duration_s, 8.05, 1e-6);
+}
+
+TEST(Parser, UnknownAddressesRenderHexWithoutResolver) {
+  Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.nodes = {{0, "n"}};
+  t.threads = {{0, 0, 0}};
+  t.fn_events = {{0, 0xabc123, 0, 0, FnEventKind::kEnter},
+                 {1000, 0xabc123, 0, 0, FnEventKind::kExit}};
+  auto parsed = parse_trace(std::move(t));
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed.value().nodes[0].functions.size(), 1u);
+  EXPECT_EQ(parsed.value().nodes[0].functions[0].name, "0xabc123");
+}
+
+TEST(Parser, EmptyTraceParsesToEmptyProfile) {
+  auto parsed = parse_trace(Trace{});
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed.value().nodes.empty());
+}
+
+}  // namespace

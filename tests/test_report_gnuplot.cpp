@@ -1,0 +1,61 @@
+// Gnuplot writers: structure of the emitted data and script.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/gnuplot.hpp"
+
+namespace {
+
+using namespace tempest::report;
+
+ThermalSeries two_node_series() {
+  ThermalSeries s;
+  s.unit = tempest::TempUnit::kFahrenheit;
+  s.duration_s = 4.0;
+  SensorSeries a;
+  a.node_id = 0;
+  a.node_name = "node1";
+  a.sensor_name = "cpu";
+  a.points = {{0.0, 100.0}, {1.0, 104.0}, {2.0, 108.0}};
+  SensorSeries b;
+  b.node_id = 1;
+  b.node_name = "node2";
+  b.sensor_name = "cpu";
+  b.points = {{0.0, 98.0}, {2.0, 99.0}};
+  s.sensors = {a, b};
+  s.spans = {{0, "hot_fn", 0.5, 1.5}};
+  return s;
+}
+
+TEST(Gnuplot, DataFileHasIndexableBlocks) {
+  std::ostringstream out;
+  write_series_gnuplot_data(out, two_node_series());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# node=node1 sensor=cpu"), std::string::npos);
+  EXPECT_NE(text.find("# node=node2 sensor=cpu"), std::string::npos);
+  EXPECT_NE(text.find("\n\n\n"), std::string::npos);  // double blank separator
+  EXPECT_NE(text.find("1 104"), std::string::npos);
+}
+
+TEST(Gnuplot, ScriptPlotsOnePanelPerNode) {
+  std::ostringstream out;
+  write_series_gnuplot_script(out, two_node_series(), "prof.dat", "prof.png");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("set multiplot layout 2,1"), std::string::npos);
+  EXPECT_NE(text.find("set output 'prof.png'"), std::string::npos);
+  EXPECT_NE(text.find("'prof.dat' index 0"), std::string::npos);
+  EXPECT_NE(text.find("'prof.dat' index 1"), std::string::npos);
+  // Span rendered as a shaded rectangle on node 1's panel only.
+  EXPECT_NE(text.find("set object 1 rect from 0.5"), std::string::npos);
+  EXPECT_NE(text.find("title 'node 1'"), std::string::npos);
+  EXPECT_NE(text.find("title 'node 2'"), std::string::npos);
+}
+
+TEST(Gnuplot, EmptySeriesProducesComment) {
+  std::ostringstream out;
+  write_series_gnuplot_script(out, ThermalSeries{}, "x.dat");
+  EXPECT_NE(out.str().find("# no data"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Activity metering, simulated nodes, cluster heterogeneity, layouts.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/tsc.hpp"
+#include "simnode/activity.hpp"
+#include "simnode/cluster.hpp"
+#include "simnode/layouts.hpp"
+#include "simnode/node.hpp"
+
+namespace {
+
+using namespace tempest::simnode;
+
+TEST(ActivityMeter, FullyBusyWindow) {
+  ActivityMeter m;
+  m.set_busy(1000);
+  EXPECT_NEAR(m.sample(2000), 1.0, 1e-12);
+  EXPECT_TRUE(m.busy());
+}
+
+TEST(ActivityMeter, FullyIdleWindow) {
+  ActivityMeter m;
+  m.set_idle(1000);
+  EXPECT_NEAR(m.sample(2000), 0.0, 1e-12);
+  EXPECT_FALSE(m.busy());
+}
+
+TEST(ActivityMeter, HalfBusyWindow) {
+  ActivityMeter m;
+  m.set_busy(0);
+  m.sample(0);  // open window at t=0
+  m.set_idle(500);
+  EXPECT_NEAR(m.sample(1000), 0.5, 1e-9);
+}
+
+TEST(ActivityMeter, MultipleTransitionsAccumulate) {
+  ActivityMeter m;
+  m.set_idle(0);
+  m.sample(0);
+  m.set_busy(100);
+  m.set_idle(200);
+  m.set_busy(300);
+  m.set_idle(600);
+  // Busy: [100,200) + [300,600) = 400 of 1000.
+  EXPECT_NEAR(m.sample(1000), 0.4, 1e-9);
+  // Window resets: nothing busy since.
+  EXPECT_NEAR(m.sample(2000), 0.0, 1e-9);
+}
+
+TEST(ActivityMeter, SampleWhileBusySplitsAcrossWindows) {
+  ActivityMeter m;
+  m.set_busy(0);
+  m.sample(0);
+  EXPECT_NEAR(m.sample(1000), 1.0, 1e-9);  // busy the whole window
+  m.set_idle(1500);
+  EXPECT_NEAR(m.sample(2000), 0.5, 1e-9);  // busy [1000,1500) of [1000,2000)
+}
+
+TEST(ActivityMeter, IdleScopeRestoresBusy) {
+  ActivityMeter m;
+  m.set_busy(tempest::rdtsc());
+  {
+    IdleScope idle(m, tempest::rdtsc());
+    EXPECT_FALSE(m.busy());
+  }
+  EXPECT_TRUE(m.busy());
+}
+
+TEST(Layouts, SensorCountsMatchThePaper) {
+  EXPECT_EQ(x86_basic_layout().size(), 3u);    // "as few as 3 sensors on x86"
+  EXPECT_EQ(opteron_layout(4).size(), 6u);     // Tables 2/3 print six
+  EXPECT_EQ(g5_layout().size(), 7u);           // "up to 7 sensors on PowerPC G5"
+  EXPECT_THROW(opteron_layout(1), std::invalid_argument);
+}
+
+TEST(SimNode, AdvanceIntegratesMeasuredUtilisation) {
+  NodeConfig config = make_node_config(NodeKind::kX86Basic);
+  config.package.time_scale = 50.0;
+  SimNode node(config);
+  const double idle = node.package().die_temp(0);
+
+  const std::uint64_t t0 = tempest::rdtsc();
+  const std::uint64_t one_s = tempest::seconds_to_tsc(1.0);
+  node.advance_to(t0);
+  node.core_meter(0).set_busy(t0);
+  node.advance_to(t0 + one_s);
+  EXPECT_GT(node.package().die_temp(0), idle + 3.0);
+
+  // Going idle cools back toward the idle point.
+  node.core_meter(0).set_idle(t0 + one_s);
+  node.advance_to(t0 + 10 * one_s);
+  EXPECT_LT(node.package().die_temp(0), idle + 1.0);
+}
+
+TEST(SimNode, AdvanceToleratesNonMonotonicCalls) {
+  SimNode node(make_node_config(NodeKind::kX86Basic));
+  node.advance_to(1000);
+  node.advance_to(500);  // ignored, no crash
+  node.advance_to(2000);
+  SUCCEED();
+}
+
+TEST(SimNode, SensorBackendReflectsLayout) {
+  SimNode node(make_node_config(NodeKind::kPowerPcG5));
+  const auto sensors = node.sensor_backend().enumerate();
+  ASSERT_EQ(sensors.size(), 7u);
+  EXPECT_EQ(sensors[0].name, "CPU A DIODE");
+  for (const auto& s : sensors) {
+    EXPECT_TRUE(node.sensor_backend().read_celsius(s.id).is_ok());
+  }
+}
+
+TEST(Cluster, HeterogeneityProducesNodeSpread) {
+  ClusterConfig cc;
+  cc.nodes = 4;
+  cc.kind = NodeKind::kOpteron;
+  cc.heterogeneity = 1.0;
+  Cluster cluster(cc);
+  ASSERT_EQ(cluster.size(), 4u);
+
+  // Idle steady-state die temperatures differ across nodes (the paper's
+  // "thermals vary between systems under the same load").
+  std::set<int> distinct;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    distinct.insert(static_cast<int>(cluster.node(i).package().die_temp(0) * 10.0));
+  }
+  EXPECT_GE(distinct.size(), 2u);
+  EXPECT_EQ(cluster.node(0).hostname(), "node1");
+  EXPECT_EQ(cluster.node(3).hostname(), "node4");
+}
+
+TEST(Cluster, ZeroHeterogeneityMakesIdenticalNodes) {
+  ClusterConfig cc;
+  cc.nodes = 3;
+  cc.heterogeneity = 0.0;
+  Cluster cluster(cc);
+  const double t0 = cluster.node(0).package().die_temp(0);
+  for (std::size_t i = 1; i < cluster.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cluster.node(i).package().die_temp(0), t0);
+  }
+}
+
+TEST(Cluster, DeterministicPerSeed) {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.seed = 99;
+  Cluster a(cc), b(cc);
+  cc.seed = 100;
+  Cluster c(cc);
+  EXPECT_DOUBLE_EQ(a.node(0).package().die_temp(0), b.node(0).package().die_temp(0));
+  EXPECT_NE(a.node(0).package().die_temp(0), c.node(0).package().die_temp(0));
+}
+
+TEST(Cluster, TscSkewConfigured) {
+  ClusterConfig cc;
+  cc.nodes = 4;
+  cc.max_tsc_offset_s = 0.05;
+  cc.max_tsc_drift_ppm = 100.0;
+  Cluster cluster(cc);
+  bool any_offset = false, any_drift = false;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    any_offset |= cluster.node(i).clock().offset_ticks() != 0;
+    any_drift |= cluster.node(i).clock().drift_ppm() != 0.0;
+  }
+  EXPECT_TRUE(any_offset);
+  EXPECT_TRUE(any_drift);
+}
+
+}  // namespace

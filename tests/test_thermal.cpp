@@ -1,0 +1,217 @@
+// Thermal substrate: RC network physics, power model, fan, DVFS,
+// CPU package behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/cpu_package.hpp"
+#include "thermal/dvfs.hpp"
+#include "thermal/fan.hpp"
+#include "thermal/power.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace {
+
+using namespace tempest::thermal;
+
+TEST(RcNetwork, SingleNodeExponentialApproach) {
+  // One node: C dT/dt = P - G (T - Tamb); analytic steady state
+  // T = Tamb + P/G, time constant tau = C/G.
+  RcNetwork net;
+  net.set_ambient_temp(25.0);
+  const std::size_t n = net.add_node("die", 2.0, 25.0);
+  net.connect_ambient(n, 0.5);
+  net.set_power(n, 10.0);
+
+  // After one tau (4 s), T should be ~63.2% of the way to steady state.
+  net.advance(4.0);
+  const double target = 25.0 + 10.0 / 0.5;
+  const double expected = 25.0 + (target - 25.0) * (1.0 - std::exp(-1.0));
+  EXPECT_NEAR(net.temperature(n), expected, 0.05);
+
+  // After many taus: steady state.
+  net.advance(40.0);
+  EXPECT_NEAR(net.temperature(n), target, 0.01);
+}
+
+TEST(RcNetwork, SettleMatchesLongIntegration) {
+  RcNetwork a;
+  a.set_ambient_temp(20.0);
+  const auto d = a.add_node("die", 1.0, 20.0);
+  const auto s = a.add_node("sink", 50.0, 20.0);
+  a.connect(d, s, 2.0);
+  a.connect_ambient(s, 1.0);
+  a.set_power(d, 15.0);
+
+  RcNetwork b = a;
+  a.settle();
+  b.advance(2000.0);
+  EXPECT_NEAR(a.temperature(d), b.temperature(d), 0.01);
+  EXPECT_NEAR(a.temperature(s), b.temperature(s), 0.01);
+  // Analytic: sink = 20 + 15/1 = 35; die = 35 + 15/2 = 42.5.
+  EXPECT_NEAR(a.temperature(s), 35.0, 1e-6);
+  EXPECT_NEAR(a.temperature(d), 42.5, 1e-6);
+}
+
+TEST(RcNetwork, EnergyFlowsHotToCold) {
+  RcNetwork net;
+  net.set_ambient_temp(25.0);
+  const auto hot = net.add_node("hot", 1.0, 80.0);
+  const auto cold = net.add_node("cold", 1.0, 20.0);
+  net.connect(hot, cold, 1.0);
+  net.advance(0.5);
+  EXPECT_LT(net.temperature(hot), 80.0);
+  EXPECT_GT(net.temperature(cold), 20.0);
+  // No ambient coupling: total heat conserved -> temps sum constant.
+  EXPECT_NEAR(net.temperature(hot) + net.temperature(cold), 100.0, 1e-6);
+}
+
+TEST(RcNetwork, InvalidConfigurationThrows) {
+  RcNetwork net;
+  EXPECT_THROW(net.add_node("bad", 0.0, 25.0), std::invalid_argument);
+  const auto a = net.add_node("a", 1.0, 25.0);
+  EXPECT_THROW(net.connect(a, a, 1.0), std::out_of_range);
+  EXPECT_THROW(net.connect(a, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(net.connect_ambient(a, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.node_index("missing"), std::out_of_range);
+  EXPECT_EQ(net.node_index("a"), a);
+}
+
+TEST(PowerModel, IdleBusyAndDvfsScaling) {
+  PowerModel pm(PowerParams{6.0, 5.8}, PStateTable{});
+  EXPECT_DOUBLE_EQ(pm.watts(0.0, 0), 6.0);
+  EXPECT_GT(pm.busy_watts(0), pm.idle_watts());
+  // Lower P-state draws less at full utilisation (V^2 f scaling).
+  EXPECT_LT(pm.busy_watts(2), pm.busy_watts(0));
+  // Utilisation clamps.
+  EXPECT_DOUBLE_EQ(pm.watts(-2.0, 0), pm.watts(0.0, 0));
+  EXPECT_DOUBLE_EQ(pm.watts(5.0, 0), pm.watts(1.0, 0));
+}
+
+TEST(PStateTable, SpeedFactors) {
+  PStateTable t;
+  EXPECT_DOUBLE_EQ(t.speed_factor(0), 1.0);
+  EXPECT_LT(t.speed_factor(1), 1.0);
+  EXPECT_LT(t.speed_factor(2), t.speed_factor(1));
+  EXPECT_THROW(PStateTable(std::vector<PState>{}), std::invalid_argument);
+}
+
+TEST(Fan, ConductanceGrowsWithRpmAndAutoRegulates) {
+  Fan fan{FanParams{}};
+  fan.set_fixed_rpm(3000.0);
+  const double g3000 = fan.conductance_w_per_k();
+  fan.set_fixed_rpm(6000.0);
+  EXPECT_GT(fan.conductance_w_per_k(), g3000);
+
+  fan.set_auto(true);
+  fan.regulate(30.0);  // cool sink -> minimum speed
+  const double low = fan.rpm();
+  fan.regulate(80.0);  // hot sink -> spins up
+  EXPECT_GT(fan.rpm(), low);
+}
+
+TEST(Fan, FixedRpmClampsToRange) {
+  Fan fan{FanParams{}};
+  fan.set_fixed_rpm(100000.0);
+  EXPECT_LE(fan.rpm(), FanParams{}.max_rpm);
+  fan.set_fixed_rpm(0.0);
+  EXPECT_GE(fan.rpm(), FanParams{}.min_rpm);
+}
+
+TEST(Dvfs, PerformanceModePinsTopState) {
+  DvfsGovernor gov(GovernorParams{}, 3);
+  EXPECT_EQ(gov.evaluate(95.0), 0u);  // hot but performance mode
+  EXPECT_EQ(gov.throttle_events(), 0u);
+}
+
+TEST(Dvfs, ThresholdModeThrottlesWithHysteresis) {
+  GovernorParams p;
+  p.mode = GovernorMode::kThreshold;
+  p.high_water_c = 50.0;
+  p.low_water_c = 44.0;
+  DvfsGovernor gov(p, 3);
+
+  EXPECT_EQ(gov.evaluate(45.0), 0u);  // inside band: no change
+  EXPECT_EQ(gov.evaluate(51.0), 1u);  // throttle
+  EXPECT_EQ(gov.evaluate(52.0), 2u);  // throttle further
+  EXPECT_EQ(gov.evaluate(53.0), 2u);  // floor of the table
+  EXPECT_EQ(gov.evaluate(47.0), 2u);  // hysteresis: hold
+  EXPECT_EQ(gov.evaluate(43.0), 1u);  // recover
+  EXPECT_EQ(gov.evaluate(43.0), 0u);
+  EXPECT_EQ(gov.throttle_events(), 2u);
+}
+
+TEST(CpuPackage, IdleAndBusySteadyStatesBracketPaperRange) {
+  // Defaults target the paper's Figure 2 operating range: idle low-90s F
+  // (33-36 C), fully busy around 124 F (~51 C).
+  CpuPackage pkg(PackageParams{});
+  pkg.settle_at({0.0, 0.0});
+  const double idle_c = pkg.die_temp(0);
+  EXPECT_GT(idle_c, 29.0);
+  EXPECT_LT(idle_c, 38.0);
+
+  pkg.settle_at({1.0, 1.0});
+  const double busy_c = pkg.die_temp(0);
+  EXPECT_GT(busy_c, 45.0);
+  EXPECT_LT(busy_c, 60.0);
+  EXPECT_GT(busy_c, idle_c + 10.0);
+}
+
+TEST(CpuPackage, TimeScaleCompressesDynamics) {
+  PackageParams slow;
+  PackageParams fast = slow;
+  fast.time_scale = 50.0;
+  CpuPackage a(slow), b(fast);
+  a.settle_at({0.0, 0.0});
+  b.settle_at({0.0, 0.0});
+  const double a0 = a.die_temp(0), b0 = b.die_temp(0);
+  a.advance(1.0, {1.0, 1.0});
+  b.advance(1.0, {1.0, 1.0});
+  // The time-scaled package heats much further in the same wall second
+  // (one wall second = 50 thermal seconds: heatsink nearly saturated).
+  EXPECT_GT(b.die_temp(0) - b0, 1.6 * (a.die_temp(0) - a0));
+
+  // And both converge to the SAME steady state: time_scale compresses
+  // dynamics without changing the physics.
+  a.settle_at({1.0, 1.0});
+  b.settle_at({1.0, 1.0});
+  EXPECT_NEAR(a.die_temp(0), b.die_temp(0), 1e-6);
+}
+
+TEST(CpuPackage, PerCorePowerHeatsTheBusyCoreMore) {
+  CpuPackage pkg(PackageParams{});
+  pkg.settle_at({0.0, 0.0});
+  for (int i = 0; i < 50; ++i) pkg.advance(0.1, {1.0, 0.0});
+  EXPECT_GT(pkg.die_temp(0), pkg.die_temp(1) + 1.0);
+  // Both above ambient (shared spreader couples them).
+  EXPECT_GT(pkg.die_temp(1), pkg.ambient_temp());
+}
+
+TEST(CpuPackage, UtilisationVectorSizeIsChecked) {
+  CpuPackage pkg(PackageParams{});
+  EXPECT_THROW(pkg.advance(0.1, {1.0}), std::invalid_argument);
+  EXPECT_THROW(pkg.settle_at({1.0, 0.5, 0.25}), std::invalid_argument);
+}
+
+TEST(CpuPackage, ThresholdGovernorCapsTemperature) {
+  PackageParams throttled;
+  throttled.governor.mode = GovernorMode::kThreshold;
+  throttled.governor.high_water_c = 45.0;
+  throttled.governor.low_water_c = 42.0;
+  throttled.time_scale = 5.0;
+  PackageParams unmanaged;
+  unmanaged.time_scale = 5.0;
+
+  CpuPackage hot(unmanaged), cool(throttled);
+  hot.settle_at({0.0, 0.0});
+  cool.settle_at({0.0, 0.0});
+  for (int i = 0; i < 300; ++i) {
+    hot.advance(0.05, {1.0, 1.0});
+    cool.advance(0.05, {1.0, 1.0});
+  }
+  EXPECT_LT(cool.hottest_die_temp(), hot.hottest_die_temp() - 1.0);
+  EXPECT_GT(cool.governor().throttle_events(), 0u);
+  EXPECT_LT(cool.speed_factor(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Property-based sweeps over the thermal substrate: physical
+// invariants that must hold for any parameterisation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/units.hpp"
+#include "thermal/cpu_package.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace {
+
+using namespace tempest::thermal;
+
+class RcNetworkProperty : public ::testing::TestWithParam<int> {
+ protected:
+  /// Random chain network: die -> n intermediate nodes -> ambient.
+  RcNetwork random_chain(std::mt19937& rng, std::size_t* die_out) {
+    std::uniform_real_distribution<double> cap(0.5, 50.0);
+    std::uniform_real_distribution<double> g(0.3, 5.0);
+    std::uniform_int_distribution<int> len(1, 5);
+    RcNetwork net;
+    net.set_ambient_temp(25.0);
+    const std::size_t die = net.add_node("die", cap(rng), 25.0);
+    std::size_t prev = die;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      const std::size_t node =
+          net.add_node("n" + std::to_string(i), cap(rng), 25.0);
+      net.connect(prev, node, g(rng));
+      prev = node;
+    }
+    net.connect_ambient(prev, g(rng));
+    *die_out = die;
+    return net;
+  }
+};
+
+TEST_P(RcNetworkProperty, SteadyStateIsPowerOverPathConductance) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::size_t die = 0;
+  RcNetwork net = random_chain(rng, &die);
+  net.set_power(die, 10.0);
+  RcNetwork settled = net;
+  settled.settle();
+  net.advance(5000.0);
+  // Long integration converges to the algebraic steady state.
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    EXPECT_NEAR(net.temperature(i), settled.temperature(i), 0.05) << "node " << i;
+  }
+  // Die is the hottest node of a chain with a single heat source.
+  for (std::size_t i = 0; i < settled.node_count(); ++i) {
+    EXPECT_GE(settled.temperature(die) + 1e-9, settled.temperature(i));
+  }
+}
+
+TEST_P(RcNetworkProperty, MorePowerMeansHotterEverywhere) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::size_t die = 0;
+  RcNetwork net = random_chain(rng, &die);
+  RcNetwork hot = net;
+  net.set_power(die, 5.0);
+  hot.set_power(die, 9.0);
+  net.settle();
+  hot.settle();
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    EXPECT_GT(hot.temperature(i), net.temperature(i)) << "node " << i;
+  }
+}
+
+TEST_P(RcNetworkProperty, NoPowerDecaysToAmbientAndNeverUndershoots) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::size_t die = 0;
+  RcNetwork net = random_chain(rng, &die);
+  net.set_temperature(die, 80.0);  // hot start, zero power
+  double prev = net.temperature(die);
+  for (int step = 0; step < 50; ++step) {
+    net.advance(2.0);
+    const double now = net.temperature(die);
+    EXPECT_LE(now, prev + 1e-9);          // monotone cooling at the source
+    EXPECT_GE(now, 25.0 - 1e-6);          // never below ambient
+    prev = now;
+  }
+}
+
+TEST_P(RcNetworkProperty, StepSizeInvariance) {
+  // Integrating 10 s in one call or in 100 calls must agree (the
+  // sub-stepping logic hides the step size).
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::size_t die = 0;
+  RcNetwork a = random_chain(rng, &die);
+  RcNetwork b = a;
+  a.set_power(die, 7.0);
+  b.set_power(die, 7.0);
+  a.advance(10.0);
+  for (int i = 0; i < 100; ++i) b.advance(0.1);
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_NEAR(a.temperature(i), b.temperature(i), 1e-3);  // RK4 truncation differs slightly
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RcNetworkProperty, ::testing::Range(0, 12));
+
+class PackageProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackageProperty, UtilisationMonotonicity) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  PackageParams params;
+  params.cores = 2;
+  const double u_low = u(rng) * 0.5;
+  const double u_high = u_low + 0.4;
+
+  CpuPackage low(params), high(params);
+  low.settle_at({u_low, u_low});
+  high.settle_at({u_high, u_high});
+  EXPECT_GT(high.die_temp(0), low.die_temp(0));
+  EXPECT_GT(high.sink_temp(), low.sink_temp());
+}
+
+TEST_P(PackageProperty, FasterFanCoolsSteadyState) {
+  PackageParams params;
+  CpuPackage slow_fan(params), fast_fan(params);
+  slow_fan.fan().set_fixed_rpm(1500.0 + 100.0 * GetParam());
+  fast_fan.fan().set_fixed_rpm(5000.0);
+  // Apply the fan state to the network via one advance, then settle.
+  slow_fan.advance(0.01, {1.0, 1.0});
+  fast_fan.advance(0.01, {1.0, 1.0});
+  slow_fan.settle_at({1.0, 1.0});
+  fast_fan.settle_at({1.0, 1.0});
+  EXPECT_LT(fast_fan.die_temp(0), slow_fan.die_temp(0));
+}
+
+TEST_P(PackageProperty, TemperatureOrderingDieSpreaderSinkAmbient) {
+  // Under load, heat flows die -> spreader -> sink -> ambient, so
+  // temperatures are strictly ordered along the path.
+  PackageParams params;
+  params.cores = 2;
+  CpuPackage pkg(params);
+  const double util = 0.3 + 0.05 * GetParam();
+  pkg.settle_at({util, util});
+  EXPECT_GT(pkg.die_temp(0), pkg.spreader_temp());
+  EXPECT_GT(pkg.spreader_temp(), pkg.sink_temp());
+  EXPECT_GT(pkg.sink_temp(), pkg.ambient_temp());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PackageProperty, ::testing::Range(0, 8));
+
+TEST(QuantizationProperty, LadderIsStablePerStep) {
+  // Quantised values are fixed points of quantisation.
+  for (double step : {0.25, 0.5, 1.0, 2.0}) {
+    for (double t = -10.0; t < 110.0; t += 0.37) {
+      const double q = tempest::quantize(t, step);
+      EXPECT_DOUBLE_EQ(tempest::quantize(q, step), q);
+      EXPECT_LE(std::abs(q - t), step / 2 + 1e-9);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Timeline reconstruction: the Table 1 conditions (single function,
+// multiple, interleaving, recursion + interleaving) plus unbalanced
+// traces.
+#include <gtest/gtest.h>
+
+#include "parser/timeline.hpp"
+
+namespace {
+
+using namespace tempest::parser;
+using tempest::trace::FnEvent;
+using tempest::trace::FnEventKind;
+using tempest::trace::Trace;
+
+Trace trace_with(std::vector<FnEvent> events) {
+  Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.threads = {{0, 0, 0}, {1, 1, 0}};
+  t.fn_events = std::move(events);
+  t.sort_by_time();
+  return t;
+}
+
+FnEvent enter(std::uint64_t tsc, std::uint64_t addr, std::uint32_t tid = 0) {
+  return {tsc, addr, tid, 0, FnEventKind::kEnter};
+}
+FnEvent exit_(std::uint64_t tsc, std::uint64_t addr, std::uint32_t tid = 0) {
+  return {tsc, addr, tid, 0, FnEventKind::kExit};
+}
+
+TEST(Timeline, SingleFunction) {  // Table 1 case B
+  const auto tl = build_timeline(trace_with({enter(100, 1), exit_(600, 1)}));
+  ASSERT_EQ(tl.size(), 1u);
+  const auto& fn = tl.at({0, 1});
+  EXPECT_EQ(fn.calls, 1u);
+  EXPECT_EQ(fn.total_ticks, 500u);
+  ASSERT_EQ(fn.merged.size(), 1u);
+  EXPECT_TRUE(fn.contains(100));
+  EXPECT_TRUE(fn.contains(599));
+  EXPECT_FALSE(fn.contains(600));
+  EXPECT_FALSE(fn.contains(99));
+}
+
+TEST(Timeline, MultipleSequentialFunctions) {  // Table 1 case C
+  const auto tl = build_timeline(trace_with({
+      enter(0, 1), exit_(100, 1),
+      enter(100, 2), exit_(300, 2),
+      enter(300, 3), exit_(600, 3),
+  }));
+  EXPECT_EQ(tl.at({0, 1}).total_ticks, 100u);
+  EXPECT_EQ(tl.at({0, 2}).total_ticks, 200u);
+  EXPECT_EQ(tl.at({0, 3}).total_ticks, 300u);
+}
+
+TEST(Timeline, InterleavedNesting) {  // Table 1 case D
+  // main(10) { foo1(20) { foo2(30..40) } (50) } foo2(60..70) main exit 80.
+  const auto tl = build_timeline(trace_with({
+      enter(10, 100),             // main
+      enter(20, 1),               // foo1
+      enter(30, 2), exit_(40, 2), // foo2 inside foo1
+      exit_(50, 1),               // foo1
+      enter(60, 2), exit_(70, 2), // foo2 from main
+      exit_(80, 100),
+  }));
+  EXPECT_EQ(tl.at({0, 100}).total_ticks, 70u);  // inclusive main
+  EXPECT_EQ(tl.at({0, 1}).total_ticks, 30u);    // foo1 inclusive of foo2
+  EXPECT_EQ(tl.at({0, 2}).total_ticks, 20u);    // two activations
+  EXPECT_EQ(tl.at({0, 2}).calls, 2u);
+  ASSERT_EQ(tl.at({0, 2}).merged.size(), 2u);
+  EXPECT_TRUE(tl.at({0, 1}).contains(35));      // inclusive attribution
+}
+
+TEST(Timeline, RecursionCollapsesToOutermost) {  // Table 1 case E
+  // f enters at 0, recurses at 10 and 20, unwinds 30/40, exits 100.
+  const auto tl = build_timeline(trace_with({
+      enter(0, 7), enter(10, 7), enter(20, 7),
+      exit_(30, 7), exit_(40, 7), exit_(100, 7),
+  }));
+  const auto& fn = tl.at({0, 7});
+  EXPECT_EQ(fn.calls, 3u);
+  EXPECT_EQ(fn.total_ticks, 100u);  // not 100+30+10 double-counted
+  ASSERT_EQ(fn.merged.size(), 1u);
+  EXPECT_EQ(fn.merged[0].begin, 0u);
+  EXPECT_EQ(fn.merged[0].end, 100u);
+}
+
+TEST(Timeline, RecursionWithInterleaving) {
+  // f { g { f } } — mutual nesting; f's inclusive time spans everything.
+  const auto tl = build_timeline(trace_with({
+      enter(0, 1), enter(10, 2), enter(20, 1),
+      exit_(30, 1), exit_(40, 2), exit_(50, 1),
+  }));
+  EXPECT_EQ(tl.at({0, 1}).total_ticks, 50u);
+  EXPECT_EQ(tl.at({0, 2}).total_ticks, 30u);
+  EXPECT_EQ(tl.at({0, 1}).calls, 2u);
+}
+
+TEST(Timeline, UnmatchedExitIsCountedAndIgnored) {
+  TimelineDiagnostics diag;
+  const auto tl = build_timeline(
+      trace_with({exit_(50, 9), enter(100, 1), exit_(200, 1)}), &diag);
+  EXPECT_EQ(diag.unmatched_exits, 1u);
+  EXPECT_EQ(tl.count({0, 9}), 0u);
+  EXPECT_EQ(tl.at({0, 1}).total_ticks, 100u);
+}
+
+TEST(Timeline, OpenFunctionsForceClosedAtTraceEnd) {
+  TimelineDiagnostics diag;
+  const auto tl = build_timeline(
+      trace_with({enter(0, 1), enter(100, 2), exit_(300, 2)}), &diag);
+  EXPECT_EQ(diag.force_closed, 1u);
+  EXPECT_EQ(tl.at({0, 1}).total_ticks, 300u);  // closed at end (tsc 300)
+}
+
+TEST(Timeline, ThreadsAreIndependent) {
+  // Same address on two threads; each timeline replay is separate and
+  // total_ticks sums the per-thread inclusive times.
+  const auto tl = build_timeline(trace_with({
+      enter(0, 5, 0), enter(50, 5, 1), exit_(100, 5, 0), exit_(200, 5, 1),
+  }));
+  // thread 0 node 0: [0,100); thread 1 node 1: [50,200).
+  EXPECT_EQ(tl.at({0, 5}).total_ticks, 100u);
+  EXPECT_EQ(tl.at({1, 5}).total_ticks, 150u);
+}
+
+TEST(Timeline, MergeIntervalsCoalesces) {
+  std::vector<Interval> ivs = {{10, 20}, {15, 30}, {40, 50}, {30, 40}, {60, 70}};
+  merge_intervals(&ivs);
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0].begin, 10u);
+  EXPECT_EQ(ivs[0].end, 50u);
+  EXPECT_EQ(ivs[1].begin, 60u);
+  EXPECT_EQ(ivs[1].end, 70u);
+}
+
+TEST(Timeline, EmptyTrace) {
+  TimelineDiagnostics diag;
+  const auto tl = build_timeline(trace_with({}), &diag);
+  EXPECT_TRUE(tl.empty());
+  EXPECT_EQ(diag.unmatched_exits, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Trace container, binary round-trip, corruption handling, clock
+// alignment.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/align.hpp"
+#include "trace/reader.hpp"
+#include "trace/trace.hpp"
+#include "trace/writer.hpp"
+
+namespace {
+
+using namespace tempest::trace;
+
+Trace sample_trace() {
+  Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.executable = "/bin/fake";
+  t.load_bias = 0x555500000000ULL;
+  t.nodes = {{0, "node1"}, {1, "node2"}};
+  t.sensors = {{0, 0, "cpu", 1.0}, {0, 1, "sink", 0.5}, {1, 0, "cpu", 1.0}};
+  t.threads = {{0, 0, 0}, {1, 1, 0}};
+  t.synthetic_symbols = {{kSyntheticAddrBase, "region_a"}};
+  t.fn_events = {
+      {100, 0xdead, 0, 0, FnEventKind::kEnter},
+      {900, 0xdead, 0, 0, FnEventKind::kExit},
+      {200, 0xbeef, 1, 1, FnEventKind::kEnter},
+      {800, 0xbeef, 1, 1, FnEventKind::kExit},
+  };
+  t.temp_samples = {{150, 34.0, 0, 0}, {450, 36.0, 0, 1}, {300, 35.0, 1, 0}};
+  t.clock_syncs = {{100, 100, 0}, {1100, 1100, 0}};
+  return t;
+}
+
+TEST(Trace, SortAndBounds) {
+  Trace t = sample_trace();
+  t.sort_by_time();
+  EXPECT_EQ(t.fn_events.front().tsc, 100u);
+  EXPECT_EQ(t.fn_events.back().tsc, 900u);
+  EXPECT_EQ(t.start_tsc(), 100u);
+  EXPECT_EQ(t.end_tsc(), 900u);
+  EXPECT_DOUBLE_EQ(t.seconds_from_start(600), 500e-9);
+}
+
+TEST(Trace, EmptyTraceBounds) {
+  Trace t;
+  EXPECT_EQ(t.start_tsc(), 0u);
+  EXPECT_EQ(t.end_tsc(), 0u);
+  EXPECT_DOUBLE_EQ(t.seconds_from_start(5), 0.0);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  const Trace& t = loaded.value();
+
+  EXPECT_EQ(t.tsc_ticks_per_second, original.tsc_ticks_per_second);
+  EXPECT_EQ(t.executable, original.executable);
+  EXPECT_EQ(t.load_bias, original.load_bias);
+  ASSERT_EQ(t.nodes.size(), 2u);
+  EXPECT_EQ(t.nodes[1].hostname, "node2");
+  ASSERT_EQ(t.sensors.size(), 3u);
+  EXPECT_EQ(t.sensors[1].name, "sink");
+  EXPECT_EQ(t.sensors[1].quant_step_c, 0.5);
+  ASSERT_EQ(t.threads.size(), 2u);
+  ASSERT_EQ(t.synthetic_symbols.size(), 1u);
+  EXPECT_EQ(t.synthetic_symbols[0].name, "region_a");
+  ASSERT_EQ(t.fn_events.size(), 4u);
+  EXPECT_EQ(t.fn_events[0].addr, 0xdeadu);
+  EXPECT_EQ(t.fn_events[1].kind, FnEventKind::kExit);
+  ASSERT_EQ(t.temp_samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.temp_samples[1].temp_c, 36.0);
+  ASSERT_EQ(t.clock_syncs.size(), 2u);
+}
+
+TEST(TraceIo, RejectsBadMagicAndVersion) {
+  std::stringstream buffer;
+  buffer << "NOT A TRACE FILE AT ALL";
+  EXPECT_FALSE(read_trace(buffer).is_ok());
+}
+
+TEST(TraceIo, RejectsTruncation) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  const std::string full = buffer.str();
+  // Truncate at several byte positions; all must fail cleanly.
+  for (std::size_t cut : {std::size_t{10}, std::size_t{40}, std::size_t{100},
+                          full.size() - 3}) {
+    std::stringstream cut_buffer(full.substr(0, cut));
+    EXPECT_FALSE(read_trace(cut_buffer).is_ok()) << "cut at " << cut;
+  }
+}
+
+TEST(TraceIo, MissingFileErrors) {
+  EXPECT_FALSE(read_trace_file("/nonexistent/trace.bin").is_ok());
+  EXPECT_FALSE(write_trace_file("/nonexistent/dir/trace.bin", Trace{}).is_ok());
+}
+
+TEST(ClockFit, OffsetOnlySingleSync) {
+  Trace t;
+  t.clock_syncs = {{1000, 5000, 0}};
+  const auto fits = fit_clocks(t);
+  ASSERT_EQ(fits.size(), 1u);
+  EXPECT_EQ(fits.at(0).to_global(1000), 5000u);
+  EXPECT_EQ(fits.at(0).to_global(1500), 5500u);
+}
+
+TEST(ClockFit, RecoversOffsetAndDrift) {
+  // Node clock runs 2% fast with offset 1e6: node = 1.02*global + 1e6,
+  // so global = (node - 1e6) / 1.02.
+  Trace t;
+  for (std::uint64_t g = 0; g <= 1'000'000'000ULL; g += 100'000'000ULL) {
+    const auto node_tsc = static_cast<std::uint64_t>(1.02 * static_cast<double>(g) + 1e6);
+    t.clock_syncs.push_back({node_tsc, g, 3});
+  }
+  const auto fits = fit_clocks(t);
+  ASSERT_TRUE(fits.count(3));
+  const auto& fit = fits.at(3);
+  // Check round-trip accuracy at an arbitrary point.
+  const std::uint64_t node_at = static_cast<std::uint64_t>(1.02 * 567'000'000.0 + 1e6);
+  EXPECT_NEAR(static_cast<double>(fit.to_global(node_at)), 567'000'000.0, 2000.0);
+}
+
+TEST(AlignClocks, RewritesEventsIntoGlobalDomain) {
+  Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.nodes = {{0, "a"}, {1, "b"}};
+  t.threads = {{0, 0, 0}, {1, 1, 0}};
+  // Node 1's clock is global + 10000.
+  t.clock_syncs = {{10000, 0, 1}, {20000, 10000, 1}, {0, 0, 0}, {10000, 10000, 0}};
+  t.fn_events = {
+      {500, 1, 0, 0, FnEventKind::kEnter},   // node 0: already global
+      {10500, 2, 1, 1, FnEventKind::kEnter}, // node 1: global 500
+  };
+  t.temp_samples = {{10600, 40.0, 1, 0}};
+  ASSERT_TRUE(align_clocks(&t));
+  EXPECT_EQ(t.fn_events[0].tsc, 500u);
+  EXPECT_EQ(t.fn_events[1].tsc, 500u);
+  EXPECT_EQ(t.temp_samples[0].tsc, 600u);
+  EXPECT_TRUE(t.clock_syncs.empty());
+}
+
+TEST(AlignClocks, NoSyncsIsIdentity) {
+  Trace t;
+  t.fn_events = {{123, 1, 0, 0, FnEventKind::kEnter}};
+  ASSERT_TRUE(align_clocks(&t));
+  EXPECT_EQ(t.fn_events[0].tsc, 123u);
+}
+
+}  // namespace
