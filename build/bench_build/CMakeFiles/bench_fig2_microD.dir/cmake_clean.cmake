@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_microD"
+  "../bench/bench_fig2_microD.pdb"
+  "CMakeFiles/bench_fig2_microD.dir/bench_fig2_microD.cpp.o"
+  "CMakeFiles/bench_fig2_microD.dir/bench_fig2_microD.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_microD.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

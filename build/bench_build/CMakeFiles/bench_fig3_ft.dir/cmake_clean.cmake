@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_ft"
+  "../bench/bench_fig3_ft.pdb"
+  "CMakeFiles/bench_fig3_ft.dir/bench_fig3_ft.cpp.o"
+  "CMakeFiles/bench_fig3_ft.dir/bench_fig3_ft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

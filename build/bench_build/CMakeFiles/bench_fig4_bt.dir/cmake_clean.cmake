@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_bt"
+  "../bench/bench_fig4_bt.pdb"
+  "CMakeFiles/bench_fig4_bt.dir/bench_fig4_bt.cpp.o"
+  "CMakeFiles/bench_fig4_bt.dir/bench_fig4_bt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_heavyweight"
+  "../bench/bench_heavyweight.pdb"
+  "CMakeFiles/bench_heavyweight.dir/bench_heavyweight.cpp.o"
+  "CMakeFiles/bench_heavyweight.dir/bench_heavyweight.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heavyweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

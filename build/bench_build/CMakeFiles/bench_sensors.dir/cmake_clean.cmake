@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sensors"
+  "../bench/bench_sensors.pdb"
+  "CMakeFiles/bench_sensors.dir/bench_sensors.cpp.o"
+  "CMakeFiles/bench_sensors.dir/bench_sensors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_ft"
+  "../bench/bench_table2_ft.pdb"
+  "CMakeFiles/bench_table2_ft.dir/bench_table2_ft.cpp.o"
+  "CMakeFiles/bench_table2_ft.dir/bench_table2_ft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

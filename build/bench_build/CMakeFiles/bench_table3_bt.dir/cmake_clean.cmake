@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_bt"
+  "../bench/bench_table3_bt.pdb"
+  "CMakeFiles/bench_table3_bt.dir/bench_table3_bt.cpp.o"
+  "CMakeFiles/bench_table3_bt.dir/bench_table3_bt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

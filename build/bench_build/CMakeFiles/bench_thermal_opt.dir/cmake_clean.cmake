@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thermal_opt"
+  "../bench/bench_thermal_opt.pdb"
+  "CMakeFiles/bench_thermal_opt.dir/bench_thermal_opt.cpp.o"
+  "CMakeFiles/bench_thermal_opt.dir/bench_thermal_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thermal_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_blocks.dir/basic_blocks.cpp.o"
+  "CMakeFiles/basic_blocks.dir/basic_blocks.cpp.o.d"
+  "basic_blocks"
+  "basic_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

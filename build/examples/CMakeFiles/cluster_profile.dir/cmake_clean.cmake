@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_profile.dir/cluster_profile.cpp.o"
+  "CMakeFiles/cluster_profile.dir/cluster_profile.cpp.o.d"
+  "cluster_profile"
+  "cluster_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_hunt.dir/hotspot_hunt.cpp.o"
+  "CMakeFiles/hotspot_hunt.dir/hotspot_hunt.cpp.o.d"
+  "hotspot_hunt"
+  "hotspot_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/thermal_optimization.cpp" "examples/CMakeFiles/thermal_optimization.dir/thermal_optimization.cpp.o" "gcc" "examples/CMakeFiles/thermal_optimization.dir/thermal_optimization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tempest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/tempest_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/tempest_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tempest_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/symtab/CMakeFiles/tempest_symtab.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnode/CMakeFiles/tempest_simnode.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/tempest_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tempest_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

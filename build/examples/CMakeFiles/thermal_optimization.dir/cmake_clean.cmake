@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_optimization.dir/thermal_optimization.cpp.o"
+  "CMakeFiles/thermal_optimization.dir/thermal_optimization.cpp.o.d"
+  "thermal_optimization"
+  "thermal_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparent_demo.dir/transparent_demo.cpp.o"
+  "CMakeFiles/transparent_demo.dir/transparent_demo.cpp.o.d"
+  "transparent_demo"
+  "transparent_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparent_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

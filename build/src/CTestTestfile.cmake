@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("thermal")
+subdirs("sensors")
+subdirs("simnode")
+subdirs("trace")
+subdirs("symtab")
+subdirs("core")
+subdirs("parser")
+subdirs("report")
+subdirs("minimpi")
+subdirs("npb")
+subdirs("gprofsim")
+subdirs("micro")
+subdirs("tools")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_common.dir/affinity.cpp.o"
+  "CMakeFiles/tempest_common.dir/affinity.cpp.o.d"
+  "CMakeFiles/tempest_common.dir/env.cpp.o"
+  "CMakeFiles/tempest_common.dir/env.cpp.o.d"
+  "CMakeFiles/tempest_common.dir/stats.cpp.o"
+  "CMakeFiles/tempest_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tempest_common.dir/tsc.cpp.o"
+  "CMakeFiles/tempest_common.dir/tsc.cpp.o.d"
+  "CMakeFiles/tempest_common.dir/units.cpp.o"
+  "CMakeFiles/tempest_common.dir/units.cpp.o.d"
+  "libtempest_common.a"
+  "libtempest_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

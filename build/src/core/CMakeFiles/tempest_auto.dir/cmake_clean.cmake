@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_auto.dir/auto_session.cpp.o"
+  "CMakeFiles/tempest_auto.dir/auto_session.cpp.o.d"
+  "libtempest_auto.a"
+  "libtempest_auto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_auto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/tempest_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/tempest_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/tempest_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/tempest_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/tempest_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/tempest_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/tempd.cpp" "src/core/CMakeFiles/tempest_core.dir/tempd.cpp.o" "gcc" "src/core/CMakeFiles/tempest_core.dir/tempd.cpp.o.d"
+  "/root/repo/src/core/thread_buffer.cpp" "src/core/CMakeFiles/tempest_core.dir/thread_buffer.cpp.o" "gcc" "src/core/CMakeFiles/tempest_core.dir/thread_buffer.cpp.o.d"
+  "/root/repo/src/core/workbench.cpp" "src/core/CMakeFiles/tempest_core.dir/workbench.cpp.o" "gcc" "src/core/CMakeFiles/tempest_core.dir/workbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tempest_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/tempest_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnode/CMakeFiles/tempest_simnode.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tempest_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/symtab/CMakeFiles/tempest_symtab.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

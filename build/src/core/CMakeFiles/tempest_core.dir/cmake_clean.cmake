@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_core.dir/api.cpp.o"
+  "CMakeFiles/tempest_core.dir/api.cpp.o.d"
+  "CMakeFiles/tempest_core.dir/config.cpp.o"
+  "CMakeFiles/tempest_core.dir/config.cpp.o.d"
+  "CMakeFiles/tempest_core.dir/session.cpp.o"
+  "CMakeFiles/tempest_core.dir/session.cpp.o.d"
+  "CMakeFiles/tempest_core.dir/tempd.cpp.o"
+  "CMakeFiles/tempest_core.dir/tempd.cpp.o.d"
+  "CMakeFiles/tempest_core.dir/thread_buffer.cpp.o"
+  "CMakeFiles/tempest_core.dir/thread_buffer.cpp.o.d"
+  "CMakeFiles/tempest_core.dir/workbench.cpp.o"
+  "CMakeFiles/tempest_core.dir/workbench.cpp.o.d"
+  "libtempest_core.a"
+  "libtempest_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_hooks.dir/hooks.cpp.o"
+  "CMakeFiles/tempest_hooks.dir/hooks.cpp.o.d"
+  "libtempest_hooks.a"
+  "libtempest_hooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_hooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

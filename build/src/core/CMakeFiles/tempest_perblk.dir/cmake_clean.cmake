@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_perblk.dir/perblk.cpp.o"
+  "CMakeFiles/tempest_perblk.dir/perblk.cpp.o.d"
+  "libtempest_perblk.a"
+  "libtempest_perblk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_perblk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

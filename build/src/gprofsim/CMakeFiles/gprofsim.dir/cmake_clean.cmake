@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprofsim.dir/flat_profiler.cpp.o"
+  "CMakeFiles/gprofsim.dir/flat_profiler.cpp.o.d"
+  "libgprofsim.a"
+  "libgprofsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprofsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_micro.dir/micro.cpp.o"
+  "CMakeFiles/tempest_micro.dir/micro.cpp.o.d"
+  "libtempest_micro.a"
+  "libtempest_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/blocks5.cpp" "src/npb/CMakeFiles/npb.dir/blocks5.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/blocks5.cpp.o.d"
+  "/root/repo/src/npb/bt.cpp" "src/npb/CMakeFiles/npb.dir/bt.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/bt.cpp.o.d"
+  "/root/repo/src/npb/cg.cpp" "src/npb/CMakeFiles/npb.dir/cg.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/cg.cpp.o.d"
+  "/root/repo/src/npb/ep.cpp" "src/npb/CMakeFiles/npb.dir/ep.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/ep.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/npb/CMakeFiles/npb.dir/ft.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/ft.cpp.o.d"
+  "/root/repo/src/npb/is.cpp" "src/npb/CMakeFiles/npb.dir/is.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/is.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/npb/CMakeFiles/npb.dir/mg.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/mg.cpp.o.d"
+  "/root/repo/src/npb/nas_rng.cpp" "src/npb/CMakeFiles/npb.dir/nas_rng.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/nas_rng.cpp.o.d"
+  "/root/repo/src/npb/sp.cpp" "src/npb/CMakeFiles/npb.dir/sp.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/sp.cpp.o.d"
+  "/root/repo/src/npb/support.cpp" "src/npb/CMakeFiles/npb.dir/support.cpp.o" "gcc" "src/npb/CMakeFiles/npb.dir/support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tempest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tempest_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/symtab/CMakeFiles/tempest_symtab.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnode/CMakeFiles/tempest_simnode.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/tempest_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tempest_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

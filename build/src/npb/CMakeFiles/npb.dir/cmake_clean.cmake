@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb.dir/blocks5.cpp.o"
+  "CMakeFiles/npb.dir/blocks5.cpp.o.d"
+  "CMakeFiles/npb.dir/bt.cpp.o"
+  "CMakeFiles/npb.dir/bt.cpp.o.d"
+  "CMakeFiles/npb.dir/cg.cpp.o"
+  "CMakeFiles/npb.dir/cg.cpp.o.d"
+  "CMakeFiles/npb.dir/ep.cpp.o"
+  "CMakeFiles/npb.dir/ep.cpp.o.d"
+  "CMakeFiles/npb.dir/ft.cpp.o"
+  "CMakeFiles/npb.dir/ft.cpp.o.d"
+  "CMakeFiles/npb.dir/is.cpp.o"
+  "CMakeFiles/npb.dir/is.cpp.o.d"
+  "CMakeFiles/npb.dir/mg.cpp.o"
+  "CMakeFiles/npb.dir/mg.cpp.o.d"
+  "CMakeFiles/npb.dir/nas_rng.cpp.o"
+  "CMakeFiles/npb.dir/nas_rng.cpp.o.d"
+  "CMakeFiles/npb.dir/sp.cpp.o"
+  "CMakeFiles/npb.dir/sp.cpp.o.d"
+  "CMakeFiles/npb.dir/support.cpp.o"
+  "CMakeFiles/npb.dir/support.cpp.o.d"
+  "libnpb.a"
+  "libnpb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

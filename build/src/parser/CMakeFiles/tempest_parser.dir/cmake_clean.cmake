@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_parser.dir/parse.cpp.o"
+  "CMakeFiles/tempest_parser.dir/parse.cpp.o.d"
+  "CMakeFiles/tempest_parser.dir/profile.cpp.o"
+  "CMakeFiles/tempest_parser.dir/profile.cpp.o.d"
+  "CMakeFiles/tempest_parser.dir/timeline.cpp.o"
+  "CMakeFiles/tempest_parser.dir/timeline.cpp.o.d"
+  "libtempest_parser.a"
+  "libtempest_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/ascii_plot.cpp" "src/report/CMakeFiles/tempest_report.dir/ascii_plot.cpp.o" "gcc" "src/report/CMakeFiles/tempest_report.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/report/gnuplot.cpp" "src/report/CMakeFiles/tempest_report.dir/gnuplot.cpp.o" "gcc" "src/report/CMakeFiles/tempest_report.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/report/json.cpp" "src/report/CMakeFiles/tempest_report.dir/json.cpp.o" "gcc" "src/report/CMakeFiles/tempest_report.dir/json.cpp.o.d"
+  "/root/repo/src/report/series.cpp" "src/report/CMakeFiles/tempest_report.dir/series.cpp.o" "gcc" "src/report/CMakeFiles/tempest_report.dir/series.cpp.o.d"
+  "/root/repo/src/report/stdout_format.cpp" "src/report/CMakeFiles/tempest_report.dir/stdout_format.cpp.o" "gcc" "src/report/CMakeFiles/tempest_report.dir/stdout_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/tempest_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tempest_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/symtab/CMakeFiles/tempest_symtab.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_report.dir/ascii_plot.cpp.o"
+  "CMakeFiles/tempest_report.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/tempest_report.dir/gnuplot.cpp.o"
+  "CMakeFiles/tempest_report.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/tempest_report.dir/json.cpp.o"
+  "CMakeFiles/tempest_report.dir/json.cpp.o.d"
+  "CMakeFiles/tempest_report.dir/series.cpp.o"
+  "CMakeFiles/tempest_report.dir/series.cpp.o.d"
+  "CMakeFiles/tempest_report.dir/stdout_format.cpp.o"
+  "CMakeFiles/tempest_report.dir/stdout_format.cpp.o.d"
+  "libtempest_report.a"
+  "libtempest_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

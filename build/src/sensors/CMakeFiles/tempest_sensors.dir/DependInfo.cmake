@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/hwmon.cpp" "src/sensors/CMakeFiles/tempest_sensors.dir/hwmon.cpp.o" "gcc" "src/sensors/CMakeFiles/tempest_sensors.dir/hwmon.cpp.o.d"
+  "/root/repo/src/sensors/replay.cpp" "src/sensors/CMakeFiles/tempest_sensors.dir/replay.cpp.o" "gcc" "src/sensors/CMakeFiles/tempest_sensors.dir/replay.cpp.o.d"
+  "/root/repo/src/sensors/sim_backend.cpp" "src/sensors/CMakeFiles/tempest_sensors.dir/sim_backend.cpp.o" "gcc" "src/sensors/CMakeFiles/tempest_sensors.dir/sim_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tempest_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_sensors.dir/hwmon.cpp.o"
+  "CMakeFiles/tempest_sensors.dir/hwmon.cpp.o.d"
+  "CMakeFiles/tempest_sensors.dir/replay.cpp.o"
+  "CMakeFiles/tempest_sensors.dir/replay.cpp.o.d"
+  "CMakeFiles/tempest_sensors.dir/sim_backend.cpp.o"
+  "CMakeFiles/tempest_sensors.dir/sim_backend.cpp.o.d"
+  "libtempest_sensors.a"
+  "libtempest_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

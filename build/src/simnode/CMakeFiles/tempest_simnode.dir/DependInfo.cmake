@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnode/activity.cpp" "src/simnode/CMakeFiles/tempest_simnode.dir/activity.cpp.o" "gcc" "src/simnode/CMakeFiles/tempest_simnode.dir/activity.cpp.o.d"
+  "/root/repo/src/simnode/cluster.cpp" "src/simnode/CMakeFiles/tempest_simnode.dir/cluster.cpp.o" "gcc" "src/simnode/CMakeFiles/tempest_simnode.dir/cluster.cpp.o.d"
+  "/root/repo/src/simnode/layouts.cpp" "src/simnode/CMakeFiles/tempest_simnode.dir/layouts.cpp.o" "gcc" "src/simnode/CMakeFiles/tempest_simnode.dir/layouts.cpp.o.d"
+  "/root/repo/src/simnode/node.cpp" "src/simnode/CMakeFiles/tempest_simnode.dir/node.cpp.o" "gcc" "src/simnode/CMakeFiles/tempest_simnode.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tempest_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/tempest_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

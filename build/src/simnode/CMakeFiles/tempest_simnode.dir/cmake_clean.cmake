@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_simnode.dir/activity.cpp.o"
+  "CMakeFiles/tempest_simnode.dir/activity.cpp.o.d"
+  "CMakeFiles/tempest_simnode.dir/cluster.cpp.o"
+  "CMakeFiles/tempest_simnode.dir/cluster.cpp.o.d"
+  "CMakeFiles/tempest_simnode.dir/layouts.cpp.o"
+  "CMakeFiles/tempest_simnode.dir/layouts.cpp.o.d"
+  "CMakeFiles/tempest_simnode.dir/node.cpp.o"
+  "CMakeFiles/tempest_simnode.dir/node.cpp.o.d"
+  "libtempest_simnode.a"
+  "libtempest_simnode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_simnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

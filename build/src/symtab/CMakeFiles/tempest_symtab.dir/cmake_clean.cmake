@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_symtab.dir/elf.cpp.o"
+  "CMakeFiles/tempest_symtab.dir/elf.cpp.o.d"
+  "CMakeFiles/tempest_symtab.dir/resolver.cpp.o"
+  "CMakeFiles/tempest_symtab.dir/resolver.cpp.o.d"
+  "libtempest_symtab.a"
+  "libtempest_symtab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_symtab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/cpu_package.cpp" "src/thermal/CMakeFiles/tempest_thermal.dir/cpu_package.cpp.o" "gcc" "src/thermal/CMakeFiles/tempest_thermal.dir/cpu_package.cpp.o.d"
+  "/root/repo/src/thermal/die_mesh.cpp" "src/thermal/CMakeFiles/tempest_thermal.dir/die_mesh.cpp.o" "gcc" "src/thermal/CMakeFiles/tempest_thermal.dir/die_mesh.cpp.o.d"
+  "/root/repo/src/thermal/dvfs.cpp" "src/thermal/CMakeFiles/tempest_thermal.dir/dvfs.cpp.o" "gcc" "src/thermal/CMakeFiles/tempest_thermal.dir/dvfs.cpp.o.d"
+  "/root/repo/src/thermal/fan.cpp" "src/thermal/CMakeFiles/tempest_thermal.dir/fan.cpp.o" "gcc" "src/thermal/CMakeFiles/tempest_thermal.dir/fan.cpp.o.d"
+  "/root/repo/src/thermal/power.cpp" "src/thermal/CMakeFiles/tempest_thermal.dir/power.cpp.o" "gcc" "src/thermal/CMakeFiles/tempest_thermal.dir/power.cpp.o.d"
+  "/root/repo/src/thermal/rc_network.cpp" "src/thermal/CMakeFiles/tempest_thermal.dir/rc_network.cpp.o" "gcc" "src/thermal/CMakeFiles/tempest_thermal.dir/rc_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_thermal.dir/cpu_package.cpp.o"
+  "CMakeFiles/tempest_thermal.dir/cpu_package.cpp.o.d"
+  "CMakeFiles/tempest_thermal.dir/die_mesh.cpp.o"
+  "CMakeFiles/tempest_thermal.dir/die_mesh.cpp.o.d"
+  "CMakeFiles/tempest_thermal.dir/dvfs.cpp.o"
+  "CMakeFiles/tempest_thermal.dir/dvfs.cpp.o.d"
+  "CMakeFiles/tempest_thermal.dir/fan.cpp.o"
+  "CMakeFiles/tempest_thermal.dir/fan.cpp.o.d"
+  "CMakeFiles/tempest_thermal.dir/power.cpp.o"
+  "CMakeFiles/tempest_thermal.dir/power.cpp.o.d"
+  "CMakeFiles/tempest_thermal.dir/rc_network.cpp.o"
+  "CMakeFiles/tempest_thermal.dir/rc_network.cpp.o.d"
+  "libtempest_thermal.a"
+  "libtempest_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../tools/tempest_parse"
+  "../../tools/tempest_parse.pdb"
+  "CMakeFiles/tempest_parse.dir/tempest_parse.cpp.o"
+  "CMakeFiles/tempest_parse.dir/tempest_parse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

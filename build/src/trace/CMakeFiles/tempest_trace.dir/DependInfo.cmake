@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/align.cpp" "src/trace/CMakeFiles/tempest_trace.dir/align.cpp.o" "gcc" "src/trace/CMakeFiles/tempest_trace.dir/align.cpp.o.d"
+  "/root/repo/src/trace/reader.cpp" "src/trace/CMakeFiles/tempest_trace.dir/reader.cpp.o" "gcc" "src/trace/CMakeFiles/tempest_trace.dir/reader.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/tempest_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/tempest_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/writer.cpp" "src/trace/CMakeFiles/tempest_trace.dir/writer.cpp.o" "gcc" "src/trace/CMakeFiles/tempest_trace.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_trace.dir/align.cpp.o"
+  "CMakeFiles/tempest_trace.dir/align.cpp.o.d"
+  "CMakeFiles/tempest_trace.dir/reader.cpp.o"
+  "CMakeFiles/tempest_trace.dir/reader.cpp.o.d"
+  "CMakeFiles/tempest_trace.dir/trace.cpp.o"
+  "CMakeFiles/tempest_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/tempest_trace.dir/writer.cpp.o"
+  "CMakeFiles/tempest_trace.dir/writer.cpp.o.d"
+  "libtempest_trace.a"
+  "libtempest_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtempest_trace.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_session.dir/test_auto_session.cpp.o"
+  "CMakeFiles/test_auto_session.dir/test_auto_session.cpp.o.d"
+  "test_auto_session"
+  "test_auto_session.pdb"
+  "test_auto_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_die_mesh.dir/test_die_mesh.cpp.o"
+  "CMakeFiles/test_die_mesh.dir/test_die_mesh.cpp.o.d"
+  "test_die_mesh"
+  "test_die_mesh.pdb"
+  "test_die_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_die_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

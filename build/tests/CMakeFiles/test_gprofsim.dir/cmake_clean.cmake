@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gprofsim.dir/test_gprofsim.cpp.o"
+  "CMakeFiles/test_gprofsim.dir/test_gprofsim.cpp.o.d"
+  "test_gprofsim"
+  "test_gprofsim.pdb"
+  "test_gprofsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gprofsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimpi_net.dir/test_minimpi_net.cpp.o"
+  "CMakeFiles/test_minimpi_net.dir/test_minimpi_net.cpp.o.d"
+  "test_minimpi_net"
+  "test_minimpi_net.pdb"
+  "test_minimpi_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimpi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb_is.dir/test_npb_is.cpp.o"
+  "CMakeFiles/test_npb_is.dir/test_npb_is.cpp.o.d"
+  "test_npb_is"
+  "test_npb_is.pdb"
+  "test_npb_is[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

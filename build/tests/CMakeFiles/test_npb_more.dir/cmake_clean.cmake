@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb_more.dir/test_npb_more.cpp.o"
+  "CMakeFiles/test_npb_more.dir/test_npb_more.cpp.o.d"
+  "test_npb_more"
+  "test_npb_more.pdb"
+  "test_npb_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb_sp.dir/test_npb_sp.cpp.o"
+  "CMakeFiles/test_npb_sp.dir/test_npb_sp.cpp.o.d"
+  "test_npb_sp"
+  "test_npb_sp.pdb"
+  "test_npb_sp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_gnuplot.dir/test_report_gnuplot.cpp.o"
+  "CMakeFiles/test_report_gnuplot.dir/test_report_gnuplot.cpp.o.d"
+  "test_report_gnuplot"
+  "test_report_gnuplot.pdb"
+  "test_report_gnuplot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_gnuplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

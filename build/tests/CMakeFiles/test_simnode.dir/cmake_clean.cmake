@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnode.dir/test_simnode.cpp.o"
+  "CMakeFiles/test_simnode.dir/test_simnode.cpp.o.d"
+  "test_simnode"
+  "test_simnode.pdb"
+  "test_simnode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_simnode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal_property.dir/test_thermal_property.cpp.o"
+  "CMakeFiles/test_thermal_property.dir/test_thermal_property.cpp.o.d"
+  "test_thermal_property"
+  "test_thermal_property.pdb"
+  "test_thermal_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
