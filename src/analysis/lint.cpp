@@ -1,0 +1,420 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "trace/reader.hpp"
+
+namespace tempest::analysis {
+namespace {
+
+/// Collects findings with an exact count but a capped message list.
+class Collector {
+ public:
+  Collector(LintReport* report, const LintOptions& options)
+      : report_(report), options_(options) {}
+
+  void add(const std::string& check, Severity severity, std::string message) {
+    const std::size_t n = ++per_check_[check];
+    if (severity == Severity::kError) {
+      ++report_->error_count;
+    } else {
+      ++report_->warning_count;
+    }
+    if (n <= options_.max_findings_per_check) {
+      report_->findings.push_back({check, severity, std::move(message)});
+    } else if (n == options_.max_findings_per_check + 1) {
+      report_->findings.push_back(
+          {check, severity, "(further " + check + " findings suppressed)"});
+    }
+  }
+
+ private:
+  LintReport* report_;
+  const LintOptions& options_;
+  std::map<std::string, std::size_t> per_check_;
+};
+
+std::string fmt_thread(std::uint32_t tid) { return "thread " + std::to_string(tid); }
+
+void check_metadata(const trace::Trace& trace, Collector* out) {
+  const bool has_data = !trace.fn_events.empty() || !trace.temp_samples.empty();
+  if (has_data && !(trace.tsc_ticks_per_second > 0.0)) {
+    out->add("tsc-rate", Severity::kError,
+             "trace carries events/samples but no positive tsc_ticks_per_second");
+  }
+  if (!has_data) {
+    out->add("empty-trace", Severity::kWarning,
+             "trace contains no function events and no temperature samples");
+  }
+  std::set<std::uint16_t> node_ids;
+  for (const auto& n : trace.nodes) {
+    if (!node_ids.insert(n.node_id).second) {
+      out->add("duplicate-node", Severity::kError,
+               "node id " + std::to_string(n.node_id) + " declared twice");
+    }
+  }
+  std::set<std::uint32_t> thread_ids;
+  for (const auto& t : trace.threads) {
+    if (!thread_ids.insert(t.thread_id).second) {
+      out->add("duplicate-thread", Severity::kError,
+               "thread id " + std::to_string(t.thread_id) + " declared twice");
+    }
+    if (node_ids.count(t.node_id) == 0) {
+      out->add("node-unresolved", Severity::kError,
+               fmt_thread(t.thread_id) + " bound to unknown node " +
+                   std::to_string(t.node_id));
+    }
+  }
+  std::set<std::pair<std::uint16_t, std::uint16_t>> sensor_ids;
+  for (const auto& s : trace.sensors) {
+    if (!sensor_ids.insert({s.node_id, s.sensor_id}).second) {
+      out->add("duplicate-sensor", Severity::kError,
+               "sensor " + std::to_string(s.sensor_id) + " on node " +
+                   std::to_string(s.node_id) + " declared twice");
+    }
+    if (node_ids.count(s.node_id) == 0) {
+      out->add("node-unresolved", Severity::kError,
+               "sensor '" + s.name + "' attached to unknown node " +
+                   std::to_string(s.node_id));
+    }
+  }
+}
+
+void check_references(const trace::Trace& trace, Collector* out) {
+  std::set<std::uint16_t> node_ids;
+  for (const auto& n : trace.nodes) node_ids.insert(n.node_id);
+  std::set<std::uint32_t> thread_ids;
+  for (const auto& t : trace.threads) thread_ids.insert(t.thread_id);
+  std::set<std::pair<std::uint16_t, std::uint16_t>> sensor_ids;
+  for (const auto& s : trace.sensors) sensor_ids.insert({s.node_id, s.sensor_id});
+  std::set<std::uint64_t> synthetic;
+  for (const auto& s : trace.synthetic_symbols) synthetic.insert(s.addr);
+
+  for (const auto& e : trace.fn_events) {
+    if (node_ids.count(e.node_id) == 0) {
+      out->add("node-unresolved", Severity::kError,
+               "fn event references unknown node " + std::to_string(e.node_id));
+    }
+    if (thread_ids.count(e.thread_id) == 0) {
+      out->add("thread-unresolved", Severity::kError,
+               "fn event references undeclared " + fmt_thread(e.thread_id));
+    }
+    if (e.addr >= trace::kSyntheticAddrBase && synthetic.count(e.addr) == 0) {
+      std::ostringstream os;
+      os << "synthetic address 0x" << std::hex << e.addr
+         << " has no name in the synthetic symbol table";
+      out->add("synthetic-unresolved", Severity::kError, os.str());
+    }
+  }
+  for (const auto& s : trace.temp_samples) {
+    if (node_ids.count(s.node_id) == 0) {
+      out->add("node-unresolved", Severity::kError,
+               "temp sample references unknown node " + std::to_string(s.node_id));
+    } else if (sensor_ids.count({s.node_id, s.sensor_id}) == 0) {
+      out->add("sensor-unresolved", Severity::kError,
+               "temp sample references unknown sensor " +
+                   std::to_string(s.sensor_id) + " on node " +
+                   std::to_string(s.node_id));
+    }
+  }
+  for (const auto& c : trace.clock_syncs) {
+    if (node_ids.count(c.node_id) == 0) {
+      out->add("node-unresolved", Severity::kError,
+               "clock sync references unknown node " + std::to_string(c.node_id));
+    }
+  }
+}
+
+void check_monotonic(const trace::Trace& trace, Collector* out) {
+  // Per-thread event timestamps: each thread stamps from one clock
+  // domain, so its stream must be non-decreasing.
+  std::map<std::uint32_t, std::uint64_t> last_event;
+  std::uint64_t last_global = 0;
+  bool globally_sorted = true;
+  for (const auto& e : trace.fn_events) {
+    auto [it, inserted] = last_event.try_emplace(e.thread_id, e.tsc);
+    if (!inserted) {
+      if (e.tsc < it->second) {
+        out->add("monotonic-timestamps", Severity::kError,
+                 fmt_thread(e.thread_id) + " timestamp goes backwards (" +
+                     std::to_string(e.tsc) + " after " + std::to_string(it->second) +
+                     ")");
+      }
+      it->second = std::max(it->second, e.tsc);
+    }
+    if (e.tsc < last_global) globally_sorted = false;
+    last_global = std::max(last_global, e.tsc);
+  }
+  if (!globally_sorted) {
+    out->add("global-sort", Severity::kWarning,
+             "fn events are not globally time-sorted (the parser expects "
+             "Trace::sort_by_time order)");
+  }
+  // Per-sensor sample streams likewise.
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t> last_sample;
+  for (const auto& s : trace.temp_samples) {
+    auto [it, inserted] = last_sample.try_emplace({s.node_id, s.sensor_id}, s.tsc);
+    if (!inserted) {
+      if (s.tsc < it->second) {
+        out->add("monotonic-timestamps", Severity::kError,
+                 "sensor " + std::to_string(s.sensor_id) + " on node " +
+                     std::to_string(s.node_id) + " sample timestamp goes backwards");
+      }
+      it->second = std::max(it->second, s.tsc);
+    }
+  }
+  // Clock-sync observations: both domains must advance together.
+  std::map<std::uint16_t, std::pair<std::uint64_t, std::uint64_t>> last_sync;
+  for (const auto& c : trace.clock_syncs) {
+    auto [it, inserted] =
+        last_sync.try_emplace(c.node_id, std::make_pair(c.node_tsc, c.global_tsc));
+    if (!inserted) {
+      if (c.node_tsc < it->second.first || c.global_tsc < it->second.second) {
+        out->add("monotonic-timestamps", Severity::kError,
+                 "clock sync for node " + std::to_string(c.node_id) +
+                     " goes backwards in node or global domain");
+      }
+      it->second = {std::max(it->second.first, c.node_tsc),
+                    std::max(it->second.second, c.global_tsc)};
+    }
+  }
+}
+
+void check_nesting_and_conservation(const trace::Trace& trace, Collector* out) {
+  // Mirror of the parser's Table 1 semantics: per (thread, addr) open
+  // depth with outermost-activation intervals. Region interleaving is
+  // legal; what a healthy pipeline can never emit is inclusive time
+  // exceeding its thread's span.
+  struct OpenState {
+    std::uint64_t depth = 0;
+    std::uint64_t first_enter = 0;
+  };
+  struct ThreadAgg {
+    std::uint64_t first_tsc = 0;
+    std::uint64_t last_tsc = 0;
+    bool seen = false;
+    std::uint64_t unmatched_exits = 0;
+  };
+  std::map<std::pair<std::uint32_t, std::uint64_t>, OpenState> open;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> inclusive;
+  std::map<std::uint32_t, ThreadAgg> per_thread;
+
+  for (const auto& e : trace.fn_events) {
+    ThreadAgg& agg = per_thread[e.thread_id];
+    if (!agg.seen) {
+      agg.first_tsc = e.tsc;
+      agg.seen = true;
+    }
+    agg.last_tsc = std::max(agg.last_tsc, e.tsc);
+
+    const auto key = std::make_pair(e.thread_id, e.addr);
+    if (e.kind == trace::FnEventKind::kEnter) {
+      OpenState& st = open[key];
+      if (st.depth == 0) st.first_enter = e.tsc;
+      ++st.depth;
+    } else {
+      auto it = open.find(key);
+      if (it == open.end() || it->second.depth == 0) {
+        ++agg.unmatched_exits;  // frame already open when profiling began
+        continue;
+      }
+      if (--it->second.depth == 0 && e.tsc > it->second.first_enter) {
+        inclusive[key] += e.tsc - it->second.first_enter;
+      }
+    }
+  }
+
+  std::map<std::uint32_t, std::uint64_t> unclosed;
+  for (const auto& [key, st] : open) {
+    if (st.depth == 0) continue;
+    unclosed[key.first] += st.depth;
+    // Force-close at the thread's own end for the conservation check.
+    const auto tit = per_thread.find(key.first);
+    if (tit != per_thread.end() && tit->second.last_tsc > st.first_enter) {
+      inclusive[key] += tit->second.last_tsc - st.first_enter;
+    }
+  }
+
+  for (const auto& [tid, agg] : per_thread) {
+    if (agg.unmatched_exits > 0) {
+      out->add("balanced-nesting", Severity::kWarning,
+               fmt_thread(tid) + " has " + std::to_string(agg.unmatched_exits) +
+                   " exit(s) without a recorded entry (frames open at session "
+                   "start)");
+    }
+  }
+  for (const auto& [tid, count] : unclosed) {
+    out->add("balanced-nesting", Severity::kWarning,
+             fmt_thread(tid) + " ends with " + std::to_string(count) +
+                 " activation(s) still open (frames open at session stop)");
+  }
+  for (const auto& [key, ticks] : inclusive) {
+    const ThreadAgg& agg = per_thread[key.first];
+    const std::uint64_t span = agg.last_tsc - agg.first_tsc;
+    if (ticks > span) {
+      std::ostringstream os;
+      os << fmt_thread(key.first) << " spends " << ticks
+         << " inclusive ticks in addr 0x" << std::hex << key.second << std::dec
+         << " but only spans " << span << " ticks";
+      out->add("time-conservation", Severity::kError, os.str());
+    }
+  }
+}
+
+void check_cadence(const trace::Trace& trace, const LintOptions& options,
+                   Collector* out) {
+  if (!(trace.tsc_ticks_per_second > 0.0)) return;
+  // tempd reads every sensor once per tick, so per-(node,sensor) gaps
+  // measure the tick period directly.
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::vector<std::uint64_t>> gaps;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t> last;
+  for (const auto& s : trace.temp_samples) {
+    const auto key = std::make_pair(s.node_id, s.sensor_id);
+    const auto it = last.find(key);
+    if (it != last.end() && s.tsc >= it->second) {
+      gaps[key].push_back(s.tsc - it->second);
+    }
+    last[key] = s.tsc;
+  }
+  for (auto& [key, g] : gaps) {
+    if (g.size() < options.min_cadence_gaps) continue;
+    std::sort(g.begin(), g.end());
+    const std::uint64_t median = g[g.size() / 2];
+    if (median == 0) continue;
+    const double median_s =
+        static_cast<double>(median) / trace.tsc_ticks_per_second;
+    if (options.expected_hz > 0.0) {
+      const double expected_s = 1.0 / options.expected_hz;
+      if (median_s > expected_s * options.cadence_tolerance ||
+          median_s < expected_s / options.cadence_tolerance) {
+        std::ostringstream os;
+        os << "sensor " << key.second << " on node " << key.first
+           << " samples every " << median_s << " s (expected ~" << expected_s
+           << " s at " << options.expected_hz << " Hz)";
+        out->add("sample-cadence", Severity::kWarning, os.str());
+      }
+    }
+    // Regularity regardless of the configured rate: a healthy tempd tick
+    // loop produces gaps clustered around the median.
+    std::size_t outliers = 0;
+    for (const std::uint64_t gap : g) {
+      if (gap > median * 4 || gap * 4 < median) ++outliers;
+    }
+    if (outliers * 10 > g.size() * 3) {  // > 30 %
+      std::ostringstream os;
+      os << "sensor " << key.second << " on node " << key.first << ": " << outliers
+         << "/" << g.size() << " inter-sample gaps deviate >4x from the median "
+         << "(irregular tempd cadence)";
+      out->add("sample-cadence", Severity::kWarning, os.str());
+    }
+  }
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+             << "0123456789abcdef"[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint_trace(const trace::Trace& trace, const LintOptions& options) {
+  LintReport report;
+  report.fn_events = trace.fn_events.size();
+  report.temp_samples = trace.temp_samples.size();
+  report.threads = trace.threads.size();
+  report.nodes = trace.nodes.size();
+  report.sensors = trace.sensors.size();
+
+  Collector out(&report, options);
+  check_metadata(trace, &out);
+  check_references(trace, &out);
+  check_monotonic(trace, &out);
+  check_nesting_and_conservation(trace, &out);
+  check_cadence(trace, options, &out);
+  return report;
+}
+
+Result<LintReport> lint_trace_file(const std::string& path,
+                                   const LintOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Result<LintReport>::error(path + ": cannot open trace file: " + path);
+  }
+  auto trace = trace::read_trace(in);
+  if (!trace.is_ok()) {
+    return Result<LintReport>::error(path + ": " + trace.message());
+  }
+  LintReport report = lint_trace(trace.value(), options);
+  // The reader stops after the last section; a well-formed file ends
+  // there. Trailing bytes mean concatenation or partial overwrite —
+  // something no healthy pipeline writes, so the file fails the lint
+  // even though the leading trace parsed.
+  if (in.peek() != std::char_traits<char>::eof()) {
+    const auto consumed = in.tellg();
+    in.seekg(0, std::ios::end);
+    const auto total = in.tellg();
+    std::ostringstream msg;
+    msg << (total - consumed) << " trailing byte(s) after the trace";
+    report.findings.push_back(
+        {"file-trailing-bytes", Severity::kError, msg.str()});
+    ++report.error_count;
+  }
+  return report;
+}
+
+std::string to_json(const LintReport& report) {
+  std::ostringstream os;
+  os << "{\"clean\":" << (report.clean() ? "true" : "false")
+     << ",\"errors\":" << report.error_count
+     << ",\"warnings\":" << report.warning_count << ",\"inventory\":{"
+     << "\"fn_events\":" << report.fn_events
+     << ",\"temp_samples\":" << report.temp_samples
+     << ",\"threads\":" << report.threads << ",\"nodes\":" << report.nodes
+     << ",\"sensors\":" << report.sensors << "},\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i > 0) os << ",";
+    os << "{\"check\":\"";
+    json_escape(os, f.check);
+    os << "\",\"severity\":\""
+       << (f.severity == Severity::kError ? "error" : "warning")
+       << "\",\"message\":\"";
+    json_escape(os, f.message);
+    os << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_human(std::ostream& out, const LintReport& report) {
+  for (const Finding& f : report.findings) {
+    out << (f.severity == Severity::kError ? "error" : "warning") << " ["
+        << f.check << "] " << f.message << "\n";
+  }
+  out << (report.clean() ? "clean" : "NOT clean") << ": " << report.error_count
+      << " error(s), " << report.warning_count << " warning(s) over "
+      << report.fn_events << " events, " << report.temp_samples << " samples, "
+      << report.threads << " threads, " << report.nodes << " node(s), "
+      << report.sensors << " sensor(s)\n";
+}
+
+}  // namespace tempest::analysis

@@ -1,0 +1,88 @@
+// Static trace validation: the paper's structural invariants, machine-
+// checked.
+//
+// A Tempest trace is only as trustworthy as the pipeline that produced
+// it, and every piece of that pipeline is concurrent: lock-free
+// per-thread event buffers, the tempd sampler thread, the
+// message-passing runtime. tempest-lint validates that an emitted trace
+// still satisfies what the paper's design guarantees:
+//
+//   * per-thread timestamps are monotonic (each thread stamps events
+//     from one clock domain, §3.3);
+//   * entry/exit streams balance under the parser's per-(thread,addr)
+//     depth model (Table 1 interleaving/recursion semantics);
+//   * inclusive time is conserved — no function's inclusive ticks on a
+//     thread exceed that thread's whole span;
+//   * every node/thread/sensor/synthetic-symbol reference resolves
+//     against the trace's own metadata;
+//   * tempd's sample cadence is plausible (~the configured Hz, 4 by
+//     default in the paper).
+//
+// Violations that can occur in healthy traces (frames already open when
+// the session started, `main` still open when it stopped, scheduling
+// jitter in the cadence) are warnings; anything a correct pipeline can
+// never emit is an error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::analysis {
+
+enum class Severity { kWarning, kError };
+
+/// One invariant violation.
+struct Finding {
+  std::string check;    ///< stable identifier, e.g. "monotonic-timestamps"
+  Severity severity = Severity::kError;
+  std::string message;  ///< human-readable details
+};
+
+struct LintOptions {
+  /// Expected tempd sampling rate; 0 skips the absolute cadence check
+  /// (the regularity check still runs).
+  double expected_hz = 0.0;
+  /// Median inter-sample gap may deviate from 1/expected_hz by this
+  /// factor in either direction before the cadence warning fires.
+  double cadence_tolerance = 2.0;
+  /// Cadence checks need at least this many gaps to be meaningful.
+  std::size_t min_cadence_gaps = 8;
+  /// Cap on findings recorded per check (the counts are always exact).
+  std::size_t max_findings_per_check = 8;
+};
+
+struct LintReport {
+  std::vector<Finding> findings;
+  std::size_t error_count = 0;
+  std::size_t warning_count = 0;
+
+  // Inventory of what was checked (for the report header / JSON).
+  std::size_t fn_events = 0;
+  std::size_t temp_samples = 0;
+  std::size_t threads = 0;
+  std::size_t nodes = 0;
+  std::size_t sensors = 0;
+
+  bool clean() const { return error_count == 0; }
+};
+
+/// Run every lint check over an in-memory trace.
+LintReport lint_trace(const trace::Trace& trace, const LintOptions& options = {});
+
+/// Read a trace file and lint it; unreadable/corrupt files are an error
+/// Result (distinct from a readable trace with violations).
+Result<LintReport> lint_trace_file(const std::string& path,
+                                   const LintOptions& options = {});
+
+/// Machine-readable report (stable field names; one JSON object).
+std::string to_json(const LintReport& report);
+
+/// Human-readable report, one finding per line plus a summary.
+void write_human(std::ostream& out, const LintReport& report);
+
+}  // namespace tempest::analysis

@@ -7,6 +7,9 @@
 namespace tempest {
 
 bool env_raw(const char* name, std::string* out) {
+  // Tempest never calls setenv/putenv, so the environment block is
+  // immutable for the process lifetime and getenv is safe from any
+  // thread. NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv(name);
   if (v == nullptr) return false;
   *out = v;

@@ -1,0 +1,88 @@
+// Clang thread-safety annotations (a.k.a. capability analysis).
+//
+// Tempest's concurrency surface is small but hot: lock-free per-thread
+// event buffers registered through a mutex, the tempd sampler thread,
+// and the message-passing world. These macros let Clang prove at
+// compile time (-Wthread-safety) that every access to a lock-protected
+// member actually holds the protecting lock. Under GCC (which has no
+// capability analysis) they expand to nothing, so the annotations are
+// free documentation.
+//
+// Because libstdc++'s std::mutex is not a capability type, annotating
+// members with GUARDED_BY(std::mutex) would itself warn under Clang.
+// We therefore provide tempest::common::Mutex — a trivial annotated
+// wrapper — plus MutexLock, the RAII guard the analysis understands.
+// Mutex is BasicLockable, so std::condition_variable_any waits on it
+// directly.
+//
+// Usage:
+//   class Registry {
+//    public:
+//     void add(Item item) EXCLUDES(mu_) {
+//       MutexLock lock(&mu_);
+//       items_.push_back(std::move(item));
+//     }
+//    private:
+//     common::Mutex mu_;
+//     std::vector<Item> items_ GUARDED_BY(mu_);
+//   };
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define TEMPEST_TS_ATTR(x) __attribute__((x))
+#else
+#define TEMPEST_TS_ATTR(x)  // no-op under GCC and others
+#endif
+
+#define CAPABILITY(x) TEMPEST_TS_ATTR(capability(x))
+#define SCOPED_CAPABILITY TEMPEST_TS_ATTR(scoped_lockable)
+#define GUARDED_BY(x) TEMPEST_TS_ATTR(guarded_by(x))
+#define PT_GUARDED_BY(x) TEMPEST_TS_ATTR(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) TEMPEST_TS_ATTR(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) TEMPEST_TS_ATTR(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) TEMPEST_TS_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) TEMPEST_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) TEMPEST_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) TEMPEST_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) TEMPEST_TS_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) TEMPEST_TS_ATTR(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) TEMPEST_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) TEMPEST_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) TEMPEST_TS_ATTR(assert_capability(x))
+#define RETURN_CAPABILITY(x) TEMPEST_TS_ATTR(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS TEMPEST_TS_ATTR(no_thread_safety_analysis)
+
+namespace tempest::common {
+
+/// std::mutex with the capability attribute the analysis needs.
+/// BasicLockable (lock/unlock/try_lock), so it composes with
+/// std::condition_variable_any.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock guard the analysis tracks (std::lock_guard is opaque to it).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace tempest::common

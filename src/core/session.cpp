@@ -108,7 +108,7 @@ Status Session::stop() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(synth_mu_);
+    common::MutexLock lock(&synth_mu_);
     trace_.synthetic_symbols = synthetic_;
   }
   registry_.drain_into(&trace_);
@@ -131,7 +131,7 @@ Status Session::attach_current_thread(std::uint16_t node_id, std::uint16_t core)
 }
 
 std::uint64_t Session::synthetic_addr(const std::string& name) {
-  std::lock_guard<std::mutex> lock(synth_mu_);
+  common::MutexLock lock(&synth_mu_);
   for (const auto& s : synthetic_) {
     if (s.name == name) return s.addr;
   }

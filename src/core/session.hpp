@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/config.hpp"
 #include "core/tempd.hpp"
 #include "core/thread_buffer.hpp"
@@ -91,7 +91,7 @@ class Session {
 
   /// Synthetic address for a named region (explicit/per-block API).
   /// Stable for the process lifetime; same name -> same address.
-  std::uint64_t synthetic_addr(const std::string& name);
+  std::uint64_t synthetic_addr(const std::string& name) EXCLUDES(synth_mu_);
 
   ThreadRegistry& registry() { return registry_; }
   simnode::SimNode* sim_node(std::uint16_t node_id);
@@ -99,6 +99,11 @@ class Session {
  private:
   Session() = default;
 
+  // Lifecycle members (config_, nodes_, trace_, ...) are mutated only
+  // from the controlling thread while the session is inactive, or
+  // published to worker threads through active_ / thread creation.
+  // synthetic_ is the one structure the explicit API mutates from
+  // arbitrary threads mid-run, hence its lock.
   SessionConfig config_;
   std::atomic<bool> active_{false};
   std::vector<NodeBinding> nodes_;
@@ -107,8 +112,8 @@ class Session {
   trace::Trace trace_;
   std::uint64_t start_tsc_ = 0;
 
-  std::mutex synth_mu_;
-  std::vector<trace::SyntheticSymbol> synthetic_;
+  common::Mutex synth_mu_;
+  std::vector<trace::SyntheticSymbol> synthetic_ GUARDED_BY(synth_mu_);
 };
 
 }  // namespace tempest::core

@@ -24,7 +24,8 @@ double thread_cpu_seconds() {
 }  // namespace
 
 void Tempd::start(double hz, std::vector<NodeBinding>* nodes) {
-  if (running()) return;
+  common::MutexLock lock(&lifecycle_mu_);
+  if (thread_.joinable()) return;  // already running
   nodes_ = nodes;
   samples_.clear();
   clock_syncs_.clear();
@@ -35,9 +36,15 @@ void Tempd::start(double hz, std::vector<NodeBinding>* nodes) {
 }
 
 void Tempd::stop() {
-  if (!running()) return;
+  common::MutexLock lock(&lifecycle_mu_);
+  // Request-before-join, and only ever join under the lifecycle lock:
+  // a second stop() (or the destructor racing an explicit stop) sees a
+  // non-joinable handle and falls through. Safe when start() never ran.
   stop_requested_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
+  if (thread_.joinable()) {
+    thread_.join();
+    thread_ = std::thread();
+  }
   running_.store(false, std::memory_order_release);
 }
 

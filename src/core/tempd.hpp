@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "sensors/backend.hpp"
 #include "simnode/node.hpp"
 #include "trace/trace.hpp"
@@ -49,14 +50,17 @@ class Tempd {
   ~Tempd() { stop(); }
 
   /// Begin sampling `nodes` at `hz`. The bindings must outlive the run.
-  void start(double hz, std::vector<NodeBinding>* nodes);
+  /// No-op when already running.
+  void start(double hz, std::vector<NodeBinding>* nodes) EXCLUDES(lifecycle_mu_);
 
-  /// Stop and join. Safe to call repeatedly.
-  void stop();
+  /// Stop and join. Idempotent: safe to call repeatedly, from multiple
+  /// threads concurrently, and when the sampler thread never started.
+  void stop() EXCLUDES(lifecycle_mu_);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  /// Results; valid after stop() (or before start()).
+  /// Results; valid after stop() (or before start()). The join inside
+  /// stop() is the happens-before edge that publishes them.
   std::vector<trace::TempSample>& samples() { return samples_; }
   std::vector<trace::ClockSync>& clock_syncs() { return clock_syncs_; }
   const Stats& stats() const { return stats_; }
@@ -65,8 +69,14 @@ class Tempd {
   void run_loop(double hz);
   void sample_all_nodes();
 
+  // Lifecycle lock: serialises start/stop (including concurrent stop()
+  // racing the destructor) and guards the thread handle. The sampler
+  // thread itself never takes it — it owns samples_/clock_syncs_/stats_
+  // exclusively between start() and the join in stop(), and reads
+  // nodes_ published by the thread-creation edge in start().
+  common::Mutex lifecycle_mu_;
+  std::thread thread_ GUARDED_BY(lifecycle_mu_);
   std::vector<NodeBinding>* nodes_ = nullptr;
-  std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
 

@@ -1,5 +1,7 @@
 #include "core/thread_buffer.hpp"
 
+#include <atomic>
+
 namespace tempest::core {
 namespace {
 
@@ -11,8 +13,9 @@ struct TlsSlot {
 thread_local TlsSlot tls_slot;
 
 // Generation bumps on reset() so stale TLS pointers from a previous
-// session re-register instead of dangling.
-std::uint64_t g_generation = 1;
+// session re-register instead of recording into a retired state
+// forever. Atomic: recording threads poll it without the registry lock.
+std::atomic<std::uint64_t> g_generation{1};
 
 }  // namespace
 
@@ -29,15 +32,16 @@ void EventBuffer::append_to(std::vector<trace::FnEvent>* out) const {
 }
 
 ThreadState* ThreadRegistry::current() {
-  if (tls_slot.state == nullptr || tls_slot.generation != g_generation) {
+  if (tls_slot.state == nullptr ||
+      tls_slot.generation != g_generation.load(std::memory_order_acquire)) {
     tls_slot.state = register_thread();
-    tls_slot.generation = g_generation;
+    tls_slot.generation = g_generation.load(std::memory_order_acquire);
   }
   return tls_slot.state;
 }
 
 ThreadState* ThreadRegistry::register_thread() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   threads_.push_back(std::make_unique<ThreadState>());
   threads_.back()->thread_id = next_id_++;
   return threads_.back().get();
@@ -52,7 +56,7 @@ void ThreadRegistry::bind_current(std::uint16_t node_id, std::uint16_t core,
 }
 
 void ThreadRegistry::drain_into(trace::Trace* trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& ts : threads_) {
     ts->events.append_to(&trace->fn_events);
     trace->threads.push_back({ts->thread_id, ts->node_id, ts->core});
@@ -60,17 +64,22 @@ void ThreadRegistry::drain_into(trace::Trace* trace) {
 }
 
 std::size_t ThreadRegistry::total_events() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::size_t total = 0;
   for (const auto& ts : threads_) total += ts->events.size();
   return total;
 }
 
 void ThreadRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
+  // Retire rather than destroy: a thread that fetched its state before
+  // this bump may still be appending to it. The state stays alive (one
+  // small leak per reset, i.e. per session) and the writer re-registers
+  // on its next current() call.
+  for (auto& ts : threads_) retired_.push_back(std::move(ts));
   threads_.clear();
   next_id_ = 0;
-  ++g_generation;
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace tempest::core

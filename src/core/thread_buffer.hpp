@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/tsc.hpp"
 #include "trace/trace.hpp"
 
@@ -57,32 +57,45 @@ struct ThreadState {
 
 /// Owns ThreadStates for every thread that ever recorded an event.
 /// Registration takes a mutex once per thread; the hot path never does.
+///
+/// Concurrency model: each ThreadState is written only by its owning
+/// thread (TLS-confined); `mu_` protects the registry containers. A
+/// reset() retires — but never destroys — the states of the previous
+/// generation, so a thread that is mid-record while another thread
+/// resets keeps writing into a retired (leaked-until-registry-death)
+/// buffer instead of freed memory; its next current() call
+/// re-registers under the new generation.
 class ThreadRegistry {
  public:
   /// Get (or create) the calling thread's state.
-  ThreadState* current();
+  ThreadState* current() EXCLUDES(mu_);
 
   /// Rebind the calling thread to a node/clock (used by the
   /// message-passing runtime when a rank starts on a simulated node).
-  void bind_current(std::uint16_t node_id, std::uint16_t core, const VirtualTsc* clock);
+  void bind_current(std::uint16_t node_id, std::uint16_t core, const VirtualTsc* clock)
+      EXCLUDES(mu_);
 
   /// Drain all buffers into a trace (call only when threads are quiesced).
-  void drain_into(trace::Trace* trace);
+  void drain_into(trace::Trace* trace) EXCLUDES(mu_);
 
-  /// Total buffered events across threads (diagnostics).
-  std::size_t total_events();
+  /// Total buffered events across threads. Call only when recording
+  /// threads are quiesced — it reads every live buffer (diagnostics).
+  std::size_t total_events() EXCLUDES(mu_);
 
-  /// Forget all thread states; events recorded afterwards register fresh
-  /// states. Existing TLS pointers are invalidated — only safe between
-  /// sessions when worker threads have exited.
-  void reset();
+  /// Start a new registration generation: subsequent events register
+  /// fresh states with ids from 0. Previous-generation states are
+  /// retired (kept alive until the registry dies) so concurrent
+  /// recorders never touch freed memory; their in-flight events are
+  /// dropped, not drained.
+  void reset() EXCLUDES(mu_);
 
  private:
-  ThreadState* register_thread();
+  ThreadState* register_thread() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadState>> threads_;
-  std::uint32_t next_id_ = 0;
+  common::Mutex mu_;
+  std::vector<std::unique_ptr<ThreadState>> threads_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<ThreadState>> retired_ GUARDED_BY(mu_);
+  std::uint32_t next_id_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tempest::core

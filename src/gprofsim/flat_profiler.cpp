@@ -30,7 +30,7 @@ FlatProfiler& FlatProfiler::instance() {
 
 FlatProfiler::ThreadBuckets* FlatProfiler::current_thread() {
   if (tls_buckets == nullptr || tls_generation != g_generation.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    tempest::common::MutexLock lock(&mu_);
     threads_.push_back(std::make_unique<ThreadBuckets>());
     tls_buckets = threads_.back().get();
     tls_generation = g_generation.load(std::memory_order_relaxed);
@@ -39,19 +39,17 @@ FlatProfiler::ThreadBuckets* FlatProfiler::current_thread() {
 }
 
 void FlatProfiler::start() {
-  if (active_) return;
-  active_ = true;
+  if (active_.exchange(true, std::memory_order_acq_rel)) return;
   tempest_alt_enter_hook.store(&enter_trampoline, std::memory_order_release);
   tempest_alt_exit_hook.store(&exit_trampoline, std::memory_order_release);
 }
 
 void FlatProfiler::stop() {
-  if (!active_) return;
+  if (!active_.exchange(false, std::memory_order_acq_rel)) return;
   tempest_alt_enter_hook.store(nullptr, std::memory_order_release);
   tempest_alt_exit_hook.store(nullptr, std::memory_order_release);
-  active_ = false;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  tempest::common::MutexLock lock(&mu_);
   for (const auto& t : threads_) {
     for (const auto& [addr, bucket] : t->buckets) {
       Bucket& m = merged_[addr];
@@ -63,7 +61,7 @@ void FlatProfiler::stop() {
 }
 
 void FlatProfiler::on_enter(void* fn) {
-  if (!active_) return;
+  if (!active_.load(std::memory_order_relaxed)) return;
   ThreadBuckets* t = current_thread();
   const auto addr = reinterpret_cast<std::uint64_t>(fn);
   auto& depth = t->open_depth[addr];
@@ -73,7 +71,7 @@ void FlatProfiler::on_enter(void* fn) {
 }
 
 void FlatProfiler::on_exit(void* fn) {
-  if (!active_) return;
+  if (!active_.load(std::memory_order_relaxed)) return;
   ThreadBuckets* t = current_thread();
   const auto addr = reinterpret_cast<std::uint64_t>(fn);
   if (t->stack.empty() || t->stack.back().addr != addr) return;  // unbalanced
@@ -92,8 +90,13 @@ void FlatProfiler::on_exit(void* fn) {
 
 std::vector<FlatEntry> FlatProfiler::flat_profile() const {
   auto resolver = tempest::symtab::Resolver::for_current_process();
+  std::map<std::uint64_t, Bucket> merged;
+  {
+    tempest::common::MutexLock lock(&mu_);
+    merged = merged_;
+  }
   std::vector<FlatEntry> out;
-  for (const auto& [addr, bucket] : merged_) {
+  for (const auto& [addr, bucket] : merged) {
     FlatEntry e;
     e.addr = addr;
     e.name = resolver.is_ok() ? resolver.value().resolve(addr) : "<unknown>";
@@ -115,7 +118,11 @@ double FlatProfiler::self_seconds(const std::string& name) const {
 }
 
 void FlatProfiler::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  tempest::common::MutexLock lock(&mu_);
+  // Retire, don't destroy: a hook mid-record on another thread may
+  // still hold its TLS buckets pointer (same discipline as
+  // core::ThreadRegistry::reset).
+  for (auto& t : threads_) retired_.push_back(std::move(t));
   threads_.clear();
   merged_.clear();
   g_generation.fetch_add(1, std::memory_order_relaxed);

@@ -14,12 +14,14 @@
 // baseline / gprofsim / Tempest configurations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace gprofsim {
 
@@ -44,8 +46,8 @@ class FlatProfiler {
   /// Arm the alternate instrumentation hooks. One profiler per process.
   void start();
   /// Disarm and aggregate per-thread buckets.
-  void stop();
-  bool active() const { return active_; }
+  void stop() EXCLUDES(mu_);
+  bool active() const { return active_.load(std::memory_order_acquire); }
 
   /// Called from the instrumentation hooks (hot path, per thread).
   void on_enter(void* fn);
@@ -53,12 +55,12 @@ class FlatProfiler {
 
   /// Flat profile sorted by self time, symbolised via the current
   /// process's ELF symbol table (valid after stop()).
-  std::vector<FlatEntry> flat_profile() const;
+  std::vector<FlatEntry> flat_profile() const EXCLUDES(mu_);
 
   /// Self-time seconds for one function (0 when absent).
-  double self_seconds(const std::string& name) const;
+  double self_seconds(const std::string& name) const EXCLUDES(mu_);
 
-  void reset();
+  void reset() EXCLUDES(mu_);
 
   struct Frame {
     std::uint64_t addr;
@@ -75,12 +77,15 @@ class FlatProfiler {
  private:
   FlatProfiler() = default;
 
-  ThreadBuckets* current_thread();
+  ThreadBuckets* current_thread() EXCLUDES(mu_);
 
-  bool active_ = false;
-  std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadBuckets>> threads_;
-  std::map<std::uint64_t, Bucket> merged_;
+  std::atomic<bool> active_{false};
+  mutable tempest::common::Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuckets>> threads_ GUARDED_BY(mu_);
+  /// Previous-generation buckets parked by reset(); kept alive so a
+  /// thread mid-record during a reset never touches freed memory.
+  std::vector<std::unique_ptr<ThreadBuckets>> retired_ GUARDED_BY(mu_);
+  std::map<std::uint64_t, Bucket> merged_ GUARDED_BY(mu_);
 };
 
 }  // namespace gprofsim

@@ -20,7 +20,7 @@ void World::post(int src, int dst, int tag, const void* data, std::size_t bytes)
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    tempest::common::MutexLock lock(&mu_);
     if (net_.latency_s > 0.0 || net_.bandwidth_bytes_per_s > 0.0) {
       // Ingress-link model: each receiver's NIC drains one transfer at
       // a time, so concurrent senders to the same destination serialise
@@ -45,16 +45,21 @@ void World::post(int src, int dst, int tag, const void* data, std::size_t bytes)
 }
 
 std::size_t World::take(int src, int dst, int tag, void* data, std::size_t capacity) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const Key key{src, dst, tag};
-  cv_.wait(lock, [&] {
-    const auto it = mailboxes_.find(key);
-    return it != mailboxes_.end() && !it->second.empty();
-  });
-  auto& queue = mailboxes_[key];
-  Message msg = std::move(queue.front());
-  queue.pop_front();
-  lock.unlock();
+  Message msg;
+  {
+    tempest::common::MutexLock lock(&mu_);
+    const Key key{src, dst, tag};
+    // Explicit wait loop (not the predicate overload): the predicate
+    // would be a separate lambda to the thread-safety analysis and
+    // could not see that mu_ is held.
+    auto it = mailboxes_.find(key);
+    while (it == mailboxes_.end() || it->second.empty()) {
+      cv_.wait(mu_);
+      it = mailboxes_.find(key);
+    }
+    msg = std::move(it->second.front());
+    it->second.pop_front();
+  }
 
   // Model the wire: the payload is not available before its delivery
   // time, so the receiver keeps blocking (idle) until then.
@@ -73,7 +78,7 @@ std::size_t World::take(int src, int dst, int tag, void* data, std::size_t capac
 }
 
 void World::barrier() {
-  std::unique_lock<std::mutex> lock(mu_);
+  tempest::common::MutexLock lock(&mu_);
   const std::uint64_t my_generation = barrier_generation_;
   if (++barrier_waiting_ == nranks_) {
     barrier_waiting_ = 0;
@@ -81,7 +86,7 @@ void World::barrier() {
     cv_.notify_all();
     return;
   }
-  cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+  while (barrier_generation_ == my_generation) cv_.wait(mu_);
 }
 
 double World::elapsed_s() const {
@@ -89,12 +94,12 @@ double World::elapsed_s() const {
 }
 
 std::uint64_t World::messages_sent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  tempest::common::MutexLock lock(&mu_);
   return messages_;
 }
 
 std::uint64_t World::bytes_sent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  tempest::common::MutexLock lock(&mu_);
   return bytes_;
 }
 

@@ -12,9 +12,9 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "simnode/node.hpp"
 
 namespace minimpi {
@@ -44,15 +44,17 @@ class World {
   int size() const { return nranks_; }
 
   /// Copy `bytes` into (src,dst,tag)'s mailbox and wake receivers.
-  void post(int src, int dst, int tag, const void* data, std::size_t bytes);
+  void post(int src, int dst, int tag, const void* data, std::size_t bytes)
+      EXCLUDES(mu_);
 
   /// Block until a (src,dst,tag) message is available, then copy it
   /// out. Returns the message size; throws std::length_error when the
   /// buffer is too small (message truncation is a programming error).
-  std::size_t take(int src, int dst, int tag, void* data, std::size_t capacity);
+  std::size_t take(int src, int dst, int tag, void* data, std::size_t capacity)
+      EXCLUDES(mu_);
 
   /// Generation barrier over all ranks.
-  void barrier();
+  void barrier() EXCLUDES(mu_);
 
   RankPlacement& placement(int rank) { return placements_.at(static_cast<std::size_t>(rank)); }
 
@@ -60,8 +62,8 @@ class World {
   double elapsed_s() const;
 
   /// Message/byte counters (benchmark diagnostics).
-  std::uint64_t messages_sent() const;
-  std::uint64_t bytes_sent() const;
+  std::uint64_t messages_sent() const EXCLUDES(mu_);
+  std::uint64_t bytes_sent() const EXCLUDES(mu_);
 
  private:
   using Key = std::tuple<int, int, int>;
@@ -75,16 +77,18 @@ class World {
   NetParams net_;
   std::vector<RankPlacement> placements_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<Key, std::deque<Message>> mailboxes_;
-  std::map<int, std::uint64_t> link_free_at_;  ///< per-dst ingress occupancy
+  mutable tempest::common::Mutex mu_;
+  // _any: waits directly on the annotated Mutex (BasicLockable).
+  std::condition_variable_any cv_;
+  std::map<Key, std::deque<Message>> mailboxes_ GUARDED_BY(mu_);
+  /// Per-dst ingress occupancy.
+  std::map<int, std::uint64_t> link_free_at_ GUARDED_BY(mu_);
 
-  int barrier_waiting_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  int barrier_waiting_ GUARDED_BY(mu_) = 0;
+  std::uint64_t barrier_generation_ GUARDED_BY(mu_) = 0;
 
-  std::uint64_t messages_ = 0;
-  std::uint64_t bytes_ = 0;
+  std::uint64_t messages_ GUARDED_BY(mu_) = 0;
+  std::uint64_t bytes_ GUARDED_BY(mu_) = 0;
   std::uint64_t start_tsc_ = 0;
 };
 

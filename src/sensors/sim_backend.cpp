@@ -35,6 +35,7 @@ Result<double> SimBackend::read_celsius(std::uint16_t sensor_id) {
   double t = network_->temperature(node_indices_[sensor_id]) + spec.offset_c;
   if (spec.noise_sd_c > 0.0) {
     std::normal_distribution<double> noise(0.0, spec.noise_sd_c);
+    common::MutexLock lock(&rng_mu_);
     t += noise(rng_);
   }
   return quantize(t, spec.quant_step_c);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "sensors/backend.hpp"
 #include "thermal/rc_network.hpp"
 
@@ -33,13 +34,16 @@ class SimBackend : public SensorBackend {
              std::uint64_t noise_seed = 0x7e57);
 
   std::vector<SensorInfo> enumerate() const override;
-  Result<double> read_celsius(std::uint16_t sensor_id) override;
+  Result<double> read_celsius(std::uint16_t sensor_id) override EXCLUDES(rng_mu_);
 
  private:
   const thermal::RcNetwork* network_;
   std::vector<SimSensorSpec> specs_;
   std::vector<std::size_t> node_indices_;
-  std::mt19937_64 rng_;
+  // The noise generator is the backend's only mutable state; guard it
+  // so concurrent samplers (tempd + a diagnostic read) stay defined.
+  common::Mutex rng_mu_;
+  std::mt19937_64 rng_ GUARDED_BY(rng_mu_);
 };
 
 }  // namespace tempest::sensors

@@ -7,7 +7,7 @@
 namespace tempest::simnode {
 
 void ActivityMeter::set_busy(std::uint64_t now_tsc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!started_) {
     window_start_ = now_tsc;
     started_ = true;
@@ -19,7 +19,7 @@ void ActivityMeter::set_busy(std::uint64_t now_tsc) {
 }
 
 void ActivityMeter::set_idle(std::uint64_t now_tsc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!started_) {
     window_start_ = now_tsc;
     started_ = true;
@@ -34,7 +34,7 @@ void ActivityMeter::set_idle(std::uint64_t now_tsc) {
 }
 
 double ActivityMeter::sample(std::uint64_t now_tsc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!started_ || now_tsc <= window_start_) {
     window_start_ = now_tsc;
     started_ = true;
@@ -54,7 +54,7 @@ double ActivityMeter::sample(std::uint64_t now_tsc) {
 }
 
 bool ActivityMeter::busy() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return busy_;
 }
 

@@ -10,31 +10,32 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace tempest::simnode {
 
 class ActivityMeter {
  public:
   /// Mark the core busy as of `now_tsc`. Idempotent when already busy.
-  void set_busy(std::uint64_t now_tsc);
+  void set_busy(std::uint64_t now_tsc) EXCLUDES(mu_);
 
   /// Mark the core idle as of `now_tsc`. Idempotent when already idle.
-  void set_idle(std::uint64_t now_tsc);
+  void set_idle(std::uint64_t now_tsc) EXCLUDES(mu_);
 
   /// Busy fraction in [0,1] over [last sample, now]; resets the window.
   /// A zero-length window reports the instantaneous state.
-  double sample(std::uint64_t now_tsc);
+  double sample(std::uint64_t now_tsc) EXCLUDES(mu_);
 
-  bool busy() const;
+  bool busy() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  bool busy_ = false;
-  std::uint64_t busy_since_ = 0;     ///< valid while busy_
-  std::uint64_t busy_ticks_ = 0;     ///< accumulated this window
-  std::uint64_t window_start_ = 0;
-  bool started_ = false;
+  mutable common::Mutex mu_;
+  bool busy_ GUARDED_BY(mu_) = false;
+  std::uint64_t busy_since_ GUARDED_BY(mu_) = 0;   ///< valid while busy_
+  std::uint64_t busy_ticks_ GUARDED_BY(mu_) = 0;   ///< accumulated this window
+  std::uint64_t window_start_ GUARDED_BY(mu_) = 0;
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 /// RAII: marks a core idle for the duration of a scope (blocking waits).

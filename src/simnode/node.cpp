@@ -19,7 +19,7 @@ SimNode::SimNode(NodeConfig config)
 double SimNode::speed_factor() const { return package_.speed_factor(); }
 
 void SimNode::advance_to(std::uint64_t real_tsc) {
-  std::lock_guard<std::mutex> lock(advance_mu_);
+  common::MutexLock lock(&advance_mu_);
   if (!advanced_once_) {
     last_advance_tsc_ = real_tsc;
     advanced_once_ = true;
@@ -38,12 +38,12 @@ void SimNode::advance_to(std::uint64_t real_tsc) {
 }
 
 void SimNode::set_utilization_override(std::size_t core, double utilization) {
-  std::lock_guard<std::mutex> lock(advance_mu_);
+  common::MutexLock lock(&advance_mu_);
   utilization_override_.at(core) = utilization > 1.0 ? 1.0 : utilization;
 }
 
 void SimNode::settle_idle() {
-  std::lock_guard<std::mutex> lock(advance_mu_);
+  common::MutexLock lock(&advance_mu_);
   package_.settle_at(std::vector<double>(meters_.size(), 0.0));
 }
 

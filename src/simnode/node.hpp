@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/tsc.hpp"
 #include "sensors/sim_backend.hpp"
 #include "simnode/activity.hpp"
@@ -45,16 +46,17 @@ class SimNode {
   /// Drive a core's utilisation from an external source instead of its
   /// activity meter (e.g. the process's measured CPU share in the
   /// transparent auto-profiling mode). Negative clears the override.
-  void set_utilization_override(std::size_t core, double utilization);
+  void set_utilization_override(std::size_t core, double utilization)
+      EXCLUDES(advance_mu_);
 
   // -- sampler side -----------------------------------------------------
   /// Integrate thermal state up to the given global TSC using measured
   /// per-core utilisation since the previous call.
-  void advance_to(std::uint64_t real_tsc);
+  void advance_to(std::uint64_t real_tsc) EXCLUDES(advance_mu_);
 
   /// Start from thermal steady state at idle, as the paper does by
   /// letting systems return to steady state between tests.
-  void settle_idle();
+  void settle_idle() EXCLUDES(advance_mu_);
 
   sensors::SensorBackend& sensor_backend() { return *backend_; }
   thermal::CpuPackage& package() { return package_; }
@@ -67,10 +69,14 @@ class SimNode {
   std::unique_ptr<sensors::SimBackend> backend_;
   VirtualTsc clock_;
 
-  std::mutex advance_mu_;
-  std::uint64_t last_advance_tsc_ = 0;
-  bool advanced_once_ = false;
-  std::vector<double> utilization_override_;  ///< per core; < 0 = use meter
+  // advance_mu_ serialises the sampler's thermal integration with the
+  // (rare) worker-side utilisation overrides; it also guards package_
+  // state transitively since only advance/settle mutate it post-ctor.
+  common::Mutex advance_mu_;
+  std::uint64_t last_advance_tsc_ GUARDED_BY(advance_mu_) = 0;
+  bool advanced_once_ GUARDED_BY(advance_mu_) = false;
+  /// Per core; < 0 = use meter.
+  std::vector<double> utilization_override_ GUARDED_BY(advance_mu_);
 };
 
 }  // namespace tempest::simnode

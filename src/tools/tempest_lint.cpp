@@ -1,0 +1,97 @@
+// tempest-lint: validate trace files against the paper's invariants.
+//
+//   tempest-lint [options] <trace file>...
+//     --json          machine-readable output (one JSON object per file)
+//     --hz RATE       expected tempd sampling rate (default: 4, the
+//                     paper's rate; 0 disables the absolute check)
+//     --tolerance F   cadence tolerance factor (default 2.0)
+//     --strict        warnings also fail the exit code
+//     -q, --quiet     suppress per-finding output; exit code only
+//
+// Exit codes: 0 all traces clean, 1 invariant violations found,
+// 2 usage error or unreadable trace file.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--json] [--hz RATE] [--tolerance F] [--strict] [-q]"
+               " <trace file>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  tempest::analysis::LintOptions options;
+  options.expected_hz = 4.0;  // the paper's tempd rate
+  bool json = false, strict = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--hz") {
+      try {
+        options.expected_hz = std::stod(next("--hz"));
+      } catch (const std::exception&) {
+        std::cerr << "bad --hz value\n";
+        return 2;
+      }
+    } else if (arg == "--tolerance") {
+      try {
+        options.cadence_tolerance = std::stod(next("--tolerance"));
+      } catch (const std::exception&) {
+        std::cerr << "bad --tolerance value\n";
+        return 2;
+      }
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  bool any_errors = false, any_warnings = false;
+  for (const std::string& path : paths) {
+    auto report = tempest::analysis::lint_trace_file(path, options);
+    if (!report.is_ok()) {
+      std::cerr << "tempest-lint: " << report.message() << "\n";
+      return 2;
+    }
+    const auto& r = report.value();
+    any_errors = any_errors || r.error_count > 0;
+    any_warnings = any_warnings || r.warning_count > 0;
+    if (json) {
+      std::cout << tempest::analysis::to_json(r) << "\n";
+    } else if (!quiet) {
+      if (paths.size() > 1) std::cout << path << ":\n";
+      tempest::analysis::write_human(std::cout, r);
+    }
+  }
+  if (any_errors) return 1;
+  if (strict && any_warnings) return 1;
+  return 0;
+}

@@ -62,8 +62,11 @@ TEST(FlatProfiler, RecursionDoesNotDoubleCountInclusive) {
   micro::run_micro_e(make_params(&bench));  // recursive rec_fn
   profiler.stop();
 
+  // flat_profile() returns a snapshot copy; keep it alive while we
+  // hold pointers into it.
+  const auto profile = profiler.flat_profile();
   const gprofsim::FlatEntry* rec = nullptr;
-  for (const auto& e : profiler.flat_profile()) {
+  for (const auto& e : profile) {
     if (e.name.find("rec_fn") != std::string::npos) rec = &e;
   }
   ASSERT_NE(rec, nullptr);

@@ -2,6 +2,7 @@
 // trace -> parser -> profile, on simulated cluster nodes.
 #include <gtest/gtest.h>
 
+#include "analysis/lint.hpp"
 #include "core/api.hpp"
 #include "core/workbench.hpp"
 #include "micro/micro.hpp"
@@ -30,6 +31,16 @@ SessionConfig fast_config(double hz = 40.0) {
   return config;
 }
 
+// Every trace a session emits must satisfy the tempest-lint invariants
+// (monotonic timestamps, resolvable ids, conserved inclusive time).
+// Warnings (frames open across session edges, cadence jitter) are fine.
+void expect_lint_clean(const tempest::trace::Trace& trace, double hz) {
+  tempest::analysis::LintOptions options;
+  options.expected_hz = hz;
+  const auto report = tempest::analysis::lint_trace(trace, options);
+  EXPECT_TRUE(report.clean()) << tempest::analysis::to_json(report);
+}
+
 ClusterConfig one_node_cluster() {
   ClusterConfig cc;
   cc.nodes = 1;
@@ -53,6 +64,7 @@ TEST(Integration, MicroDProducesHotFoo1AndInsignificantFoo2) {
 
   bench.detach();
   ASSERT_TRUE(session.stop());
+  expect_lint_clean(session.last_trace(), fast_config().sample_hz);
 
   auto parsed = tempest::parser::parse_trace(session.take_trace());
   ASSERT_TRUE(parsed.is_ok()) << parsed.message();
@@ -106,6 +118,7 @@ TEST(Integration, TraceRoundTripsThroughFileAndSeries) {
   }
   bench.detach();
   ASSERT_TRUE(session.stop());
+  expect_lint_clean(session.last_trace(), config.sample_hz);
 
   auto profile = tempest::parser::parse_trace_file(config.output_path);
   ASSERT_TRUE(profile.is_ok()) << profile.message();
@@ -149,6 +162,7 @@ TEST(Integration, ClusterFtRunProfilesAllNodes) {
 
   ASSERT_TRUE(session.stop());
   EXPECT_EQ(result.checksums.size(), static_cast<std::size_t>(ft.niter));
+  expect_lint_clean(session.last_trace(), fast_config().sample_hz);
 
   auto parsed = tempest::parser::parse_trace(session.take_trace());
   ASSERT_TRUE(parsed.is_ok()) << parsed.message();

@@ -1,8 +1,25 @@
 // Interconnect model: latency, bandwidth, and ingress-link congestion.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+
 #include "common/tsc.hpp"
 #include "minimpi/runtime.hpp"
+
+// TSan instrumentation adds tens of milliseconds of constant overhead
+// to a 4-thread run; upper wall-clock bounds get matching headroom
+// (they only need to stay clearly below the serialised alternative).
+#if defined(__SANITIZE_THREAD__)
+#define TEMPEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TEMPEST_UNDER_TSAN 1
+#endif
+#endif
+#ifndef TEMPEST_UNDER_TSAN
+#define TEMPEST_UNDER_TSAN 0
+#endif
 
 namespace {
 
@@ -78,8 +95,11 @@ TEST(MiniMpiNet, IngressLinkSerialisesConcurrentSenders) {
 
 TEST(MiniMpiNet, DistinctDestinationsDoNotSerialise) {
   // Rank 0 sends 500 KB to each of 3 receivers: separate ingress links
-  // drain concurrently, so the whole exchange is ~one transfer time.
-  const auto fan_out = [](Comm& comm) {
+  // drain concurrently, so the whole exchange is ~one transfer time and
+  // every receiver finishes at ~the same moment. A serialised link
+  // would stagger the finishes by one 50 ms transfer each.
+  std::array<std::uint64_t, 4> done{};
+  const auto fan_out = [&done](Comm& comm) {
     std::vector<std::uint8_t> buf(500'000, 1);
     if (comm.rank() == 0) {
       for (int dst = 1; dst < comm.size(); ++dst) {
@@ -87,11 +107,23 @@ TEST(MiniMpiNet, DistinctDestinationsDoNotSerialise) {
       }
     } else {
       comm.recv(0, 1, buf.data(), buf.size());
+      done[static_cast<std::size_t>(comm.rank())] = tempest::rdtsc();
     }
   };
   const double elapsed = timed_run(4, {0.0, 10e6}, fan_out);
-  EXPECT_LT(elapsed, 0.12);  // ~50 ms + overhead, NOT 150 ms
   EXPECT_GT(elapsed, 0.04);
+  const auto [lo, hi] = std::minmax({done[1], done[2], done[3]});
+  // Sender-side payload copies, machine load, and sanitizer overhead
+  // can stagger the finishes by a few tens of ms — but a serialised
+  // link puts two full 50 ms transfers between the first and last
+  // receiver (>= 100 ms spread), so 80 ms separates the designs under
+  // any conditions we run in.
+  EXPECT_LT(tempest::tsc_to_seconds(hi - lo), 0.08);
+#if !TEMPEST_UNDER_TSAN
+  // Wall-clock total only without sanitizer overhead: ~50 ms + spawn,
+  // clearly under the 150 ms a serialised exchange needs.
+  EXPECT_LT(elapsed, 0.12);
+#endif
 }
 
 TEST(MiniMpiNet, NpbStillVerifiesUnderSlowNetwork) {

@@ -1,0 +1,103 @@
+// Tempd lifecycle regressions: stop() must be idempotent, safe when
+// the sampler thread never started, safe from many threads at once,
+// and start/stop cycles must be repeatable on one instance.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/tempd.hpp"
+#include "simnode/cluster.hpp"
+
+namespace {
+
+using tempest::core::NodeBinding;
+using tempest::core::Tempd;
+
+TEST(Tempd, StopBeforeStartIsSafe) {
+  Tempd tempd;
+  EXPECT_FALSE(tempd.running());
+  tempd.stop();  // thread never started; must not crash or hang
+  tempd.stop();
+  EXPECT_FALSE(tempd.running());
+}
+
+TEST(Tempd, StopIsIdempotent) {
+  Tempd tempd;
+  std::vector<NodeBinding> no_nodes;
+  tempd.start(500.0, &no_nodes);
+  EXPECT_TRUE(tempd.running());
+  tempd.stop();
+  EXPECT_FALSE(tempd.running());
+  // At least the final bracketing sample; the initial one too unless
+  // stop() won the race before the loop's first iteration.
+  const auto ticks = tempd.stats().ticks;
+  EXPECT_GE(ticks, 1u);
+  tempd.stop();          // second stop: no double-join, stats untouched
+  EXPECT_EQ(tempd.stats().ticks, ticks);
+}
+
+TEST(Tempd, ConcurrentStopsJoinExactlyOnce) {
+  Tempd tempd;
+  std::vector<NodeBinding> no_nodes;
+  tempd.start(500.0, &no_nodes);
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 8; ++i) {
+    stoppers.emplace_back([&tempd] { tempd.stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  EXPECT_FALSE(tempd.running());
+  tempd.stop();  // and once more after the dust settles
+}
+
+TEST(Tempd, StartWhileRunningIsANoOp) {
+  Tempd tempd;
+  std::vector<NodeBinding> no_nodes;
+  tempd.start(500.0, &no_nodes);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  tempd.start(500.0, &no_nodes);  // ignored; sampler keeps its state
+  tempd.stop();
+  EXPECT_GE(tempd.stats().ticks, 1u);
+}
+
+TEST(Tempd, RestartCyclesCollectFreshSamples) {
+  tempest::simnode::ClusterConfig cc;
+  cc.nodes = 1;
+  cc.kind = tempest::simnode::NodeKind::kX86Basic;
+  cc.time_scale = 30.0;
+  tempest::simnode::Cluster cluster(cc);
+  auto& node = cluster.node(0);
+
+  NodeBinding binding;
+  binding.node_id = 0;
+  binding.hostname = node.hostname();
+  binding.backend = &node.sensor_backend();
+  binding.sim = &node;
+  binding.sensors = binding.backend->enumerate();
+  std::vector<NodeBinding> nodes;
+  nodes.push_back(std::move(binding));
+
+  Tempd tempd;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    tempd.start(200.0, &nodes);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    tempd.stop();
+    // Each cycle starts from a clean slate (start() clears the previous
+    // run) and ends with at least the bracketing samples.
+    EXPECT_FALSE(tempd.samples().empty()) << "cycle " << cycle;
+    EXPECT_EQ(tempd.stats().samples, tempd.samples().size());
+    EXPECT_EQ(tempd.stats().read_errors, 0u);
+  }
+}
+
+TEST(Tempd, DestructorStopsARunningSampler) {
+  std::vector<NodeBinding> no_nodes;
+  {
+    Tempd tempd;
+    tempd.start(500.0, &no_nodes);
+    EXPECT_TRUE(tempd.running());
+  }  // ~Tempd calls stop(); must join, not crash or leak the thread
+}
+
+}  // namespace
