@@ -1,5 +1,6 @@
 #include "core/thread_buffer.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 namespace tempest::core {
@@ -24,7 +25,20 @@ void EventBuffer::new_chunk() {
   pos_ = 0;
 }
 
+void EventBuffer::append(const trace::FnEvent* events, std::size_t n) {
+  while (n > 0) {
+    if (pos_ == kChunkSize) new_chunk();
+    const std::size_t room = kChunkSize - pos_;
+    const std::size_t take = n < room ? n : room;
+    std::copy(events, events + take, chunks_.back().get() + pos_);
+    pos_ += take;
+    events += take;
+    n -= take;
+  }
+}
+
 void EventBuffer::append_to(std::vector<trace::FnEvent>* out) const {
+  out->reserve(out->size() + size());
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
     const std::size_t n = (i + 1 == chunks_.size()) ? pos_ : kChunkSize;
     out->insert(out->end(), chunks_[i].get(), chunks_[i].get() + n);
@@ -57,8 +71,18 @@ void ThreadRegistry::bind_current(std::uint16_t node_id, std::uint16_t core,
 
 void ThreadRegistry::drain_into(trace::Trace* trace) {
   common::MutexLock lock(&mu_);
+  std::size_t total = 0;
+  for (const auto& ts : threads_) total += ts->events.size();
+  trace->fn_events.reserve(trace->fn_events.size() + total);
+  trace->fn_event_runs.reserve(trace->fn_event_runs.size() + threads_.size());
   for (const auto& ts : threads_) {
+    const std::size_t begin = trace->fn_events.size();
     ts->events.append_to(&trace->fn_events);
+    const std::size_t count = trace->fn_events.size() - begin;
+    // Each thread stamps from one clock domain, so its buffer is a
+    // time-ordered run; record it for the k-way merge in sort_by_time
+    // (which re-validates the ordering before trusting it).
+    if (count > 0) trace->fn_event_runs.push_back({begin, count});
     trace->threads.push_back({ts->thread_id, ts->node_id, ts->core});
   }
 }

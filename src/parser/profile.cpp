@@ -3,18 +3,84 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <unordered_map>
 
 namespace tempest::parser {
+namespace {
+
+/// One node's samples, pre-arranged for the two attribution queries:
+/// the time-sorted stream for the interval merge-join, and per-sensor
+/// time-sorted streams for the nearest-sample fallback.
+struct NodeSamples {
+  std::vector<const trace::TempSample*> by_time;
+  bool sorted = true;  ///< false only for hand-built unsorted traces
+  /// Built lazily: the fallback runs only for insignificant functions.
+  std::map<std::uint16_t, std::vector<const trace::TempSample*>> by_sensor;
+  bool by_sensor_built = false;
+
+  const std::map<std::uint16_t, std::vector<const trace::TempSample*>>&
+  sensor_streams() {
+    if (!by_sensor_built) {
+      for (const trace::TempSample* s : by_time) {
+        by_sensor[s->sensor_id].push_back(s);
+      }
+      by_sensor_built = true;
+    }
+    return by_sensor;
+  }
+};
+
+/// Nearest sample to `at` within one sensor's time-sorted stream,
+/// reproducing the legacy linear scan exactly: strictly smaller
+/// distance wins, ties keep the earliest sample in trace order (the
+/// first of an equal-timestamp run; the predecessor side on an exact
+/// predecessor/successor distance tie).
+const trace::TempSample* nearest_in_stream(
+    const std::vector<const trace::TempSample*>& stream, std::uint64_t at) {
+  if (stream.empty()) return nullptr;
+  const auto lo = std::lower_bound(
+      stream.begin(), stream.end(), at,
+      [](const trace::TempSample* s, std::uint64_t t) { return s->tsc < t; });
+  const trace::TempSample* succ = lo != stream.end() ? *lo : nullptr;
+  const trace::TempSample* pred = nullptr;
+  if (lo != stream.begin()) {
+    auto p = std::prev(lo);
+    // Step back to the first sample of this equal-timestamp run: the
+    // legacy scan kept the earliest occurrence on distance ties.
+    while (p != stream.begin() && (*std::prev(p))->tsc == (*p)->tsc) --p;
+    pred = *p;
+  }
+  if (pred == nullptr) return succ;
+  if (succ == nullptr) return pred;
+  const std::uint64_t pred_dist = at - pred->tsc;
+  const std::uint64_t succ_dist = succ->tsc - at;
+  return pred_dist <= succ_dist ? pred : succ;
+}
+
+}  // namespace
 
 const FunctionProfile* RunProfile::find(std::uint16_t node_id,
                                         const std::string& name) const {
-  for (const auto& node : nodes) {
-    if (node.node_id != node_id) continue;
-    for (const auto& fn : node.functions) {
-      if (fn.name == name) return &fn;
+  std::size_t total_functions = 0;
+  for (const auto& node : nodes) total_functions += node.functions.size();
+  if (indexed_nodes_ != nodes.size() || indexed_functions_ != total_functions) {
+    find_index_.clear();
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+      for (std::size_t fi = 0; fi < nodes[ni].functions.size(); ++fi) {
+        // try_emplace keeps the first occurrence, matching the legacy
+        // front-to-back scan when duplicates exist.
+        find_index_.try_emplace({nodes[ni].node_id, nodes[ni].functions[fi].name},
+                                std::make_pair(ni, fi));
+      }
     }
+    indexed_nodes_ = nodes.size();
+    indexed_functions_ = total_functions;
   }
-  return nullptr;
+  const auto it = find_index_.find({node_id, name});
+  if (it == find_index_.end()) return nullptr;
+  const auto [ni, fi] = it->second;
+  if (ni >= nodes.size() || fi >= nodes[ni].functions.size()) return nullptr;
+  return &nodes[ni].functions[fi];
 }
 
 RunProfile ProfileBuilder::build(
@@ -25,15 +91,23 @@ RunProfile ProfileBuilder::build(
   run.unit = options_.unit;
   run.diagnostics = diagnostics;
 
-  std::map<std::uint64_t, std::string> name_map(names.begin(), names.end());
+  std::unordered_map<std::uint64_t, const std::string*> name_map;
+  name_map.reserve(names.size());
+  for (const auto& [addr, name] : names) name_map.try_emplace(addr, &name);
 
   // Sensor metadata by (node, sensor).
   std::map<std::pair<std::uint16_t, std::uint16_t>, const trace::SensorMeta*> sensor_meta;
   for (const auto& s : trace_.sensors) sensor_meta[{s.node_id, s.sensor_id}] = &s;
 
-  // Samples grouped per node, time-sorted (trace is pre-sorted).
-  std::map<std::uint16_t, std::vector<const trace::TempSample*>> node_samples;
-  for (const auto& s : trace_.temp_samples) node_samples[s.node_id].push_back(&s);
+  // Samples grouped per node, time-sorted (trace is pre-sorted; a
+  // hand-built unsorted trace is detected and handled with the legacy
+  // linear attribution so results never depend on sortedness).
+  std::map<std::uint16_t, NodeSamples> node_samples;
+  for (const auto& s : trace_.temp_samples) {
+    NodeSamples& ns = node_samples[s.node_id];
+    if (!ns.by_time.empty() && s.tsc < ns.by_time.back()->tsc) ns.sorted = false;
+    ns.by_time.push_back(&s);
+  }
 
   const std::uint64_t run_start = trace_.start_tsc();
   const std::uint64_t run_end = trace_.end_tsc();
@@ -48,6 +122,18 @@ RunProfile ProfileBuilder::build(
     nodes[n.node_id].hostname = n.hostname;
   }
 
+  // Per-node timeline span, gathered once instead of per node below.
+  std::map<std::uint16_t, std::pair<std::uint64_t, std::uint64_t>> node_span;
+  for (const auto& [key, fi] : timeline) {
+    if (fi.merged.empty()) continue;
+    auto [it, inserted] = node_span.try_emplace(
+        key.first, std::make_pair(fi.merged.front().begin, fi.merged.back().end));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, fi.merged.front().begin);
+      it->second.second = std::max(it->second.second, fi.merged.back().end);
+    }
+  }
+
   for (const auto& [key, fn_intervals] : timeline) {
     const std::uint16_t node_id = key.first;
     NodeProfile& node = nodes[node_id];  // creates on demand for unlisted nodes
@@ -56,17 +142,62 @@ RunProfile ProfileBuilder::build(
     FunctionProfile fn;
     fn.addr = fn_intervals.addr;
     const auto name_it = name_map.find(fn.addr);
-    fn.name = name_it != name_map.end() ? name_it->second : "<unknown>";
+    fn.name = name_it != name_map.end() ? *name_it->second : "<unknown>";
     fn.total_time_s = static_cast<double>(fn_intervals.total_ticks) / ticks_per_s;
     fn.calls = fn_intervals.calls;
 
     // Per-sensor attribution: samples landing inside the intervals.
+    // Merge-join over the time-sorted samples and the function's sorted,
+    // non-overlapping merged intervals, iterating whichever side is
+    // smaller — O(min(I, S) log max(I, S) + matches) per function
+    // instead of a scan over every node sample.
     std::map<std::uint16_t, SampleSet> per_sensor;
     const auto samples_it = node_samples.find(node_id);
-    if (samples_it != node_samples.end()) {
-      for (const trace::TempSample* s : samples_it->second) {
-        if (fn_intervals.contains(s->tsc)) {
-          per_sensor[s->sensor_id].add(to_unit(s->temp_c, options_.unit));
+    NodeSamples* samples = samples_it != node_samples.end() ? &samples_it->second
+                                                           : nullptr;
+    if (samples != nullptr) {
+      if (samples->sorted && fn_intervals.merged.size() <= samples->by_time.size()) {
+        // Both streams are time-ordered and the intervals are disjoint,
+        // so the cursor only ever moves forward. Galloping (doubling
+        // steps, then binary search inside the last window) finds the
+        // next interval's first sample in O(1) when consecutive
+        // intervals are close — the common case — while staying
+        // O(log gap) when they are not.
+        const auto& by_time = samples->by_time;
+        const auto before = [](const trace::TempSample* s, std::uint64_t t) {
+          return s->tsc < t;
+        };
+        auto it = by_time.begin();
+        for (const Interval& iv : fn_intervals.merged) {
+          if (it != by_time.end() && (*it)->tsc < iv.begin) {
+            std::size_t step = 1;
+            auto lo = it;
+            auto hi = it;
+            while (hi != by_time.end() && (*hi)->tsc < iv.begin) {
+              lo = hi;
+              const std::size_t left = static_cast<std::size_t>(by_time.end() - hi);
+              hi += static_cast<std::ptrdiff_t>(std::min(step, left));
+              step *= 2;
+            }
+            it = std::lower_bound(lo, hi, iv.begin, before);
+          }
+          for (; it != by_time.end() && (*it)->tsc < iv.end; ++it) {
+            per_sensor[(*it)->sensor_id].add(to_unit((*it)->temp_c, options_.unit));
+          }
+        }
+      } else if (samples->sorted) {
+        // More intervals than samples: walking the samples against the
+        // interval list (binary search per sample) is the cheaper join.
+        for (const trace::TempSample* s : samples->by_time) {
+          if (fn_intervals.contains(s->tsc)) {
+            per_sensor[s->sensor_id].add(to_unit(s->temp_c, options_.unit));
+          }
+        }
+      } else {
+        for (const trace::TempSample* s : samples->by_time) {
+          if (fn_intervals.contains(s->tsc)) {
+            per_sensor[s->sensor_id].add(to_unit(s->temp_c, options_.unit));
+          }
         }
       }
     }
@@ -78,21 +209,29 @@ RunProfile ProfileBuilder::build(
     for (const auto& [sid, set] : per_sensor) max_count = std::max(max_count, set.count());
     fn.significant = max_count >= options_.min_samples_significant;
 
-    if (!fn.significant && samples_it != node_samples.end() &&
-        !samples_it->second.empty() && !fn_intervals.merged.empty()) {
+    if (!fn.significant && samples != nullptr && !samples->by_time.empty() &&
+        !fn_intervals.merged.empty()) {
       // Nearest-sample snapshot: closest reading per sensor to the
-      // function's first activation.
+      // function's first activation, via binary search on the sensor's
+      // time-sorted stream (legacy tie-breaking preserved).
       per_sensor.clear();
       const std::uint64_t at = fn_intervals.merged.front().begin;
-      std::map<std::uint16_t, std::pair<std::uint64_t, double>> best;  // id -> (dist, temp)
-      for (const trace::TempSample* s : samples_it->second) {
-        const std::uint64_t dist = s->tsc > at ? s->tsc - at : at - s->tsc;
-        const auto it = best.find(s->sensor_id);
-        if (it == best.end() || dist < it->second.first) {
-          best[s->sensor_id] = {dist, to_unit(s->temp_c, options_.unit)};
+      if (samples->sorted) {
+        for (const auto& [sid, stream] : samples->sensor_streams()) {
+          const trace::TempSample* s = nearest_in_stream(stream, at);
+          if (s != nullptr) per_sensor[sid].add(to_unit(s->temp_c, options_.unit));
         }
+      } else {
+        std::map<std::uint16_t, std::pair<std::uint64_t, double>> best;
+        for (const trace::TempSample* s : samples->by_time) {
+          const std::uint64_t dist = s->tsc > at ? s->tsc - at : at - s->tsc;
+          const auto it = best.find(s->sensor_id);
+          if (it == best.end() || dist < it->second.first) {
+            best[s->sensor_id] = {dist, to_unit(s->temp_c, options_.unit)};
+          }
+        }
+        for (const auto& [sid, dt] : best) per_sensor[sid].add(dt.second);
       }
-      for (const auto& [sid, dt] : best) per_sensor[sid].add(dt.second);
     }
 
     for (const auto& [sid, set] : per_sensor) {
@@ -117,15 +256,15 @@ RunProfile ProfileBuilder::build(
     std::uint64_t lo = UINT64_MAX, hi = 0;
     const auto samples_it = node_samples.find(id);
     if (samples_it != node_samples.end()) {
-      for (const trace::TempSample* s : samples_it->second) {
+      for (const trace::TempSample* s : samples_it->second.by_time) {
         lo = std::min(lo, s->tsc);
         hi = std::max(hi, s->tsc);
       }
     }
-    for (const auto& [key, fi] : timeline) {
-      if (key.first != id || fi.merged.empty()) continue;
-      lo = std::min(lo, fi.merged.front().begin);
-      hi = std::max(hi, fi.merged.back().end);
+    const auto span_it = node_span.find(id);
+    if (span_it != node_span.end()) {
+      lo = std::min(lo, span_it->second.first);
+      hi = std::max(hi, span_it->second.second);
     }
     node.duration_s = (hi > lo && lo != UINT64_MAX)
                           ? static_cast<double>(hi - lo) / ticks_per_s

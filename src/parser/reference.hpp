@@ -1,0 +1,42 @@
+// Seed-pipeline reference implementations, kept verbatim from before
+// the analysis fast path landed. They are the golden oracle: the
+// equivalence tests assert the fast path (bulk trace I/O, k-way merge
+// sort, flat-hash timeline build, merge-join attribution) produces
+// byte-identical profiles, and bench_parser measures the speedup
+// against them. Never "optimise" these — their value is that they stay
+// the slow, obviously-correct originals.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "parser/profile.hpp"
+#include "parser/timeline.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::parser::reference {
+
+/// Seed Trace::sort_by_time: global stable_sort, ignoring run metadata.
+void sort_by_time_seed(trace::Trace* trace);
+
+/// Seed build_timeline: std::map pair-key lookups per event.
+TimelineMap build_timeline_seed(const trace::Trace& trace,
+                                TimelineDiagnostics* diag = nullptr);
+
+/// Seed ProfileBuilder::build: per-function scan over all node samples.
+RunProfile build_profile_seed(
+    const trace::Trace& trace, const TimelineMap& timeline,
+    const std::vector<std::pair<std::uint64_t, std::string>>& names,
+    TimelineDiagnostics diagnostics, const ProfileOptions& options);
+
+/// Seed trace writer/reader: per-field stream calls, format version 1.
+/// (The v2 reader rejects these traces; the seed reader exists so the
+/// old I/O path can still be measured and regression-tested against.)
+Status write_trace_seed(std::ostream& out, const trace::Trace& trace);
+Result<trace::Trace> read_trace_seed(std::istream& in);
+
+}  // namespace tempest::parser::reference

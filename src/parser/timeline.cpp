@@ -1,8 +1,257 @@
 #include "parser/timeline.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
 
 namespace tempest::parser {
+namespace {
+
+/// Dense thread -> node lookup; thread ids are dense per process, so
+/// almost every lookup is one vector index. Ids beyond the dense window
+/// (possible only in corrupt traces) fall back to a hash map.
+class ThreadNodeTable {
+ public:
+  explicit ThreadNodeTable(const std::vector<trace::ThreadInfo>& threads) {
+    std::uint32_t max_tid = 0;
+    for (const auto& t : threads) max_tid = std::max(max_tid, t.thread_id);
+    if (!threads.empty()) {
+      dense_.assign(std::min<std::size_t>(std::size_t{max_tid} + 1, kDenseCap), -1);
+    }
+    for (const auto& t : threads) {
+      if (t.thread_id < dense_.size()) {
+        dense_[t.thread_id] = t.node_id;
+      } else {
+        sparse_[t.thread_id] = t.node_id;
+      }
+    }
+  }
+
+  std::uint16_t node_of(std::uint32_t thread_id, std::uint16_t fallback) const {
+    if (thread_id < dense_.size()) {
+      const std::int32_t node = dense_[thread_id];
+      return node >= 0 ? static_cast<std::uint16_t>(node) : fallback;
+    }
+    const auto it = sparse_.find(thread_id);
+    return it != sparse_.end() ? it->second : fallback;
+  }
+
+  /// Listed node for the thread, or -1 when the thread is unknown (its
+  /// events then use each event's own node id as the fallback).
+  std::int32_t node_or_negative(std::uint32_t thread_id) const {
+    if (thread_id < dense_.size()) return dense_[thread_id];
+    const auto it = sparse_.find(thread_id);
+    return it != sparse_.end() ? it->second : -1;
+  }
+
+ private:
+  static constexpr std::size_t kDenseCap = std::size_t{1} << 20;
+  std::vector<std::int32_t> dense_;
+  std::unordered_map<std::uint32_t, std::uint16_t> sparse_;
+};
+
+/// Per-(node, addr) accumulator while replaying the event stream.
+/// `raw` holds the intervals before the union: an optional unsorted
+/// prefix (direct pushes for unknown-thread events) followed by one
+/// begin-sorted run per folded thread, each starting at an offset in
+/// `run_starts`. A thread's outermost activations of one function
+/// cannot overlap, so per-thread interval order == begin order — which
+/// lets the union start from a linear run merge instead of a full sort.
+struct FnAccum {
+  std::uint64_t total_ticks = 0;
+  std::uint64_t calls = 0;
+  std::vector<Interval> raw;
+  std::vector<std::size_t> run_starts;  ///< fold offsets into `raw`
+};
+
+/// Minimal open-addressing hash map from an (a, b) key pair to a dense
+/// value index. The event loop below probes these maps once or twice
+/// per event; keying on the raw (addr, thread) / (addr, node) pairs
+/// avoids both std::unordered_map's node indirection and a separate
+/// address-interning lookup. Values live in caller-owned dense vectors,
+/// which also makes the post-loop passes sequential scans.
+class FlatPairIndex {
+ public:
+  explicit FlatPairIndex(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, kEmpty);
+    keys_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Returns the dense index for (a, b), assigning the next one (== the
+  /// current id count) on first sight; `inserted` reports which.
+  std::uint32_t find_or_insert(std::uint64_t a, std::uint64_t b, bool* inserted) {
+    if ((size_ + 1) * 10 > (mask_ + 1) * 7) grow();
+    std::size_t pos = mix(a, b) & mask_;
+    while (slots_[pos] != kEmpty) {
+      if (keys_[pos].first == a && keys_[pos].second == b) {
+        *inserted = false;
+        return slots_[pos];
+      }
+      pos = (pos + 1) & mask_;
+    }
+    keys_[pos] = {a, b};
+    slots_[pos] = static_cast<std::uint32_t>(size_);
+    *inserted = true;
+    return static_cast<std::uint32_t>(size_++);
+  }
+
+  /// Dense index for (a, b), or UINT32_MAX when absent.
+  std::uint32_t find(std::uint64_t a, std::uint64_t b) const {
+    std::size_t pos = mix(a, b) & mask_;
+    while (slots_[pos] != kEmpty) {
+      if (keys_[pos].first == a && keys_[pos].second == b) return slots_[pos];
+      pos = (pos + 1) & mask_;
+    }
+    return kEmpty;
+  }
+
+  static constexpr std::uint32_t kEmpty = UINT32_MAX;
+
+ private:
+  static std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+    // splitmix64 finaliser over the folded pair: full-avalanche, so
+    // nearby addresses and sequential thread ids spread over the table.
+    std::uint64_t x = a + b * 0xC2B2AE3D27D4EB4FULL;
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> old_slots = std::move(slots_);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> old_keys = std::move(keys_);
+    const std::size_t old_cap = mask_ + 1;
+    slots_.assign(old_cap * 2, kEmpty);
+    keys_.resize(old_cap * 2);
+    mask_ = old_cap * 2 - 1;
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (old_slots[i] == kEmpty) continue;
+      std::size_t pos = mix(old_keys[i].first, old_keys[i].second) & mask_;
+      while (slots_[pos] != kEmpty) pos = (pos + 1) & mask_;
+      slots_[pos] = old_slots[i];
+      keys_[pos] = old_keys[i];
+    }
+  }
+
+  std::vector<std::uint32_t> slots_;  ///< dense value index per bucket
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Union one accumulator's intervals in place. The per-thread runs are
+/// already begin-sorted (see FnAccum), so ordering them is ceil(log2 k)
+/// linear merge passes instead of an O(n log n) comparison sort; the
+/// union sweep then runs over the ordered whole.
+void merge_accum(FnAccum* a) {
+  std::vector<Interval>& raw = a->raw;
+  if (raw.empty()) return;
+  const auto by_begin = [](const Interval& x, const Interval& y) {
+    return x.begin < y.begin;
+  };
+
+  std::vector<std::pair<std::size_t, std::size_t>> runs;  // (begin, count)
+  const std::size_t prefix =
+      a->run_starts.empty() ? raw.size() : a->run_starts.front();
+  if (prefix > 0) {
+    // Direct pushes (unknown-thread events) may interleave several
+    // threads; sort that prefix alone when needed.
+    if (!std::is_sorted(raw.begin(),
+                        raw.begin() + static_cast<std::ptrdiff_t>(prefix),
+                        by_begin)) {
+      std::sort(raw.begin(), raw.begin() + static_cast<std::ptrdiff_t>(prefix),
+                by_begin);
+    }
+    runs.emplace_back(0, prefix);
+  }
+  for (std::size_t i = 0; i < a->run_starts.size(); ++i) {
+    const std::size_t begin = a->run_starts[i];
+    const std::size_t end =
+        i + 1 < a->run_starts.size() ? a->run_starts[i + 1] : raw.size();
+    if (end > begin) runs.emplace_back(begin, end - begin);
+  }
+
+  if (runs.size() > 1) {
+    std::vector<Interval> scratch(raw.size());
+    std::vector<Interval>* src = &raw;
+    std::vector<Interval>* dst = &scratch;
+    std::vector<std::pair<std::size_t, std::size_t>> next;
+    while (runs.size() > 1) {
+      next.clear();
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < runs.size(); i += 2) {
+        if (i + 1 < runs.size()) {
+          std::merge(src->begin() + static_cast<std::ptrdiff_t>(runs[i].first),
+                     src->begin() + static_cast<std::ptrdiff_t>(runs[i].first +
+                                                                runs[i].second),
+                     src->begin() + static_cast<std::ptrdiff_t>(runs[i + 1].first),
+                     src->begin() + static_cast<std::ptrdiff_t>(runs[i + 1].first +
+                                                                runs[i + 1].second),
+                     dst->begin() + static_cast<std::ptrdiff_t>(out), by_begin);
+          next.emplace_back(out, runs[i].second + runs[i + 1].second);
+          out += runs[i].second + runs[i + 1].second;
+        } else {
+          std::copy(src->begin() + static_cast<std::ptrdiff_t>(runs[i].first),
+                    src->begin() + static_cast<std::ptrdiff_t>(runs[i].first +
+                                                               runs[i].second),
+                    dst->begin() + static_cast<std::ptrdiff_t>(out));
+          next.emplace_back(out, runs[i].second);
+          out += runs[i].second;
+        }
+      }
+      std::swap(src, dst);
+      runs.swap(next);
+    }
+    if (src != &raw) raw = std::move(scratch);
+  }
+
+  // Union sweep over the now begin-ordered intervals.
+  std::vector<Interval> out;
+  out.reserve(raw.size());
+  out.push_back(raw[0]);
+  for (std::size_t i = 1; i < raw.size(); ++i) {
+    const Interval& iv = raw[i];
+    if (iv.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  raw = std::move(out);
+  a->run_starts.clear();
+}
+
+/// Coalesce every accumulator's raw intervals, fanning out over a small
+/// worker pool when the interval volume justifies the thread spawns.
+void merge_all(std::vector<FnAccum*>* work, std::size_t total_intervals) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t workers = std::min<std::size_t>(
+      {hw == 0 ? 1 : hw, std::size_t{8}, work->size()});
+  constexpr std::size_t kParallelThreshold = 1 << 14;
+  if (workers <= 1 || total_intervals < kParallelThreshold) {
+    for (FnAccum* a : *work) merge_accum(a);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto run = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < work->size(); i = next.fetch_add(1, std::memory_order_relaxed)) {
+      merge_accum((*work)[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(run);
+  run();
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace
 
 bool FunctionIntervals::contains(std::uint64_t tsc) const {
   const auto it = std::upper_bound(
@@ -34,80 +283,142 @@ void merge_intervals(std::vector<Interval>* intervals) {
 TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag) {
   TimelineDiagnostics local_diag;
 
-  // Per (thread, addr): open recursion depth and outermost entry time.
+  // Both per-event lookups probe a flat hash keyed on the raw pair —
+  // (addr, thread) for the open recursion state, (addr, node) for the
+  // accumulator — instead of a tree-map pair comparison.
+  const std::size_t hint = std::min<std::size_t>(
+      trace.fn_events.size() / 8 + 16, std::size_t{1} << 16);
+
+  const ThreadNodeTable thread_node(trace.threads);
+
+  // Per (thread, addr): open recursion depth, outermost entry time, and
+  // — for threads listed in the trace metadata — the calls and closed
+  // intervals gathered so far. A listed thread's node never changes, so
+  // those fold into the per-(addr, node) accumulator once at the end
+  // and the hot loop probes a single hash per event. Events of unknown
+  // threads (corrupt traces) take each event's own node-id fallback and
+  // go to the accumulator directly, exactly as before.
   struct OpenState {
     std::uint64_t depth = 0;
     std::uint64_t first_enter = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ticks = 0;
+    std::vector<Interval> raw;
   };
-  std::map<std::pair<std::uint32_t, std::uint64_t>, OpenState> open;
-  std::map<std::uint32_t, std::uint16_t> thread_node;
-  for (const auto& t : trace.threads) thread_node[t.thread_id] = t.node_id;
+  FlatPairIndex open_index(hint);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> open_keys;  // (addr, thread)
+  std::vector<OpenState> open;
+  FlatPairIndex accum_index(hint);
+  std::vector<std::pair<std::uint64_t, std::uint16_t>> accum_keys;  // (addr, node)
+  std::vector<FnAccum> accum;
 
-  // Per (node, addr): raw per-thread intervals before the union.
-  std::map<std::pair<std::uint16_t, std::uint64_t>, std::vector<Interval>> raw;
-  TimelineMap result;
-
-  auto node_of = [&](const trace::FnEvent& e) -> std::uint16_t {
-    const auto it = thread_node.find(e.thread_id);
-    return it != thread_node.end() ? it->second : e.node_id;
+  const auto accum_at = [&](std::uint64_t addr, std::uint16_t node) -> FnAccum& {
+    bool inserted = false;
+    const std::uint32_t idx = accum_index.find_or_insert(addr, node, &inserted);
+    if (inserted) {
+      accum_keys.emplace_back(addr, node);
+      accum.emplace_back();
+    }
+    return accum[idx];
   };
 
   // Events must be time-ordered per thread; Trace::sort_by_time provides
-  // a stable global order which implies per-thread order.
+  // a stable global order which implies per-thread order. Exits that
+  // match nothing (or only pop recursion depth) never touch any table —
+  // an accumulator with no interval is dropped at assembly anyway, so
+  // skipping the lookup changes nothing downstream.
   for (const auto& e : trace.fn_events) {
-    const auto key = std::make_pair(e.thread_id, e.addr);
-    const std::uint16_t node = node_of(e);
-    auto& fn = result[{node, e.addr}];
-    fn.addr = e.addr;
-    fn.node_id = node;
-
     if (e.kind == trace::FnEventKind::kEnter) {
-      OpenState& st = open[key];
+      bool inserted = false;
+      const std::uint32_t oi = open_index.find_or_insert(e.addr, e.thread_id, &inserted);
+      if (inserted) {
+        open_keys.emplace_back(e.addr, e.thread_id);
+        open.emplace_back();
+      }
+      OpenState& st = open[oi];
       if (st.depth == 0) st.first_enter = e.tsc;
       ++st.depth;
-      ++fn.calls;
+      if (thread_node.node_or_negative(e.thread_id) >= 0) {
+        ++st.calls;
+      } else {
+        ++accum_at(e.addr, e.node_id).calls;
+      }
     } else {
-      const auto it = open.find(key);
-      if (it == open.end() || it->second.depth == 0) {
+      const std::uint32_t oi = open_index.find(e.addr, e.thread_id);
+      if (oi == FlatPairIndex::kEmpty || open[oi].depth == 0) {
         ++local_diag.unmatched_exits;
         continue;
       }
-      --it->second.depth;
-      if (it->second.depth == 0) {
-        const Interval iv{it->second.first_enter, e.tsc};
-        raw[{node, e.addr}].push_back(iv);
-        fn.total_ticks += iv.length();
+      OpenState& st = open[oi];
+      --st.depth;
+      if (st.depth == 0) {
+        const Interval iv{st.first_enter, e.tsc};
+        if (thread_node.node_or_negative(e.thread_id) >= 0) {
+          st.raw.push_back(iv);
+          st.total_ticks += iv.length();
+        } else {
+          FnAccum& fn = accum_at(e.addr, e.node_id);
+          fn.raw.push_back(iv);
+          fn.total_ticks += iv.length();
+        }
       }
     }
   }
 
-  // Close activations still open when the trace ends (e.g. main, or a
-  // run interrupted mid-function).
+  // Fold the per-(addr, thread) tallies into the per-(addr, node)
+  // accumulators, and close activations still open when the trace ends
+  // (e.g. main, or a run interrupted mid-function). Unknown threads
+  // fall back to node 0 here (no event in hand to borrow a node id
+  // from). Interval union, call counts, and tick totals are all
+  // order-independent, so folding after the loop matches folding
+  // per event.
   const std::uint64_t end = trace.end_tsc();
-  for (const auto& [key, st] : open) {
-    if (st.depth == 0) continue;
-    ++local_diag.force_closed;
-    const std::uint32_t tid = key.first;
-    const std::uint64_t addr = key.second;
-    const auto nit = thread_node.find(tid);
-    const std::uint16_t node = nit != thread_node.end() ? nit->second : 0;
-    const Interval iv{st.first_enter, end};
-    raw[{node, addr}].push_back(iv);
-    result[{node, addr}].total_ticks += iv.length();
+  for (std::size_t oi = 0; oi < open.size(); ++oi) {
+    OpenState& st = open[oi];
+    const auto [addr, tid] = open_keys[oi];
+    if (st.depth > 0) {
+      ++local_diag.force_closed;
+      const Interval iv{st.first_enter, end};
+      st.raw.push_back(iv);
+      st.total_ticks += iv.length();
+    }
+    if (st.calls == 0 && st.raw.empty()) continue;
+    const std::uint16_t node = thread_node.node_of(tid, 0);
+    FnAccum& fn = accum_at(addr, node);
+    fn.calls += st.calls;
+    fn.total_ticks += st.total_ticks;
+    if (st.raw.empty()) continue;
+    fn.run_starts.push_back(fn.raw.size());
+    if (fn.raw.empty()) {
+      fn.raw = std::move(st.raw);
+    } else {
+      fn.raw.insert(fn.raw.end(), st.raw.begin(), st.raw.end());
+    }
   }
 
-  for (auto& [key, intervals] : raw) {
-    merge_intervals(&intervals);
-    result[key].merged = std::move(intervals);
+  std::vector<FnAccum*> work;
+  work.reserve(accum.size());
+  std::size_t total_intervals = 0;
+  for (FnAccum& a : accum) {
+    work.push_back(&a);
+    total_intervals += a.raw.size();
   }
-  // Drop functions that were entered but produced no interval at all
-  // (possible only for unmatched-exit-only addresses).
-  for (auto it = result.begin(); it != result.end();) {
-    if (it->second.merged.empty()) {
-      it = result.erase(it);
-    } else {
-      ++it;
-    }
+  merge_all(&work, total_intervals);
+
+  // Assemble the ordered public map, dropping functions that produced no
+  // interval at all (possible only for unmatched-exit-only addresses).
+  TimelineMap result;
+  for (std::size_t i = 0; i < accum.size(); ++i) {
+    FnAccum& a = accum[i];
+    if (a.raw.empty()) continue;
+    const auto [addr, node] = accum_keys[i];
+    FunctionIntervals fi;
+    fi.addr = addr;
+    fi.node_id = node;
+    fi.total_ticks = a.total_ticks;
+    fi.calls = a.calls;
+    fi.merged = std::move(a.raw);
+    result.emplace(std::make_pair(node, addr), std::move(fi));
   }
 
   if (diag != nullptr) *diag = local_diag;

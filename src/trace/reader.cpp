@@ -1,7 +1,9 @@
 #include "trace/reader.hpp"
 
+#include <bit>
 #include <fstream>
 #include <limits>
+#include <vector>
 
 #include "trace/writer.hpp"
 
@@ -28,20 +30,128 @@ class Cursor {
     return static_cast<bool>(in_);
   }
 
+  /// Bulk read: true only when all `n` bytes arrived.
+  bool get_bytes(char* out, std::size_t n) {
+    in_.read(out, static_cast<std::streamsize>(n));
+    return static_cast<bool>(in_) &&
+           in_.gcount() == static_cast<std::streamsize>(n);
+  }
+
  private:
   static constexpr std::uint32_t kMaxString = 1 << 20;
   std::istream& in_;
 };
 
-// A corrupt count field must fail at the first missing record, not
-// allocate count * sizeof(record) up front — so records are appended
-// one at a time with a bounded initial reserve.
+// Little-endian unpack mirrors of the writer's pack helpers.
+inline std::uint16_t unpack_u16(const char* p) {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(p[0]) |
+      (static_cast<std::uint16_t>(static_cast<unsigned char>(p[1])) << 8));
+}
+
+inline std::uint32_t unpack_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+inline std::uint64_t unpack_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+inline double unpack_f64(const char* p) {
+  return std::bit_cast<double>(unpack_u64(p));
+}
+
+// A corrupt count field must fail at the first missing chunk, not
+// allocate count * record_size up front — sections stream through a
+// bounded staging buffer and the vector reserve is capped by the bytes
+// actually present (seekable streams) or by kReserveCap (pipes).
 constexpr std::uint64_t kMaxRecords = 1ULL << 32;
 constexpr std::uint64_t kReserveCap = 1ULL << 16;
+constexpr std::size_t kStagingBytes = std::size_t{256} << 10;  // match writer.cpp
+
+/// Upper bound on the bytes remaining in a seekable stream, or
+/// UINT64_MAX when the stream cannot say (pipes, sockets, custom
+/// streambufs). Used only to size vector reserves: with a real bound a
+/// well-formed section reserves exactly once instead of doubling its
+/// way up, and a corrupt count can never allocate more than the file
+/// actually holds.
+std::uint64_t remaining_bytes_bound(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (!in || pos == std::istream::pos_type(-1)) {
+    in.clear();
+    return UINT64_MAX;
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.clear();
+  in.seekg(pos);
+  if (!in || end == std::istream::pos_type(-1) || end < pos) {
+    in.clear();
+    in.seekg(pos);
+    return UINT64_MAX;
+  }
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+/// Read one bulk section: validates the (count, record_size) framing,
+/// then streams the payload chunk-wise, unpacking each record via
+/// `unpack_one(const char*, Record*)` (which may reject a corrupt
+/// record by returning false). `payload_bound` is the byte bound from
+/// remaining_bytes_bound at header time.
+template <typename Record, typename UnpackFn>
+Status read_section(Cursor& cur, std::vector<Record>* out,
+                    std::uint32_t expected_record_size, const char* what,
+                    std::uint64_t payload_bound, UnpackFn unpack_one) {
+  std::uint64_t count = 0;
+  std::uint32_t record_size = 0;
+  if (!cur.get(&count) || count > kMaxRecords) {
+    return Status::error(std::string("truncated or oversized ") + what +
+                         " section");
+  }
+  if (!cur.get(&record_size) || record_size != expected_record_size) {
+    return Status::error(std::string(what) +
+                         " record size mismatch (corrupt section framing)");
+  }
+  const std::uint64_t fit = payload_bound == UINT64_MAX
+                                ? kReserveCap
+                                : payload_bound / expected_record_size;
+  out->reserve(static_cast<std::size_t>(std::min(count, fit)));
+
+  const std::size_t per_chunk =
+      std::max<std::size_t>(1, kStagingBytes / expected_record_size);
+  std::vector<char> staging;
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(per_chunk, remaining));
+    staging.resize(n * expected_record_size);
+    if (!cur.get_bytes(staging.data(), staging.size())) {
+      return Status::error(std::string("truncated ") + what + " section");
+    }
+    // Chunk-wise resize keeps growth geometric while skipping the
+    // per-record capacity check push_back would pay; on a rejected
+    // record the partially-filled vector is discarded with the trace.
+    const std::size_t base = out->size();
+    out->resize(base + n);
+    Record* recs = out->data() + base;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!unpack_one(staging.data() + j * expected_record_size, &recs[j])) {
+        return Status::error(std::string("corrupt ") + what + " record");
+      }
+    }
+    remaining -= n;
+  }
+  return Status::ok();
+}
 
 }  // namespace
 
 Result<Trace> read_trace(std::istream& in) {
+  const std::uint64_t stream_bound = remaining_bytes_bound(in);
   Cursor cur(in);
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
@@ -50,8 +160,14 @@ Result<Trace> read_trace(std::istream& in) {
   if (!cur.get(&magic) || magic != kTraceMagic) {
     return Result<Trace>::error("not a Tempest trace (bad magic)");
   }
-  if (!cur.get(&version) || version != kTraceVersion) {
-    return Result<Trace>::error("unsupported trace version");
+  if (!cur.get(&version)) {
+    return Result<Trace>::error("truncated trace header (no version)");
+  }
+  if (version != kTraceVersion) {
+    return Result<Trace>::error(
+        "unsupported trace version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kTraceVersion) +
+        "; re-record the trace with a matching Tempest build)");
   }
   if (!cur.get(&trace.tsc_ticks_per_second) || !cur.get_string(&trace.executable) ||
       !cur.get(&trace.load_bias)) {
@@ -100,47 +216,40 @@ Result<Trace> read_trace(std::istream& in) {
     trace.synthetic_symbols.push_back(std::move(s));
   }
 
-  std::uint64_t n64 = 0;
-  if (!cur.get(&n64) || n64 > kMaxRecords) {
-    return Result<Trace>::error("truncated or oversized event section");
-  }
-  trace.fn_events.reserve(std::min(n64, kReserveCap));
-  for (std::uint64_t i = 0; i < n64; ++i) {
-    FnEvent e;
-    std::uint8_t kind = 0;
-    if (!cur.get(&e.tsc) || !cur.get(&e.addr) || !cur.get(&e.thread_id) ||
-        !cur.get(&e.node_id) || !cur.get(&kind)) {
-      return Result<Trace>::error("truncated fn event");
-    }
-    if (kind != 1 && kind != 2) return Result<Trace>::error("corrupt fn event kind");
-    e.kind = static_cast<FnEventKind>(kind);
-    trace.fn_events.push_back(e);
-  }
+  Status section = read_section(
+      cur, &trace.fn_events, kFnEventRecordSize, "fn event", stream_bound,
+      [](const char* p, FnEvent* e) {
+        e->tsc = unpack_u64(p);
+        e->addr = unpack_u64(p + 8);
+        e->thread_id = unpack_u32(p + 16);
+        e->node_id = unpack_u16(p + 20);
+        const auto kind = static_cast<unsigned char>(p[22]);
+        if (kind != 1 && kind != 2) return false;
+        e->kind = static_cast<FnEventKind>(kind);
+        return true;
+      });
+  if (!section) return Result<Trace>::error(section.message());
 
-  if (!cur.get(&n64) || n64 > kMaxRecords) {
-    return Result<Trace>::error("truncated or oversized sample section");
-  }
-  trace.temp_samples.reserve(std::min(n64, kReserveCap));
-  for (std::uint64_t i = 0; i < n64; ++i) {
-    TempSample s;
-    if (!cur.get(&s.tsc) || !cur.get(&s.temp_c) || !cur.get(&s.node_id) ||
-        !cur.get(&s.sensor_id)) {
-      return Result<Trace>::error("truncated temp sample");
-    }
-    trace.temp_samples.push_back(s);
-  }
+  section = read_section(cur, &trace.temp_samples, kTempSampleRecordSize,
+                         "temp sample", stream_bound,
+                         [](const char* p, TempSample* s) {
+                           s->tsc = unpack_u64(p);
+                           s->temp_c = unpack_f64(p + 8);
+                           s->node_id = unpack_u16(p + 16);
+                           s->sensor_id = unpack_u16(p + 18);
+                           return true;
+                         });
+  if (!section) return Result<Trace>::error(section.message());
 
-  if (!cur.get(&n64) || n64 > kMaxRecords) {
-    return Result<Trace>::error("truncated or oversized clock-sync section");
-  }
-  trace.clock_syncs.reserve(std::min(n64, kReserveCap));
-  for (std::uint64_t i = 0; i < n64; ++i) {
-    ClockSync c;
-    if (!cur.get(&c.node_tsc) || !cur.get(&c.global_tsc) || !cur.get(&c.node_id)) {
-      return Result<Trace>::error("truncated clock sync");
-    }
-    trace.clock_syncs.push_back(c);
-  }
+  section = read_section(cur, &trace.clock_syncs, kClockSyncRecordSize,
+                         "clock sync", stream_bound,
+                         [](const char* p, ClockSync* c) {
+                           c->node_tsc = unpack_u64(p);
+                           c->global_tsc = unpack_u64(p + 8);
+                           c->node_id = unpack_u16(p + 16);
+                           return true;
+                         });
+  if (!section) return Result<Trace>::error(section.message());
 
   return trace;
 }

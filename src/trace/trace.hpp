@@ -68,6 +68,14 @@ struct SyntheticSymbol {
 /// Synthetic addresses live far above any plausible text segment.
 inline constexpr std::uint64_t kSyntheticAddrBase = 0xFFFF'F000'0000'0000ULL;
 
+/// A contiguous, already time-sorted slice of `fn_events`. Each thread's
+/// buffer is appended as one run by ThreadRegistry::drain_into, which
+/// lets sort_by_time replace the global stable_sort with a k-way merge.
+struct SortedRun {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+
 /// A complete run's worth of profiling data.
 struct Trace {
   double tsc_ticks_per_second = 0.0;
@@ -82,17 +90,34 @@ struct Trace {
   std::vector<TempSample> temp_samples;
   std::vector<ClockSync> clock_syncs;
 
+  /// In-memory run metadata over `fn_events` (not serialised). When the
+  /// runs tile the event vector and each run is time-ordered,
+  /// sort_by_time merges them instead of re-sorting from scratch; after
+  /// any sort the whole vector is one run.
+  std::vector<SortedRun> fn_event_runs;
+
   /// Sort events and samples by (timestamp, enter-before-exit ties kept
   /// stable); callers run this after concatenating per-thread buffers.
+  /// Exploits `fn_event_runs` (k-way merge) when present and valid,
+  /// falling back to a stable sort otherwise. Also caches start/end
+  /// timestamps; mutating events or samples afterwards requires calling
+  /// sort_by_time again (true anyway, since mutation breaks the order).
   void sort_by_time();
 
   /// Earliest timestamp across events and samples (0 when empty).
+  /// O(1) after sort_by_time, O(n) scan otherwise.
   std::uint64_t start_tsc() const;
   /// Latest timestamp across events and samples (0 when empty).
+  /// O(1) after sort_by_time, O(n) scan otherwise.
   std::uint64_t end_tsc() const;
 
   /// Seconds between start and a given tsc, using the recorded rate.
   double seconds_from_start(std::uint64_t tsc) const;
+
+ private:
+  bool bounds_cached_ = false;
+  std::uint64_t cached_start_ = 0;
+  std::uint64_t cached_end_ = 0;
 };
 
 }  // namespace tempest::trace

@@ -1,10 +1,21 @@
 // Binary trace serialisation.
 //
-// Format: fixed header (magic, version, tsc rate, executable path),
-// then length-prefixed sections per record class. All integers are
-// little-endian; the format is the on-disk hand-off between the
-// profiled run and the Tempest parser, mirroring the paper's
-// "profiling information ... is aggregated into a trace file".
+// Format v2: fixed header (magic, version, tsc rate, executable path),
+// length-prefixed metadata sections (nodes, sensors, threads, synthetic
+// symbols), then three bulk record sections (fn_events, temp_samples,
+// clock_syncs). Each bulk section is framed as
+//
+//   count        u64
+//   record_size  u32   (must match the layout below; corruption check)
+//   payload      count * record_size bytes, packed little-endian
+//
+// and is written/read through a 256 KiB staging buffer in chunks
+// instead of per-field stream calls — the fn_events section of a
+// multi-node MPI run holds millions of records and dominates trace I/O. All integers
+// are little-endian; doubles are IEEE-754 bit patterns stored as u64.
+// The format is the on-disk hand-off between the profiled run and the
+// Tempest parser, mirroring the paper's "profiling information ... is
+// aggregated into a trace file".
 #pragma once
 
 #include <cstdint>
@@ -17,7 +28,14 @@
 namespace tempest::trace {
 
 inline constexpr std::uint64_t kTraceMagic = 0x5443'5254'5350'4d54ULL;  // "TMPSTRCT"
-inline constexpr std::uint32_t kTraceVersion = 1;
+/// v1: per-field records. v2: bulk packed record sections (see above).
+/// Readers reject any version other than the one they were built for.
+inline constexpr std::uint32_t kTraceVersion = 2;
+
+/// Packed on-disk record sizes (bytes) for the bulk sections.
+inline constexpr std::uint32_t kFnEventRecordSize = 8 + 8 + 4 + 2 + 1;    // 23
+inline constexpr std::uint32_t kTempSampleRecordSize = 8 + 8 + 2 + 2;     // 20
+inline constexpr std::uint32_t kClockSyncRecordSize = 8 + 8 + 2;          // 18
 
 /// Serialise a complete trace to a stream. Returns error on I/O failure.
 Status write_trace(std::ostream& out, const Trace& trace);

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "core/api.hpp"
 #include "core/session.hpp"
 #include "parser/parse.hpp"
@@ -96,6 +97,53 @@ TEST(Concurrency, RecordsWhileTempdAdvancesSharedNode) {
     EXPECT_GT(s.temp_c, 0.0);
     EXPECT_LT(s.temp_c, 120.0);
   }
+  session.clear_nodes();
+}
+
+TEST(Concurrency, DrainedAndMergedTraceSatisfiesLintInvariants) {
+  // The drain/merge fast path (per-thread runs recorded by drain_into,
+  // k-way merge in sort_by_time) must still emit traces that satisfy
+  // every tempest-lint invariant: monotonic per-thread timestamps,
+  // balanced entry/exit nesting, conserved inclusive time, resolvable
+  // references. Run under TSan via the concurrency label.
+  auto config = tempest::simnode::make_node_config(
+      tempest::simnode::NodeKind::kOpteron);
+  tempest::simnode::SimNode node(config);
+  auto& session = Session::instance();
+  session.clear_nodes();
+  session.register_sim_node(&node);
+  tempest::core::SessionConfig sc;
+  sc.sample_hz = 50.0;
+  sc.bind_affinity = false;
+  ASSERT_TRUE(session.start(sc));
+
+  constexpr int kThreads = 6;
+  constexpr int kRegionsPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      (void)Session::instance().attach_current_thread(
+          0, static_cast<std::uint16_t>(t % 4));
+      const std::string outer = "lint_outer_" + std::to_string(t);
+      for (int i = 0; i < kRegionsPerThread; ++i) {
+        tempest::ScopedRegion region(outer);
+        tempest::ScopedRegion nested("lint_inner");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE(session.stop());
+
+  const tempest::trace::Trace trace = session.take_trace();
+  // stop() sorts, so the merged events form one covering run.
+  ASSERT_EQ(trace.fn_event_runs.size(), 1u);
+  EXPECT_EQ(trace.fn_event_runs[0].begin, 0u);
+  EXPECT_EQ(trace.fn_event_runs[0].count, trace.fn_events.size());
+  EXPECT_EQ(trace.fn_events.size(),
+            static_cast<std::size_t>(kThreads) * kRegionsPerThread * 4);
+
+  const auto report = tempest::analysis::lint_trace(trace);
+  EXPECT_EQ(report.error_count, 0u) << tempest::analysis::to_json(report);
   session.clear_nodes();
 }
 

@@ -1,0 +1,308 @@
+// Golden equivalence: the analysis fast path (k-way merge sort, v2 bulk
+// trace I/O, flat-hash timeline, merge-join attribution) must produce
+// results identical to the seed pipeline preserved in parser/reference.
+// The synthetic trace exercises every semantic corner the optimisations
+// could disturb: per-thread runs, cross-thread interleaving, recursion,
+// an unmatched exit, an activation left open at trace end, duplicate
+// sample timestamps, and functions too short to be significant.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parser/profile.hpp"
+#include "parser/reference.hpp"
+#include "parser/timeline.hpp"
+#include "trace/reader.hpp"
+#include "trace/trace.hpp"
+#include "trace/writer.hpp"
+
+namespace {
+
+using namespace tempest;
+using namespace tempest::trace;
+using namespace tempest::parser;
+
+constexpr std::uint64_t kFnA = 0x1000;  // long-running, recursive on t0
+constexpr std::uint64_t kFnB = 0x2000;  // interleaved across threads
+constexpr std::uint64_t kFnC = 0x3000;  // too short to be significant
+constexpr std::uint64_t kFnD = 0x4000;  // left open at trace end
+
+/// Three nodes, six threads; events appended per thread in time order
+/// with run metadata, exactly as ThreadRegistry::drain_into emits them.
+Trace golden_trace() {
+  Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.executable = "golden";
+  t.load_bias = 0x1000;
+  t.nodes = {{0, "alpha"}, {1, "beta"}, {2, "gamma"}};
+  t.sensors = {{0, 0, "cpu0", 1.0}, {0, 1, "sink0", 0.5},
+               {1, 0, "cpu1", 1.0}, {2, 0, "cpu2", 1.0}};
+  t.threads = {{0, 0, 0}, {1, 0, 1}, {2, 1, 0}, {3, 1, 1}, {4, 2, 0}, {5, 2, 1}};
+
+  const auto push_run = [&t](std::uint32_t tid, std::uint16_t node,
+                             std::vector<FnEvent> events) {
+    const std::size_t begin = t.fn_events.size();
+    for (auto& e : events) {
+      e.thread_id = tid;
+      e.node_id = node;
+      t.fn_events.push_back(e);
+    }
+    t.fn_event_runs.push_back({begin, t.fn_events.size() - begin});
+  };
+
+  // t0 (node 0): recursion on A — nested activations collapse into one
+  // interval per outermost call — plus a short C activation inside.
+  push_run(0, 0,
+           {{100, kFnA, 0, 0, FnEventKind::kEnter},
+            {200, kFnA, 0, 0, FnEventKind::kEnter},
+            {300, kFnC, 0, 0, FnEventKind::kEnter},
+            {320, kFnC, 0, 0, FnEventKind::kExit},
+            {700, kFnA, 0, 0, FnEventKind::kExit},
+            {900, kFnA, 0, 0, FnEventKind::kExit}});
+  // t1 (node 0): B interleaved with t0's A, plus an unmatched exit.
+  push_run(1, 0,
+           {{150, kFnB, 0, 0, FnEventKind::kEnter},
+            {450, kFnB, 0, 0, FnEventKind::kExit},
+            {460, kFnC, 0, 0, FnEventKind::kExit},  // unmatched
+            {500, kFnB, 0, 0, FnEventKind::kEnter},
+            {850, kFnB, 0, 0, FnEventKind::kExit}});
+  // t2/t3 (node 1): overlapping B activations that merge into one
+  // interval; D never exits (force-closed at trace end).
+  push_run(2, 1,
+           {{120, kFnB, 0, 0, FnEventKind::kEnter},
+            {600, kFnB, 0, 0, FnEventKind::kExit}});
+  push_run(3, 1,
+           {{400, kFnB, 0, 0, FnEventKind::kEnter},
+            {800, kFnB, 0, 0, FnEventKind::kExit},
+            {820, kFnD, 0, 0, FnEventKind::kEnter}});
+  // t4/t5 (node 2): A again on another node; t5 shares a timestamp with
+  // t4 (stability-sensitive tie).
+  push_run(4, 2,
+           {{250, kFnA, 0, 0, FnEventKind::kEnter},
+            {750, kFnA, 0, 0, FnEventKind::kExit}});
+  push_run(5, 2,
+           {{250, kFnC, 0, 0, FnEventKind::kEnter},
+            {260, kFnC, 0, 0, FnEventKind::kExit}});
+
+  // Per-node sample blocks (concatenation is time-unsorted globally),
+  // with duplicate timestamps inside node 0 and across sensors.
+  t.temp_samples = {
+      {180, 40.0, 0, 0}, {180, 41.0, 0, 1}, {350, 42.0, 0, 0},
+      {350, 42.5, 0, 0}, {640, 43.0, 0, 1}, {880, 44.0, 0, 0},
+      {140, 50.0, 1, 0}, {500, 51.0, 1, 0}, {810, 52.0, 1, 0},
+      {255, 60.0, 2, 0}, {700, 61.0, 2, 0},
+  };
+  t.clock_syncs = {{100, 100, 0}, {900, 900, 0}, {120, 121, 1},
+                   {850, 852, 1}, {250, 249, 2}, {800, 799, 2}};
+  return t;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> golden_names() {
+  return {{kFnA, "alpha_fn"}, {kFnB, "beta_fn"}, {kFnC, "gamma_fn"}, {kFnD, "delta_fn"}};
+}
+
+void expect_events_equal(const std::vector<FnEvent>& a, const std::vector<FnEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tsc, b[i].tsc) << "event " << i;
+    EXPECT_EQ(a[i].addr, b[i].addr) << "event " << i;
+    EXPECT_EQ(a[i].thread_id, b[i].thread_id) << "event " << i;
+    EXPECT_EQ(a[i].node_id, b[i].node_id) << "event " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+  }
+}
+
+void expect_timelines_equal(const TimelineMap& fast, const TimelineMap& seed) {
+  ASSERT_EQ(fast.size(), seed.size());
+  for (const auto& [key, sfi] : seed) {
+    const auto it = fast.find(key);
+    ASSERT_NE(it, fast.end()) << "missing (" << key.first << ", " << key.second << ")";
+    const FunctionIntervals& ffi = it->second;
+    EXPECT_EQ(ffi.addr, sfi.addr);
+    EXPECT_EQ(ffi.node_id, sfi.node_id);
+    EXPECT_EQ(ffi.total_ticks, sfi.total_ticks);
+    EXPECT_EQ(ffi.calls, sfi.calls);
+    ASSERT_EQ(ffi.merged.size(), sfi.merged.size());
+    for (std::size_t i = 0; i < sfi.merged.size(); ++i) {
+      EXPECT_EQ(ffi.merged[i].begin, sfi.merged[i].begin);
+      EXPECT_EQ(ffi.merged[i].end, sfi.merged[i].end);
+    }
+  }
+}
+
+void expect_profiles_equal(const RunProfile& fast, const RunProfile& seed) {
+  EXPECT_EQ(fast.unit, seed.unit);
+  EXPECT_DOUBLE_EQ(fast.duration_s, seed.duration_s);
+  EXPECT_EQ(fast.diagnostics.unmatched_exits, seed.diagnostics.unmatched_exits);
+  EXPECT_EQ(fast.diagnostics.force_closed, seed.diagnostics.force_closed);
+  ASSERT_EQ(fast.nodes.size(), seed.nodes.size());
+  for (std::size_t n = 0; n < seed.nodes.size(); ++n) {
+    const NodeProfile& fn_node = fast.nodes[n];
+    const NodeProfile& sn = seed.nodes[n];
+    EXPECT_EQ(fn_node.node_id, sn.node_id);
+    EXPECT_EQ(fn_node.hostname, sn.hostname);
+    EXPECT_DOUBLE_EQ(fn_node.duration_s, sn.duration_s);
+    ASSERT_EQ(fn_node.functions.size(), sn.functions.size()) << "node " << sn.node_id;
+    for (std::size_t f = 0; f < sn.functions.size(); ++f) {
+      const FunctionProfile& ff = fn_node.functions[f];
+      const FunctionProfile& sf = sn.functions[f];
+      EXPECT_EQ(ff.addr, sf.addr) << sf.name;
+      EXPECT_EQ(ff.name, sf.name);
+      EXPECT_DOUBLE_EQ(ff.total_time_s, sf.total_time_s) << sf.name;
+      EXPECT_EQ(ff.calls, sf.calls) << sf.name;
+      EXPECT_EQ(ff.significant, sf.significant) << sf.name;
+      ASSERT_EQ(ff.sensors.size(), sf.sensors.size()) << sf.name;
+      for (std::size_t s = 0; s < sf.sensors.size(); ++s) {
+        const SensorProfile& fs = ff.sensors[s];
+        const SensorProfile& ss = sf.sensors[s];
+        EXPECT_EQ(fs.sensor_id, ss.sensor_id) << sf.name;
+        EXPECT_EQ(fs.name, ss.name) << sf.name;
+        EXPECT_EQ(fs.sample_count, ss.sample_count) << sf.name;
+        EXPECT_EQ(fs.stats.count, ss.stats.count) << sf.name;
+        EXPECT_DOUBLE_EQ(fs.stats.min, ss.stats.min) << sf.name;
+        EXPECT_DOUBLE_EQ(fs.stats.avg, ss.stats.avg) << sf.name;
+        EXPECT_DOUBLE_EQ(fs.stats.max, ss.stats.max) << sf.name;
+        EXPECT_DOUBLE_EQ(fs.stats.sdv, ss.stats.sdv) << sf.name;
+        EXPECT_DOUBLE_EQ(fs.stats.var, ss.stats.var) << sf.name;
+        EXPECT_DOUBLE_EQ(fs.stats.med, ss.stats.med) << sf.name;
+        EXPECT_DOUBLE_EQ(fs.stats.mod, ss.stats.mod) << sf.name;
+      }
+    }
+  }
+}
+
+TEST(GoldenPipeline, SortMatchesSeedStableSort) {
+  Trace fast = golden_trace();
+  Trace seed = golden_trace();
+  fast.sort_by_time();  // k-way merge over the recorded runs
+  reference::sort_by_time_seed(&seed);
+  expect_events_equal(fast.fn_events, seed.fn_events);
+  ASSERT_EQ(fast.temp_samples.size(), seed.temp_samples.size());
+  for (std::size_t i = 0; i < seed.temp_samples.size(); ++i) {
+    EXPECT_EQ(fast.temp_samples[i].tsc, seed.temp_samples[i].tsc) << i;
+    EXPECT_DOUBLE_EQ(fast.temp_samples[i].temp_c, seed.temp_samples[i].temp_c) << i;
+    EXPECT_EQ(fast.temp_samples[i].sensor_id, seed.temp_samples[i].sensor_id) << i;
+  }
+  // After the merge the whole vector is one run.
+  ASSERT_EQ(fast.fn_event_runs.size(), 1u);
+  EXPECT_EQ(fast.fn_event_runs[0].begin, 0u);
+  EXPECT_EQ(fast.fn_event_runs[0].count, fast.fn_events.size());
+  EXPECT_EQ(fast.start_tsc(), seed.start_tsc());
+  EXPECT_EQ(fast.end_tsc(), seed.end_tsc());
+}
+
+TEST(GoldenPipeline, SortHandlesInvalidRunMetadata) {
+  // Stale/overlapping run metadata must not corrupt the sort: the fast
+  // path detects it and falls back to the seed-equivalent stable sort.
+  Trace fast = golden_trace();
+  Trace seed = golden_trace();
+  fast.fn_event_runs = {{0, 3}, {2, fast.fn_events.size() - 2}};  // overlap
+  fast.sort_by_time();
+  reference::sort_by_time_seed(&seed);
+  expect_events_equal(fast.fn_events, seed.fn_events);
+}
+
+TEST(GoldenPipeline, TimelineMatchesSeed) {
+  Trace t = golden_trace();
+  t.sort_by_time();
+  TimelineDiagnostics fast_diag, seed_diag;
+  const TimelineMap fast = build_timeline(t, &fast_diag);
+  const TimelineMap seed = reference::build_timeline_seed(t, &seed_diag);
+  EXPECT_EQ(fast_diag.unmatched_exits, seed_diag.unmatched_exits);
+  EXPECT_EQ(fast_diag.force_closed, seed_diag.force_closed);
+  EXPECT_EQ(fast_diag.unmatched_exits, 1u);
+  EXPECT_EQ(fast_diag.force_closed, 1u);
+  expect_timelines_equal(fast, seed);
+}
+
+TEST(GoldenPipeline, ProfileMatchesSeedExactly) {
+  Trace t = golden_trace();
+  t.sort_by_time();
+  TimelineDiagnostics diag;
+  const TimelineMap fast_tl = build_timeline(t, &diag);
+  const TimelineMap seed_tl = reference::build_timeline_seed(t);
+  const auto names = golden_names();
+  for (const TempUnit unit : {TempUnit::kFahrenheit, TempUnit::kCelsius}) {
+    ProfileOptions options;
+    options.unit = unit;
+    const RunProfile fast = ProfileBuilder(t, options).build(fast_tl, names, diag);
+    const RunProfile seed =
+        reference::build_profile_seed(t, seed_tl, names, diag, options);
+    expect_profiles_equal(fast, seed);
+  }
+}
+
+TEST(GoldenPipeline, ProfileMatchesSeedOnUnsortedTrace) {
+  // Hand-built traces skip sort_by_time; attribution must not silently
+  // assume sortedness.
+  Trace t = golden_trace();
+  TimelineDiagnostics diag;
+  const TimelineMap fast_tl = build_timeline(t, &diag);
+  const TimelineMap seed_tl = reference::build_timeline_seed(t);
+  const auto names = golden_names();
+  const ProfileOptions options;
+  const RunProfile fast = ProfileBuilder(t, options).build(fast_tl, names, diag);
+  const RunProfile seed =
+      reference::build_profile_seed(t, seed_tl, names, diag, options);
+  expect_profiles_equal(fast, seed);
+}
+
+TEST(GoldenPipeline, EndToEndThroughV2RoundTrip) {
+  // Producer side: sort + serialise with the fast path; parser side:
+  // deserialise, rebuild, and compare the final profile against the
+  // all-seed pipeline fed the same original trace.
+  Trace produced = golden_trace();
+  produced.sort_by_time();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, produced));
+  auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  Trace fast_t = std::move(loaded).value();
+  fast_t.sort_by_time();
+  TimelineDiagnostics fast_diag;
+  const TimelineMap fast_tl = build_timeline(fast_t, &fast_diag);
+  const RunProfile fast =
+      ProfileBuilder(fast_t, {}).build(fast_tl, golden_names(), fast_diag);
+
+  Trace seed_t = golden_trace();
+  reference::sort_by_time_seed(&seed_t);
+  TimelineDiagnostics seed_diag;
+  const TimelineMap seed_tl = reference::build_timeline_seed(seed_t, &seed_diag);
+  const RunProfile seed = reference::build_profile_seed(
+      seed_t, seed_tl, golden_names(), seed_diag, {});
+  expect_profiles_equal(fast, seed);
+}
+
+TEST(GoldenPipeline, FindLocatesEveryFunctionLikeLinearScan) {
+  Trace t = golden_trace();
+  t.sort_by_time();
+  TimelineDiagnostics diag;
+  const TimelineMap tl = build_timeline(t, &diag);
+  const RunProfile profile = ProfileBuilder(t, {}).build(tl, golden_names(), diag);
+  for (const auto& node : profile.nodes) {
+    for (const auto& fn : node.functions) {
+      const FunctionProfile* hit = profile.find(node.node_id, fn.name);
+      ASSERT_NE(hit, nullptr) << fn.name;
+      EXPECT_EQ(hit->addr, fn.addr);
+    }
+  }
+  EXPECT_EQ(profile.find(0, "no_such_fn"), nullptr);
+  EXPECT_EQ(profile.find(77, "alpha_fn"), nullptr);
+}
+
+TEST(GoldenPipeline, SeedV1TraceRejectedByV2Reader) {
+  Trace t = golden_trace();
+  std::stringstream buffer;
+  ASSERT_TRUE(reference::write_trace_seed(buffer, t));
+  auto loaded = read_trace(buffer);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_NE(loaded.message().find("version"), std::string::npos) << loaded.message();
+  // And the seed reader still accepts its own format.
+  std::stringstream again;
+  ASSERT_TRUE(reference::write_trace_seed(again, t));
+  EXPECT_TRUE(reference::read_trace_seed(again).is_ok());
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 // alignment.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "trace/align.hpp"
@@ -94,6 +95,94 @@ TEST(TraceIo, RejectsTruncation) {
     std::stringstream cut_buffer(full.substr(0, cut));
     EXPECT_FALSE(read_trace(cut_buffer).is_ok()) << "cut at " << cut;
   }
+}
+
+// Byte offsets in a v2 trace with empty executable and no metadata:
+// header (magic 8 + version 4 + rate 8 + exe-len 4 + bias 8) = 32,
+// four u32 metadata counts = 16, so the fn_events section framing sits
+// at [48, 56) (count u64) and [56, 60) (record_size u32).
+constexpr std::size_t kMinimalFnCountOffset = 48;
+constexpr std::size_t kMinimalFnRecordSizeOffset = 56;
+
+std::string minimal_trace_bytes() {
+  Trace t;
+  t.fn_events = {{100, 0xaaa, 0, 0, FnEventKind::kEnter},
+                 {200, 0xaaa, 0, 0, FnEventKind::kExit}};
+  std::stringstream buffer;
+  EXPECT_TRUE(write_trace(buffer, t));
+  return buffer.str();
+}
+
+TEST(TraceIo, RejectsOldVersionWithClearMessage) {
+  // A v1 trace (or any foreign version) must be refused up front with a
+  // message that names both versions, not misparsed as garbage records.
+  std::string bytes = minimal_trace_bytes();
+  const std::uint32_t old_version = 1;
+  std::memcpy(bytes.data() + sizeof(kTraceMagic), &old_version, sizeof(old_version));
+  std::stringstream buffer(bytes);
+  auto result = read_trace(buffer);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.message().find("unsupported trace version 1"), std::string::npos)
+      << result.message();
+  EXPECT_NE(result.message().find(std::to_string(kTraceVersion)), std::string::npos)
+      << result.message();
+}
+
+TEST(TraceIo, RejectsRecordSizeMismatch) {
+  // Corrupt section framing: a record_size the reader was not built for
+  // means the payload layout is unknowable.
+  std::string bytes = minimal_trace_bytes();
+  bytes[kMinimalFnRecordSizeOffset] = static_cast<char>(kFnEventRecordSize + 1);
+  std::stringstream buffer(bytes);
+  auto result = read_trace(buffer);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.message().find("record size mismatch"), std::string::npos)
+      << result.message();
+}
+
+TEST(TraceIo, RejectsTruncatedBulkPayload) {
+  const std::string bytes = minimal_trace_bytes();
+  // Cut inside the first packed fn event record.
+  std::stringstream buffer(
+      bytes.substr(0, kMinimalFnRecordSizeOffset + sizeof(std::uint32_t) + 10));
+  auto result = read_trace(buffer);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.message().find("truncated fn event"), std::string::npos)
+      << result.message();
+}
+
+TEST(TraceIo, CorruptHugeCountFailsBounded) {
+  // A flipped count field must fail at the first missing chunk — the
+  // chunked section reader never allocates count * record_size.
+  std::string bytes = minimal_trace_bytes();
+  const std::uint64_t over_cap = 0xFFFF'FFFF'FFULL;  // > kMaxRecords
+  std::memcpy(bytes.data() + kMinimalFnCountOffset, &over_cap, sizeof(over_cap));
+  std::stringstream buffer(bytes);
+  auto result = read_trace(buffer);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.message().find("oversized"), std::string::npos) << result.message();
+
+  bytes = minimal_trace_bytes();
+  const std::uint64_t under_cap = 1ULL << 31;  // plausible but absent payload
+  std::memcpy(bytes.data() + kMinimalFnCountOffset, &under_cap, sizeof(under_cap));
+  std::stringstream buffer2(bytes);
+  result = read_trace(buffer2);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.message().find("truncated fn event"), std::string::npos)
+      << result.message();
+}
+
+TEST(TraceIo, CorruptFnEventKindRejected) {
+  std::string bytes = minimal_trace_bytes();
+  // kind is the last byte of the first packed record.
+  const std::size_t kind_offset =
+      kMinimalFnRecordSizeOffset + sizeof(std::uint32_t) + kFnEventRecordSize - 1;
+  bytes[kind_offset] = 7;
+  std::stringstream buffer(bytes);
+  auto result = read_trace(buffer);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.message().find("corrupt fn event"), std::string::npos)
+      << result.message();
 }
 
 TEST(TraceIo, MissingFileErrors) {
