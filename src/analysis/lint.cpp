@@ -13,308 +13,7 @@
 namespace tempest::analysis {
 namespace {
 
-/// Collects findings with an exact count but a capped message list.
-class Collector {
- public:
-  Collector(LintReport* report, const LintOptions& options)
-      : report_(report), options_(options) {}
-
-  void add(const std::string& check, Severity severity, std::string message) {
-    const std::size_t n = ++per_check_[check];
-    if (severity == Severity::kError) {
-      ++report_->error_count;
-    } else {
-      ++report_->warning_count;
-    }
-    if (n <= options_.max_findings_per_check) {
-      report_->findings.push_back({check, severity, std::move(message)});
-    } else if (n == options_.max_findings_per_check + 1) {
-      report_->findings.push_back(
-          {check, severity, "(further " + check + " findings suppressed)"});
-    }
-  }
-
- private:
-  LintReport* report_;
-  const LintOptions& options_;
-  std::map<std::string, std::size_t> per_check_;
-};
-
 std::string fmt_thread(std::uint32_t tid) { return "thread " + std::to_string(tid); }
-
-void check_metadata(const trace::Trace& trace, Collector* out) {
-  const bool has_data = !trace.fn_events.empty() || !trace.temp_samples.empty();
-  if (has_data && !(trace.tsc_ticks_per_second > 0.0)) {
-    out->add("tsc-rate", Severity::kError,
-             "trace carries events/samples but no positive tsc_ticks_per_second");
-  }
-  if (!has_data) {
-    out->add("empty-trace", Severity::kWarning,
-             "trace contains no function events and no temperature samples");
-  }
-  std::set<std::uint16_t> node_ids;
-  for (const auto& n : trace.nodes) {
-    if (!node_ids.insert(n.node_id).second) {
-      out->add("duplicate-node", Severity::kError,
-               "node id " + std::to_string(n.node_id) + " declared twice");
-    }
-  }
-  std::set<std::uint32_t> thread_ids;
-  for (const auto& t : trace.threads) {
-    if (!thread_ids.insert(t.thread_id).second) {
-      out->add("duplicate-thread", Severity::kError,
-               "thread id " + std::to_string(t.thread_id) + " declared twice");
-    }
-    if (node_ids.count(t.node_id) == 0) {
-      out->add("node-unresolved", Severity::kError,
-               fmt_thread(t.thread_id) + " bound to unknown node " +
-                   std::to_string(t.node_id));
-    }
-  }
-  std::set<std::pair<std::uint16_t, std::uint16_t>> sensor_ids;
-  for (const auto& s : trace.sensors) {
-    if (!sensor_ids.insert({s.node_id, s.sensor_id}).second) {
-      out->add("duplicate-sensor", Severity::kError,
-               "sensor " + std::to_string(s.sensor_id) + " on node " +
-                   std::to_string(s.node_id) + " declared twice");
-    }
-    if (node_ids.count(s.node_id) == 0) {
-      out->add("node-unresolved", Severity::kError,
-               "sensor '" + s.name + "' attached to unknown node " +
-                   std::to_string(s.node_id));
-    }
-  }
-}
-
-void check_references(const trace::Trace& trace, Collector* out) {
-  std::set<std::uint16_t> node_ids;
-  for (const auto& n : trace.nodes) node_ids.insert(n.node_id);
-  std::set<std::uint32_t> thread_ids;
-  for (const auto& t : trace.threads) thread_ids.insert(t.thread_id);
-  std::set<std::pair<std::uint16_t, std::uint16_t>> sensor_ids;
-  for (const auto& s : trace.sensors) sensor_ids.insert({s.node_id, s.sensor_id});
-  std::set<std::uint64_t> synthetic;
-  for (const auto& s : trace.synthetic_symbols) synthetic.insert(s.addr);
-
-  for (const auto& e : trace.fn_events) {
-    if (node_ids.count(e.node_id) == 0) {
-      out->add("node-unresolved", Severity::kError,
-               "fn event references unknown node " + std::to_string(e.node_id));
-    }
-    if (thread_ids.count(e.thread_id) == 0) {
-      out->add("thread-unresolved", Severity::kError,
-               "fn event references undeclared " + fmt_thread(e.thread_id));
-    }
-    if (e.addr >= trace::kSyntheticAddrBase && synthetic.count(e.addr) == 0) {
-      std::ostringstream os;
-      os << "synthetic address 0x" << std::hex << e.addr
-         << " has no name in the synthetic symbol table";
-      out->add("synthetic-unresolved", Severity::kError, os.str());
-    }
-  }
-  for (const auto& s : trace.temp_samples) {
-    if (node_ids.count(s.node_id) == 0) {
-      out->add("node-unresolved", Severity::kError,
-               "temp sample references unknown node " + std::to_string(s.node_id));
-    } else if (sensor_ids.count({s.node_id, s.sensor_id}) == 0) {
-      out->add("sensor-unresolved", Severity::kError,
-               "temp sample references unknown sensor " +
-                   std::to_string(s.sensor_id) + " on node " +
-                   std::to_string(s.node_id));
-    }
-  }
-  for (const auto& c : trace.clock_syncs) {
-    if (node_ids.count(c.node_id) == 0) {
-      out->add("node-unresolved", Severity::kError,
-               "clock sync references unknown node " + std::to_string(c.node_id));
-    }
-  }
-}
-
-void check_monotonic(const trace::Trace& trace, Collector* out) {
-  // Per-thread event timestamps: each thread stamps from one clock
-  // domain, so its stream must be non-decreasing.
-  std::map<std::uint32_t, std::uint64_t> last_event;
-  std::uint64_t last_global = 0;
-  bool globally_sorted = true;
-  for (const auto& e : trace.fn_events) {
-    auto [it, inserted] = last_event.try_emplace(e.thread_id, e.tsc);
-    if (!inserted) {
-      if (e.tsc < it->second) {
-        out->add("monotonic-timestamps", Severity::kError,
-                 fmt_thread(e.thread_id) + " timestamp goes backwards (" +
-                     std::to_string(e.tsc) + " after " + std::to_string(it->second) +
-                     ")");
-      }
-      it->second = std::max(it->second, e.tsc);
-    }
-    if (e.tsc < last_global) globally_sorted = false;
-    last_global = std::max(last_global, e.tsc);
-  }
-  if (!globally_sorted) {
-    out->add("global-sort", Severity::kWarning,
-             "fn events are not globally time-sorted (the parser expects "
-             "Trace::sort_by_time order)");
-  }
-  // Per-sensor sample streams likewise.
-  std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t> last_sample;
-  for (const auto& s : trace.temp_samples) {
-    auto [it, inserted] = last_sample.try_emplace({s.node_id, s.sensor_id}, s.tsc);
-    if (!inserted) {
-      if (s.tsc < it->second) {
-        out->add("monotonic-timestamps", Severity::kError,
-                 "sensor " + std::to_string(s.sensor_id) + " on node " +
-                     std::to_string(s.node_id) + " sample timestamp goes backwards");
-      }
-      it->second = std::max(it->second, s.tsc);
-    }
-  }
-  // Clock-sync observations: both domains must advance together.
-  std::map<std::uint16_t, std::pair<std::uint64_t, std::uint64_t>> last_sync;
-  for (const auto& c : trace.clock_syncs) {
-    auto [it, inserted] =
-        last_sync.try_emplace(c.node_id, std::make_pair(c.node_tsc, c.global_tsc));
-    if (!inserted) {
-      if (c.node_tsc < it->second.first || c.global_tsc < it->second.second) {
-        out->add("monotonic-timestamps", Severity::kError,
-                 "clock sync for node " + std::to_string(c.node_id) +
-                     " goes backwards in node or global domain");
-      }
-      it->second = {std::max(it->second.first, c.node_tsc),
-                    std::max(it->second.second, c.global_tsc)};
-    }
-  }
-}
-
-void check_nesting_and_conservation(const trace::Trace& trace, Collector* out) {
-  // Mirror of the parser's Table 1 semantics: per (thread, addr) open
-  // depth with outermost-activation intervals. Region interleaving is
-  // legal; what a healthy pipeline can never emit is inclusive time
-  // exceeding its thread's span.
-  struct OpenState {
-    std::uint64_t depth = 0;
-    std::uint64_t first_enter = 0;
-  };
-  struct ThreadAgg {
-    std::uint64_t first_tsc = 0;
-    std::uint64_t last_tsc = 0;
-    bool seen = false;
-    std::uint64_t unmatched_exits = 0;
-  };
-  std::map<std::pair<std::uint32_t, std::uint64_t>, OpenState> open;
-  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> inclusive;
-  std::map<std::uint32_t, ThreadAgg> per_thread;
-
-  for (const auto& e : trace.fn_events) {
-    ThreadAgg& agg = per_thread[e.thread_id];
-    if (!agg.seen) {
-      agg.first_tsc = e.tsc;
-      agg.seen = true;
-    }
-    agg.last_tsc = std::max(agg.last_tsc, e.tsc);
-
-    const auto key = std::make_pair(e.thread_id, e.addr);
-    if (e.kind == trace::FnEventKind::kEnter) {
-      OpenState& st = open[key];
-      if (st.depth == 0) st.first_enter = e.tsc;
-      ++st.depth;
-    } else {
-      auto it = open.find(key);
-      if (it == open.end() || it->second.depth == 0) {
-        ++agg.unmatched_exits;  // frame already open when profiling began
-        continue;
-      }
-      if (--it->second.depth == 0 && e.tsc > it->second.first_enter) {
-        inclusive[key] += e.tsc - it->second.first_enter;
-      }
-    }
-  }
-
-  std::map<std::uint32_t, std::uint64_t> unclosed;
-  for (const auto& [key, st] : open) {
-    if (st.depth == 0) continue;
-    unclosed[key.first] += st.depth;
-    // Force-close at the thread's own end for the conservation check.
-    const auto tit = per_thread.find(key.first);
-    if (tit != per_thread.end() && tit->second.last_tsc > st.first_enter) {
-      inclusive[key] += tit->second.last_tsc - st.first_enter;
-    }
-  }
-
-  for (const auto& [tid, agg] : per_thread) {
-    if (agg.unmatched_exits > 0) {
-      out->add("balanced-nesting", Severity::kWarning,
-               fmt_thread(tid) + " has " + std::to_string(agg.unmatched_exits) +
-                   " exit(s) without a recorded entry (frames open at session "
-                   "start)");
-    }
-  }
-  for (const auto& [tid, count] : unclosed) {
-    out->add("balanced-nesting", Severity::kWarning,
-             fmt_thread(tid) + " ends with " + std::to_string(count) +
-                 " activation(s) still open (frames open at session stop)");
-  }
-  for (const auto& [key, ticks] : inclusive) {
-    const ThreadAgg& agg = per_thread[key.first];
-    const std::uint64_t span = agg.last_tsc - agg.first_tsc;
-    if (ticks > span) {
-      std::ostringstream os;
-      os << fmt_thread(key.first) << " spends " << ticks
-         << " inclusive ticks in addr 0x" << std::hex << key.second << std::dec
-         << " but only spans " << span << " ticks";
-      out->add("time-conservation", Severity::kError, os.str());
-    }
-  }
-}
-
-void check_cadence(const trace::Trace& trace, const LintOptions& options,
-                   Collector* out) {
-  if (!(trace.tsc_ticks_per_second > 0.0)) return;
-  // tempd reads every sensor once per tick, so per-(node,sensor) gaps
-  // measure the tick period directly.
-  std::map<std::pair<std::uint16_t, std::uint16_t>, std::vector<std::uint64_t>> gaps;
-  std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t> last;
-  for (const auto& s : trace.temp_samples) {
-    const auto key = std::make_pair(s.node_id, s.sensor_id);
-    const auto it = last.find(key);
-    if (it != last.end() && s.tsc >= it->second) {
-      gaps[key].push_back(s.tsc - it->second);
-    }
-    last[key] = s.tsc;
-  }
-  for (auto& [key, g] : gaps) {
-    if (g.size() < options.min_cadence_gaps) continue;
-    std::sort(g.begin(), g.end());
-    const std::uint64_t median = g[g.size() / 2];
-    if (median == 0) continue;
-    const double median_s =
-        static_cast<double>(median) / trace.tsc_ticks_per_second;
-    if (options.expected_hz > 0.0) {
-      const double expected_s = 1.0 / options.expected_hz;
-      if (median_s > expected_s * options.cadence_tolerance ||
-          median_s < expected_s / options.cadence_tolerance) {
-        std::ostringstream os;
-        os << "sensor " << key.second << " on node " << key.first
-           << " samples every " << median_s << " s (expected ~" << expected_s
-           << " s at " << options.expected_hz << " Hz)";
-        out->add("sample-cadence", Severity::kWarning, os.str());
-      }
-    }
-    // Regularity regardless of the configured rate: a healthy tempd tick
-    // loop produces gaps clustered around the median.
-    std::size_t outliers = 0;
-    for (const std::uint64_t gap : g) {
-      if (gap > median * 4 || gap * 4 < median) ++outliers;
-    }
-    if (outliers * 10 > g.size() * 3) {  // > 30 %
-      std::ostringstream os;
-      os << "sensor " << key.second << " on node " << key.first << ": " << outliers
-         << "/" << g.size() << " inter-sample gaps deviate >4x from the median "
-         << "(irregular tempd cadence)";
-      out->add("sample-cadence", Severity::kWarning, os.str());
-    }
-  }
-}
 
 void json_escape(std::ostream& os, const std::string& s) {
   for (const char c : s) {
@@ -336,21 +35,419 @@ void json_escape(std::ostream& os, const std::string& s) {
 
 }  // namespace
 
-LintReport lint_trace(const trace::Trace& trace, const LintOptions& options) {
-  LintReport report;
-  report.fn_events = trace.fn_events.size();
-  report.temp_samples = trace.temp_samples.size();
-  report.threads = trace.threads.size();
-  report.nodes = trace.nodes.size();
-  report.sensors = trace.sensors.size();
+/// Streaming lint state. Findings are gathered into one bucket per
+/// check family and concatenated in the canonical order (metadata,
+/// references, monotonic, nesting, cadence, trailing bytes) at
+/// finish(), so the streamed report is indistinguishable from the batch
+/// one. The per-check caps and the error/warning totals are shared
+/// across buckets, exactly like the single Collector they replace.
+struct LintEngine::Impl {
+  /// Appends findings to one bucket while sharing the engine-wide
+  /// per-check counters (counts stay exact past the message cap).
+  class Collector {
+   public:
+    Collector(Impl* impl, std::vector<Finding>* bucket)
+        : impl_(impl), bucket_(bucket) {}
 
-  Collector out(&report, options);
-  check_metadata(trace, &out);
-  check_references(trace, &out);
-  check_monotonic(trace, &out);
-  check_nesting_and_conservation(trace, &out);
-  check_cadence(trace, options, &out);
+    void add(const std::string& check, Severity severity, std::string message) {
+      const std::size_t n = ++impl_->per_check[check];
+      if (severity == Severity::kError) {
+        ++impl_->error_count;
+      } else {
+        ++impl_->warning_count;
+      }
+      if (n <= impl_->options.max_findings_per_check) {
+        bucket_->push_back({check, severity, std::move(message)});
+      } else if (n == impl_->options.max_findings_per_check + 1) {
+        bucket_->push_back(
+            {check, severity, "(further " + check + " findings suppressed)"});
+      }
+    }
+
+   private:
+    Impl* impl_;
+    std::vector<Finding>* bucket_;
+  };
+
+  LintOptions options;
+
+  // Shared across buckets.
+  std::map<std::string, std::size_t> per_check;
+  std::size_t error_count = 0;
+  std::size_t warning_count = 0;
+
+  // Buckets in canonical emission order. `metadata_deferred` holds the
+  // has-data-dependent findings (tsc-rate, empty-trace) that the batch
+  // path emits first but streaming can only decide at finish().
+  // The monotonic family keeps one sub-bucket per record kind because
+  // the batch path emits them in that order with the global-sort
+  // warning wedged between events and samples.
+  std::vector<Finding> metadata_deferred;
+  std::vector<Finding> metadata;
+  std::vector<Finding> references;
+  std::vector<Finding> mono_events;
+  std::vector<Finding> mono_global;
+  std::vector<Finding> mono_samples;
+  std::vector<Finding> mono_syncs;
+  std::vector<Finding> nesting;
+  std::vector<Finding> cadence;
+  std::vector<Finding> trailing;
+
+  // Header-derived context.
+  double tsc_ticks_per_second = 0.0;
+  std::set<std::uint16_t> node_ids;
+  std::set<std::uint32_t> thread_ids;
+  std::set<std::pair<std::uint16_t, std::uint16_t>> sensor_ids;
+  std::set<std::uint64_t> synthetic;
+  std::size_t n_threads = 0;
+  std::size_t n_nodes = 0;
+  std::size_t n_sensors = 0;
+
+  // Inventory.
+  std::size_t n_events = 0;
+  std::size_t n_samples = 0;
+
+  // Monotonicity state.
+  std::map<std::uint32_t, std::uint64_t> last_event;
+  std::uint64_t last_global = 0;
+  bool globally_sorted = true;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t> last_sample;
+  std::map<std::uint16_t, std::pair<std::uint64_t, std::uint64_t>> last_sync;
+
+  // Nesting / conservation state (mirror of the parser's Table 1
+  // semantics: per (thread, addr) open depth with outermost-activation
+  // intervals).
+  struct OpenState {
+    std::uint64_t depth = 0;
+    std::uint64_t first_enter = 0;
+  };
+  struct ThreadAgg {
+    std::uint64_t first_tsc = 0;
+    std::uint64_t last_tsc = 0;
+    bool seen = false;
+    std::uint64_t unmatched_exits = 0;
+  };
+  std::map<std::pair<std::uint32_t, std::uint64_t>, OpenState> open;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> inclusive;
+  std::map<std::uint32_t, ThreadAgg> per_thread;
+
+  // Cadence state: per-(node, sensor) inter-sample gaps. O(samples)
+  // u64s — the one per-record cost the streamed lint keeps, and samples
+  // are ~1% of events in practice.
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::vector<std::uint64_t>> gaps;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t> last_gap_tsc;
+};
+
+LintEngine::LintEngine(const trace::TraceHeader& header, const LintOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.options = options;
+  im.tsc_ticks_per_second = header.tsc_ticks_per_second;
+  im.n_threads = header.threads.size();
+  im.n_nodes = header.nodes.size();
+  im.n_sensors = header.sensors.size();
+
+  // Metadata checks that need no record data run up front; the
+  // has-data-dependent pair (tsc-rate, empty-trace) waits for finish().
+  Impl::Collector out(&im, &im.metadata);
+  for (const auto& n : header.nodes) {
+    if (!im.node_ids.insert(n.node_id).second) {
+      out.add("duplicate-node", Severity::kError,
+              "node id " + std::to_string(n.node_id) + " declared twice");
+    }
+  }
+  for (const auto& t : header.threads) {
+    if (!im.thread_ids.insert(t.thread_id).second) {
+      out.add("duplicate-thread", Severity::kError,
+              "thread id " + std::to_string(t.thread_id) + " declared twice");
+    }
+    if (im.node_ids.count(t.node_id) == 0) {
+      out.add("node-unresolved", Severity::kError,
+              fmt_thread(t.thread_id) + " bound to unknown node " +
+                  std::to_string(t.node_id));
+    }
+  }
+  for (const auto& s : header.sensors) {
+    if (!im.sensor_ids.insert({s.node_id, s.sensor_id}).second) {
+      out.add("duplicate-sensor", Severity::kError,
+              "sensor " + std::to_string(s.sensor_id) + " on node " +
+                  std::to_string(s.node_id) + " declared twice");
+    }
+    if (im.node_ids.count(s.node_id) == 0) {
+      out.add("node-unresolved", Severity::kError,
+              "sensor '" + s.name + "' attached to unknown node " +
+                  std::to_string(s.node_id));
+    }
+  }
+  for (const auto& s : header.synthetic_symbols) im.synthetic.insert(s.addr);
+}
+
+LintEngine::~LintEngine() = default;
+LintEngine::LintEngine(LintEngine&&) noexcept = default;
+LintEngine& LintEngine::operator=(LintEngine&&) noexcept = default;
+
+void LintEngine::add_fn_events(const trace::FnEvent* events, std::size_t n) {
+  Impl& im = *impl_;
+  im.n_events += n;
+  Impl::Collector refs(&im, &im.references);
+  Impl::Collector mono(&im, &im.mono_events);
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::FnEvent& e = events[i];
+
+    // References.
+    if (im.node_ids.count(e.node_id) == 0) {
+      refs.add("node-unresolved", Severity::kError,
+               "fn event references unknown node " + std::to_string(e.node_id));
+    }
+    if (im.thread_ids.count(e.thread_id) == 0) {
+      refs.add("thread-unresolved", Severity::kError,
+               "fn event references undeclared " + fmt_thread(e.thread_id));
+    }
+    if (e.addr >= trace::kSyntheticAddrBase && im.synthetic.count(e.addr) == 0) {
+      std::ostringstream os;
+      os << "synthetic address 0x" << std::hex << e.addr
+         << " has no name in the synthetic symbol table";
+      refs.add("synthetic-unresolved", Severity::kError, os.str());
+    }
+
+    // Per-thread monotonicity; each thread stamps from one clock
+    // domain, so its stream must be non-decreasing.
+    auto [it, inserted] = im.last_event.try_emplace(e.thread_id, e.tsc);
+    if (!inserted) {
+      if (e.tsc < it->second) {
+        mono.add("monotonic-timestamps", Severity::kError,
+                 fmt_thread(e.thread_id) + " timestamp goes backwards (" +
+                     std::to_string(e.tsc) + " after " + std::to_string(it->second) +
+                     ")");
+      }
+      it->second = std::max(it->second, e.tsc);
+    }
+    if (e.tsc < im.last_global) im.globally_sorted = false;
+    im.last_global = std::max(im.last_global, e.tsc);
+
+    // Nesting / conservation.
+    Impl::ThreadAgg& agg = im.per_thread[e.thread_id];
+    if (!agg.seen) {
+      agg.first_tsc = e.tsc;
+      agg.seen = true;
+    }
+    agg.last_tsc = std::max(agg.last_tsc, e.tsc);
+
+    const auto key = std::make_pair(e.thread_id, e.addr);
+    if (e.kind == trace::FnEventKind::kEnter) {
+      Impl::OpenState& st = im.open[key];
+      if (st.depth == 0) st.first_enter = e.tsc;
+      ++st.depth;
+    } else {
+      auto oit = im.open.find(key);
+      if (oit == im.open.end() || oit->second.depth == 0) {
+        ++agg.unmatched_exits;  // frame already open when profiling began
+        continue;
+      }
+      if (--oit->second.depth == 0 && e.tsc > oit->second.first_enter) {
+        im.inclusive[key] += e.tsc - oit->second.first_enter;
+      }
+    }
+  }
+}
+
+void LintEngine::add_temp_samples(const trace::TempSample* samples, std::size_t n) {
+  Impl& im = *impl_;
+  im.n_samples += n;
+  Impl::Collector refs(&im, &im.references);
+  Impl::Collector mono(&im, &im.mono_samples);
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::TempSample& s = samples[i];
+    if (im.node_ids.count(s.node_id) == 0) {
+      refs.add("node-unresolved", Severity::kError,
+               "temp sample references unknown node " + std::to_string(s.node_id));
+    } else if (im.sensor_ids.count({s.node_id, s.sensor_id}) == 0) {
+      refs.add("sensor-unresolved", Severity::kError,
+               "temp sample references unknown sensor " +
+                   std::to_string(s.sensor_id) + " on node " +
+                   std::to_string(s.node_id));
+    }
+
+    const auto key = std::make_pair(s.node_id, s.sensor_id);
+    auto [it, inserted] = im.last_sample.try_emplace(key, s.tsc);
+    if (!inserted) {
+      if (s.tsc < it->second) {
+        mono.add("monotonic-timestamps", Severity::kError,
+                 "sensor " + std::to_string(s.sensor_id) + " on node " +
+                     std::to_string(s.node_id) + " sample timestamp goes backwards");
+      }
+      it->second = std::max(it->second, s.tsc);
+    }
+
+    // Cadence gaps (tempd reads every sensor once per tick, so
+    // per-(node,sensor) gaps measure the tick period directly).
+    const auto lit = im.last_gap_tsc.find(key);
+    if (lit != im.last_gap_tsc.end() && s.tsc >= lit->second) {
+      im.gaps[key].push_back(s.tsc - lit->second);
+    }
+    im.last_gap_tsc[key] = s.tsc;
+  }
+}
+
+void LintEngine::add_clock_syncs(const trace::ClockSync* syncs, std::size_t n) {
+  Impl& im = *impl_;
+  Impl::Collector refs(&im, &im.references);
+  Impl::Collector mono(&im, &im.mono_syncs);
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::ClockSync& c = syncs[i];
+    if (im.node_ids.count(c.node_id) == 0) {
+      refs.add("node-unresolved", Severity::kError,
+               "clock sync references unknown node " + std::to_string(c.node_id));
+    }
+
+    // Both domains must advance together.
+    auto [it, inserted] =
+        im.last_sync.try_emplace(c.node_id, std::make_pair(c.node_tsc, c.global_tsc));
+    if (!inserted) {
+      if (c.node_tsc < it->second.first || c.global_tsc < it->second.second) {
+        mono.add("monotonic-timestamps", Severity::kError,
+                 "clock sync for node " + std::to_string(c.node_id) +
+                     " goes backwards in node or global domain");
+      }
+      it->second = {std::max(it->second.first, c.node_tsc),
+                    std::max(it->second.second, c.global_tsc)};
+    }
+  }
+}
+
+void LintEngine::note_trailing_bytes(std::uint64_t bytes) {
+  Impl& im = *impl_;
+  std::ostringstream msg;
+  msg << bytes << " trailing byte(s) after the trace";
+  im.trailing.push_back({"file-trailing-bytes", Severity::kError, msg.str()});
+  ++im.error_count;
+}
+
+LintReport LintEngine::finish() {
+  Impl& im = *impl_;
+
+  // Deferred metadata checks: only now do we know whether any record
+  // arrived at all.
+  {
+    Impl::Collector out(&im, &im.metadata_deferred);
+    const bool has_data = im.n_events > 0 || im.n_samples > 0;
+    if (has_data && !(im.tsc_ticks_per_second > 0.0)) {
+      out.add("tsc-rate", Severity::kError,
+              "trace carries events/samples but no positive tsc_ticks_per_second");
+    }
+    if (!has_data) {
+      out.add("empty-trace", Severity::kWarning,
+              "trace contains no function events and no temperature samples");
+    }
+  }
+
+  if (!im.globally_sorted) {
+    Impl::Collector mono(&im, &im.mono_global);
+    mono.add("global-sort", Severity::kWarning,
+             "fn events are not globally time-sorted (the parser expects "
+             "Trace::sort_by_time order)");
+  }
+
+  // Nesting epilogue: activations still open force-close at their
+  // thread's own end for the conservation check.
+  {
+    Impl::Collector out(&im, &im.nesting);
+    std::map<std::uint32_t, std::uint64_t> unclosed;
+    for (const auto& [key, st] : im.open) {
+      if (st.depth == 0) continue;
+      unclosed[key.first] += st.depth;
+      const auto tit = im.per_thread.find(key.first);
+      if (tit != im.per_thread.end() && tit->second.last_tsc > st.first_enter) {
+        im.inclusive[key] += tit->second.last_tsc - st.first_enter;
+      }
+    }
+    for (const auto& [tid, agg] : im.per_thread) {
+      if (agg.unmatched_exits > 0) {
+        out.add("balanced-nesting", Severity::kWarning,
+                fmt_thread(tid) + " has " + std::to_string(agg.unmatched_exits) +
+                    " exit(s) without a recorded entry (frames open at session "
+                    "start)");
+      }
+    }
+    for (const auto& [tid, count] : unclosed) {
+      out.add("balanced-nesting", Severity::kWarning,
+              fmt_thread(tid) + " ends with " + std::to_string(count) +
+                  " activation(s) still open (frames open at session stop)");
+    }
+    for (const auto& [key, ticks] : im.inclusive) {
+      const Impl::ThreadAgg& agg = im.per_thread[key.first];
+      const std::uint64_t span = agg.last_tsc - agg.first_tsc;
+      if (ticks > span) {
+        std::ostringstream os;
+        os << fmt_thread(key.first) << " spends " << ticks
+           << " inclusive ticks in addr 0x" << std::hex << key.second << std::dec
+           << " but only spans " << span << " ticks";
+        out.add("time-conservation", Severity::kError, os.str());
+      }
+    }
+  }
+
+  // Cadence epilogue.
+  if (im.tsc_ticks_per_second > 0.0) {
+    Impl::Collector out(&im, &im.cadence);
+    for (auto& [key, g] : im.gaps) {
+      if (g.size() < im.options.min_cadence_gaps) continue;
+      std::sort(g.begin(), g.end());
+      const std::uint64_t median = g[g.size() / 2];
+      if (median == 0) continue;
+      const double median_s = static_cast<double>(median) / im.tsc_ticks_per_second;
+      if (im.options.expected_hz > 0.0) {
+        const double expected_s = 1.0 / im.options.expected_hz;
+        if (median_s > expected_s * im.options.cadence_tolerance ||
+            median_s < expected_s / im.options.cadence_tolerance) {
+          std::ostringstream os;
+          os << "sensor " << key.second << " on node " << key.first
+             << " samples every " << median_s << " s (expected ~" << expected_s
+             << " s at " << im.options.expected_hz << " Hz)";
+          out.add("sample-cadence", Severity::kWarning, os.str());
+        }
+      }
+      // Regularity regardless of the configured rate: a healthy tempd tick
+      // loop produces gaps clustered around the median.
+      std::size_t outliers = 0;
+      for (const std::uint64_t gap : g) {
+        if (gap > median * 4 || gap * 4 < median) ++outliers;
+      }
+      if (outliers * 10 > g.size() * 3) {  // > 30 %
+        std::ostringstream os;
+        os << "sensor " << key.second << " on node " << key.first << ": " << outliers
+           << "/" << g.size() << " inter-sample gaps deviate >4x from the median "
+           << "(irregular tempd cadence)";
+        out.add("sample-cadence", Severity::kWarning, os.str());
+      }
+    }
+  }
+
+  LintReport report;
+  report.fn_events = im.n_events;
+  report.temp_samples = im.n_samples;
+  report.threads = im.n_threads;
+  report.nodes = im.n_nodes;
+  report.sensors = im.n_sensors;
+  report.error_count = im.error_count;
+  report.warning_count = im.warning_count;
+  for (auto* bucket :
+       {&im.metadata_deferred, &im.metadata, &im.references, &im.mono_events,
+        &im.mono_global, &im.mono_samples, &im.mono_syncs, &im.nesting,
+        &im.cadence, &im.trailing}) {
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(bucket->begin()),
+                           std::make_move_iterator(bucket->end()));
+  }
   return report;
+}
+
+LintReport lint_trace(const trace::Trace& trace, const LintOptions& options) {
+  LintEngine engine(trace, options);
+  engine.add_fn_events(trace.fn_events.data(), trace.fn_events.size());
+  engine.add_temp_samples(trace.temp_samples.data(), trace.temp_samples.size());
+  engine.add_clock_syncs(trace.clock_syncs.data(), trace.clock_syncs.size());
+  return engine.finish();
 }
 
 Result<LintReport> lint_trace_file(const std::string& path,
@@ -359,11 +456,38 @@ Result<LintReport> lint_trace_file(const std::string& path,
   if (!in) {
     return Result<LintReport>::error(path + ": cannot open trace file: " + path);
   }
-  auto trace = trace::read_trace(in);
-  if (!trace.is_ok()) {
-    return Result<LintReport>::error(path + ": " + trace.message());
+  auto opened = trace::TraceStreamReader::open(in);
+  if (!opened.is_ok()) {
+    return Result<LintReport>::error(path + ": " + opened.message());
   }
-  LintReport report = lint_trace(trace.value(), options);
+  trace::TraceStreamReader reader = std::move(opened).value();
+  LintEngine engine(reader.header(), options);
+
+  // Stream the bulk sections through in bounded batches; lint wants the
+  // raw file order (no alignment, no sorting — sortedness is itself one
+  // of the checks).
+  constexpr std::size_t kBatch = std::size_t{1} << 16;
+  std::vector<trace::FnEvent> events;
+  std::vector<trace::TempSample> samples;
+  std::vector<trace::ClockSync> syncs;
+  std::size_t appended = 0;
+  while (!reader.done()) {
+    events.clear();
+    samples.clear();
+    syncs.clear();
+    Status s = reader.next_fn_events(&events, kBatch, &appended);
+    if (s) {
+      engine.add_fn_events(events.data(), events.size());
+      s = reader.next_temp_samples(&samples, kBatch, &appended);
+    }
+    if (s) {
+      engine.add_temp_samples(samples.data(), samples.size());
+      s = reader.next_clock_syncs(&syncs, kBatch, &appended);
+    }
+    if (s) engine.add_clock_syncs(syncs.data(), syncs.size());
+    if (!s) return Result<LintReport>::error(path + ": " + s.message());
+  }
+
   // The reader stops after the last section; a well-formed file ends
   // there. Trailing bytes mean concatenation or partial overwrite —
   // something no healthy pipeline writes, so the file fails the lint
@@ -372,13 +496,9 @@ Result<LintReport> lint_trace_file(const std::string& path,
     const auto consumed = in.tellg();
     in.seekg(0, std::ios::end);
     const auto total = in.tellg();
-    std::ostringstream msg;
-    msg << (total - consumed) << " trailing byte(s) after the trace";
-    report.findings.push_back(
-        {"file-trailing-bytes", Severity::kError, msg.str()});
-    ++report.error_count;
+    engine.note_trailing_bytes(static_cast<std::uint64_t>(total - consumed));
   }
-  return report;
+  return engine.finish();
 }
 
 std::string to_json(const LintReport& report) {

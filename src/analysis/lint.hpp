@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -71,11 +72,49 @@ struct LintReport {
   bool clean() const { return error_count == 0; }
 };
 
-/// Run every lint check over an in-memory trace.
+/// Incremental lint engine: the streaming core behind lint_trace.
+/// Metadata checks run at construction; records arrive in trace/file
+/// order via the add_* calls (any interleaving of the three kinds is
+/// fine — only each kind's own order matters); finish() runs the
+/// end-of-stream checks (unclosed activations, time conservation,
+/// cadence) and assembles the report. Feeding N batches produces the
+/// same report as one batch of the concatenation, with findings in the
+/// batch path's canonical check order, so lint can ride the streaming
+/// pipeline with memory bounded by open activations and sample gaps
+/// instead of the whole trace.
+class LintEngine {
+ public:
+  explicit LintEngine(const trace::TraceHeader& header,
+                      const LintOptions& options = {});
+  ~LintEngine();
+  LintEngine(LintEngine&&) noexcept;
+  LintEngine& operator=(LintEngine&&) noexcept;
+
+  void add_fn_events(const trace::FnEvent* events, std::size_t n);
+  void add_temp_samples(const trace::TempSample* samples, std::size_t n);
+  void add_clock_syncs(const trace::ClockSync* syncs, std::size_t n);
+
+  /// Record that `bytes` trailing bytes followed the last trace section
+  /// (concatenated or partially overwritten file) — an error finding.
+  void note_trailing_bytes(std::uint64_t bytes);
+
+  /// Run end-of-stream checks and return the report. The engine is
+  /// spent afterwards.
+  LintReport finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Run every lint check over an in-memory trace. Batch wrapper over
+/// LintEngine.
 LintReport lint_trace(const trace::Trace& trace, const LintOptions& options = {});
 
 /// Read a trace file and lint it; unreadable/corrupt files are an error
-/// Result (distinct from a readable trace with violations).
+/// Result (distinct from a readable trace with violations). Streams the
+/// file through LintEngine in bounded batches — traces larger than RAM
+/// lint fine.
 Result<LintReport> lint_trace_file(const std::string& path,
                                    const LintOptions& options = {});
 

@@ -1,0 +1,100 @@
+#include "common/cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace tempest::cli {
+
+void ArgParser::add_flag(const std::string& name, std::function<void()> fn) {
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kFlag;
+  opt.on_flag = std::move(fn);
+  options_.push_back(std::move(opt));
+}
+
+void ArgParser::add_value(const std::string& name,
+                          std::function<Status(const std::string&)> fn) {
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kValue;
+  opt.on_value = std::move(fn);
+  options_.push_back(std::move(opt));
+}
+
+void ArgParser::add_optional_value(const std::string& name,
+                                   std::function<void(const std::string*)> fn) {
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kOptionalValue;
+  opt.on_optional = std::move(fn);
+  options_.push_back(std::move(opt));
+}
+
+Status ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      return Status::ok();
+    }
+    if (arg.empty() || arg[0] != '-' || arg == "-") {
+      positional_.push_back(arg);
+      continue;
+    }
+    const Option* match = nullptr;
+    for (const Option& opt : options_) {
+      if (opt.name == arg) {
+        match = &opt;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      return Status::error("unknown option " + arg);
+    }
+    switch (match->kind) {
+      case Kind::kFlag:
+        match->on_flag();
+        break;
+      case Kind::kValue: {
+        if (i + 1 >= argc) {
+          return Status::error("missing value for " + arg);
+        }
+        const Status handled = match->on_value(argv[++i]);
+        if (!handled) return handled;
+        break;
+      }
+      case Kind::kOptionalValue: {
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          const std::string value = argv[++i];
+          match->on_optional(&value);
+        } else {
+          match->on_optional(nullptr);
+        }
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+void ArgParser::print_usage(std::ostream& os, const char* argv0) const {
+  os << "usage: " << argv0 << " " << usage_ << "\n";
+}
+
+Status parse_size(const std::string& value, std::size_t* out) {
+  if (value.empty()) return Status::error("expected a number, got ''");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::error("number out of range: '" + value + "'");
+  }
+  if (end == value.c_str() || *end != '\0' || value[0] == '-') {
+    return Status::error("expected a number, got '" + value + "'");
+  }
+  *out = static_cast<std::size_t>(parsed);
+  return Status::ok();
+}
+
+}  // namespace tempest::cli

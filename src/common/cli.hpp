@@ -1,0 +1,69 @@
+// Declarative command-line option parsing shared by the Tempest tools.
+//
+// Replaces each tool's hand-rolled argv loop, which silently treated
+// unknown flags as trace paths and parsed "--top banana" as 0. Options
+// register a handler; parse() walks argv once, rejects unknown options
+// and missing/invalid values with an actionable Status (tools print it
+// plus usage and exit 2), and collects the rest as positionals.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace tempest::cli {
+
+class ArgParser {
+ public:
+  /// `usage` is the option synopsis printed after "usage: <argv0> ".
+  explicit ArgParser(std::string usage) : usage_(std::move(usage)) {}
+
+  /// --name (no value).
+  void add_flag(const std::string& name, std::function<void()> fn);
+
+  /// --name VALUE; the handler may reject the value with an error
+  /// Status, which parse() returns verbatim.
+  void add_value(const std::string& name,
+                 std::function<Status(const std::string&)> fn);
+
+  /// --name [VALUE]: the next argv entry is consumed as the value only
+  /// when present and not itself an option. The handler receives
+  /// nullptr when the value was omitted.
+  void add_optional_value(const std::string& name,
+                          std::function<void(const std::string*)> fn);
+
+  /// Walk argv. -h/--help set help_requested() and stop parsing (tools
+  /// print usage and exit 2, the historical contract). Anything not
+  /// starting with '-' is collected as a positional argument.
+  Status parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool help_requested() const { return help_; }
+
+  void print_usage(std::ostream& os, const char* argv0) const;
+
+ private:
+  enum class Kind { kFlag, kValue, kOptionalValue };
+  struct Option {
+    std::string name;
+    Kind kind = Kind::kFlag;
+    std::function<void()> on_flag;
+    std::function<Status(const std::string&)> on_value;
+    std::function<void(const std::string*)> on_optional;
+  };
+
+  std::string usage_;
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
+};
+
+/// Strict non-negative integer parse: rejects empty, trailing garbage,
+/// and overflow ("--top banana" must be an error, not 0).
+Status parse_size(const std::string& value, std::size_t* out);
+
+}  // namespace tempest::cli

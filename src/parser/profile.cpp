@@ -83,12 +83,18 @@ const FunctionProfile* RunProfile::find(std::uint16_t node_id,
   return &nodes[ni].functions[fi];
 }
 
-RunProfile ProfileBuilder::build(
-    const TimelineMap& timeline,
+/// Shared assembly core: ProfileBuilder points it at the trace's own
+/// vectors (zero-copy batch path), ProfileAssembler at its streamed
+/// copies. Output is bit-identical either way.
+static RunProfile assemble_profile(
+    const std::vector<trace::NodeInfo>& meta_nodes,
+    const std::vector<trace::SensorMeta>& meta_sensors, double tsc_rate,
+    const std::vector<trace::TempSample>& temp_samples, std::uint64_t run_start,
+    std::uint64_t run_end, const TimelineMap& timeline,
     const std::vector<std::pair<std::uint64_t, std::string>>& names,
-    TimelineDiagnostics diagnostics) const {
+    TimelineDiagnostics diagnostics, const ProfileOptions& options) {
   RunProfile run;
-  run.unit = options_.unit;
+  run.unit = options.unit;
   run.diagnostics = diagnostics;
 
   std::unordered_map<std::uint64_t, const std::string*> name_map;
@@ -97,27 +103,23 @@ RunProfile ProfileBuilder::build(
 
   // Sensor metadata by (node, sensor).
   std::map<std::pair<std::uint16_t, std::uint16_t>, const trace::SensorMeta*> sensor_meta;
-  for (const auto& s : trace_.sensors) sensor_meta[{s.node_id, s.sensor_id}] = &s;
+  for (const auto& s : meta_sensors) sensor_meta[{s.node_id, s.sensor_id}] = &s;
 
   // Samples grouped per node, time-sorted (trace is pre-sorted; a
   // hand-built unsorted trace is detected and handled with the legacy
   // linear attribution so results never depend on sortedness).
   std::map<std::uint16_t, NodeSamples> node_samples;
-  for (const auto& s : trace_.temp_samples) {
+  for (const auto& s : temp_samples) {
     NodeSamples& ns = node_samples[s.node_id];
     if (!ns.by_time.empty() && s.tsc < ns.by_time.back()->tsc) ns.sorted = false;
     ns.by_time.push_back(&s);
   }
 
-  const std::uint64_t run_start = trace_.start_tsc();
-  const std::uint64_t run_end = trace_.end_tsc();
-  const double ticks_per_s = trace_.tsc_ticks_per_second > 0.0
-                                 ? trace_.tsc_ticks_per_second
-                                 : 1.0;
+  const double ticks_per_s = tsc_rate > 0.0 ? tsc_rate : 1.0;
   run.duration_s = static_cast<double>(run_end - run_start) / ticks_per_s;
 
   std::map<std::uint16_t, NodeProfile> nodes;
-  for (const auto& n : trace_.nodes) {
+  for (const auto& n : meta_nodes) {
     nodes[n.node_id].node_id = n.node_id;
     nodes[n.node_id].hostname = n.hostname;
   }
@@ -182,7 +184,7 @@ RunProfile ProfileBuilder::build(
             it = std::lower_bound(lo, hi, iv.begin, before);
           }
           for (; it != by_time.end() && (*it)->tsc < iv.end; ++it) {
-            per_sensor[(*it)->sensor_id].add(to_unit((*it)->temp_c, options_.unit));
+            per_sensor[(*it)->sensor_id].add(to_unit((*it)->temp_c, options.unit));
           }
         }
       } else if (samples->sorted) {
@@ -190,13 +192,13 @@ RunProfile ProfileBuilder::build(
         // interval list (binary search per sample) is the cheaper join.
         for (const trace::TempSample* s : samples->by_time) {
           if (fn_intervals.contains(s->tsc)) {
-            per_sensor[s->sensor_id].add(to_unit(s->temp_c, options_.unit));
+            per_sensor[s->sensor_id].add(to_unit(s->temp_c, options.unit));
           }
         }
       } else {
         for (const trace::TempSample* s : samples->by_time) {
           if (fn_intervals.contains(s->tsc)) {
-            per_sensor[s->sensor_id].add(to_unit(s->temp_c, options_.unit));
+            per_sensor[s->sensor_id].add(to_unit(s->temp_c, options.unit));
           }
         }
       }
@@ -207,7 +209,7 @@ RunProfile ProfileBuilder::build(
     // minimum sample count inside the intervals.
     std::size_t max_count = 0;
     for (const auto& [sid, set] : per_sensor) max_count = std::max(max_count, set.count());
-    fn.significant = max_count >= options_.min_samples_significant;
+    fn.significant = max_count >= options.min_samples_significant;
 
     if (!fn.significant && samples != nullptr && !samples->by_time.empty() &&
         !fn_intervals.merged.empty()) {
@@ -219,7 +221,7 @@ RunProfile ProfileBuilder::build(
       if (samples->sorted) {
         for (const auto& [sid, stream] : samples->sensor_streams()) {
           const trace::TempSample* s = nearest_in_stream(stream, at);
-          if (s != nullptr) per_sensor[sid].add(to_unit(s->temp_c, options_.unit));
+          if (s != nullptr) per_sensor[sid].add(to_unit(s->temp_c, options.unit));
         }
       } else {
         std::map<std::uint16_t, std::pair<std::uint64_t, double>> best;
@@ -227,7 +229,7 @@ RunProfile ProfileBuilder::build(
           const std::uint64_t dist = s->tsc > at ? s->tsc - at : at - s->tsc;
           const auto it = best.find(s->sensor_id);
           if (it == best.end() || dist < it->second.first) {
-            best[s->sensor_id] = {dist, to_unit(s->temp_c, options_.unit)};
+            best[s->sensor_id] = {dist, to_unit(s->temp_c, options.unit)};
           }
         }
         for (const auto& [sid, dt] : best) per_sensor[sid].add(dt.second);
@@ -272,6 +274,35 @@ RunProfile ProfileBuilder::build(
     run.nodes.push_back(std::move(node));
   }
   return run;
+}
+
+void ProfileAssembler::set_metadata(const trace::TraceHeader& header) {
+  tsc_ticks_per_second_ = header.tsc_ticks_per_second;
+  nodes_ = header.nodes;
+  sensors_ = header.sensors;
+}
+
+void ProfileAssembler::add_samples(const trace::TempSample* samples, std::size_t n) {
+  samples_.insert(samples_.end(), samples, samples + n);
+}
+
+RunProfile ProfileAssembler::assemble(
+    std::uint64_t run_start, std::uint64_t run_end, const TimelineMap& timeline,
+    const std::vector<std::pair<std::uint64_t, std::string>>& names,
+    TimelineDiagnostics diagnostics) const {
+  return assemble_profile(nodes_, sensors_, tsc_ticks_per_second_, samples_,
+                          run_start, run_end, timeline, names, diagnostics,
+                          options_);
+}
+
+RunProfile ProfileBuilder::build(
+    const TimelineMap& timeline,
+    const std::vector<std::pair<std::uint64_t, std::string>>& names,
+    TimelineDiagnostics diagnostics) const {
+  return assemble_profile(trace_.nodes, trace_.sensors,
+                          trace_.tsc_ticks_per_second, trace_.temp_samples,
+                          trace_.start_tsc(), trace_.end_tsc(), timeline, names,
+                          diagnostics, options_);
 }
 
 }  // namespace tempest::parser

@@ -73,8 +73,48 @@ struct ProfileOptions {
   std::size_t min_samples_significant = 2;
 };
 
+/// Incremental profile assembly: the streaming core behind
+/// ProfileBuilder. Metadata arrives once (set_metadata), temperature
+/// samples arrive in time-sorted batches (add_samples — owned copies,
+/// batches are transient in the pipeline), and assemble() attributes
+/// them to a finished timeline. Sample storage is the only O(samples)
+/// state; samples are ~1% of events in practice, so the streaming
+/// path's memory stays bounded by them plus the timeline.
+class ProfileAssembler {
+ public:
+  explicit ProfileAssembler(ProfileOptions options) : options_(options) {}
+
+  /// Record node/sensor inventory and the tick rate.
+  void set_metadata(const trace::TraceHeader& header);
+
+  /// Append a batch of temperature samples (global time order across
+  /// calls, same as the event stream).
+  void add_samples(const trace::TempSample* samples, std::size_t n);
+
+  /// Attribute the collected samples to `timeline` and assemble the
+  /// profile. `run_start`/`run_end` span every event and sample;
+  /// `names` must map every address appearing in the timeline.
+  RunProfile assemble(std::uint64_t run_start, std::uint64_t run_end,
+                      const TimelineMap& timeline,
+                      const std::vector<std::pair<std::uint64_t, std::string>>& names,
+                      TimelineDiagnostics diagnostics) const;
+
+  /// The collected samples, in arrival order (time-sorted by contract).
+  /// The series extractors reuse them instead of keeping a second copy.
+  const std::vector<trace::TempSample>& samples() const { return samples_; }
+
+ private:
+  ProfileOptions options_;
+  double tsc_ticks_per_second_ = 0.0;
+  std::vector<trace::NodeInfo> nodes_;
+  std::vector<trace::SensorMeta> sensors_;
+  std::vector<trace::TempSample> samples_;
+};
+
 /// Attribute samples to the timeline and assemble the profile.
 /// `names` must map every address appearing in the timeline.
+/// Batch wrapper: same output as ProfileAssembler without copying the
+/// trace's sample vector.
 class ProfileBuilder {
  public:
   ProfileBuilder(const trace::Trace& trace, ProfileOptions options)

@@ -280,21 +280,13 @@ void merge_intervals(std::vector<Interval>* intervals) {
   *intervals = std::move(out);
 }
 
-TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag) {
-  TimelineDiagnostics local_diag;
-
-  // Both per-event lookups probe a flat hash keyed on the raw pair —
-  // (addr, thread) for the open recursion state, (addr, node) for the
-  // accumulator — instead of a tree-map pair comparison.
-  const std::size_t hint = std::min<std::size_t>(
-      trace.fn_events.size() / 8 + 16, std::size_t{1} << 16);
-
-  const ThreadNodeTable thread_node(trace.threads);
-
+/// All accumulator state lives behind the pimpl so the hot-loop helper
+/// types (FlatPairIndex, FnAccum, ThreadNodeTable) stay file-local.
+struct TimelineAccumulator::Impl {
   // Per (thread, addr): open recursion depth, outermost entry time, and
   // — for threads listed in the trace metadata — the calls and closed
   // intervals gathered so far. A listed thread's node never changes, so
-  // those fold into the per-(addr, node) accumulator once at the end
+  // those fold into the per-(addr, node) accumulator once at finish()
   // and the hot loop probes a single hash per event. Events of unknown
   // threads (corrupt traces) take each event's own node-id fallback and
   // go to the accumulator directly, exactly as before.
@@ -305,14 +297,11 @@ TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag)
     std::uint64_t total_ticks = 0;
     std::vector<Interval> raw;
   };
-  FlatPairIndex open_index(hint);
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> open_keys;  // (addr, thread)
-  std::vector<OpenState> open;
-  FlatPairIndex accum_index(hint);
-  std::vector<std::pair<std::uint64_t, std::uint16_t>> accum_keys;  // (addr, node)
-  std::vector<FnAccum> accum;
 
-  const auto accum_at = [&](std::uint64_t addr, std::uint16_t node) -> FnAccum& {
+  Impl(const std::vector<trace::ThreadInfo>& threads, std::size_t hint)
+      : thread_node(threads), open_index(hint), accum_index(hint) {}
+
+  FnAccum& accum_at(std::uint64_t addr, std::uint16_t node) {
     bool inserted = false;
     const std::uint32_t idx = accum_index.find_or_insert(addr, node, &inserted);
     if (inserted) {
@@ -320,51 +309,78 @@ TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag)
       accum.emplace_back();
     }
     return accum[idx];
-  };
+  }
 
+  ThreadNodeTable thread_node;
+  TimelineDiagnostics diag;
+  FlatPairIndex open_index;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> open_keys;  // (addr, thread)
+  std::vector<OpenState> open;
+  FlatPairIndex accum_index;
+  std::vector<std::pair<std::uint64_t, std::uint16_t>> accum_keys;  // (addr, node)
+  std::vector<FnAccum> accum;
+};
+
+TimelineAccumulator::TimelineAccumulator(
+    const std::vector<trace::ThreadInfo>& threads, std::size_t hint)
+    : impl_(std::make_unique<Impl>(threads, hint == 0 ? 16 : hint)) {}
+
+TimelineAccumulator::~TimelineAccumulator() = default;
+TimelineAccumulator::TimelineAccumulator(TimelineAccumulator&&) noexcept = default;
+TimelineAccumulator& TimelineAccumulator::operator=(TimelineAccumulator&&) noexcept =
+    default;
+
+void TimelineAccumulator::add_events(const trace::FnEvent* events, std::size_t n) {
+  Impl& im = *impl_;
   // Events must be time-ordered per thread; Trace::sort_by_time provides
-  // a stable global order which implies per-thread order. Exits that
-  // match nothing (or only pop recursion depth) never touch any table —
-  // an accumulator with no interval is dropped at assembly anyway, so
-  // skipping the lookup changes nothing downstream.
-  for (const auto& e : trace.fn_events) {
+  // a stable global order which implies per-thread order, and the
+  // streaming sources only hand over batches in that same order. Exits
+  // that match nothing (or only pop recursion depth) never touch any
+  // table — an accumulator with no interval is dropped at assembly
+  // anyway, so skipping the lookup changes nothing downstream.
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::FnEvent& e = events[i];
     if (e.kind == trace::FnEventKind::kEnter) {
       bool inserted = false;
-      const std::uint32_t oi = open_index.find_or_insert(e.addr, e.thread_id, &inserted);
+      const std::uint32_t oi = im.open_index.find_or_insert(e.addr, e.thread_id, &inserted);
       if (inserted) {
-        open_keys.emplace_back(e.addr, e.thread_id);
-        open.emplace_back();
+        im.open_keys.emplace_back(e.addr, e.thread_id);
+        im.open.emplace_back();
       }
-      OpenState& st = open[oi];
+      Impl::OpenState& st = im.open[oi];
       if (st.depth == 0) st.first_enter = e.tsc;
       ++st.depth;
-      if (thread_node.node_or_negative(e.thread_id) >= 0) {
+      if (im.thread_node.node_or_negative(e.thread_id) >= 0) {
         ++st.calls;
       } else {
-        ++accum_at(e.addr, e.node_id).calls;
+        ++im.accum_at(e.addr, e.node_id).calls;
       }
     } else {
-      const std::uint32_t oi = open_index.find(e.addr, e.thread_id);
-      if (oi == FlatPairIndex::kEmpty || open[oi].depth == 0) {
-        ++local_diag.unmatched_exits;
+      const std::uint32_t oi = im.open_index.find(e.addr, e.thread_id);
+      if (oi == FlatPairIndex::kEmpty || im.open[oi].depth == 0) {
+        ++im.diag.unmatched_exits;
         continue;
       }
-      OpenState& st = open[oi];
+      Impl::OpenState& st = im.open[oi];
       --st.depth;
       if (st.depth == 0) {
         const Interval iv{st.first_enter, e.tsc};
-        if (thread_node.node_or_negative(e.thread_id) >= 0) {
+        if (im.thread_node.node_or_negative(e.thread_id) >= 0) {
           st.raw.push_back(iv);
           st.total_ticks += iv.length();
         } else {
-          FnAccum& fn = accum_at(e.addr, e.node_id);
+          FnAccum& fn = im.accum_at(e.addr, e.node_id);
           fn.raw.push_back(iv);
           fn.total_ticks += iv.length();
         }
       }
     }
   }
+}
 
+TimelineMap TimelineAccumulator::finish(std::uint64_t end_tsc,
+                                        TimelineDiagnostics* diag) {
+  Impl& im = *impl_;
   // Fold the per-(addr, thread) tallies into the per-(addr, node)
   // accumulators, and close activations still open when the trace ends
   // (e.g. main, or a run interrupted mid-function). Unknown threads
@@ -372,19 +388,18 @@ TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag)
   // from). Interval union, call counts, and tick totals are all
   // order-independent, so folding after the loop matches folding
   // per event.
-  const std::uint64_t end = trace.end_tsc();
-  for (std::size_t oi = 0; oi < open.size(); ++oi) {
-    OpenState& st = open[oi];
-    const auto [addr, tid] = open_keys[oi];
+  for (std::size_t oi = 0; oi < im.open.size(); ++oi) {
+    Impl::OpenState& st = im.open[oi];
+    const auto [addr, tid] = im.open_keys[oi];
     if (st.depth > 0) {
-      ++local_diag.force_closed;
-      const Interval iv{st.first_enter, end};
+      ++im.diag.force_closed;
+      const Interval iv{st.first_enter, end_tsc};
       st.raw.push_back(iv);
       st.total_ticks += iv.length();
     }
     if (st.calls == 0 && st.raw.empty()) continue;
-    const std::uint16_t node = thread_node.node_of(tid, 0);
-    FnAccum& fn = accum_at(addr, node);
+    const std::uint16_t node = im.thread_node.node_of(tid, 0);
+    FnAccum& fn = im.accum_at(addr, node);
     fn.calls += st.calls;
     fn.total_ticks += st.total_ticks;
     if (st.raw.empty()) continue;
@@ -397,9 +412,9 @@ TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag)
   }
 
   std::vector<FnAccum*> work;
-  work.reserve(accum.size());
+  work.reserve(im.accum.size());
   std::size_t total_intervals = 0;
-  for (FnAccum& a : accum) {
+  for (FnAccum& a : im.accum) {
     work.push_back(&a);
     total_intervals += a.raw.size();
   }
@@ -408,10 +423,10 @@ TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag)
   // Assemble the ordered public map, dropping functions that produced no
   // interval at all (possible only for unmatched-exit-only addresses).
   TimelineMap result;
-  for (std::size_t i = 0; i < accum.size(); ++i) {
-    FnAccum& a = accum[i];
+  for (std::size_t i = 0; i < im.accum.size(); ++i) {
+    FnAccum& a = im.accum[i];
     if (a.raw.empty()) continue;
-    const auto [addr, node] = accum_keys[i];
+    const auto [addr, node] = im.accum_keys[i];
     FunctionIntervals fi;
     fi.addr = addr;
     fi.node_id = node;
@@ -421,8 +436,19 @@ TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag)
     result.emplace(std::make_pair(node, addr), std::move(fi));
   }
 
-  if (diag != nullptr) *diag = local_diag;
+  if (diag != nullptr) *diag = im.diag;
   return result;
+}
+
+TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag) {
+  // Both per-event lookups probe a flat hash keyed on the raw pair —
+  // (addr, thread) for the open recursion state, (addr, node) for the
+  // accumulator — instead of a tree-map pair comparison.
+  const std::size_t hint = std::min<std::size_t>(
+      trace.fn_events.size() / 8 + 16, std::size_t{1} << 16);
+  TimelineAccumulator acc(trace.threads, hint);
+  acc.add_events(trace.fn_events.data(), trace.fn_events.size());
+  return acc.finish(trace.end_tsc(), diag);
 }
 
 }  // namespace tempest::parser

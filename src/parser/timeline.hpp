@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -51,7 +52,38 @@ struct TimelineDiagnostics {
 /// Key: (node_id, function address).
 using TimelineMap = std::map<std::pair<std::uint16_t, std::uint64_t>, FunctionIntervals>;
 
+/// Incremental timeline builder: the streaming core behind
+/// build_timeline. Feed time-sorted event batches with add_events (the
+/// global order across calls must match what one sorted pass would
+/// deliver — per-thread order is what actually matters), then finish()
+/// closes still-open activations at `end_tsc` and assembles the map.
+/// Folding N batches produces bit-identical output to one batch of the
+/// concatenation; memory is O(open activations + closed intervals), not
+/// O(events), which is what lets src/pipeline analyse traces larger
+/// than RAM.
+class TimelineAccumulator {
+ public:
+  /// `threads` maps thread ids to nodes (copied); `hint` sizes the hash
+  /// tables (0 = small default, tables grow as needed).
+  explicit TimelineAccumulator(const std::vector<trace::ThreadInfo>& threads,
+                               std::size_t hint = 0);
+  ~TimelineAccumulator();
+  TimelineAccumulator(TimelineAccumulator&&) noexcept;
+  TimelineAccumulator& operator=(TimelineAccumulator&&) noexcept;
+
+  void add_events(const trace::FnEvent* events, std::size_t n);
+
+  /// Force-close open activations at `end_tsc`, coalesce intervals and
+  /// return the finished map. The accumulator is spent afterwards.
+  TimelineMap finish(std::uint64_t end_tsc, TimelineDiagnostics* diag = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Build per-function interval sets from a (time-sorted) trace.
+/// Batch wrapper over TimelineAccumulator.
 TimelineMap build_timeline(const trace::Trace& trace, TimelineDiagnostics* diag = nullptr);
 
 /// Merge a sorted interval list in place (coalesce overlaps/adjacency).

@@ -1,0 +1,92 @@
+#include "pipeline/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace tempest::pipeline {
+
+AnalysisPipeline::AnalysisPipeline(AnalysisOptions options)
+    : options_(std::move(options)), assembler_(options_.profile) {}
+
+void AnalysisPipeline::set_metadata(const TraceMeta& meta) {
+  meta_ = meta;
+  if (!options_.exe_override.empty()) meta_.executable = options_.exe_override;
+  timeline_.emplace(meta_.threads, options_.timeline_hint);
+  assembler_.set_metadata(meta_);
+}
+
+void AnalysisPipeline::set_bounds(std::uint64_t start_tsc, std::uint64_t end_tsc) {
+  start_tsc_ = start_tsc;
+  end_tsc_ = end_tsc;
+  bounds_forced_ = true;
+}
+
+void AnalysisPipeline::add_fn_events(const trace::FnEvent* events, std::size_t n) {
+  if (n == 0) return;
+  if (!bounds_forced_) {
+    // Batches are time-sorted per kind, so the ends bound the batch.
+    if (!any_records_ || events[0].tsc < start_tsc_) start_tsc_ = events[0].tsc;
+    if (!any_records_ || events[n - 1].tsc > end_tsc_) end_tsc_ = events[n - 1].tsc;
+  }
+  any_records_ = true;
+  timeline_->add_events(events, n);
+}
+
+void AnalysisPipeline::add_temp_samples(const trace::TempSample* samples,
+                                        std::size_t n) {
+  if (n == 0) return;
+  if (!bounds_forced_) {
+    if (!any_records_ || samples[0].tsc < start_tsc_) start_tsc_ = samples[0].tsc;
+    if (!any_records_ || samples[n - 1].tsc > end_tsc_) end_tsc_ = samples[n - 1].tsc;
+  }
+  any_records_ = true;
+  assembler_.add_samples(samples, n);
+}
+
+AnalysisResult AnalysisPipeline::finish(const symtab::Resolver* resolver) {
+  if (!timeline_) set_metadata(meta_);  // no metadata seen: empty run
+
+  parser::TimelineDiagnostics diag;
+  const parser::TimelineMap timeline = timeline_->finish(end_tsc_, &diag);
+
+  // Symbolise every distinct address exactly as parse_trace does:
+  // synthetic names win, then the ELF resolver, then hex.
+  std::optional<symtab::Resolver> own_resolver;
+  if (resolver == nullptr && !meta_.executable.empty()) {
+    auto built =
+        symtab::Resolver::for_executable(meta_.executable, meta_.load_bias);
+    if (built.is_ok()) {
+      own_resolver.emplace(std::move(built).value());
+      resolver = &*own_resolver;
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, std::string>> names;
+  names.reserve(timeline.size() + meta_.synthetic_symbols.size());
+  for (const auto& s : meta_.synthetic_symbols) names.emplace_back(s.addr, s.name);
+  for (const auto& [key, fi] : timeline) {
+    if (fi.addr >= trace::kSyntheticAddrBase) continue;
+    if (resolver != nullptr) {
+      names.emplace_back(fi.addr, resolver->resolve(fi.addr));
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "0x%llx",
+                    static_cast<unsigned long long>(fi.addr));
+      names.emplace_back(fi.addr, buf);
+    }
+  }
+
+  AnalysisResult result;
+  result.profile = assembler_.assemble(start_tsc_, end_tsc_, timeline, names, diag);
+  if (options_.want_series) {
+    result.series =
+        report::build_series(meta_, assembler_.samples(), start_tsc_, end_tsc_,
+                             options_.profile.unit, options_.span_functions,
+                             &timeline);
+    result.has_series = true;
+  }
+  return result;
+}
+
+}  // namespace tempest::pipeline

@@ -1,0 +1,75 @@
+// Streaming analysis: fold batches into a RunProfile (+ thermal series).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parser/profile.hpp"
+#include "parser/timeline.hpp"
+#include "pipeline/stage.hpp"
+#include "report/series.hpp"
+#include "symtab/resolver.hpp"
+
+namespace tempest::pipeline {
+
+struct AnalysisOptions {
+  parser::ProfileOptions profile;
+  /// Symbolise against this path instead of the one recorded in the
+  /// trace (tempest_parse --exe).
+  std::string exe_override;
+  /// Also extract the thermal time series (csv/plot/gnuplot outputs).
+  bool want_series = false;
+  std::vector<std::string> span_functions;
+  /// Initial (thread, addr)-table capacity hint for the timeline
+  /// accumulator; 0 picks a small default. The batch wrapper sizes it
+  /// from the known event count, matching build_timeline.
+  std::size_t timeline_hint = 0;
+};
+
+struct AnalysisResult {
+  parser::RunProfile profile;
+  report::ThermalSeries series;  ///< meaningful only when has_series
+  bool has_series = false;
+};
+
+/// The streaming counterpart of parse_trace: metadata once, then
+/// aligned, time-sorted event/sample batches in any interleaving, then
+/// finish(). Folds into TimelineAccumulator and ProfileAssembler, so
+/// peak memory is O(timeline + samples), not O(events). Identical
+/// inputs produce bit-identical profiles to the batch path — parse_trace
+/// itself is a wrapper over this class.
+class AnalysisPipeline {
+ public:
+  explicit AnalysisPipeline(AnalysisOptions options = {});
+
+  /// Must precede the first batch. Applies exe_override.
+  void set_metadata(const TraceMeta& meta);
+
+  /// Override the inferred run bounds. Streaming sources emit
+  /// time-sorted batches, so the default first/last inference is exact;
+  /// the batch wrapper passes the trace's scanned bounds instead, which
+  /// also covers its one unsorted corner (align with no syncs).
+  void set_bounds(std::uint64_t start_tsc, std::uint64_t end_tsc);
+
+  void add_fn_events(const trace::FnEvent* events, std::size_t n);
+  void add_temp_samples(const trace::TempSample* samples, std::size_t n);
+
+  /// Symbolise, attribute, assemble. When `resolver` is null one is
+  /// built from the recorded executable (falling back to hex addresses,
+  /// same as parse_trace). The pipeline is spent afterwards.
+  AnalysisResult finish(const symtab::Resolver* resolver = nullptr);
+
+ private:
+  AnalysisOptions options_;
+  TraceMeta meta_;
+  std::optional<parser::TimelineAccumulator> timeline_;
+  parser::ProfileAssembler assembler_;
+  std::uint64_t start_tsc_ = 0;  ///< over events and samples, 0 when empty
+  std::uint64_t end_tsc_ = 0;
+  bool any_records_ = false;
+  bool bounds_forced_ = false;
+};
+
+}  // namespace tempest::pipeline

@@ -1,0 +1,35 @@
+#include "pipeline/stage.hpp"
+
+namespace tempest::pipeline {
+
+Status run_pipeline(Source* source, const std::vector<Stage*>& stages,
+                    const std::vector<BatchSink*>& sinks) {
+  const TraceMeta& meta = source->meta();
+  for (BatchSink* sink : sinks) {
+    const Status began = sink->begin(meta);
+    if (!began) return began;
+  }
+  EventBatch batch;
+  bool done = false;
+  while (!done) {
+    batch.clear();
+    const Status produced = source->next(&batch, &done);
+    if (!produced) return produced;
+    if (batch.empty()) continue;
+    for (Stage* stage : stages) {
+      const Status staged = stage->process(meta, &batch);
+      if (!staged) return staged;
+    }
+    for (BatchSink* sink : sinks) {
+      const Status consumed = sink->on_batch(meta, batch);
+      if (!consumed) return consumed;
+    }
+  }
+  for (BatchSink* sink : sinks) {
+    const Status ended = sink->on_end(meta);
+    if (!ended) return ended;
+  }
+  return Status::ok();
+}
+
+}  // namespace tempest::pipeline

@@ -1,0 +1,184 @@
+#include "pipeline/rank_fanin.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace tempest::pipeline {
+
+namespace {
+
+/// Rewrite a timestamp through the per-node fit, if one exists (an
+/// empty fit map — no syncs anywhere — leaves the single clock domain
+/// untouched, matching align_clocks' early return).
+std::uint64_t aligned(const std::map<std::uint16_t, trace::ClockFit>& fits,
+                      std::uint16_t node_id, std::uint64_t tsc) {
+  const auto it = fits.find(node_id);
+  return it == fits.end() ? tsc : it->second.to_global(tsc);
+}
+
+}  // namespace
+
+Result<RankFanIn> RankFanIn::open(const std::vector<std::string>& paths,
+                                  BatchOptions options) {
+  if (paths.empty()) {
+    return Result<RankFanIn>::error("rank fan-in needs at least one trace file");
+  }
+  RankFanIn fan;
+  fan.options_ = options;
+  fan.ranks_.reserve(paths.size());
+
+  // Pass 1: open every rank, combine metadata in path order, and
+  // collect the sync sections (seek-ahead, position restored) in the
+  // same order — fit_clocks then sees exactly the concatenation the
+  // batch path would fit from.
+  std::vector<trace::ClockSync> all_syncs;
+  for (const std::string& path : paths) {
+    Rank rank;
+    rank.path = path;
+    rank.in = std::make_unique<std::ifstream>(path, std::ios::binary);
+    if (!*rank.in) {
+      return Result<RankFanIn>::error("cannot open trace file: " + path);
+    }
+    auto opened = trace::TraceStreamReader::open(*rank.in);
+    if (!opened.is_ok()) {
+      return Result<RankFanIn>::error(path + ": " + opened.message());
+    }
+    rank.reader.emplace(std::move(opened).value());
+    auto syncs = rank.reader->read_clock_syncs_ahead();
+    if (!syncs.is_ok()) {
+      return Result<RankFanIn>::error(path + ": " + syncs.message());
+    }
+    const auto& rank_syncs = syncs.value();
+    all_syncs.insert(all_syncs.end(), rank_syncs.begin(), rank_syncs.end());
+    fan.meta_.append(rank.reader->header());
+    fan.ranks_.push_back(std::move(rank));
+  }
+  fan.fits_ = trace::fit_clocks(all_syncs);
+  return fan;
+}
+
+Status RankFanIn::fill_events(Rank* rank) {
+  if (rank->event_pos < rank->events.size() || rank->events_done) {
+    return Status::ok();
+  }
+  rank->events.clear();
+  rank->event_pos = 0;
+  std::size_t appended = 0;
+  const Status read = rank->reader->next_fn_events(
+      &rank->events, options_.batch_records, &appended);
+  if (!read) return Status::error(rank->path + ": " + read.message());
+  if (appended == 0) {
+    rank->events_done = true;
+    return Status::ok();
+  }
+  // Align on refill so the merge compares global timestamps directly,
+  // and enforce that this rank's stream stays monotone through the fit.
+  for (auto& e : rank->events) {
+    e.tsc = aligned(fits_, e.node_id, e.tsc);
+    if (e.tsc < rank->last_event_tsc) {
+      return Status::error(
+          rank->path +
+          ": fn events fall out of time order after clock alignment; "
+          "re-record the rank or analyse via the batch path, which sorts "
+          "in memory");
+    }
+    rank->last_event_tsc = e.tsc;
+  }
+  return Status::ok();
+}
+
+Status RankFanIn::fill_samples(Rank* rank) {
+  if (rank->sample_pos < rank->samples.size() || rank->samples_done) {
+    return Status::ok();
+  }
+  rank->samples.clear();
+  rank->sample_pos = 0;
+  std::size_t appended = 0;
+  const Status read = rank->reader->next_temp_samples(
+      &rank->samples, options_.batch_records, &appended);
+  if (!read) return Status::error(rank->path + ": " + read.message());
+  if (appended == 0) {
+    rank->samples_done = true;
+    return Status::ok();
+  }
+  for (auto& s : rank->samples) {
+    s.tsc = aligned(fits_, s.node_id, s.tsc);
+    if (s.tsc < rank->last_sample_tsc) {
+      return Status::error(
+          rank->path +
+          ": temperature samples fall out of time order after clock "
+          "alignment; re-record the rank or analyse via the batch path, "
+          "which sorts in memory");
+    }
+    rank->last_sample_tsc = s.tsc;
+  }
+  return Status::ok();
+}
+
+Status RankFanIn::next(EventBatch* out, bool* done) {
+  *done = false;
+
+  // Phase 0: merge fn events. Scanning ranks in path order with a
+  // strict < comparison keeps ties on the lowest index — the merge is
+  // a stable_sort of the concatenation.
+  while (phase_ == 0 && out->fn_events.size() < options_.batch_records) {
+    Rank* best = nullptr;
+    for (Rank& rank : ranks_) {
+      const Status filled = fill_events(&rank);
+      if (!filled) return filled;
+      if (rank.event_pos >= rank.events.size()) continue;
+      if (best == nullptr ||
+          rank.events[rank.event_pos].tsc < best->events[best->event_pos].tsc) {
+        best = &rank;
+      }
+    }
+    if (best == nullptr) {
+      phase_ = 1;
+      break;
+    }
+    out->fn_events.push_back(best->events[best->event_pos++]);
+  }
+  if (!out->fn_events.empty()) return Status::ok();
+
+  // Phase 1: merge temperature samples the same way.
+  while (phase_ == 1 && out->temp_samples.size() < options_.batch_records) {
+    Rank* best = nullptr;
+    for (Rank& rank : ranks_) {
+      const Status filled = fill_samples(&rank);
+      if (!filled) return filled;
+      if (rank.sample_pos >= rank.samples.size()) continue;
+      if (best == nullptr || rank.samples[rank.sample_pos].tsc <
+                                 best->samples[best->sample_pos].tsc) {
+        best = &rank;
+      }
+    }
+    if (best == nullptr) {
+      phase_ = 2;
+      break;
+    }
+    out->temp_samples.push_back(best->samples[best->sample_pos++]);
+  }
+  if (!out->temp_samples.empty()) return Status::ok();
+
+  if (phase_ == 2) {
+    // Drain each rank's sync section (already consumed logically by the
+    // open()-time pre-pass) so the readers reach done(), then hold
+    // every rank to the single-payload rule.
+    for (Rank& rank : ranks_) {
+      std::vector<trace::ClockSync> scratch;
+      while (!rank.reader->done()) {
+        std::size_t appended = 0;
+        const Status read = rank.reader->next_clock_syncs(
+            &scratch, std::numeric_limits<std::size_t>::max(), &appended);
+        if (!read) return Status::error(rank.path + ": " + read.message());
+        scratch.clear();
+      }
+      const Status eof = rank.reader->expect_eof();
+      if (!eof) return Status::error(rank.path + ": " + eof.message());
+    }
+    *done = true;
+  }
+  return Status::ok();
+}
+
+}  // namespace tempest::pipeline

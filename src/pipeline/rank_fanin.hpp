@@ -1,0 +1,75 @@
+// Multi-rank fan-in: merge N per-rank trace files in one pass.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/stage.hpp"
+#include "trace/align.hpp"
+#include "trace/reader.hpp"
+
+namespace tempest::pipeline {
+
+/// Source that k-way-merges per-rank trace files into one globally
+/// time-ordered stream without ever materialising a combined Trace.
+///
+/// open() reads every header, concatenates metadata in path order
+/// (TraceHeader::append — ids are not remapped, so ranks must carry
+/// globally unique node/thread ids; tempest-lint's duplicate checks
+/// flag violations), and pre-passes the sync sections (seek over the
+/// bulk payloads and back) to fit clocks from the path-order
+/// concatenation of all sync records — the same input order the batch
+/// path's fit_clocks sees on a concatenated trace.
+///
+/// next() then merges events (and later samples) by aligned global
+/// timestamp, refilling one bounded buffer per rank. Ties take the
+/// lowest path index, which makes the merge equivalent to a
+/// stable_sort of the concatenation — byte-identical reports to the
+/// batch path. Sync records are consumed by the pre-pass and never
+/// emitted; batches leave this source already aligned and sorted, so
+/// no ClockAlignStage is needed downstream.
+class RankFanIn : public Source {
+ public:
+  static Result<RankFanIn> open(const std::vector<std::string>& paths,
+                                BatchOptions options = {});
+
+  const TraceMeta& meta() const override { return meta_; }
+
+  Status next(EventBatch* out, bool* done) override;
+
+ private:
+  struct Rank {
+    std::string path;
+    /// Heap-allocated so the reader's stream pointer survives moves.
+    std::unique_ptr<std::ifstream> in;
+    std::optional<trace::TraceStreamReader> reader;
+    std::vector<trace::FnEvent> events;
+    std::size_t event_pos = 0;
+    bool events_done = false;
+    std::vector<trace::TempSample> samples;
+    std::size_t sample_pos = 0;
+    bool samples_done = false;
+    /// Last aligned timestamp emitted per kind — enforces that each
+    /// rank's stream stays monotone after the clock fit.
+    std::uint64_t last_event_tsc = 0;
+    std::uint64_t last_sample_tsc = 0;
+  };
+
+  RankFanIn() = default;
+
+  Status fill_events(Rank* rank);
+  Status fill_samples(Rank* rank);
+
+  TraceMeta meta_;
+  BatchOptions options_;
+  std::map<std::uint16_t, trace::ClockFit> fits_;
+  std::vector<Rank> ranks_;
+  int phase_ = 0;  ///< 0 = merging events, 1 = merging samples, 2 = done
+};
+
+}  // namespace tempest::pipeline

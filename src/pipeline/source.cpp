@@ -1,0 +1,89 @@
+#include "pipeline/source.hpp"
+
+#include <algorithm>
+
+namespace tempest::pipeline {
+
+Result<ChunkedTraceSource> ChunkedTraceSource::open(const std::string& path,
+                                                    BatchOptions options) {
+  ChunkedTraceSource source;
+  source.path_ = path;
+  source.options_ = options;
+  source.in_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*source.in_) {
+    return Result<ChunkedTraceSource>::error("cannot open trace file: " + path);
+  }
+  auto opened = trace::TraceStreamReader::open(*source.in_);
+  if (!opened.is_ok()) {
+    return Result<ChunkedTraceSource>::error(path + ": " + opened.message());
+  }
+  source.reader_.emplace(std::move(opened).value());
+  return source;
+}
+
+Status ChunkedTraceSource::next(EventBatch* out, bool* done) {
+  *done = false;
+  trace::TraceStreamReader& reader = *reader_;
+  std::size_t appended = 0;
+
+  // One batch = one slice of whichever section the file cursor is in;
+  // an exhausted section falls through to the next so a call never
+  // returns an empty batch mid-stream.
+  Status read = reader.next_fn_events(&out->fn_events, options_.batch_records,
+                                      &appended);
+  if (read && appended == 0) {
+    read = reader.next_temp_samples(&out->temp_samples, options_.batch_records,
+                                    &appended);
+  }
+  if (read && appended == 0) {
+    read = reader.next_clock_syncs(&out->clock_syncs, options_.batch_records,
+                                   &appended);
+  }
+  if (!read) return Status::error(path_ + ": " + read.message());
+  if (reader.done()) {
+    *done = true;
+    // Mirror read_trace_file: a lone trace file has exactly one payload.
+    const Status eof = reader.expect_eof();
+    if (!eof) return Status::error(path_ + ": " + eof.message());
+  }
+  return Status::ok();
+}
+
+Result<std::map<std::uint16_t, trace::ClockFit>> ChunkedTraceSource::clock_fits() {
+  auto syncs = reader_->read_clock_syncs_ahead();
+  if (!syncs.is_ok()) {
+    return Result<std::map<std::uint16_t, trace::ClockFit>>::error(
+        path_ + ": " + syncs.message());
+  }
+  return trace::fit_clocks(syncs.value());
+}
+
+Status MemoryTraceSource::next(EventBatch* out, bool* done) {
+  const trace::Trace& t = *trace_;
+  const std::size_t cap = options_.batch_records;
+
+  if (event_pos_ < t.fn_events.size()) {
+    const std::size_t n = std::min(cap, t.fn_events.size() - event_pos_);
+    out->fn_events.assign(t.fn_events.begin() + static_cast<std::ptrdiff_t>(event_pos_),
+                          t.fn_events.begin() + static_cast<std::ptrdiff_t>(event_pos_ + n));
+    event_pos_ += n;
+  } else if (sample_pos_ < t.temp_samples.size()) {
+    const std::size_t n = std::min(cap, t.temp_samples.size() - sample_pos_);
+    out->temp_samples.assign(
+        t.temp_samples.begin() + static_cast<std::ptrdiff_t>(sample_pos_),
+        t.temp_samples.begin() + static_cast<std::ptrdiff_t>(sample_pos_ + n));
+    sample_pos_ += n;
+  } else if (sync_pos_ < t.clock_syncs.size()) {
+    const std::size_t n = std::min(cap, t.clock_syncs.size() - sync_pos_);
+    out->clock_syncs.assign(
+        t.clock_syncs.begin() + static_cast<std::ptrdiff_t>(sync_pos_),
+        t.clock_syncs.begin() + static_cast<std::ptrdiff_t>(sync_pos_ + n));
+    sync_pos_ += n;
+  }
+  *done = event_pos_ >= t.fn_events.size() &&
+          sample_pos_ >= t.temp_samples.size() &&
+          sync_pos_ >= t.clock_syncs.size();
+  return Status::ok();
+}
+
+}  // namespace tempest::pipeline

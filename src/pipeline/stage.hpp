@@ -1,0 +1,96 @@
+// Composable streaming analysis pipeline: the vocabulary.
+//
+// The paper's parser is a post-mortem batch step — load the whole
+// merged trace, rebuild the timeline, attribute samples, print. This
+// library restructures that as Source -> Stage* -> BatchSink* over
+// bounded record batches, so a trace (or N per-rank traces) streams
+// through analysis with peak memory bounded by the batch size plus the
+// consumers' own aggregates instead of the full event vector. The batch
+// entry points (parser/parse.hpp) are thin wrappers over the same
+// consumer cores, so both paths produce bit-identical profiles.
+//
+// Ordering contract: a Source emits each record kind in global time
+// order across batches (events sorted, samples sorted; the two kinds
+// may arrive in separate batches and need not interleave). Sources
+// that cannot guarantee order fail with a Status instead of silently
+// degrading — consumers fold batches under the same assumptions
+// Trace::sort_by_time establishes for the batch path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::pipeline {
+
+/// Run-level metadata travels once, out of band of the record batches.
+using TraceMeta = trace::TraceHeader;
+
+/// Default records per batch. 64 Ki events is ~1.4 MiB — big enough to
+/// amortise virtual dispatch and the reader's 256 KiB staging chunks,
+/// small enough that a dozen in-flight batches stay cache-friendly.
+inline constexpr std::size_t kDefaultBatchRecords = std::size_t{1} << 16;
+
+struct BatchOptions {
+  std::size_t batch_records = kDefaultBatchRecords;
+};
+
+/// One bounded slice of the record streams. A batch usually carries a
+/// single kind (the trace format stores kinds in separate sections);
+/// consumers must not assume that.
+struct EventBatch {
+  std::vector<trace::FnEvent> fn_events;
+  std::vector<trace::TempSample> temp_samples;
+  std::vector<trace::ClockSync> clock_syncs;
+
+  bool empty() const {
+    return fn_events.empty() && temp_samples.empty() && clock_syncs.empty();
+  }
+  /// Clears contents, keeps capacity — run_pipeline recycles one batch.
+  void clear() {
+    fn_events.clear();
+    temp_samples.clear();
+    clock_syncs.clear();
+  }
+};
+
+/// Produces the batch stream (a trace file, an in-memory trace, a
+/// multi-rank fan-in merge).
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// Combined run metadata, valid for the source's lifetime.
+  virtual const TraceMeta& meta() const = 0;
+
+  /// Fill `out` (cleared by the caller) with the next batch. Sets
+  /// *done once the stream is exhausted; the final call may deliver
+  /// both a batch and *done. An error Status aborts the run.
+  virtual Status next(EventBatch* out, bool* done) = 0;
+};
+
+/// Transforms batches in flight (clock alignment, order verification).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual Status process(const TraceMeta& meta, EventBatch* batch) = 0;
+};
+
+/// Consumes the (post-stage) batch stream.
+class BatchSink {
+ public:
+  virtual ~BatchSink() = default;
+  virtual Status begin(const TraceMeta& /*meta*/) { return Status::ok(); }
+  virtual Status on_batch(const TraceMeta& meta, const EventBatch& batch) = 0;
+  virtual Status on_end(const TraceMeta& /*meta*/) { return Status::ok(); }
+};
+
+/// Drive `source` to exhaustion: each batch flows through `stages` in
+/// order, then to every sink. Stops at the first error. Sinks see
+/// begin() before any batch and on_end() only if everything succeeded.
+Status run_pipeline(Source* source, const std::vector<Stage*>& stages,
+                    const std::vector<BatchSink*>& sinks);
+
+}  // namespace tempest::pipeline

@@ -8,25 +8,29 @@
 
 namespace tempest::report {
 
-ThermalSeries extract_series(const trace::Trace& trace, TempUnit unit,
-                             const std::vector<std::string>& span_functions) {
+ThermalSeries build_series(const trace::TraceHeader& meta,
+                           const std::vector<trace::TempSample>& samples,
+                           std::uint64_t start_tsc, std::uint64_t end_tsc,
+                           TempUnit unit,
+                           const std::vector<std::string>& span_functions,
+                           const parser::TimelineMap* timeline) {
   ThermalSeries out;
   out.unit = unit;
 
-  const std::uint64_t start = trace.start_tsc();
-  const double rate = trace.tsc_ticks_per_second > 0.0 ? trace.tsc_ticks_per_second : 1.0;
+  const std::uint64_t start = start_tsc;
+  const double rate = meta.tsc_ticks_per_second > 0.0 ? meta.tsc_ticks_per_second : 1.0;
   auto to_s = [&](std::uint64_t tsc) {
     return tsc > start ? static_cast<double>(tsc - start) / rate : 0.0;
   };
-  out.duration_s = to_s(trace.end_tsc());
+  out.duration_s = to_s(end_tsc);
 
   std::map<std::uint16_t, std::string> node_names;
-  for (const auto& n : trace.nodes) node_names[n.node_id] = n.hostname;
+  for (const auto& n : meta.nodes) node_names[n.node_id] = n.hostname;
   std::map<std::pair<std::uint16_t, std::uint16_t>, std::string> sensor_names;
-  for (const auto& s : trace.sensors) sensor_names[{s.node_id, s.sensor_id}] = s.name;
+  for (const auto& s : meta.sensors) sensor_names[{s.node_id, s.sensor_id}] = s.name;
 
   std::map<std::pair<std::uint16_t, std::uint16_t>, std::size_t> index;
-  for (const auto& s : trace.temp_samples) {
+  for (const auto& s : samples) {
     const auto key = std::make_pair(s.node_id, s.sensor_id);
     auto it = index.find(key);
     if (it == index.end()) {
@@ -49,20 +53,18 @@ ThermalSeries extract_series(const trace::Trace& trace, TempUnit unit,
               return std::tie(a.node_id, a.sensor_id) < std::tie(b.node_id, b.sensor_id);
             });
 
-  if (!span_functions.empty()) {
-    // Reuse the parser's timeline + symbolisation to find the functions.
-    parser::TimelineDiagnostics diag;
-    const parser::TimelineMap timeline = parser::build_timeline(trace, &diag);
-
+  if (!span_functions.empty() && timeline != nullptr) {
+    // Span naming deliberately has no hex fallback: spans are requested
+    // by human-readable name, so an unresolvable address can never match.
     std::map<std::uint64_t, std::string> names;
-    for (const auto& s : trace.synthetic_symbols) names[s.addr] = s.name;
-    auto resolver = symtab::Resolver::for_executable(trace.executable, trace.load_bias);
-    for (const auto& [key, fi] : timeline) {
+    for (const auto& s : meta.synthetic_symbols) names[s.addr] = s.name;
+    auto resolver = symtab::Resolver::for_executable(meta.executable, meta.load_bias);
+    for (const auto& [key, fi] : *timeline) {
       if (names.count(fi.addr) == 0 && resolver.is_ok()) {
         names[fi.addr] = resolver.value().resolve(fi.addr);
       }
     }
-    for (const auto& [key, fi] : timeline) {
+    for (const auto& [key, fi] : *timeline) {
       const auto name_it = names.find(fi.addr);
       if (name_it == names.end()) continue;
       if (std::find(span_functions.begin(), span_functions.end(), name_it->second) ==
@@ -79,6 +81,19 @@ ThermalSeries extract_series(const trace::Trace& trace, TempUnit unit,
               });
   }
   return out;
+}
+
+ThermalSeries extract_series(const trace::Trace& trace, TempUnit unit,
+                             const std::vector<std::string>& span_functions) {
+  if (span_functions.empty()) {
+    return build_series(trace, trace.temp_samples, trace.start_tsc(),
+                        trace.end_tsc(), unit);
+  }
+  // Reuse the parser's timeline + symbolisation to find the functions.
+  parser::TimelineDiagnostics diag;
+  const parser::TimelineMap timeline = parser::build_timeline(trace, &diag);
+  return build_series(trace, trace.temp_samples, trace.start_tsc(),
+                      trace.end_tsc(), unit, span_functions, &timeline);
 }
 
 void write_series_csv(std::ostream& out, const ThermalSeries& series) {

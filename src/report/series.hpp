@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "parser/timeline.hpp"
 #include "trace/trace.hpp"
 
 namespace tempest::report {
@@ -48,6 +49,19 @@ struct ThermalSeries {
 ThermalSeries extract_series(
     const trace::Trace& trace, TempUnit unit,
     const std::vector<std::string>& span_functions = {});
+
+/// Streaming-friendly core behind extract_series: curves come from
+/// metadata plus an already-aligned, time-sorted sample stream, and
+/// spans from a timeline the caller has already built (required when
+/// `span_functions` is non-empty; span names resolve as in
+/// extract_series — synthetic symbols, then the executable's symtab).
+/// Identical inputs produce byte-identical ThermalSeries either way.
+ThermalSeries build_series(const trace::TraceHeader& meta,
+                           const std::vector<trace::TempSample>& samples,
+                           std::uint64_t start_tsc, std::uint64_t end_tsc,
+                           TempUnit unit,
+                           const std::vector<std::string>& span_functions = {},
+                           const parser::TimelineMap* timeline = nullptr);
 
 /// CSV: time_s,node,sensor,temp — one row per point, spans appended as
 /// comment lines ("# span,<node>,<name>,<begin>,<end>").

@@ -10,69 +10,72 @@
 //
 // Exit codes: 0 all traces clean, 1 invariant violations found,
 // 2 usage error or unreadable trace file.
+//
+// Lints stream through LintEngine (lint_trace_file reads the trace in
+// bounded batches), so arbitrarily large traces check in constant
+// memory.
+#include <cerrno>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "common/cli.hpp"
 
 namespace {
 
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--json] [--hz RATE] [--tolerance F] [--strict] [-q]"
-               " <trace file>...\n";
-  return 2;
+constexpr const char* kUsage =
+    "[--json] [--hz RATE] [--tolerance F] [--strict] [-q] <trace file>...";
+
+tempest::Status parse_double(const std::string& what, const std::string& value,
+                             double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return tempest::Status::error("bad " + what + " value '" + value + "'");
+  }
+  *out = parsed;
+  return tempest::Status::ok();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> paths;
+  using tempest::Status;
+
   tempest::analysis::LintOptions options;
   options.expected_hz = 4.0;  // the paper's tempd rate
   bool json = false, strict = false, quiet = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&](const char* what) -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for " << what << "\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--json") {
-      json = true;
-    } else if (arg == "--hz") {
-      try {
-        options.expected_hz = std::stod(next("--hz"));
-      } catch (const std::exception&) {
-        std::cerr << "bad --hz value\n";
-        return 2;
-      }
-    } else if (arg == "--tolerance") {
-      try {
-        options.cadence_tolerance = std::stod(next("--tolerance"));
-      } catch (const std::exception&) {
-        std::cerr << "bad --tolerance value\n";
-        return 2;
-      }
-    } else if (arg == "--strict") {
-      strict = true;
-    } else if (arg == "-q" || arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown option " << arg << "\n";
-      return usage(argv[0]);
-    } else {
-      paths.push_back(arg);
-    }
+  tempest::cli::ArgParser args(kUsage);
+  args.add_flag("--json", [&] { json = true; });
+  args.add_value("--hz", [&](const std::string& v) {
+    return parse_double("--hz", v, &options.expected_hz);
+  });
+  args.add_value("--tolerance", [&](const std::string& v) {
+    return parse_double("--tolerance", v, &options.cadence_tolerance);
+  });
+  args.add_flag("--strict", [&] { strict = true; });
+  args.add_flag("-q", [&] { quiet = true; });
+  args.add_flag("--quiet", [&] { quiet = true; });
+
+  const Status parsed = args.parse(argc, argv);
+  if (!parsed) {
+    std::cerr << "tempest-lint: " << parsed.message() << "\n";
+    args.print_usage(std::cerr, argv[0]);
+    return 2;
   }
-  if (paths.empty()) return usage(argv[0]);
+  if (args.help_requested()) {
+    args.print_usage(std::cerr, argv[0]);
+    return 0;
+  }
+  const std::vector<std::string>& paths = args.positional();
+  if (paths.empty()) {
+    args.print_usage(std::cerr, argv[0]);
+    return 2;
+  }
 
   bool any_errors = false, any_warnings = false;
   for (const std::string& path : paths) {

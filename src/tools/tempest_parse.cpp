@@ -5,7 +5,7 @@
 // writes data to the standard output, but data can be dumped to a file
 // in a variety of formats."
 //
-//   tempest_parse [options] <trace file>
+//   tempest_parse [options] <trace file>...
 //     --unit C|F          report unit (default F, the paper's choice)
 //     --format text|csv|json
 //                         text  = the Fig 2a standard output (default)
@@ -19,145 +19,235 @@
 //     --top N             print at most N functions per node
 //     --gnuplot PREFIX    write PREFIX.dat + PREFIX.gp (render with
 //                         `gnuplot PREFIX.gp` -> profile.png)
+//     --stream            analyse incrementally with bounded memory
+//                         (traces larger than RAM); needs a time-sorted
+//                         trace, which recorded files are
 //     --no-align          skip cross-node clock alignment (diagnostics)
 //     --exe PATH          symbolise against PATH instead of the path
 //                         recorded in the trace
-#include <cstring>
+//
+// Passing several trace files (one per MPI rank) fan-ins them in a
+// single streaming pass: metadata is concatenated, clocks are fitted
+// from every file's sync records, and events merge by aligned global
+// time — the paper's parallel-hot-spot workflow without concatenating
+// the files first.
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "parser/parse.hpp"
+#include "common/cli.hpp"
+#include "pipeline/analysis.hpp"
+#include "pipeline/rank_fanin.hpp"
+#include "pipeline/sinks.hpp"
+#include "pipeline/source.hpp"
+#include "pipeline/stages.hpp"
 #include "report/ascii_plot.hpp"
-#include <fstream>
-
-#include "report/gnuplot.hpp"
-#include "report/json.hpp"
-#include "report/series.hpp"
 #include "report/stdout_format.hpp"
 #include "trace/align.hpp"
 #include "trace/reader.hpp"
 
 namespace {
 
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--unit C|F] [--format text|csv|json] [--plot [SENSOR]]\n"
-               "       [--span FUNCTION]... [--min-samples N] [--top N]\n"
-               "       [--no-align] [--exe PATH] <trace file>\n";
+constexpr const char* kUsage =
+    "[--unit C|F] [--format text|csv|json] [--plot [SENSOR]]\n"
+    "       [--span FUNCTION]... [--min-samples N] [--top N] [--gnuplot PREFIX]\n"
+    "       [--stream] [--no-align] [--exe PATH] <trace file>...";
+
+int fail_usage(const tempest::cli::ArgParser& args, const char* argv0,
+               const std::string& message) {
+  if (!message.empty()) std::cerr << "tempest_parse: " << message << "\n";
+  args.print_usage(std::cerr, argv0);
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path, format = "text", plot_sensor, exe_override, gnuplot_prefix;
+  using tempest::Status;
+  namespace cli = tempest::cli;
+  namespace pipeline = tempest::pipeline;
+
+  std::string format = "text", plot_sensor, exe_override, gnuplot_prefix;
   std::vector<std::string> span_functions;
-  bool plot = false, align = true;
-  tempest::parser::ParseOptions options;
+  bool plot = false, align = true, stream = false;
+  tempest::parser::ProfileOptions profile_options;
   std::size_t top = 0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&](const char* what) -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for " << what << "\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--unit") {
-      if (!tempest::parse_temp_unit(next("--unit"), &options.profile.unit)) {
-        std::cerr << "bad unit (use C or F)\n";
-        return 2;
-      }
-    } else if (arg == "--format") {
-      format = next("--format");
-    } else if (arg == "--plot") {
-      plot = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') plot_sensor = argv[++i];
-    } else if (arg == "--span") {
-      span_functions.push_back(next("--span"));
-    } else if (arg == "--min-samples") {
-      options.profile.min_samples_significant =
-          static_cast<std::size_t>(std::strtoul(next("--min-samples"), nullptr, 10));
-    } else if (arg == "--top") {
-      top = static_cast<std::size_t>(std::strtoul(next("--top"), nullptr, 10));
-    } else if (arg == "--gnuplot") {
-      gnuplot_prefix = next("--gnuplot");
-    } else if (arg == "--no-align") {
-      align = false;
-    } else if (arg == "--exe") {
-      exe_override = next("--exe");
-    } else if (arg == "--help" || arg == "-h") {
-      return usage(argv[0]);
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown option " << arg << "\n";
-      return usage(argv[0]);
-    } else {
-      path = arg;
+  cli::ArgParser args(kUsage);
+  args.add_value("--unit", [&](const std::string& v) {
+    if (!tempest::parse_temp_unit(v.c_str(), &profile_options.unit)) {
+      return Status::error("bad unit '" + v + "' (use C or F)");
     }
+    return Status::ok();
+  });
+  args.add_value("--format", [&](const std::string& v) {
+    if (v != "text" && v != "csv" && v != "json") {
+      return Status::error("unknown format '" + v + "'");
+    }
+    format = v;
+    return Status::ok();
+  });
+  args.add_optional_value("--plot", [&](const std::string* v) {
+    plot = true;
+    if (v != nullptr) plot_sensor = *v;
+  });
+  args.add_value("--span", [&](const std::string& v) {
+    span_functions.push_back(v);
+    return Status::ok();
+  });
+  args.add_value("--min-samples", [&](const std::string& v) {
+    return cli::parse_size(v, &profile_options.min_samples_significant);
+  });
+  args.add_value("--top", [&](const std::string& v) {
+    return cli::parse_size(v, &top);
+  });
+  args.add_value("--gnuplot", [&](const std::string& v) {
+    gnuplot_prefix = v;
+    return Status::ok();
+  });
+  args.add_flag("--stream", [&] { stream = true; });
+  args.add_flag("--no-align", [&] { align = false; });
+  args.add_value("--exe", [&](const std::string& v) {
+    exe_override = v;
+    return Status::ok();
+  });
+
+  const Status parsed = args.parse(argc, argv);
+  if (!parsed) return fail_usage(args, argv[0], parsed.message());
+  if (args.help_requested()) return fail_usage(args, argv[0], "");
+  const std::vector<std::string>& paths = args.positional();
+  if (paths.empty()) return fail_usage(args, argv[0], "no trace file given");
+  if (paths.size() > 1 && !align) {
+    return fail_usage(args, argv[0],
+                      "--no-align is incompatible with multi-file fan-in "
+                      "(the merge orders ranks by aligned global time)");
   }
-  if (path.empty()) return usage(argv[0]);
-  options.align_clocks = align;
 
-  auto loaded = tempest::trace::read_trace_file(path);
-  if (!loaded.is_ok()) {
-    std::cerr << "cannot read trace: " << loaded.message() << "\n";
-    return 1;
-  }
-  tempest::trace::Trace trace = std::move(loaded).value();
-  if (!exe_override.empty()) trace.executable = exe_override;
-  tempest::trace::Trace for_series = trace;  // series need the raw samples
+  pipeline::AnalysisOptions analysis_options;
+  analysis_options.profile = profile_options;
+  analysis_options.exe_override = exe_override;
+  analysis_options.want_series =
+      format == "csv" || plot || !gnuplot_prefix.empty();
+  analysis_options.span_functions = span_functions;
 
-  auto parsed = tempest::parser::parse_trace(std::move(trace), options);
-  if (!parsed.is_ok()) {
-    std::cerr << "parse failed: " << parsed.message() << "\n";
-    return 1;
-  }
-  const auto& profile = parsed.value();
-
-  if (align) (void)tempest::trace::align_clocks(&for_series);
-
+  // One emitter list serves both paths: primary format first, then the
+  // plot / gnuplot add-ons, in the order the batch tool printed them.
+  std::vector<std::unique_ptr<pipeline::ProfileEmitter>> owned;
+  tempest::report::StdoutOptions stdout_options;
+  stdout_options.max_functions = top;
+  tempest::report::PlotOptions plot_options;
+  plot_options.sensor_filter = plot_sensor;
   if (format == "text") {
-    tempest::report::StdoutOptions stdout_options;
-    stdout_options.max_functions = top;
-    tempest::report::print_profile(std::cout, profile, stdout_options);
+    owned.push_back(
+        std::make_unique<pipeline::TextEmitter>(std::cout, stdout_options));
   } else if (format == "csv") {
-    const auto series = tempest::report::extract_series(
-        for_series, options.profile.unit, span_functions);
-    tempest::report::write_series_csv(std::cout, series);
-  } else if (format == "json") {
-    tempest::report::write_profile_json(std::cout, profile);
-    std::cout << "\n";
+    owned.push_back(std::make_unique<pipeline::CsvSeriesEmitter>(std::cout));
   } else {
-    std::cerr << "unknown format '" << format << "'\n";
-    return 2;
+    owned.push_back(std::make_unique<pipeline::JsonEmitter>(std::cout));
   }
-
   if (plot) {
-    const auto series = tempest::report::extract_series(
-        for_series, options.profile.unit, span_functions);
-    tempest::report::PlotOptions plot_options;
-    plot_options.sensor_filter = plot_sensor;
-    tempest::report::plot_series(std::cout, series, plot_options);
+    owned.push_back(
+        std::make_unique<pipeline::AsciiPlotEmitter>(std::cout, plot_options));
+  }
+  if (!gnuplot_prefix.empty()) {
+    owned.push_back(std::make_unique<pipeline::GnuplotEmitter>(gnuplot_prefix));
+  }
+  std::vector<pipeline::ProfileEmitter*> emitters;
+  emitters.reserve(owned.size());
+  for (const auto& e : owned) emitters.push_back(e.get());
+
+  const tempest::parser::RunProfile* profile = nullptr;
+  pipeline::AnalysisSink sink(analysis_options, emitters);
+  pipeline::AnalysisResult batch_result;
+
+  if (stream || paths.size() > 1) {
+    // Streaming path: bounded memory, optionally multi-rank.
+    pipeline::OrderCheckStage order;
+    std::vector<pipeline::Stage*> stages;
+    std::optional<pipeline::ChunkedTraceSource> chunked;
+    std::optional<pipeline::ClockAlignStage> align_stage;
+    std::optional<pipeline::RankFanIn> fan;
+    pipeline::Source* source = nullptr;
+    if (paths.size() > 1) {
+      auto opened = pipeline::RankFanIn::open(paths);
+      if (!opened.is_ok()) {
+        std::cerr << "tempest_parse: " << opened.message() << "\n";
+        return 1;
+      }
+      fan.emplace(std::move(opened).value());
+      source = &*fan;  // already aligned and merged; just verify order
+    } else {
+      auto opened = pipeline::ChunkedTraceSource::open(paths[0]);
+      if (!opened.is_ok()) {
+        std::cerr << "tempest_parse: " << opened.message() << "\n";
+        return 1;
+      }
+      chunked.emplace(std::move(opened).value());
+      if (align) {
+        auto fits = chunked->clock_fits();
+        if (!fits.is_ok()) {
+          std::cerr << "tempest_parse: " << fits.message() << "\n";
+          return 1;
+        }
+        align_stage.emplace(std::move(fits).value());
+        stages.push_back(&*align_stage);
+      }
+      source = &*chunked;
+    }
+    stages.push_back(&order);
+    const Status ran = pipeline::run_pipeline(source, stages, {&sink});
+    if (!ran) {
+      std::cerr << "tempest_parse: " << ran.message() << "\n";
+      return 1;
+    }
+    profile = &sink.result().profile;
+  } else {
+    // Batch path: load, align (loudly — a failed fit is an error, not a
+    // silently skewed report), fold through the same analysis core.
+    auto loaded = tempest::trace::read_trace_file(paths[0]);
+    if (!loaded.is_ok()) {
+      std::cerr << "tempest_parse: cannot read trace: " << loaded.message()
+                << "\n";
+      return 1;
+    }
+    tempest::trace::Trace trace = std::move(loaded).value();
+    if (align) {
+      const Status aligned = tempest::trace::align_clocks(&trace);
+      if (!aligned) {
+        std::cerr << "tempest_parse: " << aligned.message() << "\n";
+        return 1;
+      }
+    } else {
+      trace.sort_by_time();
+    }
+    analysis_options.timeline_hint =
+        std::min(trace.fn_events.size() / 8 + 16, std::size_t{1} << 16);
+    pipeline::AnalysisPipeline fold(analysis_options);
+    fold.set_metadata(trace);
+    fold.set_bounds(trace.start_tsc(), trace.end_tsc());
+    fold.add_fn_events(trace.fn_events.data(), trace.fn_events.size());
+    fold.add_temp_samples(trace.temp_samples.data(), trace.temp_samples.size());
+    batch_result = fold.finish();
+    for (pipeline::ProfileEmitter* emitter : emitters) {
+      const Status emitted = emitter->emit(batch_result);
+      if (!emitted) {
+        std::cerr << "tempest_parse: " << emitted.message() << "\n";
+        return 1;
+      }
+    }
+    profile = &batch_result.profile;
   }
 
   if (!gnuplot_prefix.empty()) {
-    const auto series = tempest::report::extract_series(
-        for_series, options.profile.unit, span_functions);
-    std::ofstream dat(gnuplot_prefix + ".dat");
-    tempest::report::write_series_gnuplot_data(dat, series);
-    std::ofstream gp(gnuplot_prefix + ".gp");
-    tempest::report::write_series_gnuplot_script(gp, series, gnuplot_prefix + ".dat",
-                                                 gnuplot_prefix + ".png");
     std::cerr << "wrote " << gnuplot_prefix << ".dat and " << gnuplot_prefix
               << ".gp\n";
   }
-
-  if (profile.diagnostics.unmatched_exits > 0 || profile.diagnostics.force_closed > 0) {
-    std::cerr << "note: " << profile.diagnostics.unmatched_exits
-              << " unmatched exits, " << profile.diagnostics.force_closed
+  if (profile->diagnostics.unmatched_exits > 0 ||
+      profile->diagnostics.force_closed > 0) {
+    std::cerr << "note: " << profile->diagnostics.unmatched_exits
+              << " unmatched exits, " << profile->diagnostics.force_closed
               << " functions force-closed at trace end\n";
   }
   return 0;

@@ -10,9 +10,9 @@ std::uint64_t ClockFit::to_global(std::uint64_t node_tsc) const {
   return g <= 0.0 ? 0 : static_cast<std::uint64_t>(g);
 }
 
-std::map<std::uint16_t, ClockFit> fit_clocks(const Trace& trace) {
+std::map<std::uint16_t, ClockFit> fit_clocks(const std::vector<ClockSync>& all_syncs) {
   std::map<std::uint16_t, std::vector<const ClockSync*>> by_node;
-  for (const auto& s : trace.clock_syncs) by_node[s.node_id].push_back(&s);
+  for (const auto& s : all_syncs) by_node[s.node_id].push_back(&s);
 
   std::map<std::uint16_t, ClockFit> fits;
   for (const auto& [node, syncs] : by_node) {
@@ -46,6 +46,10 @@ std::map<std::uint16_t, ClockFit> fit_clocks(const Trace& trace) {
     fits[node] = fit;
   }
   return fits;
+}
+
+std::map<std::uint16_t, ClockFit> fit_clocks(const Trace& trace) {
+  return fit_clocks(trace.clock_syncs);
 }
 
 Status align_clocks(Trace* trace) {

@@ -25,8 +25,13 @@ struct ClockFit {
   std::uint64_t to_global(std::uint64_t node_tsc) const;
 };
 
-/// Fit clock maps from the trace's sync records. Nodes with one sync get
-/// offset-only fits; nodes with none get the identity map.
+/// Fit clock maps from sync records. Nodes with one sync get
+/// offset-only fits; nodes with none get the identity map. The
+/// streaming pipeline fits from a pre-pass over the sync sections
+/// before any event batch flows, hence the vector overload.
+std::map<std::uint16_t, ClockFit> fit_clocks(const std::vector<ClockSync>& syncs);
+
+/// Fit clock maps from the trace's sync records.
 std::map<std::uint16_t, ClockFit> fit_clocks(const Trace& trace);
 
 /// Rewrite fn_events and temp_samples into the global clock domain and

@@ -97,15 +97,109 @@ std::uint64_t remaining_bytes_bound(std::istream& in) {
   return static_cast<std::uint64_t>(end - pos);
 }
 
-/// Read one bulk section: validates the (count, record_size) framing,
-/// then streams the payload chunk-wise, unpacking each record via
-/// `unpack_one(const char*, Record*)` (which may reject a corrupt
-/// record by returning false). `payload_bound` is the byte bound from
-/// remaining_bytes_bound at header time.
-template <typename Record, typename UnpackFn>
-Status read_section(Cursor& cur, std::vector<Record>* out,
-                    std::uint32_t expected_record_size, const char* what,
-                    std::uint64_t payload_bound, UnpackFn unpack_one) {
+bool unpack_fn_event(const char* p, FnEvent* e) {
+  e->tsc = unpack_u64(p);
+  e->addr = unpack_u64(p + 8);
+  e->thread_id = unpack_u32(p + 16);
+  e->node_id = unpack_u16(p + 20);
+  const auto kind = static_cast<unsigned char>(p[22]);
+  if (kind != 1 && kind != 2) return false;
+  e->kind = static_cast<FnEventKind>(kind);
+  return true;
+}
+
+bool unpack_temp_sample(const char* p, TempSample* s) {
+  s->tsc = unpack_u64(p);
+  s->temp_c = unpack_f64(p + 8);
+  s->node_id = unpack_u16(p + 16);
+  s->sensor_id = unpack_u16(p + 18);
+  return true;
+}
+
+bool unpack_clock_sync(const char* p, ClockSync* c) {
+  c->node_tsc = unpack_u64(p);
+  c->global_tsc = unpack_u64(p + 8);
+  c->node_id = unpack_u16(p + 16);
+  return true;
+}
+
+}  // namespace
+
+Result<TraceStreamReader> TraceStreamReader::open(std::istream& in) {
+  TraceStreamReader reader(in);
+  reader.stream_bound_ = remaining_bytes_bound(in);
+  Cursor cur(in);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+
+  if (!cur.get(&magic) || magic != kTraceMagic) {
+    return Result<TraceStreamReader>::error("not a Tempest trace (bad magic)");
+  }
+  if (!cur.get(&version)) {
+    return Result<TraceStreamReader>::error("truncated trace header (no version)");
+  }
+  if (version != kTraceVersion) {
+    return Result<TraceStreamReader>::error(
+        "unsupported trace version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kTraceVersion) +
+        "; re-record the trace with a matching Tempest build)");
+  }
+  TraceHeader& h = reader.header_;
+  if (!cur.get(&h.tsc_ticks_per_second) || !cur.get_string(&h.executable) ||
+      !cur.get(&h.load_bias)) {
+    return Result<TraceStreamReader>::error("truncated trace header");
+  }
+
+  std::uint32_t n32 = 0;
+  if (!cur.get(&n32)) return Result<TraceStreamReader>::error("truncated node section");
+  h.nodes.reserve(std::min<std::uint64_t>(n32, kReserveCap));
+  for (std::uint32_t i = 0; i < n32; ++i) {
+    NodeInfo n;
+    if (!cur.get(&n.node_id) || !cur.get_string(&n.hostname)) {
+      return Result<TraceStreamReader>::error("truncated node record");
+    }
+    h.nodes.push_back(std::move(n));
+  }
+
+  if (!cur.get(&n32)) return Result<TraceStreamReader>::error("truncated sensor section");
+  h.sensors.reserve(std::min<std::uint64_t>(n32, kReserveCap));
+  for (std::uint32_t i = 0; i < n32; ++i) {
+    SensorMeta s;
+    if (!cur.get(&s.node_id) || !cur.get(&s.sensor_id) || !cur.get(&s.quant_step_c) ||
+        !cur.get_string(&s.name)) {
+      return Result<TraceStreamReader>::error("truncated sensor record");
+    }
+    h.sensors.push_back(std::move(s));
+  }
+
+  if (!cur.get(&n32)) return Result<TraceStreamReader>::error("truncated thread section");
+  h.threads.reserve(std::min<std::uint64_t>(n32, kReserveCap));
+  for (std::uint32_t i = 0; i < n32; ++i) {
+    ThreadInfo t;
+    if (!cur.get(&t.thread_id) || !cur.get(&t.node_id) || !cur.get(&t.core)) {
+      return Result<TraceStreamReader>::error("truncated thread record");
+    }
+    h.threads.push_back(t);
+  }
+
+  if (!cur.get(&n32)) {
+    return Result<TraceStreamReader>::error("truncated synthetic-symbol section");
+  }
+  h.synthetic_symbols.reserve(std::min<std::uint64_t>(n32, kReserveCap));
+  for (std::uint32_t i = 0; i < n32; ++i) {
+    SyntheticSymbol s;
+    if (!cur.get(&s.addr) || !cur.get_string(&s.name)) {
+      return Result<TraceStreamReader>::error("truncated synthetic symbol");
+    }
+    h.synthetic_symbols.push_back(std::move(s));
+  }
+
+  return reader;
+}
+
+Status TraceStreamReader::read_section_frame(std::uint32_t expected_record_size,
+                                             const char* what) {
+  Cursor cur(*in_);
   std::uint64_t count = 0;
   std::uint32_t record_size = 0;
   if (!cur.get(&count) || count > kMaxRecords) {
@@ -116,21 +210,56 @@ Status read_section(Cursor& cur, std::vector<Record>* out,
     return Status::error(std::string(what) +
                          " record size mismatch (corrupt section framing)");
   }
-  const std::uint64_t fit = payload_bound == UINT64_MAX
-                                ? kReserveCap
-                                : payload_bound / expected_record_size;
-  out->reserve(static_cast<std::size_t>(std::min(count, fit)));
+  remaining_ = count;
+  section_count_ = count;
+  frame_read_ = true;
+  return Status::ok();
+}
 
-  const std::size_t per_chunk =
-      std::max<std::size_t>(1, kStagingBytes / expected_record_size);
+template <typename Record, typename UnpackFn>
+Status TraceStreamReader::next_section(int section, std::uint32_t record_size,
+                                       const char* what, std::vector<Record>* out,
+                                       std::size_t max_records,
+                                       std::size_t* appended, UnpackFn unpack_one) {
+  *appended = 0;
+  if (section_ != section) {
+    // Earlier section: not reached yet; later section: already drained.
+    // Either way there is nothing for this call to produce — the
+    // canonical drain order issues the calls back to back.
+    if (section_ > section) return Status::ok();
+    return Status::error(std::string("stream reader: ") + what +
+                         " section requested before the preceding section was "
+                         "drained");
+  }
+  if (!frame_read_) {
+    const Status frame = read_section_frame(record_size, what);
+    if (!frame) return frame;
+  }
+  if (remaining_ == 0) {
+    ++section_;
+    frame_read_ = false;
+    return Status::ok();
+  }
+
+  const std::uint64_t want = std::min<std::uint64_t>(remaining_, max_records);
+  const std::uint64_t fit = stream_bound_ == UINT64_MAX
+                                ? kReserveCap
+                                : stream_bound_ / record_size;
+  out->reserve(out->size() + static_cast<std::size_t>(std::min(want, fit)));
+
+  Cursor cur(*in_);
+  const std::size_t per_chunk = std::max<std::size_t>(1, kStagingBytes / record_size);
   std::vector<char> staging;
-  std::uint64_t remaining = count;
-  while (remaining > 0) {
-    const std::size_t n =
-        static_cast<std::size_t>(std::min<std::uint64_t>(per_chunk, remaining));
-    staging.resize(n * expected_record_size);
+  std::uint64_t left = want;
+  while (left > 0) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(per_chunk, left));
+    staging.resize(n * record_size);
     if (!cur.get_bytes(staging.data(), staging.size())) {
-      return Status::error(std::string("truncated ") + what + " section");
+      return Status::error(std::string("truncated ") + what + " section (file "
+                           "claims " + std::to_string(section_count_) +
+                           " records but ends after " +
+                           std::to_string(section_count_ - remaining_) + ")");
     }
     // Chunk-wise resize keeps growth geometric while skipping the
     // per-record capacity check push_back would pay; on a rejected
@@ -139,125 +268,199 @@ Status read_section(Cursor& cur, std::vector<Record>* out,
     out->resize(base + n);
     Record* recs = out->data() + base;
     for (std::size_t j = 0; j < n; ++j) {
-      if (!unpack_one(staging.data() + j * expected_record_size, &recs[j])) {
+      if (!unpack_one(staging.data() + j * record_size, &recs[j])) {
         return Status::error(std::string("corrupt ") + what + " record");
       }
     }
-    remaining -= n;
+    left -= n;
+    remaining_ -= n;
+    *appended += n;
+  }
+  if (remaining_ == 0) {
+    ++section_;
+    frame_read_ = false;
   }
   return Status::ok();
 }
 
-}  // namespace
+Status TraceStreamReader::next_fn_events(std::vector<FnEvent>* out,
+                                         std::size_t max_records,
+                                         std::size_t* appended) {
+  return next_section(0, kFnEventRecordSize, "fn event", out, max_records,
+                      appended, unpack_fn_event);
+}
+
+Status TraceStreamReader::next_temp_samples(std::vector<TempSample>* out,
+                                            std::size_t max_records,
+                                            std::size_t* appended) {
+  return next_section(1, kTempSampleRecordSize, "temp sample", out, max_records,
+                      appended, unpack_temp_sample);
+}
+
+Status TraceStreamReader::next_clock_syncs(std::vector<ClockSync>* out,
+                                           std::size_t max_records,
+                                           std::size_t* appended) {
+  return next_section(2, kClockSyncRecordSize, "clock sync", out, max_records,
+                      appended, unpack_clock_sync);
+}
+
+bool TraceStreamReader::done() const { return section_ >= 3; }
+
+Result<std::vector<ClockSync>> TraceStreamReader::read_clock_syncs_ahead() {
+  using R = Result<std::vector<ClockSync>>;
+  if (section_ != 0 || frame_read_) {
+    return R::error("clock-sync pre-pass must run before the bulk sections "
+                    "are consumed");
+  }
+  std::istream& in = *in_;
+  const std::istream::pos_type pos = in.tellg();
+  if (!in || pos == std::istream::pos_type(-1)) {
+    in.clear();
+    return R::error("clock-sync pre-pass needs a seekable stream "
+                    "(pipe input: use the batch path)");
+  }
+
+  Cursor cur(in);
+  const auto skip_section = [&](std::uint32_t record_size,
+                                const char* what) -> Status {
+    std::uint64_t count = 0;
+    std::uint32_t rs = 0;
+    if (!cur.get(&count) || count > kMaxRecords) {
+      return Status::error(std::string("truncated or oversized ") + what +
+                           " section");
+    }
+    if (!cur.get(&rs) || rs != record_size) {
+      return Status::error(std::string(what) +
+                           " record size mismatch (corrupt section framing)");
+    }
+    in.seekg(static_cast<std::istream::off_type>(count * record_size),
+             std::ios::cur);
+    if (!in || in.peek() == std::char_traits<char>::eof()) {
+      // A seek past EOF only surfaces on the next read; peek forces it.
+      // EOF right here is only legal if this was the last section, which
+      // the caller's subsequent section reads will establish — for the
+      // pre-pass it means there is no clock-sync section to read.
+      return Status::error(std::string("truncated ") + what + " section");
+    }
+    return Status::ok();
+  };
+
+  Status skipped = skip_section(kFnEventRecordSize, "fn event");
+  if (skipped) skipped = skip_section(kTempSampleRecordSize, "temp sample");
+  std::vector<ClockSync> syncs;
+  if (skipped) {
+    // Reuse the frame+chunk reader on the sync section itself.
+    std::uint64_t count = 0;
+    std::uint32_t rs = 0;
+    if (!cur.get(&count) || count > kMaxRecords) {
+      skipped = Status::error("truncated or oversized clock sync section");
+    } else if (!cur.get(&rs) || rs != kClockSyncRecordSize) {
+      skipped = Status::error(
+          "clock sync record size mismatch (corrupt section framing)");
+    } else {
+      syncs.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(count, kReserveCap)));
+      std::vector<char> staging;
+      const std::size_t per_chunk =
+          std::max<std::size_t>(1, kStagingBytes / kClockSyncRecordSize);
+      std::uint64_t left = count;
+      while (left > 0 && skipped) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(per_chunk, left));
+        staging.resize(n * kClockSyncRecordSize);
+        if (!cur.get_bytes(staging.data(), staging.size())) {
+          skipped = Status::error("truncated clock sync section");
+          break;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          ClockSync c;
+          (void)unpack_clock_sync(staging.data() + j * kClockSyncRecordSize, &c);
+          syncs.push_back(c);
+        }
+        left -= n;
+      }
+    }
+  }
+
+  in.clear();
+  in.seekg(pos);
+  if (!in) return R::error("stream rewind failed after clock-sync pre-pass");
+  if (!skipped) return R::error(skipped.message());
+  return syncs;
+}
+
+Status TraceStreamReader::expect_eof() {
+  if (!done()) {
+    return Status::error("trace not fully read (bulk sections still pending)");
+  }
+  std::istream& in = *in_;
+  if (in.peek() == std::char_traits<char>::eof()) return Status::ok();
+  const std::istream::pos_type pos = in.tellg();
+  std::string count = "trailing";
+  if (in && pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.clear();
+    in.seekg(pos);
+    if (end != std::istream::pos_type(-1) && end > pos) {
+      count = std::to_string(static_cast<std::uint64_t>(end - pos)) + " trailing";
+    }
+  }
+  return Status::error(count + " byte(s) after the last trace section "
+                       "(concatenated or partially overwritten file?)");
+}
 
 Result<Trace> read_trace(std::istream& in) {
-  const std::uint64_t stream_bound = remaining_bytes_bound(in);
-  Cursor cur(in);
-  std::uint64_t magic = 0;
-  std::uint32_t version = 0;
+  auto opened = TraceStreamReader::open(in);
+  if (!opened.is_ok()) return Result<Trace>::error(opened.message());
+  TraceStreamReader reader = std::move(opened).value();
+
   Trace trace;
-
-  if (!cur.get(&magic) || magic != kTraceMagic) {
-    return Result<Trace>::error("not a Tempest trace (bad magic)");
-  }
-  if (!cur.get(&version)) {
-    return Result<Trace>::error("truncated trace header (no version)");
-  }
-  if (version != kTraceVersion) {
-    return Result<Trace>::error(
-        "unsupported trace version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kTraceVersion) +
-        "; re-record the trace with a matching Tempest build)");
-  }
-  if (!cur.get(&trace.tsc_ticks_per_second) || !cur.get_string(&trace.executable) ||
-      !cur.get(&trace.load_bias)) {
-    return Result<Trace>::error("truncated trace header");
-  }
-
-  std::uint32_t n32 = 0;
-  if (!cur.get(&n32)) return Result<Trace>::error("truncated node section");
-  trace.nodes.reserve(std::min<std::uint64_t>(n32, kReserveCap));
-  for (std::uint32_t i = 0; i < n32; ++i) {
-    NodeInfo n;
-    if (!cur.get(&n.node_id) || !cur.get_string(&n.hostname)) {
-      return Result<Trace>::error("truncated node record");
+  static_cast<TraceHeader&>(trace) = reader.header();
+  std::size_t appended = 0;
+  while (!reader.done()) {
+    Status section = reader.next_fn_events(
+        &trace.fn_events, std::numeric_limits<std::size_t>::max(), &appended);
+    if (section) {
+      section = reader.next_temp_samples(
+          &trace.temp_samples, std::numeric_limits<std::size_t>::max(), &appended);
     }
-    trace.nodes.push_back(std::move(n));
-  }
-
-  if (!cur.get(&n32)) return Result<Trace>::error("truncated sensor section");
-  trace.sensors.reserve(std::min<std::uint64_t>(n32, kReserveCap));
-  for (std::uint32_t i = 0; i < n32; ++i) {
-    SensorMeta s;
-    if (!cur.get(&s.node_id) || !cur.get(&s.sensor_id) || !cur.get(&s.quant_step_c) ||
-        !cur.get_string(&s.name)) {
-      return Result<Trace>::error("truncated sensor record");
+    if (section) {
+      section = reader.next_clock_syncs(
+          &trace.clock_syncs, std::numeric_limits<std::size_t>::max(), &appended);
     }
-    trace.sensors.push_back(std::move(s));
+    if (!section) return Result<Trace>::error(section.message());
   }
-
-  if (!cur.get(&n32)) return Result<Trace>::error("truncated thread section");
-  trace.threads.reserve(std::min<std::uint64_t>(n32, kReserveCap));
-  for (std::uint32_t i = 0; i < n32; ++i) {
-    ThreadInfo t;
-    if (!cur.get(&t.thread_id) || !cur.get(&t.node_id) || !cur.get(&t.core)) {
-      return Result<Trace>::error("truncated thread record");
-    }
-    trace.threads.push_back(t);
-  }
-
-  if (!cur.get(&n32)) return Result<Trace>::error("truncated synthetic-symbol section");
-  trace.synthetic_symbols.reserve(std::min<std::uint64_t>(n32, kReserveCap));
-  for (std::uint32_t i = 0; i < n32; ++i) {
-    SyntheticSymbol s;
-    if (!cur.get(&s.addr) || !cur.get_string(&s.name)) {
-      return Result<Trace>::error("truncated synthetic symbol");
-    }
-    trace.synthetic_symbols.push_back(std::move(s));
-  }
-
-  Status section = read_section(
-      cur, &trace.fn_events, kFnEventRecordSize, "fn event", stream_bound,
-      [](const char* p, FnEvent* e) {
-        e->tsc = unpack_u64(p);
-        e->addr = unpack_u64(p + 8);
-        e->thread_id = unpack_u32(p + 16);
-        e->node_id = unpack_u16(p + 20);
-        const auto kind = static_cast<unsigned char>(p[22]);
-        if (kind != 1 && kind != 2) return false;
-        e->kind = static_cast<FnEventKind>(kind);
-        return true;
-      });
-  if (!section) return Result<Trace>::error(section.message());
-
-  section = read_section(cur, &trace.temp_samples, kTempSampleRecordSize,
-                         "temp sample", stream_bound,
-                         [](const char* p, TempSample* s) {
-                           s->tsc = unpack_u64(p);
-                           s->temp_c = unpack_f64(p + 8);
-                           s->node_id = unpack_u16(p + 16);
-                           s->sensor_id = unpack_u16(p + 18);
-                           return true;
-                         });
-  if (!section) return Result<Trace>::error(section.message());
-
-  section = read_section(cur, &trace.clock_syncs, kClockSyncRecordSize,
-                         "clock sync", stream_bound,
-                         [](const char* p, ClockSync* c) {
-                           c->node_tsc = unpack_u64(p);
-                           c->global_tsc = unpack_u64(p + 8);
-                           c->node_id = unpack_u16(p + 16);
-                           return true;
-                         });
-  if (!section) return Result<Trace>::error(section.message());
-
   return trace;
 }
 
 Result<Trace> read_trace_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Result<Trace>::error("cannot open trace file: " + path);
-  return read_trace(in);
+  auto opened = TraceStreamReader::open(in);
+  if (!opened.is_ok()) {
+    return Result<Trace>::error(path + ": " + opened.message());
+  }
+  TraceStreamReader reader = std::move(opened).value();
+  Trace trace;
+  static_cast<TraceHeader&>(trace) = reader.header();
+  std::size_t appended = 0;
+  while (!reader.done()) {
+    Status section = reader.next_fn_events(
+        &trace.fn_events, std::numeric_limits<std::size_t>::max(), &appended);
+    if (section) {
+      section = reader.next_temp_samples(
+          &trace.temp_samples, std::numeric_limits<std::size_t>::max(), &appended);
+    }
+    if (section) {
+      section = reader.next_clock_syncs(
+          &trace.clock_syncs, std::numeric_limits<std::size_t>::max(), &appended);
+    }
+    if (!section) return Result<Trace>::error(path + ": " + section.message());
+  }
+  const Status eof = reader.expect_eof();
+  if (!eof) return Result<Trace>::error(path + ": " + eof.message());
+  return trace;
 }
 
 }  // namespace tempest::trace

@@ -125,6 +125,19 @@ void merge_runs(std::vector<FnEvent>* events, const std::vector<SortedRun>& runs
 
 }  // namespace
 
+void TraceHeader::append(const TraceHeader& other) {
+  if (!(tsc_ticks_per_second > 0.0)) tsc_ticks_per_second = other.tsc_ticks_per_second;
+  if (executable.empty()) {
+    executable = other.executable;
+    load_bias = other.load_bias;
+  }
+  nodes.insert(nodes.end(), other.nodes.begin(), other.nodes.end());
+  sensors.insert(sensors.end(), other.sensors.begin(), other.sensors.end());
+  threads.insert(threads.end(), other.threads.begin(), other.threads.end());
+  synthetic_symbols.insert(synthetic_symbols.end(), other.synthetic_symbols.begin(),
+                           other.synthetic_symbols.end());
+}
+
 void Trace::sort_by_time() {
   const auto event_before = [](const FnEvent& a, const FnEvent& b) {
     return a.tsc < b.tsc;

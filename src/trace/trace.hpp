@@ -76,8 +76,11 @@ struct SortedRun {
   std::size_t count = 0;
 };
 
-/// A complete run's worth of profiling data.
-struct Trace {
+/// Run-level metadata: everything in a trace except the bulk record
+/// sections. Small (O(nodes + threads + sensors)), so the streaming
+/// pipeline materialises it eagerly while events stream through in
+/// bounded batches.
+struct TraceHeader {
   double tsc_ticks_per_second = 0.0;
   std::string executable;       ///< path used for symbol resolution
   std::uint64_t load_bias = 0;  ///< runtime - link-time address delta (PIE)
@@ -86,6 +89,17 @@ struct Trace {
   std::vector<SensorMeta> sensors;
   std::vector<ThreadInfo> threads;
   std::vector<SyntheticSymbol> synthetic_symbols;
+
+  /// Append another run's metadata in declaration order (multi-rank
+  /// fan-in). Ids are not remapped: ranks are expected to carry
+  /// globally unique node/thread ids, and tempest-lint's duplicate-id
+  /// checks flag violations after a merge.
+  void append(const TraceHeader& other);
+};
+
+/// A complete run's worth of profiling data: header plus the bulk
+/// record sections.
+struct Trace : TraceHeader {
   std::vector<FnEvent> fn_events;
   std::vector<TempSample> temp_samples;
   std::vector<ClockSync> clock_syncs;

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/wait.h>
+
 #include "core/api.hpp"
 #include "core/workbench.hpp"
 #include "simnode/cluster.hpp"
@@ -120,6 +122,55 @@ TEST_F(CliTest, TopLimitsFunctions) {
   ASSERT_EQ(run_cli("--top 1", &out), 0);
   EXPECT_NE(out.find("Function: cli_hot"), std::string::npos);
   EXPECT_EQ(out.find("Function: cli_cool"), std::string::npos);
+}
+
+/// Run the CLI with a raw argument string (no trace path appended) and
+/// return its actual exit code.
+int run_exit_code(const std::string& args) {
+  const std::string cmd =
+      std::string(TEMPEST_PARSE_BIN) + " " + args + " >/dev/null 2>/dev/null";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST_F(CliTest, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_exit_code("--bogus \"" + *trace_path_ + "\""), 2);
+}
+
+TEST_F(CliTest, BadUnitIsUsageError) {
+  EXPECT_EQ(run_exit_code("--unit K \"" + *trace_path_ + "\""), 2);
+}
+
+TEST_F(CliTest, BadFormatIsUsageError) {
+  EXPECT_EQ(run_exit_code("--format yaml \"" + *trace_path_ + "\""), 2);
+}
+
+TEST_F(CliTest, NonNumericTopIsUsageError) {
+  EXPECT_EQ(run_exit_code("--top banana \"" + *trace_path_ + "\""), 2);
+}
+
+TEST_F(CliTest, MissingOptionValueIsUsageError) {
+  EXPECT_EQ(run_exit_code("--format"), 2);
+}
+
+TEST_F(CliTest, NoTraceFileIsUsageError) { EXPECT_EQ(run_exit_code(""), 2); }
+
+TEST_F(CliTest, NonexistentTraceIsReadError) {
+  EXPECT_EQ(run_exit_code("/nonexistent.trace"), 1);
+  EXPECT_EQ(run_exit_code("--stream /nonexistent.trace"), 1);
+}
+
+TEST_F(CliTest, StreamedOutputMatchesBatch) {
+  std::string batch, streamed;
+  ASSERT_EQ(run_cli("", &batch), 0);
+  ASSERT_EQ(run_cli("--stream", &streamed), 0);
+  EXPECT_EQ(streamed, batch);
+  ASSERT_EQ(run_cli("--format json", &batch), 0);
+  ASSERT_EQ(run_cli("--stream --format json", &streamed), 0);
+  EXPECT_EQ(streamed, batch);
+  ASSERT_EQ(run_cli("--format csv --span cli_hot", &batch), 0);
+  ASSERT_EQ(run_cli("--stream --format csv --span cli_hot", &streamed), 0);
+  EXPECT_EQ(streamed, batch);
 }
 
 TEST_F(CliTest, BadInputsFailGracefully) {

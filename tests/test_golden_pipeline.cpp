@@ -14,6 +14,7 @@
 #include "parser/profile.hpp"
 #include "parser/reference.hpp"
 #include "parser/timeline.hpp"
+#include "pipeline/analysis.hpp"
 #include "trace/reader.hpp"
 #include "trace/trace.hpp"
 #include "trace/writer.hpp"
@@ -273,6 +274,34 @@ TEST(GoldenPipeline, EndToEndThroughV2RoundTrip) {
   const RunProfile seed = reference::build_profile_seed(
       seed_t, seed_tl, golden_names(), seed_diag, {});
   expect_profiles_equal(fast, seed);
+}
+
+TEST(GoldenPipeline, StreamingFoldMatchesSeedOracle) {
+  // The streaming pipeline's consumer core, fed the sorted golden trace
+  // in deliberately small, uneven batches, must reproduce the seed
+  // pipeline's profile exactly. The seed gets hex names because the
+  // fold's symboliser falls back to hex when the recorded executable
+  // ("golden", which doesn't exist) has no symtab.
+  Trace t = golden_trace();
+  t.sort_by_time();
+  TimelineDiagnostics seed_diag;
+  const TimelineMap seed_tl = reference::build_timeline_seed(t, &seed_diag);
+  const std::vector<std::pair<std::uint64_t, std::string>> hex_names = {
+      {kFnA, "0x1000"}, {kFnB, "0x2000"}, {kFnC, "0x3000"}, {kFnD, "0x4000"}};
+  const RunProfile seed =
+      reference::build_profile_seed(t, seed_tl, hex_names, seed_diag, {});
+
+  tempest::pipeline::AnalysisPipeline fold;
+  fold.set_metadata(t);
+  for (std::size_t i = 0; i < t.fn_events.size(); i += 3) {
+    fold.add_fn_events(t.fn_events.data() + i,
+                       std::min<std::size_t>(3, t.fn_events.size() - i));
+  }
+  for (std::size_t i = 0; i < t.temp_samples.size(); i += 2) {
+    fold.add_temp_samples(t.temp_samples.data() + i,
+                          std::min<std::size_t>(2, t.temp_samples.size() - i));
+  }
+  expect_profiles_equal(fold.finish().profile, seed);
 }
 
 TEST(GoldenPipeline, FindLocatesEveryFunctionLikeLinearScan) {

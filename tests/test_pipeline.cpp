@@ -1,0 +1,366 @@
+// Streaming pipeline: source/stage/sink plumbing, bounded batches,
+// multi-rank fan-in, and byte-identical equivalence with the batch
+// path. The multi-rank golden test is the paper's parallel-hot-spot
+// workflow: four per-rank traces, one streaming pass, output pinned
+// against the batch parser run over the concatenated, aligned trace.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "parser/parse.hpp"
+#include "pipeline/analysis.hpp"
+#include "pipeline/rank_fanin.hpp"
+#include "pipeline/sinks.hpp"
+#include "pipeline/source.hpp"
+#include "pipeline/stages.hpp"
+#include "report/json.hpp"
+#include "report/series.hpp"
+#include "report/stdout_format.hpp"
+#include "trace/align.hpp"
+#include "trace/reader.hpp"
+#include "trace/trace.hpp"
+#include "trace/writer.hpp"
+
+namespace {
+
+using namespace tempest;
+using namespace tempest::trace;
+namespace pipeline = tempest::pipeline;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// One rank's trace: its own node, two threads, one sensor, and clock
+/// syncs mapping the rank-local clock onto the global one. Timestamps
+/// are strictly distinct across ranks (base offsets) so the k-way merge
+/// has no cross-rank enter/exit ties to disambiguate.
+Trace rank_trace(std::uint16_t rank, std::uint64_t skew) {
+  Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.executable = "mpi_app";
+  t.nodes = {{rank, "rank" + std::to_string(rank)}};
+  t.sensors = {{rank, 0, "cpu", 1.0}};
+  const std::uint32_t t0 = rank * 2u, t1 = rank * 2u + 1u;
+  t.threads = {{t0, rank, 0}, {t1, rank, 1}};
+
+  // Rank-local clocks run `skew` ticks behind the global clock; syncs
+  // at both ends pin the linear fit exactly.
+  const std::uint64_t base = 1000 + rank * 13;  // global-time base
+  const auto local = [&](std::uint64_t global) { return global - skew; };
+  const std::uint64_t kFnMain = 0x1000, kFnWork = 0x2000 + rank;
+
+  const auto push = [&](std::uint32_t tid, std::uint64_t global_tsc,
+                        std::uint64_t addr, FnEventKind kind) {
+    t.fn_events.push_back({local(global_tsc), addr, tid, rank, kind});
+  };
+  const std::size_t run0 = t.fn_events.size();
+  push(t0, base + 0, kFnMain, FnEventKind::kEnter);
+  push(t0, base + 100, kFnWork, FnEventKind::kEnter);
+  push(t0, base + 700, kFnWork, FnEventKind::kExit);
+  push(t0, base + 900, kFnMain, FnEventKind::kExit);
+  t.fn_event_runs.push_back({run0, t.fn_events.size() - run0});
+  const std::size_t run1 = t.fn_events.size();
+  push(t1, base + 50, kFnWork, FnEventKind::kEnter);
+  push(t1, base + 650, kFnWork, FnEventKind::kExit);
+  t.fn_event_runs.push_back({run1, t.fn_events.size() - run1});
+
+  for (std::uint64_t g = base + 40; g < base + 900; g += 200) {
+    t.temp_samples.push_back({local(g), 40.0 + rank + (g % 7) * 0.5, rank, 0});
+  }
+  t.clock_syncs = {{local(base), base, rank},
+                   {local(base + 1000), base + 1000, rank}};
+  return t;
+}
+
+/// The batch-path reference for a multi-rank run: concatenate the
+/// per-rank traces in path order (metadata via TraceHeader::append,
+/// record vectors appended) — what `cat`-style merging would produce.
+Trace concatenated(const std::vector<Trace>& ranks) {
+  Trace combined;
+  for (const Trace& r : ranks) {
+    combined.append(r);
+    combined.fn_events.insert(combined.fn_events.end(), r.fn_events.begin(),
+                              r.fn_events.end());
+    combined.temp_samples.insert(combined.temp_samples.end(),
+                                 r.temp_samples.begin(), r.temp_samples.end());
+    combined.clock_syncs.insert(combined.clock_syncs.end(),
+                                r.clock_syncs.begin(), r.clock_syncs.end());
+  }
+  return combined;
+}
+
+/// A single-rank trace with no clock syncs, written time-sorted — the
+/// shape a recorded single-node session produces.
+Trace sorted_single_trace() {
+  Trace t = rank_trace(0, 0);
+  t.clock_syncs.clear();
+  t.sort_by_time();
+  return t;
+}
+
+TEST(ChunkedTraceSource, StreamsWholeTraceInBoundedBatches) {
+  const Trace t = sorted_single_trace();
+  const std::string path = temp_path("chunked.trace");
+  ASSERT_TRUE(write_trace_file(path, t));
+
+  pipeline::BatchOptions options;
+  options.batch_records = 2;  // force several batches per section
+  auto opened = pipeline::ChunkedTraceSource::open(path, options);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  auto source = std::move(opened).value();
+
+  pipeline::CountingSink counter;
+  const Status ran = pipeline::run_pipeline(&source, {}, {&counter});
+  ASSERT_TRUE(ran) << ran.message();
+  EXPECT_EQ(counter.fn_events(), t.fn_events.size());
+  EXPECT_EQ(counter.temp_samples(), t.temp_samples.size());
+  EXPECT_EQ(counter.clock_syncs(), 0u);
+  EXPECT_GE(counter.batches(),
+            (t.fn_events.size() + 1) / 2 + (t.temp_samples.size() + 1) / 2);
+}
+
+TEST(ChunkedTraceSource, OpenRejectsMissingFile) {
+  auto opened = pipeline::ChunkedTraceSource::open(temp_path("nope.trace"));
+  ASSERT_FALSE(opened.is_ok());
+  EXPECT_NE(opened.message().find("cannot open"), std::string::npos);
+}
+
+TEST(ChunkedTraceSource, TruncatedSectionSurfacesActionableError) {
+  const Trace t = sorted_single_trace();
+  const std::string full = temp_path("full.trace");
+  ASSERT_TRUE(write_trace_file(full, t));
+  std::ifstream in(full, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  const std::string cut = temp_path("cut.trace");
+  std::ofstream out(cut, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 10));
+  out.close();
+
+  auto opened = pipeline::ChunkedTraceSource::open(cut);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  auto source = std::move(opened).value();
+  pipeline::CountingSink counter;
+  const Status ran = pipeline::run_pipeline(&source, {}, {&counter});
+  ASSERT_FALSE(ran);
+  EXPECT_NE(ran.message().find("truncated"), std::string::npos) << ran.message();
+  EXPECT_NE(ran.message().find(cut), std::string::npos) << ran.message();
+}
+
+TEST(ChunkedTraceSource, TrailingBytesRejected) {
+  const Trace t = sorted_single_trace();
+  const std::string path = temp_path("trailing.trace");
+  ASSERT_TRUE(write_trace_file(path, t));
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << "junk";
+  out.close();
+
+  auto opened = pipeline::ChunkedTraceSource::open(path);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  auto source = std::move(opened).value();
+  pipeline::CountingSink counter;
+  const Status ran = pipeline::run_pipeline(&source, {}, {&counter});
+  ASSERT_FALSE(ran);
+  EXPECT_NE(ran.message().find("trailing"), std::string::npos) << ran.message();
+}
+
+TEST(OrderCheckStage, RejectsOutOfOrderStream) {
+  Trace t = sorted_single_trace();
+  std::swap(t.fn_events.front(), t.fn_events.back());  // break the order
+  t.fn_event_runs.clear();
+  const std::string path = temp_path("unsorted.trace");
+  ASSERT_TRUE(write_trace_file(path, t));
+
+  auto opened = pipeline::ChunkedTraceSource::open(path);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  auto source = std::move(opened).value();
+  pipeline::OrderCheckStage order;
+  pipeline::CountingSink counter;
+  const Status ran = pipeline::run_pipeline(&source, {&order}, {&counter});
+  ASSERT_FALSE(ran);
+  EXPECT_NE(ran.message().find("time order"), std::string::npos) << ran.message();
+}
+
+TEST(MemoryTraceSource, MatchesChunkedSource) {
+  const Trace t = sorted_single_trace();
+  const std::string path = temp_path("memvsfile.trace");
+  ASSERT_TRUE(write_trace_file(path, t));
+
+  pipeline::BatchOptions options;
+  options.batch_records = 3;
+  pipeline::MemoryTraceSource mem(t, options);
+  pipeline::CountingSink mem_counter;
+  ASSERT_TRUE(pipeline::run_pipeline(&mem, {}, {&mem_counter}));
+
+  auto opened = pipeline::ChunkedTraceSource::open(path, options);
+  ASSERT_TRUE(opened.is_ok());
+  auto file_source = std::move(opened).value();
+  pipeline::CountingSink file_counter;
+  ASSERT_TRUE(pipeline::run_pipeline(&file_source, {}, {&file_counter}));
+
+  EXPECT_EQ(mem_counter.fn_events(), file_counter.fn_events());
+  EXPECT_EQ(mem_counter.temp_samples(), file_counter.temp_samples());
+}
+
+/// Render a profile + series exactly as tempest_parse does, for byte
+/// comparison between the batch and streaming paths.
+struct Rendered {
+  std::string text, json, csv;
+};
+
+Rendered render(const parser::RunProfile& profile,
+                const report::ThermalSeries& series) {
+  Rendered r;
+  std::ostringstream text, json, csv;
+  report::print_profile(text, profile, {});
+  r.text = text.str();
+  report::write_profile_json(json, profile);
+  json << "\n";
+  r.json = json.str();
+  report::write_series_csv(csv, series);
+  r.csv = csv.str();
+  return r;
+}
+
+Rendered render_streaming(pipeline::Source* source,
+                          const std::vector<pipeline::Stage*>& stages) {
+  pipeline::AnalysisOptions options;
+  options.want_series = true;
+  pipeline::AnalysisSink sink(options);
+  const Status ran = pipeline::run_pipeline(source, stages, {&sink});
+  EXPECT_TRUE(ran) << ran.message();
+  return render(sink.result().profile, sink.result().series);
+}
+
+TEST(StreamingEquivalence, SingleFileMatchesBatchPath) {
+  const Trace t = sorted_single_trace();
+  const std::string path = temp_path("equiv.trace");
+  ASSERT_TRUE(write_trace_file(path, t));
+
+  // Batch: the tool's load + parse + extract_series path.
+  auto loaded = read_trace_file(path);
+  ASSERT_TRUE(loaded.is_ok());
+  Trace batch_trace = std::move(loaded).value();
+  const Status aligned = align_clocks(&batch_trace);
+  ASSERT_TRUE(aligned) << aligned.message();
+  auto parsed = parser::parse_trace(batch_trace);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  const Rendered batch = render(
+      parsed.value(),
+      report::extract_series(batch_trace, TempUnit::kFahrenheit));
+
+  // Streaming: chunked source (tiny batches) + align + order check.
+  pipeline::BatchOptions options;
+  options.batch_records = 2;
+  auto opened = pipeline::ChunkedTraceSource::open(path, options);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  auto source = std::move(opened).value();
+  auto fits = source.clock_fits();
+  ASSERT_TRUE(fits.is_ok()) << fits.message();
+  pipeline::ClockAlignStage align_stage(std::move(fits).value());
+  pipeline::OrderCheckStage order;
+  const Rendered streaming = render_streaming(&source, {&align_stage, &order});
+
+  EXPECT_EQ(streaming.text, batch.text);
+  EXPECT_EQ(streaming.json, batch.json);
+  EXPECT_EQ(streaming.csv, batch.csv);
+}
+
+TEST(StreamingEquivalence, FourRankFanInMatchesConcatenatedBatch) {
+  // Four ranks, each with its own clock skew; globally unique node,
+  // thread, and sensor ids, as the fan-in contract requires.
+  std::vector<Trace> ranks;
+  std::vector<std::string> paths;
+  for (std::uint16_t r = 0; r < 4; ++r) {
+    ranks.push_back(rank_trace(r, 40 + 17ull * r));
+    ranks.back().sort_by_time();
+    paths.push_back(temp_path("rank" + std::to_string(r) + ".trace"));
+    ASSERT_TRUE(write_trace_file(paths.back(), ranks.back()));
+  }
+
+  // Batch reference: concatenate, align (fits from the concatenated
+  // sync stream), sort, parse — the workflow the fan-in replaces.
+  Trace combined = concatenated(ranks);
+  const Status aligned = align_clocks(&combined);
+  ASSERT_TRUE(aligned) << aligned.message();
+  auto parsed = parser::parse_trace(combined);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  const Rendered batch = render(
+      parsed.value(),
+      report::extract_series(combined, TempUnit::kFahrenheit));
+
+  // Streaming: one pass over the four files.
+  pipeline::BatchOptions options;
+  options.batch_records = 3;  // force refills mid-merge
+  auto opened = pipeline::RankFanIn::open(paths, options);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  auto fan = std::move(opened).value();
+  pipeline::OrderCheckStage order;
+  const Rendered streaming = render_streaming(&fan, {&order});
+
+  EXPECT_EQ(streaming.text, batch.text);
+  EXPECT_EQ(streaming.json, batch.json);
+  EXPECT_EQ(streaming.csv, batch.csv);
+}
+
+TEST(RankFanIn, CombinedMetadataKeepsPathOrder) {
+  std::vector<std::string> paths;
+  for (std::uint16_t r = 0; r < 3; ++r) {
+    Trace t = rank_trace(r, 0);
+    t.sort_by_time();
+    paths.push_back(temp_path("meta_rank" + std::to_string(r) + ".trace"));
+    ASSERT_TRUE(write_trace_file(paths[r], t));
+  }
+  auto opened = pipeline::RankFanIn::open(paths);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  const auto& meta = opened.value().meta();
+  ASSERT_EQ(meta.nodes.size(), 3u);
+  EXPECT_EQ(meta.nodes[0].hostname, "rank0");
+  EXPECT_EQ(meta.nodes[2].hostname, "rank2");
+  EXPECT_EQ(meta.threads.size(), 6u);
+  EXPECT_EQ(meta.sensors.size(), 3u);
+  EXPECT_DOUBLE_EQ(meta.tsc_ticks_per_second, 1e9);
+  EXPECT_EQ(meta.executable, "mpi_app");
+}
+
+TEST(RankFanIn, RejectsEmptyPathListAndMissingFile) {
+  auto none = pipeline::RankFanIn::open({});
+  ASSERT_FALSE(none.is_ok());
+  auto missing = pipeline::RankFanIn::open({temp_path("absent.trace")});
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_NE(missing.message().find("cannot open"), std::string::npos);
+}
+
+TEST(LintSink, MatchesBatchLintReport) {
+  Trace t = rank_trace(0, 0);
+  t.sort_by_time();
+  analysis::LintOptions options;
+  options.expected_hz = 0.0;
+  const analysis::LintReport batch = analysis::lint_trace(t, options);
+
+  pipeline::BatchOptions batch_options;
+  batch_options.batch_records = 2;
+  pipeline::MemoryTraceSource source(t, batch_options);
+  pipeline::LintSink sink(options);
+  const Status ran = pipeline::run_pipeline(&source, {}, {&sink});
+  ASSERT_TRUE(ran) << ran.message();
+
+  EXPECT_EQ(analysis::to_json(sink.report()), analysis::to_json(batch));
+}
+
+TEST(AnalysisPipeline, EmptyRunProducesEmptyProfile) {
+  pipeline::AnalysisPipeline fold;
+  const pipeline::AnalysisResult result = fold.finish();
+  EXPECT_TRUE(result.profile.nodes.empty());
+  EXPECT_DOUBLE_EQ(result.profile.duration_s, 0.0);
+  EXPECT_FALSE(result.has_series);
+}
+
+}  // namespace
