@@ -91,7 +91,11 @@ struct LintEngine::Impl {
   std::vector<Finding> mono_syncs;
   std::vector<Finding> nesting;
   std::vector<Finding> cadence;
+  std::vector<Finding> runstats;
   std::vector<Finding> trailing;
+
+  // RUNSTATS trailer (absent unless set_run_stats was called).
+  trace::RunStats run_stats;
 
   // Header-derived context.
   double tsc_ticks_per_second = 0.0;
@@ -315,6 +319,10 @@ void LintEngine::add_clock_syncs(const trace::ClockSync* syncs, std::size_t n) {
   }
 }
 
+void LintEngine::set_run_stats(const trace::RunStats& stats) {
+  impl_->run_stats = stats;
+}
+
 void LintEngine::note_trailing_bytes(std::uint64_t bytes) {
   Impl& im = *impl_;
   std::ostringstream msg;
@@ -423,6 +431,42 @@ LintReport LintEngine::finish() {
     }
   }
 
+  // RUNSTATS cross-checks: the recorder's own accounting vs what the
+  // trace holds. These are the "overhead of the overhead" trust anchors
+  // — if the runtime says it recorded N events and the trace has M != N,
+  // either the buffers lost data silently (beyond the declared drops) or
+  // the trailer is stale/corrupt.
+  if (im.run_stats.present) {
+    Impl::Collector out(&im, &im.runstats);
+    const trace::RunStats& rs = im.run_stats;
+    if (rs.events_recorded != im.n_events) {
+      out.add("runstats-consistency", Severity::kError,
+              "runstats claim " + std::to_string(rs.events_recorded) +
+                  " recorded fn events but the trace holds " +
+                  std::to_string(im.n_events));
+    }
+    if (rs.tempd_samples != im.n_samples) {
+      out.add("runstats-consistency", Severity::kError,
+              "runstats claim " + std::to_string(rs.tempd_samples) +
+                  " tempd samples but the trace holds " +
+                  std::to_string(im.n_samples));
+    }
+    if (im.n_sensors > 0 &&
+        rs.tempd_samples > rs.tempd_ticks * im.n_sensors) {
+      out.add("runstats-consistency", Severity::kError,
+              "runstats claim " + std::to_string(rs.tempd_samples) +
+                  " samples from only " + std::to_string(rs.tempd_ticks) +
+                  " ticks over " + std::to_string(im.n_sensors) +
+                  " sensor(s) (more samples than reads)");
+    }
+    if (rs.events_dropped > 0) {
+      out.add("events-dropped", Severity::kWarning,
+              "recorder dropped " + std::to_string(rs.events_dropped) +
+                  " fn event(s) at the thread-buffer cap; hot spots may be "
+                  "under-counted (raise TEMPEST_MAX_EVENTS)");
+    }
+  }
+
   LintReport report;
   report.fn_events = im.n_events;
   report.temp_samples = im.n_samples;
@@ -434,7 +478,7 @@ LintReport LintEngine::finish() {
   for (auto* bucket :
        {&im.metadata_deferred, &im.metadata, &im.references, &im.mono_events,
         &im.mono_global, &im.mono_samples, &im.mono_syncs, &im.nesting,
-        &im.cadence, &im.trailing}) {
+        &im.cadence, &im.runstats, &im.trailing}) {
     report.findings.insert(report.findings.end(),
                            std::make_move_iterator(bucket->begin()),
                            std::make_move_iterator(bucket->end()));
@@ -447,6 +491,7 @@ LintReport lint_trace(const trace::Trace& trace, const LintOptions& options) {
   engine.add_fn_events(trace.fn_events.data(), trace.fn_events.size());
   engine.add_temp_samples(trace.temp_samples.data(), trace.temp_samples.size());
   engine.add_clock_syncs(trace.clock_syncs.data(), trace.clock_syncs.size());
+  engine.set_run_stats(trace.run_stats);
   return engine.finish();
 }
 
@@ -487,6 +532,9 @@ Result<LintReport> lint_trace_file(const std::string& path,
     if (s) engine.add_clock_syncs(syncs.data(), syncs.size());
     if (!s) return Result<LintReport>::error(path + ": " + s.message());
   }
+  // The RUNSTATS trailer materialises in the reader's header once the
+  // last bulk section drains.
+  engine.set_run_stats(reader.header().run_stats);
 
   // The reader stops after the last section; a well-formed file ends
   // there. Trailing bytes mean concatenation or partial overwrite —

@@ -98,6 +98,14 @@ class LintEngine {
   /// (concatenated or partially overwritten file) — an error finding.
   void note_trailing_bytes(std::uint64_t bytes);
 
+  /// Provide the trace's RUNSTATS trailer (no-op when absent). finish()
+  /// then cross-checks the recorder's own counters against what the
+  /// trace actually contains: recorded-event count vs fn events read,
+  /// tempd sample count vs samples read, samples vs ticks x sensors —
+  /// a mismatch means the trace and its runtime accounting disagree,
+  /// i.e. one of them lies. Callable any time before finish().
+  void set_run_stats(const trace::RunStats& stats);
+
   /// Run end-of-stream checks and return the report. The engine is
   /// spent afterwards.
   LintReport finish();

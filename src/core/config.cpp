@@ -16,6 +16,13 @@ SessionConfig SessionConfig::from_env() {
   c.auto_report = env_bool("TEMPEST_REPORT", c.auto_report);
   const long min_samples = env_long("TEMPEST_MIN_SAMPLES", 2);
   c.min_samples_significant = min_samples < 0 ? 0 : static_cast<std::size_t>(min_samples);
+  c.heartbeat_period_s = env_double("TEMPEST_HEARTBEAT", c.heartbeat_period_s);
+  if (c.heartbeat_period_s < 0.0) c.heartbeat_period_s = 0.0;
+  const long max_events = env_long("TEMPEST_MAX_EVENTS", 0);
+  c.max_events_per_thread = max_events < 0 ? 0 : static_cast<std::size_t>(max_events);
+  c.watchdog = env_bool("TEMPEST_WATCHDOG", c.watchdog);
+  c.watchdog_budget = env_double("TEMPEST_WATCHDOG_BUDGET", c.watchdog_budget);
+  if (c.watchdog_budget <= 0.0) c.watchdog_budget = 0.01;
   return c;
 }
 

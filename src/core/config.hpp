@@ -10,6 +10,14 @@
 //   TEMPEST_BIND    bind the main thread to a CPU (default 1, see §3.3)
 //   TEMPEST_CPU     which CPU to bind to (default 0)
 //   TEMPEST_REPORT  print the standard-output profile at exit (default 1)
+//   TEMPEST_HEARTBEAT      telemetry snapshot period in seconds written
+//                          to <trace>.telemetry.jsonl (0 = off, default)
+//   TEMPEST_MAX_EVENTS     per-thread event-buffer cap (0 = unbounded);
+//                          overflow drops newest events, loudly counted
+//   TEMPEST_WATCHDOG       fail the session stop() when recording
+//                          overhead exceeded the budget (default 0: log)
+//   TEMPEST_WATCHDOG_BUDGET overhead budget as a share of wall time
+//                          (default 0.01 — the paper's < 1%)
 #pragma once
 
 #include <cstddef>
@@ -29,6 +37,20 @@ struct SessionConfig {
   /// Minimum temperature samples inside a function's intervals for its
   /// thermal statistics to be reported as significant.
   std::size_t min_samples_significant = 2;
+
+  /// Telemetry heartbeat period in seconds; 0 disables the emitter.
+  /// Snapshots append to `<output_path>.telemetry.jsonl`.
+  double heartbeat_period_s = 0.0;
+  /// Per-thread event cap (0 = unbounded). Overflow switches the thread
+  /// to a scratch chunk: newest events drop, every drop is counted.
+  std::size_t max_events_per_thread = 0;
+  /// When true, stop() returns an error if the overhead watchdog trips
+  /// (tempd CPU or probe cost above watchdog_budget of wall time). The
+  /// trace is still written first — the failure is a verdict, not data
+  /// loss.
+  bool watchdog = false;
+  /// Overhead budget as a share of wall time (the paper's < 1%).
+  double watchdog_budget = 0.01;
 
   /// Defaults overlaid with any TEMPEST_* environment variables.
   static SessionConfig from_env();

@@ -6,6 +6,9 @@
 #include "common/tsc.hpp"
 #include "sensors/hwmon.hpp"
 #include "symtab/resolver.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/watchdog.hpp"
 #include "trace/writer.hpp"
 
 namespace tempest::core {
@@ -84,11 +87,24 @@ Status Session::start(const SessionConfig& config) {
 
   registry_.reset();
   trace_ = trace::Trace{};
+  // New telemetry epoch: every counter in this run's RUNSTATS describes
+  // this run only.
+  telemetry::metrics().reset();
+  telemetry::count(telemetry::Counter::kSessionStarts);
+  registry_.set_buffer_limit(config_.max_events_per_thread);
   // Calibrate the TSC on this thread now, so the one-time busy-spin
   // never lands on the tempd thread (it would show up as tempd CPU).
   (void)tsc_ticks_per_second();
   start_tsc_ = rdtsc();
   tempd_.start(config_.sample_hz, &nodes_);
+  if (config_.heartbeat_period_s > 0.0 && !config_.output_path.empty()) {
+    const Status hb = heartbeat_.start(
+        telemetry::HeartbeatEmitter::path_for_trace(config_.output_path),
+        config_.heartbeat_period_s);
+    if (!hb.is_ok()) {
+      telemetry::log_warn("session", "heartbeat disabled: " + hb.message());
+    }
+  }
   active_.store(true, std::memory_order_release);
   return Status::ok();
 }
@@ -116,10 +132,69 @@ Status Session::stop() {
   trace_.clock_syncs = std::move(tempd_.clock_syncs());
   trace_.sort_by_time();
 
+  // Stop the heartbeat after the drain published exact event totals, so
+  // its final JSONL line is the run's true summary; then fold the same
+  // numbers into the trace's RUNSTATS section.
+  heartbeat_.stop();
+  telemetry::count(telemetry::Counter::kSessionStops);
+  assemble_run_stats();
+
+  Status write_status = Status::ok();
   if (!config_.output_path.empty()) {
-    return trace::write_trace_file(config_.output_path, trace_);
+    write_status = trace::write_trace_file(config_.output_path, trace_);
+  }
+
+  // The watchdog's verdict never blocks the trace from being written —
+  // an over-budget run's data is still data, just suspect.
+  const telemetry::WatchdogReport report =
+      telemetry::evaluate_overhead(trace_.run_stats, config_.watchdog_budget);
+  if (report.tripped()) {
+    telemetry::log_warn("watchdog", report.describe());
+  } else {
+    telemetry::log_info("watchdog", report.describe());
+  }
+  if (!write_status.is_ok()) return write_status;
+  if (config_.watchdog && report.tripped()) {
+    return Status::error("overhead watchdog tripped: " + report.describe());
   }
   return Status::ok();
+}
+
+void Session::record_probed(ThreadState* ts, std::uint64_t addr,
+                            trace::FnEventKind kind) {
+  const std::uint64_t t0 = rdtsc();
+  ts->events.push({ts->now(), addr, ts->thread_id, ts->node_id, kind});
+  const std::uint64_t t1 = rdtsc();
+  telemetry::observe(
+      telemetry::Histogram::kProbeCostNs,
+      static_cast<double>(t1 - t0) * 1e9 / tsc_ticks_per_second());
+}
+
+void Session::assemble_run_stats() {
+  using telemetry::Counter;
+  using telemetry::Histogram;
+  const telemetry::MetricsSnapshot snap = telemetry::metrics().snapshot();
+  const Tempd::Stats& td = tempd_.stats();
+  trace::RunStats& rs = trace_.run_stats;
+  rs.events_recorded = snap.counter(Counter::kEventsRecorded);
+  rs.events_dropped = snap.counter(Counter::kEventsDropped);
+  rs.buffer_flushes = snap.counter(Counter::kBufferFlushes);
+  rs.threads_registered = snap.counter(Counter::kThreadsRegistered);
+  // tempd's own Stats are authoritative (single-writer, join-published);
+  // the counters mirror them for the live heartbeat view.
+  rs.tempd_ticks = td.ticks;
+  rs.tempd_missed_ticks = td.missed_ticks;
+  rs.tempd_samples = td.samples;
+  rs.tempd_read_errors = td.read_errors;
+  rs.sensor_read_failures = snap.counter(Counter::kSensorReadFailures);
+  rs.heartbeats = snap.counter(Counter::kHeartbeats);
+  rs.peak_rss_kb = static_cast<std::uint64_t>(telemetry::read_peak_rss_kb());
+  rs.wall_seconds = tsc_to_seconds(rdtsc() - start_tsc_);
+  rs.tempd_cpu_seconds = td.cpu_seconds;
+  rs.probe_cost_ns_mean = snap.histogram(Histogram::kProbeCostNs).mean();
+  rs.cadence_jitter_us_mean =
+      snap.histogram(Histogram::kCadenceJitterUs).mean();
+  rs.present = true;
 }
 
 Status Session::attach_current_thread(std::uint16_t node_id, std::uint16_t core) {

@@ -19,6 +19,7 @@
 #include "core/tempd.hpp"
 #include "core/thread_buffer.hpp"
 #include "simnode/node.hpp"
+#include "telemetry/heartbeat.hpp"
 #include "trace/trace.hpp"
 
 namespace tempest::core {
@@ -72,6 +73,10 @@ class Session {
   void record_enter(std::uint64_t addr) {
     if (!active_.load(std::memory_order_relaxed)) return;
     ThreadState* ts = registry_.current();
+    if ((++ts->probe_tick & (kProbeSamplePeriod - 1)) == 0) {
+      record_probed(ts, addr, trace::FnEventKind::kEnter);
+      return;
+    }
     ts->events.push({ts->now(), addr, ts->thread_id, ts->node_id,
                      trace::FnEventKind::kEnter});
   }
@@ -79,6 +84,10 @@ class Session {
   void record_exit(std::uint64_t addr) {
     if (!active_.load(std::memory_order_relaxed)) return;
     ThreadState* ts = registry_.current();
+    if ((++ts->probe_tick & (kProbeSamplePeriod - 1)) == 0) {
+      record_probed(ts, addr, trace::FnEventKind::kExit);
+      return;
+    }
     ts->events.push({ts->now(), addr, ts->thread_id, ts->node_id,
                      trace::FnEventKind::kExit});
   }
@@ -99,6 +108,16 @@ class Session {
  private:
   Session() = default;
 
+  /// Every kProbeSamplePeriod-th record_* call routes here: the push is
+  /// bracketed by rdtsc reads and the measured cost lands in the
+  /// kProbeCostNs histogram. Power of two so the hot-path check is a
+  /// mask; 1-in-1024 keeps the self-measurement's own cost negligible.
+  static constexpr std::uint32_t kProbeSamplePeriod = 1024;
+  void record_probed(ThreadState* ts, std::uint64_t addr, trace::FnEventKind kind);
+
+  /// Fold telemetry counters + tempd stats into trace_.run_stats.
+  void assemble_run_stats();
+
   // Lifecycle members (config_, nodes_, trace_, ...) are mutated only
   // from the controlling thread while the session is inactive, or
   // published to worker threads through active_ / thread creation.
@@ -109,6 +128,7 @@ class Session {
   std::vector<NodeBinding> nodes_;
   Tempd tempd_;
   ThreadRegistry registry_;
+  telemetry::HeartbeatEmitter heartbeat_;
   trace::Trace trace_;
   std::uint64_t start_tsc_ = 0;
 

@@ -44,6 +44,11 @@ class Tempd {
     std::uint64_t ticks = 0;
     std::uint64_t samples = 0;
     std::uint64_t read_errors = 0;
+    /// Deadlines skipped because a sweep overran whole periods. The
+    /// loop schedules against absolute deadlines (start + n*period), so
+    /// an overrun skips forward instead of compressing later gaps —
+    /// missed ticks are counted, never smeared into drift.
+    std::uint64_t missed_ticks = 0;
     double cpu_seconds = 0.0;  ///< tempd thread CPU time
   };
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
+
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tempest::core {
 namespace {
@@ -21,8 +25,41 @@ std::atomic<std::uint64_t> g_generation{1};
 }  // namespace
 
 void EventBuffer::new_chunk() {
+  using telemetry::Counter;
+  if (dropping_) {
+    // Scratch wrapped: the kChunkSize events it held are gone for good.
+    dropped_ += kChunkSize;
+    telemetry::count(Counter::kEventsDropped, kChunkSize);
+    published_dropped_ += kChunkSize;
+    pos_ = 0;
+    return;
+  }
+  if (!chunks_.empty()) {
+    // The chunk that just filled becomes visible to telemetry here —
+    // chunk-granular publication keeps the per-event hot path free of
+    // atomics while the heartbeat still tracks recording rate live.
+    telemetry::count(Counter::kEventsRecorded, kChunkSize);
+    published_stored_ += kChunkSize;
+  }
+  if (max_chunks_ != 0 && chunks_.size() >= max_chunks_) {
+    if (scratch_ == nullptr) {
+      scratch_ = std::make_unique<trace::FnEvent[]>(kChunkSize);
+    }
+    dropping_ = true;
+    active_ = scratch_.get();
+    pos_ = 0;
+    // One warning per thread (a buffer belongs to exactly one), never
+    // repeated on scratch wraps — the exact count lands in RUNSTATS.
+    telemetry::log_warn(
+        "buffer", "thread event buffer full at " + std::to_string(size()) +
+                      " events; newer events are being dropped (raise "
+                      "TEMPEST_MAX_EVENTS)");
+    return;
+  }
   chunks_.push_back(std::make_unique<trace::FnEvent[]>(kChunkSize));
+  active_ = chunks_.back().get();
   pos_ = 0;
+  telemetry::count(Counter::kBufferFlushes);
 }
 
 void EventBuffer::append(const trace::FnEvent* events, std::size_t n) {
@@ -30,18 +67,38 @@ void EventBuffer::append(const trace::FnEvent* events, std::size_t n) {
     if (pos_ == kChunkSize) new_chunk();
     const std::size_t room = kChunkSize - pos_;
     const std::size_t take = n < room ? n : room;
-    std::copy(events, events + take, chunks_.back().get() + pos_);
+    std::copy(events, events + take, active_ + pos_);
     pos_ += take;
     events += take;
     n -= take;
   }
 }
 
+void EventBuffer::set_limit(std::size_t max_events) {
+  max_chunks_ =
+      max_events == 0 ? 0 : (max_events + kChunkSize - 1) / kChunkSize;
+}
+
 void EventBuffer::append_to(std::vector<trace::FnEvent>* out) const {
   out->reserve(out->size() + size());
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
-    const std::size_t n = (i + 1 == chunks_.size()) ? pos_ : kChunkSize;
+    const std::size_t n =
+        (i + 1 == chunks_.size() && !dropping_) ? pos_ : kChunkSize;
     out->insert(out->end(), chunks_[i].get(), chunks_[i].get() + n);
+  }
+}
+
+void EventBuffer::publish_telemetry() {
+  using telemetry::Counter;
+  const std::uint64_t stored = size();
+  if (stored > published_stored_) {
+    telemetry::count(Counter::kEventsRecorded, stored - published_stored_);
+    published_stored_ = stored;
+  }
+  const std::uint64_t drops = dropped();
+  if (drops > published_dropped_) {
+    telemetry::count(Counter::kEventsDropped, drops - published_dropped_);
+    published_dropped_ = drops;
   }
 }
 
@@ -58,6 +115,10 @@ ThreadState* ThreadRegistry::register_thread() {
   common::MutexLock lock(&mu_);
   threads_.push_back(std::make_unique<ThreadState>());
   threads_.back()->thread_id = next_id_++;
+  threads_.back()->events.set_limit(buffer_limit_);
+  telemetry::count(telemetry::Counter::kThreadsRegistered);
+  telemetry::gauge_set(telemetry::Gauge::kActiveThreads,
+                       static_cast<std::int64_t>(threads_.size()));
   return threads_.back().get();
 }
 
@@ -69,6 +130,11 @@ void ThreadRegistry::bind_current(std::uint16_t node_id, std::uint16_t core,
   ts->clock = clock;
 }
 
+void ThreadRegistry::set_buffer_limit(std::size_t max_events_per_thread) {
+  common::MutexLock lock(&mu_);
+  buffer_limit_ = max_events_per_thread;
+}
+
 void ThreadRegistry::drain_into(trace::Trace* trace) {
   common::MutexLock lock(&mu_);
   std::size_t total = 0;
@@ -76,6 +142,9 @@ void ThreadRegistry::drain_into(trace::Trace* trace) {
   trace->fn_events.reserve(trace->fn_events.size() + total);
   trace->fn_event_runs.reserve(trace->fn_event_runs.size() + threads_.size());
   for (const auto& ts : threads_) {
+    // Exact telemetry now that the thread is quiesced: the partial last
+    // chunk and any scratch-resident drops flush to the counters.
+    ts->events.publish_telemetry();
     const std::size_t begin = trace->fn_events.size();
     ts->events.append_to(&trace->fn_events);
     const std::size_t count = trace->fn_events.size() - begin;
@@ -103,6 +172,7 @@ void ThreadRegistry::reset() {
   for (auto& ts : threads_) retired_.push_back(std::move(ts));
   threads_.clear();
   next_id_ = 0;
+  telemetry::gauge_set(telemetry::Gauge::kActiveThreads, 0);
   g_generation.fetch_add(1, std::memory_order_acq_rel);
 }
 

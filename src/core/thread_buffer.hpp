@@ -21,6 +21,14 @@ namespace tempest::core {
 /// are pushed with monotonically increasing timestamps (one thread, one
 /// clock domain), so each buffer is a pre-sorted run that the trace
 /// merger can exploit.
+///
+/// Optionally bounded (set_limit): once the cap is reached the buffer
+/// switches to a single scratch chunk that newer events overwrite, so a
+/// runaway workload costs bounded memory instead of OOM — and the drop
+/// is *loud*: every lost event is counted (exactly), published to the
+/// telemetry registry, surfaced in the trace's RUNSTATS trailer, and
+/// flagged by tempest-lint. The hot path stays one compare + one store
+/// either way; all cap logic lives in the cold new_chunk path.
 class EventBuffer {
  public:
   static constexpr std::size_t kChunkSize = 64 * 1024;
@@ -30,25 +38,47 @@ class EventBuffer {
     // (predictable, almost-never-taken) branch as a full chunk: exactly
     // one compare on the instrumentation hot path.
     if (pos_ == kChunkSize) new_chunk();
-    chunks_.back()[pos_++] = e;
+    active_[pos_++] = e;
   }
 
   /// Bulk append: chunk-wise memcpy instead of per-event pushes.
   void append(const trace::FnEvent* events, std::size_t n);
 
+  /// Cap stored events at roughly `max_events` (rounded up to whole
+  /// chunks; 0 = unbounded, the default). Call before recording starts.
+  void set_limit(std::size_t max_events);
+
+  /// Events retained (excludes dropped ones).
   std::size_t size() const {
     if (chunks_.empty()) return 0;
-    return (chunks_.size() - 1) * kChunkSize + pos_;
+    const std::size_t last = dropping_ ? kChunkSize : pos_;
+    return (chunks_.size() - 1) * kChunkSize + last;
   }
 
-  /// Copy all events out (drain happens once, post-run); reserves the
-  /// destination before inserting.
+  /// Events lost to the cap so far (exact).
+  std::uint64_t dropped() const { return dropped_ + (dropping_ ? pos_ : 0); }
+
+  /// Copy all retained events out (drain happens once, post-run);
+  /// reserves the destination before inserting.
   void append_to(std::vector<trace::FnEvent>* out) const;
+
+  /// Publish not-yet-published stored/dropped counts to the telemetry
+  /// registry (chunk boundaries publish eagerly; this flushes the
+  /// remainder). Idempotent; called at drain.
+  void publish_telemetry();
 
  private:
   void new_chunk();
-  std::vector<std::unique_ptr<trace::FnEvent[]>> chunks_;
+
+  trace::FnEvent* active_ = nullptr;  ///< current write target chunk
   std::size_t pos_ = kChunkSize;
+  std::vector<std::unique_ptr<trace::FnEvent[]>> chunks_;
+  std::unique_ptr<trace::FnEvent[]> scratch_;  ///< overwrite target once capped
+  std::size_t max_chunks_ = 0;                 ///< 0 = unbounded
+  bool dropping_ = false;
+  std::uint64_t dropped_ = 0;            ///< completed scratch wraps only
+  std::uint64_t published_stored_ = 0;   ///< kEventsRecorded already counted
+  std::uint64_t published_dropped_ = 0;  ///< kEventsDropped already counted
 };
 
 /// Everything the hooks need per thread, reachable via one TLS pointer.
@@ -57,6 +87,10 @@ struct ThreadState {
   std::uint16_t node_id = 0;
   std::uint16_t core = 0;
   const VirtualTsc* clock = nullptr;  ///< node clock; nullptr = global
+  /// Phase counter for 1-in-1024 probe-cost self-sampling. Plain (not
+  /// atomic): TLS-confined like the buffer, never read cross-thread
+  /// until drain.
+  std::uint32_t probe_tick = 0;
   EventBuffer events;
 
   std::uint64_t now() const {
@@ -85,6 +119,11 @@ class ThreadRegistry {
   void bind_current(std::uint16_t node_id, std::uint16_t core, const VirtualTsc* clock)
       EXCLUDES(mu_);
 
+  /// Per-thread event cap applied to every subsequently registered
+  /// thread (0 = unbounded). Threads registered before the call keep
+  /// their old limit — set it before the session records.
+  void set_buffer_limit(std::size_t max_events_per_thread) EXCLUDES(mu_);
+
   /// Drain all buffers into a trace (call only when threads are
   /// quiesced). Reserves the destination once for the total event count
   /// and records one Trace::fn_event_runs entry per thread, so
@@ -110,6 +149,7 @@ class ThreadRegistry {
   std::vector<std::unique_ptr<ThreadState>> threads_ GUARDED_BY(mu_);
   std::vector<std::unique_ptr<ThreadState>> retired_ GUARDED_BY(mu_);
   std::uint32_t next_id_ GUARDED_BY(mu_) = 0;
+  std::size_t buffer_limit_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tempest::core

@@ -16,6 +16,10 @@ void AnalysisPipeline::set_metadata(const TraceMeta& meta) {
   assembler_.set_metadata(meta_);
 }
 
+void AnalysisPipeline::set_run_stats(const trace::RunStats& stats) {
+  meta_.run_stats = stats;
+}
+
 void AnalysisPipeline::set_bounds(std::uint64_t start_tsc, std::uint64_t end_tsc) {
   start_tsc_ = start_tsc;
   end_tsc_ = end_tsc;
@@ -78,6 +82,7 @@ AnalysisResult AnalysisPipeline::finish(const symtab::Resolver* resolver) {
   }
 
   AnalysisResult result;
+  result.run_stats = meta_.run_stats;
   result.profile = assembler_.assemble(start_tsc_, end_tsc_, timeline, names, diag);
   if (options_.want_series) {
     result.series =

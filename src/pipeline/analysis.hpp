@@ -32,6 +32,9 @@ struct AnalysisResult {
   parser::RunProfile profile;
   report::ThermalSeries series;  ///< meaningful only when has_series
   bool has_series = false;
+  /// The trace's RUNSTATS trailer, passed through for the report
+  /// emitters (absent for pre-RUNSTATS traces).
+  trace::RunStats run_stats;
 };
 
 /// The streaming counterpart of parse_trace: metadata once, then
@@ -55,6 +58,12 @@ class AnalysisPipeline {
 
   void add_fn_events(const trace::FnEvent* events, std::size_t n);
   void add_temp_samples(const trace::TempSample* samples, std::size_t n);
+
+  /// Refresh the RUNSTATS trailer after set_metadata. Streaming sources
+  /// only materialise the trailer once the last bulk section drains —
+  /// after the sink copied the metadata — so AnalysisSink re-feeds it
+  /// at on_end for stream/batch parity.
+  void set_run_stats(const trace::RunStats& stats);
 
   /// Symbolise, attribute, assemble. When `resolver` is null one is
   /// built from the recorded executable (falling back to hex addresses,

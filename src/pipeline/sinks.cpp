@@ -10,11 +10,12 @@ namespace tempest::pipeline {
 
 Status TextEmitter::emit(const AnalysisResult& result) {
   report::print_profile(*out_, result.profile, options_);
+  report::print_run_stats(*out_, result.run_stats);  // no-op when absent
   return Status::ok();
 }
 
 Status JsonEmitter::emit(const AnalysisResult& result) {
-  report::write_profile_json(*out_, result.profile);
+  report::write_profile_json(*out_, result.profile, &result.run_stats);
   *out_ << "\n";
   return Status::ok();
 }
@@ -63,7 +64,10 @@ Status AnalysisSink::on_batch(const TraceMeta& /*meta*/, const EventBatch& batch
   return Status::ok();
 }
 
-Status AnalysisSink::on_end(const TraceMeta& /*meta*/) {
+Status AnalysisSink::on_end(const TraceMeta& meta) {
+  // Streaming sources materialise the RUNSTATS trailer only after the
+  // last bulk section drains — re-feed it so stream == batch.
+  pipeline_.set_run_stats(meta.run_stats);
   result_ = pipeline_.finish(resolver_);
   for (ProfileEmitter* emitter : emitters_) {
     const Status emitted = emitter->emit(result_);
@@ -84,7 +88,8 @@ Status LintSink::on_batch(const TraceMeta& /*meta*/, const EventBatch& batch) {
   return Status::ok();
 }
 
-Status LintSink::on_end(const TraceMeta& /*meta*/) {
+Status LintSink::on_end(const TraceMeta& meta) {
+  engine_->set_run_stats(meta.run_stats);
   report_ = engine_->finish();
   return Status::ok();
 }

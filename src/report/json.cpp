@@ -27,7 +27,8 @@ void put_escaped(std::ostream& out, const std::string& s) {
 
 }  // namespace
 
-void write_profile_json(std::ostream& out, const parser::RunProfile& profile) {
+void write_profile_json(std::ostream& out, const parser::RunProfile& profile,
+                        const trace::RunStats* run_stats) {
   out << std::fixed << std::setprecision(6);
   out << "{\"unit\":\"" << unit_suffix(profile.unit) << "\",";
   out << "\"duration_s\":" << profile.duration_s << ",";
@@ -62,7 +63,27 @@ void write_profile_json(std::ostream& out, const parser::RunProfile& profile) {
     }
     out << "]}";
   }
-  out << "]}";
+  out << "]";
+  if (run_stats != nullptr && run_stats->present) {
+    const trace::RunStats& rs = *run_stats;
+    out << ",\"run_stats\":{"
+        << "\"events_recorded\":" << rs.events_recorded
+        << ",\"events_dropped\":" << rs.events_dropped
+        << ",\"buffer_flushes\":" << rs.buffer_flushes
+        << ",\"threads_registered\":" << rs.threads_registered
+        << ",\"tempd_ticks\":" << rs.tempd_ticks
+        << ",\"tempd_missed_ticks\":" << rs.tempd_missed_ticks
+        << ",\"tempd_samples\":" << rs.tempd_samples
+        << ",\"tempd_read_errors\":" << rs.tempd_read_errors
+        << ",\"sensor_read_failures\":" << rs.sensor_read_failures
+        << ",\"heartbeats\":" << rs.heartbeats
+        << ",\"peak_rss_kb\":" << rs.peak_rss_kb
+        << ",\"wall_seconds\":" << rs.wall_seconds
+        << ",\"tempd_cpu_seconds\":" << rs.tempd_cpu_seconds
+        << ",\"probe_cost_ns_mean\":" << rs.probe_cost_ns_mean
+        << ",\"cadence_jitter_us_mean\":" << rs.cadence_jitter_us_mean << "}";
+  }
+  out << "}";
 }
 
 }  // namespace tempest::report

@@ -29,6 +29,31 @@ void print_function(std::ostream& out, const parser::FunctionProfile& fn,
   for (const auto& sp : fn.sensors) print_stats_row(out, sp);
 }
 
+void print_run_stats(std::ostream& out, const trace::RunStats& stats) {
+  if (!stats.present) return;
+  out << "-- run stats (recorder self-measurement) --\n";
+  out << "  events recorded " << stats.events_recorded;
+  if (stats.events_dropped > 0) {
+    out << "  DROPPED " << stats.events_dropped << " (profile under-counts)";
+  }
+  out << "\n";
+  out << "  threads " << stats.threads_registered << "  buffer flushes "
+      << stats.buffer_flushes << "  wall " << std::fixed << std::setprecision(3)
+      << stats.wall_seconds << " sec\n";
+  out << "  tempd ticks " << stats.tempd_ticks << " (missed "
+      << stats.tempd_missed_ticks << ")  samples " << stats.tempd_samples
+      << "  read errors " << stats.tempd_read_errors << "  sensor failures "
+      << stats.sensor_read_failures << "\n";
+  out << "  tempd cpu " << std::setprecision(4) << stats.tempd_cpu_seconds
+      << " sec";
+  if (stats.wall_seconds > 0.0) {
+    out << " (" << std::setprecision(2)
+        << 100.0 * stats.tempd_cpu_seconds / stats.wall_seconds << "% of wall)";
+  }
+  out << "  probe cost ~" << std::setprecision(1) << stats.probe_cost_ns_mean
+      << " ns  jitter ~" << stats.cadence_jitter_us_mean << " us\n";
+}
+
 void print_profile(std::ostream& out, const parser::RunProfile& profile,
                    const StdoutOptions& options) {
   for (const auto& node : profile.nodes) {

@@ -30,4 +30,10 @@ void print_profile(std::ostream& out, const parser::RunProfile& profile,
 void print_function(std::ostream& out, const parser::FunctionProfile& fn,
                     TempUnit unit);
 
+/// Recorder self-measurement footer (trace-v2 RUNSTATS). No-op when the
+/// trace predates the section; a drop count or over-budget overhead is
+/// called out explicitly — the reader should not have to cross-check
+/// counters to learn the profile under-counts.
+void print_run_stats(std::ostream& out, const trace::RunStats& stats);
+
 }  // namespace tempest::report

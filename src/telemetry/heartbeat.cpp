@@ -1,0 +1,64 @@
+#include "telemetry/heartbeat.hpp"
+
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tempest::telemetry {
+
+Status HeartbeatEmitter::start(const std::string& path, double period_s) {
+  if (thread_.joinable()) return Status::error("heartbeat already running");
+  if (!(period_s > 0.0)) return Status::error("heartbeat period must be > 0");
+  out_.open(path, std::ios::trunc);
+  if (!out_) return Status::error("cannot open heartbeat file: " + path);
+  path_ = path;
+  t0_ = std::chrono::steady_clock::now();
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  emit_snapshot();  // a very short run still leaves a first line
+  thread_ = std::thread([this, period_s] { run(period_s); });
+  return Status::ok();
+}
+
+void HeartbeatEmitter::stop() {
+  if (!thread_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  thread_.join();
+  thread_ = std::thread();
+  emit_snapshot();  // final counts, after the session folded its totals
+  out_.close();
+  running_.store(false, std::memory_order_release);
+  log_info("heartbeat", "wrote " + path_);
+}
+
+void HeartbeatEmitter::run(double period_s) {
+  using clock = std::chrono::steady_clock;
+  const auto period = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(period_s));
+  auto next = clock::now() + period;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const auto now = clock::now();
+    if (now < next) {
+      // Absolute deadlines in short slices, so stop() stays responsive
+      // at multi-second periods.
+      std::this_thread::sleep_until(
+          std::min(next, now + std::chrono::milliseconds(20)));
+      continue;
+    }
+    emit_snapshot();
+    // Skip ahead rather than bursting if a snapshot (or a descheduled
+    // stretch) blew past several deadlines.
+    while (next <= clock::now()) next += period;
+  }
+}
+
+void HeartbeatEmitter::emit_snapshot() {
+  const double t =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  write_snapshot_json(out_, metrics().snapshot(), t);
+  out_ << "\n";
+  out_.flush();
+  count(Counter::kHeartbeats);
+}
+
+}  // namespace tempest::telemetry

@@ -1,0 +1,55 @@
+// HeartbeatEmitter: periodic JSONL telemetry snapshots.
+//
+// A background thread appends one flat JSON object per period to
+// `<trace>.telemetry.jsonl` — the live feed tempest-top tails, and a
+// flight recorder for runs that die before RUNSTATS is written. One
+// line is written immediately at start() and one at stop(), so even a
+// very short run leaves at least two snapshots.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/status.hpp"
+
+namespace tempest::telemetry {
+
+class HeartbeatEmitter {
+ public:
+  HeartbeatEmitter() = default;
+  ~HeartbeatEmitter() { stop(); }
+
+  HeartbeatEmitter(const HeartbeatEmitter&) = delete;
+  HeartbeatEmitter& operator=(const HeartbeatEmitter&) = delete;
+
+  /// Truncate `path` and start appending a snapshot every `period_s`
+  /// seconds. Error when already running or the file cannot be opened.
+  Status start(const std::string& path, double period_s);
+
+  /// Final snapshot, join, close. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& path() const { return path_; }
+
+  /// The conventional heartbeat path for a trace output path.
+  static std::string path_for_trace(const std::string& trace_path) {
+    return trace_path + ".telemetry.jsonl";
+  }
+
+ private:
+  void run(double period_s);
+  void emit_snapshot();
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  std::string path_;
+  std::ofstream out_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace tempest::telemetry

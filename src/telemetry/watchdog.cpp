@@ -1,0 +1,32 @@
+#include "telemetry/watchdog.hpp"
+
+#include <cstdio>
+
+namespace tempest::telemetry {
+
+std::string WatchdogReport::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "tempd %.2f%% of wall, probes ~%.2f%% (budget %.2f%%): %s",
+                tempd_cpu_share * 100.0, probe_overhead_share * 100.0,
+                budget_share * 100.0,
+                tripped() ? "OVER BUDGET" : "ok");
+  return buf;
+}
+
+WatchdogReport evaluate_overhead(const trace::RunStats& stats,
+                                 double budget_share) {
+  WatchdogReport report;
+  report.budget_share = budget_share;
+  if (!stats.present || !(stats.wall_seconds > 0.0)) return report;
+
+  report.tempd_cpu_share = stats.tempd_cpu_seconds / stats.wall_seconds;
+  report.probe_overhead_share =
+      static_cast<double>(stats.events_recorded) * stats.probe_cost_ns_mean /
+      (stats.wall_seconds * 1e9);
+  report.tempd_over = report.tempd_cpu_share > budget_share;
+  report.probe_over = report.probe_overhead_share > budget_share;
+  return report;
+}
+
+}  // namespace tempest::telemetry

@@ -1,0 +1,38 @@
+// OverheadWatchdog: did we stay middle-weight?
+//
+// The paper budgets Tempest at < 1% sampler CPU and near-invisible
+// probes. The watchdog turns that budget into a machine-checked
+// post-condition: at session end it computes (a) tempd's CPU share of
+// the run's wall time and (b) the probes' estimated share — self-
+// measured mean probe cost times the number of recorded events — and
+// reports whether either exceeded the budget. Opt-in (TEMPEST_WATCHDOG)
+// it fails the session loudly instead of just logging.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace tempest::telemetry {
+
+struct WatchdogReport {
+  double budget_share = 0.01;        ///< the paper's < 1% budget
+  double tempd_cpu_share = 0.0;      ///< tempd CPU seconds / wall seconds
+  double probe_overhead_share = 0.0; ///< events x mean probe cost / wall
+  bool tempd_over = false;
+  bool probe_over = false;
+
+  bool tripped() const { return tempd_over || probe_over; }
+
+  /// One-line human summary, e.g.
+  /// "tempd 0.04% of wall, probes ~0.31% (budget 1.00%): ok".
+  std::string describe() const;
+};
+
+/// Evaluate the recorded run against `budget_share`. A run with no wall
+/// time (or an absent RunStats) trivially passes — there is nothing to
+/// measure, and the watchdog never invents a violation.
+WatchdogReport evaluate_overhead(const trace::RunStats& stats,
+                                 double budget_share = 0.01);
+
+}  // namespace tempest::telemetry

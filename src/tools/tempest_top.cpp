@@ -1,0 +1,224 @@
+// tempest-top: live view of a recording session's self-telemetry.
+//
+//   tempest-top [options] <trace file or .telemetry.jsonl>
+//     --once                 render the latest snapshot and exit
+//     --interval SECS        refresh period (default 1.0)
+//     --no-clear             append frames instead of redrawing in place
+//     --assert-tempd-below PCT
+//                            exit 1 unless tempd CPU share of wall time
+//                            in the latest snapshot is below PCT (CI
+//                            uses this to enforce the paper's < 1%)
+//
+// Reads the flat-JSON heartbeat lines a recording session appends to
+// `<trace>.telemetry.jsonl` (TEMPEST_HEARTBEAT=SECS) and renders a
+// refreshing terminal summary: event throughput, drops, probe cost,
+// tempd cadence health, and the first sensors' latest readings. A bare
+// trace path is resolved to its conventional heartbeat file.
+//
+// Exit codes: 0 ok, 1 assertion failed, 2 usage error or unreadable /
+// empty heartbeat file.
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "common/status.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "[--once] [--interval SECS] [--no-clear] [--assert-tempd-below PCT] "
+    "<trace file or .telemetry.jsonl>";
+
+/// Extract the numeric value of `"key":` from one flat JSON object
+/// line (the heartbeat writes no nested objects, arrays, or string
+/// values beyond the keys themselves). Returns fallback when absent.
+double json_number(const std::string& line, const std::string& key,
+                   double fallback = 0.0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(line.c_str() + at + needle.size(), &end);
+  if (end == line.c_str() + at + needle.size() || errno == ERANGE) return fallback;
+  return v;
+}
+
+/// Last two non-empty lines of the heartbeat file (previous may be
+/// empty when only one snapshot exists yet). Re-reads the whole file:
+/// heartbeat files are one small line per period, so even a long run is
+/// a few hundred KB — simplicity over seek bookkeeping.
+tempest::Status read_tail(const std::string& path, std::string* last,
+                          std::string* previous) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return tempest::Status::error("cannot open heartbeat file '" + path +
+                                  "' (record with TEMPEST_HEARTBEAT=SECS)");
+  }
+  last->clear();
+  previous->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    *previous = *last;
+    *last = line;
+  }
+  if (last->empty()) {
+    return tempest::Status::error("heartbeat file '" + path +
+                                  "' has no snapshots yet");
+  }
+  return tempest::Status::ok();
+}
+
+void render(const std::string& last, const std::string& previous,
+            std::ostream& out) {
+  const double t = json_number(last, "t");
+  const double events = json_number(last, "events_recorded");
+  const double dropped = json_number(last, "events_dropped");
+  const double threads = json_number(last, "active_threads");
+  const double tempd_cpu_s = json_number(last, "tempd_cpu_us") / 1e6;
+  const double cpu_share = t > 0.0 ? 100.0 * tempd_cpu_s / t : 0.0;
+
+  // Throughput from the delta to the previous snapshot when one exists;
+  // from the run average otherwise.
+  double rate = t > 0.0 ? events / t : 0.0;
+  if (!previous.empty()) {
+    const double dt = t - json_number(previous, "t");
+    if (dt > 0.0) rate = (events - json_number(previous, "events_recorded")) / dt;
+  }
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "tempest-top  t=%.1fs  threads=%.0f", t,
+                threads);
+  out << buf << "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  events   %12.0f   (%.0f/s)   dropped %.0f%s", events, rate,
+                dropped, dropped > 0.0 ? "  <-- profile under-counts" : "");
+  out << buf << "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  probes   mean %.0f ns   max %.0f ns   (n=%.0f sampled)",
+                json_number(last, "probe_cost_ns_mean"),
+                json_number(last, "probe_cost_ns_max"),
+                json_number(last, "probe_cost_ns_count"));
+  out << buf << "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  tempd    %.0f ticks (%.0f missed)   %.0f samples   "
+                "%.0f read errors   cpu %.2f%% of wall",
+                json_number(last, "tempd_ticks"),
+                json_number(last, "tempd_missed_ticks"),
+                json_number(last, "tempd_samples"),
+                json_number(last, "sensor_read_failures"), cpu_share);
+  out << buf << "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  cadence  jitter mean %.0f us  max %.0f us   sensor read "
+                "mean %.0f us",
+                json_number(last, "cadence_jitter_us_mean"),
+                json_number(last, "cadence_jitter_us_max"),
+                json_number(last, "sensor_read_us_mean"));
+  out << buf << "\n";
+
+  std::string temps = "  temps   ";
+  bool any = false;
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "sensor_temp_" + std::to_string(i) + "_mc";
+    const double mc = json_number(last, key, -1e9);
+    if (mc <= -1e9 || mc == 0.0) continue;
+    std::snprintf(buf, sizeof(buf), " s%d=%.1fC", i, mc / 1000.0);
+    temps += buf;
+    any = true;
+  }
+  if (any) out << temps << "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  memory   peak rss %.0f KiB   buffer chunks %.0f   "
+                "heartbeats %.0f",
+                json_number(last, "peak_rss_kb"),
+                json_number(last, "buffer_flushes"),
+                json_number(last, "heartbeats"));
+  out << buf << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tempest::Status;
+
+  bool once = false, no_clear = false;
+  double interval_s = 1.0;
+  double assert_below_pct = -1.0;
+
+  tempest::cli::ArgParser args(kUsage);
+  args.add_flag("--once", [&] { once = true; });
+  args.add_flag("--no-clear", [&] { no_clear = true; });
+  args.add_value("--interval", [&](const std::string& v) {
+    errno = 0;
+    char* end = nullptr;
+    interval_s = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+        interval_s <= 0.0) {
+      return Status::error("bad --interval value '" + v + "'");
+    }
+    return Status::ok();
+  });
+  args.add_value("--assert-tempd-below", [&](const std::string& v) {
+    errno = 0;
+    char* end = nullptr;
+    assert_below_pct = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+        assert_below_pct < 0.0) {
+      return Status::error("bad --assert-tempd-below value '" + v + "'");
+    }
+    return Status::ok();
+  });
+
+  const Status parsed = args.parse(argc, argv);
+  if (!parsed.is_ok() || args.help_requested() ||
+      args.positional().size() != 1) {
+    if (!parsed.is_ok()) std::cerr << "error: " << parsed.message() << "\n";
+    args.print_usage(std::cerr, argv[0]);
+    return 2;
+  }
+
+  std::string path = args.positional()[0];
+  const std::string suffix = ".telemetry.jsonl";
+  if (path.size() < suffix.size() ||
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    path += suffix;  // a trace path: resolve its conventional sidecar
+  }
+
+  std::string last, previous;
+  while (true) {
+    const Status st = read_tail(path, &last, &previous);
+    if (!st.is_ok()) {
+      std::cerr << "error: " << st.message() << "\n";
+      return 2;
+    }
+    if (!once && !no_clear) std::cout << "\x1b[2J\x1b[H";
+    render(last, previous, std::cout);
+    std::cout.flush();
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+
+  if (assert_below_pct >= 0.0) {
+    const double t = json_number(last, "t");
+    const double share =
+        t > 0.0 ? 100.0 * (json_number(last, "tempd_cpu_us") / 1e6) / t : 0.0;
+    if (share >= assert_below_pct) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: tempd used %.3f%% of wall time "
+                   "(budget %.3f%%)\n",
+                   share, assert_below_pct);
+      return 1;
+    }
+    std::fprintf(stdout, "tempd cpu share %.3f%% < %.3f%% budget: ok\n", share,
+                 assert_below_pct);
+  }
+  return 0;
+}

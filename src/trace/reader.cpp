@@ -238,6 +238,7 @@ Status TraceStreamReader::next_section(int section, std::uint32_t record_size,
   if (remaining_ == 0) {
     ++section_;
     frame_read_ = false;
+    if (done()) return try_read_runstats();
     return Status::ok();
   }
 
@@ -279,7 +280,55 @@ Status TraceStreamReader::next_section(int section, std::uint32_t record_size,
   if (remaining_ == 0) {
     ++section_;
     frame_read_ = false;
+    if (done()) return try_read_runstats();
   }
+  return Status::ok();
+}
+
+Status TraceStreamReader::try_read_runstats() {
+  std::istream& in = *in_;
+  const std::istream::pos_type pos = in.tellg();
+  if (!in || pos == std::istream::pos_type(-1)) {
+    in.clear();  // non-seekable: leave run_stats absent
+    return Status::ok();
+  }
+  char marker_buf[4];
+  in.read(marker_buf, sizeof(marker_buf));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(marker_buf)) ||
+      unpack_u32(marker_buf) != kRunStatsMarker) {
+    // Clean EOF, a short tail, or someone else's bytes: all mean "no
+    // runstats". Rewind so expect_eof's trailing-byte count is exact.
+    in.clear();
+    in.seekg(pos);
+    return Status::ok();
+  }
+  Cursor cur(in);
+  std::uint32_t record_size = 0;
+  char payload[kRunStatsRecordSize];
+  if (!cur.get(&record_size) || record_size != kRunStatsRecordSize) {
+    return Status::error("runstats record size mismatch (corrupt trailer)");
+  }
+  if (!cur.get_bytes(payload, sizeof(payload))) {
+    return Status::error("truncated runstats trailer");
+  }
+  RunStats& rs = header_.run_stats;
+  const char* p = payload;
+  rs.events_recorded = unpack_u64(p); p += 8;
+  rs.events_dropped = unpack_u64(p); p += 8;
+  rs.buffer_flushes = unpack_u64(p); p += 8;
+  rs.threads_registered = unpack_u64(p); p += 8;
+  rs.tempd_ticks = unpack_u64(p); p += 8;
+  rs.tempd_missed_ticks = unpack_u64(p); p += 8;
+  rs.tempd_samples = unpack_u64(p); p += 8;
+  rs.tempd_read_errors = unpack_u64(p); p += 8;
+  rs.sensor_read_failures = unpack_u64(p); p += 8;
+  rs.heartbeats = unpack_u64(p); p += 8;
+  rs.peak_rss_kb = unpack_u64(p); p += 8;
+  rs.wall_seconds = unpack_f64(p); p += 8;
+  rs.tempd_cpu_seconds = unpack_f64(p); p += 8;
+  rs.probe_cost_ns_mean = unpack_f64(p); p += 8;
+  rs.cadence_jitter_us_mean = unpack_f64(p);
+  rs.present = true;
   return Status::ok();
 }
 
@@ -431,6 +480,9 @@ Result<Trace> read_trace(std::istream& in) {
     }
     if (!section) return Result<Trace>::error(section.message());
   }
+  // The RUNSTATS trailer is parsed when the last section completes,
+  // after the header copy above — refresh it.
+  trace.run_stats = reader.header().run_stats;
   return trace;
 }
 
@@ -458,6 +510,7 @@ Result<Trace> read_trace_file(const std::string& path) {
     }
     if (!section) return Result<Trace>::error(path + ": " + section.message());
   }
+  trace.run_stats = reader.header().run_stats;
   const Status eof = reader.expect_eof();
   if (!eof) return Result<Trace>::error(path + ": " + eof.message());
   return trace;

@@ -74,6 +74,15 @@ class TraceStreamReader {
                       std::size_t* appended, UnpackFn unpack_one);
   Status read_section_frame(std::uint32_t expected_record_size, const char* what);
 
+  /// Invoked once when the last bulk section completes: parse the
+  /// optional RUNSTATS trailer into header_.run_stats. A missing marker
+  /// is not an error (pre-RUNSTATS trace, or unrelated trailing bytes —
+  /// the stream position is restored so expect_eof still counts them
+  /// exactly); a present marker with bad framing is. Non-seekable
+  /// streams skip the probe and report run_stats absent, because a
+  /// failed match could not give the bytes back.
+  Status try_read_runstats();
+
   std::istream* in_;
   TraceHeader header_;
   std::uint64_t stream_bound_ = 0;  ///< byte bound for reserve sizing

@@ -125,6 +125,41 @@ void merge_runs(std::vector<FnEvent>* events, const std::vector<SortedRun>& runs
 
 }  // namespace
 
+void RunStats::append(const RunStats& other) {
+  if (!other.present) return;
+  // Population-weighted means must combine before the counts fold.
+  const double events =
+      static_cast<double>(events_recorded + other.events_recorded);
+  if (events > 0.0) {
+    probe_cost_ns_mean =
+        (probe_cost_ns_mean * static_cast<double>(events_recorded) +
+         other.probe_cost_ns_mean * static_cast<double>(other.events_recorded)) /
+        events;
+  }
+  const double ticks = static_cast<double>(tempd_ticks + other.tempd_ticks);
+  if (ticks > 0.0) {
+    cadence_jitter_us_mean =
+        (cadence_jitter_us_mean * static_cast<double>(tempd_ticks) +
+         other.cadence_jitter_us_mean * static_cast<double>(other.tempd_ticks)) /
+        ticks;
+  }
+  events_recorded += other.events_recorded;
+  events_dropped += other.events_dropped;
+  buffer_flushes += other.buffer_flushes;
+  threads_registered += other.threads_registered;
+  tempd_ticks += other.tempd_ticks;
+  tempd_missed_ticks += other.tempd_missed_ticks;
+  tempd_samples += other.tempd_samples;
+  tempd_read_errors += other.tempd_read_errors;
+  sensor_read_failures += other.sensor_read_failures;
+  heartbeats += other.heartbeats;
+  peak_rss_kb = std::max(peak_rss_kb, other.peak_rss_kb);
+  // Ranks run concurrently: wall time is the longest rank, CPU adds up.
+  wall_seconds = std::max(wall_seconds, other.wall_seconds);
+  tempd_cpu_seconds += other.tempd_cpu_seconds;
+  present = true;
+}
+
 void TraceHeader::append(const TraceHeader& other) {
   if (!(tsc_ticks_per_second > 0.0)) tsc_ticks_per_second = other.tsc_ticks_per_second;
   if (executable.empty()) {
@@ -136,6 +171,7 @@ void TraceHeader::append(const TraceHeader& other) {
   threads.insert(threads.end(), other.threads.begin(), other.threads.end());
   synthetic_symbols.insert(synthetic_symbols.end(), other.synthetic_symbols.begin(),
                            other.synthetic_symbols.end());
+  run_stats.append(other.run_stats);
 }
 
 void Trace::sort_by_time() {

@@ -76,6 +76,37 @@ struct SortedRun {
   std::size_t count = 0;
 };
 
+/// Runtime self-measurement written by the recording process at session
+/// end (trace v2 RUNSTATS trailer). Answers "can I trust this trace?":
+/// were events dropped, did tempd keep its cadence, what did the
+/// instrumentation itself cost. Optional — `present` is false for
+/// traces written before the section existed, and the field order here
+/// is the serialised field order (15 x 8 bytes, little-endian).
+struct RunStats {
+  std::uint64_t events_recorded = 0;   ///< fn events captured
+  std::uint64_t events_dropped = 0;    ///< fn events lost to buffer caps
+  std::uint64_t buffer_flushes = 0;    ///< thread-buffer chunk allocations
+  std::uint64_t threads_registered = 0;
+  std::uint64_t tempd_ticks = 0;        ///< sampler wakeups taken
+  std::uint64_t tempd_missed_ticks = 0; ///< deadlines skipped (overrun)
+  std::uint64_t tempd_samples = 0;      ///< temperature samples pushed
+  std::uint64_t tempd_read_errors = 0;  ///< per-tick whole-node failures
+  std::uint64_t sensor_read_failures = 0;  ///< individual read_celsius fails
+  std::uint64_t heartbeats = 0;         ///< telemetry snapshots emitted
+  std::uint64_t peak_rss_kb = 0;        ///< process peak RSS at session end
+  double wall_seconds = 0.0;            ///< session start..stop wall time
+  double tempd_cpu_seconds = 0.0;       ///< CPU burnt by the sampler thread
+  double probe_cost_ns_mean = 0.0;      ///< self-measured mean probe cost
+  double cadence_jitter_us_mean = 0.0;  ///< mean |tick - deadline|
+
+  bool present = false;  ///< section existed in the trace (not serialised)
+
+  /// Fold another run's stats in (multi-rank fan-in): counts add, wall
+  /// time takes the max (ranks overlap), CPU adds, means combine
+  /// weighted by their populations.
+  void append(const RunStats& other);
+};
+
 /// Run-level metadata: everything in a trace except the bulk record
 /// sections. Small (O(nodes + threads + sensors)), so the streaming
 /// pipeline materialises it eagerly while events stream through in
@@ -89,6 +120,9 @@ struct TraceHeader {
   std::vector<SensorMeta> sensors;
   std::vector<ThreadInfo> threads;
   std::vector<SyntheticSymbol> synthetic_symbols;
+
+  /// Recording-side self-measurement (absent in pre-RUNSTATS traces).
+  RunStats run_stats;
 
   /// Append another run's metadata in declaration order (multi-rank
   /// fan-in). Ids are not remapped: ranks are expected to carry

@@ -129,6 +129,33 @@ Status write_trace(std::ostream& out, const Trace& trace) {
                   pack_u16(p, c.node_id);
                 });
 
+  // RUNSTATS trailer — only when the recorder populated it, so traces
+  // assembled by tools (tests, converters) stay byte-identical to the
+  // pre-RUNSTATS format.
+  if (trace.run_stats.present) {
+    const RunStats& rs = trace.run_stats;
+    char buf[4 + 4 + kRunStatsRecordSize];
+    char* p = buf;
+    p = pack_u32(p, kRunStatsMarker);
+    p = pack_u32(p, kRunStatsRecordSize);
+    p = pack_u64(p, rs.events_recorded);
+    p = pack_u64(p, rs.events_dropped);
+    p = pack_u64(p, rs.buffer_flushes);
+    p = pack_u64(p, rs.threads_registered);
+    p = pack_u64(p, rs.tempd_ticks);
+    p = pack_u64(p, rs.tempd_missed_ticks);
+    p = pack_u64(p, rs.tempd_samples);
+    p = pack_u64(p, rs.tempd_read_errors);
+    p = pack_u64(p, rs.sensor_read_failures);
+    p = pack_u64(p, rs.heartbeats);
+    p = pack_u64(p, rs.peak_rss_kb);
+    p = pack_f64(p, rs.wall_seconds);
+    p = pack_f64(p, rs.tempd_cpu_seconds);
+    p = pack_f64(p, rs.probe_cost_ns_mean);
+    p = pack_f64(p, rs.cadence_jitter_us_mean);
+    out.write(buf, sizeof(buf));
+  }
+
   if (!out) return Status::error("trace write failed (stream error)");
   return Status::ok();
 }

@@ -37,6 +37,20 @@ inline constexpr std::uint32_t kFnEventRecordSize = 8 + 8 + 4 + 2 + 1;    // 23
 inline constexpr std::uint32_t kTempSampleRecordSize = 8 + 8 + 2 + 2;     // 20
 inline constexpr std::uint32_t kClockSyncRecordSize = 8 + 8 + 2;          // 18
 
+/// Optional RUNSTATS trailer after the clock-sync section:
+///
+///   marker       u32   'RSTA' (absent in older v2 traces — readers
+///                       treat a missing marker as "no runstats")
+///   record_size  u32   (corruption check, like the bulk sections)
+///   payload      15 x 8 bytes, RunStats fields in declaration order
+///
+/// The marker's little-endian bytes ("RSTA") cannot be confused with
+/// the start of another trace (magic begins "TMPS"), so a reader that
+/// peeks 4 bytes and finds neither can still report trailing garbage
+/// byte-exactly.
+inline constexpr std::uint32_t kRunStatsMarker = 0x4154'5352;             // "RSTA"
+inline constexpr std::uint32_t kRunStatsRecordSize = 15 * 8;              // 120
+
 /// Serialise a complete trace to a stream. Returns error on I/O failure.
 Status write_trace(std::ostream& out, const Trace& trace);
 

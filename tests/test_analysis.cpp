@@ -2,6 +2,7 @@
 // plus the CLI binary driven over real and corrupted trace files.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
@@ -351,6 +352,75 @@ TEST_F(LintCliTest, UsageErrors) {
   const int rc = std::system((std::string(TEMPEST_LINT_BIN) +
                               " > /dev/null 2>&1").c_str());
   EXPECT_EQ(WIFEXITED(rc) ? WEXITSTATUS(rc) : -1, 2);
+}
+
+// -- RUNSTATS cross-checks ---------------------------------------------
+
+/// good_trace() plus a RUNSTATS trailer that exactly matches it.
+Trace good_trace_with_run_stats() {
+  Trace t = good_trace();
+  t.run_stats.events_recorded = t.fn_events.size();
+  t.run_stats.tempd_samples = t.temp_samples.size();
+  t.run_stats.tempd_ticks = t.temp_samples.size();  // one sensor
+  t.run_stats.threads_registered = 1;
+  t.run_stats.wall_seconds = 3.0;
+  t.run_stats.present = true;
+  return t;
+}
+
+TEST(Lint, ConsistentRunStatsStayClean) {
+  const LintReport report = lint_trace(good_trace_with_run_stats());
+  EXPECT_TRUE(report.clean()) << tempest::analysis::to_json(report);
+}
+
+TEST(Lint, RunStatsEventCountMismatchIsAnError) {
+  Trace t = good_trace_with_run_stats();
+  t.run_stats.events_recorded += 5;  // recorder claims more than the trace holds
+  const LintReport report = lint_trace(t);
+  EXPECT_TRUE(has_finding(report, "runstats-consistency", Severity::kError));
+}
+
+TEST(Lint, RunStatsSampleCountMismatchIsAnError) {
+  Trace t = good_trace_with_run_stats();
+  t.run_stats.tempd_samples -= 1;
+  EXPECT_TRUE(has_finding(lint_trace(t), "runstats-consistency",
+                          Severity::kError));
+}
+
+TEST(Lint, RunStatsMoreSamplesThanReadsIsAnError) {
+  Trace t = good_trace_with_run_stats();
+  t.run_stats.tempd_ticks = 2;  // 12 samples from 2 ticks x 1 sensor
+  EXPECT_TRUE(has_finding(lint_trace(t), "runstats-consistency",
+                          Severity::kError));
+}
+
+TEST(Lint, DeclaredDropsWarnButStayConsistent) {
+  Trace t = good_trace_with_run_stats();
+  t.run_stats.events_dropped = 100;  // loud, declared data loss
+  const LintReport report = lint_trace(t);
+  EXPECT_TRUE(has_finding(report, "events-dropped", Severity::kWarning));
+  EXPECT_FALSE(has_finding(report, "runstats-consistency", Severity::kError));
+}
+
+TEST(Lint, AbsentRunStatsSkipAllCrossChecks) {
+  // Pre-RUNSTATS traces must not suddenly fail lint.
+  const LintReport report = lint_trace(good_trace());
+  EXPECT_FALSE(has_finding(report, "runstats-consistency", Severity::kError));
+  EXPECT_FALSE(has_finding(report, "events-dropped", Severity::kWarning));
+}
+
+TEST(Lint, FileStreamingPathAppliesRunStatsChecks) {
+  // The same cross-checks must fire on the bounded-batch file path the
+  // CLI uses, where run stats come from the reader's header.
+  Trace t = good_trace_with_run_stats();
+  t.run_stats.events_recorded += 3;
+  const std::string path = ::testing::TempDir() + "/lint_runstats.trace";
+  ASSERT_TRUE(tempest::trace::write_trace_file(path, t));
+  auto report = tempest::analysis::lint_trace_file(path);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(has_finding(report.value(), "runstats-consistency",
+                          Severity::kError));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -90,9 +90,19 @@ TEST(Concurrency, RecordsWhileTempdAdvancesSharedNode) {
   for (auto& th : threads) th.join();
   ASSERT_TRUE(session.stop());
 
-  // Many samples collected, none failed, temperatures sane.
+  // Samples collected, none failed, temperatures sane. The sampler
+  // schedules against absolute deadlines and skips (and counts)
+  // periods an overrunning sweep missed, so under lock contention —
+  // or sanitizer slowdown — the raw sample count may dip to the
+  // bracketing minimum; the structural oracle is that every elapsed
+  // period is accounted for as either a tick or a counted miss, and
+  // every tick swept all six sensors.
   const auto& trace = session.last_trace();
-  EXPECT_GT(trace.temp_samples.size(), 6u * 40u);
+  const auto& stats = session.tempd_stats();
+  EXPECT_GE(trace.temp_samples.size(), 6u * 2u);  // first + final tick
+  EXPECT_EQ(stats.read_errors, 0u);
+  EXPECT_GE(stats.ticks + stats.missed_ticks, 70u);  // ~80 periods in 400ms
+  EXPECT_EQ(trace.temp_samples.size(), 6u * stats.ticks);
   for (const auto& s : trace.temp_samples) {
     EXPECT_GT(s.temp_c, 0.0);
     EXPECT_LT(s.temp_c, 120.0);

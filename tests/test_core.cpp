@@ -2,7 +2,9 @@
 // per-block APIs, config parsing, workbench DVFS stretching.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <thread>
 
 #include "core/api.hpp"
@@ -168,6 +170,122 @@ TEST(Session, MultipleRunsInOneProcess) {
     ASSERT_TRUE(session.stop());
     EXPECT_EQ(session.last_trace().fn_events.size(), 2u) << "run " << run;
   }
+  session.clear_nodes();
+}
+
+TEST(Session, RunStatsMatchTheAssembledTrace) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  simnode::SimNode node(fast_node());
+  session.register_sim_node(&node);
+  ASSERT_TRUE(session.start(test_config()));
+  for (int i = 0; i < 100; ++i) {
+    session.record_enter(0x1000);
+    session.record_exit(0x1000);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(session.stop());
+  const auto& trace = session.last_trace();
+  const trace::RunStats& rs = trace.run_stats;
+  ASSERT_TRUE(rs.present);
+  // The recorder's own accounting agrees with what it handed over —
+  // exactly the invariant tempest-lint cross-checks on every trace.
+  EXPECT_EQ(rs.events_recorded, trace.fn_events.size());
+  EXPECT_EQ(rs.events_dropped, 0u);
+  EXPECT_EQ(rs.tempd_samples, trace.temp_samples.size());
+  EXPECT_GE(rs.threads_registered, 1u);
+  EXPECT_GT(rs.wall_seconds, 0.0);
+  EXPECT_GE(rs.tempd_ticks, 2u);  // immediate tick + final tick minimum
+  session.clear_nodes();
+}
+
+TEST(Session, MaxEventsCapDropsLoudly) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  simnode::SimNode node(fast_node());
+  session.register_sim_node(&node);
+  auto config = test_config();
+  // One chunk (the cap rounds up to whole chunks); then drops begin.
+  config.max_events_per_thread = 1;
+  ASSERT_TRUE(session.start(config));
+  constexpr std::size_t kPushed = 3 * core::EventBuffer::kChunkSize;
+  for (std::size_t i = 0; i < kPushed; ++i) {
+    session.record_enter(0x2000);
+  }
+  ASSERT_TRUE(session.stop());
+  const auto& trace = session.last_trace();
+  const trace::RunStats& rs = trace.run_stats;
+  ASSERT_TRUE(rs.present);
+  EXPECT_EQ(trace.fn_events.size(), core::EventBuffer::kChunkSize);
+  EXPECT_EQ(rs.events_recorded, trace.fn_events.size());
+  // Every pushed-but-not-kept event is accounted for, none silently.
+  EXPECT_EQ(rs.events_dropped, kPushed - core::EventBuffer::kChunkSize);
+  session.clear_nodes();
+}
+
+TEST(Session, WatchdogFailsStopWhenBudgetExceeded) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  simnode::SimNode node(fast_node());
+  session.register_sim_node(&node);
+  auto config = test_config(200.0);  // busy sampler
+  config.watchdog = true;
+  config.watchdog_budget = 1e-9;  // impossible budget: any run trips it
+  ASSERT_TRUE(session.start(config));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto status = session.stop();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("watchdog"), std::string::npos);
+  // The verdict is advisory-after-the-fact: the trace still assembled.
+  EXPECT_TRUE(session.last_trace().run_stats.present);
+  session.clear_nodes();
+}
+
+TEST(Session, WatchdogQuietWhenUnderBudget) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  simnode::SimNode node(fast_node());
+  session.register_sim_node(&node);
+  auto config = test_config(4.0);  // the paper's gentle rate
+  config.watchdog = true;          // default 1% budget
+  ASSERT_TRUE(session.start(config));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_TRUE(session.stop());
+  session.clear_nodes();
+}
+
+TEST(Session, HeartbeatSidecarWrittenNextToTrace) {
+  auto& session = Session::instance();
+  session.clear_nodes();
+  simnode::SimNode node(fast_node());
+  session.register_sim_node(&node);
+  const std::string trace_path = ::testing::TempDir() + "/hb_session.trace";
+  auto config = test_config();
+  config.output_path = trace_path;
+  config.heartbeat_period_s = 0.01;
+  ASSERT_TRUE(session.start(config));
+  session.record_enter(0x3000);
+  session.record_exit(0x3000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  ASSERT_TRUE(session.stop());
+
+  std::ifstream hb(trace_path + ".telemetry.jsonl");
+  ASSERT_TRUE(hb.is_open());
+  std::string line, last;
+  std::size_t lines = 0;
+  while (std::getline(hb, line)) {
+    if (!line.empty()) {
+      last = line;
+      ++lines;
+    }
+  }
+  EXPECT_GE(lines, 3u);  // start + >=1 periodic + final
+  // The final snapshot carries the drained totals.
+  EXPECT_NE(last.find("\"events_recorded\":2"), std::string::npos) << last;
+  // And the RUNSTATS trailer knows how many heartbeats were written.
+  EXPECT_EQ(session.last_trace().run_stats.heartbeats, lines);
+  std::remove((trace_path + ".telemetry.jsonl").c_str());
+  std::remove(trace_path.c_str());
   session.clear_nodes();
 }
 

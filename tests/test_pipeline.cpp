@@ -273,6 +273,54 @@ TEST(StreamingEquivalence, SingleFileMatchesBatchPath) {
   EXPECT_EQ(streaming.csv, batch.csv);
 }
 
+TEST(StreamingEquivalence, RunStatsReachBothPathsIdentically) {
+  // A trace carrying a RUNSTATS trailer must surface the same numbers
+  // whether it is materialised in one read or streamed in tiny batches
+  // — the report footer and JSON "run_stats" object are derived from
+  // them, so any divergence is user-visible.
+  Trace t = sorted_single_trace();
+  t.run_stats.events_recorded = t.fn_events.size();
+  t.run_stats.tempd_samples = t.temp_samples.size();
+  t.run_stats.tempd_ticks = t.temp_samples.size();
+  t.run_stats.threads_registered = 2;
+  t.run_stats.wall_seconds = 1.5;
+  t.run_stats.tempd_cpu_seconds = 0.004;
+  t.run_stats.probe_cost_ns_mean = 37.0;
+  t.run_stats.present = true;
+  const std::string path = temp_path("runstats_equiv.trace");
+  ASSERT_TRUE(write_trace_file(path, t));
+
+  auto loaded = read_trace_file(path);
+  ASSERT_TRUE(loaded.is_ok());
+  const trace::RunStats& batch_rs = loaded.value().run_stats;
+  ASSERT_TRUE(batch_rs.present);
+
+  pipeline::BatchOptions options;
+  options.batch_records = 2;  // many batches: meta refresh must still work
+  auto opened = pipeline::ChunkedTraceSource::open(path, options);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  auto source = std::move(opened).value();
+  pipeline::AnalysisSink sink(pipeline::AnalysisOptions{});
+  const Status ran = pipeline::run_pipeline(&source, {}, {&sink});
+  ASSERT_TRUE(ran) << ran.message();
+  const trace::RunStats& stream_rs = sink.result().run_stats;
+  ASSERT_TRUE(stream_rs.present);
+
+  EXPECT_EQ(stream_rs.events_recorded, batch_rs.events_recorded);
+  EXPECT_EQ(stream_rs.tempd_samples, batch_rs.tempd_samples);
+  EXPECT_EQ(stream_rs.tempd_ticks, batch_rs.tempd_ticks);
+  EXPECT_EQ(stream_rs.threads_registered, batch_rs.threads_registered);
+  EXPECT_EQ(stream_rs.wall_seconds, batch_rs.wall_seconds);
+  EXPECT_EQ(stream_rs.tempd_cpu_seconds, batch_rs.tempd_cpu_seconds);
+  EXPECT_EQ(stream_rs.probe_cost_ns_mean, batch_rs.probe_cost_ns_mean);
+
+  // And the JSON they feed is byte-identical.
+  std::ostringstream batch_json, stream_json;
+  report::write_profile_json(batch_json, parser::RunProfile{}, &batch_rs);
+  report::write_profile_json(stream_json, parser::RunProfile{}, &stream_rs);
+  EXPECT_EQ(stream_json.str(), batch_json.str());
+}
+
 TEST(StreamingEquivalence, FourRankFanInMatchesConcatenatedBatch) {
   // Four ranks, each with its own clock skew; globally unique node,
   // thread, and sensor ids, as the fan-in contract requires.

@@ -1,0 +1,348 @@
+// Telemetry layer: lock-free metrics registry, bounded logger,
+// heartbeat emitter, overhead watchdog. The multithreaded cases run
+// under TSan via the `concurrency` label — the registry's whole claim
+// is that recording from any thread is safe and exact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/heartbeat.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/watchdog.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using tempest::telemetry::Counter;
+using tempest::telemetry::Gauge;
+using tempest::telemetry::Histogram;
+using tempest::telemetry::HistogramSnapshot;
+using tempest::telemetry::Metrics;
+using tempest::telemetry::MetricsSnapshot;
+
+TEST(Metrics, CountersAccumulateAndReset) {
+  auto& m = tempest::telemetry::metrics();
+  m.reset();
+  tempest::telemetry::count(Counter::kEventsRecorded);
+  tempest::telemetry::count(Counter::kEventsRecorded, 41);
+  tempest::telemetry::count(Counter::kTempdTicks, 7);
+  MetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.counter(Counter::kEventsRecorded), 42u);
+  EXPECT_EQ(snap.counter(Counter::kTempdTicks), 7u);
+  EXPECT_EQ(snap.counter(Counter::kEventsDropped), 0u);
+  m.reset();
+  snap = m.snapshot();
+  EXPECT_EQ(snap.counter(Counter::kEventsRecorded), 0u);
+  EXPECT_EQ(snap.counter(Counter::kTempdTicks), 0u);
+}
+
+TEST(Metrics, GaugesHoldLastValue) {
+  auto& m = tempest::telemetry::metrics();
+  m.reset();
+  tempest::telemetry::gauge_set(Gauge::kActiveThreads, 5);
+  tempest::telemetry::gauge_set(Gauge::kActiveThreads, 3);
+  tempest::telemetry::gauge_set(Gauge::kSensorTemp0MilliC, -12345);
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.gauge(Gauge::kActiveThreads), 3);
+  EXPECT_EQ(snap.gauge(Gauge::kSensorTemp0MilliC), -12345);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  auto& m = tempest::telemetry::metrics();
+  m.reset();
+  const double* bounds = tempest::telemetry::histogram_bounds(Histogram::kProbeCostNs);
+  ASSERT_EQ(bounds[0], 4.0);
+  // value <= bounds[i] lands in bucket i: exactly-on-bound stays low.
+  tempest::telemetry::observe(Histogram::kProbeCostNs, 4.0);
+  tempest::telemetry::observe(Histogram::kProbeCostNs, 4.5);
+  tempest::telemetry::observe(Histogram::kProbeCostNs, 0.0);
+  // Above the last preregistered bound -> the overflow bucket.
+  tempest::telemetry::observe(Histogram::kProbeCostNs, bounds[14] + 1.0);
+  const MetricsSnapshot snap = m.snapshot();
+  const HistogramSnapshot& hs = snap.histogram(Histogram::kProbeCostNs);
+  EXPECT_EQ(hs.buckets[0], 2u);  // 4.0 and 0.0
+  EXPECT_EQ(hs.buckets[1], 1u);  // 4.5
+  EXPECT_EQ(hs.buckets[tempest::telemetry::kHistogramBuckets - 1], 1u);
+  EXPECT_EQ(hs.count, 4u);
+  EXPECT_EQ(hs.max, static_cast<std::uint64_t>(bounds[14] + 1.0));
+  // sum is integer-rounded per observation: 4 + 5 (4.5 rounds up) + 0 + overflow.
+  EXPECT_EQ(hs.sum, 4u + 5u + 0u + static_cast<std::uint64_t>(bounds[14] + 1.0));
+}
+
+TEST(Metrics, NegativeAndNanObservationsClampToZero) {
+  auto& m = tempest::telemetry::metrics();
+  m.reset();
+  tempest::telemetry::observe(Histogram::kCadenceJitterUs, -5.0);
+  tempest::telemetry::observe(Histogram::kCadenceJitterUs,
+                              std::numeric_limits<double>::quiet_NaN());
+  const MetricsSnapshot snap = m.snapshot();
+  const HistogramSnapshot& hs = snap.histogram(Histogram::kCadenceJitterUs);
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_EQ(hs.sum, 0u);
+  EXPECT_EQ(hs.buckets[0], 2u);
+}
+
+TEST(Metrics, KillSwitchMakesRecordingANoOp) {
+  auto& m = tempest::telemetry::metrics();
+  m.reset();
+  m.set_enabled(false);
+  tempest::telemetry::count(Counter::kEventsRecorded, 100);
+  tempest::telemetry::gauge_set(Gauge::kActiveThreads, 9);
+  tempest::telemetry::observe(Histogram::kProbeCostNs, 50.0);
+  m.set_enabled(true);  // restore for the rest of the suite
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.counter(Counter::kEventsRecorded), 0u);
+  EXPECT_EQ(snap.gauge(Gauge::kActiveThreads), 0);
+  EXPECT_EQ(snap.histogram(Histogram::kProbeCostNs).count, 0u);
+}
+
+TEST(Metrics, SnapshotJsonHasEveryKey) {
+  auto& m = tempest::telemetry::metrics();
+  m.reset();
+  tempest::telemetry::count(Counter::kHeartbeats, 3);
+  std::ostringstream out;
+  tempest::telemetry::write_snapshot_json(out, m.snapshot(), 1.25);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"t\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"heartbeats\":3"), std::string::npos);
+  for (std::size_t c = 0; c < tempest::telemetry::kCounterCount; ++c) {
+    const std::string key =
+        std::string("\"") +
+        tempest::telemetry::counter_name(static_cast<Counter>(c)) + "\":";
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"probe_cost_ns_mean\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stage_wall_us_max\":"), std::string::npos);
+}
+
+TEST(Metrics, PeakRssReadsPositiveOnLinux) {
+#if defined(__linux__)
+  EXPECT_GT(tempest::telemetry::read_peak_rss_kb(), 0);
+#endif
+}
+
+// -- concurrency (run under TSan via the label) ------------------------
+
+TEST(Metrics, HammerFromManyThreadsIsExact) {
+  auto& m = tempest::telemetry::metrics();
+  m.reset();
+  // More threads than shards so sharing a shard is exercised too.
+  const unsigned kThreads = 2 * Metrics::kShards > 96 ? 96 : 2 * Metrics::kShards;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tempest::telemetry::count(Counter::kEventsRecorded);
+        tempest::telemetry::observe(Histogram::kProbeCostNs, 16.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const MetricsSnapshot snap = m.snapshot();
+  const std::uint64_t expected = kThreads * kPerThread;
+  EXPECT_EQ(snap.counter(Counter::kEventsRecorded), expected);
+  const HistogramSnapshot& hs = snap.histogram(Histogram::kProbeCostNs);
+  EXPECT_EQ(hs.count, expected);
+  EXPECT_EQ(hs.sum, 16u * expected);
+  EXPECT_EQ(hs.max, 16u);
+}
+
+TEST(Metrics, SnapshotDuringRecordingIsMonotonicAndConverges) {
+  auto& m = tempest::telemetry::metrics();
+  m.reset();
+  std::atomic<bool> stop{false};
+  constexpr unsigned kWriters = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    writers.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tempest::telemetry::count(Counter::kPipelineBatches);
+      }
+    });
+  }
+  std::uint64_t last = 0;
+  std::uint64_t polls = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::uint64_t now =
+        m.snapshot().counter(Counter::kPipelineBatches);
+    EXPECT_GE(now, last);  // a monotonic counter never goes backwards
+    last = now;
+    ++polls;
+    if (now == kWriters * kPerThread) stop.store(true);
+    if (polls > 10'000'000) break;  // watchdog against a wedged test
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(m.snapshot().counter(Counter::kPipelineBatches),
+            kWriters * kPerThread);
+}
+
+// -- watchdog ----------------------------------------------------------
+
+tempest::trace::RunStats healthy_stats() {
+  tempest::trace::RunStats rs;
+  rs.present = true;
+  rs.wall_seconds = 10.0;
+  rs.tempd_cpu_seconds = 0.05;  // 0.5%
+  rs.events_recorded = 1'000'000;
+  rs.probe_cost_ns_mean = 40.0;  // 40e6 ns over 10 s = 0.4%
+  return rs;
+}
+
+TEST(Watchdog, UnderBudgetDoesNotTrip) {
+  const auto report = tempest::telemetry::evaluate_overhead(healthy_stats());
+  EXPECT_FALSE(report.tripped());
+  EXPECT_NEAR(report.tempd_cpu_share, 0.005, 1e-9);
+  EXPECT_NEAR(report.probe_overhead_share, 0.004, 1e-9);
+  EXPECT_NE(report.describe().find("ok"), std::string::npos);
+}
+
+TEST(Watchdog, TripsOnTempdCpuOverBudget) {
+  auto rs = healthy_stats();
+  rs.tempd_cpu_seconds = 0.5;  // 5% of wall
+  const auto report = tempest::telemetry::evaluate_overhead(rs);
+  EXPECT_TRUE(report.tripped());
+  EXPECT_TRUE(report.tempd_over);
+  EXPECT_FALSE(report.probe_over);
+  EXPECT_NE(report.describe().find("OVER BUDGET"), std::string::npos);
+}
+
+TEST(Watchdog, TripsOnProbeCostOverBudget) {
+  auto rs = healthy_stats();
+  rs.events_recorded = 100'000'000;
+  rs.probe_cost_ns_mean = 2000.0;  // 0.2 s of probes over 10 s = 2%
+  const auto report = tempest::telemetry::evaluate_overhead(rs);
+  EXPECT_TRUE(report.tripped());
+  EXPECT_TRUE(report.probe_over);
+}
+
+TEST(Watchdog, CustomBudgetIsRespected) {
+  // 0.5% tempd share: fine at the default 1%, over at 0.1%.
+  const auto strict =
+      tempest::telemetry::evaluate_overhead(healthy_stats(), 0.001);
+  EXPECT_TRUE(strict.tripped());
+  const auto lax = tempest::telemetry::evaluate_overhead(healthy_stats(), 0.10);
+  EXPECT_FALSE(lax.tripped());
+}
+
+TEST(Watchdog, AbsentOrDegenerateStatsNeverTrip) {
+  tempest::trace::RunStats absent;  // present == false
+  EXPECT_FALSE(tempest::telemetry::evaluate_overhead(absent).tripped());
+  auto zero_wall = healthy_stats();
+  zero_wall.wall_seconds = 0.0;
+  EXPECT_FALSE(tempest::telemetry::evaluate_overhead(zero_wall).tripped());
+}
+
+// -- logger ------------------------------------------------------------
+
+TEST(Log, RingIsBoundedAndOldestFirst) {
+  auto& logger = tempest::telemetry::Logger::instance();
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  logger.set_threshold(tempest::telemetry::LogLevel::kError);  // quiet
+  const std::uint64_t before = logger.total_logged();
+  const std::size_t kBurst = tempest::telemetry::Logger::kRingCapacity + 50;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    tempest::telemetry::log_info("test", "msg " + std::to_string(i));
+  }
+  const auto ring = logger.ring();
+  EXPECT_EQ(ring.size(), tempest::telemetry::Logger::kRingCapacity);
+  EXPECT_EQ(logger.total_logged(), before + kBurst);
+  // The 50 oldest were evicted; the ring starts at msg 50.
+  EXPECT_EQ(ring.front().message, "msg 50");
+  EXPECT_EQ(ring.back().message, "msg " + std::to_string(kBurst - 1));
+  EXPECT_LE(ring.front().t_seconds, ring.back().t_seconds);
+  logger.set_sink(nullptr);
+  logger.set_threshold(tempest::telemetry::LogLevel::kWarn);
+}
+
+TEST(Log, ThresholdGatesEmissionButNotTheRing) {
+  auto& logger = tempest::telemetry::Logger::instance();
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  logger.set_threshold(tempest::telemetry::LogLevel::kWarn);
+  tempest::telemetry::log_info("test", "below-threshold-info");
+  tempest::telemetry::log_warn("test", "at-threshold-warn");
+  const std::string emitted = sink.str();
+  EXPECT_EQ(emitted.find("below-threshold-info"), std::string::npos);
+  EXPECT_NE(emitted.find("at-threshold-warn"), std::string::npos);
+  EXPECT_NE(emitted.find("level=warn"), std::string::npos);
+  EXPECT_NE(emitted.find("comp=test"), std::string::npos);
+  // The ring keeps both: post-mortems see more than stderr did.
+  const auto ring = logger.ring();
+  ASSERT_GE(ring.size(), 2u);
+  EXPECT_EQ(ring.back().message, "at-threshold-warn");
+  EXPECT_EQ(ring[ring.size() - 2].message, "below-threshold-info");
+  logger.set_sink(nullptr);
+}
+
+// -- heartbeat ---------------------------------------------------------
+
+TEST(Heartbeat, AppendsParseableJsonlSnapshots) {
+  tempest::telemetry::metrics().reset();
+  const std::string path = ::testing::TempDir() + "/hb_test.jsonl";
+  tempest::telemetry::HeartbeatEmitter hb;
+  ASSERT_TRUE(hb.start(path, 0.02).is_ok());
+  EXPECT_TRUE(hb.running());
+  tempest::telemetry::count(Counter::kEventsRecorded, 1234);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  hb.stop();
+  EXPECT_FALSE(hb.running());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_count = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"t\":"), std::string::npos);
+    if (line.find("\"events_recorded\":1234") != std::string::npos) {
+      saw_count = true;
+    }
+    ++lines;
+  }
+  // One line at start, at least one period, one at stop.
+  EXPECT_GE(lines, 3u);
+  EXPECT_TRUE(saw_count);  // the final snapshot carries the counter
+  std::remove(path.c_str());
+}
+
+TEST(Heartbeat, StartTruncatesAndDoubleStopIsSafe) {
+  const std::string path = ::testing::TempDir() + "/hb_trunc.jsonl";
+  {
+    std::ofstream out(path);
+    out << "stale line from a previous run\n";
+  }
+  tempest::telemetry::HeartbeatEmitter hb;
+  ASSERT_TRUE(hb.start(path, 10.0).is_ok());
+  EXPECT_FALSE(hb.start(path, 10.0).is_ok());  // already running
+  hb.stop();
+  hb.stop();  // idempotent
+  std::ifstream in(path);
+  std::string first;
+  ASSERT_TRUE(std::getline(in, first));
+  EXPECT_EQ(first.find("stale"), std::string::npos);
+  EXPECT_EQ(first.front(), '{');
+  std::remove(path.c_str());
+}
+
+TEST(Heartbeat, PathForTraceAppendsConventionalSuffix) {
+  EXPECT_EQ(tempest::telemetry::HeartbeatEmitter::path_for_trace("/tmp/a.trace"),
+            "/tmp/a.trace.telemetry.jsonl");
+}
+
+}  // namespace

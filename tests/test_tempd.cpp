@@ -100,4 +100,53 @@ TEST(Tempd, DestructorStopsARunningSampler) {
   }  // ~Tempd calls stop(); must join, not crash or leak the thread
 }
 
+TEST(Tempd, AbsoluteCadenceHoldsWithoutDrift) {
+  // 100 Hz over ~300 ms with an empty sweep: the absolute-deadline
+  // schedule must land close to elapsed/period ticks, with every
+  // shortfall declared in missed_ticks rather than smeared into drift.
+  Tempd tempd;
+  std::vector<NodeBinding> no_nodes;
+  const auto t0 = std::chrono::steady_clock::now();
+  tempd.start(100.0, &no_nodes);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  tempd.stop();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto& stats = tempd.stats();
+  const auto deadlines = static_cast<std::uint64_t>(elapsed * 100.0);
+  // Ticked + missed covers every elapsed deadline (the final
+  // bracketing tick, the partial trailing period, and stop()'s join
+  // window allow a few deadlines of slack).
+  EXPECT_GE(stats.ticks + stats.missed_ticks + 4, deadlines);
+  EXPECT_GE(stats.ticks, 2u);  // immediate first tick + final tick
+  EXPECT_EQ(stats.read_errors, 0u);
+  EXPECT_EQ(stats.samples, 0u);  // no nodes, no sensors
+}
+
+TEST(Tempd, SlowSweepCountsMissesInsteadOfDrifting) {
+  // A sweep hook that overruns the 10 ms period forces misses; the
+  // scheduler must declare them. With a ~25 ms on_tick hook at 100 Hz,
+  // each tick skips ~2 deadlines.
+  Tempd tempd;
+  tempest::simnode::ClusterConfig cc;
+  cc.nodes = 1;
+  tempest::simnode::Cluster cluster(cc);
+  std::vector<NodeBinding> nodes;
+  NodeBinding binding;
+  binding.node_id = 0;
+  binding.backend = &cluster.node(0).sensor_backend();
+  binding.sim = &cluster.node(0);
+  binding.on_tick = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  };
+  nodes.push_back(std::move(binding));
+  tempd.start(100.0, &nodes);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  tempd.stop();
+  const auto& stats = tempd.stats();
+  EXPECT_GT(stats.missed_ticks, 0u);
+  EXPECT_GE(stats.missed_ticks, stats.ticks);  // >=2 misses per tick here
+}
+
 }  // namespace

@@ -2,7 +2,9 @@
 // alignment.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "trace/align.hpp"
@@ -239,6 +241,132 @@ TEST(AlignClocks, NoSyncsIsIdentity) {
   t.fn_events = {{123, 1, 0, 0, FnEventKind::kEnter}};
   ASSERT_TRUE(align_clocks(&t));
   EXPECT_EQ(t.fn_events[0].tsc, 123u);
+}
+
+// -- RUNSTATS trailer --------------------------------------------------
+
+RunStats sample_run_stats() {
+  RunStats rs;
+  rs.events_recorded = 123456;
+  rs.events_dropped = 7;
+  rs.buffer_flushes = 3;
+  rs.threads_registered = 4;
+  rs.tempd_ticks = 40;
+  rs.tempd_missed_ticks = 2;
+  rs.tempd_samples = 240;
+  rs.tempd_read_errors = 1;
+  rs.sensor_read_failures = 1;
+  rs.heartbeats = 11;
+  rs.peak_rss_kb = 20480;
+  rs.wall_seconds = 9.875;
+  rs.tempd_cpu_seconds = 0.0625;
+  rs.probe_cost_ns_mean = 38.5;
+  rs.cadence_jitter_us_mean = 120.25;
+  rs.present = true;
+  return rs;
+}
+
+TEST(RunStatsIo, RoundTripPreservesEveryField) {
+  Trace original = sample_trace();
+  original.run_stats = sample_run_stats();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  const RunStats& rs = loaded.value().run_stats;
+  ASSERT_TRUE(rs.present);
+  EXPECT_EQ(rs.events_recorded, 123456u);
+  EXPECT_EQ(rs.events_dropped, 7u);
+  EXPECT_EQ(rs.buffer_flushes, 3u);
+  EXPECT_EQ(rs.threads_registered, 4u);
+  EXPECT_EQ(rs.tempd_ticks, 40u);
+  EXPECT_EQ(rs.tempd_missed_ticks, 2u);
+  EXPECT_EQ(rs.tempd_samples, 240u);
+  EXPECT_EQ(rs.tempd_read_errors, 1u);
+  EXPECT_EQ(rs.sensor_read_failures, 1u);
+  EXPECT_EQ(rs.heartbeats, 11u);
+  EXPECT_EQ(rs.peak_rss_kb, 20480u);
+  // Doubles cross the wire bit-exact (memcpy of the IEEE representation).
+  EXPECT_EQ(rs.wall_seconds, 9.875);
+  EXPECT_EQ(rs.tempd_cpu_seconds, 0.0625);
+  EXPECT_EQ(rs.probe_cost_ns_mean, 38.5);
+  EXPECT_EQ(rs.cadence_jitter_us_mean, 120.25);
+}
+
+TEST(RunStatsIo, PreRunstatsTracesReadAsAbsent) {
+  // A trace written without run stats is byte-identical to the format
+  // before the trailer existed — readers must treat it as absent, not
+  // as an error and not as zeros-present.
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  EXPECT_FALSE(loaded.value().run_stats.present);
+}
+
+TEST(RunStatsIo, TruncatedTrailerRejected) {
+  Trace original = sample_trace();
+  original.run_stats = sample_run_stats();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  const std::string full = buffer.str();
+  // Cut inside the trailer payload (after the marker + size words).
+  std::stringstream cut(full.substr(0, full.size() - 16));
+  EXPECT_FALSE(read_trace(cut).is_ok());
+}
+
+TEST(RunStatsIo, TrailingGarbageStillRejectedByFileReader) {
+  const std::string path = ::testing::TempDir() + "/runstats_garbage.trace";
+  Trace original = sample_trace();
+  original.run_stats = sample_run_stats();
+  ASSERT_TRUE(write_trace_file(path, original));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "JUNKJUNK";
+  }
+  // Garbage after a complete trailer is not silently swallowed.
+  EXPECT_FALSE(read_trace_file(path).is_ok());
+  std::remove(path.c_str());
+}
+
+TEST(RunStatsIo, FileRoundTripThroughReaderHeader) {
+  const std::string path = ::testing::TempDir() + "/runstats_file.trace";
+  Trace original = sample_trace();
+  original.run_stats = sample_run_stats();
+  ASSERT_TRUE(write_trace_file(path, original));
+  auto loaded = read_trace_file(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  EXPECT_TRUE(loaded.value().run_stats.present);
+  EXPECT_EQ(loaded.value().run_stats.events_recorded, 123456u);
+  std::remove(path.c_str());
+}
+
+TEST(RunStats, AppendFoldsCountsMeansAndWall) {
+  RunStats a = sample_run_stats();  // 123456 events, probe mean 38.5
+  RunStats b;
+  b.present = true;
+  b.events_recorded = 123456;  // equal weight: folded mean is the average
+  b.tempd_ticks = 10;
+  b.tempd_samples = 60;
+  b.wall_seconds = 12.5;   // ranks overlap: wall is the max, not the sum
+  b.tempd_cpu_seconds = 0.1;  // cpu genuinely adds
+  b.probe_cost_ns_mean = 40.5;
+  b.cadence_jitter_us_mean = 0.0;
+  a.append(b);
+  EXPECT_EQ(a.events_recorded, 246912u);
+  EXPECT_EQ(a.tempd_ticks, 50u);
+  EXPECT_EQ(a.tempd_samples, 300u);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 12.5);
+  EXPECT_DOUBLE_EQ(a.tempd_cpu_seconds, 0.1625);
+  EXPECT_DOUBLE_EQ(a.probe_cost_ns_mean, 39.5);
+  EXPECT_TRUE(a.present);
+
+  // Appending an absent RunStats changes nothing.
+  const RunStats before = a;
+  a.append(RunStats{});
+  EXPECT_EQ(a.events_recorded, before.events_recorded);
+  EXPECT_DOUBLE_EQ(a.probe_cost_ns_mean, before.probe_cost_ns_mean);
 }
 
 }  // namespace
