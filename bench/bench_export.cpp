@@ -1,0 +1,404 @@
+// Interactive-export bench: throughput and peak RSS of the Perfetto and
+// speedscope emitters against the streaming-analysis baseline.
+//
+// The exporters' claim is the same memory bound the analysis pipeline
+// makes: a 1e7-event trace exports through bounded batches, with peak
+// RSS set by the per-thread stacks and name table, not the event count.
+// Same self-exec harness as bench_pipeline (ru_maxrss is a process
+// high-water mark, so every measurement forks):
+//
+//   analyze     ChunkedTraceSource -> align -> order -> AnalysisSink
+//               (the bench_pipeline streaming baseline, re-measured here
+//               so the ratio compares like with like)
+//   perfetto    the same stream driven through PerfettoExporter
+//   speedscope  the same stream driven through SpeedscopeExporter
+//
+// Children write their output to /dev/null — the bench measures the
+// emitters, not tmpfs — and speedscope's per-thread spools go to /tmp.
+// Results land in BENCH_export.json. The committed copy holds a full
+// 1e5..1e7 run; CI smoke re-runs the 1e5 point (--max-events 100000).
+// Gate (full runs): each exporter's peak RSS at 1e7 events stays within
+// 1.25x of the streaming-analysis baseline.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "export/run.hpp"
+#include "pipeline/sinks.hpp"
+#include "pipeline/source.hpp"
+#include "pipeline/stages.hpp"
+#include "trace/trace.hpp"
+#include "trace/writer.hpp"
+
+namespace {
+
+using tempest::Status;
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kFuncs = 64;
+constexpr std::uint64_t kFuncBase = 0x400000;
+
+/// Deterministic RNG so every run benches the same trace.
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+};
+
+/// bench_pipeline's synthetic run shape: 8 threads over 4 nodes, 64
+/// functions, samples ~= events/100, pre-sorted with identity clock
+/// syncs so streaming's OrderCheckStage holds after alignment.
+tempest::trace::Trace make_trace(std::size_t n_events) {
+  tempest::trace::Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.executable = "bench_export_synthetic";
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    t.nodes.push_back({static_cast<std::uint16_t>(n), "node" + std::to_string(n)});
+    for (std::uint16_t s = 0; s < 2; ++s) {
+      t.sensors.push_back({static_cast<std::uint16_t>(n), s,
+                           "Core " + std::to_string(s), 1.0});
+    }
+  }
+  for (std::size_t th = 0; th < kThreads; ++th) {
+    t.threads.push_back({static_cast<std::uint32_t>(th),
+                         static_cast<std::uint16_t>(th % kNodes),
+                         static_cast<std::uint16_t>(th)});
+  }
+
+  Lcg rng{0xe4907ULL + n_events};
+  const std::size_t per_thread = n_events / kThreads;
+  t.fn_events.reserve(per_thread * kThreads);
+  std::uint64_t max_tsc = 0;
+  for (std::size_t th = 0; th < kThreads; ++th) {
+    const std::size_t begin = t.fn_events.size();
+    const auto tid = static_cast<std::uint32_t>(th);
+    const auto node = static_cast<std::uint16_t>(th % kNodes);
+    std::uint64_t tsc = 1000 + th * 7;
+    std::vector<std::uint64_t> stack;
+    for (std::size_t i = 0; i < per_thread; ++i) {
+      tsc += rng.next() % 50 + 1;
+      if (stack.empty() || (stack.size() < 8 && rng.next() % 2 == 0)) {
+        const std::uint64_t addr = kFuncBase + (rng.next() % kFuncs) * 0x40;
+        stack.push_back(addr);
+        t.fn_events.push_back({tsc, addr, tid, node,
+                               tempest::trace::FnEventKind::kEnter});
+      } else {
+        t.fn_events.push_back({tsc, stack.back(), tid, node,
+                               tempest::trace::FnEventKind::kExit});
+        stack.pop_back();
+      }
+    }
+    max_tsc = std::max(max_tsc, tsc);
+    t.fn_event_runs.push_back({begin, t.fn_events.size() - begin});
+  }
+
+  const std::size_t n_samples = std::max<std::size_t>(n_events / 100, 16);
+  const std::size_t per_node = n_samples / kNodes;
+  t.temp_samples.reserve(per_node * kNodes);
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    const std::uint64_t step =
+        std::max<std::uint64_t>(max_tsc / (per_node + 1), 1);
+    for (std::size_t i = 0; i < per_node; ++i) {
+      t.temp_samples.push_back({1000 + (i + 1) * step,
+                                60.0 + static_cast<double>(rng.next() % 200) / 10.0,
+                                static_cast<std::uint16_t>(n),
+                                static_cast<std::uint16_t>(rng.next() % 2)});
+    }
+  }
+  t.sort_by_time();
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::uint64_t at = (i + 1) * (max_tsc / 9);
+      t.clock_syncs.push_back({at, at, static_cast<std::uint16_t>(n)});
+    }
+  }
+  return t;
+}
+
+std::string bench_path(const std::string& name) {
+  static const std::string dir = [] {
+    const std::string probe = "/dev/shm/tempest_bench_probe";
+    std::ofstream f(probe);
+    if (f) {
+      f.close();
+      std::remove(probe.c_str());
+      return std::string("/dev/shm");
+    }
+    return std::string("/tmp");
+  }();
+  return dir + "/" + name;
+}
+
+// ---------------------------------------------------------------- child
+
+int run_child_analyze(const std::string& trace_path) {
+  auto opened = tempest::pipeline::ChunkedTraceSource::open(trace_path);
+  if (!opened.is_ok()) {
+    std::cerr << "bench_export: " << opened.message() << "\n";
+    return 1;
+  }
+  tempest::pipeline::ChunkedTraceSource source = std::move(opened).value();
+  auto fits = source.clock_fits();
+  if (!fits.is_ok()) {
+    std::cerr << "bench_export: " << fits.message() << "\n";
+    return 1;
+  }
+  tempest::pipeline::ClockAlignStage align(std::move(fits).value());
+  tempest::pipeline::OrderCheckStage order;
+  std::ofstream null_out("/dev/null", std::ios::binary);
+  tempest::pipeline::TextEmitter text(null_out);
+  tempest::pipeline::AnalysisSink sink({}, {&text});
+  const Status run = tempest::pipeline::run_pipeline(
+      &source, {&align, &order}, {&sink});
+  if (!run) {
+    std::cerr << "bench_export: " << run.message() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_child_export(const std::string& trace_path,
+                     tempest::exporter::Format format) {
+  std::ofstream null_out("/dev/null", std::ios::binary);
+  tempest::exporter::ExportRunOptions options;
+  options.format = format;
+  options.stream = true;
+  options.symbolize = false;  // synthetic addresses have no symbol table
+  // Spools always go to /tmp: they hold the bulk of a big speedscope
+  // export, and parking them in /dev/shm would hide exactly the memory
+  // the spooling design keeps off the heap.
+  options.spool_prefix = "/tmp/bench_export." + std::to_string(getpid());
+  auto ran = tempest::exporter::run_export({trace_path}, null_out, options);
+  if (!ran.is_ok()) {
+    std::cerr << "bench_export: " << ran.message() << "\n";
+    return 1;
+  }
+  if (ran.value().stats.events_exported == 0) {
+    std::cerr << "bench_export: exported nothing\n";
+    return 1;
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- driver
+
+struct Measurement {
+  std::string mode;
+  std::size_t events = 0;
+  double wall_s = 0.0;
+  double events_per_s = 0.0;
+  long max_rss_kib = 0;
+};
+
+bool run_measured(const char* self, const std::string& mode,
+                  const std::string& trace_path, std::size_t events,
+                  Measurement* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("bench_export: fork");
+    return false;
+  }
+  if (pid == 0) {
+    std::vector<std::string> args = {self, "--child", mode, "--trace",
+                                     trace_path};
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(self, argv.data());
+    std::perror("bench_export: execv");
+    _exit(127);
+  }
+  int status = 0;
+  struct rusage ru {};
+  if (wait4(pid, &status, 0, &ru) < 0) {
+    std::perror("bench_export: wait4");
+    return false;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::cerr << "bench_export: child (" << mode << ", " << events
+              << " events) failed\n";
+    return false;
+  }
+  out->mode = mode;
+  out->events = events;
+  out->wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out->events_per_s =
+      out->wall_s > 0.0 ? static_cast<double>(events) / out->wall_s : 0.0;
+  out->max_rss_kib = ru.ru_maxrss;  // Linux reports KiB.
+  return true;
+}
+
+int run_driver(const char* self, std::size_t max_events,
+               const std::string& out_path) {
+  const std::vector<std::size_t> all_sizes = {100000, 1000000, 10000000};
+  std::vector<std::size_t> sizes;
+  for (std::size_t s : all_sizes) {
+    if (s <= max_events) sizes.push_back(s);
+  }
+  if (sizes.empty()) {
+    std::cerr << "bench_export: --max-events below the smallest size ("
+              << all_sizes.front() << ")\n";
+    return 2;
+  }
+
+  const char* modes[3] = {"analyze", "perfetto", "speedscope"};
+  std::vector<Measurement> rows;
+  for (std::size_t n : sizes) {
+    const std::string trace_path =
+        bench_path("bench_export_" + std::to_string(n) + ".trace");
+    {
+      tempest::trace::Trace t = make_trace(n);
+      const Status written = tempest::trace::write_trace_file(trace_path, t);
+      if (!written) {
+        std::cerr << "bench_export: " << written.message() << "\n";
+        return 1;
+      }
+    }  // Trace freed before any child runs.
+
+    for (const char* mode : modes) {
+      Measurement row;
+      if (!run_measured(self, mode, trace_path, n, &row)) return 1;
+      rows.push_back(row);
+      std::fprintf(stderr,
+                   "%-10s %9zu events  %7.3f s  %12.0f ev/s  %8ld KiB\n",
+                   mode, n, row.wall_s, row.events_per_s, row.max_rss_kib);
+    }
+    std::remove(trace_path.c_str());
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "bench_export: cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n  \"benchmark\": \"bench_export\",\n"
+       << "  \"description\": \"Perfetto/speedscope emitters vs the "
+          "streaming-analysis baseline: wall time and peak RSS per forked "
+          "child, output to /dev/null\",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& r = rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"mode\": \"%s\", \"events\": %zu, \"wall_s\": %.4f, "
+                  "\"events_per_s\": %.0f, \"max_rss_kib\": %ld}%s\n",
+                  r.mode.c_str(), r.events, r.wall_s, r.events_per_s,
+                  r.max_rss_kib, i + 1 < rows.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ],\n  \"summary\": [\n";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Measurement& analyze = rows[i * 3];
+    const Measurement& perfetto = rows[i * 3 + 1];
+    const Measurement& speedscope = rows[i * 3 + 2];
+    const auto ratio = [&](const Measurement& m) {
+      return analyze.max_rss_kib > 0
+          ? static_cast<double>(m.max_rss_kib) / analyze.max_rss_kib
+          : 0.0;
+    };
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"events\": %zu, \"perfetto_rss_over_analyze\": %.3f, "
+                  "\"speedscope_rss_over_analyze\": %.3f}%s\n",
+                  sizes[i], ratio(perfetto), ratio(speedscope),
+                  i + 1 < sizes.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ]\n}\n";
+  std::cerr << "bench_export: wrote " << out_path << "\n";
+
+  // Acceptance gate (full runs only): each exporter's peak RSS at 1e7
+  // events stays within 1.25x of the streaming-analysis baseline.
+  if (sizes.back() == all_sizes.back()) {
+    const Measurement& analyze = rows[rows.size() - 3];
+    for (std::size_t m = 1; m <= 2; ++m) {
+      const Measurement& exp = rows[rows.size() - 3 + m];
+      if (exp.max_rss_kib * 4 > analyze.max_rss_kib * 5) {
+        std::cerr << "bench_export: FAIL " << exp.mode << " RSS "
+                  << exp.max_rss_kib << " KiB exceeds 1.25x analyze baseline "
+                  << analyze.max_rss_kib << " KiB at " << sizes.back()
+                  << " events\n";
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string child_mode;
+  std::string trace_path;
+  std::string out_path = "BENCH_export.json";
+  std::size_t max_events = 10000000;
+
+  tempest::cli::ArgParser args(
+      "[--max-events N] [--out FILE]   (driver)\n"
+      "       --child analyze|perfetto|speedscope --trace FILE");
+  args.add_value("--child", [&](const std::string& v) {
+    if (v != "analyze" && v != "perfetto" && v != "speedscope") {
+      return Status::error("--child must be analyze, perfetto, or "
+                           "speedscope, got '" + v + "'");
+    }
+    child_mode = v;
+    return Status::ok();
+  });
+  args.add_value("--trace", [&](const std::string& v) {
+    trace_path = v;
+    return Status::ok();
+  });
+  args.add_value("--out", [&](const std::string& v) {
+    out_path = v;
+    return Status::ok();
+  });
+  args.add_value("--max-events", [&](const std::string& v) {
+    return tempest::cli::parse_size(v, &max_events);
+  });
+  const Status parsed = args.parse(argc, argv);
+  if (!parsed) {
+    std::cerr << "bench_export: " << parsed.message() << "\n";
+    args.print_usage(std::cerr, "bench_export");
+    return 2;
+  }
+  if (args.help_requested()) {
+    args.print_usage(std::cout, "bench_export");
+    return 0;
+  }
+
+  if (!child_mode.empty()) {
+    if (trace_path.empty()) {
+      std::cerr << "bench_export: --child needs --trace\n";
+      return 2;
+    }
+    if (child_mode == "analyze") return run_child_analyze(trace_path);
+    return run_child_export(trace_path,
+                            child_mode == "perfetto"
+                                ? tempest::exporter::Format::kPerfetto
+                                : tempest::exporter::Format::kSpeedscope);
+  }
+  static char self_buf[4096];
+  const ssize_t len = readlink("/proc/self/exe", self_buf, sizeof(self_buf) - 1);
+  const char* self = argv[0];
+  if (len > 0) {
+    self_buf[len] = '\0';
+    self = self_buf;
+  }
+  return run_driver(self, max_events, out_path);
+}

@@ -46,7 +46,9 @@ int main(int argc, char** argv) {
   for (std::size_t n = 0; n < cluster.size(); ++n) {
     session.register_sim_node(&cluster.node(n));
   }
-  tempest::core::SessionConfig config;
+  // from_env so TEMPEST_OUT can persist the 4-node trace for the
+  // export tools (the README's multi-rank Perfetto walkthrough).
+  auto config = tempest::core::SessionConfig::from_env();
   config.sample_hz = 8.0;
   config.bind_affinity = false;
   if (auto status = session.start(config); !status) {

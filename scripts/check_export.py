@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Structural validator for tempest export output.
+
+Used by CI (e2e-asan) after exporting a recorded trace:
+
+    check_export.py perfetto   /tmp/e2e.perfetto.json
+    check_export.py speedscope /tmp/e2e.speedscope.json
+
+Checks go beyond json.load: required keys for each format, balanced
+B/E (perfetto) and O/C (speedscope) nesting per thread with name/frame
+matching on close, non-decreasing timestamps per track, counter-series
+monotonicity, and frame indices in range. Exit 0 when clean, 1 with a
+message per violation otherwise.
+"""
+import json
+import sys
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_export: {e}", file=sys.stderr)
+    return 1
+
+
+def check_perfetto(doc):
+    errors = []
+    for key in ("displayTimeUnit", "traceEvents", "metadata"):
+        if key not in doc:
+            errors.append(f"missing top-level key {key!r}")
+    if errors:
+        return errors
+    meta = doc["metadata"]
+    for key in ("exporter", "trace_format_version", "clock_correlation",
+                "export_stats"):
+        if key not in meta:
+            errors.append(f"metadata missing {key!r}")
+    corr = meta.get("clock_correlation", {})
+    if not isinstance(corr.get("ranks"), list) or not corr["ranks"]:
+        errors.append("clock_correlation.ranks missing or empty")
+    for rank in corr.get("ranks", []):
+        for key in ("node_id", "skew_us", "drift_ppm", "residual_us"):
+            if key not in rank:
+                errors.append(f"rank entry missing {key!r}: {rank}")
+
+    stacks = {}      # (pid, tid) -> [name, ...]
+    last_ts = {}     # (pid, tid) -> ts, duration-event order per thread
+    counter_ts = {}  # (pid, name) -> ts, counter-series order
+    n_duration = n_counter = 0
+    for i, ev in enumerate(doc["traceEvents"]):
+        ph = ev.get("ph")
+        where = f"traceEvents[{i}]"
+        if ph is None:
+            errors.append(f"{where}: missing ph")
+            continue
+        if ph == "M":
+            continue
+        if "ts" not in ev and ph != "M":
+            errors.append(f"{where}: missing ts")
+            continue
+        if ph in ("B", "E"):
+            key = (ev.get("pid"), ev.get("tid"))
+            if None in key:
+                errors.append(f"{where}: {ph} event without pid/tid")
+                continue
+            if last_ts.get(key, ev["ts"]) > ev["ts"]:
+                errors.append(
+                    f"{where}: ts {ev['ts']} goes backwards on {key}")
+            last_ts[key] = ev["ts"]
+            n_duration += 1
+            if ph == "B":
+                if "name" not in ev:
+                    errors.append(f"{where}: B event without name")
+                stacks.setdefault(key, []).append(ev.get("name"))
+            else:
+                stack = stacks.get(key)
+                if not stack:
+                    errors.append(f"{where}: E with empty stack on {key}")
+                    continue
+                opened = stack.pop()
+                if "name" in ev and ev["name"] != opened:
+                    errors.append(
+                        f"{where}: E name {ev['name']!r} closes {opened!r}")
+        elif ph == "C":
+            key = (ev.get("pid"), ev.get("name"))
+            if None in key:
+                errors.append(f"{where}: C event without pid/name")
+                continue
+            if counter_ts.get(key, ev["ts"]) > ev["ts"]:
+                errors.append(
+                    f"{where}: counter {key} ts {ev['ts']} not monotonic")
+            counter_ts[key] = ev["ts"]
+            if "celsius" not in ev.get("args", {}):
+                errors.append(f"{where}: counter without args.celsius")
+            n_counter += 1
+        elif ph == "i":
+            if "name" not in ev:
+                errors.append(f"{where}: instant without name")
+        else:
+            errors.append(f"{where}: unexpected ph {ph!r}")
+    for key, stack in stacks.items():
+        if stack:
+            errors.append(f"unclosed B events on {key}: {stack}")
+    if n_duration == 0:
+        errors.append("no duration events exported")
+    print(f"perfetto: {n_duration} duration events balanced, "
+          f"{n_counter} counter samples monotonic, "
+          f"{len(corr.get('ranks', []))} rank clock(s)")
+    return errors
+
+
+def check_speedscope(doc):
+    errors = []
+    if doc.get("$schema") != SPEEDSCOPE_SCHEMA:
+        errors.append(f"$schema is {doc.get('$schema')!r}")
+    frames = doc.get("shared", {}).get("frames")
+    if not isinstance(frames, list) or not frames:
+        errors.append("shared.frames missing or empty")
+        frames = []
+    for i, frame in enumerate(frames):
+        if not frame.get("name"):
+            errors.append(f"frames[{i}] has no name")
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        errors.append("profiles missing or empty")
+        profiles = []
+    n_events = 0
+    for p, prof in enumerate(profiles):
+        where = f"profiles[{p}]"
+        if prof.get("type") != "evented":
+            errors.append(f"{where}: type is {prof.get('type')!r}")
+        if prof.get("unit") != "microseconds":
+            errors.append(f"{where}: unit is {prof.get('unit')!r}")
+        start, end = prof.get("startValue"), prof.get("endValue")
+        if start is None or end is None or start > end:
+            errors.append(f"{where}: bad startValue/endValue {start}..{end}")
+        stack = []
+        last_at = None
+        for i, ev in enumerate(prof.get("events", [])):
+            at = ev.get("at")
+            frame = ev.get("frame")
+            ev_where = f"{where}.events[{i}]"
+            if at is None or frame is None:
+                errors.append(f"{ev_where}: missing at/frame")
+                continue
+            if not isinstance(frame, int) or not 0 <= frame < len(frames):
+                errors.append(f"{ev_where}: frame {frame} out of range")
+            if last_at is not None and at < last_at:
+                errors.append(f"{ev_where}: at {at} goes backwards")
+            last_at = at
+            if start is not None and end is not None \
+                    and not start <= at <= end:
+                errors.append(f"{ev_where}: at {at} outside {start}..{end}")
+            if ev.get("type") == "O":
+                stack.append(frame)
+            elif ev.get("type") == "C":
+                if not stack:
+                    errors.append(f"{ev_where}: C with empty stack")
+                    continue
+                opened = stack.pop()
+                if opened != frame:
+                    errors.append(
+                        f"{ev_where}: C frame {frame} closes {opened}")
+            else:
+                errors.append(f"{ev_where}: unexpected type {ev.get('type')!r}")
+            n_events += 1
+        if stack:
+            errors.append(f"{where}: unclosed frames {stack}")
+    if n_events == 0:
+        errors.append("no profile events exported")
+    print(f"speedscope: {len(frames)} frames, {len(profiles)} profiles, "
+          f"{n_events} events balanced")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("perfetto", "speedscope"):
+        print("usage: check_export.py perfetto|speedscope FILE",
+              file=sys.stderr)
+        return 2
+    with open(argv[2]) as f:
+        doc = json.load(f)
+    check = check_perfetto if argv[1] == "perfetto" else check_speedscope
+    errors = check(doc)
+    return fail(errors) if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <optional>
 
 namespace tempest::cli {
 
@@ -42,30 +43,50 @@ Status ArgParser::parse(int argc, char** argv) {
       positional_.push_back(arg);
       continue;
     }
+    // --name=value attaches the value inline; split before matching so
+    // both spellings hit the same option table.
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
     const Option* match = nullptr;
     for (const Option& opt : options_) {
-      if (opt.name == arg) {
+      if (opt.name == name) {
         match = &opt;
         break;
       }
     }
     if (match == nullptr) {
-      return Status::error("unknown option " + arg);
+      return Status::error("unknown option " + name);
     }
     switch (match->kind) {
       case Kind::kFlag:
+        if (inline_value) {
+          return Status::error(name + " takes no value");
+        }
         match->on_flag();
         break;
       case Kind::kValue: {
-        if (i + 1 >= argc) {
-          return Status::error("missing value for " + arg);
+        std::string value;
+        if (inline_value) {
+          value = *inline_value;
+        } else {
+          if (i + 1 >= argc) {
+            return Status::error("missing value for " + name);
+          }
+          value = argv[++i];
         }
-        const Status handled = match->on_value(argv[++i]);
+        const Status handled = match->on_value(value);
         if (!handled) return handled;
         break;
       }
       case Kind::kOptionalValue: {
-        if (i + 1 < argc && argv[i + 1][0] != '-') {
+        if (inline_value) {
+          match->on_optional(&*inline_value);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
           const std::string value = argv[++i];
           match->on_optional(&value);
         } else {
@@ -95,6 +116,17 @@ Status parse_size(const std::string& value, std::size_t* out) {
   }
   *out = static_cast<std::size_t>(parsed);
   return Status::ok();
+}
+
+void print_version(std::ostream& os, const std::string& tool,
+                   std::uint32_t trace_format_version) {
+#ifdef TEMPEST_BUILD_TYPE
+  const char* build_type = TEMPEST_BUILD_TYPE;
+#else
+  const char* build_type = "unknown";
+#endif
+  os << tool << " (tempest) trace format v" << trace_format_version << ", "
+     << (build_type[0] != '\0' ? build_type : "unknown") << " build\n";
 }
 
 }  // namespace tempest::cli

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <ostream>
 #include <string>
@@ -38,7 +39,9 @@ class ArgParser {
 
   /// Walk argv. -h/--help set help_requested() and stop parsing (tools
   /// print usage and exit 2, the historical contract). Anything not
-  /// starting with '-' is collected as a positional argument.
+  /// starting with '-' is collected as a positional argument. Values
+  /// attach either as the next argv entry or inline as --name=value;
+  /// the inline form is an error for plain flags.
   Status parse(int argc, char** argv);
 
   const std::vector<std::string>& positional() const { return positional_; }
@@ -65,5 +68,13 @@ class ArgParser {
 /// Strict non-negative integer parse: rejects empty, trailing garbage,
 /// and overflow ("--top banana" must be an error, not 0).
 Status parse_size(const std::string& value, std::size_t* out);
+
+/// Shared --version output: one line naming the tool, the trace format
+/// version it reads/writes, and the build type it was compiled as.
+/// Every Tempest CLI routes --version here so the fields stay aligned
+/// across tools (scripts parse the "trace format v<N>" token to check
+/// recorder/analyzer compatibility).
+void print_version(std::ostream& os, const std::string& tool,
+                   std::uint32_t trace_format_version);
 
 }  // namespace tempest::cli

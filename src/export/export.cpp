@@ -1,0 +1,101 @@
+#include "export/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "telemetry/metrics.hpp"
+
+namespace tempest::exporter {
+
+void publish_export_telemetry(const ExportStats& stats) {
+  telemetry::count(telemetry::Counter::kExportEvents, stats.events_exported);
+  telemetry::count(telemetry::Counter::kExportSpansDropped,
+                   stats.spans_dropped);
+  telemetry::count(telemetry::Counter::kExportBytes, stats.bytes_written);
+}
+
+NameTable::NameTable(const pipeline::TraceMeta& meta,
+                     const symtab::Resolver* resolver)
+    : resolver_(resolver) {
+  for (const auto& s : meta.synthetic_symbols) synthetic_[s.addr] = s.name;
+}
+
+std::size_t NameTable::index_of(std::uint64_t addr) {
+  const auto it = index_.find(addr);
+  if (it != index_.end()) return it->second;
+
+  std::string name;
+  const auto syn = synthetic_.find(addr);
+  if (syn != synthetic_.end()) {
+    name = syn->second;
+  } else if (resolver_ != nullptr && addr < trace::kSyntheticAddrBase) {
+    name = resolver_->resolve(addr);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    name = buf;
+  }
+  const std::size_t index = names_.size();
+  names_.push_back(std::move(name));
+  index_[addr] = index;
+  return index;
+}
+
+const std::string& NameTable::name_of(std::uint64_t addr) {
+  return names_[index_of(addr)];
+}
+
+bool SpanScrubber::close(const ThreadKey& key, std::uint64_t addr,
+                         std::vector<std::uint64_t>* to_close) {
+  to_close->clear();
+  const auto it = stacks_.find(key);
+  if (it == stacks_.end()) return false;
+  std::vector<std::uint64_t>& stack = it->second;
+  const auto frame = std::find(stack.rbegin(), stack.rend(), addr);
+  if (frame == stack.rend()) return false;
+  // Everything above the matching frame closes first (innermost out),
+  // then the frame itself — to_close is already innermost-first.
+  for (auto pop = stack.rbegin(); ; ++pop) {
+    to_close->push_back(*pop);
+    if (pop == frame) break;
+  }
+  stack.resize(stack.size() - to_close->size());
+  return true;
+}
+
+void SamplePeriodEstimator::observe(const trace::TempSample& sample) {
+  Sensor& s = sensors_[{sample.node_id, sample.sensor_id}];
+  if (s.count == 0) s.first_tsc = sample.tsc;
+  s.last_tsc = sample.tsc;
+  ++s.count;
+}
+
+double SamplePeriodEstimator::period_ticks() const {
+  double tightest = 0.0;
+  for (const auto& [key, s] : sensors_) {
+    if (s.count < 2 || s.last_tsc <= s.first_tsc) continue;
+    const double mean = static_cast<double>(s.last_tsc - s.first_tsc) /
+                        static_cast<double>(s.count - 1);
+    if (tightest == 0.0 || mean < tightest) tightest = mean;
+  }
+  return tightest;
+}
+
+std::vector<std::string> correlation_warnings(const ClockCorrelator& correlator,
+                                              double sample_period_us) {
+  std::vector<std::string> warnings;
+  if (sample_period_us > 0.0 &&
+      correlator.max_residual_us() > sample_period_us) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "residual clock skew %.1f us exceeds the sample period "
+                  "%.1f us; cross-rank temperature attribution may smear by "
+                  "more than one sample (record more clock syncs)",
+                  correlator.max_residual_us(), sample_period_us);
+    warnings.emplace_back(buf);
+  }
+  return warnings;
+}
+
+}  // namespace tempest::exporter

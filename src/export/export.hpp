@@ -1,0 +1,133 @@
+// Shared vocabulary of the interactive trace exporters.
+//
+// The paper's parser answers "which functions ran hot"; the exporters
+// answer "show me" — they turn a recorded trace into files that open
+// directly in Perfetto / chrome://tracing (export/perfetto.hpp) and
+// speedscope (export/speedscope.hpp). Both are BatchSinks on the
+// streaming pipeline, so a 1e7-event trace exports in bounded memory,
+// and both share the pieces here: symbolised name/frame interning, the
+// call-stack scrubber that keeps viewer nesting invariants intact when
+// the recorded entry/exit stream is unbalanced, a streaming estimate
+// of tempd's sample cadence (the threshold for the residual-skew
+// warning), and the exported-record accounting that feeds the
+// telemetry registry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "export/clock.hpp"
+#include "pipeline/stage.hpp"
+#include "symtab/resolver.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::exporter {
+
+/// What an export run did. Mirrored into the telemetry registry
+/// (Counter::kExport*) at on_end so tempest-top can show export runs.
+struct ExportStats {
+  std::uint64_t events_exported = 0;    ///< timeline records written (B/E/C/i, O/C)
+  std::uint64_t spans_dropped = 0;      ///< exits with no open frame, discarded
+  std::uint64_t spans_force_closed = 0; ///< frames closed without a recorded exit
+  std::uint64_t bytes_written = 0;      ///< bytes of output produced
+};
+
+/// Record `stats` into the process-wide metrics registry.
+void publish_export_telemetry(const ExportStats& stats);
+
+/// Interns (addr -> name, frame index) with the same precedence the
+/// profile builder uses: synthetic region names win, then the ELF
+/// resolver (demangled), then hex. Indices are dense in first-use
+/// order — exactly speedscope's frame table.
+class NameTable {
+ public:
+  NameTable(const pipeline::TraceMeta& meta, const symtab::Resolver* resolver);
+
+  /// Index of `addr`, interning on first use.
+  std::size_t index_of(std::uint64_t addr);
+  /// Name of an interned address (valid after index_of).
+  const std::string& name_of(std::uint64_t addr);
+
+  /// All interned names, by frame index.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  const symtab::Resolver* resolver_;
+  std::map<std::uint64_t, std::string> synthetic_;
+  std::map<std::uint64_t, std::size_t> index_;
+  std::vector<std::string> names_;
+};
+
+/// Reconciles the recorded entry/exit stream against per-thread call
+/// stacks so the emitted spans always nest. Policy (matching the
+/// acceptance rule "unbalanced events are dropped, never emitted as
+/// malformed spans"):
+///   * enter        -> push, emit an open.
+///   * exit whose address is on the stack
+///                  -> close the frames above it first (those closes
+///                     are force-closures: their exits went missing),
+///                     then close the frame itself.
+///   * exit with no matching open frame
+///                  -> drop, counted.
+///   * end of trace -> remaining frames are force-closed by the
+///                     exporter at the final timestamp.
+class SpanScrubber {
+ public:
+  struct ThreadKey {
+    std::uint16_t node_id = 0;
+    std::uint32_t thread_id = 0;
+    bool operator<(const ThreadKey& o) const {
+      return node_id != o.node_id ? node_id < o.node_id
+                                  : thread_id < o.thread_id;
+    }
+  };
+  using Stacks = std::map<ThreadKey, std::vector<std::uint64_t>>;
+
+  void push(const ThreadKey& key, std::uint64_t addr) {
+    stacks_[key].push_back(addr);
+  }
+
+  /// Handle an exit of `addr`: fills `to_close` with the frames to
+  /// close in order (innermost first; all but the last are
+  /// force-closures) and pops them. Returns false — and leaves
+  /// `to_close` empty — when the exit has no matching open frame.
+  bool close(const ThreadKey& key, std::uint64_t addr,
+             std::vector<std::uint64_t>* to_close);
+
+  /// Open frames left per thread (deterministic key order); exporters
+  /// force-close these at end of stream, innermost first.
+  const Stacks& stacks() const { return stacks_; }
+
+ private:
+  Stacks stacks_;
+};
+
+/// Streaming estimate of the temperature sampling cadence: per
+/// (node, sensor) mean gap between consecutive samples, reduced to the
+/// tightest (smallest) per-sensor mean. State is O(sensors).
+class SamplePeriodEstimator {
+ public:
+  void observe(const trace::TempSample& sample);
+
+  /// Tightest mean sample period in ticks; 0 until some sensor has
+  /// seen at least two samples.
+  double period_ticks() const;
+
+ private:
+  struct Sensor {
+    std::uint64_t first_tsc = 0;
+    std::uint64_t last_tsc = 0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::pair<std::uint16_t, std::uint16_t>, Sensor> sensors_;
+};
+
+/// The residual-skew lint: one warning string when the correlation
+/// error exceeds the observed sample period (temperature attribution
+/// across ranks then smears by more than one sample), empty otherwise.
+std::vector<std::string> correlation_warnings(const ClockCorrelator& correlator,
+                                              double sample_period_us);
+
+}  // namespace tempest::exporter

@@ -1,0 +1,273 @@
+#include "export/perfetto.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "report/json.hpp"
+#include "trace/writer.hpp"
+
+namespace tempest::exporter {
+
+namespace {
+
+/// %.3f keeps sub-microsecond detail (a 3 GHz tsc tick is ~0.3 ns;
+/// viewers display at ns granularity anyway) while keeping the output
+/// deterministic across platforms — printf of a double with fixed
+/// precision is exact for the magnitudes a trace produces.
+void append_ts(std::string* line, double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  *line += buf;
+}
+
+void append_u64(std::string* line, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *line += buf;
+}
+
+void append_double(std::string* line, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *line += buf;
+}
+
+}  // namespace
+
+PerfettoExporter::PerfettoExporter(std::ostream& out,
+                                   ClockCorrelator correlator,
+                                   const symtab::Resolver* resolver)
+    : out_(&out), correlator_(std::move(correlator)), resolver_(resolver) {}
+
+void PerfettoExporter::write(const std::string& s) {
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  stats_.bytes_written += s.size();
+}
+
+void PerfettoExporter::put_event(const std::string& json) {
+  if (any_event_) {
+    write(",\n");
+  } else {
+    any_event_ = true;
+  }
+  write(json);
+}
+
+void PerfettoExporter::note_base(std::uint64_t tsc) {
+  if (!correlator_.has_base()) correlator_.set_base(tsc);
+  if (tsc > max_tsc_) max_tsc_ = tsc;
+}
+
+Status PerfettoExporter::begin(const pipeline::TraceMeta& meta) {
+  names_.emplace(meta, resolver_);
+  for (const auto& s : meta.sensors) {
+    sensor_names_[{s.node_id, s.sensor_id}] = s.name;
+  }
+
+  write("{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n");
+
+  // Rank/thread naming metadata first, so the tracks are labelled even
+  // if a viewer streams the file.
+  for (const auto& node : meta.nodes) {
+    line_.clear();
+    line_ += "{\"ph\":\"M\",\"pid\":";
+    append_u64(&line_, node.node_id);
+    line_ += ",\"name\":\"process_name\",\"args\":{\"name\":";
+    report::append_json_string(
+        &line_, "rank " + std::to_string(node.node_id) + " (" + node.hostname +
+                    ")");
+    line_ += "}}";
+    put_event(line_);
+
+    line_.clear();
+    line_ += "{\"ph\":\"M\",\"pid\":";
+    append_u64(&line_, node.node_id);
+    line_ += ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":";
+    append_u64(&line_, node.node_id);
+    line_ += "}}";
+    put_event(line_);
+  }
+  for (const auto& thread : meta.threads) {
+    line_.clear();
+    line_ += "{\"ph\":\"M\",\"pid\":";
+    append_u64(&line_, thread.node_id);
+    line_ += ",\"tid\":";
+    append_u64(&line_, thread.thread_id);
+    line_ += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    report::append_json_string(&line_,
+                               "thread " + std::to_string(thread.thread_id) +
+                                   " (core " + std::to_string(thread.core) +
+                                   ")");
+    line_ += "}}";
+    put_event(line_);
+  }
+  return out_->good() ? Status::ok()
+                      : Status::error("perfetto export: write failed");
+}
+
+Status PerfettoExporter::on_batch(const pipeline::TraceMeta& /*meta*/,
+                                  const pipeline::EventBatch& batch) {
+  std::vector<std::uint64_t> to_close;
+  for (const auto& e : batch.fn_events) {
+    note_base(e.tsc);
+    const double ts = correlator_.to_us(e.tsc);
+    const SpanScrubber::ThreadKey key{e.node_id, e.thread_id};
+    if (e.kind == trace::FnEventKind::kEnter) {
+      scrubber_.push(key, e.addr);
+      line_.clear();
+      line_ += "{\"ph\":\"B\",\"pid\":";
+      append_u64(&line_, e.node_id);
+      line_ += ",\"tid\":";
+      append_u64(&line_, e.thread_id);
+      line_ += ",\"ts\":";
+      append_ts(&line_, ts);
+      line_ += ",\"cat\":\"fn\",\"name\":";
+      report::append_json_string(&line_, names_->name_of(e.addr));
+      line_ += "}";
+      put_event(line_);
+      ++stats_.events_exported;
+    } else {
+      if (!scrubber_.close(key, e.addr, &to_close)) {
+        ++stats_.spans_dropped;  // no open frame: dropping keeps nesting sane
+        continue;
+      }
+      // All but the last close are frames whose exits went missing.
+      stats_.spans_force_closed += to_close.size() - 1;
+      for (const std::uint64_t addr : to_close) {
+        line_.clear();
+        line_ += "{\"ph\":\"E\",\"pid\":";
+        append_u64(&line_, e.node_id);
+        line_ += ",\"tid\":";
+        append_u64(&line_, e.thread_id);
+        line_ += ",\"ts\":";
+        append_ts(&line_, ts);
+        line_ += ",\"cat\":\"fn\",\"name\":";
+        report::append_json_string(&line_, names_->name_of(addr));
+        line_ += "}";
+        put_event(line_);
+        ++stats_.events_exported;
+      }
+    }
+  }
+
+  for (const auto& s : batch.temp_samples) {
+    note_base(s.tsc);
+    sample_period_.observe(s);
+    const auto named = sensor_names_.find({s.node_id, s.sensor_id});
+    const std::string& sensor =
+        named != sensor_names_.end()
+            ? named->second
+            : "sensor " + std::to_string(s.sensor_id);
+    line_.clear();
+    line_ += "{\"ph\":\"C\",\"pid\":";
+    append_u64(&line_, s.node_id);
+    line_ += ",\"ts\":";
+    append_ts(&line_, correlator_.to_us(s.tsc));
+    line_ += ",\"name\":";
+    report::append_json_string(&line_, "temp " + sensor + " (C)");
+    line_ += ",\"args\":{\"celsius\":";
+    append_double(&line_, s.temp_c);
+    line_ += "}}";
+    put_event(line_);
+    ++stats_.events_exported;
+  }
+  return out_->good() ? Status::ok()
+                      : Status::error("perfetto export: write failed");
+}
+
+Status PerfettoExporter::on_end(const pipeline::TraceMeta& meta) {
+  const double end_ts = correlator_.to_us(max_tsc_);
+
+  // Frames still open at end of trace close at the final timestamp —
+  // the same force-close the profile builder applies, and what keeps
+  // every emitted B matched by an E.
+  for (const auto& [key, stack] : scrubber_.stacks()) {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      line_.clear();
+      line_ += "{\"ph\":\"E\",\"pid\":";
+      append_u64(&line_, key.node_id);
+      line_ += ",\"tid\":";
+      append_u64(&line_, key.thread_id);
+      line_ += ",\"ts\":";
+      append_ts(&line_, end_ts);
+      line_ += ",\"cat\":\"fn\",\"name\":";
+      report::append_json_string(&line_, names_->name_of(*it));
+      line_ += "}";
+      put_event(line_);
+      ++stats_.events_exported;
+      ++stats_.spans_force_closed;
+    }
+  }
+
+  // Recorder self-measurement as global instants: a dropped-events or
+  // missed-ticks marker right on the timeline where a user would
+  // otherwise trust a gap.
+  if (meta.run_stats.present) {
+    const auto instant = [&](const char* name, std::uint64_t count) {
+      if (count == 0) return;
+      line_.clear();
+      line_ += "{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":";
+      append_ts(&line_, end_ts);
+      line_ += ",\"s\":\"g\",\"name\":";
+      report::append_json_string(&line_, name);
+      line_ += ",\"args\":{\"count\":";
+      append_u64(&line_, count);
+      line_ += "}}";
+      put_event(line_);
+      ++stats_.events_exported;
+    };
+    instant("recorder: events dropped", meta.run_stats.events_dropped);
+    instant("tempd: missed ticks", meta.run_stats.tempd_missed_ticks);
+  }
+
+  const double period_us =
+      correlator_.ticks_to_us(sample_period_.period_ticks());
+  warnings_ = correlation_warnings(correlator_, period_us);
+
+  // The metadata section: clock correlation and export accounting.
+  line_.clear();
+  line_ += "\n],\n\"metadata\":{\"exporter\":\"tempest-export\","
+           "\"trace_format_version\":";
+  append_u64(&line_, trace::kTraceVersion);
+  line_ += ",\"base_tsc\":";
+  append_u64(&line_, correlator_.base());
+  line_ += ",\"clock_correlation\":{\"ranks\":[";
+  bool first = true;
+  for (const RankClock& rank : correlator_.ranks()) {
+    if (!first) line_ += ",";
+    first = false;
+    line_ += "{\"node_id\":";
+    append_u64(&line_, rank.node_id);
+    line_ += ",\"syncs\":";
+    append_u64(&line_, rank.sync_count);
+    line_ += ",\"skew_us\":";
+    append_double(&line_, rank.skew_us);
+    line_ += ",\"drift_ppm\":";
+    append_double(&line_, rank.drift_ppm);
+    line_ += ",\"residual_us\":";
+    append_double(&line_, rank.residual_us);
+    line_ += "}";
+  }
+  line_ += "],\"max_residual_us\":";
+  append_double(&line_, correlator_.max_residual_us());
+  line_ += ",\"sample_period_us\":";
+  append_double(&line_, period_us);
+  line_ += ",\"residual_exceeds_sample_period\":";
+  line_ += warnings_.empty() ? "false" : "true";
+  line_ += "},\"export_stats\":{\"events_exported\":";
+  append_u64(&line_, stats_.events_exported);
+  line_ += ",\"spans_dropped\":";
+  append_u64(&line_, stats_.spans_dropped);
+  line_ += ",\"spans_force_closed\":";
+  append_u64(&line_, stats_.spans_force_closed);
+  line_ += "}}}\n";
+  write(line_);
+
+  out_->flush();
+  if (!out_->good()) return Status::error("perfetto export: write failed");
+  publish_export_telemetry(stats_);
+  return Status::ok();
+}
+
+}  // namespace tempest::exporter

@@ -1,0 +1,77 @@
+// Chrome Trace Event / Perfetto JSON emitter.
+//
+// One output process per rank (pid = node id, named after the rank's
+// hostname), one track per recorded thread (tid = thread id), `B`/`E`
+// duration events from function entry/exit, one counter track per
+// sensor carrying the temperature series, and instant events at trace
+// end for the recorder's dropped-event / missed-tick telemetry from
+// the RUNSTATS trailer. A `metadata` section documents the per-rank
+// clock correlation (skew, drift, residual) and what the export
+// dropped — everything a user scrubbing the timeline needs to judge
+// what they see. Open the file at https://ui.perfetto.dev or
+// chrome://tracing.
+//
+// Streaming: events are written as batches arrive — peak memory is the
+// per-thread stacks plus the name table, independent of event count.
+// Identical record streams produce byte-identical files, so the
+// --stream and batch paths of tempest_parse compare equal with cmp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "export/clock.hpp"
+#include "export/export.hpp"
+#include "pipeline/stage.hpp"
+#include "symtab/resolver.hpp"
+
+namespace tempest::exporter {
+
+class PerfettoExporter : public pipeline::BatchSink {
+ public:
+  /// `resolver` may be null: addresses render as hex (synthetic region
+  /// names still resolve). The correlator carries the sync records'
+  /// fits; its base is set from the first record unless already fixed.
+  PerfettoExporter(std::ostream& out, ClockCorrelator correlator,
+                   const symtab::Resolver* resolver = nullptr);
+
+  Status begin(const pipeline::TraceMeta& meta) override;
+  Status on_batch(const pipeline::TraceMeta& meta,
+                  const pipeline::EventBatch& batch) override;
+  Status on_end(const pipeline::TraceMeta& meta) override;
+
+  /// Valid after a successful on_end.
+  const ExportStats& stats() const { return stats_; }
+  /// Residual-skew lint findings (also embedded in the metadata
+  /// section); the CLIs print them to stderr.
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+ private:
+  void write(const std::string& s);
+  /// Append one traceEvents entry (comma handling + byte accounting).
+  void put_event(const std::string& json);
+  void note_base(std::uint64_t tsc);
+
+  std::ostream* out_;
+  ClockCorrelator correlator_;
+  const symtab::Resolver* resolver_;
+
+  std::optional<NameTable> names_;  ///< built in begin() (needs metadata)
+  SpanScrubber scrubber_;
+  SamplePeriodEstimator sample_period_;
+  /// (node, sensor) -> counter-track name, from the sensor inventory.
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::string> sensor_names_;
+
+  ExportStats stats_;
+  std::vector<std::string> warnings_;
+  std::uint64_t max_tsc_ = 0;
+  bool any_event_ = false;   ///< comma state for the traceEvents array
+  std::string line_;         ///< reused per-event scratch buffer
+};
+
+}  // namespace tempest::exporter

@@ -1,0 +1,143 @@
+#include "export/run.hpp"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "export/perfetto.hpp"
+#include "export/speedscope.hpp"
+#include "pipeline/rank_fanin.hpp"
+#include "pipeline/source.hpp"
+#include "pipeline/stages.hpp"
+#include "trace/align.hpp"
+#include "trace/reader.hpp"
+
+namespace tempest::exporter {
+
+bool parse_format(const std::string& name, Format* format) {
+  if (name == "perfetto" || name == "chrome") {
+    *format = Format::kPerfetto;
+    return true;
+  }
+  if (name == "speedscope") {
+    *format = Format::kSpeedscope;
+    return true;
+  }
+  return false;
+}
+
+Result<ExportRunResult> run_export(const std::vector<std::string>& paths,
+                                   std::ostream& out,
+                                   const ExportRunOptions& options) {
+  namespace pipeline = tempest::pipeline;
+  using Out = Result<ExportRunResult>;
+
+  if (paths.empty()) return Out::error("no trace file given");
+  if (paths.size() > 1 && !options.align) {
+    return Out::error(
+        "--no-align is incompatible with multi-file fan-in "
+        "(the merge orders ranks by aligned global time)");
+  }
+  if (options.format == Format::kSpeedscope && options.spool_prefix.empty()) {
+    return Out::error("speedscope export needs a spool prefix");
+  }
+
+  // Open the input as a pipeline source, collecting the sync records
+  // the correlator reports on. Every path delivers the same aligned,
+  // time-ordered stream, so the emitted bytes do not depend on which
+  // source ran.
+  std::optional<pipeline::RankFanIn> fan;
+  std::optional<pipeline::ChunkedTraceSource> chunked;
+  std::optional<trace::Trace> loaded;
+  std::optional<pipeline::MemoryTraceSource> memory;
+  std::optional<pipeline::ClockAlignStage> align_stage;
+  pipeline::OrderCheckStage order;
+  std::vector<pipeline::Stage*> stages;
+  pipeline::Source* source = nullptr;
+  std::vector<trace::ClockSync> syncs;
+
+  if (paths.size() > 1) {
+    auto opened = pipeline::RankFanIn::open(paths);
+    if (!opened.is_ok()) return Out::error(opened.message());
+    fan.emplace(std::move(opened).value());
+    syncs = fan->sync_records();
+    source = &*fan;
+  } else if (options.stream) {
+    auto opened = pipeline::ChunkedTraceSource::open(paths[0]);
+    if (!opened.is_ok()) return Out::error(opened.message());
+    chunked.emplace(std::move(opened).value());
+    if (options.align) {
+      auto ahead = chunked->clock_syncs_ahead();
+      if (!ahead.is_ok()) return Out::error(ahead.message());
+      syncs = std::move(ahead).value();
+      align_stage.emplace(trace::fit_clocks(syncs));
+      stages.push_back(&*align_stage);
+    }
+    source = &*chunked;
+  } else {
+    auto read = trace::read_trace_file(paths[0]);
+    if (!read.is_ok()) {
+      return Out::error("cannot read trace: " + read.message());
+    }
+    loaded.emplace(std::move(read).value());
+    if (options.align) {
+      syncs = loaded->clock_syncs;  // align_clocks consumes them
+      const Status aligned = trace::align_clocks(&*loaded);
+      if (!aligned) return Out::error(aligned.message());
+    } else {
+      loaded->sort_by_time();
+    }
+    memory.emplace(*loaded);
+    source = &*memory;
+  }
+  stages.push_back(&order);
+
+  const pipeline::TraceMeta& meta = source->meta();
+  ExportRunResult result;
+
+  std::optional<symtab::Resolver> resolver;
+  const symtab::Resolver* resolver_ptr = nullptr;
+  if (options.symbolize) {
+    const std::string& exe =
+        options.exe_override.empty() ? meta.executable : options.exe_override;
+    if (!exe.empty()) {
+      auto built = symtab::Resolver::for_executable(exe, meta.load_bias);
+      if (built.is_ok()) {
+        resolver.emplace(std::move(built).value());
+        resolver_ptr = &*resolver;
+      } else {
+        result.warnings.push_back("symbolization unavailable (" +
+                                  built.message() +
+                                  "); addresses render as hex");
+      }
+    }
+  }
+
+  ClockCorrelator correlator(meta.tsc_ticks_per_second, syncs);
+
+  std::optional<PerfettoExporter> perfetto;
+  std::optional<SpeedscopeExporter> speedscope;
+  pipeline::BatchSink* sink = nullptr;
+  if (options.format == Format::kPerfetto) {
+    perfetto.emplace(out, std::move(correlator), resolver_ptr);
+    sink = &*perfetto;
+  } else {
+    speedscope.emplace(out, std::move(correlator), options.spool_prefix,
+                       resolver_ptr);
+    sink = &*speedscope;
+  }
+
+  const Status ran = pipeline::run_pipeline(source, stages, {sink});
+  if (!ran) return Out::error(ran.message());
+
+  const ExportStats& stats =
+      perfetto ? perfetto->stats() : speedscope->stats();
+  const std::vector<std::string>& warnings =
+      perfetto ? perfetto->warnings() : speedscope->warnings();
+  result.stats = stats;
+  result.warnings.insert(result.warnings.end(), warnings.begin(),
+                         warnings.end());
+  return Out(std::move(result));
+}
+
+}  // namespace tempest::exporter

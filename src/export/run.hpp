@@ -1,0 +1,62 @@
+// One-call export driver shared by the CLIs.
+//
+// tempest_parse --export and tempest-export need the same plumbing:
+// open the trace(s) as a pipeline source (ChunkedTraceSource,
+// MemoryTraceSource, or RankFanIn), recover the sync records for the
+// ClockCorrelator, build the symbol resolver, and drive the chosen
+// emitter through run_pipeline. run_export owns that plumbing so the
+// two tools stay thin and — critically — byte-identical: the streaming
+// and batch paths both feed the same exporter sink the same aligned,
+// time-ordered record stream.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "export/export.hpp"
+
+namespace tempest::exporter {
+
+enum class Format { kPerfetto, kSpeedscope };
+
+/// Parse a --format/--export value; false on unknown names.
+bool parse_format(const std::string& name, Format* format);
+
+struct ExportRunOptions {
+  Format format = Format::kPerfetto;
+  /// Stream from disk in bounded batches instead of loading the trace.
+  /// Multi-file inputs always stream (RankFanIn). Output bytes are
+  /// identical either way.
+  bool stream = false;
+  /// Cross-node clock alignment (single-file only; fan-in always
+  /// aligns). Off also suppresses the correlation metadata — raw
+  /// timestamps carry no cross-rank meaning to document.
+  bool align = true;
+  /// Resolve addresses through the ELF symtab (demangled). Off renders
+  /// hex; synthetic region names resolve regardless.
+  bool symbolize = true;
+  /// Symbolise against this binary instead of the recorded path.
+  std::string exe_override;
+  /// Scratch-file prefix for the speedscope emitter's per-thread
+  /// spools. Required for Format::kSpeedscope.
+  std::string spool_prefix;
+};
+
+struct ExportRunResult {
+  ExportStats stats;
+  /// Residual-skew findings plus non-fatal setup notes (e.g. a missing
+  /// symbol table); callers print these to stderr.
+  std::vector<std::string> warnings;
+};
+
+/// Export `paths` (one trace per rank; >1 requires fan-in merge) to
+/// `out` in `options.format`. Errors (unreadable trace, out-of-order
+/// stream, write failure) come back as a Status; warnings ride the
+/// result.
+Result<ExportRunResult> run_export(const std::vector<std::string>& paths,
+                                   std::ostream& out,
+                                   const ExportRunOptions& options);
+
+}  // namespace tempest::exporter

@@ -1,0 +1,254 @@
+#include "export/speedscope.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "report/json.hpp"
+#include "trace/writer.hpp"
+
+namespace tempest::exporter {
+
+namespace {
+
+void append_u64(std::string* line, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  *line += buf;
+}
+
+void append_double(std::string* line, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *line += buf;
+}
+
+}  // namespace
+
+SpeedscopeExporter::SpeedscopeExporter(std::ostream& out,
+                                       ClockCorrelator correlator,
+                                       std::string spool_prefix,
+                                       const symtab::Resolver* resolver)
+    : out_(&out),
+      correlator_(std::move(correlator)),
+      spool_prefix_(std::move(spool_prefix)),
+      resolver_(resolver) {}
+
+SpeedscopeExporter::~SpeedscopeExporter() { remove_spools(); }
+
+void SpeedscopeExporter::remove_spools() {
+  for (auto& [key, spool] : spools_) {
+    if (spool.file.is_open()) spool.file.close();
+    if (!spool.path.empty()) std::remove(spool.path.c_str());
+  }
+}
+
+void SpeedscopeExporter::write(const std::string& s) {
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  stats_.bytes_written += s.size();
+}
+
+SpeedscopeExporter::ThreadSpool& SpeedscopeExporter::spool_for(
+    const SpanScrubber::ThreadKey& key) {
+  const auto it = spools_.find(key);
+  if (it != spools_.end()) return it->second;
+
+  ThreadSpool& spool = spools_[key];
+  spool.path = spool_prefix_ + ".t" + std::to_string(key.node_id) + "_" +
+               std::to_string(key.thread_id) + ".spool";
+  spool.file.open(spool.path, std::ios::binary | std::ios::trunc);
+  return spool;
+}
+
+void SpeedscopeExporter::spool_event(ThreadSpool& spool, char type,
+                                     std::size_t frame, double at) {
+  line_.clear();
+  if (spool.any_event) {
+    line_ += ",\n";
+  } else {
+    spool.first_at = at;
+    spool.any_event = true;
+  }
+  line_ += "{\"type\":\"";
+  line_ += type;
+  line_ += "\",\"frame\":";
+  append_u64(&line_, frame);
+  line_ += ",\"at\":";
+  append_double(&line_, at);
+  line_ += "}";
+  spool.file.write(line_.data(), static_cast<std::streamsize>(line_.size()));
+  spool.last_at = at;
+  ++spool.event_count;
+  ++stats_.events_exported;
+}
+
+Status SpeedscopeExporter::begin(const pipeline::TraceMeta& meta) {
+  names_.emplace(meta, resolver_);
+  for (const auto& thread : meta.threads) {
+    thread_names_[{thread.node_id, thread.thread_id}] =
+        "rank " + std::to_string(thread.node_id) + " thread " +
+        std::to_string(thread.thread_id) + " (core " +
+        std::to_string(thread.core) + ")";
+  }
+  return Status::ok();
+}
+
+Status SpeedscopeExporter::on_batch(const pipeline::TraceMeta& /*meta*/,
+                                    const pipeline::EventBatch& batch) {
+  std::vector<std::uint64_t> to_close;
+  for (const auto& e : batch.fn_events) {
+    if (!correlator_.has_base()) correlator_.set_base(e.tsc);
+    if (e.tsc > max_tsc_) max_tsc_ = e.tsc;
+    const double at = correlator_.to_us(e.tsc);
+    const SpanScrubber::ThreadKey key{e.node_id, e.thread_id};
+    ThreadSpool& spool = spool_for(key);
+    if (e.kind == trace::FnEventKind::kEnter) {
+      scrubber_.push(key, e.addr);
+      spool_event(spool, 'O', names_->index_of(e.addr), at);
+    } else {
+      if (!scrubber_.close(key, e.addr, &to_close)) {
+        ++stats_.spans_dropped;
+        continue;
+      }
+      stats_.spans_force_closed += to_close.size() - 1;
+      for (const std::uint64_t addr : to_close) {
+        spool_event(spool, 'C', names_->index_of(addr), at);
+      }
+    }
+    if (!spool.file.good()) {
+      return Status::error("speedscope export: spool write failed: " +
+                           spool.path);
+    }
+  }
+  // Samples don't appear in speedscope output, but they define the
+  // cadence the residual-skew warning compares against, and the final
+  // timestamp force-closes anchor to.
+  for (const auto& s : batch.temp_samples) {
+    if (!correlator_.has_base()) correlator_.set_base(s.tsc);
+    if (s.tsc > max_tsc_) max_tsc_ = s.tsc;
+    sample_period_.observe(s);
+  }
+  return Status::ok();
+}
+
+Status SpeedscopeExporter::on_end(const pipeline::TraceMeta& /*meta*/) {
+  const double end_at = correlator_.to_us(max_tsc_);
+
+  // Frames still open close at the final timestamp, innermost first —
+  // speedscope rejects profiles whose O events are never closed.
+  for (const auto& [key, stack] : scrubber_.stacks()) {
+    if (stack.empty()) continue;
+    ThreadSpool& spool = spool_for(key);
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      spool_event(spool, 'C', names_->index_of(*it), end_at);
+      ++stats_.spans_force_closed;
+    }
+    if (!spool.file.good()) {
+      return Status::error("speedscope export: spool write failed: " +
+                           spool.path);
+    }
+  }
+
+  const double period_us =
+      correlator_.ticks_to_us(sample_period_.period_ticks());
+  warnings_ = correlation_warnings(correlator_, period_us);
+
+  // Document head: schema, shared frame table.
+  line_.clear();
+  line_ +=
+      "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",\n"
+      "\"name\":\"tempest export\",\n\"exporter\":\"tempest-export\",\n"
+      "\"shared\":{\"frames\":[";
+  bool first = true;
+  for (const std::string& name : names_->names()) {
+    if (!first) line_ += ",\n";
+    first = false;
+    line_ += "{\"name\":";
+    report::append_json_string(&line_, name);
+    line_ += "}";
+  }
+  line_ += "]},\n\"profiles\":[";
+  write(line_);
+
+  // Stitch each thread's spool into its evented profile.
+  bool first_profile = true;
+  for (auto& [key, spool] : spools_) {
+    spool.file.close();
+    line_.clear();
+    if (!first_profile) line_ += ",";
+    first_profile = false;
+    line_ += "\n{\"type\":\"evented\",\"name\":";
+    const auto named = thread_names_.find(key);
+    report::append_json_string(
+        &line_, named != thread_names_.end()
+                    ? named->second
+                    : "rank " + std::to_string(key.node_id) + " thread " +
+                          std::to_string(key.thread_id));
+    line_ += ",\"unit\":\"microseconds\",\"startValue\":";
+    append_double(&line_, spool.first_at);
+    line_ += ",\"endValue\":";
+    append_double(&line_, spool.last_at);
+    line_ += ",\"events\":[\n";
+    write(line_);
+
+    std::ifstream in(spool.path, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::error("speedscope export: cannot reopen spool: " +
+                           spool.path);
+    }
+    char buf[1 << 16];
+    while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+      out_->write(buf, in.gcount());
+      stats_.bytes_written += static_cast<std::uint64_t>(in.gcount());
+    }
+    write("\n]}");
+  }
+
+  // Trailer: the same correlation + accounting block Perfetto carries
+  // (speedscope ignores keys it doesn't know).
+  line_.clear();
+  line_ += "],\n\"metadata\":{\"exporter\":\"tempest-export\","
+           "\"trace_format_version\":";
+  append_u64(&line_, trace::kTraceVersion);
+  line_ += ",\"base_tsc\":";
+  append_u64(&line_, correlator_.base());
+  line_ += ",\"clock_correlation\":{\"ranks\":[";
+  first = true;
+  for (const RankClock& rank : correlator_.ranks()) {
+    if (!first) line_ += ",";
+    first = false;
+    line_ += "{\"node_id\":";
+    append_u64(&line_, rank.node_id);
+    line_ += ",\"syncs\":";
+    append_u64(&line_, rank.sync_count);
+    line_ += ",\"skew_us\":";
+    append_double(&line_, rank.skew_us);
+    line_ += ",\"drift_ppm\":";
+    append_double(&line_, rank.drift_ppm);
+    line_ += ",\"residual_us\":";
+    append_double(&line_, rank.residual_us);
+    line_ += "}";
+  }
+  line_ += "],\"max_residual_us\":";
+  append_double(&line_, correlator_.max_residual_us());
+  line_ += ",\"sample_period_us\":";
+  append_double(&line_, period_us);
+  line_ += ",\"residual_exceeds_sample_period\":";
+  line_ += warnings_.empty() ? "false" : "true";
+  line_ += "},\"export_stats\":{\"events_exported\":";
+  append_u64(&line_, stats_.events_exported);
+  line_ += ",\"spans_dropped\":";
+  append_u64(&line_, stats_.spans_dropped);
+  line_ += ",\"spans_force_closed\":";
+  append_u64(&line_, stats_.spans_force_closed);
+  line_ += "}}}\n";
+  write(line_);
+
+  out_->flush();
+  if (!out_->good()) return Status::error("speedscope export: write failed");
+  remove_spools();
+  publish_export_telemetry(stats_);
+  return Status::ok();
+}
+
+}  // namespace tempest::exporter

@@ -31,7 +31,7 @@ Result<RankFanIn> RankFanIn::open(const std::vector<std::string>& paths,
   // collect the sync sections (seek-ahead, position restored) in the
   // same order — fit_clocks then sees exactly the concatenation the
   // batch path would fit from.
-  std::vector<trace::ClockSync> all_syncs;
+  std::vector<trace::ClockSync>& all_syncs = fan.syncs_;
   for (const std::string& path : paths) {
     Rank rank;
     rank.path = path;

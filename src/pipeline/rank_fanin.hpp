@@ -42,6 +42,12 @@ class RankFanIn : public Source {
 
   Status next(EventBatch* out, bool* done) override;
 
+  /// The path-order concatenation of every rank's sync records, as
+  /// collected by the open()-time pre-pass. Exporters feed these to
+  /// ClockCorrelator for per-rank skew/drift metadata; the fan-in
+  /// itself has already consumed them for alignment.
+  const std::vector<trace::ClockSync>& sync_records() const { return syncs_; }
+
  private:
   struct Rank {
     std::string path;
@@ -68,6 +74,7 @@ class RankFanIn : public Source {
   TraceMeta meta_;
   BatchOptions options_;
   std::map<std::uint16_t, trace::ClockFit> fits_;
+  std::vector<trace::ClockSync> syncs_;
   std::vector<Rank> ranks_;
   int phase_ = 0;  ///< 0 = merging events, 1 = merging samples, 2 = done
 };

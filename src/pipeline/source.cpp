@@ -50,12 +50,21 @@ Status ChunkedTraceSource::next(EventBatch* out, bool* done) {
 }
 
 Result<std::map<std::uint16_t, trace::ClockFit>> ChunkedTraceSource::clock_fits() {
-  auto syncs = reader_->read_clock_syncs_ahead();
+  auto syncs = clock_syncs_ahead();
   if (!syncs.is_ok()) {
     return Result<std::map<std::uint16_t, trace::ClockFit>>::error(
-        path_ + ": " + syncs.message());
+        syncs.message());
   }
   return trace::fit_clocks(syncs.value());
+}
+
+Result<std::vector<trace::ClockSync>> ChunkedTraceSource::clock_syncs_ahead() {
+  auto syncs = reader_->read_clock_syncs_ahead();
+  if (!syncs.is_ok()) {
+    return Result<std::vector<trace::ClockSync>>::error(path_ + ": " +
+                                                        syncs.message());
+  }
+  return std::move(syncs).value();
 }
 
 Status MemoryTraceSource::next(EventBatch* out, bool* done) {

@@ -35,6 +35,11 @@ class ChunkedTraceSource : public Source {
   /// syncs — a single clock domain.
   Result<std::map<std::uint16_t, trace::ClockFit>> clock_fits();
 
+  /// The raw sync records behind clock_fits(), same pre-pass contract.
+  /// The exporters' ClockCorrelator consumes these to report per-rank
+  /// skew/drift/residual metadata alongside the fits.
+  Result<std::vector<trace::ClockSync>> clock_syncs_ahead();
+
  private:
   ChunkedTraceSource() = default;
 

@@ -1,31 +1,39 @@
 #include "report/json.hpp"
 
+#include <cstdio>
 #include <iomanip>
 
 namespace tempest::report {
 namespace {
 
 void put_escaped(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\t': out << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-              << static_cast<int>(c) << std::dec << std::setfill(' ');
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
+  std::string buf;
+  append_json_string(&buf, s);
+  out << buf;
 }
 
 }  // namespace
+
+void append_json_string(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", static_cast<int>(c));
+          *out += esc;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
 
 void write_profile_json(std::ostream& out, const parser::RunProfile& profile,
                         const trace::RunStats* run_stats) {

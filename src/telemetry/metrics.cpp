@@ -29,6 +29,9 @@ const char* const kCounterNames[kCounterCount] = {
     "pipeline_fn_events",
     "pipeline_temp_samples",
     "heartbeats",
+    "export_events_exported",
+    "export_spans_dropped",
+    "export_bytes_written",
 };
 
 const char* const kGaugeNames[kGaugeCount] = {

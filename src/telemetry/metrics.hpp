@@ -53,6 +53,9 @@ enum class Counter : std::uint16_t {
   kPipelineFnEvents,
   kPipelineTempSamples,
   kHeartbeats,           ///< JSONL snapshots appended
+  kExportEvents,         ///< trace-event records written by the exporters
+  kExportSpansDropped,   ///< unbalanced entry/exit events discarded on export
+  kExportBytes,          ///< bytes of export output written
   kCount
 };
 

@@ -7,6 +7,7 @@
 //     --tolerance F   cadence tolerance factor (default 2.0)
 //     --strict        warnings also fail the exit code
 //     -q, --quiet     suppress per-finding output; exit code only
+//     --version       print tool and trace-format version
 //
 // Exit codes: 0 all traces clean, 1 invariant violations found,
 // 2 usage error or unreadable trace file.
@@ -22,11 +23,13 @@
 
 #include "analysis/lint.hpp"
 #include "common/cli.hpp"
+#include "trace/writer.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
-    "[--json] [--hz RATE] [--tolerance F] [--strict] [-q] <trace file>...";
+    "[--json] [--hz RATE] [--tolerance F] [--strict] [-q] [--version] "
+    "<trace file>...";
 
 tempest::Status parse_double(const std::string& what, const std::string& value,
                              double* out) {
@@ -60,12 +63,19 @@ int main(int argc, char** argv) {
   args.add_flag("--strict", [&] { strict = true; });
   args.add_flag("-q", [&] { quiet = true; });
   args.add_flag("--quiet", [&] { quiet = true; });
+  bool version = false;
+  args.add_flag("--version", [&] { version = true; });
 
   const Status parsed = args.parse(argc, argv);
   if (!parsed) {
     std::cerr << "tempest-lint: " << parsed.message() << "\n";
     args.print_usage(std::cerr, argv[0]);
     return 2;
+  }
+  if (version) {
+    tempest::cli::print_version(std::cout, "tempest-lint",
+                                tempest::trace::kTraceVersion);
+    return 0;
   }
   if (args.help_requested()) {
     args.print_usage(std::cerr, argv[0]);

@@ -25,12 +25,20 @@
 //     --no-align          skip cross-node clock alignment (diagnostics)
 //     --exe PATH          symbolise against PATH instead of the path
 //                         recorded in the trace
+//     --export FORMAT     emit an interactive timeline instead of a
+//                         profile: perfetto (Chrome trace-event JSON,
+//                         open at ui.perfetto.dev) or speedscope;
+//                         honours --stream / --no-align / --exe and
+//                         writes to standard output
+//     --version           print tool and trace-format version
 //
 // Passing several trace files (one per MPI rank) fan-ins them in a
 // single streaming pass: metadata is concatenated, clocks are fitted
 // from every file's sync records, and events merge by aligned global
 // time — the paper's parallel-hot-spot workflow without concatenating
 // the files first.
+#include <unistd.h>
+
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -38,6 +46,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "export/run.hpp"
 #include "pipeline/analysis.hpp"
 #include "pipeline/rank_fanin.hpp"
 #include "pipeline/sinks.hpp"
@@ -47,13 +56,15 @@
 #include "report/stdout_format.hpp"
 #include "trace/align.hpp"
 #include "trace/reader.hpp"
+#include "trace/writer.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
     "[--unit C|F] [--format text|csv|json] [--plot [SENSOR]]\n"
     "       [--span FUNCTION]... [--min-samples N] [--top N] [--gnuplot PREFIX]\n"
-    "       [--stream] [--no-align] [--exe PATH] <trace file>...";
+    "       [--stream] [--no-align] [--exe PATH] [--export FORMAT] [--version]\n"
+    "       <trace file>...";
 
 int fail_usage(const tempest::cli::ArgParser& args, const char* argv0,
                const std::string& message) {
@@ -70,8 +81,9 @@ int main(int argc, char** argv) {
   namespace pipeline = tempest::pipeline;
 
   std::string format = "text", plot_sensor, exe_override, gnuplot_prefix;
+  std::string export_format;
   std::vector<std::string> span_functions;
-  bool plot = false, align = true, stream = false;
+  bool plot = false, align = true, stream = false, version = false;
   tempest::parser::ProfileOptions profile_options;
   std::size_t top = 0;
 
@@ -113,9 +125,24 @@ int main(int argc, char** argv) {
     exe_override = v;
     return Status::ok();
   });
+  args.add_value("--export", [&](const std::string& v) {
+    tempest::exporter::Format probe;
+    if (!tempest::exporter::parse_format(v, &probe)) {
+      return Status::error("unknown export format '" + v +
+                           "' (use perfetto or speedscope)");
+    }
+    export_format = v;
+    return Status::ok();
+  });
+  args.add_flag("--version", [&] { version = true; });
 
   const Status parsed = args.parse(argc, argv);
   if (!parsed) return fail_usage(args, argv[0], parsed.message());
+  if (version) {
+    cli::print_version(std::cout, "tempest_parse",
+                       tempest::trace::kTraceVersion);
+    return 0;
+  }
   if (args.help_requested()) return fail_usage(args, argv[0], "");
   const std::vector<std::string>& paths = args.positional();
   if (paths.empty()) return fail_usage(args, argv[0], "no trace file given");
@@ -123,6 +150,29 @@ int main(int argc, char** argv) {
     return fail_usage(args, argv[0],
                       "--no-align is incompatible with multi-file fan-in "
                       "(the merge orders ranks by aligned global time)");
+  }
+
+  if (!export_format.empty()) {
+    // Timeline export replaces the profile emitters entirely; the
+    // streaming and batch paths produce byte-identical output, so
+    // --stream here only changes peak memory.
+    tempest::exporter::ExportRunOptions export_options;
+    tempest::exporter::parse_format(export_format, &export_options.format);
+    export_options.stream = stream;
+    export_options.align = align;
+    export_options.exe_override = exe_override;
+    export_options.spool_prefix =
+        "/tmp/tempest_parse." + std::to_string(getpid());
+    auto exported =
+        tempest::exporter::run_export(paths, std::cout, export_options);
+    if (!exported.is_ok()) {
+      std::cerr << "tempest_parse: " << exported.message() << "\n";
+      return 1;
+    }
+    for (const std::string& warning : exported.value().warnings) {
+      std::cerr << "tempest_parse: warning: " << warning << "\n";
+    }
+    return 0;
   }
 
   pipeline::AnalysisOptions analysis_options;

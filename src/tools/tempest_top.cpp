@@ -8,6 +8,7 @@
 //                            exit 1 unless tempd CPU share of wall time
 //                            in the latest snapshot is below PCT (CI
 //                            uses this to enforce the paper's < 1%)
+//     --version              print tool and trace-format version
 //
 // Reads the flat-JSON heartbeat lines a recording session appends to
 // `<trace>.telemetry.jsonl` (TEMPEST_HEARTBEAT=SECS) and renders a
@@ -29,12 +30,13 @@
 
 #include "common/cli.hpp"
 #include "common/status.hpp"
+#include "trace/writer.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
     "[--once] [--interval SECS] [--no-clear] [--assert-tempd-below PCT] "
-    "<trace file or .telemetry.jsonl>";
+    "[--version] <trace file or .telemetry.jsonl>";
 
 /// Extract the numeric value of `"key":` from one flat JSON object
 /// line (the heartbeat writes no nested objects, arrays, or string
@@ -51,10 +53,15 @@ double json_number(const std::string& line, const std::string& key,
   return v;
 }
 
-/// Last two non-empty lines of the heartbeat file (previous may be
-/// empty when only one snapshot exists yet). Re-reads the whole file:
-/// heartbeat files are one small line per period, so even a long run is
-/// a few hundred KB — simplicity over seek bookkeeping.
+/// Last two complete snapshot lines of the heartbeat file (previous may
+/// be empty when only one snapshot exists yet). Re-reads the whole
+/// file: heartbeat files are one small line per period, so even a long
+/// run is a few hundred KB — simplicity over seek bookkeeping.
+///
+/// The recorder appends while we read, so the final line is routinely
+/// mid-write. Only lines that look like a whole flat JSON object
+/// ('{'..'}') count; a truncated tail is skipped, not an error — the
+/// next refresh will see it completed.
 tempest::Status read_tail(const std::string& path, std::string* last,
                           std::string* previous) {
   std::ifstream in(path);
@@ -66,7 +73,7 @@ tempest::Status read_tail(const std::string& path, std::string* last,
   previous->clear();
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (line.empty() || line.front() != '{' || line.back() != '}') continue;
     *previous = *last;
     *last = line;
   }
@@ -142,6 +149,17 @@ void render(const std::string& last, const std::string& previous,
                 json_number(last, "buffer_flushes"),
                 json_number(last, "heartbeats"));
   out << buf << "\n";
+
+  // Export runs (tempest-export / tempest_parse --export) publish their
+  // accounting through the same registry; show it when one happened.
+  const double exported = json_number(last, "export_events_exported");
+  if (exported > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  export   %.0f events   %.0f spans dropped   %.0f bytes",
+                  exported, json_number(last, "export_spans_dropped"),
+                  json_number(last, "export_bytes_written"));
+    out << buf << "\n";
+  }
 }
 
 }  // namespace
@@ -177,7 +195,15 @@ int main(int argc, char** argv) {
     return Status::ok();
   });
 
+  bool version = false;
+  args.add_flag("--version", [&] { version = true; });
+
   const Status parsed = args.parse(argc, argv);
+  if (parsed.is_ok() && version) {
+    tempest::cli::print_version(std::cout, "tempest-top",
+                                tempest::trace::kTraceVersion);
+    return 0;
+  }
   if (!parsed.is_ok() || args.help_requested() ||
       args.positional().size() != 1) {
     if (!parsed.is_ok()) std::cerr << "error: " << parsed.message() << "\n";

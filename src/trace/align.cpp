@@ -1,5 +1,6 @@
 #include "trace/align.hpp"
 
+#include <cmath>
 #include <vector>
 
 namespace tempest::trace {
@@ -50,6 +51,26 @@ std::map<std::uint16_t, ClockFit> fit_clocks(const std::vector<ClockSync>& all_s
 
 std::map<std::uint16_t, ClockFit> fit_clocks(const Trace& trace) {
   return fit_clocks(trace.clock_syncs);
+}
+
+std::map<std::uint16_t, double> fit_residuals(
+    const std::map<std::uint16_t, ClockFit>& fits,
+    const std::vector<ClockSync>& syncs) {
+  std::map<std::uint16_t, double> residuals;
+  for (const ClockSync& s : syncs) {
+    const auto it = fits.find(s.node_id);
+    if (it == fits.end()) continue;
+    const ClockFit& fit = it->second;
+    // Evaluate the fit in doubles (to_global rounds to ticks, which
+    // would quantise sub-tick residuals away).
+    const double dx =
+        static_cast<double>(s.node_tsc) - static_cast<double>(fit.ref);
+    const double predicted = fit.a * dx + fit.b;
+    const double r = std::abs(predicted - static_cast<double>(s.global_tsc));
+    auto [slot, inserted] = residuals.try_emplace(s.node_id, r);
+    if (!inserted && r > slot->second) slot->second = r;
+  }
+  return residuals;
 }
 
 Status align_clocks(Trace* trace) {

@@ -34,6 +34,15 @@ std::map<std::uint16_t, ClockFit> fit_clocks(const std::vector<ClockSync>& syncs
 /// Fit clock maps from the trace's sync records.
 std::map<std::uint16_t, ClockFit> fit_clocks(const Trace& trace);
 
+/// Largest |fit(node_tsc) - global_tsc| over each node's sync records,
+/// in ticks. Quantifies how well the affine fit explains the
+/// observations: a big residual means the node's clock wandered
+/// nonlinearly between barriers, so cross-node timestamps carry that
+/// much uncertainty. Nodes with no fit (or no syncs) are absent.
+std::map<std::uint16_t, double> fit_residuals(
+    const std::map<std::uint16_t, ClockFit>& fits,
+    const std::vector<ClockSync>& syncs);
+
 /// Rewrite fn_events and temp_samples into the global clock domain and
 /// re-sort. Idempotent once syncs are consumed (they are cleared).
 Status align_clocks(Trace* trace);

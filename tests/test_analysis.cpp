@@ -354,6 +354,18 @@ TEST_F(LintCliTest, UsageErrors) {
   EXPECT_EQ(WIFEXITED(rc) ? WEXITSTATUS(rc) : -1, 2);
 }
 
+TEST_F(LintCliTest, VersionFlagPrintsTraceFormatVersion) {
+  const std::string out_path = ::testing::TempDir() + "/lint_version.out";
+  const int rc = std::system((std::string(TEMPEST_LINT_BIN) + " --version > " +
+                              out_path + " 2>&1").c_str());
+  ASSERT_EQ(WIFEXITED(rc) ? WEXITSTATUS(rc) : -1, 0);
+  std::ifstream in(out_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("tempest-lint"), std::string::npos) << line;
+  EXPECT_NE(line.find("trace format v"), std::string::npos) << line;
+}
+
 // -- RUNSTATS cross-checks ---------------------------------------------
 
 /// good_trace() plus a RUNSTATS trailer that exactly matches it.

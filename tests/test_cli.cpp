@@ -16,6 +16,12 @@
 #ifndef TEMPEST_PARSE_BIN
 #define TEMPEST_PARSE_BIN "tools/tempest_parse"
 #endif
+#ifndef TEMPEST_EXPORT_BIN
+#define TEMPEST_EXPORT_BIN "tools/tempest-export"
+#endif
+#ifndef TEMPEST_TOP_BIN
+#define TEMPEST_TOP_BIN "tools/tempest-top"
+#endif
 
 namespace {
 
@@ -171,6 +177,87 @@ TEST_F(CliTest, StreamedOutputMatchesBatch) {
   ASSERT_EQ(run_cli("--format csv --span cli_hot", &batch), 0);
   ASSERT_EQ(run_cli("--stream --format csv --span cli_hot", &streamed), 0);
   EXPECT_EQ(streamed, batch);
+}
+
+TEST_F(CliTest, ExportedTimelineStreamMatchesBatch) {
+  std::string batch, streamed;
+  ASSERT_EQ(run_cli("--export perfetto", &batch), 0);
+  ASSERT_EQ(run_cli("--export perfetto --stream", &streamed), 0);
+  EXPECT_FALSE(batch.empty());
+  EXPECT_EQ(streamed, batch);
+  EXPECT_NE(batch.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(batch.find("\"name\":\"cli_hot\""), std::string::npos);
+
+  ASSERT_EQ(run_cli("--export speedscope", &batch), 0);
+  ASSERT_EQ(run_cli("--export speedscope --stream", &streamed), 0);
+  EXPECT_EQ(streamed, batch);
+  EXPECT_NE(batch.find("speedscope.app/file-format-schema.json"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ExportToolMatchesParseExport) {
+  std::string via_parse;
+  ASSERT_EQ(run_cli("--export perfetto", &via_parse), 0);
+
+  const std::string out_path = ::testing::TempDir() + "/cli_export.json";
+  const std::string cmd = std::string(TEMPEST_EXPORT_BIN) +
+                          " --format perfetto --out \"" + out_path + "\" \"" +
+                          *trace_path_ + "\" >/dev/null 2>/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  EXPECT_EQ(slurp(out_path), via_parse);
+  // The sidecar snapshot lets tempest-top show what the export did.
+  EXPECT_NE(slurp(out_path + ".telemetry.jsonl").find("export_events_exported"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, BadExportFormatIsUsageError) {
+  EXPECT_EQ(run_exit_code("--export svg \"" + *trace_path_ + "\""), 2);
+}
+
+TEST_F(CliTest, VersionFlagPrintsTraceFormatVersion) {
+  const std::string out_path = ::testing::TempDir() + "/cli_version.out";
+  const struct {
+    const char* bin;
+    const char* name;
+  } tools[] = {{TEMPEST_PARSE_BIN, "tempest_parse"},
+               {TEMPEST_EXPORT_BIN, "tempest-export"},
+               {TEMPEST_TOP_BIN, "tempest-top"}};
+  for (const auto& tool : tools) {
+    const std::string cmd = std::string(tool.bin) + " --version > " + out_path +
+                            " 2>/dev/null";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << tool.name;
+    const std::string out = slurp(out_path);
+    EXPECT_NE(out.find(tool.name), std::string::npos) << out;
+    EXPECT_NE(out.find("trace format v"), std::string::npos) << out;
+  }
+}
+
+TEST_F(CliTest, TopToleratesTruncatedHeartbeatTail) {
+  // The recorder appends heartbeat lines while tempest-top reads; a
+  // partially written last line must be skipped, not parsed or fatal.
+  const std::string jsonl = ::testing::TempDir() + "/truncated.telemetry.jsonl";
+  {
+    std::ofstream out(jsonl, std::ios::trunc);
+    out << "{\"t\":2.0,\"events_recorded\":100,\"events_dropped\":0}\n";
+    out << "{\"t\":3.0,\"events_recorded\":250,\"events_dro";  // mid-write
+  }
+  const std::string out_path = ::testing::TempDir() + "/top.out";
+  const std::string cmd = std::string(TEMPEST_TOP_BIN) + " --once \"" + jsonl +
+                          "\" > " + out_path + " 2>/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  const std::string out = slurp(out_path);
+  // Rendered the last *complete* snapshot, not the torn one.
+  EXPECT_NE(out.find("t=2.0s"), std::string::npos) << out;
+  EXPECT_NE(out.find("100"), std::string::npos) << out;
+
+  // A file holding only a torn line has no usable snapshot: exit 2.
+  {
+    std::ofstream out_trunc(jsonl, std::ios::trunc);
+    out_trunc << "{\"t\":1.0,\"events_rec";
+  }
+  const int rc = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 2);
 }
 
 TEST_F(CliTest, BadInputsFailGracefully) {

@@ -386,6 +386,73 @@ TEST(RankFanIn, RejectsEmptyPathListAndMissingFile) {
   EXPECT_NE(missing.message().find("cannot open"), std::string::npos);
 }
 
+TEST(RankFanIn, ToleratesZeroEventRank) {
+  // A rank that registered but recorded nothing (e.g. it spent the run
+  // in MPI_Recv outside any instrumented function) must not stall or
+  // corrupt the merge — its metadata still joins the combined header.
+  Trace active = rank_trace(0, 0);
+  active.sort_by_time();
+  Trace idle = rank_trace(1, 0);
+  idle.fn_events.clear();
+  idle.fn_event_runs.clear();
+  idle.temp_samples.clear();
+  idle.sort_by_time();
+
+  std::vector<std::string> paths = {temp_path("zero_rank0.trace"),
+                                    temp_path("zero_rank1.trace")};
+  ASSERT_TRUE(write_trace_file(paths[0], active));
+  ASSERT_TRUE(write_trace_file(paths[1], idle));
+
+  auto opened = pipeline::RankFanIn::open(paths);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  auto fan = std::move(opened).value();
+  ASSERT_EQ(fan.meta().nodes.size(), 2u);
+
+  pipeline::OrderCheckStage order;
+  pipeline::CountingSink counter;
+  const Status ran = pipeline::run_pipeline(&fan, {&order}, {&counter});
+  ASSERT_TRUE(ran) << ran.message();
+  EXPECT_EQ(counter.fn_events(), active.fn_events.size());
+  EXPECT_EQ(counter.temp_samples(), active.temp_samples.size());
+}
+
+TEST(RankFanIn, MergesFullyDisjointTscRanges) {
+  // Ranks whose aligned time ranges don't overlap at all (one finished
+  // before the other started): the merge must drain them sequentially,
+  // still in global order, with no events lost at the boundary.
+  Trace early = rank_trace(0, 0);
+  early.sort_by_time();
+  Trace late = rank_trace(1, 0);
+  const std::uint64_t shift = 1'000'000;  // far past rank 0's last tick
+  for (auto& e : late.fn_events) e.tsc += shift;
+  for (auto& s : late.temp_samples) s.tsc += shift;
+  for (auto& c : late.clock_syncs) {
+    c.node_tsc += shift;
+    c.global_tsc += shift;
+  }
+  late.sort_by_time();
+
+  std::vector<std::string> paths = {temp_path("disjoint_rank0.trace"),
+                                    temp_path("disjoint_rank1.trace")};
+  ASSERT_TRUE(write_trace_file(paths[0], early));
+  ASSERT_TRUE(write_trace_file(paths[1], late));
+
+  pipeline::BatchOptions options;
+  options.batch_records = 2;  // several refills inside each rank's range
+  auto opened = pipeline::RankFanIn::open(paths, options);
+  ASSERT_TRUE(opened.is_ok()) << opened.message();
+  auto fan = std::move(opened).value();
+
+  pipeline::OrderCheckStage order;  // fails on any cross-rank inversion
+  pipeline::CountingSink counter;
+  const Status ran = pipeline::run_pipeline(&fan, {&order}, {&counter});
+  ASSERT_TRUE(ran) << ran.message();
+  EXPECT_EQ(counter.fn_events(),
+            early.fn_events.size() + late.fn_events.size());
+  EXPECT_EQ(counter.temp_samples(),
+            early.temp_samples.size() + late.temp_samples.size());
+}
+
 TEST(LintSink, MatchesBatchLintReport) {
   Trace t = rank_trace(0, 0);
   t.sort_by_time();
