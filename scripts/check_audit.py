@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Structural validator for tempest-audit JSON output.
+
+Used by CI (e2e-asan) after auditing the instrumented example binary:
+
+    check_audit.py /tmp/e2e.audit.json
+
+Checks go beyond json.load: required keys, a non-empty instrumented set
+with a consistent instrumented/uninstrumented split, call-graph edge
+counts that add up, a descending overhead ranking whose shares sum to
+~1, and well-formed coverage gap entries. Exit 0 when clean, 1 with a
+message per violation otherwise.
+"""
+import json
+import sys
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_audit: {e}", file=sys.stderr)
+    return 1
+
+
+def check_audit(doc, expect_instrumented):
+    errors = []
+    for key in ("binary", "elf_type", "hooks_linked", "functions",
+                "instrumented", "uninstrumented", "call_graph", "coverage",
+                "instrumented_functions"):
+        if key not in doc:
+            errors.append(f"missing top-level key {key!r}")
+    if errors:
+        return errors
+
+    if doc["elf_type"] not in ("rel", "exec", "dyn", "other"):
+        errors.append(f"unexpected elf_type {doc['elf_type']!r}")
+    if doc["instrumented"] + doc["uninstrumented"] != doc["functions"]:
+        errors.append(
+            f"instrumented {doc['instrumented']} + uninstrumented "
+            f"{doc['uninstrumented']} != functions {doc['functions']}")
+    if expect_instrumented:
+        if not doc["hooks_linked"]:
+            errors.append("hooks_linked is false on an instrumented binary")
+        if doc["instrumented"] == 0:
+            errors.append("no instrumented functions found")
+
+    graph = doc["call_graph"]
+    for key in ("edges", "reloc_edges", "scan_edges"):
+        if key not in graph:
+            errors.append(f"call_graph missing {key!r}")
+    if not errors and graph["reloc_edges"] + graph["scan_edges"] \
+            != graph["edges"]:
+        errors.append("call_graph edge counts do not add up")
+    if expect_instrumented and graph.get("edges", 0) == 0:
+        errors.append("call graph is empty")
+
+    coverage = doc["coverage"]
+    for key in ("stripped_hook_sites", "silent_subtree_functions", "gaps"):
+        if key not in coverage:
+            errors.append(f"coverage missing {key!r}")
+    for i, gap in enumerate(coverage.get("gaps", [])):
+        for key in ("name", "addr", "reachable_from_instrumented"):
+            if key not in gap:
+                errors.append(f"coverage.gaps[{i}] missing {key!r}")
+        addr = gap.get("addr", "")
+        if not (isinstance(addr, str) and addr.startswith("0x")):
+            errors.append(f"coverage.gaps[{i}].addr {addr!r} is not hex")
+
+    n_ranked = 0
+    if "overhead" in doc:
+        overhead = doc["overhead"]
+        for key in ("from_trace", "total_probe_events",
+                    "unattributed_events", "ranked"):
+            if key not in overhead:
+                errors.append(f"overhead missing {key!r}")
+        prev = None
+        share_sum = 0.0
+        for i, entry in enumerate(overhead.get("ranked", [])):
+            for key in ("name", "addr", "calls", "predicted_probe_events",
+                        "share", "static_callers", "static_callees"):
+                if key not in entry:
+                    errors.append(f"overhead.ranked[{i}] missing {key!r}")
+            probes = entry.get("predicted_probe_events", 0)
+            if entry.get("calls", 0) * 2 != probes:
+                errors.append(
+                    f"overhead.ranked[{i}]: {entry.get('calls')} calls but "
+                    f"{probes} predicted probes (expected 2 per call)")
+            if prev is not None and probes > prev:
+                errors.append(
+                    f"overhead.ranked[{i}] not in descending probe order")
+            prev = probes
+            share_sum += entry.get("share", 0.0)
+            n_ranked += 1
+        # The list may be capped, so shares can sum below 1 — never above.
+        if share_sum > 1.0 + 1e-6:
+            errors.append(f"overhead shares sum to {share_sum:.4f} > 1")
+
+    for i, fn in enumerate(doc["instrumented_functions"]):
+        for key in ("name", "addr", "instrumented"):
+            if key not in fn:
+                errors.append(f"instrumented_functions[{i}] missing {key!r}")
+        if not fn.get("instrumented", False):
+            errors.append(
+                f"instrumented_functions[{i}] ({fn.get('name')!r}) "
+                "is not marked instrumented")
+
+    print(f"audit: {doc['functions']} functions "
+          f"({doc['instrumented']} instrumented), "
+          f"{graph.get('edges', 0)} call-graph edges, "
+          f"{n_ranked} ranked by probe overhead")
+    return errors
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--allow-uninstrumented"]
+    if len(args) != 1:
+        print("usage: check_audit.py [--allow-uninstrumented] FILE",
+              file=sys.stderr)
+        return 2
+    with open(args[0]) as f:
+        doc = json.load(f)
+    errors = check_audit(doc, "--allow-uninstrumented" not in argv)
+    return fail(errors) if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

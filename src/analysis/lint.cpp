@@ -91,6 +91,7 @@ struct LintEngine::Impl {
   std::vector<Finding> mono_syncs;
   std::vector<Finding> nesting;
   std::vector<Finding> cadence;
+  std::vector<Finding> coverage;
   std::vector<Finding> runstats;
   std::vector<Finding> trailing;
 
@@ -140,6 +141,28 @@ struct LintEngine::Impl {
   // are ~1% of events in practice.
   std::map<std::pair<std::uint16_t, std::uint16_t>, std::vector<std::uint64_t>> gaps;
   std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t> last_gap_tsc;
+
+  // Trace<->binary cross-check state (set_coverage_inventory). Sorted
+  // by addr for binary search; event counts are per unique runtime
+  // address, so memory stays O(functions), not O(events).
+  bool coverage_enabled = false;
+  std::uint64_t load_bias = 0;
+  std::vector<CoverageFunction> coverage_fns;  ///< sorted by addr
+  std::map<std::uint64_t, std::uint64_t> addr_events;  ///< runtime addr -> count
+
+  /// Index of the coverage function covering a link-time address; -1
+  /// when none.
+  int find_coverage_fn(std::uint64_t link_addr) const {
+    const auto it = std::upper_bound(
+        coverage_fns.begin(), coverage_fns.end(), link_addr,
+        [](std::uint64_t a, const CoverageFunction& f) { return a < f.addr; });
+    if (it == coverage_fns.begin()) return -1;
+    const auto prev = std::prev(it);
+    if (link_addr >= prev->addr && link_addr < prev->addr + prev->size) {
+      return static_cast<int>(prev - coverage_fns.begin());
+    }
+    return -1;
+  }
 };
 
 LintEngine::LintEngine(const trace::TraceHeader& header, const LintOptions& options)
@@ -147,6 +170,7 @@ LintEngine::LintEngine(const trace::TraceHeader& header, const LintOptions& opti
   Impl& im = *impl_;
   im.options = options;
   im.tsc_ticks_per_second = header.tsc_ticks_per_second;
+  im.load_bias = header.load_bias;
   im.n_threads = header.threads.size();
   im.n_nodes = header.nodes.size();
   im.n_sensors = header.sensors.size();
@@ -212,6 +236,9 @@ void LintEngine::add_fn_events(const trace::FnEvent* events, std::size_t n) {
       os << "synthetic address 0x" << std::hex << e.addr
          << " has no name in the synthetic symbol table";
       refs.add("synthetic-unresolved", Severity::kError, os.str());
+    }
+    if (im.coverage_enabled && e.addr < trace::kSyntheticAddrBase) {
+      ++im.addr_events[e.addr];
     }
 
     // Per-thread monotonicity; each thread stamps from one clock
@@ -323,6 +350,16 @@ void LintEngine::set_run_stats(const trace::RunStats& stats) {
   impl_->run_stats = stats;
 }
 
+void LintEngine::set_coverage_inventory(CoverageInventory inventory) {
+  Impl& im = *impl_;
+  im.coverage_enabled = true;
+  im.coverage_fns = std::move(inventory.functions);
+  std::sort(im.coverage_fns.begin(), im.coverage_fns.end(),
+            [](const CoverageFunction& a, const CoverageFunction& b) {
+              return a.addr < b.addr;
+            });
+}
+
 void LintEngine::note_trailing_bytes(std::uint64_t bytes) {
   Impl& im = *impl_;
   std::ostringstream msg;
@@ -431,6 +468,47 @@ LintReport LintEngine::finish() {
     }
   }
 
+  // Trace<->binary cross-check: every probe-generated event must land
+  // inside a function the static audit classified as instrumented
+  // (errors — the trace claims probes the binary cannot have fired),
+  // and every instrumented function should have fired at least once
+  // (warnings — never called, or its events were dropped).
+  if (im.coverage_enabled) {
+    Impl::Collector out(&im, &im.coverage);
+    std::set<std::size_t> fns_seen;
+    for (const auto& [runtime_addr, count] : im.addr_events) {
+      const int fn = runtime_addr >= im.load_bias
+                         ? im.find_coverage_fn(runtime_addr - im.load_bias)
+                         : -1;
+      if (fn < 0) {
+        std::ostringstream os;
+        os << "trace holds " << count << " event(s) at 0x" << std::hex
+           << runtime_addr << std::dec
+           << " but the binary has no function there (stale binary, wrong "
+              "--symtab executable, or stripped symbol)";
+        out.add("instrumentation-coverage", Severity::kError, os.str());
+        continue;
+      }
+      const CoverageFunction& f = im.coverage_fns[static_cast<std::size_t>(fn)];
+      fns_seen.insert(static_cast<std::size_t>(fn));
+      if (!f.instrumented) {
+        out.add("instrumentation-coverage", Severity::kError,
+                "function '" + f.name + "' emits " + std::to_string(count) +
+                    " trace event(s) but carries no instrumentation hooks in "
+                    "the binary");
+      }
+    }
+    for (std::size_t i = 0; i < im.coverage_fns.size(); ++i) {
+      const CoverageFunction& f = im.coverage_fns[i];
+      if (f.instrumented && fns_seen.count(i) == 0) {
+        out.add("instrumentation-unused", Severity::kWarning,
+                "function '" + f.name +
+                    "' is instrumented but recorded zero events (never "
+                    "called, or its events were dropped)");
+      }
+    }
+  }
+
   // RUNSTATS cross-checks: the recorder's own accounting vs what the
   // trace holds. These are the "overhead of the overhead" trust anchors
   // — if the runtime says it recorded N events and the trace has M != N,
@@ -478,7 +556,7 @@ LintReport LintEngine::finish() {
   for (auto* bucket :
        {&im.metadata_deferred, &im.metadata, &im.references, &im.mono_events,
         &im.mono_global, &im.mono_samples, &im.mono_syncs, &im.nesting,
-        &im.cadence, &im.runstats, &im.trailing}) {
+        &im.cadence, &im.coverage, &im.runstats, &im.trailing}) {
     report.findings.insert(report.findings.end(),
                            std::make_move_iterator(bucket->begin()),
                            std::make_move_iterator(bucket->end()));
@@ -486,8 +564,10 @@ LintReport LintEngine::finish() {
   return report;
 }
 
-LintReport lint_trace(const trace::Trace& trace, const LintOptions& options) {
+LintReport lint_trace(const trace::Trace& trace, const LintOptions& options,
+                      const CoverageInventory* coverage) {
   LintEngine engine(trace, options);
+  if (coverage != nullptr) engine.set_coverage_inventory(*coverage);
   engine.add_fn_events(trace.fn_events.data(), trace.fn_events.size());
   engine.add_temp_samples(trace.temp_samples.data(), trace.temp_samples.size());
   engine.add_clock_syncs(trace.clock_syncs.data(), trace.clock_syncs.size());
@@ -496,7 +576,8 @@ LintReport lint_trace(const trace::Trace& trace, const LintOptions& options) {
 }
 
 Result<LintReport> lint_trace_file(const std::string& path,
-                                   const LintOptions& options) {
+                                   const LintOptions& options,
+                                   const CoverageInventory* coverage) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Result<LintReport>::error(path + ": cannot open trace file: " + path);
@@ -507,6 +588,7 @@ Result<LintReport> lint_trace_file(const std::string& path,
   }
   trace::TraceStreamReader reader = std::move(opened).value();
   LintEngine engine(reader.header(), options);
+  if (coverage != nullptr) engine.set_coverage_inventory(*coverage);
 
   // Stream the bulk sections through in bounded batches; lint wants the
   // raw file order (no alignment, no sorting — sortedness is itself one

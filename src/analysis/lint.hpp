@@ -57,6 +57,23 @@ struct LintOptions {
   std::size_t max_findings_per_check = 8;
 };
 
+/// One function from a static audit of the traced binary, keyed by its
+/// link-time address range. Declared here (not in src/audit) so the
+/// lint engine stays free of the audit library; tempest-lint's
+/// --symtab path builds these from an audit::Inventory.
+struct CoverageFunction {
+  std::uint64_t addr = 0;  ///< link-time entry address
+  std::uint64_t size = 0;  ///< body extent
+  std::string name;        ///< raw (possibly mangled)
+  bool instrumented = false;
+};
+
+/// The traced binary's instrumented set, for the trace<->binary
+/// cross-check rules.
+struct CoverageInventory {
+  std::vector<CoverageFunction> functions;
+};
+
 struct LintReport {
   std::vector<Finding> findings;
   std::size_t error_count = 0;
@@ -98,6 +115,20 @@ class LintEngine {
   /// (concatenated or partially overwritten file) — an error finding.
   void note_trailing_bytes(std::uint64_t bytes);
 
+  /// Enable the trace<->binary cross-check against a static audit of
+  /// the traced executable. Must be called before the first
+  /// add_fn_events (the engine only tracks per-address event counts
+  /// once an inventory is present). finish() then reports
+  ///   * "instrumentation-coverage" errors for events at addresses the
+  ///     binary's instrumented set does not cover (the trace claims
+  ///     probes the binary cannot have fired), and
+  ///   * "instrumentation-unused" warnings for instrumented functions
+  ///     with zero events (never called — or their events were
+  ///     dropped).
+  /// Synthetic region addresses are exempt; runtime addresses unbias
+  /// through the trace header's load_bias.
+  void set_coverage_inventory(CoverageInventory inventory);
+
   /// Provide the trace's RUNSTATS trailer (no-op when absent). finish()
   /// then cross-checks the recorder's own counters against what the
   /// trace actually contains: recorded-event count vs fn events read,
@@ -116,15 +147,19 @@ class LintEngine {
 };
 
 /// Run every lint check over an in-memory trace. Batch wrapper over
-/// LintEngine.
-LintReport lint_trace(const trace::Trace& trace, const LintOptions& options = {});
+/// LintEngine. A non-null `coverage` enables the trace<->binary
+/// cross-check (see set_coverage_inventory).
+LintReport lint_trace(const trace::Trace& trace, const LintOptions& options = {},
+                      const CoverageInventory* coverage = nullptr);
 
 /// Read a trace file and lint it; unreadable/corrupt files are an error
 /// Result (distinct from a readable trace with violations). Streams the
 /// file through LintEngine in bounded batches — traces larger than RAM
-/// lint fine.
+/// lint fine. A non-null `coverage` enables the trace<->binary
+/// cross-check.
 Result<LintReport> lint_trace_file(const std::string& path,
-                                   const LintOptions& options = {});
+                                   const LintOptions& options = {},
+                                   const CoverageInventory* coverage = nullptr);
 
 /// Machine-readable report (stable field names; one JSON object).
 std::string to_json(const LintReport& report);

@@ -1,0 +1,30 @@
+// Audit report emission: one JSON object (stable field names, gated by
+// scripts/check_audit.py in CI) and a human-readable summary.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "audit/audit.hpp"
+
+namespace tempest::audit {
+
+struct ReportOptions {
+  /// Cap on listed functions per category (counts stay exact).
+  std::size_t max_list = 20;
+};
+
+/// Machine-readable report. `overhead` may be null (no trace given and
+/// static prediction suppressed) — the "overhead" key is then absent.
+std::string to_json(const Inventory& inventory, const CoverageReport& coverage,
+                    const OverheadReport* overhead,
+                    const ReportOptions& options = {});
+
+/// Human-readable report: coverage summary, capped gap lists, and the
+/// overhead ranking (names demangled for display).
+void write_human(std::ostream& out, const Inventory& inventory,
+                 const CoverageReport& coverage, const OverheadReport* overhead,
+                 const ReportOptions& options = {});
+
+}  // namespace tempest::audit

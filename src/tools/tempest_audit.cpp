@@ -1,0 +1,137 @@
+// tempest-audit: static instrumentation audit of an ELF binary.
+//
+//   tempest-audit [options] <binary>
+//     --json             machine-readable report (one JSON object)
+//     --trace FILE       join a recorded trace: observed per-function
+//                        call counts drive the overhead ranking
+//     --filter-out FILE  write a TEMPEST_FILTER suppression file with
+//                        the hottest functions (see --filter-top)
+//     --filter-top N     functions to suggest in the filter (default 10)
+//     --max-list N       cap listed functions per report section
+//                        (default 20; counts stay exact)
+//     --strict           coverage gaps (uninstrumented functions or
+//                        stripped hook sites) fail the exit code
+//     -q, --quiet        suppress the report; exit code only
+//     --version          print tool and trace-format version
+//
+// Exit codes: 0 analysed cleanly, 1 coverage gaps under --strict,
+// 2 usage error or unreadable binary/trace.
+//
+// The audit never runs the binary: classification and the call graph
+// come from relocations and a direct-call scan over .text (DESIGN.md
+// §11 documents the approximation limits).
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "audit/audit.hpp"
+#include "audit/filter.hpp"
+#include "audit/report.hpp"
+#include "common/cli.hpp"
+#include "trace/writer.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "[--json] [--trace FILE] [--filter-out FILE] [--filter-top N] "
+    "[--max-list N] [--strict] [-q] [--version] <binary>";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tempest::Status;
+
+  bool json = false, strict = false, quiet = false, version = false;
+  std::string trace_path, filter_out;
+  std::size_t filter_top = 10;
+  tempest::audit::ReportOptions report_options;
+
+  tempest::cli::ArgParser args(kUsage);
+  args.add_flag("--json", [&] { json = true; });
+  args.add_value("--trace", [&](const std::string& v) {
+    trace_path = v;
+    return Status::ok();
+  });
+  args.add_value("--filter-out", [&](const std::string& v) {
+    filter_out = v;
+    return Status::ok();
+  });
+  args.add_value("--filter-top", [&](const std::string& v) {
+    return tempest::cli::parse_size(v, &filter_top);
+  });
+  args.add_value("--max-list", [&](const std::string& v) {
+    return tempest::cli::parse_size(v, &report_options.max_list);
+  });
+  args.add_flag("--strict", [&] { strict = true; });
+  args.add_flag("-q", [&] { quiet = true; });
+  args.add_flag("--quiet", [&] { quiet = true; });
+  args.add_flag("--version", [&] { version = true; });
+
+  const Status parsed = args.parse(argc, argv);
+  if (!parsed) {
+    std::cerr << "tempest-audit: " << parsed.message() << "\n";
+    args.print_usage(std::cerr, argv[0]);
+    return 2;
+  }
+  if (version) {
+    tempest::cli::print_version(std::cout, "tempest-audit",
+                                tempest::trace::kTraceVersion);
+    return 0;
+  }
+  if (args.help_requested()) {
+    args.print_usage(std::cerr, argv[0]);
+    return 0;
+  }
+  if (args.positional().size() != 1) {
+    args.print_usage(std::cerr, argv[0]);
+    return 2;
+  }
+  const std::string& binary = args.positional().front();
+
+  auto analyzed = tempest::audit::analyze_binary(binary);
+  if (!analyzed.is_ok()) {
+    std::cerr << "tempest-audit: " << analyzed.message() << "\n";
+    return 2;
+  }
+  tempest::audit::Inventory inventory = std::move(analyzed).value();
+
+  std::optional<tempest::audit::OverheadReport> overhead;
+  if (!trace_path.empty()) {
+    auto predicted = tempest::audit::predict_overhead(&inventory, trace_path);
+    if (!predicted.is_ok()) {
+      std::cerr << "tempest-audit: " << predicted.message() << "\n";
+      return 2;
+    }
+    overhead = std::move(predicted).value();
+  } else {
+    overhead = tempest::audit::predict_overhead_static(inventory);
+  }
+
+  const tempest::audit::CoverageReport coverage =
+      tempest::audit::build_coverage(inventory);
+
+  if (!filter_out.empty()) {
+    const tempest::audit::FilterFile filter =
+        tempest::audit::suggest_filter(inventory, *overhead, filter_top);
+    const Status written = tempest::audit::write_filter_file(filter_out, filter);
+    if (!written) {
+      std::cerr << "tempest-audit: " << written.message() << "\n";
+      return 2;
+    }
+  }
+
+  if (json) {
+    std::cout << tempest::audit::to_json(inventory, coverage, &*overhead,
+                                         report_options)
+              << "\n";
+  } else if (!quiet) {
+    tempest::audit::write_human(std::cout, inventory, coverage, &*overhead,
+                                report_options);
+  }
+
+  const bool gaps =
+      coverage.uninstrumented > 0 || coverage.stripped_hook_sites > 0;
+  if (strict && gaps) return 1;
+  return 0;
+}

@@ -5,12 +5,16 @@
 //     --hz RATE       expected tempd sampling rate (default: 4, the
 //                     paper's rate; 0 disables the absolute check)
 //     --tolerance F   cadence tolerance factor (default 2.0)
+//     --symtab EXE    cross-check the trace against a static audit of
+//                     the instrumented binary: events outside the
+//                     binary's instrumented set are errors, instrumented
+//                     functions with zero events warnings
 //     --strict        warnings also fail the exit code
 //     -q, --quiet     suppress per-finding output; exit code only
 //     --version       print tool and trace-format version
 //
 // Exit codes: 0 all traces clean, 1 invariant violations found,
-// 2 usage error or unreadable trace file.
+// 2 usage error or unreadable trace/binary file.
 //
 // Lints stream through LintEngine (lint_trace_file reads the trace in
 // bounded batches), so arbitrarily large traces check in constant
@@ -22,14 +26,15 @@
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "audit/audit.hpp"
 #include "common/cli.hpp"
 #include "trace/writer.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
-    "[--json] [--hz RATE] [--tolerance F] [--strict] [-q] [--version] "
-    "<trace file>...";
+    "[--json] [--hz RATE] [--tolerance F] [--symtab EXE] [--strict] [-q] "
+    "[--version] <trace file>...";
 
 tempest::Status parse_double(const std::string& what, const std::string& value,
                              double* out) {
@@ -60,6 +65,11 @@ int main(int argc, char** argv) {
   args.add_value("--tolerance", [&](const std::string& v) {
     return parse_double("--tolerance", v, &options.cadence_tolerance);
   });
+  std::string symtab_exe;
+  args.add_value("--symtab", [&](const std::string& v) {
+    symtab_exe = v;
+    return Status::ok();
+  });
   args.add_flag("--strict", [&] { strict = true; });
   args.add_flag("-q", [&] { quiet = true; });
   args.add_flag("--quiet", [&] { quiet = true; });
@@ -87,9 +97,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --symtab: audit the binary once, cross-check every trace against it.
+  tempest::analysis::CoverageInventory coverage;
+  const tempest::analysis::CoverageInventory* coverage_ptr = nullptr;
+  if (!symtab_exe.empty()) {
+    auto inventory = tempest::audit::analyze_binary(symtab_exe);
+    if (!inventory.is_ok()) {
+      std::cerr << "tempest-lint: --symtab: " << inventory.message() << "\n";
+      return 2;
+    }
+    coverage.functions.reserve(inventory.value().functions.size());
+    for (const auto& fn : inventory.value().functions) {
+      coverage.functions.push_back({fn.addr, fn.size, fn.name, fn.instrumented});
+    }
+    coverage_ptr = &coverage;
+  }
+
   bool any_errors = false, any_warnings = false;
   for (const std::string& path : paths) {
-    auto report = tempest::analysis::lint_trace_file(path, options);
+    auto report = tempest::analysis::lint_trace_file(path, options, coverage_ptr);
     if (!report.is_ok()) {
       std::cerr << "tempest-lint: " << report.message() << "\n";
       return 2;

@@ -421,6 +421,90 @@ TEST(Lint, AbsentRunStatsSkipAllCrossChecks) {
   EXPECT_FALSE(has_finding(report, "events-dropped", Severity::kWarning));
 }
 
+/// Coverage inventory matching good_trace()'s two functions, plus one
+/// hookless function and one instrumented-but-never-called function.
+tempest::analysis::CoverageInventory demo_inventory() {
+  tempest::analysis::CoverageInventory inv;
+  inv.functions.push_back({0x1000, 0x100, "main", true});
+  inv.functions.push_back({0x2000, 0x100, "child", true});
+  inv.functions.push_back({0x3000, 0x100, "hookless", false});
+  inv.functions.push_back({0x4000, 0x100, "unused_fn", true});
+  return inv;
+}
+
+TEST(LintCoverage, CoveredEventsAreCleanButIdleProbesWarn) {
+  const auto inv = demo_inventory();
+  const LintReport report = lint_trace(good_trace(), {}, &inv);
+  EXPECT_TRUE(report.clean());
+  EXPECT_FALSE(
+      has_finding(report, "instrumentation-coverage", Severity::kError));
+  // unused_fn carries probes but recorded nothing: warn, don't fail.
+  EXPECT_TRUE(
+      has_finding(report, "instrumentation-unused", Severity::kWarning));
+  EXPECT_EQ(report.warning_count, 1u);  // hookless stays silent: no probes
+}
+
+TEST(LintCoverage, EventOutsideInventoryIsAnError) {
+  Trace t = good_trace();
+  t.fn_events[1].addr = 0x9000;  // no function there
+  t.fn_events[2].addr = 0x9000;
+  const auto inv = demo_inventory();
+  const LintReport report = lint_trace(t, {}, &inv);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(
+      has_finding(report, "instrumentation-coverage", Severity::kError));
+}
+
+TEST(LintCoverage, EventFromHooklessFunctionIsAnError) {
+  Trace t = good_trace();
+  t.fn_events[1].addr = 0x3010;  // inside "hookless"
+  t.fn_events[2].addr = 0x3010;
+  const auto inv = demo_inventory();
+  const LintReport report = lint_trace(t, {}, &inv);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(
+      has_finding(report, "instrumentation-coverage", Severity::kError));
+}
+
+TEST(LintCoverage, RuntimeAddressesUnbiasThroughHeader) {
+  Trace t = good_trace();
+  t.load_bias = 0x7f0000000000;  // PIE: runtime = link + bias
+  for (FnEvent& e : t.fn_events) e.addr += t.load_bias;
+  const auto inv = demo_inventory();  // link-time addresses
+  const LintReport report = lint_trace(t, {}, &inv);
+  EXPECT_TRUE(report.clean()) << tempest::analysis::to_json(report);
+  EXPECT_FALSE(
+      has_finding(report, "instrumentation-coverage", Severity::kError));
+}
+
+TEST(LintCoverage, SyntheticRegionAddressesAreExempt) {
+  Trace t = good_trace();
+  t.synthetic_symbols.push_back(
+      {tempest::trace::kSyntheticAddrBase, "region"});
+  t.fn_events.push_back({12 * 250'000'000ULL, tempest::trace::kSyntheticAddrBase,
+                         0, 0, FnEventKind::kEnter});
+  t.fn_events.push_back({13 * 250'000'000ULL, tempest::trace::kSyntheticAddrBase,
+                         0, 0, FnEventKind::kExit});
+  const auto inv = demo_inventory();
+  const LintReport report = lint_trace(t, {}, &inv);
+  EXPECT_FALSE(
+      has_finding(report, "instrumentation-coverage", Severity::kError));
+}
+
+TEST(LintCoverage, FileStreamingPathAppliesCoverageChecks) {
+  Trace t = good_trace();
+  t.fn_events[1].addr = 0x9000;
+  t.fn_events[2].addr = 0x9000;
+  const std::string path = ::testing::TempDir() + "/lint_coverage.trace";
+  ASSERT_TRUE(tempest::trace::write_trace_file(path, t));
+  const auto inv = demo_inventory();
+  auto report = tempest::analysis::lint_trace_file(path, {}, &inv);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(has_finding(report.value(), "instrumentation-coverage",
+                          Severity::kError));
+  std::remove(path.c_str());
+}
+
 TEST(Lint, FileStreamingPathAppliesRunStatsChecks) {
   // The same cross-checks must fire on the bounded-batch file path the
   // CLI uses, where run stats come from the reader's header.

@@ -22,6 +22,12 @@
 #ifndef TEMPEST_TOP_BIN
 #define TEMPEST_TOP_BIN "tools/tempest-top"
 #endif
+#ifndef TEMPEST_LINT_BIN
+#define TEMPEST_LINT_BIN "tools/tempest-lint"
+#endif
+#ifndef TEMPEST_AUDIT_BIN
+#define TEMPEST_AUDIT_BIN "tools/tempest-audit"
+#endif
 
 namespace {
 
@@ -258,6 +264,82 @@ TEST_F(CliTest, TopToleratesTruncatedHeartbeatTail) {
   const int rc = std::system(cmd.c_str());
   ASSERT_TRUE(WIFEXITED(rc));
   EXPECT_EQ(WEXITSTATUS(rc), 2);
+}
+
+/// Run an arbitrary tool binary; returns the exit code, captures stdout.
+int run_tool(const char* bin, const std::string& args, std::string* output) {
+  const std::string out_path = ::testing::TempDir() + "/cli_tool.out";
+  const std::string cmd =
+      std::string(bin) + " " + args + " > " + out_path + " 2>/dev/null";
+  const int rc = std::system(cmd.c_str());
+  if (output != nullptr) *output = slurp(out_path);
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST_F(CliTest, LintSymtabMissingBinaryIsUsageError) {
+  EXPECT_EQ(run_tool(TEMPEST_LINT_BIN,
+                     "--symtab /nonexistent-binary \"" + *trace_path_ + "\"",
+                     nullptr),
+            2);
+}
+
+TEST_F(CliTest, LintSymtabWithoutValueIsUsageError) {
+  EXPECT_EQ(run_tool(TEMPEST_LINT_BIN, "--symtab", nullptr), 2);
+}
+
+TEST_F(CliTest, LintSymtabCrossCheckPassesOnSyntheticTrace) {
+  // The CLI trace holds only synthetic-region events, which the
+  // coverage cross-check exempts; tempest_parse itself carries no
+  // instrumentation, so there are no unused-probe warnings either.
+  std::string out;
+  EXPECT_EQ(run_tool(TEMPEST_LINT_BIN,
+                     "--symtab " TEMPEST_PARSE_BIN " \"" + *trace_path_ + "\"",
+                     &out),
+            0);
+  EXPECT_NE(out.find("clean"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, AuditVersionFlagPrintsTraceFormatVersion) {
+  std::string out;
+  ASSERT_EQ(run_tool(TEMPEST_AUDIT_BIN, "--version", &out), 0);
+  EXPECT_NE(out.find("tempest-audit"), std::string::npos) << out;
+  EXPECT_NE(out.find("trace format v"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, AuditUsageErrors) {
+  EXPECT_EQ(run_tool(TEMPEST_AUDIT_BIN, "", nullptr), 2);  // no binary
+  EXPECT_EQ(run_tool(TEMPEST_AUDIT_BIN, "--bogus " TEMPEST_PARSE_BIN, nullptr),
+            2);
+  EXPECT_EQ(run_tool(TEMPEST_AUDIT_BIN,
+                     TEMPEST_PARSE_BIN " " TEMPEST_EXPORT_BIN, nullptr),
+            2);  // exactly one binary
+  EXPECT_EQ(run_tool(TEMPEST_AUDIT_BIN, "/nonexistent-binary", nullptr), 2);
+  EXPECT_EQ(run_tool(TEMPEST_AUDIT_BIN,
+                     "--trace /nonexistent.trace " TEMPEST_PARSE_BIN, nullptr),
+            2);
+}
+
+TEST_F(CliTest, AuditUninstrumentedBinaryReportsNoHooks) {
+  std::string out;
+  // tempest_parse is built without -finstrument-functions: a valid
+  // audit subject with zero instrumentation, not an error...
+  EXPECT_EQ(run_tool(TEMPEST_AUDIT_BIN, "--json " TEMPEST_PARSE_BIN, &out), 0);
+  EXPECT_NE(out.find("\"hooks_linked\":false"), std::string::npos) << out;
+  // ...but --strict turns the blanket coverage gap into exit 1.
+  EXPECT_EQ(run_tool(TEMPEST_AUDIT_BIN, "--strict -q " TEMPEST_PARSE_BIN, &out),
+            1);
+}
+
+TEST_F(CliTest, AuditTraceJoinAndFilterOut) {
+  const std::string filter_path = ::testing::TempDir() + "/cli.filter";
+  std::string out;
+  EXPECT_EQ(run_tool(TEMPEST_AUDIT_BIN,
+                     "--json --trace \"" + *trace_path_ + "\" --filter-out \"" +
+                         filter_path + "\" " TEMPEST_PARSE_BIN,
+                     &out),
+            0);
+  EXPECT_NE(out.find("\"from_trace\":true"), std::string::npos) << out;
+  EXPECT_NE(slurp(filter_path).find("# TEMPEST_FILTER v1"), std::string::npos);
 }
 
 TEST_F(CliTest, BadInputsFailGracefully) {
