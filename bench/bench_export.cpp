@@ -7,9 +7,12 @@
 // Same self-exec harness as bench_pipeline (ru_maxrss is a process
 // high-water mark, so every measurement forks):
 //
-//   analyze     ChunkedTraceSource -> align -> order -> AnalysisSink
-//               (the bench_pipeline streaming baseline, re-measured here
-//               so the ratio compares like with like)
+//   analyze1    ChunkedTraceSource -> align -> order -> AnalysisSink,
+//               single-threaded (the bench_pipeline streaming baseline,
+//               re-measured here so the ratios compare like with like)
+//   analyzeN    the same composition with the parallel fast path on:
+//               worker-pool section decode, read-ahead, sharded fold
+//               (N = hardware concurrency)
 //   perfetto    the same stream driven through PerfettoExporter
 //   speedscope  the same stream driven through SpeedscopeExporter
 //
@@ -17,8 +20,14 @@
 // emitters, not tmpfs — and speedscope's per-thread spools go to /tmp.
 // Results land in BENCH_export.json. The committed copy holds a full
 // 1e5..1e7 run; CI smoke re-runs the 1e5 point (--max-events 100000).
-// Gate (full runs): each exporter's peak RSS at 1e7 events stays within
-// 1.25x of the streaming-analysis baseline.
+// Gates (see EXPERIMENTS.md for methodology; each prints SKIP with the
+// reason when its preconditions do not hold):
+//   - peak RSS: each exporter at 1e7 events stays within 1.25x of the
+//     analyze1 baseline (full runs only)
+//   - multi-core: analyzeN throughput >= 3x analyze1 at the largest
+//     size (only on hosts with >= 4 hardware threads)
+//   - exporter throughput: each exporter within 2x of analyze1 events/s
+//     at sizes >= 1e6 (formatting must not dominate analysis)
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -29,11 +38,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench_provenance.hpp"
 #include "common/cli.hpp"
+#include "common/worker_pool.hpp"
 #include "export/run.hpp"
+#include "pipeline/prefetch.hpp"
 #include "pipeline/sinks.hpp"
 #include "pipeline/source.hpp"
 #include "pipeline/stages.hpp"
@@ -144,14 +158,22 @@ std::string bench_path(const std::string& name) {
 
 // ---------------------------------------------------------------- child
 
-int run_child_analyze(const std::string& trace_path) {
+int run_child_analyze(const std::string& trace_path, unsigned threads) {
   auto opened = tempest::pipeline::ChunkedTraceSource::open(trace_path);
   if (!opened.is_ok()) {
     std::cerr << "bench_export: " << opened.message() << "\n";
     return 1;
   }
-  tempest::pipeline::ChunkedTraceSource source = std::move(opened).value();
-  auto fits = source.clock_fits();
+  // tempest_parse's streaming composition, including the --threads
+  // fast path: pool decode on the reader, read-ahead decorator, sharded
+  // fold in the sink. threads == 1 is byte-for-byte the serial path.
+  std::optional<tempest::WorkerPool> pool;
+  tempest::pipeline::ChunkedTraceSource chunked = std::move(opened).value();
+  if (threads > 1) {
+    pool.emplace(threads);
+    chunked.set_decode_pool(&*pool);
+  }
+  auto fits = chunked.clock_fits();
   if (!fits.is_ok()) {
     std::cerr << "bench_export: " << fits.message() << "\n";
     return 1;
@@ -160,9 +182,17 @@ int run_child_analyze(const std::string& trace_path) {
   tempest::pipeline::OrderCheckStage order;
   std::ofstream null_out("/dev/null", std::ios::binary);
   tempest::pipeline::TextEmitter text(null_out);
-  tempest::pipeline::AnalysisSink sink({}, {&text});
+  tempest::pipeline::AnalysisOptions analysis_options;
+  analysis_options.threads = threads;
+  tempest::pipeline::AnalysisSink sink(analysis_options, {&text});
+  tempest::pipeline::Source* source = &chunked;
+  std::optional<tempest::pipeline::PrefetchSource> prefetch;
+  if (threads > 1) {
+    prefetch.emplace(source);
+    source = &*prefetch;
+  }
   const Status run = tempest::pipeline::run_pipeline(
-      &source, {&align, &order}, {&sink});
+      source, {&align, &order}, {&sink});
   if (!run) {
     std::cerr << "bench_export: " << run.message() << "\n";
     return 1;
@@ -204,6 +234,7 @@ struct Measurement {
 };
 
 bool run_measured(const char* self, const std::string& mode,
+                  const std::string& child, unsigned threads,
                   const std::string& trace_path, std::size_t events,
                   Measurement* out) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -213,8 +244,9 @@ bool run_measured(const char* self, const std::string& mode,
     return false;
   }
   if (pid == 0) {
-    std::vector<std::string> args = {self, "--child", mode, "--trace",
-                                     trace_path};
+    std::vector<std::string> args = {self,       "--child", child,
+                                     "--threads", std::to_string(threads),
+                                     "--trace",  trace_path};
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
@@ -257,7 +289,17 @@ int run_driver(const char* self, std::size_t max_events,
     return 2;
   }
 
-  const char* modes[3] = {"analyze", "perfetto", "speedscope"};
+  const unsigned hw = tempest::cli::default_analysis_threads();
+  struct Mode {
+    const char* name;   ///< row label in the JSON
+    const char* child;  ///< --child dispatch
+    unsigned threads;
+  };
+  const Mode modes[4] = {{"analyze1", "analyze", 1},
+                         {"analyzeN", "analyze", hw},
+                         {"perfetto", "perfetto", 1},
+                         {"speedscope", "speedscope", 1}};
+  const std::size_t kModes = 4;
   std::vector<Measurement> rows;
   for (std::size_t n : sizes) {
     const std::string trace_path =
@@ -271,13 +313,17 @@ int run_driver(const char* self, std::size_t max_events,
       }
     }  // Trace freed before any child runs.
 
-    for (const char* mode : modes) {
+    for (const Mode& mode : modes) {
       Measurement row;
-      if (!run_measured(self, mode, trace_path, n, &row)) return 1;
+      if (!run_measured(self, mode.name, mode.child, mode.threads, trace_path,
+                        n, &row)) {
+        return 1;
+      }
       rows.push_back(row);
       std::fprintf(stderr,
                    "%-10s %9zu events  %7.3f s  %12.0f ev/s  %8ld KiB\n",
-                   mode, n, row.wall_s, row.events_per_s, row.max_rss_kib);
+                   mode.name, n, row.wall_s, row.events_per_s,
+                   row.max_rss_kib);
     }
     std::remove(trace_path.c_str());
   }
@@ -288,9 +334,12 @@ int run_driver(const char* self, std::size_t max_events,
     return 1;
   }
   json << "{\n  \"benchmark\": \"bench_export\",\n"
+       << "  \"build_type\": \"" << bench_prov::kBuildType << "\",\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
        << "  \"description\": \"Perfetto/speedscope emitters vs the "
-          "streaming-analysis baseline: wall time and peak RSS per forked "
-          "child, output to /dev/null\",\n"
+          "streaming-analysis baseline (analyze1 serial, analyzeN parallel "
+          "fast path): wall time and peak RSS per forked child, output to "
+          "/dev/null\",\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Measurement& r = rows[i];
@@ -304,41 +353,101 @@ int run_driver(const char* self, std::size_t max_events,
   }
   json << "  ],\n  \"summary\": [\n";
   for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const Measurement& analyze = rows[i * 3];
-    const Measurement& perfetto = rows[i * 3 + 1];
-    const Measurement& speedscope = rows[i * 3 + 2];
-    const auto ratio = [&](const Measurement& m) {
-      return analyze.max_rss_kib > 0
-          ? static_cast<double>(m.max_rss_kib) / analyze.max_rss_kib
+    const Measurement& analyze1 = rows[i * kModes];
+    const Measurement& analyzen = rows[i * kModes + 1];
+    const Measurement& perfetto = rows[i * kModes + 2];
+    const Measurement& speedscope = rows[i * kModes + 3];
+    const auto rss_ratio = [&](const Measurement& m) {
+      return analyze1.max_rss_kib > 0
+          ? static_cast<double>(m.max_rss_kib) / analyze1.max_rss_kib
           : 0.0;
     };
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"events\": %zu, \"perfetto_rss_over_analyze\": %.3f, "
-                  "\"speedscope_rss_over_analyze\": %.3f}%s\n",
-                  sizes[i], ratio(perfetto), ratio(speedscope),
-                  i + 1 < sizes.size() ? "," : "");
+    const auto speed_ratio = [&](const Measurement& m) {
+      return analyze1.events_per_s > 0.0
+          ? m.events_per_s / analyze1.events_per_s
+          : 0.0;
+    };
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"events\": %zu, \"multicore_speedup\": %.3f, "
+        "\"perfetto_rss_over_analyze1\": %.3f, "
+        "\"speedscope_rss_over_analyze1\": %.3f, "
+        "\"perfetto_speed_over_analyze1\": %.3f, "
+        "\"speedscope_speed_over_analyze1\": %.3f}%s\n",
+        sizes[i], speed_ratio(analyzen), rss_ratio(perfetto),
+        rss_ratio(speedscope), speed_ratio(perfetto), speed_ratio(speedscope),
+        i + 1 < sizes.size() ? "," : "");
     json << buf;
   }
   json << "  ]\n}\n";
   std::cerr << "bench_export: wrote " << out_path << "\n";
 
-  // Acceptance gate (full runs only): each exporter's peak RSS at 1e7
-  // events stays within 1.25x of the streaming-analysis baseline.
+  bool failed = false;
+  const std::size_t last = rows.size() - kModes;
+
+  // Gate: each exporter's peak RSS at 1e7 events stays within 1.25x of
+  // the analyze1 baseline (full runs only).
   if (sizes.back() == all_sizes.back()) {
-    const Measurement& analyze = rows[rows.size() - 3];
-    for (std::size_t m = 1; m <= 2; ++m) {
-      const Measurement& exp = rows[rows.size() - 3 + m];
-      if (exp.max_rss_kib * 4 > analyze.max_rss_kib * 5) {
+    const Measurement& analyze1 = rows[last];
+    for (std::size_t m = 2; m <= 3; ++m) {
+      const Measurement& exp = rows[last + m];
+      if (exp.max_rss_kib * 4 > analyze1.max_rss_kib * 5) {
         std::cerr << "bench_export: FAIL " << exp.mode << " RSS "
-                  << exp.max_rss_kib << " KiB exceeds 1.25x analyze baseline "
-                  << analyze.max_rss_kib << " KiB at " << sizes.back()
+                  << exp.max_rss_kib << " KiB exceeds 1.25x analyze1 baseline "
+                  << analyze1.max_rss_kib << " KiB at " << sizes.back()
                   << " events\n";
-        return 1;
+        failed = true;
       }
     }
+  } else {
+    std::cerr << "bench_export: SKIP RSS gate (run capped below "
+              << all_sizes.back() << " events)\n";
   }
-  return 0;
+
+  // Gate: the parallel fast path earns its threads — analyzeN at the
+  // largest size reaches 3x analyze1 throughput. Meaningless on small
+  // hosts (analyzeN degenerates to a couple of workers) and on short
+  // runs (fork + setup noise swamps a 10 ms analysis).
+  if (sizes.back() < 1000000) {
+    std::cerr << "bench_export: SKIP multi-core gate (run capped below "
+                 "1000000 events)\n";
+  } else if (hw >= 4) {
+    const Measurement& analyze1 = rows[last];
+    const Measurement& analyzen = rows[last + 1];
+    if (analyzen.events_per_s < 3.0 * analyze1.events_per_s) {
+      std::cerr << "bench_export: FAIL analyzeN " << analyzen.events_per_s
+                << " ev/s is below 3x analyze1 " << analyze1.events_per_s
+                << " ev/s at " << sizes.back() << " events (" << hw
+                << " hardware threads)\n";
+      failed = true;
+    }
+  } else {
+    std::cerr << "bench_export: SKIP multi-core gate (" << hw
+              << " hardware thread(s); needs >= 4)\n";
+  }
+
+  // Gate: formatting must not dominate analysis — each exporter stays
+  // within 2x of analyze1 events/s. Checked at the largest measured
+  // size only: the claim is steady-state throughput, and short runs
+  // are dominated by spool setup and child start-up noise.
+  if (sizes.back() >= 1000000) {
+    const Measurement& analyze1 = rows[last];
+    for (std::size_t m = 2; m <= 3; ++m) {
+      const Measurement& exp = rows[last + m];
+      if (exp.events_per_s * 2.0 < analyze1.events_per_s) {
+        std::cerr << "bench_export: FAIL " << exp.mode << " "
+                  << exp.events_per_s << " ev/s is below half of analyze1 "
+                  << analyze1.events_per_s << " ev/s at " << sizes.back()
+                  << " events\n";
+        failed = true;
+      }
+    }
+  } else {
+    std::cerr << "bench_export: SKIP exporter-throughput gate (run capped "
+                 "below 1000000 events)\n";
+  }
+  return failed ? 1 : 0;
 }
 
 }  // namespace
@@ -348,10 +457,12 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string out_path = "BENCH_export.json";
   std::size_t max_events = 10000000;
+  std::size_t threads = 1;
+  bool allow_debug = false;
 
   tempest::cli::ArgParser args(
-      "[--max-events N] [--out FILE]   (driver)\n"
-      "       --child analyze|perfetto|speedscope --trace FILE");
+      "[--max-events N] [--out FILE] [--allow-debug]   (driver)\n"
+      "       --child analyze|perfetto|speedscope [--threads N] --trace FILE");
   args.add_value("--child", [&](const std::string& v) {
     if (v != "analyze" && v != "perfetto" && v != "speedscope") {
       return Status::error("--child must be analyze, perfetto, or "
@@ -371,6 +482,10 @@ int main(int argc, char** argv) {
   args.add_value("--max-events", [&](const std::string& v) {
     return tempest::cli::parse_size(v, &max_events);
   });
+  args.add_value("--threads", [&](const std::string& v) {
+    return tempest::cli::parse_size(v, &threads);
+  });
+  args.add_flag("--allow-debug", [&] { allow_debug = true; });
   const Status parsed = args.parse(argc, argv);
   if (!parsed) {
     std::cerr << "bench_export: " << parsed.message() << "\n";
@@ -387,12 +502,17 @@ int main(int argc, char** argv) {
       std::cerr << "bench_export: --child needs --trace\n";
       return 2;
     }
-    if (child_mode == "analyze") return run_child_analyze(trace_path);
+    const unsigned n_threads =
+        static_cast<unsigned>(std::max<std::size_t>(threads, 1));
+    if (child_mode == "analyze") {
+      return run_child_analyze(trace_path, n_threads);
+    }
     return run_child_export(trace_path,
                             child_mode == "perfetto"
                                 ? tempest::exporter::Format::kPerfetto
                                 : tempest::exporter::Format::kSpeedscope);
   }
+  if (!bench_prov::check_build("bench_export", allow_debug)) return 2;
   static char self_buf[4096];
   const ssize_t len = readlink("/proc/self/exe", self_buf, sizeof(self_buf) - 1);
   const char* self = argv[0];

@@ -21,8 +21,11 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
+
+#include "bench_provenance.hpp"
 
 #include "parser/profile.hpp"
 #include "parser/reference.hpp"
@@ -376,4 +379,25 @@ BENCHMARK(BM_EndToEnd_Seed)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a provenance gate in front: google-benchmark
+// already stamps library_build_type into its JSON context, but that
+// reports the *benchmark library's* build, not ours — refuse to measure
+// an unoptimised tempest build unless --allow-debug is passed.
+int main(int argc, char** argv) {
+  bool allow_debug = false;
+  int out_argc = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--allow-debug") {
+      allow_debug = true;
+      continue;
+    }
+    argv[out_argc++] = argv[i];
+  }
+  argc = out_argc;
+  if (!bench_prov::check_build("bench_parser", allow_debug)) return 2;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

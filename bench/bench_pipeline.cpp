@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_provenance.hpp"
 #include "common/cli.hpp"
 #include "pipeline/analysis.hpp"
 #include "pipeline/sinks.hpp"
@@ -326,6 +327,7 @@ int run_driver(const char* self, std::size_t max_events,
     return 1;
   }
   json << "{\n  \"benchmark\": \"bench_pipeline\",\n"
+       << "  \"build_type\": \"" << bench_prov::kBuildType << "\",\n"
        << "  \"description\": \"streaming vs batch analysis: wall time and "
           "peak RSS per forked child; outputs byte-verified identical\",\n"
        << "  \"results\": [\n";
@@ -385,7 +387,7 @@ int main(int argc, char** argv) {
   std::size_t max_events = 10000000;
 
   tempest::cli::ArgParser args(
-      "[--max-events N] [--out FILE]   (driver)\n"
+      "[--max-events N] [--out FILE] [--allow-debug]   (driver)\n"
       "       --child batch|stream --trace FILE --emit FILE");
   args.add_value("--child", [&](const std::string& v) {
     if (v != "batch" && v != "stream") {
@@ -409,6 +411,8 @@ int main(int argc, char** argv) {
   args.add_value("--max-events", [&](const std::string& v) {
     return tempest::cli::parse_size(v, &max_events);
   });
+  bool allow_debug = false;
+  args.add_flag("--allow-debug", [&] { allow_debug = true; });
   const Status parsed = args.parse(argc, argv);
   if (!parsed) {
     std::cerr << "bench_pipeline: " << parsed.message() << "\n";
@@ -433,6 +437,7 @@ int main(int argc, char** argv) {
     return child_mode == "batch" ? run_child_batch(trace_path, out)
                                  : run_child_stream(trace_path, out);
   }
+  if (!bench_prov::check_build("bench_pipeline", allow_debug)) return 2;
   // Resolve our own binary for the re-exec; argv[0] covers the PATH case.
   static char self_buf[4096];
   const ssize_t len = readlink("/proc/self/exe", self_buf, sizeof(self_buf) - 1);

@@ -1,0 +1,49 @@
+// Build-type provenance for benchmark outputs.
+//
+// Every BENCH_*.json committed to the repo is a performance claim, and
+// a claim measured on a -O0 asserts-on build is a lie by omission. The
+// bench binaries compile in the CMake build type and (a) refuse to run
+// from an unoptimised build unless --allow-debug is passed, (b) stamp
+// the build type into the JSON they emit so a stray debug artefact is
+// visible in review rather than silently replacing Release numbers.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+
+namespace bench_prov {
+
+#ifdef TEMPEST_BENCH_BUILD_TYPE
+inline constexpr const char* kBuildType = TEMPEST_BENCH_BUILD_TYPE;
+#else
+inline constexpr const char* kBuildType = "unspecified";
+#endif
+
+inline bool optimized_build() {
+#ifdef NDEBUG
+  return std::strcmp(kBuildType, "Release") == 0 ||
+         std::strcmp(kBuildType, "RelWithDebInfo") == 0 ||
+         std::strcmp(kBuildType, "MinSizeRel") == 0;
+#else
+  return false;
+#endif
+}
+
+/// Gate to call before measuring anything. Returns false (and says
+/// why) when this is not an optimised build and the caller did not
+/// explicitly opt in with --allow-debug.
+inline bool check_build(const char* bench_name, bool allow_debug) {
+  if (optimized_build()) return true;
+  if (allow_debug) {
+    std::cerr << bench_name << ": WARNING: measuring a '" << kBuildType
+              << "' build (--allow-debug); numbers are not comparable to "
+                 "committed Release results\n";
+    return true;
+  }
+  std::cerr << bench_name << ": refusing to bench a '" << kBuildType
+            << "' build — rebuild with -DCMAKE_BUILD_TYPE=Release or pass "
+               "--allow-debug to measure anyway\n";
+  return false;
+}
+
+}  // namespace bench_prov

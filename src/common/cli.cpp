@@ -3,6 +3,9 @@
 #include <cerrno>
 #include <cstdlib>
 #include <optional>
+#include <thread>
+
+#include "common/env.hpp"
 
 namespace tempest::cli {
 
@@ -116,6 +119,13 @@ Status parse_size(const std::string& value, std::size_t* out) {
   }
   *out = static_cast<std::size_t>(parsed);
   return Status::ok();
+}
+
+unsigned default_analysis_threads() {
+  const long from_env = env_long("TEMPEST_ANALYSIS_THREADS", 0);
+  if (from_env > 0) return static_cast<unsigned>(from_env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
 }
 
 void print_version(std::ostream& os, const std::string& tool,

@@ -69,6 +69,13 @@ class ArgParser {
 /// and overflow ("--top banana" must be an error, not 0).
 Status parse_size(const std::string& value, std::size_t* out);
 
+/// Default worker count for --threads: TEMPEST_ANALYSIS_THREADS when
+/// set to a positive value, else the hardware concurrency (minimum 1,
+/// also the floor when the runtime cannot report a count). Shared by
+/// every CLI that drives the parallel analysis pipeline so the env
+/// override means the same thing everywhere.
+unsigned default_analysis_threads();
+
 /// Shared --version output: one line naming the tool, the trace format
 /// version it reads/writes, and the build type it was compiled as.
 /// Every Tempest CLI routes --version here so the fields stay aligned

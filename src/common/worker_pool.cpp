@@ -1,0 +1,89 @@
+#include "common/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace tempest {
+
+WorkerPool::WorkerPool(unsigned workers) {
+  if (workers <= 1) return;
+  threads_.reserve(workers - 1);
+  for (unsigned i = 1; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    common::MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::drain_slices(
+    const std::function<void(std::size_t, std::size_t)>& fn, std::size_t n,
+    std::size_t slice) {
+  for (;;) {
+    const std::size_t begin = cursor_.fetch_add(slice, std::memory_order_relaxed);
+    if (begin >= n) return;
+    fn(begin, std::min(begin + slice, n));
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t slice = 0;
+    {
+      common::MutexLock lock(&mu_);
+      while (!stop_ && generation_ == seen) work_cv_.wait(mu_);
+      if (stop_) return;
+      seen = generation_;
+      fn = job_;
+      n = job_n_;
+      slice = job_slice_;
+    }
+    drain_slices(*fn, n, slice);
+    {
+      common::MutexLock lock(&mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::for_slices(
+    std::size_t n, std::size_t min_per_slice,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  min_per_slice = std::max<std::size_t>(1, min_per_slice);
+  // Not worth waking anyone for: run on the caller.
+  if (threads_.empty() || n <= min_per_slice) {
+    fn(0, n);
+    return;
+  }
+  common::MutexLock submit(&submit_mu_);
+  // Aim for a few slices per worker (tail balancing) without dropping
+  // below the caller's amortisation floor.
+  const std::size_t target = std::size_t{size()} * 4;
+  const std::size_t slice = std::max(min_per_slice, (n + target - 1) / target);
+  {
+    common::MutexLock lock(&mu_);
+    job_ = &fn;
+    job_n_ = n;
+    job_slice_ = slice;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_slices(fn, n, slice);
+  {
+    common::MutexLock lock(&mu_);
+    while (active_ != 0) done_cv_.wait(mu_);
+  }
+}
+
+}  // namespace tempest

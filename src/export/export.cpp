@@ -1,8 +1,8 @@
 #include "export/export.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
+#include "common/fastwrite.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tempest::exporter {
@@ -31,10 +31,8 @@ std::size_t NameTable::index_of(std::uint64_t addr) {
   } else if (resolver_ != nullptr && addr < trace::kSyntheticAddrBase) {
     name = resolver_->resolve(addr);
   } else {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "0x%llx",
-                  static_cast<unsigned long long>(addr));
-    name = buf;
+    name = "0x";
+    fastwrite::append_hex(name, addr);
   }
   const std::size_t index = names_.size();
   names_.push_back(std::move(name));
@@ -49,9 +47,9 @@ const std::string& NameTable::name_of(std::uint64_t addr) {
 bool SpanScrubber::close(const ThreadKey& key, std::uint64_t addr,
                          std::vector<std::uint64_t>* to_close) {
   to_close->clear();
-  const auto it = stacks_.find(key);
-  if (it == stacks_.end()) return false;
-  std::vector<std::uint64_t>& stack = it->second;
+  std::vector<std::uint64_t>* found = find_stack(key);
+  if (found == nullptr) return false;
+  std::vector<std::uint64_t>& stack = *found;
   const auto frame = std::find(stack.rbegin(), stack.rend(), addr);
   if (frame == stack.rend()) return false;
   // Everything above the matching frame closes first (innermost out),
@@ -87,13 +85,14 @@ std::vector<std::string> correlation_warnings(const ClockCorrelator& correlator,
   std::vector<std::string> warnings;
   if (sample_period_us > 0.0 &&
       correlator.max_residual_us() > sample_period_us) {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "residual clock skew %.1f us exceeds the sample period "
-                  "%.1f us; cross-rank temperature attribution may smear by "
-                  "more than one sample (record more clock syncs)",
-                  correlator.max_residual_us(), sample_period_us);
-    warnings.emplace_back(buf);
+    std::string warning = "residual clock skew ";
+    fastwrite::append_fixed(warning, correlator.max_residual_us(), 1);
+    warning += " us exceeds the sample period ";
+    fastwrite::append_fixed(warning, sample_period_us, 1);
+    warning +=
+        " us; cross-rank temperature attribution may smear by more than "
+        "one sample (record more clock syncs)";
+    warnings.push_back(std::move(warning));
   }
   return warnings;
 }

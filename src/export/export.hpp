@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "export/clock.hpp"
@@ -56,7 +57,9 @@ class NameTable {
  private:
   const symtab::Resolver* resolver_;
   std::map<std::uint64_t, std::string> synthetic_;
-  std::map<std::uint64_t, std::size_t> index_;
+  /// addr -> frame index; hashed, this sits on every exporter's
+  /// per-event path. Frame order comes from names_, not from here.
+  std::unordered_map<std::uint64_t, std::size_t> index_;
   std::vector<std::string> names_;
 };
 
@@ -86,7 +89,7 @@ class SpanScrubber {
   using Stacks = std::map<ThreadKey, std::vector<std::uint64_t>>;
 
   void push(const ThreadKey& key, std::uint64_t addr) {
-    stacks_[key].push_back(addr);
+    stack_for(key).push_back(addr);
   }
 
   /// Handle an exit of `addr`: fills `to_close` with the frames to
@@ -101,7 +104,49 @@ class SpanScrubber {
   const Stacks& stacks() const { return stacks_; }
 
  private:
+  /// Dense thread-id slot pointing into stacks_ (map nodes are
+  /// stable). Thread ids are dense per-process indices, so this turns
+  /// the per-event stack lookup into an array index; node_plus_1 == 0
+  /// marks an empty slot, and a node mismatch (two ranks reusing a
+  /// thread id, which the fan-in contract forbids) falls back to the
+  /// map — slower, still correct.
+  struct CacheSlot {
+    std::uint32_t node_plus_1 = 0;
+    std::vector<std::uint64_t>* stack = nullptr;
+  };
+  static constexpr std::uint32_t kDenseTids = 1u << 16;
+
+  std::vector<std::uint64_t>& stack_for(const ThreadKey& key) {
+    if (key.thread_id < kDenseTids) {
+      if (key.thread_id >= cache_.size()) cache_.resize(key.thread_id + 1);
+      CacheSlot& slot = cache_[key.thread_id];
+      if (slot.stack != nullptr &&
+          slot.node_plus_1 == std::uint32_t{key.node_id} + 1) {
+        return *slot.stack;
+      }
+      std::vector<std::uint64_t>& stack = stacks_[key];
+      slot = {std::uint32_t{key.node_id} + 1, &stack};
+      return stack;
+    }
+    return stacks_[key];
+  }
+
+  /// Lookup that never creates an entry (close() must not materialise
+  /// stacks for threads that only ever exit).
+  std::vector<std::uint64_t>* find_stack(const ThreadKey& key) {
+    if (key.thread_id < cache_.size()) {
+      const CacheSlot& slot = cache_[key.thread_id];
+      if (slot.stack != nullptr &&
+          slot.node_plus_1 == std::uint32_t{key.node_id} + 1) {
+        return slot.stack;
+      }
+    }
+    const auto it = stacks_.find(key);
+    return it == stacks_.end() ? nullptr : &it->second;
+  }
+
   Stacks stacks_;
+  std::vector<CacheSlot> cache_;
 };
 
 /// Streaming estimate of the temperature sampling cadence: per

@@ -1,7 +1,5 @@
 #include "export/perfetto.hpp"
 
-#include <cinttypes>
-#include <cstdio>
 #include <utility>
 
 #include "report/json.hpp"
@@ -13,24 +11,19 @@ namespace {
 
 /// %.3f keeps sub-microsecond detail (a 3 GHz tsc tick is ~0.3 ns;
 /// viewers display at ns granularity anyway) while keeping the output
-/// deterministic across platforms — printf of a double with fixed
-/// precision is exact for the magnitudes a trace produces.
+/// deterministic across platforms — to_chars with fixed precision is
+/// exact for the magnitudes a trace produces and matches the snprintf
+/// bytes this emitter historically wrote.
 void append_ts(std::string* line, double us) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.3f", us);
-  *line += buf;
+  fastwrite::append_fixed(*line, us, 3);
 }
 
 void append_u64(std::string* line, std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  *line += buf;
+  fastwrite::append_u64(*line, v);
 }
 
 void append_double(std::string* line, double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  *line += buf;
+  fastwrite::append_fixed(*line, v, 3);
 }
 
 }  // namespace
@@ -38,11 +31,78 @@ void append_double(std::string* line, double v) {
 PerfettoExporter::PerfettoExporter(std::ostream& out,
                                    ClockCorrelator correlator,
                                    const symtab::Resolver* resolver)
-    : out_(&out), correlator_(std::move(correlator)), resolver_(resolver) {}
+    : out_(&out),
+      writer_(out),
+      correlator_(std::move(correlator)),
+      resolver_(resolver) {}
 
 void PerfettoExporter::write(const std::string& s) {
-  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  writer_.append(s);
   stats_.bytes_written += s.size();
+}
+
+const PerfettoExporter::TrackFragments& PerfettoExporter::track_fragments(
+    std::uint16_t node_id, std::uint32_t thread_id) {
+  constexpr std::uint32_t kDenseTids = 1u << 16;
+  const bool dense = thread_id < kDenseTids;
+  if (dense) {
+    if (thread_id >= track_cache_.size()) track_cache_.resize(thread_id + 1);
+    const auto& slot = track_cache_[thread_id];
+    if (slot.second != nullptr && slot.first == std::uint32_t{node_id} + 1) {
+      return *slot.second;
+    }
+  }
+  const std::uint64_t key =
+      (std::uint64_t{node_id} << 32) | std::uint64_t{thread_id};
+  auto it = tracks_.find(key);
+  if (it == tracks_.end()) {
+    TrackFragments frags;
+    std::string ids = "\",\"pid\":";
+    fastwrite::append_u64(ids, node_id);
+    ids += ",\"tid\":";
+    fastwrite::append_u64(ids, thread_id);
+    ids += ",\"ts\":";
+    frags.begin_prefix = "{\"ph\":\"B" + ids;
+    frags.end_prefix = "{\"ph\":\"E" + ids;
+    it = tracks_.emplace(key, std::move(frags)).first;
+  }
+  if (dense) {
+    track_cache_[thread_id] = {std::uint32_t{node_id} + 1, &it->second};
+  }
+  return it->second;
+}
+
+const std::string& PerfettoExporter::name_suffix(std::uint64_t addr) {
+  auto it = name_suffixes_.find(addr);
+  if (it == name_suffixes_.end()) {
+    std::string suffix = ",\"cat\":\"fn\",\"name\":";
+    report::append_json_string(&suffix, names_->name_of(addr));
+    suffix += "}";
+    it = name_suffixes_.emplace(addr, std::move(suffix)).first;
+  }
+  return it->second;
+}
+
+const PerfettoExporter::CounterFragments& PerfettoExporter::counter_fragments(
+    std::uint16_t node_id, std::uint16_t sensor_id) {
+  const std::uint32_t key =
+      (std::uint32_t{node_id} << 16) | std::uint32_t{sensor_id};
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    CounterFragments frags;
+    frags.prefix = "{\"ph\":\"C\",\"pid\":";
+    fastwrite::append_u64(frags.prefix, node_id);
+    frags.prefix += ",\"ts\":";
+    const auto named = sensor_names_.find({node_id, sensor_id});
+    const std::string& sensor =
+        named != sensor_names_.end() ? named->second
+                                     : "sensor " + std::to_string(sensor_id);
+    frags.name_args = ",\"name\":";
+    report::append_json_string(&frags.name_args, "temp " + sensor + " (C)");
+    frags.name_args += ",\"args\":{\"celsius\":";
+    it = counters_.emplace(key, std::move(frags)).first;
+  }
+  return it->second;
 }
 
 void PerfettoExporter::put_event(const std::string& json) {
@@ -113,18 +173,13 @@ Status PerfettoExporter::on_batch(const pipeline::TraceMeta& /*meta*/,
     note_base(e.tsc);
     const double ts = correlator_.to_us(e.tsc);
     const SpanScrubber::ThreadKey key{e.node_id, e.thread_id};
+    const TrackFragments& track = track_fragments(e.node_id, e.thread_id);
     if (e.kind == trace::FnEventKind::kEnter) {
       scrubber_.push(key, e.addr);
       line_.clear();
-      line_ += "{\"ph\":\"B\",\"pid\":";
-      append_u64(&line_, e.node_id);
-      line_ += ",\"tid\":";
-      append_u64(&line_, e.thread_id);
-      line_ += ",\"ts\":";
+      line_ += track.begin_prefix;
       append_ts(&line_, ts);
-      line_ += ",\"cat\":\"fn\",\"name\":";
-      report::append_json_string(&line_, names_->name_of(e.addr));
-      line_ += "}";
+      line_ += name_suffix(e.addr);
       put_event(line_);
       ++stats_.events_exported;
     } else {
@@ -136,15 +191,9 @@ Status PerfettoExporter::on_batch(const pipeline::TraceMeta& /*meta*/,
       stats_.spans_force_closed += to_close.size() - 1;
       for (const std::uint64_t addr : to_close) {
         line_.clear();
-        line_ += "{\"ph\":\"E\",\"pid\":";
-        append_u64(&line_, e.node_id);
-        line_ += ",\"tid\":";
-        append_u64(&line_, e.thread_id);
-        line_ += ",\"ts\":";
+        line_ += track.end_prefix;
         append_ts(&line_, ts);
-        line_ += ",\"cat\":\"fn\",\"name\":";
-        report::append_json_string(&line_, names_->name_of(addr));
-        line_ += "}";
+        line_ += name_suffix(addr);
         put_event(line_);
         ++stats_.events_exported;
       }
@@ -154,19 +203,12 @@ Status PerfettoExporter::on_batch(const pipeline::TraceMeta& /*meta*/,
   for (const auto& s : batch.temp_samples) {
     note_base(s.tsc);
     sample_period_.observe(s);
-    const auto named = sensor_names_.find({s.node_id, s.sensor_id});
-    const std::string& sensor =
-        named != sensor_names_.end()
-            ? named->second
-            : "sensor " + std::to_string(s.sensor_id);
+    const CounterFragments& counter =
+        counter_fragments(s.node_id, s.sensor_id);
     line_.clear();
-    line_ += "{\"ph\":\"C\",\"pid\":";
-    append_u64(&line_, s.node_id);
-    line_ += ",\"ts\":";
+    line_ += counter.prefix;
     append_ts(&line_, correlator_.to_us(s.tsc));
-    line_ += ",\"name\":";
-    report::append_json_string(&line_, "temp " + sensor + " (C)");
-    line_ += ",\"args\":{\"celsius\":";
+    line_ += counter.name_args;
     append_double(&line_, s.temp_c);
     line_ += "}}";
     put_event(line_);
@@ -183,17 +225,13 @@ Status PerfettoExporter::on_end(const pipeline::TraceMeta& meta) {
   // the same force-close the profile builder applies, and what keeps
   // every emitted B matched by an E.
   for (const auto& [key, stack] : scrubber_.stacks()) {
+    const TrackFragments& track =
+        track_fragments(key.node_id, key.thread_id);
     for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
       line_.clear();
-      line_ += "{\"ph\":\"E\",\"pid\":";
-      append_u64(&line_, key.node_id);
-      line_ += ",\"tid\":";
-      append_u64(&line_, key.thread_id);
-      line_ += ",\"ts\":";
+      line_ += track.end_prefix;
       append_ts(&line_, end_ts);
-      line_ += ",\"cat\":\"fn\",\"name\":";
-      report::append_json_string(&line_, names_->name_of(*it));
-      line_ += "}";
+      line_ += name_suffix(*it);
       put_event(line_);
       ++stats_.events_exported;
       ++stats_.spans_force_closed;
@@ -264,6 +302,7 @@ Status PerfettoExporter::on_end(const pipeline::TraceMeta& meta) {
   line_ += "}}}\n";
   write(line_);
 
+  writer_.flush();
   out_->flush();
   if (!out_->good()) return Status::error("perfetto export: write failed");
   publish_export_telemetry(stats_);

@@ -22,9 +22,11 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/fastwrite.hpp"
 #include "export/clock.hpp"
 #include "export/export.hpp"
 #include "pipeline/stage.hpp"
@@ -52,14 +54,43 @@ class PerfettoExporter : public pipeline::BatchSink {
   const std::vector<std::string>& warnings() const { return warnings_; }
 
  private:
+  /// Everything about a B/E event that doesn't change per event,
+  /// preformatted once per (rank, thread) track: the per-event work is
+  /// two fragment memcpys around a single to_chars timestamp.
+  struct TrackFragments {
+    std::string begin_prefix;  ///< {"ph":"B","pid":N,"tid":T,"ts":
+    std::string end_prefix;    ///< {"ph":"E","pid":N,"tid":T,"ts":
+  };
+  /// Counter-event fragments, one per (rank, sensor) track.
+  struct CounterFragments {
+    std::string prefix;     ///< {"ph":"C","pid":N,"ts":
+    std::string name_args;  ///< ,"name":"temp ...","args":{"celsius":
+  };
+
   void write(const std::string& s);
   /// Append one traceEvents entry (comma handling + byte accounting).
   void put_event(const std::string& json);
   void note_base(std::uint64_t tsc);
+  const TrackFragments& track_fragments(std::uint16_t node_id,
+                                        std::uint32_t thread_id);
+  const std::string& name_suffix(std::uint64_t addr);
+  const CounterFragments& counter_fragments(std::uint16_t node_id,
+                                            std::uint16_t sensor_id);
 
   std::ostream* out_;
+  fastwrite::BufferedWriter writer_;
   ClockCorrelator correlator_;
   const symtab::Resolver* resolver_;
+
+  std::unordered_map<std::uint64_t, TrackFragments> tracks_;
+  /// Dense thread-id -> track pointers (unordered_map values are
+  /// pointer-stable); first is node_id + 1, 0 = empty. Per-event track
+  /// lookup becomes an array index; mismatches fall back to the map.
+  std::vector<std::pair<std::uint32_t, const TrackFragments*>> track_cache_;
+  /// addr -> ,"cat":"fn","name":"<escaped>"} — the escape runs once per
+  /// distinct function, not once per event.
+  std::unordered_map<std::uint64_t, std::string> name_suffixes_;
+  std::unordered_map<std::uint32_t, CounterFragments> counters_;
 
   std::optional<NameTable> names_;  ///< built in begin() (needs metadata)
   SpanScrubber scrubber_;

@@ -4,8 +4,10 @@
 #include <optional>
 #include <utility>
 
+#include "common/worker_pool.hpp"
 #include "export/perfetto.hpp"
 #include "export/speedscope.hpp"
+#include "pipeline/prefetch.hpp"
 #include "pipeline/rank_fanin.hpp"
 #include "pipeline/source.hpp"
 #include "pipeline/stages.hpp"
@@ -46,6 +48,7 @@ Result<ExportRunResult> run_export(const std::vector<std::string>& paths,
   // the correlator reports on. Every path delivers the same aligned,
   // time-ordered stream, so the emitted bytes do not depend on which
   // source ran.
+  std::optional<WorkerPool> pool;
   std::optional<pipeline::RankFanIn> fan;
   std::optional<pipeline::ChunkedTraceSource> chunked;
   std::optional<trace::Trace> loaded;
@@ -73,6 +76,10 @@ Result<ExportRunResult> run_export(const std::vector<std::string>& paths,
       align_stage.emplace(trace::fit_clocks(syncs));
       stages.push_back(&*align_stage);
     }
+    if (options.threads > 1) {
+      pool.emplace(options.threads);
+      chunked->set_decode_pool(&*pool);
+    }
     source = &*chunked;
   } else {
     auto read = trace::read_trace_file(paths[0]);
@@ -91,6 +98,16 @@ Result<ExportRunResult> run_export(const std::vector<std::string>& paths,
     source = &*memory;
   }
   stages.push_back(&order);
+
+  // With workers requested, overlap disk I/O + decode with emission;
+  // read-ahead only pays when the source streams from disk (the
+  // in-memory adapter's next() is a pointer bump). Declared after the
+  // sources so its producer thread joins before they tear down.
+  std::optional<pipeline::PrefetchSource> prefetch;
+  if (options.threads > 1 && !memory) {
+    prefetch.emplace(source);
+    source = &*prefetch;
+  }
 
   const pipeline::TraceMeta& meta = source->meta();
   ExportRunResult result;

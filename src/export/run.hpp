@@ -42,6 +42,11 @@ struct ExportRunOptions {
   /// Scratch-file prefix for the speedscope emitter's per-thread
   /// spools. Required for Format::kSpeedscope.
   std::string spool_prefix;
+  /// Worker count for the streaming paths: >1 decodes trace sections on
+  /// a worker pool and prefetches batches ahead of the emitter. Output
+  /// bytes are identical at any count (emission itself stays ordered on
+  /// the consumer thread); 1 is the historical serial path.
+  unsigned threads = 1;
 };
 
 struct ExportRunResult {

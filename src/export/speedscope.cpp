@@ -10,17 +10,16 @@ namespace tempest::exporter {
 
 namespace {
 
+/// Spool write-behind threshold; spools are per-thread so this stays
+/// modest.
+constexpr std::size_t kSpoolBufBytes = std::size_t{64} << 10;
+
 void append_u64(std::string* line, std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%llu",
-                static_cast<unsigned long long>(v));
-  *line += buf;
+  fastwrite::append_u64(*line, v);
 }
 
 void append_double(std::string* line, double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  *line += buf;
+  fastwrite::append_fixed(*line, v, 3);
 }
 
 }  // namespace
@@ -30,6 +29,7 @@ SpeedscopeExporter::SpeedscopeExporter(std::ostream& out,
                                        std::string spool_prefix,
                                        const symtab::Resolver* resolver)
     : out_(&out),
+      writer_(out),
       correlator_(std::move(correlator)),
       spool_prefix_(std::move(spool_prefix)),
       resolver_(resolver) {}
@@ -44,39 +44,78 @@ void SpeedscopeExporter::remove_spools() {
 }
 
 void SpeedscopeExporter::write(const std::string& s) {
-  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  writer_.append(s);
   stats_.bytes_written += s.size();
+}
+
+void SpeedscopeExporter::flush_spool(ThreadSpool& spool) {
+  if (spool.buf.empty()) return;
+  spool.file.write(spool.buf.data(),
+                   static_cast<std::streamsize>(spool.buf.size()));
+  spool.buf.clear();
+}
+
+const std::string& SpeedscopeExporter::frame_prefix(char type,
+                                                    std::size_t frame) {
+  std::vector<std::string>& cache =
+      type == 'O' ? open_prefixes_ : close_prefixes_;
+  if (frame >= cache.size()) cache.resize(frame + 1);
+  std::string& prefix = cache[frame];
+  if (prefix.empty()) {
+    prefix = "{\"type\":\"";
+    prefix += type;
+    prefix += "\",\"frame\":";
+    fastwrite::append_u64(prefix, frame);
+    prefix += ",\"at\":";
+  }
+  return prefix;
 }
 
 SpeedscopeExporter::ThreadSpool& SpeedscopeExporter::spool_for(
     const SpanScrubber::ThreadKey& key) {
+  constexpr std::uint32_t kDenseTids = 1u << 16;
+  const bool dense = key.thread_id < kDenseTids;
+  if (dense) {
+    if (key.thread_id >= spool_cache_.size()) {
+      spool_cache_.resize(key.thread_id + 1);
+    }
+    const auto& slot = spool_cache_[key.thread_id];
+    if (slot.second != nullptr &&
+        slot.first == std::uint32_t{key.node_id} + 1) {
+      return *slot.second;
+    }
+  }
   const auto it = spools_.find(key);
-  if (it != spools_.end()) return it->second;
+  if (it != spools_.end()) {
+    if (dense) {
+      spool_cache_[key.thread_id] = {std::uint32_t{key.node_id} + 1,
+                                     &it->second};
+    }
+    return it->second;
+  }
 
   ThreadSpool& spool = spools_[key];
   spool.path = spool_prefix_ + ".t" + std::to_string(key.node_id) + "_" +
                std::to_string(key.thread_id) + ".spool";
   spool.file.open(spool.path, std::ios::binary | std::ios::trunc);
+  if (dense) {
+    spool_cache_[key.thread_id] = {std::uint32_t{key.node_id} + 1, &spool};
+  }
   return spool;
 }
 
 void SpeedscopeExporter::spool_event(ThreadSpool& spool, char type,
                                      std::size_t frame, double at) {
-  line_.clear();
   if (spool.any_event) {
-    line_ += ",\n";
+    spool.buf += ",\n";
   } else {
     spool.first_at = at;
     spool.any_event = true;
   }
-  line_ += "{\"type\":\"";
-  line_ += type;
-  line_ += "\",\"frame\":";
-  append_u64(&line_, frame);
-  line_ += ",\"at\":";
-  append_double(&line_, at);
-  line_ += "}";
-  spool.file.write(line_.data(), static_cast<std::streamsize>(line_.size()));
+  spool.buf += frame_prefix(type, frame);
+  append_double(&spool.buf, at);
+  spool.buf += "}";
+  if (spool.buf.size() >= kSpoolBufBytes) flush_spool(spool);
   spool.last_at = at;
   ++spool.event_count;
   ++stats_.events_exported;
@@ -173,6 +212,11 @@ Status SpeedscopeExporter::on_end(const pipeline::TraceMeta& /*meta*/) {
   // Stitch each thread's spool into its evented profile.
   bool first_profile = true;
   for (auto& [key, spool] : spools_) {
+    flush_spool(spool);
+    if (!spool.file.good()) {
+      return Status::error("speedscope export: spool write failed: " +
+                           spool.path);
+    }
     spool.file.close();
     line_.clear();
     if (!first_profile) line_ += ",";
@@ -198,7 +242,8 @@ Status SpeedscopeExporter::on_end(const pipeline::TraceMeta& /*meta*/) {
     }
     char buf[1 << 16];
     while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
-      out_->write(buf, in.gcount());
+      writer_.append(
+          std::string_view(buf, static_cast<std::size_t>(in.gcount())));
       stats_.bytes_written += static_cast<std::uint64_t>(in.gcount());
     }
     write("\n]}");
@@ -244,6 +289,7 @@ Status SpeedscopeExporter::on_end(const pipeline::TraceMeta& /*meta*/) {
   line_ += "}}}\n";
   write(line_);
 
+  writer_.flush();
   out_->flush();
   if (!out_->good()) return Status::error("speedscope export: write failed");
   remove_spools();

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fastwrite.hpp"
 #include "export/clock.hpp"
 #include "export/export.hpp"
 #include "pipeline/stage.hpp"
@@ -55,6 +56,9 @@ class SpeedscopeExporter : public pipeline::BatchSink {
   struct ThreadSpool {
     std::ofstream file;
     std::string path;
+    /// Write-behind buffer: events append here and hit the file in
+    /// coarse chunks instead of one write call per event.
+    std::string buf;
     bool any_event = false;
     double first_at = 0.0;
     double last_at = 0.0;
@@ -64,10 +68,15 @@ class SpeedscopeExporter : public pipeline::BatchSink {
   ThreadSpool& spool_for(const SpanScrubber::ThreadKey& key);
   void spool_event(ThreadSpool& spool, char type, std::size_t frame,
                    double at);
+  void flush_spool(ThreadSpool& spool);
+  /// {"type":"O","frame":N,"at": — preformatted once per frame index so
+  /// the per-event work is two memcpys plus one to_chars.
+  const std::string& frame_prefix(char type, std::size_t frame);
   void write(const std::string& s);
   void remove_spools();
 
   std::ostream* out_;
+  fastwrite::BufferedWriter writer_;
   ClockCorrelator correlator_;
   std::string spool_prefix_;
   const symtab::Resolver* resolver_;
@@ -76,6 +85,10 @@ class SpeedscopeExporter : public pipeline::BatchSink {
   SpanScrubber scrubber_;
   SamplePeriodEstimator sample_period_;
   std::map<SpanScrubber::ThreadKey, ThreadSpool> spools_;
+  /// Dense thread-id -> spool pointers (map nodes are stable); first is
+  /// node_id + 1, 0 = empty. Turns the per-event spool lookup into an
+  /// array index; mismatches fall back to the map.
+  std::vector<std::pair<std::uint32_t, ThreadSpool*>> spool_cache_;
   /// Thread -> "rank N thread T (core C)" profile names, from metadata.
   std::map<SpanScrubber::ThreadKey, std::string> thread_names_;
 
@@ -83,6 +96,10 @@ class SpeedscopeExporter : public pipeline::BatchSink {
   std::vector<std::string> warnings_;
   std::uint64_t max_tsc_ = 0;
   std::string line_;  ///< reused per-event scratch buffer
+  /// Frame-index event prefixes, grown on demand ([0] = open, [1] =
+  /// close).
+  std::vector<std::string> open_prefixes_;
+  std::vector<std::string> close_prefixes_;
 };
 
 }  // namespace tempest::exporter

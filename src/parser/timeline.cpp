@@ -379,7 +379,8 @@ void TimelineAccumulator::add_events(const trace::FnEvent* events, std::size_t n
 }
 
 TimelineMap TimelineAccumulator::finish(std::uint64_t end_tsc,
-                                        TimelineDiagnostics* diag) {
+                                        TimelineDiagnostics* diag,
+                                        bool keep_empty) {
   Impl& im = *impl_;
   // Fold the per-(addr, thread) tallies into the per-(addr, node)
   // accumulators, and close activations still open when the trace ends
@@ -425,7 +426,7 @@ TimelineMap TimelineAccumulator::finish(std::uint64_t end_tsc,
   TimelineMap result;
   for (std::size_t i = 0; i < im.accum.size(); ++i) {
     FnAccum& a = im.accum[i];
-    if (a.raw.empty()) continue;
+    if (a.raw.empty() && !keep_empty) continue;
     const auto [addr, node] = im.accum_keys[i];
     FunctionIntervals fi;
     fi.addr = addr;

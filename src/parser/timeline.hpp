@@ -75,7 +75,15 @@ class TimelineAccumulator {
 
   /// Force-close open activations at `end_tsc`, coalesce intervals and
   /// return the finished map. The accumulator is spent afterwards.
-  TimelineMap finish(std::uint64_t end_tsc, TimelineDiagnostics* diag = nullptr);
+  ///
+  /// `keep_empty` retains entries whose interval set came out empty
+  /// (call counts recorded under one node while the intervals landed on
+  /// another — possible only for threads missing from the metadata).
+  /// The sharded fold needs them: the "drop empty" rule must apply to
+  /// the union across shards, not to each shard alone, or calls that a
+  /// sibling shard's intervals would have kept alive disappear.
+  TimelineMap finish(std::uint64_t end_tsc, TimelineDiagnostics* diag = nullptr,
+                     bool keep_empty = false);
 
  private:
   struct Impl;

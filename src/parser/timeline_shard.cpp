@@ -1,0 +1,226 @@
+#include "parser/timeline_shard.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "common/thread_annotations.hpp"
+
+namespace tempest::parser {
+namespace {
+
+/// Queued event buffers a shard may hold before the producer blocks;
+/// bounds fold memory at shards * depth * batch regardless of how far
+/// the decode side runs ahead.
+constexpr std::size_t kMaxQueuedBuffers = 4;
+
+void append_merged(std::vector<Interval>* dst, std::vector<Interval>&& src) {
+  if (src.empty()) return;
+  if (dst->empty()) {
+    *dst = std::move(src);
+    return;
+  }
+  // Both inputs are sorted non-overlapping unions; their union is the
+  // begin-ordered merge followed by the same adjacency-coalescing sweep
+  // the serial accumulator runs. Interval union is associative, so
+  // pairwise merging shards reproduces the one-pass serial union.
+  std::vector<Interval> merged(dst->size() + src.size());
+  std::merge(dst->begin(), dst->end(), src.begin(), src.end(), merged.begin(),
+             [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  std::vector<Interval> out;
+  out.reserve(merged.size());
+  out.push_back(merged[0]);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const Interval& iv = merged[i];
+    if (iv.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  *dst = std::move(out);
+}
+
+}  // namespace
+
+TimelineMap merge_timeline_maps(std::vector<TimelineMap>* parts) {
+  TimelineMap out;
+  for (TimelineMap& part : *parts) {
+    if (out.empty()) {
+      out = std::move(part);
+      continue;
+    }
+    for (auto& [key, fi] : part) {
+      auto [it, inserted] = out.try_emplace(key, std::move(fi));
+      if (inserted) continue;
+      FunctionIntervals& dst = it->second;
+      dst.total_ticks += fi.total_ticks;
+      dst.calls += fi.calls;
+      append_merged(&dst.merged, std::move(fi.merged));
+    }
+  }
+  parts->clear();
+  // The serial accumulator drops functions with no interval; shards
+  // keep them (keep_empty) so sibling shards' intervals can rescue
+  // their call counts — apply the drop to the combined map instead.
+  for (auto it = out.begin(); it != out.end();) {
+    if (it->second.merged.empty()) {
+      it = out.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+struct ShardedTimelineAccumulator::Impl {
+  struct Shard {
+    Shard(const std::vector<trace::ThreadInfo>& threads, std::size_t hint)
+        : acc(threads, hint) {}
+
+    TimelineAccumulator acc;  ///< touched only by the shard's worker
+    TimelineMap result;
+    TimelineDiagnostics diag;
+
+    common::Mutex mu;
+    std::condition_variable_any cv;
+    std::deque<std::vector<trace::FnEvent>> queue GUARDED_BY(mu);
+    std::vector<std::vector<trace::FnEvent>> spare GUARDED_BY(mu);
+    bool closing GUARDED_BY(mu) = false;
+    std::uint64_t end_tsc = 0;  ///< written before closing is published
+
+    std::thread worker;
+  };
+
+  Impl(const std::vector<trace::ThreadInfo>& threads, std::size_t hint,
+       unsigned n_shards) {
+    shards.reserve(n_shards);
+    const std::size_t shard_hint = hint / n_shards + 16;
+    for (unsigned i = 0; i < n_shards; ++i) {
+      shards.push_back(std::make_unique<Shard>(threads, shard_hint));
+    }
+    for (auto& s : shards) {
+      Shard* shard = s.get();
+      shard->worker = std::thread([shard] { run(shard); });
+    }
+    scratch.resize(n_shards);
+  }
+
+  static void run(Shard* s) {
+    for (;;) {
+      std::vector<trace::FnEvent> buf;
+      bool close = false;
+      {
+        common::MutexLock lock(&s->mu);
+        while (s->queue.empty() && !s->closing) s->cv.wait(s->mu);
+        if (!s->queue.empty()) {
+          buf = std::move(s->queue.front());
+          s->queue.pop_front();
+        } else {
+          close = true;
+        }
+      }
+      if (close) break;
+      s->acc.add_events(buf.data(), buf.size());
+      buf.clear();
+      {
+        common::MutexLock lock(&s->mu);
+        if (s->spare.size() < kMaxQueuedBuffers) {
+          s->spare.push_back(std::move(buf));
+        }
+      }
+      s->cv.notify_all();  // producer may be waiting on queue space
+    }
+    // keep_empty: the combined-map merge owns the drop-empty rule.
+    s->result = s->acc.finish(s->end_tsc, &s->diag, /*keep_empty=*/true);
+  }
+
+  void close_and_join(std::uint64_t end_tsc) {
+    for (auto& s : shards) {
+      common::MutexLock lock(&s->mu);
+      s->end_tsc = end_tsc;
+      s->closing = true;
+      s->cv.notify_all();
+    }
+    for (auto& s : shards) {
+      if (s->worker.joinable()) s->worker.join();
+    }
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::vector<trace::FnEvent>> scratch;  ///< per-shard split
+  bool joined = false;
+};
+
+ShardedTimelineAccumulator::ShardedTimelineAccumulator(
+    const std::vector<trace::ThreadInfo>& threads, std::size_t hint,
+    unsigned shards) {
+  if (shards > 1) {
+    impl_ = std::make_unique<Impl>(threads, hint, shards);
+  } else {
+    serial_.emplace(threads, hint);
+  }
+}
+
+ShardedTimelineAccumulator::~ShardedTimelineAccumulator() {
+  if (impl_ && !impl_->joined) impl_->close_and_join(0);
+}
+
+unsigned ShardedTimelineAccumulator::shards() const {
+  return impl_ ? static_cast<unsigned>(impl_->shards.size()) : 1;
+}
+
+void ShardedTimelineAccumulator::add_events(const trace::FnEvent* events,
+                                            std::size_t n) {
+  if (!impl_) {
+    serial_->add_events(events, n);
+    return;
+  }
+  Impl& im = *impl_;
+  const std::size_t n_shards = im.shards.size();
+  // Stable partition: each thread's events keep their relative order,
+  // which is the only order TimelineAccumulator relies on.
+  for (std::size_t i = 0; i < n; ++i) {
+    im.scratch[events[i].thread_id % n_shards].push_back(events[i]);
+  }
+  for (std::size_t si = 0; si < n_shards; ++si) {
+    std::vector<trace::FnEvent>& part = im.scratch[si];
+    if (part.empty()) continue;
+    Impl::Shard& s = *im.shards[si];
+    std::vector<trace::FnEvent> refill;
+    {
+      common::MutexLock lock(&s.mu);
+      while (s.queue.size() >= kMaxQueuedBuffers) s.cv.wait(s.mu);
+      s.queue.push_back(std::move(part));
+      if (!s.spare.empty()) {
+        refill = std::move(s.spare.back());
+        s.spare.pop_back();
+      }
+    }
+    s.cv.notify_all();
+    part = std::move(refill);
+  }
+}
+
+TimelineMap ShardedTimelineAccumulator::finish(std::uint64_t end_tsc,
+                                               TimelineDiagnostics* diag) {
+  if (!impl_) return serial_->finish(end_tsc, diag);
+  Impl& im = *impl_;
+  im.close_and_join(end_tsc);
+  im.joined = true;
+
+  TimelineDiagnostics total;
+  std::vector<TimelineMap> parts;
+  parts.reserve(im.shards.size());
+  for (auto& s : im.shards) {
+    total.unmatched_exits += s->diag.unmatched_exits;
+    total.force_closed += s->diag.force_closed;
+    parts.push_back(std::move(s->result));
+  }
+  if (diag != nullptr) *diag = total;
+  return merge_timeline_maps(&parts);
+}
+
+}  // namespace tempest::parser

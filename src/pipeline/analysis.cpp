@@ -1,8 +1,9 @@
 #include "pipeline/analysis.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <utility>
+
+#include "common/fastwrite.hpp"
 
 namespace tempest::pipeline {
 
@@ -12,7 +13,8 @@ AnalysisPipeline::AnalysisPipeline(AnalysisOptions options)
 void AnalysisPipeline::set_metadata(const TraceMeta& meta) {
   meta_ = meta;
   if (!options_.exe_override.empty()) meta_.executable = options_.exe_override;
-  timeline_.emplace(meta_.threads, options_.timeline_hint);
+  timeline_.emplace(meta_.threads, options_.timeline_hint,
+                    std::max(1u, options_.threads));
   assembler_.set_metadata(meta_);
 }
 
@@ -74,10 +76,9 @@ AnalysisResult AnalysisPipeline::finish(const symtab::Resolver* resolver) {
     if (resolver != nullptr) {
       names.emplace_back(fi.addr, resolver->resolve(fi.addr));
     } else {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "0x%llx",
-                    static_cast<unsigned long long>(fi.addr));
-      names.emplace_back(fi.addr, buf);
+      std::string hex = "0x";
+      fastwrite::append_hex(hex, fi.addr);
+      names.emplace_back(fi.addr, std::move(hex));
     }
   }
 

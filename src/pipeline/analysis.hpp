@@ -8,6 +8,7 @@
 
 #include "parser/profile.hpp"
 #include "parser/timeline.hpp"
+#include "parser/timeline_shard.hpp"
 #include "pipeline/stage.hpp"
 #include "report/series.hpp"
 #include "symtab/resolver.hpp"
@@ -26,6 +27,11 @@ struct AnalysisOptions {
   /// accumulator; 0 picks a small default. The batch wrapper sizes it
   /// from the known event count, matching build_timeline.
   std::size_t timeline_hint = 0;
+  /// Timeline fold workers. 1 (the default) folds inline on the calling
+  /// thread — the exact pre-sharding code path; N > 1 shards the fold
+  /// across N worker threads with bit-identical results (the ordering
+  /// and merge guarantees live in parser/timeline_shard.hpp).
+  unsigned threads = 1;
 };
 
 struct AnalysisResult {
@@ -73,7 +79,7 @@ class AnalysisPipeline {
  private:
   AnalysisOptions options_;
   TraceMeta meta_;
-  std::optional<parser::TimelineAccumulator> timeline_;
+  std::optional<parser::ShardedTimelineAccumulator> timeline_;
   parser::ProfileAssembler assembler_;
   std::uint64_t start_tsc_ = 0;  ///< over events and samples, 0 when empty
   std::uint64_t end_tsc_ = 0;

@@ -40,6 +40,11 @@ class ChunkedTraceSource : public Source {
   /// skew/drift/residual metadata alongside the fits.
   Result<std::vector<trace::ClockSync>> clock_syncs_ahead();
 
+  /// Decode staged record chunks on `pool`'s workers (see
+  /// TraceStreamReader::set_decode_pool). Batches stay byte-identical
+  /// to serial decode; nullptr restores serial.
+  void set_decode_pool(WorkerPool* pool) { reader_->set_decode_pool(pool); }
+
  private:
   ChunkedTraceSource() = default;
 

@@ -1,20 +1,20 @@
 #include "report/json.hpp"
 
-#include <cstdio>
-#include <iomanip>
+#include "common/fastwrite.hpp"
 
 namespace tempest::report {
 namespace {
 
-void put_escaped(std::ostream& out, const std::string& s) {
-  std::string buf;
-  append_json_string(&buf, s);
-  out << buf;
+/// %.6f — the precision the stream-based writer historically set with
+/// std::fixed << std::setprecision(6).
+void append_num(std::string& out, double v) {
+  fastwrite::append_fixed(out, v, 6);
 }
 
 }  // namespace
 
 void append_json_string(std::string* out, const std::string& s) {
+  static constexpr char kHexDigits[] = "0123456789abcdef";
   out->push_back('"');
   for (char c : s) {
     switch (c) {
@@ -24,9 +24,9 @@ void append_json_string(std::string* out, const std::string& s) {
       case '\t': *out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          char esc[8];
-          std::snprintf(esc, sizeof(esc), "\\u%04x", static_cast<int>(c));
-          *out += esc;
+          *out += "\\u00";
+          out->push_back(kHexDigits[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out->push_back(kHexDigits[static_cast<unsigned char>(c) & 0xF]);
         } else {
           out->push_back(c);
         }
@@ -37,61 +37,103 @@ void append_json_string(std::string* out, const std::string& s) {
 
 void write_profile_json(std::ostream& out, const parser::RunProfile& profile,
                         const trace::RunStats* run_stats) {
-  out << std::fixed << std::setprecision(6);
-  out << "{\"unit\":\"" << unit_suffix(profile.unit) << "\",";
-  out << "\"duration_s\":" << profile.duration_s << ",";
-  out << "\"unmatched_exits\":" << profile.diagnostics.unmatched_exits << ",";
-  out << "\"force_closed\":" << profile.diagnostics.force_closed << ",";
-  out << "\"nodes\":[";
+  std::string buf;
+  buf.reserve(std::size_t{16} << 10);
+  buf += "{\"unit\":\"";
+  buf += unit_suffix(profile.unit);
+  buf += "\",\"duration_s\":";
+  append_num(buf, profile.duration_s);
+  buf += ",\"unmatched_exits\":";
+  fastwrite::append_u64(buf, profile.diagnostics.unmatched_exits);
+  buf += ",\"force_closed\":";
+  fastwrite::append_u64(buf, profile.diagnostics.force_closed);
+  buf += ",\"nodes\":[";
   for (std::size_t n = 0; n < profile.nodes.size(); ++n) {
     const auto& node = profile.nodes[n];
-    if (n > 0) out << ",";
-    out << "{\"node_id\":" << node.node_id << ",\"hostname\":";
-    put_escaped(out, node.hostname);
-    out << ",\"duration_s\":" << node.duration_s << ",\"functions\":[";
+    if (n > 0) buf += ",";
+    buf += "{\"node_id\":";
+    fastwrite::append_u64(buf, node.node_id);
+    buf += ",\"hostname\":";
+    append_json_string(&buf, node.hostname);
+    buf += ",\"duration_s\":";
+    append_num(buf, node.duration_s);
+    buf += ",\"functions\":[";
     for (std::size_t f = 0; f < node.functions.size(); ++f) {
       const auto& fn = node.functions[f];
-      if (f > 0) out << ",";
-      out << "{\"name\":";
-      put_escaped(out, fn.name);
-      out << ",\"total_time_s\":" << fn.total_time_s << ",\"calls\":" << fn.calls
-          << ",\"significant\":" << (fn.significant ? "true" : "false")
-          << ",\"sensors\":[";
+      if (f > 0) buf += ",";
+      buf += "{\"name\":";
+      append_json_string(&buf, fn.name);
+      buf += ",\"total_time_s\":";
+      append_num(buf, fn.total_time_s);
+      buf += ",\"calls\":";
+      fastwrite::append_u64(buf, fn.calls);
+      buf += ",\"significant\":";
+      buf += fn.significant ? "true" : "false";
+      buf += ",\"sensors\":[";
       for (std::size_t s = 0; s < fn.sensors.size(); ++s) {
         const auto& sp = fn.sensors[s];
-        if (s > 0) out << ",";
-        out << "{\"name\":";
-        put_escaped(out, sp.name);
-        out << ",\"samples\":" << sp.sample_count << ",\"min\":" << sp.stats.min
-            << ",\"avg\":" << sp.stats.avg << ",\"max\":" << sp.stats.max
-            << ",\"sdv\":" << sp.stats.sdv << ",\"var\":" << sp.stats.var
-            << ",\"med\":" << sp.stats.med << ",\"mod\":" << sp.stats.mod << "}";
+        if (s > 0) buf += ",";
+        buf += "{\"name\":";
+        append_json_string(&buf, sp.name);
+        buf += ",\"samples\":";
+        fastwrite::append_u64(buf, sp.sample_count);
+        buf += ",\"min\":";
+        append_num(buf, sp.stats.min);
+        buf += ",\"avg\":";
+        append_num(buf, sp.stats.avg);
+        buf += ",\"max\":";
+        append_num(buf, sp.stats.max);
+        buf += ",\"sdv\":";
+        append_num(buf, sp.stats.sdv);
+        buf += ",\"var\":";
+        append_num(buf, sp.stats.var);
+        buf += ",\"med\":";
+        append_num(buf, sp.stats.med);
+        buf += ",\"mod\":";
+        append_num(buf, sp.stats.mod);
+        buf += "}";
       }
-      out << "]}";
+      buf += "]}";
     }
-    out << "]}";
+    buf += "]}";
   }
-  out << "]";
+  buf += "]";
   if (run_stats != nullptr && run_stats->present) {
     const trace::RunStats& rs = *run_stats;
-    out << ",\"run_stats\":{"
-        << "\"events_recorded\":" << rs.events_recorded
-        << ",\"events_dropped\":" << rs.events_dropped
-        << ",\"buffer_flushes\":" << rs.buffer_flushes
-        << ",\"threads_registered\":" << rs.threads_registered
-        << ",\"tempd_ticks\":" << rs.tempd_ticks
-        << ",\"tempd_missed_ticks\":" << rs.tempd_missed_ticks
-        << ",\"tempd_samples\":" << rs.tempd_samples
-        << ",\"tempd_read_errors\":" << rs.tempd_read_errors
-        << ",\"sensor_read_failures\":" << rs.sensor_read_failures
-        << ",\"heartbeats\":" << rs.heartbeats
-        << ",\"peak_rss_kb\":" << rs.peak_rss_kb
-        << ",\"wall_seconds\":" << rs.wall_seconds
-        << ",\"tempd_cpu_seconds\":" << rs.tempd_cpu_seconds
-        << ",\"probe_cost_ns_mean\":" << rs.probe_cost_ns_mean
-        << ",\"cadence_jitter_us_mean\":" << rs.cadence_jitter_us_mean << "}";
+    buf += ",\"run_stats\":{\"events_recorded\":";
+    fastwrite::append_u64(buf, rs.events_recorded);
+    buf += ",\"events_dropped\":";
+    fastwrite::append_u64(buf, rs.events_dropped);
+    buf += ",\"buffer_flushes\":";
+    fastwrite::append_u64(buf, rs.buffer_flushes);
+    buf += ",\"threads_registered\":";
+    fastwrite::append_u64(buf, rs.threads_registered);
+    buf += ",\"tempd_ticks\":";
+    fastwrite::append_u64(buf, rs.tempd_ticks);
+    buf += ",\"tempd_missed_ticks\":";
+    fastwrite::append_u64(buf, rs.tempd_missed_ticks);
+    buf += ",\"tempd_samples\":";
+    fastwrite::append_u64(buf, rs.tempd_samples);
+    buf += ",\"tempd_read_errors\":";
+    fastwrite::append_u64(buf, rs.tempd_read_errors);
+    buf += ",\"sensor_read_failures\":";
+    fastwrite::append_u64(buf, rs.sensor_read_failures);
+    buf += ",\"heartbeats\":";
+    fastwrite::append_u64(buf, rs.heartbeats);
+    buf += ",\"peak_rss_kb\":";
+    fastwrite::append_u64(buf, rs.peak_rss_kb);
+    buf += ",\"wall_seconds\":";
+    append_num(buf, rs.wall_seconds);
+    buf += ",\"tempd_cpu_seconds\":";
+    append_num(buf, rs.tempd_cpu_seconds);
+    buf += ",\"probe_cost_ns_mean\":";
+    append_num(buf, rs.probe_cost_ns_mean);
+    buf += ",\"cadence_jitter_us_mean\":";
+    append_num(buf, rs.cadence_jitter_us_mean);
+    buf += "}";
   }
-  out << "}";
+  buf += "}";
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 }  // namespace tempest::report

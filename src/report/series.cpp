@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/fastwrite.hpp"
 #include "parser/parse.hpp"
 #include "parser/timeline.hpp"
 
@@ -97,16 +98,43 @@ ThermalSeries extract_series(const trace::Trace& trace, TempUnit unit,
 }
 
 void write_series_csv(std::ostream& out, const ThermalSeries& series) {
-  out << "time_s,node,sensor,temp_" << unit_suffix(series.unit) << "\n";
+  // append_general matches the default-formatted ostream doubles this
+  // writer historically produced; the buffered fastwrite path turns a
+  // point per write call into coarse appends.
+  fastwrite::BufferedWriter writer(out);
+  std::string line;
+  line += "time_s,node,sensor,temp_";
+  line += unit_suffix(series.unit);
+  line += "\n";
+  writer.append(line);
   for (const auto& s : series.sensors) {
+    // The node/sensor columns repeat for every point; format them once.
+    std::string mid = ",";
+    mid += s.node_name;
+    mid += ",";
+    mid += s.sensor_name;
+    mid += ",";
     for (const auto& p : s.points) {
-      out << p.time_s << "," << s.node_name << "," << s.sensor_name << "," << p.temp
-          << "\n";
+      line.clear();
+      fastwrite::append_general(line, p.time_s);
+      line += mid;
+      fastwrite::append_general(line, p.temp);
+      line += "\n";
+      writer.append(line);
     }
   }
   for (const auto& span : series.spans) {
-    out << "# span," << span.node_id << "," << span.name << "," << span.begin_s << ","
-        << span.end_s << "\n";
+    line.clear();
+    line += "# span,";
+    fastwrite::append_u64(line, span.node_id);
+    line += ",";
+    line += span.name;
+    line += ",";
+    fastwrite::append_general(line, span.begin_s);
+    line += ",";
+    fastwrite::append_general(line, span.end_s);
+    line += "\n";
+    writer.append(line);
   }
 }
 

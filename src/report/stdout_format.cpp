@@ -1,67 +1,117 @@
 #include "report/stdout_format.hpp"
 
-#include <iomanip>
+#include "common/fastwrite.hpp"
 
 namespace tempest::report {
 namespace {
 
-void print_stats_row(std::ostream& out, const parser::SensorProfile& sp) {
-  out << std::left << std::setw(10) << sp.name << std::right << std::fixed
-      << std::setprecision(2);
+void put(std::ostream& out, const std::string& buf) {
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+/// setw-style numeric column: fixed-point, right-aligned, no truncation
+/// (matches the ostream formatting this printer historically used).
+void append_col(std::string& out, double v, int decimals, std::size_t width) {
+  std::string num;
+  fastwrite::append_fixed(num, v, decimals);
+  fastwrite::append_padded(out, num, width, /*left_align=*/false);
+}
+
+void append_stats_row(std::string& out, const parser::SensorProfile& sp) {
+  fastwrite::append_padded(out, sp.name, 10, /*left_align=*/true);
   const StatsSummary& s = sp.stats;
-  out << std::setw(8) << s.min << std::setw(8) << s.avg << std::setw(8) << s.max
-      << std::setw(8) << s.sdv << std::setw(8) << s.var << std::setw(8) << s.med
-      << std::setw(8) << s.mod << "\n";
+  append_col(out, s.min, 2, 8);
+  append_col(out, s.avg, 2, 8);
+  append_col(out, s.max, 2, 8);
+  append_col(out, s.sdv, 2, 8);
+  append_col(out, s.var, 2, 8);
+  append_col(out, s.med, 2, 8);
+  append_col(out, s.mod, 2, 8);
+  out += "\n";
 }
 
 }  // namespace
 
 void print_function(std::ostream& out, const parser::FunctionProfile& fn,
                     TempUnit unit) {
-  out << "Function: " << fn.name << "    Total Time(sec): " << std::fixed
-      << std::setprecision(6) << fn.total_time_s;
-  if (!fn.significant) out << "    [thermal data not significant]";
-  out << "\n";
-  out << std::left << std::setw(10) << "" << std::right << std::setw(8) << "Min"
-      << std::setw(8) << "Avg" << std::setw(8) << "Max" << std::setw(8) << "Sdv"
-      << std::setw(8) << "Var" << std::setw(8) << "Med" << std::setw(8) << "Mod"
-      << "   (" << unit_suffix(unit) << ")\n";
-  for (const auto& sp : fn.sensors) print_stats_row(out, sp);
+  std::string buf;
+  buf += "Function: ";
+  buf += fn.name;
+  buf += "    Total Time(sec): ";
+  fastwrite::append_fixed(buf, fn.total_time_s, 6);
+  if (!fn.significant) buf += "    [thermal data not significant]";
+  buf += "\n";
+  fastwrite::append_padded(buf, "", 10, /*left_align=*/true);
+  for (const char* header : {"Min", "Avg", "Max", "Sdv", "Var", "Med", "Mod"}) {
+    fastwrite::append_padded(buf, header, 8, /*left_align=*/false);
+  }
+  buf += "   (";
+  buf += unit_suffix(unit);
+  buf += ")\n";
+  for (const auto& sp : fn.sensors) append_stats_row(buf, sp);
+  put(out, buf);
 }
 
 void print_run_stats(std::ostream& out, const trace::RunStats& stats) {
   if (!stats.present) return;
-  out << "-- run stats (recorder self-measurement) --\n";
-  out << "  events recorded " << stats.events_recorded;
+  std::string buf;
+  buf += "-- run stats (recorder self-measurement) --\n";
+  buf += "  events recorded ";
+  fastwrite::append_u64(buf, stats.events_recorded);
   if (stats.events_dropped > 0) {
-    out << "  DROPPED " << stats.events_dropped << " (profile under-counts)";
+    buf += "  DROPPED ";
+    fastwrite::append_u64(buf, stats.events_dropped);
+    buf += " (profile under-counts)";
   }
-  out << "\n";
-  out << "  threads " << stats.threads_registered << "  buffer flushes "
-      << stats.buffer_flushes << "  wall " << std::fixed << std::setprecision(3)
-      << stats.wall_seconds << " sec\n";
-  out << "  tempd ticks " << stats.tempd_ticks << " (missed "
-      << stats.tempd_missed_ticks << ")  samples " << stats.tempd_samples
-      << "  read errors " << stats.tempd_read_errors << "  sensor failures "
-      << stats.sensor_read_failures << "\n";
-  out << "  tempd cpu " << std::setprecision(4) << stats.tempd_cpu_seconds
-      << " sec";
+  buf += "\n  threads ";
+  fastwrite::append_u64(buf, stats.threads_registered);
+  buf += "  buffer flushes ";
+  fastwrite::append_u64(buf, stats.buffer_flushes);
+  buf += "  wall ";
+  fastwrite::append_fixed(buf, stats.wall_seconds, 3);
+  buf += " sec\n  tempd ticks ";
+  fastwrite::append_u64(buf, stats.tempd_ticks);
+  buf += " (missed ";
+  fastwrite::append_u64(buf, stats.tempd_missed_ticks);
+  buf += ")  samples ";
+  fastwrite::append_u64(buf, stats.tempd_samples);
+  buf += "  read errors ";
+  fastwrite::append_u64(buf, stats.tempd_read_errors);
+  buf += "  sensor failures ";
+  fastwrite::append_u64(buf, stats.sensor_read_failures);
+  buf += "\n  tempd cpu ";
+  fastwrite::append_fixed(buf, stats.tempd_cpu_seconds, 4);
+  buf += " sec";
   if (stats.wall_seconds > 0.0) {
-    out << " (" << std::setprecision(2)
-        << 100.0 * stats.tempd_cpu_seconds / stats.wall_seconds << "% of wall)";
+    buf += " (";
+    fastwrite::append_fixed(
+        buf, 100.0 * stats.tempd_cpu_seconds / stats.wall_seconds, 2);
+    buf += "% of wall)";
   }
-  out << "  probe cost ~" << std::setprecision(1) << stats.probe_cost_ns_mean
-      << " ns  jitter ~" << stats.cadence_jitter_us_mean << " us\n";
+  buf += "  probe cost ~";
+  fastwrite::append_fixed(buf, stats.probe_cost_ns_mean, 1);
+  buf += " ns  jitter ~";
+  fastwrite::append_fixed(buf, stats.cadence_jitter_us_mean, 1);
+  buf += " us\n";
+  put(out, buf);
 }
 
 void print_profile(std::ostream& out, const parser::RunProfile& profile,
                    const StdoutOptions& options) {
   for (const auto& node : profile.nodes) {
     if (options.node_headers) {
-      out << "== Node " << (node.node_id + 1);
-      if (!node.hostname.empty()) out << " (" << node.hostname << ")";
-      out << "  duration " << std::fixed << std::setprecision(3) << node.duration_s
-          << " sec ==\n\n";
+      std::string buf;
+      buf += "== Node ";
+      fastwrite::append_u64(buf, std::uint64_t{node.node_id} + 1);
+      if (!node.hostname.empty()) {
+        buf += " (";
+        buf += node.hostname;
+        buf += ")";
+      }
+      buf += "  duration ";
+      fastwrite::append_fixed(buf, node.duration_s, 3);
+      buf += " sec ==\n\n";
+      put(out, buf);
     }
     std::size_t printed = 0;
     for (const auto& fn : node.functions) {

@@ -11,6 +11,10 @@
 //                       into one cross-rank timeline (clock-correlated)
 //     --stream          stream from disk in bounded batches (traces
 //                       larger than RAM); output bytes are identical
+//     --threads N       worker threads for streaming decode/read-ahead
+//                       (default hardware concurrency, or the
+//                       TEMPEST_ANALYSIS_THREADS env var); output is
+//                       byte-identical at any N
 //     --no-align        skip cross-node clock alignment (diagnostics)
 //     --no-symbolize    render raw addresses instead of symbol names
 //     --exe PATH        symbolise against PATH instead of the recorded
@@ -25,6 +29,7 @@
 // <out>.telemetry.jsonl so `tempest-top --once` can show export runs.
 #include <unistd.h>
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -39,8 +44,8 @@ namespace {
 
 constexpr const char* kUsage =
     "[--format perfetto|speedscope] [--out FILE] [--merge-ranks]\n"
-    "       [--stream] [--no-align] [--no-symbolize] [--exe PATH] [--version]\n"
-    "       <trace file>...";
+    "       [--stream] [--threads N] [--no-align] [--no-symbolize]\n"
+    "       [--exe PATH] [--version] <trace file>...";
 
 int fail_usage(const tempest::cli::ArgParser& args, const char* argv0,
                const std::string& message) {
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   namespace exporter = tempest::exporter;
 
   exporter::ExportRunOptions options;
+  options.threads = cli::default_analysis_threads();
   std::string out_path;
   bool merge_ranks = false, version = false;
 
@@ -85,6 +91,14 @@ int main(int argc, char** argv) {
   });
   args.add_flag("--merge-ranks", [&] { merge_ranks = true; });
   args.add_flag("--stream", [&] { options.stream = true; });
+  args.add_value("--threads", [&](const std::string& v) {
+    std::size_t n = 0;
+    const Status parsed_n = cli::parse_size(v, &n);
+    if (!parsed_n) return parsed_n;
+    if (n == 0) return Status::error("--threads must be at least 1");
+    options.threads = static_cast<unsigned>(std::min<std::size_t>(n, 1024));
+    return Status::ok();
+  });
   args.add_flag("--no-align", [&] { options.align = false; });
   args.add_flag("--no-symbolize", [&] { options.symbolize = false; });
   args.add_value("--exe", [&](const std::string& v) {

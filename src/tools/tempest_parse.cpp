@@ -22,6 +22,10 @@
 //     --stream            analyse incrementally with bounded memory
 //                         (traces larger than RAM); needs a time-sorted
 //                         trace, which recorded files are
+//     --threads N         worker threads for decode + analysis (default
+//                         hardware concurrency, TEMPEST_ANALYSIS_THREADS
+//                         overrides); output is byte-identical at any N,
+//                         --threads 1 is the historical serial path
 //     --no-align          skip cross-node clock alignment (diagnostics)
 //     --exe PATH          symbolise against PATH instead of the path
 //                         recorded in the trace
@@ -39,6 +43,7 @@
 // the files first.
 #include <unistd.h>
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -46,7 +51,9 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/worker_pool.hpp"
 #include "export/run.hpp"
+#include "pipeline/prefetch.hpp"
 #include "pipeline/analysis.hpp"
 #include "pipeline/rank_fanin.hpp"
 #include "pipeline/sinks.hpp"
@@ -63,8 +70,8 @@ namespace {
 constexpr const char* kUsage =
     "[--unit C|F] [--format text|csv|json] [--plot [SENSOR]]\n"
     "       [--span FUNCTION]... [--min-samples N] [--top N] [--gnuplot PREFIX]\n"
-    "       [--stream] [--no-align] [--exe PATH] [--export FORMAT] [--version]\n"
-    "       <trace file>...";
+    "       [--stream] [--threads N] [--no-align] [--exe PATH]\n"
+    "       [--export FORMAT] [--version] <trace file>...";
 
 int fail_usage(const tempest::cli::ArgParser& args, const char* argv0,
                const std::string& message) {
@@ -86,6 +93,7 @@ int main(int argc, char** argv) {
   bool plot = false, align = true, stream = false, version = false;
   tempest::parser::ProfileOptions profile_options;
   std::size_t top = 0;
+  unsigned threads = cli::default_analysis_threads();
 
   cli::ArgParser args(kUsage);
   args.add_value("--unit", [&](const std::string& v) {
@@ -120,6 +128,14 @@ int main(int argc, char** argv) {
     return Status::ok();
   });
   args.add_flag("--stream", [&] { stream = true; });
+  args.add_value("--threads", [&](const std::string& v) {
+    std::size_t n = 0;
+    const Status parsed_n = cli::parse_size(v, &n);
+    if (!parsed_n) return parsed_n;
+    if (n == 0) return Status::error("--threads must be at least 1");
+    threads = static_cast<unsigned>(std::min<std::size_t>(n, 1024));
+    return Status::ok();
+  });
   args.add_flag("--no-align", [&] { align = false; });
   args.add_value("--exe", [&](const std::string& v) {
     exe_override = v;
@@ -161,6 +177,7 @@ int main(int argc, char** argv) {
     export_options.stream = stream;
     export_options.align = align;
     export_options.exe_override = exe_override;
+    export_options.threads = threads;
     export_options.spool_prefix =
         "/tmp/tempest_parse." + std::to_string(getpid());
     auto exported =
@@ -181,6 +198,7 @@ int main(int argc, char** argv) {
   analysis_options.want_series =
       format == "csv" || plot || !gnuplot_prefix.empty();
   analysis_options.span_functions = span_functions;
+  analysis_options.threads = threads;
 
   // One emitter list serves both paths: primary format first, then the
   // plot / gnuplot add-ons, in the order the batch tool printed them.
@@ -216,6 +234,7 @@ int main(int argc, char** argv) {
     // Streaming path: bounded memory, optionally multi-rank.
     pipeline::OrderCheckStage order;
     std::vector<pipeline::Stage*> stages;
+    std::optional<tempest::WorkerPool> pool;
     std::optional<pipeline::ChunkedTraceSource> chunked;
     std::optional<pipeline::ClockAlignStage> align_stage;
     std::optional<pipeline::RankFanIn> fan;
@@ -235,6 +254,10 @@ int main(int argc, char** argv) {
         return 1;
       }
       chunked.emplace(std::move(opened).value());
+      if (threads > 1) {
+        pool.emplace(threads);
+        chunked->set_decode_pool(&*pool);
+      }
       if (align) {
         auto fits = chunked->clock_fits();
         if (!fits.is_ok()) {
@@ -247,6 +270,13 @@ int main(int argc, char** argv) {
       source = &*chunked;
     }
     stages.push_back(&order);
+    // Read-ahead decorator overlaps I/O + decode with the fold; declared
+    // after the sources so its producer thread joins before they die.
+    std::optional<pipeline::PrefetchSource> prefetch;
+    if (threads > 1) {
+      prefetch.emplace(source);
+      source = &*prefetch;
+    }
     const Status ran = pipeline::run_pipeline(source, stages, {&sink});
     if (!ran) {
       std::cerr << "tempest_parse: " << ran.message() << "\n";

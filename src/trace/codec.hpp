@@ -1,0 +1,51 @@
+// Bulk pack/unpack for the trace-v2 record sections.
+//
+// The reader and writer used to convert one field at a time through
+// byte loops — correct everywhere, but the dominant cost of draining a
+// section once the I/O is staged. On little-endian hosts the wire
+// layout of each record is exactly the leading bytes of its in-memory
+// struct (static_asserts in codec.cpp pin the offsets), so a record
+// converts with two overlapping vector copies. This header exposes
+// whole-section converters: the default entry points dispatch at build
+// time to SSE2, NEON, or a plain little-endian copy loop, and the
+// portable byte-loop implementation stays available under codec::scalar
+// both as the big-endian fallback and as the reference the fuzz tests
+// compare against.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/trace.hpp"
+
+namespace tempest::trace::codec {
+
+/// Which bulk implementation the build selected: "sse2", "neon",
+/// "le-copy" (little-endian without vector intrinsics), or "scalar".
+const char* backend();
+
+/// Convert `n` tightly packed wire records at `src` into structs.
+/// unpack_fn_events returns false when any record carries an invalid
+/// kind byte (dst contents are unspecified then) — the per-record
+/// validation the scalar reader used to do, hoisted out of the copy.
+bool unpack_fn_events(const char* src, std::size_t n, FnEvent* dst);
+void unpack_temp_samples(const char* src, std::size_t n, TempSample* dst);
+void unpack_clock_syncs(const char* src, std::size_t n, ClockSync* dst);
+
+/// Convert `n` structs into tightly packed wire records at `dst`.
+void pack_fn_events(const FnEvent* src, std::size_t n, char* dst);
+void pack_temp_samples(const TempSample* src, std::size_t n, char* dst);
+void pack_clock_syncs(const ClockSync* src, std::size_t n, char* dst);
+
+/// Portable byte-loop reference implementations (endian-independent).
+/// The default entry points above are required to produce field-wise
+/// identical results; test_codec_fuzz holds them to that.
+namespace scalar {
+bool unpack_fn_events(const char* src, std::size_t n, FnEvent* dst);
+void unpack_temp_samples(const char* src, std::size_t n, TempSample* dst);
+void unpack_clock_syncs(const char* src, std::size_t n, ClockSync* dst);
+void pack_fn_events(const FnEvent* src, std::size_t n, char* dst);
+void pack_temp_samples(const TempSample* src, std::size_t n, char* dst);
+void pack_clock_syncs(const ClockSync* src, std::size_t n, char* dst);
+}  // namespace scalar
+
+}  // namespace tempest::trace::codec

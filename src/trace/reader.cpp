@@ -1,10 +1,13 @@
 #include "trace/reader.hpp"
 
+#include <atomic>
 #include <bit>
 #include <fstream>
 #include <limits>
 #include <vector>
 
+#include "common/worker_pool.hpp"
+#include "trace/codec.hpp"
 #include "trace/writer.hpp"
 
 namespace tempest::trace {
@@ -97,31 +100,9 @@ std::uint64_t remaining_bytes_bound(std::istream& in) {
   return static_cast<std::uint64_t>(end - pos);
 }
 
-bool unpack_fn_event(const char* p, FnEvent* e) {
-  e->tsc = unpack_u64(p);
-  e->addr = unpack_u64(p + 8);
-  e->thread_id = unpack_u32(p + 16);
-  e->node_id = unpack_u16(p + 20);
-  const auto kind = static_cast<unsigned char>(p[22]);
-  if (kind != 1 && kind != 2) return false;
-  e->kind = static_cast<FnEventKind>(kind);
-  return true;
-}
-
-bool unpack_temp_sample(const char* p, TempSample* s) {
-  s->tsc = unpack_u64(p);
-  s->temp_c = unpack_f64(p + 8);
-  s->node_id = unpack_u16(p + 16);
-  s->sensor_id = unpack_u16(p + 18);
-  return true;
-}
-
-bool unpack_clock_sync(const char* p, ClockSync* c) {
-  c->node_tsc = unpack_u64(p);
-  c->global_tsc = unpack_u64(p + 8);
-  c->node_id = unpack_u16(p + 16);
-  return true;
-}
+// Records per decode slice when a worker pool is attached; below this a
+// hand-off costs more than the conversion it parallelises.
+constexpr std::size_t kDecodeSliceRecords = 4096;
 
 }  // namespace
 
@@ -220,7 +201,7 @@ template <typename Record, typename UnpackFn>
 Status TraceStreamReader::next_section(int section, std::uint32_t record_size,
                                        const char* what, std::vector<Record>* out,
                                        std::size_t max_records,
-                                       std::size_t* appended, UnpackFn unpack_one) {
+                                       std::size_t* appended, UnpackFn unpack_bulk) {
   *appended = 0;
   if (section_ != section) {
     // Earlier section: not reached yet; later section: already drained.
@@ -249,7 +230,15 @@ Status TraceStreamReader::next_section(int section, std::uint32_t record_size,
   out->reserve(out->size() + static_cast<std::size_t>(std::min(want, fit)));
 
   Cursor cur(*in_);
-  const std::size_t per_chunk = std::max<std::size_t>(1, kStagingBytes / record_size);
+  // With a decode pool the staging chunk scales with the worker count
+  // (capped at 4 MiB) so every worker gets a slice worth converting.
+  const std::size_t staging_budget =
+      decode_pool_ == nullptr
+          ? kStagingBytes
+          : std::min<std::size_t>(kStagingBytes * decode_pool_->size(),
+                                  std::size_t{4} << 20);
+  const std::size_t per_chunk =
+      std::max<std::size_t>(1, staging_budget / record_size);
   std::vector<char> staging;
   std::uint64_t left = want;
   while (left > 0) {
@@ -268,10 +257,25 @@ Status TraceStreamReader::next_section(int section, std::uint32_t record_size,
     const std::size_t base = out->size();
     out->resize(base + n);
     Record* recs = out->data() + base;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (!unpack_one(staging.data() + j * record_size, &recs[j])) {
-        return Status::error(std::string("corrupt ") + what + " record");
-      }
+    const char* bytes = staging.data();
+    bool record_ok;
+    if (decode_pool_ != nullptr && n >= kDecodeSliceRecords * 2) {
+      // Slices convert disjoint [begin, end) ranges of the same chunk;
+      // corruption anywhere poisons the whole chunk, same as serial.
+      std::atomic<bool> ok{true};
+      decode_pool_->for_slices(
+          n, kDecodeSliceRecords,
+          [&](std::size_t b, std::size_t e) {
+            if (!unpack_bulk(bytes + b * record_size, e - b, recs + b)) {
+              ok.store(false, std::memory_order_relaxed);
+            }
+          });
+      record_ok = ok.load(std::memory_order_relaxed);
+    } else {
+      record_ok = unpack_bulk(bytes, n, recs);
+    }
+    if (!record_ok) {
+      return Status::error(std::string("corrupt ") + what + " record");
     }
     left -= n;
     remaining_ -= n;
@@ -336,21 +340,29 @@ Status TraceStreamReader::next_fn_events(std::vector<FnEvent>* out,
                                          std::size_t max_records,
                                          std::size_t* appended) {
   return next_section(0, kFnEventRecordSize, "fn event", out, max_records,
-                      appended, unpack_fn_event);
+                      appended, codec::unpack_fn_events);
 }
 
 Status TraceStreamReader::next_temp_samples(std::vector<TempSample>* out,
                                             std::size_t max_records,
                                             std::size_t* appended) {
   return next_section(1, kTempSampleRecordSize, "temp sample", out, max_records,
-                      appended, unpack_temp_sample);
+                      appended,
+                      [](const char* src, std::size_t n, TempSample* dst) {
+                        codec::unpack_temp_samples(src, n, dst);
+                        return true;
+                      });
 }
 
 Status TraceStreamReader::next_clock_syncs(std::vector<ClockSync>* out,
                                            std::size_t max_records,
                                            std::size_t* appended) {
   return next_section(2, kClockSyncRecordSize, "clock sync", out, max_records,
-                      appended, unpack_clock_sync);
+                      appended,
+                      [](const char* src, std::size_t n, ClockSync* dst) {
+                        codec::unpack_clock_syncs(src, n, dst);
+                        return true;
+                      });
 }
 
 bool TraceStreamReader::done() const { return section_ >= 3; }
@@ -421,11 +433,9 @@ Result<std::vector<ClockSync>> TraceStreamReader::read_clock_syncs_ahead() {
           skipped = Status::error("truncated clock sync section");
           break;
         }
-        for (std::size_t j = 0; j < n; ++j) {
-          ClockSync c;
-          (void)unpack_clock_sync(staging.data() + j * kClockSyncRecordSize, &c);
-          syncs.push_back(c);
-        }
+        const std::size_t base = syncs.size();
+        syncs.resize(base + n);
+        codec::unpack_clock_syncs(staging.data(), n, syncs.data() + base);
         left -= n;
       }
     }

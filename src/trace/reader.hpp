@@ -21,6 +21,10 @@
 #include "common/status.hpp"
 #include "trace/trace.hpp"
 
+namespace tempest {
+class WorkerPool;
+}
+
 namespace tempest::trace {
 
 /// Incremental trace-v2 reader. `open` consumes the fixed header and
@@ -53,6 +57,14 @@ class TraceStreamReader {
   /// True once every bulk section has been drained.
   bool done() const;
 
+  /// Decode the staged record chunks on `pool`'s workers instead of the
+  /// calling thread (nullptr restores serial decode). Purely a decode
+  /// fan-out: stream reads stay on the caller and records land in `out`
+  /// at the same positions, so the produced batches are byte-identical
+  /// to serial. When a pool is set the staging chunk grows with the
+  /// worker count so each slice stays worth a hand-off.
+  void set_decode_pool(WorkerPool* pool) { decode_pool_ = pool; }
+
   /// Read the whole clock-sync section without consuming the stream
   /// position, by seeking over the event/sample payloads (their framing
   /// gives exact byte sizes). Only valid on seekable streams and before
@@ -68,10 +80,12 @@ class TraceStreamReader {
  private:
   explicit TraceStreamReader(std::istream& in) : in_(&in) {}
 
+  /// `unpack_bulk(src, n, dst)` converts `n` packed records at once
+  /// (src/trace/codec.hpp) and returns false on a corrupt record.
   template <typename Record, typename UnpackFn>
   Status next_section(int section, std::uint32_t record_size, const char* what,
                       std::vector<Record>* out, std::size_t max_records,
-                      std::size_t* appended, UnpackFn unpack_one);
+                      std::size_t* appended, UnpackFn unpack_bulk);
   Status read_section_frame(std::uint32_t expected_record_size, const char* what);
 
   /// Invoked once when the last bulk section completes: parse the
@@ -85,6 +99,7 @@ class TraceStreamReader {
 
   std::istream* in_;
   TraceHeader header_;
+  WorkerPool* decode_pool_ = nullptr;  ///< optional parallel record decode
   std::uint64_t stream_bound_ = 0;  ///< byte bound for reserve sizing
   int section_ = 0;                 ///< 0 events, 1 samples, 2 syncs, 3 done
   bool frame_read_ = false;         ///< current section's framing consumed

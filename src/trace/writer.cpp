@@ -5,6 +5,8 @@
 #include <fstream>
 #include <vector>
 
+#include "trace/codec.hpp"
+
 namespace tempest::trace {
 namespace {
 
@@ -47,11 +49,12 @@ inline char* pack_f64(char* p, double v) {
 /// throttling on common kernels and lose an order of magnitude.
 constexpr std::size_t kStagingBytes = std::size_t{256} << 10;
 
-/// Frame + stream a bulk section: records are packed into a staging
-/// buffer by `pack_one(char*, const Record&)` and flushed in chunks.
+/// Frame + stream a bulk section: `pack_bulk(src, n, dst)` converts
+/// whole chunks into the staging buffer (src/trace/codec.hpp), which
+/// flushes in sizeable writes.
 template <typename Record, typename PackFn>
 void write_section(std::ostream& out, const std::vector<Record>& records,
-                   std::uint32_t record_size, PackFn pack_one) {
+                   std::uint32_t record_size, PackFn pack_bulk) {
   put<std::uint64_t>(out, records.size());
   put<std::uint32_t>(out, record_size);
   if (records.empty()) return;
@@ -62,8 +65,7 @@ void write_section(std::ostream& out, const std::vector<Record>& records,
   std::size_t i = 0;
   while (i < records.size()) {
     const std::size_t n = std::min(per_chunk, records.size() - i);
-    char* p = staging.data();
-    for (std::size_t j = 0; j < n; ++j) pack_one(p + j * record_size, records[i + j]);
+    pack_bulk(records.data() + i, n, staging.data());
     out.write(staging.data(), static_cast<std::streamsize>(n * record_size));
     i += n;
   }
@@ -106,28 +108,11 @@ Status write_trace(std::ostream& out, const Trace& trace) {
   }
 
   write_section(out, trace.fn_events, kFnEventRecordSize,
-                [](char* p, const FnEvent& e) {
-                  p = pack_u64(p, e.tsc);
-                  p = pack_u64(p, e.addr);
-                  p = pack_u32(p, e.thread_id);
-                  p = pack_u16(p, e.node_id);
-                  *p = static_cast<char>(e.kind);
-                });
-
+                codec::pack_fn_events);
   write_section(out, trace.temp_samples, kTempSampleRecordSize,
-                [](char* p, const TempSample& s) {
-                  p = pack_u64(p, s.tsc);
-                  p = pack_f64(p, s.temp_c);
-                  p = pack_u16(p, s.node_id);
-                  pack_u16(p, s.sensor_id);
-                });
-
+                codec::pack_temp_samples);
   write_section(out, trace.clock_syncs, kClockSyncRecordSize,
-                [](char* p, const ClockSync& c) {
-                  p = pack_u64(p, c.node_tsc);
-                  p = pack_u64(p, c.global_tsc);
-                  pack_u16(p, c.node_id);
-                });
+                codec::pack_clock_syncs);
 
   // RUNSTATS trailer — only when the recorder populated it, so traces
   // assembled by tools (tests, converters) stay byte-identical to the

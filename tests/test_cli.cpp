@@ -8,6 +8,7 @@
 #include <thread>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include "core/api.hpp"
 #include "core/workbench.hpp"
@@ -41,7 +42,12 @@ std::string slurp(const std::string& path) {
 class CliTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    trace_path_ = new std::string(::testing::TempDir() + "/cli.trace");
+    // Per-process paths: ctest runs each discovered test case as its
+    // own process, concurrently under -jN, and every process records
+    // its own copy of the trace in SetUpTestSuite. Shared fixed names
+    // would race.
+    trace_path_ = new std::string(::testing::TempDir() + "/cli." +
+                                  std::to_string(getpid()) + ".trace");
     auto node_config =
         tempest::simnode::make_node_config(tempest::simnode::NodeKind::kX86Basic);
     node_config.package.time_scale = 30.0;
@@ -71,7 +77,8 @@ class CliTest : public ::testing::Test {
 
   /// Run the CLI; returns exit code, captures stdout to a file.
   int run_cli(const std::string& args, std::string* output) {
-    const std::string out_path = ::testing::TempDir() + "/cli.out";
+    const std::string out_path =
+        ::testing::TempDir() + "/cli." + std::to_string(getpid()) + ".out";
     const std::string cmd = std::string(TEMPEST_PARSE_BIN) + " " + args + " \"" +
                             *trace_path_ + "\" > " + out_path + " 2>/dev/null";
     const int rc = std::system(cmd.c_str());

@@ -1,0 +1,182 @@
+// The fastwrite layer backs every exporter and report emitter, whose
+// outputs are golden-pinned byte for byte — so the contract here is
+// exact equivalence with what those emitters historically produced:
+// snprintf for %llu/%llx/%.*f and default-formatted ostream doubles.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <random>
+#include <sstream>
+
+#include "common/fastwrite.hpp"
+
+namespace {
+
+namespace fastwrite = tempest::fastwrite;
+
+std::string via_snprintf_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string via_snprintf_fixed(double v, int decimals) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+/// Deterministic magnitude sweep: mantissa bits scattered over the
+/// exponent range the emitters actually see (timestamps, temperatures,
+/// statistics), plus a handful of pathological exponents.
+std::vector<double> fuzz_doubles(std::uint32_t seed, std::size_t count) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> mantissa(-1.0, 1.0);
+  std::uniform_int_distribution<int> exponent(-12, 12);
+  std::vector<double> values = {0.0,   -0.0,   1.0,      -1.0,  0.5,
+                                123.456, -0.0001, 1e15,   -1e15, 93.2,
+                                2.351848, 1e-300, -1e300};
+  for (std::size_t i = 0; i < count; ++i) {
+    values.push_back(std::ldexp(mantissa(rng), exponent(rng)));
+  }
+  return values;
+}
+
+TEST(Fastwrite, U64MatchesSnprintf) {
+  std::mt19937_64 rng(0xfa57u);
+  std::vector<std::uint64_t> values = {
+      0, 1, 9, 10, 99, 12345, std::numeric_limits<std::uint64_t>::max()};
+  for (int i = 0; i < 1000; ++i) values.push_back(rng());
+  for (const std::uint64_t v : values) {
+    std::string out;
+    fastwrite::append_u64(out, v);
+    EXPECT_EQ(out, via_snprintf_u64(v)) << v;
+  }
+}
+
+TEST(Fastwrite, I64MatchesSnprintf) {
+  std::mt19937_64 rng(0xfa58u);
+  std::vector<std::int64_t> values = {
+      0, -1, 1, std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<std::int64_t>(rng()));
+  }
+  for (const std::int64_t v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    std::string out;
+    fastwrite::append_i64(out, v);
+    EXPECT_EQ(out, std::string(buf)) << v;
+  }
+}
+
+TEST(Fastwrite, HexMatchesSnprintf) {
+  std::mt19937_64 rng(0xfa59u);
+  std::vector<std::uint64_t> values = {
+      0, 0xf, 0x10, 0xdeadbeef, std::numeric_limits<std::uint64_t>::max()};
+  for (int i = 0; i < 1000; ++i) values.push_back(rng());
+  for (const std::uint64_t v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIx64, v);
+    std::string out;
+    fastwrite::append_hex(out, v);
+    EXPECT_EQ(out, std::string(buf)) << v;
+  }
+}
+
+TEST(Fastwrite, FixedMatchesSnprintfAcrossPrecisions) {
+  // The emitters use precisions 1..4 and 6 (stats tables, run stats,
+  // exporter timestamps, JSON); hold every one to printf bytes.
+  for (const int decimals : {0, 1, 2, 3, 4, 6, 9}) {
+    for (const double v : fuzz_doubles(1000 + decimals, 2000)) {
+      std::string out;
+      fastwrite::append_fixed(out, v, decimals);
+      EXPECT_EQ(out, via_snprintf_fixed(v, decimals))
+          << v << " @ %." << decimals << "f";
+    }
+  }
+}
+
+TEST(Fastwrite, FixedNonFiniteMatchesPrintf) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const double v : {inf, -inf, nan}) {
+    std::string out;
+    fastwrite::append_fixed(out, v, 3);
+    EXPECT_EQ(out, via_snprintf_fixed(v, 3));
+  }
+}
+
+TEST(Fastwrite, GeneralMatchesDefaultOstream) {
+  // The CSV series writer replaced `out << d` with append_general; the
+  // two must agree on every value or series goldens shift.
+  for (const double v : fuzz_doubles(77, 4000)) {
+    std::ostringstream ref;
+    ref << v;
+    std::string out;
+    fastwrite::append_general(out, v);
+    EXPECT_EQ(out, ref.str()) << v;
+  }
+}
+
+TEST(Fastwrite, PaddedMatchesSetw) {
+  const struct {
+    const char* text;
+    std::size_t width;
+    bool left;
+  } cases[] = {{"CPU", 10, true}, {"93.20", 8, false}, {"", 10, true},
+               {"overlong-name", 4, true}, {"overlong", 4, false}};
+  for (const auto& c : cases) {
+    std::ostringstream ref;
+    ref << (c.left ? std::left : std::right)
+        << std::setw(static_cast<int>(c.width)) << c.text;
+    std::string out;
+    fastwrite::append_padded(out, c.text, c.width, c.left);
+    EXPECT_EQ(out, ref.str()) << c.text;
+  }
+}
+
+TEST(BufferedWriter, ContentAndAccountingMatchDirectWrites) {
+  std::ostringstream direct, buffered;
+  fastwrite::BufferedWriter writer(buffered, 64);  // tiny: force flushes
+  std::mt19937 rng(42);
+  std::uint64_t expected_bytes = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string chunk(rng() % 23, static_cast<char>('a' + (rng() % 26)));
+    direct << chunk;
+    writer.append(chunk);
+    expected_bytes += chunk.size();
+    if (i % 7 == 0) {
+      direct << 'x';
+      writer.append('x');
+      ++expected_bytes;
+    }
+  }
+  // An append larger than the whole buffer takes the bypass path.
+  const std::string huge(1000, 'z');
+  direct << huge;
+  writer.append(huge);
+  expected_bytes += huge.size();
+
+  EXPECT_EQ(writer.bytes_written(), expected_bytes);
+  writer.flush();
+  EXPECT_EQ(buffered.str(), direct.str());
+  EXPECT_EQ(writer.bytes_written(), expected_bytes);  // flush adds nothing
+}
+
+TEST(BufferedWriter, DestructorFlushes) {
+  std::ostringstream out;
+  {
+    fastwrite::BufferedWriter writer(out);
+    writer.append("tail bytes");
+    EXPECT_EQ(out.str(), "");  // still buffered
+  }
+  EXPECT_EQ(out.str(), "tail bytes");
+}
+
+}  // namespace
