@@ -98,6 +98,12 @@ struct LintEngine::Impl {
   // RUNSTATS trailer (absent unless set_run_stats was called).
   trace::RunStats run_stats;
 
+  // FLTR trailer (absent unless set_filter_decl was called with a
+  // present declaration). filtered_names indexes the suppressed list
+  // for the instrumentation-unused exemption.
+  trace::FilterDecl filter;
+  std::set<std::string> filtered_names;
+
   // Header-derived context.
   double tsc_ticks_per_second = 0.0;
   std::set<std::uint16_t> node_ids;
@@ -350,6 +356,16 @@ void LintEngine::set_run_stats(const trace::RunStats& stats) {
   impl_->run_stats = stats;
 }
 
+void LintEngine::set_filter_decl(const trace::FilterDecl& filter) {
+  Impl& im = *impl_;
+  im.filter = filter;
+  im.filtered_names.clear();
+  if (filter.present) {
+    im.filtered_names.insert(filter.suppressed.begin(),
+                             filter.suppressed.end());
+  }
+}
+
 void LintEngine::set_coverage_inventory(CoverageInventory inventory) {
   Impl& im = *impl_;
   im.coverage_enabled = true;
@@ -500,7 +516,10 @@ LintReport LintEngine::finish() {
     }
     for (std::size_t i = 0; i < im.coverage_fns.size(); ++i) {
       const CoverageFunction& f = im.coverage_fns[i];
-      if (f.instrumented && fns_seen.count(i) == 0) {
+      if (f.instrumented && fns_seen.count(i) == 0 &&
+          im.filtered_names.count(f.name) == 0) {
+        // Functions the trace's declared filter suppresses are exempt:
+        // their silence is the admission pipeline working as configured.
         out.add("instrumentation-unused", Severity::kWarning,
                 "function '" + f.name +
                     "' is instrumented but recorded zero events (never "
@@ -543,6 +562,38 @@ LintReport LintEngine::finish() {
                   " fn event(s) at the thread-buffer cap; hot spots may be "
                   "under-counted (raise TEMPEST_MAX_EVENTS)");
     }
+    // Admission conservation: every hook call must be accounted for
+    // exactly once. calls_observed == 0 means a pre-admission recorder
+    // (or an empty run) — nothing to check.
+    if (rs.calls_observed > 0) {
+      const std::uint64_t accounted = rs.events_recorded +
+                                      rs.events_suppressed +
+                                      rs.events_throttled + rs.events_dropped +
+                                      rs.events_overwritten;
+      if (rs.calls_observed != accounted) {
+        out.add("admission-conservation", Severity::kError,
+                "runstats observe " + std::to_string(rs.calls_observed) +
+                    " hook calls but account for " +
+                    std::to_string(accounted) +
+                    " (recorded + suppressed + throttled + dropped + "
+                    "overwritten) — the admission pipeline lost or invented "
+                    "events");
+      }
+    }
+    if (rs.events_suppressed > 0 && !im.filter.present) {
+      out.add("filter-undeclared", Severity::kWarning,
+              "recorder suppressed " + std::to_string(rs.events_suppressed) +
+                  " event(s) but the trace declares no filter (FLTR trailer "
+                  "missing) — downstream tools cannot tell suppression from "
+                  "loss");
+    }
+    if (rs.events_overwritten > 0) {
+      out.add("events-overwritten", Severity::kWarning,
+              "flight-recorder ring recycled " +
+                  std::to_string(rs.events_overwritten) +
+                  " event(s); the trace holds only the newest window "
+                  "(expected in TEMPEST_RING_* mode)");
+    }
   }
 
   LintReport report;
@@ -572,6 +623,7 @@ LintReport lint_trace(const trace::Trace& trace, const LintOptions& options,
   engine.add_temp_samples(trace.temp_samples.data(), trace.temp_samples.size());
   engine.add_clock_syncs(trace.clock_syncs.data(), trace.clock_syncs.size());
   engine.set_run_stats(trace.run_stats);
+  engine.set_filter_decl(trace.filter);
   return engine.finish();
 }
 
@@ -614,9 +666,10 @@ Result<LintReport> lint_trace_file(const std::string& path,
     if (s) engine.add_clock_syncs(syncs.data(), syncs.size());
     if (!s) return Result<LintReport>::error(path + ": " + s.message());
   }
-  // The RUNSTATS trailer materialises in the reader's header once the
-  // last bulk section drains.
+  // The RUNSTATS and FLTR trailers materialise in the reader's header
+  // once the last bulk section drains.
   engine.set_run_stats(reader.header().run_stats);
+  engine.set_filter_decl(reader.header().filter);
 
   // The reader stops after the last section; a well-formed file ends
   // there. Trailing bytes mean concatenation or partial overwrite —

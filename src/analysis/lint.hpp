@@ -134,8 +134,19 @@ class LintEngine {
   /// trace actually contains: recorded-event count vs fn events read,
   /// tempd sample count vs samples read, samples vs ticks x sensors —
   /// a mismatch means the trace and its runtime accounting disagree,
-  /// i.e. one of them lies. Callable any time before finish().
+  /// i.e. one of them lies. With admission counters present it also
+  /// checks the conservation invariant
+  ///   calls_observed == recorded + suppressed + throttled
+  ///                     + dropped + overwritten.
+  /// Callable any time before finish().
   void set_run_stats(const trace::RunStats& stats);
+
+  /// Provide the trace's filter declaration (the FLTR trailer). A
+  /// declared filter makes suppression legitimate: suppressed counts
+  /// stop looking like data loss, and instrumented functions named by
+  /// the filter are exempt from the "instrumentation-unused" warning
+  /// (their silence is the filter working, not missing coverage).
+  void set_filter_decl(const trace::FilterDecl& filter);
 
   /// Run end-of-stream checks and return the report. The engine is
   /// spent afterwards.

@@ -1,79 +1,10 @@
 #include "audit/filter.hpp"
 
-#include <fstream>
 #include <sstream>
 
 #include "audit/audit.hpp"
 
 namespace tempest::audit {
-namespace {
-
-constexpr const char* kVersionLine = "# TEMPEST_FILTER v1";
-
-/// Strip leading/trailing spaces and tabs.
-std::string trim(const std::string& s) {
-  const std::size_t first = s.find_first_not_of(" \t");
-  if (first == std::string::npos) return {};
-  const std::size_t last = s.find_last_not_of(" \t");
-  return s.substr(first, last - first + 1);
-}
-
-}  // namespace
-
-void write_filter_file(std::ostream& out, const FilterFile& filter) {
-  out << kVersionLine << "\n";
-  for (const FilterRule& rule : filter.rules) {
-    out << "suppress " << rule.symbol;
-    if (!rule.reason.empty()) out << "  # " << rule.reason;
-    out << "\n";
-  }
-}
-
-Status write_filter_file(const std::string& path, const FilterFile& filter) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::error("cannot write filter file " + path);
-  write_filter_file(out, filter);
-  out.flush();
-  if (!out) return Status::error("write failed for filter file " + path);
-  return Status::ok();
-}
-
-Result<FilterFile> read_filter_file(std::istream& in) {
-  FilterFile filter;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const std::string text = trim(line);
-    if (text.empty() || text[0] == '#') continue;
-
-    std::istringstream fields(text);
-    std::string directive;
-    fields >> directive;
-    if (directive != "suppress") {
-      return Result<FilterFile>::error("filter line " + std::to_string(line_no) +
-                                       ": unknown directive '" + directive + "'");
-    }
-    FilterRule rule;
-    fields >> rule.symbol;
-    if (rule.symbol.empty() || rule.symbol[0] == '#') {
-      return Result<FilterFile>::error("filter line " + std::to_string(line_no) +
-                                       ": suppress needs a symbol name");
-    }
-    std::string rest;
-    std::getline(fields, rest);
-    const std::size_t hash = rest.find('#');
-    if (hash != std::string::npos) rule.reason = trim(rest.substr(hash + 1));
-    filter.rules.push_back(std::move(rule));
-  }
-  return filter;
-}
-
-Result<FilterFile> read_filter_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Result<FilterFile>::error("cannot open filter file " + path);
-  return read_filter_file(in);
-}
 
 FilterFile suggest_filter(const Inventory& inventory,
                           const OverheadReport& overhead, std::size_t top_n) {

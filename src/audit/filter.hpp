@@ -1,20 +1,10 @@
-// TEMPEST_FILTER suppression files.
+// TEMPEST_FILTER suppression files — audit-side API.
 //
-// The adaptive-instrumentation direction (ROADMAP; ScALPEL in
-// PAPERS.md) needs a static inventory of which probes to throttle.
-// tempest-audit emits that inventory in a deliberately trivial line
-// format so both the future runtime (reading it at session start via
-// the TEMPEST_FILTER environment variable) and humans (reviewing the
-// suggestions) consume it as-is:
-//
-//   # TEMPEST_FILTER v1
-//   # <free-form comment>
-//   suppress <raw-symbol-name>        # <reason>
-//
-// Blank lines and `#` comments are ignored; each directive line is the
-// word `suppress`, one mangled symbol name, and an optional trailing
-// `# reason`. Unknown directives are an error (a typo must not
-// silently keep a hot function instrumented).
+// The line format and its parser live in common/filter_file.hpp so the
+// recording runtime (src/core) can consume filters without linking the
+// audit library. This header re-exports the shared types under
+// tempest::audit and adds the one audit-only operation: suggesting a
+// filter from an overhead ranking.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/filter_file.hpp"
 #include "common/status.hpp"
 
 namespace tempest::audit {
@@ -29,31 +20,18 @@ namespace tempest::audit {
 struct Inventory;
 struct OverheadReport;
 
-struct FilterRule {
-  std::string symbol;  ///< raw (mangled) name, matching the ELF symtab
-  std::string reason;  ///< advisory; round-trips through the file
-};
-
-inline bool operator==(const FilterRule& a, const FilterRule& b) {
-  return a.symbol == b.symbol && a.reason == b.reason;
-}
-
-struct FilterFile {
-  std::vector<FilterRule> rules;
-};
-
-/// Emit the canonical file form (version header, one directive per rule).
-void write_filter_file(std::ostream& out, const FilterFile& filter);
-Status write_filter_file(const std::string& path, const FilterFile& filter);
-
-/// Parse a filter file. Unknown directives and directives without a
-/// symbol are errors naming the line number.
-Result<FilterFile> read_filter_file(std::istream& in);
-Result<FilterFile> read_filter_file(const std::string& path);
+using common::FilterFile;
+using common::FilterRule;
+using common::read_filter_file;
+using common::write_filter_file;
 
 /// Suggest suppressions from an overhead ranking: the top_n functions
 /// by predicted probe events. `main` is never suggested — suppressing
-/// it would blind the profile's whole-run summary.
+/// it would blind the profile's whole-run summary. The output order is
+/// deterministic (the ranking sorts by predicted probe events with
+/// function address as the tiebreak), so repeated audits of the same
+/// binary + trace produce byte-identical filter files that diff
+/// cleanly across runs.
 FilterFile suggest_filter(const Inventory& inventory,
                           const OverheadReport& overhead, std::size_t top_n);
 

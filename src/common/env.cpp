@@ -22,26 +22,42 @@ std::string env_string(const char* name, const std::string& fallback) {
 }
 
 double env_double(const char* name, double fallback) {
-  std::string v;
-  if (!env_raw(name, &v)) return fallback;
-  try {
-    std::size_t pos = 0;
-    const double d = std::stod(v, &pos);
-    return pos == v.size() ? d : fallback;
-  } catch (...) {
-    return fallback;
-  }
+  double v = fallback;
+  env_double_checked(name, &v);
+  return v;
 }
 
 long env_long(const char* name, long fallback) {
+  long v = fallback;
+  env_long_checked(name, &v);
+  return v;
+}
+
+EnvParse env_double_checked(const char* name, double* out) {
   std::string v;
-  if (!env_raw(name, &v)) return fallback;
+  if (!env_raw(name, &v)) return EnvParse::kAbsent;
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) return EnvParse::kMalformed;
+    *out = d;
+    return EnvParse::kOk;
+  } catch (...) {
+    return EnvParse::kMalformed;
+  }
+}
+
+EnvParse env_long_checked(const char* name, long* out) {
+  std::string v;
+  if (!env_raw(name, &v)) return EnvParse::kAbsent;
   try {
     std::size_t pos = 0;
     const long n = std::stol(v, &pos);
-    return pos == v.size() ? n : fallback;
+    if (pos != v.size()) return EnvParse::kMalformed;
+    *out = n;
+    return EnvParse::kOk;
   } catch (...) {
-    return fallback;
+    return EnvParse::kMalformed;
   }
 }
 

@@ -18,4 +18,12 @@ double env_double(const char* name, double fallback);
 long env_long(const char* name, long fallback);
 bool env_bool(const char* name, bool fallback);
 
+/// Checked variants: tell "unset" apart from "set but malformed" so
+/// config can warn about the latter instead of silently falling back —
+/// TEMPEST_MAX_EVENTS=banana should not quietly become unbounded.
+enum class EnvParse { kAbsent, kOk, kMalformed };
+
+EnvParse env_long_checked(const char* name, long* out);
+EnvParse env_double_checked(const char* name, double* out);
+
 }  // namespace tempest

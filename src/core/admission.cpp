@@ -1,0 +1,76 @@
+#include "core/admission.hpp"
+
+namespace tempest::core {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+AddrSet::AddrSet(std::size_t expected) {
+  const std::size_t cap = round_up_pow2(expected < 32 ? 64 : expected * 2);
+  slots_ = std::vector<std::atomic<std::uint64_t>>(cap);
+  for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+  mask_ = cap - 1;
+}
+
+bool AddrSet::insert(std::uint64_t addr) {
+  if (addr == 0) return false;
+  const std::size_t m = mask_;
+  std::size_t i = mix(addr) & m;
+  for (;;) {
+    std::uint64_t k = slots_[i].load(std::memory_order_relaxed);
+    if (k == addr) return true;
+    if (k == 0) {
+      // Half-full is the line: beyond it probe chains on the hot path
+      // stop being "first or second slot" and the set refuses.
+      if (used_.load(std::memory_order_relaxed) * 2 >= capacity()) return false;
+      if (slots_[i].compare_exchange_strong(k, addr,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        used_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (k == addr) return true;  // lost the race to the same address
+      continue;  // lost to a different address; reprobe this slot chain
+    }
+    i = (i + 1) & m;
+  }
+}
+
+FnThrottle* ThrottleState::cell(std::uint64_t addr) {
+  if (table_.empty() || used_ * 2 >= table_.size()) grow();
+  const std::size_t m = mask_;
+  std::size_t i = (addr * 0x9E37'79B9'7F4A'7C15ULL >> 13) & m;
+  for (;;) {
+    FnThrottle& f = table_[i];
+    if (f.addr == addr) return &f;
+    if (f.addr == 0) {
+      f.addr = addr;
+      ++used_;
+      return &f;
+    }
+    i = (i + 1) & m;
+  }
+}
+
+void ThrottleState::grow() {
+  const std::size_t cap = table_.empty() ? 256 : table_.size() * 2;
+  std::vector<FnThrottle> old = std::move(table_);
+  table_.assign(cap, FnThrottle{});
+  mask_ = cap - 1;
+  used_ = 0;
+  for (const FnThrottle& f : old) {
+    if (f.addr == 0) continue;
+    std::size_t i = (f.addr * 0x9E37'79B9'7F4A'7C15ULL >> 13) & mask_;
+    while (table_[i].addr != 0) i = (i + 1) & mask_;
+    table_[i] = f;
+    ++used_;
+  }
+}
+
+}  // namespace tempest::core

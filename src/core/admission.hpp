@@ -1,0 +1,147 @@
+// Admission pipeline for the recording runtime.
+//
+// PR-6's tempest-audit emits TEMPEST_FILTER suppression files; this is
+// the runtime half that consumes them (the ROADMAP's "adaptive
+// instrumentation" loop, after ScALPEL in PAPERS.md). Every hook call
+// now passes through a layered admission decision before any buffer
+// write:
+//
+//   suppression set  ->  throttle (rate cap / min-duration)  ->  buffer
+//
+// Layer 1 is an open-addressing set of suppressed function addresses,
+// probed lock-free on the hot path (the set is immutable after session
+// start except for synthetic-region addresses, which are CAS-inserted).
+// Layer 2 is per-thread state: a per-function call-rate table with
+// hot-function auto-promotion to coarser sampling, and a shadow stack
+// that keeps enter/exit decisions paired and elides leaf calls shorter
+// than the min-duration cutoff.
+//
+// Everything rejected is counted exactly (single-writer per-thread
+// counters), so RUNSTATS can state the conservation invariant
+//   calls_observed == recorded + suppressed + throttled
+//                     + dropped + overwritten
+// and tempest-lint can check it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace tempest::core {
+
+/// Lock-free open-addressing hash set of function addresses. Fixed
+/// capacity (sized at build for a <= 50% load factor); lookups are
+/// wait-free and insertion is a CAS loop, so synthetic-region addresses
+/// minted mid-run can join the set while hooks probe it.
+class AddrSet {
+ public:
+  /// Capacity is rounded up to a power of two holding at least
+  /// 2 * expected entries (min 64 slots).
+  explicit AddrSet(std::size_t expected = 0);
+
+  AddrSet(const AddrSet&) = delete;
+  AddrSet& operator=(const AddrSet&) = delete;
+
+  /// Hot path: one multiply-mix, then a linear probe that in practice
+  /// terminates on the first or second slot at <= 50% load.
+  bool contains(std::uint64_t addr) const {
+    const std::size_t m = mask_;
+    std::size_t i = mix(addr) & m;
+    for (;;) {
+      const std::uint64_t k = slots_[i].load(std::memory_order_relaxed);
+      if (k == addr) return true;
+      if (k == 0) return false;
+      i = (i + 1) & m;
+    }
+  }
+
+  /// Thread-safe. False when the set is at its load-factor limit or
+  /// `addr` is 0 (the empty-slot sentinel; no real function lives
+  /// there). Inserting a present address is a no-op returning true.
+  bool insert(std::uint64_t addr);
+
+  std::size_t size() const { return used_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    x *= 0x9E37'79B9'7F4A'7C15ULL;  // Fibonacci hashing; addr low bits are 0-ish
+    return x ^ (x >> 29);
+  }
+
+  std::vector<std::atomic<std::uint64_t>> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> used_{0};
+};
+
+/// Immutable-after-start throttle knobs, in TSC ticks so the hot path
+/// never converts units.
+struct ThrottleSettings {
+  std::uint64_t min_duration_ticks = 0;  ///< elide leaf pairs shorter than this
+  std::uint64_t window_ticks = 0;        ///< rate-cap accounting window
+  std::uint32_t rate_cap = 0;  ///< admitted calls per fn/thread/window (0 = off)
+  bool adaptive = false;       ///< tempd adjusts a global sampling boost
+
+  bool enabled() const {
+    return min_duration_ticks != 0 || rate_cap != 0 || adaptive;
+  }
+};
+
+/// Per-function call-rate cell (one thread's view of one function).
+struct FnThrottle {
+  std::uint64_t addr = 0;
+  std::uint64_t window_start = 0;
+  std::uint32_t calls = 0;     ///< hook calls observed this window
+  std::uint32_t admitted = 0;  ///< calls admitted this window
+  std::uint8_t shift = 0;      ///< admit 1 in 2^shift (auto-promotion)
+};
+
+/// One frame of the per-thread shadow stack: remembers the admission
+/// decision made at enter so the matching exit follows it (a dropped
+/// enter must drop its exit, or the trace fills with orphan exits).
+struct PendingFrame {
+  std::uint64_t addr = 0;
+  std::uint64_t enter_tsc = 0;
+  std::uint64_t cursor = 0;  ///< EventBuffer::cursor() right after the enter push
+  bool admitted = false;
+};
+
+/// Per-thread throttle state, created lazily on the first throttled
+/// hook call. TLS-confined like the event buffer: no locks.
+class ThrottleState {
+ public:
+  /// Beyond this depth frames are not tracked; calls are admitted
+  /// unconditionally and unmatched exits are recorded conservatively.
+  static constexpr std::size_t kMaxDepth = 4096;
+
+  /// How far below the top an exit searches for its frame before being
+  /// treated as unmatched (longjmp / exception unwind tolerance).
+  static constexpr std::size_t kUnwindScan = 8;
+
+  /// Find-or-create the cell for `addr`. Never fails: when the table
+  /// would exceed its load factor it grows (cold path, own thread).
+  FnThrottle* cell(std::uint64_t addr);
+
+  std::vector<PendingFrame> stack;
+
+ private:
+  void grow();
+
+  std::vector<FnThrottle> table_;
+  std::size_t mask_ = 0;
+  std::size_t used_ = 0;
+};
+
+/// The whole admission configuration, built once at session start and
+/// published to the hooks through one atomic pointer (null = everything
+/// admitted, the zero-cost default).
+struct AdmissionPlan {
+  AddrSet filter;  ///< suppression set (possibly empty)
+  ThrottleSettings throttle;
+  bool throttling = false;  ///< throttle.enabled(), cached for the hot path
+
+  explicit AdmissionPlan(std::size_t filter_capacity = 0)
+      : filter(filter_capacity) {}
+};
+
+}  // namespace tempest::core

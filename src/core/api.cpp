@@ -10,6 +10,10 @@ Status stop() { return core::Session::instance().stop(); }
 
 bool active() { return core::Session::instance().active(); }
 
+Result<std::string> snapshot(double timeout_s) {
+  return core::Session::instance().request_snapshot(timeout_s);
+}
+
 void region_enter(const std::string& name) {
   auto& session = core::Session::instance();
   session.record_enter(session.synthetic_addr(name));

@@ -28,6 +28,13 @@ Status stop();
 
 bool active();
 
+/// Flight-recorder snapshot: ask the sampler thread to write the
+/// current ring window as a standalone trace file (next to
+/// TEMPEST_OUT) and wait for it. Returns the snapshot path. Most useful
+/// with TEMPEST_RING_EVENTS / TEMPEST_RING_SECONDS, but works for any
+/// active session with an output path.
+Result<std::string> snapshot(double timeout_s = 5.0);
+
 /// Pre-resolved synthetic address for a region name. Construct once
 /// (e.g. as a function-local static) so hot call sites skip the
 /// name-table lookup — the explicit-API analogue of the hooks' raw

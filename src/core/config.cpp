@@ -1,28 +1,125 @@
 #include "core/config.hpp"
 
+#include <csignal>
+#include <mutex>
+#include <set>
+#include <string>
+
 #include "common/env.hpp"
+#include "telemetry/log.hpp"
 
 namespace tempest::core {
+namespace {
+
+/// Warn once per (variable, complaint) per process: from_env runs on
+/// every session start, and a constructor-started session in a test
+/// loop must not spam stderr with the same rejection hundreds of times.
+void warn_limited(const std::string& name, const std::string& what) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  const std::string key = name + "\x1f" + what;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!warned->insert(key).second) return;
+  }
+  telemetry::log_warn("config", name + ": " + what);
+}
+
+/// Checked numeric parse with the rejection policy the satellites ask
+/// for: malformed values warn (once) and keep the default; values below
+/// `min_ok` warn and keep the default.
+long env_long_or(const char* name, long fallback, long min_ok) {
+  long v = fallback;
+  switch (env_long_checked(name, &v)) {
+    case EnvParse::kAbsent:
+      return fallback;
+    case EnvParse::kMalformed:
+      warn_limited(name, "malformed numeric value; using default " +
+                             std::to_string(fallback));
+      return fallback;
+    case EnvParse::kOk:
+      break;
+  }
+  if (v < min_ok) {
+    warn_limited(name, "value " + std::to_string(v) + " out of range (min " +
+                           std::to_string(min_ok) + "); using default " +
+                           std::to_string(fallback));
+    return fallback;
+  }
+  return v;
+}
+
+double env_double_or(const char* name, double fallback, double min_ok) {
+  double v = fallback;
+  switch (env_double_checked(name, &v)) {
+    case EnvParse::kAbsent:
+      return fallback;
+    case EnvParse::kMalformed:
+      warn_limited(name, "malformed numeric value; using default");
+      return fallback;
+    case EnvParse::kOk:
+      break;
+  }
+  if (v < min_ok) {
+    warn_limited(name, "value " + std::to_string(v) +
+                           " below the minimum; using default");
+    return fallback;
+  }
+  return v;
+}
+
+/// "USR1", "SIGUSR2", or a raw signal number. -1 when unset/unknown.
+int parse_signal(const std::string& spec) {
+  if (spec.empty()) return -1;
+  std::string name = spec;
+  if (name.rfind("SIG", 0) == 0) name = name.substr(3);
+  if (name == "USR1") return SIGUSR1;
+  if (name == "USR2") return SIGUSR2;
+  if (name == "HUP") return SIGHUP;
+  try {
+    std::size_t pos = 0;
+    const int n = std::stoi(spec, &pos);
+    if (pos == spec.size() && n > 0 && n < 64) return n;
+  } catch (...) {
+  }
+  warn_limited("TEMPEST_SNAPSHOT_SIGNAL",
+               "unrecognised signal '" + spec + "'; snapshots disabled");
+  return -1;
+}
+
+}  // namespace
 
 SessionConfig SessionConfig::from_env() {
   SessionConfig c;
-  c.sample_hz = env_double("TEMPEST_HZ", c.sample_hz);
-  if (c.sample_hz <= 0.0) c.sample_hz = 4.0;
+  c.sample_hz = env_double_or("TEMPEST_HZ", c.sample_hz, 1e-6);
   c.output_path = env_string("TEMPEST_OUT", c.output_path);
   TempUnit unit = c.unit;
   if (parse_temp_unit(env_string("TEMPEST_UNIT", "F"), &unit)) c.unit = unit;
   c.bind_affinity = env_bool("TEMPEST_BIND", c.bind_affinity);
   c.bind_cpu = static_cast<int>(env_long("TEMPEST_CPU", c.bind_cpu));
   c.auto_report = env_bool("TEMPEST_REPORT", c.auto_report);
-  const long min_samples = env_long("TEMPEST_MIN_SAMPLES", 2);
-  c.min_samples_significant = min_samples < 0 ? 0 : static_cast<std::size_t>(min_samples);
+  c.min_samples_significant =
+      static_cast<std::size_t>(env_long_or("TEMPEST_MIN_SAMPLES", 2, 0));
   c.heartbeat_period_s = env_double("TEMPEST_HEARTBEAT", c.heartbeat_period_s);
   if (c.heartbeat_period_s < 0.0) c.heartbeat_period_s = 0.0;
-  const long max_events = env_long("TEMPEST_MAX_EVENTS", 0);
-  c.max_events_per_thread = max_events < 0 ? 0 : static_cast<std::size_t>(max_events);
+  // An explicit cap of 0 is never what anyone meant (it reads as
+  // "record nothing"); reject it — and negatives, and garbage — with a
+  // warning and stay on the default (unbounded).
+  c.max_events_per_thread =
+      static_cast<std::size_t>(env_long_or("TEMPEST_MAX_EVENTS", 0, 1));
   c.watchdog = env_bool("TEMPEST_WATCHDOG", c.watchdog);
-  c.watchdog_budget = env_double("TEMPEST_WATCHDOG_BUDGET", c.watchdog_budget);
-  if (c.watchdog_budget <= 0.0) c.watchdog_budget = 0.01;
+  c.watchdog_budget =
+      env_double_or("TEMPEST_WATCHDOG_BUDGET", c.watchdog_budget, 1e-9);
+
+  c.filter_path = env_string("TEMPEST_FILTER", c.filter_path);
+  c.min_duration_ns = env_long_or("TEMPEST_MIN_DURATION_NS", 0, 0);
+  c.rate_cap = env_long_or("TEMPEST_RATE_CAP", 0, 0);
+  c.adaptive = env_bool("TEMPEST_ADAPTIVE", c.adaptive);
+  c.ring_events =
+      static_cast<std::size_t>(env_long_or("TEMPEST_RING_EVENTS", 0, 0));
+  c.ring_seconds = env_double_or("TEMPEST_RING_SECONDS", 0.0, 0.0);
+  c.snapshot_signal =
+      parse_signal(env_string("TEMPEST_SNAPSHOT_SIGNAL", ""));
   return c;
 }
 

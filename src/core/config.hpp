@@ -12,12 +12,35 @@
 //   TEMPEST_REPORT  print the standard-output profile at exit (default 1)
 //   TEMPEST_HEARTBEAT      telemetry snapshot period in seconds written
 //                          to <trace>.telemetry.jsonl (0 = off, default)
-//   TEMPEST_MAX_EVENTS     per-thread event-buffer cap (0 = unbounded);
+//   TEMPEST_MAX_EVENTS     per-thread event-buffer cap (unset = unbounded);
 //                          overflow drops newest events, loudly counted
 //   TEMPEST_WATCHDOG       fail the session stop() when recording
 //                          overhead exceeded the budget (default 0: log)
 //   TEMPEST_WATCHDOG_BUDGET overhead budget as a share of wall time
 //                          (default 0.01 — the paper's < 1%)
+//
+// Admission pipeline (adaptive recording; see DESIGN.md §13):
+//   TEMPEST_FILTER         path to a TEMPEST_FILTER v1 suppression file
+//                          (tempest-audit --filter-out emits these);
+//                          listed functions are rejected before any
+//                          buffer write
+//   TEMPEST_MIN_DURATION_NS elide leaf call pairs shorter than this
+//   TEMPEST_RATE_CAP       admitted calls per function/thread/100 ms
+//                          window; hotter functions are auto-promoted
+//                          to coarser 1-in-2^k sampling
+//   TEMPEST_ADAPTIVE       let tempd raise/lower a global sampling
+//                          boost to hold the watchdog budget (default 0)
+//   TEMPEST_RING_EVENTS    flight-recorder ring: retain only the newest
+//                          N events per thread (rounded up to chunks)
+//   TEMPEST_RING_SECONDS   flight-recorder window in seconds (implies a
+//                          ring; the trace is trimmed to the window at
+//                          drain/snapshot)
+//   TEMPEST_SNAPSHOT_SIGNAL signal name/number ("USR2", "12") that
+//                          triggers a flight-recorder snapshot
+//
+// Malformed numeric values (TEMPEST_MAX_EVENTS=banana) and values that
+// would silently disable recording (TEMPEST_MAX_EVENTS=0) are rejected
+// with a rate-limited warning and fall back to the default.
 #pragma once
 
 #include <cstddef>
@@ -51,6 +74,25 @@ struct SessionConfig {
   bool watchdog = false;
   /// Overhead budget as a share of wall time (the paper's < 1%).
   double watchdog_budget = 0.01;
+
+  // -- admission pipeline (DESIGN.md §13) -------------------------------
+
+  /// TEMPEST_FILTER suppression file consumed at start ("" = none).
+  std::string filter_path;
+  /// Elide leaf enter/exit pairs shorter than this (0 = off).
+  long min_duration_ns = 0;
+  /// Admitted calls per function per thread per 100 ms window (0 = off).
+  long rate_cap = 0;
+  /// Let tempd's controller adjust a global sampling boost against the
+  /// watchdog budget.
+  bool adaptive = false;
+  /// Flight-recorder ring: newest events retained per thread (0 = off).
+  std::size_t ring_events = 0;
+  /// Flight-recorder window in seconds (0 = off). Implies a ring sized
+  /// for the window if ring_events is unset.
+  double ring_seconds = 0.0;
+  /// Signal that triggers a flight-recorder snapshot (-1 = none).
+  int snapshot_signal = -1;
 
   /// Defaults overlaid with any TEMPEST_* environment variables.
   static SessionConfig from_env();

@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
+#include "core/admission.hpp"
 #include "core/config.hpp"
 #include "core/tempd.hpp"
 #include "core/thread_buffer.hpp"
@@ -68,11 +70,34 @@ class Session {
 
   const Tempd::Stats& tempd_stats() const { return tempd_.stats(); }
 
+  /// Ask the tempd thread to write a flight-recorder snapshot and wait
+  /// (polling) until it lands or `timeout_s` passes. Returns the
+  /// snapshot file path. Requires an active session with an output path
+  /// and a running sampler.
+  Result<std::string> request_snapshot(double timeout_s = 5.0);
+
+  /// Flight-recorder snapshots written so far this run.
+  std::uint64_t snapshots_written() const {
+    return snapshots_written_.load(std::memory_order_acquire);
+  }
+
   // -- hot path (called by hooks / explicit API) --------------------------
 
   void record_enter(std::uint64_t addr) {
     if (!active_.load(std::memory_order_relaxed)) return;
     ThreadState* ts = registry_.current();
+    const AdmissionPlan* plan = admission_.load(std::memory_order_acquire);
+    if (plan != nullptr) {
+      if (plan->filter.contains(addr)) {
+        count_suppressed(ts);
+        return;
+      }
+      if (plan->throttling) {
+        record_throttled(ts, plan, addr, trace::FnEventKind::kEnter);
+        return;
+      }
+    }
+    ++ts->admitted;
     if ((++ts->probe_tick & (kProbeSamplePeriod - 1)) == 0) {
       record_probed(ts, addr, trace::FnEventKind::kEnter);
       return;
@@ -84,6 +109,18 @@ class Session {
   void record_exit(std::uint64_t addr) {
     if (!active_.load(std::memory_order_relaxed)) return;
     ThreadState* ts = registry_.current();
+    const AdmissionPlan* plan = admission_.load(std::memory_order_acquire);
+    if (plan != nullptr) {
+      if (plan->filter.contains(addr)) {
+        count_suppressed(ts);
+        return;
+      }
+      if (plan->throttling) {
+        record_throttled(ts, plan, addr, trace::FnEventKind::kExit);
+        return;
+      }
+    }
+    ++ts->admitted;
     if ((++ts->probe_tick & (kProbeSamplePeriod - 1)) == 0) {
       record_probed(ts, addr, trace::FnEventKind::kExit);
       return;
@@ -115,8 +152,49 @@ class Session {
   static constexpr std::uint32_t kProbeSamplePeriod = 1024;
   void record_probed(ThreadState* ts, std::uint64_t addr, trace::FnEventKind kind);
 
-  /// Fold telemetry counters + tempd stats into trace_.run_stats.
-  void assemble_run_stats();
+  /// Rejection counters publish to telemetry in blocks so the rejected
+  /// hook path stays a TLS increment plus one predictable compare; the
+  /// exact remainder flushes at drain.
+  static constexpr std::uint64_t kAdmissionPublishBlock = 4096;
+
+  void count_suppressed(ThreadState* ts) {
+    ++ts->suppressed;
+    if (ts->suppressed - ts->published_suppressed >= kAdmissionPublishBlock) {
+      publish_suppressed(ts);
+    }
+  }
+  void publish_suppressed(ThreadState* ts);    ///< cold: telemetry flush
+  void count_throttled(ThreadState* ts, std::uint64_t n);
+
+  /// Slow lane for sessions with throttling enabled: rate-cap table,
+  /// shadow stack for paired decisions, min-duration leaf elision.
+  void record_throttled(ThreadState* ts, const AdmissionPlan* plan,
+                        std::uint64_t addr, trace::FnEventKind kind);
+
+  /// Push an admitted event stamped `now`, keeping the 1-in-1024
+  /// probe-cost self-sampling alive on the throttled lane.
+  void push_admitted(ThreadState* ts, std::uint64_t now, std::uint64_t addr,
+                     trace::FnEventKind kind);
+
+  /// Consume config_.filter_path: parse, resolve names against the ELF
+  /// symtab (+ already-minted synthetic regions), build the suppression
+  /// set into `plan`. Unresolved names wait in filter_names_ for
+  /// synthetic_addr to mint them.
+  void load_filter(AdmissionPlan* plan) EXCLUDES(synth_mu_);
+
+  /// Runs on the tempd thread once per sampling tick: services snapshot
+  /// requests (signal/API/watchdog) and the adaptive boost controller.
+  void on_tempd_tick();
+  void adaptive_tick();
+
+  /// Write the current flight-recorder window as a standalone trace-v2
+  /// file next to the output path. Called only from the tempd thread
+  /// (which owns the sample vectors). Recording is paused around the
+  /// buffer copy and re-armed unless stop() is underway.
+  void write_snapshot(const char* trigger);
+
+  /// Fold exact drain totals + telemetry + tempd stats into `rs`.
+  void assemble_run_stats(trace::RunStats* rs, const DrainTotals& totals);
 
   // Lifecycle members (config_, nodes_, trace_, ...) are mutated only
   // from the controlling thread while the session is inactive, or
@@ -131,6 +209,33 @@ class Session {
   telemetry::HeartbeatEmitter heartbeat_;
   trace::Trace trace_;
   std::uint64_t start_tsc_ = 0;
+
+  // -- admission pipeline -----------------------------------------------
+  // plan_ is built at start() and published to the hooks through
+  // admission_ (null = admit everything). Old plans are retired, never
+  // freed mid-process, for the same reason retired ThreadStates are: a
+  // hook that loaded the pointer just before stop() may still probe it.
+  std::unique_ptr<AdmissionPlan> plan_;
+  std::vector<std::unique_ptr<AdmissionPlan>> retired_plans_;
+  std::atomic<const AdmissionPlan*> admission_{nullptr};
+  trace::FilterDecl filter_decl_ GUARDED_BY(synth_mu_);
+  /// Filter rules that did not match an ELF symbol: candidate synthetic
+  /// region names, consulted (under synth_mu_) when regions are minted.
+  std::vector<std::string> filter_names_ GUARDED_BY(synth_mu_);
+  /// Global sampling boost: the throttle admits 1 in 2^(shift+boost).
+  /// Written by the tempd-thread controller, read relaxed by hooks.
+  std::atomic<std::uint32_t> boost_{0};
+  double tsc_hz_ = 0.0;
+  std::uint64_t ring_trim_ticks_ = 0;  ///< TEMPEST_RING_SECONDS in ticks
+
+  // -- flight recorder ----------------------------------------------------
+  std::atomic<bool> snapshot_requested_{false};
+  std::atomic<std::uint64_t> snapshots_written_{0};
+  std::atomic<bool> stopping_{false};  ///< stop() underway: don't re-arm
+  bool watchdog_snapped_ = false;      ///< tempd thread only
+  bool signal_installed_ = false;
+  common::Mutex snap_mu_;
+  std::string last_snapshot_path_ GUARDED_BY(snap_mu_);
 
   common::Mutex synth_mu_;
   std::vector<trace::SyntheticSymbol> synthetic_ GUARDED_BY(synth_mu_);

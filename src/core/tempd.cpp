@@ -30,6 +30,12 @@ double to_us(std::chrono::steady_clock::duration d) {
 
 }  // namespace
 
+void Tempd::set_tick_hook(std::function<void()> hook) {
+  common::MutexLock lock(&lifecycle_mu_);
+  if (thread_.joinable()) return;  // running sampler keeps its hook
+  tick_hook_ = std::move(hook);
+}
+
 void Tempd::start(double hz, std::vector<NodeBinding>* nodes) {
   common::MutexLock lock(&lifecycle_mu_);
   if (thread_.joinable()) return;  // already running
@@ -91,6 +97,9 @@ void Tempd::run_loop(double hz) {
     sample_all_nodes();
     ++stats_.ticks;
     telemetry::count(Counter::kTempdTicks);
+    // After the sweep so a snapshot taken from the hook sees samples up
+    // to and including this tick.
+    if (tick_hook_) tick_hook_();
     const auto tick_end = clock::now();
     telemetry::observe(Histogram::kTickWallUs, to_us(tick_end - tick_start));
     telemetry::gauge_set(

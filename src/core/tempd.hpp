@@ -54,6 +54,13 @@ class Tempd {
 
   ~Tempd() { stop(); }
 
+  /// Install a hook the sampler thread invokes once per tick, after the
+  /// sensor sweep (the session uses it to service flight-recorder
+  /// snapshot requests and the adaptive controller from a thread that
+  /// safely owns the sample vectors). Set while stopped; a running
+  /// sampler keeps its current hook.
+  void set_tick_hook(std::function<void()> hook) EXCLUDES(lifecycle_mu_);
+
   /// Begin sampling `nodes` at `hz`. The bindings must outlive the run.
   /// No-op when already running.
   void start(double hz, std::vector<NodeBinding>* nodes) EXCLUDES(lifecycle_mu_);
@@ -82,6 +89,7 @@ class Tempd {
   common::Mutex lifecycle_mu_;
   std::thread thread_ GUARDED_BY(lifecycle_mu_);
   std::vector<NodeBinding>* nodes_ = nullptr;
+  std::function<void()> tick_hook_;  ///< read only by the sampler thread
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
 

@@ -26,6 +26,7 @@ std::atomic<std::uint64_t> g_generation{1};
 
 void EventBuffer::new_chunk() {
   using telemetry::Counter;
+  ++chunk_seq_;  // cursor epoch: every chunk transition advances it
   if (dropping_) {
     // Scratch wrapped: the kChunkSize events it held are gone for good.
     dropped_ += kChunkSize;
@@ -37,9 +38,26 @@ void EventBuffer::new_chunk() {
   if (!chunks_.empty()) {
     // The chunk that just filled becomes visible to telemetry here —
     // chunk-granular publication keeps the per-event hot path free of
-    // atomics while the heartbeat still tracks recording rate live.
+    // atomics while the heartbeat still tracks recording rate live. (In
+    // ring mode this counts *pushes*; RUNSTATS takes the exact retained
+    // count from the drain totals instead.)
     telemetry::count(Counter::kEventsRecorded, kChunkSize);
     published_stored_ += kChunkSize;
+  }
+  if (ring_chunks_ != 0 && chunks_.size() >= ring_chunks_) {
+    // Flight-recorder posture: recycle the *oldest* chunk so the buffer
+    // always holds the most recent window. The recycled events are gone;
+    // count them exactly and publish so tempest-top can watch the ring
+    // churn live.
+    std::unique_ptr<trace::FnEvent[]> oldest = std::move(chunks_.front());
+    chunks_.erase(chunks_.begin());
+    chunks_.push_back(std::move(oldest));
+    active_ = chunks_.back().get();
+    pos_ = 0;
+    overwritten_ += kChunkSize;
+    published_overwritten_ += kChunkSize;
+    telemetry::count(Counter::kEventsOverwritten, kChunkSize);
+    return;
   }
   if (max_chunks_ != 0 && chunks_.size() >= max_chunks_) {
     if (scratch_ == nullptr) {
@@ -79,6 +97,13 @@ void EventBuffer::set_limit(std::size_t max_events) {
       max_events == 0 ? 0 : (max_events + kChunkSize - 1) / kChunkSize;
 }
 
+void EventBuffer::set_ring(std::size_t max_events) {
+  ring_chunks_ =
+      max_events == 0
+          ? 0
+          : std::max<std::size_t>(2, (max_events + kChunkSize - 1) / kChunkSize);
+}
+
 void EventBuffer::append_to(std::vector<trace::FnEvent>* out) const {
   out->reserve(out->size() + size());
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
@@ -86,6 +111,40 @@ void EventBuffer::append_to(std::vector<trace::FnEvent>* out) const {
         (i + 1 == chunks_.size() && !dropping_) ? pos_ : kChunkSize;
     out->insert(out->end(), chunks_[i].get(), chunks_[i].get() + n);
   }
+}
+
+void EventBuffer::append_to(std::vector<trace::FnEvent>* out,
+                            std::uint64_t min_tsc,
+                            std::uint64_t* trimmed) const {
+  if (min_tsc == 0) {
+    append_to(out);
+    return;
+  }
+  out->reserve(out->size() + size());
+  std::uint64_t skipped = 0;
+  bool copying = false;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const std::size_t n =
+        (i + 1 == chunks_.size() && !dropping_) ? pos_ : kChunkSize;
+    const trace::FnEvent* begin = chunks_[i].get();
+    if (!copying) {
+      if (n == 0 || begin[n - 1].tsc < min_tsc) {
+        skipped += n;  // whole chunk predates the window
+        continue;
+      }
+      // Boundary chunk: the buffer is time-ordered, so binary-search
+      // the first event inside the window.
+      const trace::FnEvent* first = std::lower_bound(
+          begin, begin + n, min_tsc,
+          [](const trace::FnEvent& e, std::uint64_t t) { return e.tsc < t; });
+      skipped += static_cast<std::uint64_t>(first - begin);
+      out->insert(out->end(), first, begin + n);
+      copying = true;
+      continue;
+    }
+    out->insert(out->end(), begin, begin + n);
+  }
+  if (trimmed != nullptr) *trimmed += skipped;
 }
 
 void EventBuffer::publish_telemetry() {
@@ -99,6 +158,11 @@ void EventBuffer::publish_telemetry() {
   if (drops > published_dropped_) {
     telemetry::count(Counter::kEventsDropped, drops - published_dropped_);
     published_dropped_ = drops;
+  }
+  if (overwritten_ > published_overwritten_) {
+    telemetry::count(Counter::kEventsOverwritten,
+                     overwritten_ - published_overwritten_);
+    published_overwritten_ = overwritten_;
   }
 }
 
@@ -115,7 +179,11 @@ ThreadState* ThreadRegistry::register_thread() {
   common::MutexLock lock(&mu_);
   threads_.push_back(std::make_unique<ThreadState>());
   threads_.back()->thread_id = next_id_++;
-  threads_.back()->events.set_limit(buffer_limit_);
+  if (buffer_ring_ != 0) {
+    threads_.back()->events.set_ring(buffer_ring_);
+  } else {
+    threads_.back()->events.set_limit(buffer_limit_);
+  }
   telemetry::count(telemetry::Counter::kThreadsRegistered);
   telemetry::gauge_set(telemetry::Gauge::kActiveThreads,
                        static_cast<std::int64_t>(threads_.size()));
@@ -135,25 +203,73 @@ void ThreadRegistry::set_buffer_limit(std::size_t max_events_per_thread) {
   buffer_limit_ = max_events_per_thread;
 }
 
-void ThreadRegistry::drain_into(trace::Trace* trace) {
+void ThreadRegistry::set_buffer_ring(std::size_t ring_events_per_thread) {
   common::MutexLock lock(&mu_);
+  buffer_ring_ = ring_events_per_thread;
+}
+
+void ThreadRegistry::collect_into(trace::Trace* trace, std::uint64_t ring_ticks,
+                                  DrainTotals* totals, bool publish) {
   std::size_t total = 0;
   for (const auto& ts : threads_) total += ts->events.size();
   trace->fn_events.reserve(trace->fn_events.size() + total);
   trace->fn_event_runs.reserve(trace->fn_event_runs.size() + threads_.size());
   for (const auto& ts : threads_) {
-    // Exact telemetry now that the thread is quiesced: the partial last
-    // chunk and any scratch-resident drops flush to the counters.
-    ts->events.publish_telemetry();
+    if (publish) {
+      // Exact telemetry now that the thread is quiesced: the partial
+      // last chunk, scratch-resident drops, and the suppressed /
+      // throttled remainders below the block-publication granularity
+      // all flush to the counters.
+      ts->events.publish_telemetry();
+      if (ts->suppressed > ts->published_suppressed) {
+        telemetry::count(telemetry::Counter::kEventsSuppressed,
+                         ts->suppressed - ts->published_suppressed);
+        ts->published_suppressed = ts->suppressed;
+      }
+      if (ts->throttled > ts->published_throttled) {
+        telemetry::count(telemetry::Counter::kEventsThrottled,
+                         ts->throttled - ts->published_throttled);
+        ts->published_throttled = ts->throttled;
+      }
+    }
+    // TEMPEST_RING_SECONDS: trim to each thread's own clock domain —
+    // "now minus the window" translated the same way its events were.
+    std::uint64_t min_tsc = 0;
+    if (ring_ticks != 0) {
+      const std::uint64_t now = ts->now();
+      min_tsc = now > ring_ticks ? now - ring_ticks : 0;
+    }
+    std::uint64_t trimmed = 0;
     const std::size_t begin = trace->fn_events.size();
-    ts->events.append_to(&trace->fn_events);
+    ts->events.append_to(&trace->fn_events, min_tsc, &trimmed);
     const std::size_t count = trace->fn_events.size() - begin;
     // Each thread stamps from one clock domain, so its buffer is a
     // time-ordered run; record it for the k-way merge in sort_by_time
     // (which re-validates the ordering before trusting it).
     if (count > 0) trace->fn_event_runs.push_back({begin, count});
     trace->threads.push_back({ts->thread_id, ts->node_id, ts->core});
+    if (totals != nullptr) {
+      totals->retained += count;
+      totals->dropped += ts->events.dropped();
+      totals->overwritten += ts->events.overwritten() + trimmed;
+      totals->admitted += ts->admitted;
+      totals->suppressed += ts->suppressed;
+      totals->throttled += ts->throttled;
+    }
   }
+}
+
+void ThreadRegistry::drain_into(trace::Trace* trace, std::uint64_t ring_ticks,
+                                DrainTotals* totals) {
+  common::MutexLock lock(&mu_);
+  collect_into(trace, ring_ticks, totals, /*publish=*/true);
+}
+
+void ThreadRegistry::snapshot_into(trace::Trace* trace,
+                                   std::uint64_t ring_ticks,
+                                   DrainTotals* totals) {
+  common::MutexLock lock(&mu_);
+  collect_into(trace, ring_ticks, totals, /*publish=*/false);
 }
 
 std::size_t ThreadRegistry::total_events() {

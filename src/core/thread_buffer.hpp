@@ -13,6 +13,7 @@
 
 #include "common/thread_annotations.hpp"
 #include "common/tsc.hpp"
+#include "core/admission.hpp"
 #include "trace/trace.hpp"
 
 namespace tempest::core {
@@ -29,6 +30,12 @@ namespace tempest::core {
 /// telemetry registry, surfaced in the trace's RUNSTATS trailer, and
 /// flagged by tempest-lint. The hot path stays one compare + one store
 /// either way; all cap logic lives in the cold new_chunk path.
+///
+/// Alternatively a flight-recorder ring (set_ring): the buffer keeps at
+/// most N chunks and recycles the *oldest* when full, so what survives
+/// is always the most recent window — the opposite drop policy from the
+/// cap (which keeps the head and drops the tail). Overwritten events
+/// are counted exactly, for the same conservation story.
 class EventBuffer {
  public:
   static constexpr std::size_t kChunkSize = 64 * 1024;
@@ -48,6 +55,14 @@ class EventBuffer {
   /// chunks; 0 = unbounded, the default). Call before recording starts.
   void set_limit(std::size_t max_events);
 
+  /// Flight-recorder posture: retain roughly `max_events` (rounded up
+  /// to whole chunks, min 2 so there is always a full chunk behind the
+  /// write head), recycling the oldest chunk when full. 0 disables.
+  /// Mutually exclusive with set_limit; ring wins when both are set.
+  void set_ring(std::size_t max_events);
+
+  bool ring() const { return ring_chunks_ != 0; }
+
   /// Events retained (excludes dropped ones).
   std::size_t size() const {
     if (chunks_.empty()) return 0;
@@ -58,9 +73,40 @@ class EventBuffer {
   /// Events lost to the cap so far (exact).
   std::uint64_t dropped() const { return dropped_ + (dropping_ ? pos_ : 0); }
 
+  /// Events recycled by the ring so far (exact; excludes trim at drain).
+  std::uint64_t overwritten() const { return overwritten_; }
+
+  /// Write-head position as an opaque monotonic value: advances on
+  /// every push, never repeats within a session. The throttle's shadow
+  /// stack snapshots it after an enter push; an unchanged cursor at the
+  /// matching exit proves the enter is still the newest event (leaf
+  /// call), making try_pop_last safe.
+  std::uint64_t cursor() const {
+    // kChunkSize = 2^16 and pos_ ranges 0..kChunkSize inclusive.
+    return (chunk_seq_ << 17) | pos_;
+  }
+
+  /// Retract the newest event iff it is an *enter* for `addr` (the
+  /// min-duration elision). Only sound straight after a cursor match.
+  bool try_pop_last(std::uint64_t addr) {
+    if (active_ == nullptr || pos_ == 0) return false;
+    const trace::FnEvent& last = active_[pos_ - 1];
+    if (last.addr != addr || last.kind != trace::FnEventKind::kEnter) {
+      return false;
+    }
+    --pos_;
+    return true;
+  }
+
   /// Copy all retained events out (drain happens once, post-run);
   /// reserves the destination before inserting.
   void append_to(std::vector<trace::FnEvent>* out) const;
+
+  /// Time-trimmed copy for TEMPEST_RING_SECONDS: events stamped before
+  /// `min_tsc` are skipped (binary search inside the boundary chunk —
+  /// per-thread buffers are time-ordered) and counted into *trimmed.
+  void append_to(std::vector<trace::FnEvent>* out, std::uint64_t min_tsc,
+                 std::uint64_t* trimmed) const;
 
   /// Publish not-yet-published stored/dropped counts to the telemetry
   /// registry (chunk boundaries publish eagerly; this flushes the
@@ -75,10 +121,14 @@ class EventBuffer {
   std::vector<std::unique_ptr<trace::FnEvent[]>> chunks_;
   std::unique_ptr<trace::FnEvent[]> scratch_;  ///< overwrite target once capped
   std::size_t max_chunks_ = 0;                 ///< 0 = unbounded
+  std::size_t ring_chunks_ = 0;                ///< 0 = not a ring
   bool dropping_ = false;
+  std::uint64_t chunk_seq_ = 0;          ///< new_chunk calls (cursor epoch)
   std::uint64_t dropped_ = 0;            ///< completed scratch wraps only
+  std::uint64_t overwritten_ = 0;        ///< events recycled by the ring
   std::uint64_t published_stored_ = 0;   ///< kEventsRecorded already counted
   std::uint64_t published_dropped_ = 0;  ///< kEventsDropped already counted
+  std::uint64_t published_overwritten_ = 0;  ///< kEventsOverwritten counted
 };
 
 /// Everything the hooks need per thread, reachable via one TLS pointer.
@@ -93,10 +143,41 @@ struct ThreadState {
   std::uint32_t probe_tick = 0;
   EventBuffer events;
 
+  // Admission accounting. Plain u64s, TLS-confined (single writer);
+  // read cross-thread only at drain/snapshot when the recorder is
+  // quiesced. `admitted` counts events that reached the buffer (elision
+  // retracts), `suppressed` the filter rejections, `throttled` the rate
+  // cap / min-duration rejections; calls_observed is their sum.
+  std::uint64_t admitted = 0;
+  std::uint64_t suppressed = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t published_suppressed = 0;  ///< telemetry already counted
+  std::uint64_t published_throttled = 0;
+
+  /// Per-thread throttle machinery, created lazily on the first hook
+  /// call that reaches the throttle layer.
+  std::unique_ptr<ThrottleState> throttle;
+
   std::uint64_t now() const {
     const std::uint64_t t = rdtsc();
     return clock != nullptr ? clock->translate(t) : t;
   }
+};
+
+/// Exact per-process admission totals, summed at drain/snapshot time
+/// from the quiesced per-thread counters. RUNSTATS uses these rather
+/// than the telemetry counters: the counters are published at chunk /
+/// block granularity for the live heartbeat and over-count retained
+/// events in ring mode (a recycled chunk was already published).
+struct DrainTotals {
+  std::uint64_t retained = 0;     ///< events that made it into the trace
+  std::uint64_t dropped = 0;      ///< lost to the cap
+  std::uint64_t overwritten = 0;  ///< recycled by the ring + trimmed at drain
+  std::uint64_t admitted = 0;     ///< = retained + dropped + overwritten
+  std::uint64_t suppressed = 0;
+  std::uint64_t throttled = 0;
+
+  std::uint64_t observed() const { return admitted + suppressed + throttled; }
 };
 
 /// Owns ThreadStates for every thread that ever recorded an event.
@@ -124,12 +205,32 @@ class ThreadRegistry {
   /// their old limit — set it before the session records.
   void set_buffer_limit(std::size_t max_events_per_thread) EXCLUDES(mu_);
 
+  /// Flight-recorder ring size applied to every subsequently registered
+  /// thread (0 = off). Wins over set_buffer_limit. Set before recording.
+  void set_buffer_ring(std::size_t ring_events_per_thread) EXCLUDES(mu_);
+
   /// Drain all buffers into a trace (call only when threads are
   /// quiesced). Reserves the destination once for the total event count
   /// and records one Trace::fn_event_runs entry per thread, so
   /// Trace::sort_by_time can k-way-merge the per-thread runs instead of
   /// re-sorting from scratch.
-  void drain_into(trace::Trace* trace) EXCLUDES(mu_);
+  ///
+  /// `ring_ticks` (nonzero only in TEMPEST_RING_SECONDS mode) trims each
+  /// thread's buffer to events newer than its clock's "now minus the
+  /// window"; trimmed events count as overwritten. `totals`, when
+  /// non-null, receives the exact admission accounting for RUNSTATS.
+  void drain_into(trace::Trace* trace, std::uint64_t ring_ticks,
+                  DrainTotals* totals) EXCLUDES(mu_);
+  void drain_into(trace::Trace* trace) EXCLUDES(mu_) {
+    drain_into(trace, 0, nullptr);
+  }
+
+  /// Like drain_into but non-destructive and without telemetry flushes:
+  /// copies the retained window out for a flight-recorder snapshot while
+  /// the session is merely paused (active flag cleared), not stopped.
+  /// Thread ids/cores are appended to trace->threads as in drain_into.
+  void snapshot_into(trace::Trace* trace, std::uint64_t ring_ticks,
+                     DrainTotals* totals) EXCLUDES(mu_);
 
   /// Total buffered events across threads. Call only when recording
   /// threads are quiesced — it reads every live buffer (diagnostics).
@@ -145,11 +246,16 @@ class ThreadRegistry {
  private:
   ThreadState* register_thread() EXCLUDES(mu_);
 
+  /// Shared body of drain_into/snapshot_into. REQUIRES(mu_) via callers.
+  void collect_into(trace::Trace* trace, std::uint64_t ring_ticks,
+                    DrainTotals* totals, bool publish) REQUIRES(mu_);
+
   common::Mutex mu_;
   std::vector<std::unique_ptr<ThreadState>> threads_ GUARDED_BY(mu_);
   std::vector<std::unique_ptr<ThreadState>> retired_ GUARDED_BY(mu_);
   std::uint32_t next_id_ GUARDED_BY(mu_) = 0;
   std::size_t buffer_limit_ GUARDED_BY(mu_) = 0;
+  std::size_t buffer_ring_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tempest::core

@@ -90,6 +90,7 @@ Status LintSink::on_batch(const TraceMeta& /*meta*/, const EventBatch& batch) {
 
 Status LintSink::on_end(const TraceMeta& meta) {
   engine_->set_run_stats(meta.run_stats);
+  engine_->set_filter_decl(meta.filter);
   report_ = engine_->finish();
   return Status::ok();
 }

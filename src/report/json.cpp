@@ -104,6 +104,16 @@ void write_profile_json(std::ostream& out, const parser::RunProfile& profile,
     fastwrite::append_u64(buf, rs.events_recorded);
     buf += ",\"events_dropped\":";
     fastwrite::append_u64(buf, rs.events_dropped);
+    buf += ",\"events_suppressed\":";
+    fastwrite::append_u64(buf, rs.events_suppressed);
+    buf += ",\"events_throttled\":";
+    fastwrite::append_u64(buf, rs.events_throttled);
+    buf += ",\"events_overwritten\":";
+    fastwrite::append_u64(buf, rs.events_overwritten);
+    buf += ",\"calls_observed\":";
+    fastwrite::append_u64(buf, rs.calls_observed);
+    buf += ",\"ring_snapshots\":";
+    fastwrite::append_u64(buf, rs.ring_snapshots);
     buf += ",\"buffer_flushes\":";
     fastwrite::append_u64(buf, rs.buffer_flushes);
     buf += ",\"threads_registered\":";

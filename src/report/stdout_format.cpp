@@ -63,6 +63,20 @@ void print_run_stats(std::ostream& out, const trace::RunStats& stats) {
     fastwrite::append_u64(buf, stats.events_dropped);
     buf += " (profile under-counts)";
   }
+  if (stats.calls_observed > 0) {
+    buf += "\n  admission: observed ";
+    fastwrite::append_u64(buf, stats.calls_observed);
+    buf += "  suppressed ";
+    fastwrite::append_u64(buf, stats.events_suppressed);
+    buf += "  throttled ";
+    fastwrite::append_u64(buf, stats.events_throttled);
+    buf += "  ring-overwritten ";
+    fastwrite::append_u64(buf, stats.events_overwritten);
+    if (stats.ring_snapshots > 0) {
+      buf += "  snapshots ";
+      fastwrite::append_u64(buf, stats.ring_snapshots);
+    }
+  }
   buf += "\n  threads ";
   fastwrite::append_u64(buf, stats.threads_registered);
   buf += "  buffer flushes ";

@@ -32,6 +32,10 @@ const char* const kCounterNames[kCounterCount] = {
     "export_events_exported",
     "export_spans_dropped",
     "export_bytes_written",
+    "events_suppressed",
+    "events_throttled",
+    "events_overwritten",
+    "ring_snapshots",
 };
 
 const char* const kGaugeNames[kGaugeCount] = {

@@ -56,6 +56,10 @@ enum class Counter : std::uint16_t {
   kExportEvents,         ///< trace-event records written by the exporters
   kExportSpansDropped,   ///< unbalanced entry/exit events discarded on export
   kExportBytes,          ///< bytes of export output written
+  kEventsSuppressed,     ///< hook calls rejected by the TEMPEST_FILTER set
+  kEventsThrottled,      ///< hook calls rejected by rate caps / min-duration
+  kEventsOverwritten,    ///< events discarded by the flight-recorder ring
+  kRingSnapshots,        ///< flight-recorder snapshot traces written
   kCount
 };
 

@@ -109,6 +109,21 @@ void render(const std::string& last, const std::string& previous,
                 "  events   %12.0f   (%.0f/s)   dropped %.0f%s", events, rate,
                 dropped, dropped > 0.0 ? "  <-- profile under-counts" : "");
   out << buf << "\n";
+  // Admission pipeline counters (suppression filter / throttle / ring);
+  // only rendered when the session actually rejected or recycled
+  // something — a plain record-everything run keeps the old layout.
+  const double suppressed = json_number(last, "events_suppressed");
+  const double throttled = json_number(last, "events_throttled");
+  const double overwritten = json_number(last, "events_overwritten");
+  const double snapshots = json_number(last, "ring_snapshots");
+  if (suppressed > 0.0 || throttled > 0.0 || overwritten > 0.0 ||
+      snapshots > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  admission  suppressed %.0f   throttled %.0f   "
+                  "ring-overwritten %.0f   snapshots %.0f",
+                  suppressed, throttled, overwritten, snapshots);
+    out << buf << "\n";
+  }
   std::snprintf(buf, sizeof(buf),
                 "  probes   mean %.0f ns   max %.0f ns   (n=%.0f sampled)",
                 json_number(last, "probe_cost_ns_mean"),

@@ -290,29 +290,53 @@ Status TraceStreamReader::next_section(int section, std::uint32_t record_size,
 }
 
 Status TraceStreamReader::try_read_runstats() {
+  // Trailer dispatch: each optional trailer is self-describing by its
+  // 4-byte marker, so keep consuming trailers until the peeked bytes
+  // are neither a known marker nor present at all.
   std::istream& in = *in_;
-  const std::istream::pos_type pos = in.tellg();
-  if (!in || pos == std::istream::pos_type(-1)) {
-    in.clear();  // non-seekable: leave run_stats absent
-    return Status::ok();
+  for (;;) {
+    const std::istream::pos_type pos = in.tellg();
+    if (!in || pos == std::istream::pos_type(-1)) {
+      in.clear();  // non-seekable: leave trailers absent
+      return Status::ok();
+    }
+    char marker_buf[4];
+    in.read(marker_buf, sizeof(marker_buf));
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(marker_buf))) {
+      // Clean EOF or a short tail: no more trailers. Rewind so
+      // expect_eof's trailing-byte count is exact.
+      in.clear();
+      in.seekg(pos);
+      return Status::ok();
+    }
+    const std::uint32_t marker = unpack_u32(marker_buf);
+    Status parsed = Status::ok();
+    if (marker == kRunStatsMarker) {
+      parsed = read_runstats_trailer();
+    } else if (marker == kFilterMarker) {
+      parsed = read_filter_trailer();
+    } else {
+      // Someone else's bytes: not a trailer. Give them back.
+      in.clear();
+      in.seekg(pos);
+      return Status::ok();
+    }
+    if (!parsed) return parsed;
   }
-  char marker_buf[4];
-  in.read(marker_buf, sizeof(marker_buf));
-  if (in.gcount() != static_cast<std::streamsize>(sizeof(marker_buf)) ||
-      unpack_u32(marker_buf) != kRunStatsMarker) {
-    // Clean EOF, a short tail, or someone else's bytes: all mean "no
-    // runstats". Rewind so expect_eof's trailing-byte count is exact.
-    in.clear();
-    in.seekg(pos);
-    return Status::ok();
-  }
-  Cursor cur(in);
+}
+
+Status TraceStreamReader::read_runstats_trailer() {
+  Cursor cur(*in_);
   std::uint32_t record_size = 0;
-  char payload[kRunStatsRecordSize];
-  if (!cur.get(&record_size) || record_size != kRunStatsRecordSize) {
+  // Legacy 15-field records predate the admission pipeline; their
+  // admission counters stay zero (value-initialised payload).
+  char payload[kRunStatsRecordSize] = {};
+  if (!cur.get(&record_size) ||
+      (record_size != kRunStatsRecordSize &&
+       record_size != kRunStatsRecordSizeLegacy)) {
     return Status::error("runstats record size mismatch (corrupt trailer)");
   }
-  if (!cur.get_bytes(payload, sizeof(payload))) {
+  if (!cur.get_bytes(payload, record_size)) {
     return Status::error("truncated runstats trailer");
   }
   RunStats& rs = header_.run_stats;
@@ -331,8 +355,39 @@ Status TraceStreamReader::try_read_runstats() {
   rs.wall_seconds = unpack_f64(p); p += 8;
   rs.tempd_cpu_seconds = unpack_f64(p); p += 8;
   rs.probe_cost_ns_mean = unpack_f64(p); p += 8;
-  rs.cadence_jitter_us_mean = unpack_f64(p);
+  rs.cadence_jitter_us_mean = unpack_f64(p); p += 8;
+  rs.events_suppressed = unpack_u64(p); p += 8;
+  rs.events_throttled = unpack_u64(p); p += 8;
+  rs.events_overwritten = unpack_u64(p); p += 8;
+  rs.calls_observed = unpack_u64(p); p += 8;
+  rs.ring_snapshots = unpack_u64(p);
   rs.present = true;
+  return Status::ok();
+}
+
+Status TraceStreamReader::read_filter_trailer() {
+  Cursor cur(*in_);
+  char resolved_buf[8];
+  FilterDecl& fd = header_.filter;
+  if (!cur.get_bytes(resolved_buf, sizeof(resolved_buf))) {
+    return Status::error("truncated filter trailer");
+  }
+  fd.resolved = unpack_u64(resolved_buf);
+  std::uint32_t count = 0;
+  if (!cur.get_string(&fd.source) || !cur.get(&count)) {
+    return Status::error("truncated filter trailer");
+  }
+  if (count > (1u << 20)) {
+    return Status::error("filter trailer symbol count implausible (corrupt)");
+  }
+  fd.suppressed.clear();
+  fd.suppressed.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!cur.get_string(&fd.suppressed[i])) {
+      return Status::error("truncated filter trailer symbol");
+    }
+  }
+  fd.present = true;
   return Status::ok();
 }
 
@@ -490,9 +545,10 @@ Result<Trace> read_trace(std::istream& in) {
     }
     if (!section) return Result<Trace>::error(section.message());
   }
-  // The RUNSTATS trailer is parsed when the last section completes,
-  // after the header copy above — refresh it.
+  // The trailers are parsed when the last section completes, after the
+  // header copy above — refresh them.
   trace.run_stats = reader.header().run_stats;
+  trace.filter = reader.header().filter;
   return trace;
 }
 
@@ -521,6 +577,7 @@ Result<Trace> read_trace_file(const std::string& path) {
     if (!section) return Result<Trace>::error(path + ": " + section.message());
   }
   trace.run_stats = reader.header().run_stats;
+  trace.filter = reader.header().filter;
   const Status eof = reader.expect_eof();
   if (!eof) return Result<Trace>::error(path + ": " + eof.message());
   return trace;

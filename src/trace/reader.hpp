@@ -89,13 +89,17 @@ class TraceStreamReader {
   Status read_section_frame(std::uint32_t expected_record_size, const char* what);
 
   /// Invoked once when the last bulk section completes: parse the
-  /// optional RUNSTATS trailer into header_.run_stats. A missing marker
-  /// is not an error (pre-RUNSTATS trace, or unrelated trailing bytes —
-  /// the stream position is restored so expect_eof still counts them
-  /// exactly); a present marker with bad framing is. Non-seekable
-  /// streams skip the probe and report run_stats absent, because a
-  /// failed match could not give the bytes back.
+  /// optional trailers (RUNSTATS into header_.run_stats, FLTR into
+  /// header_.filter), dispatching on their 4-byte markers until the
+  /// peeked bytes match none. A missing marker is not an error
+  /// (pre-RUNSTATS trace, or unrelated trailing bytes — the stream
+  /// position is restored so expect_eof still counts them exactly); a
+  /// present marker with bad framing is. Non-seekable streams skip the
+  /// probe and report the trailers absent, because a failed match could
+  /// not give the bytes back.
   Status try_read_runstats();
+  Status read_runstats_trailer();
+  Status read_filter_trailer();
 
   std::istream* in_;
   TraceHeader header_;

@@ -153,10 +153,28 @@ void RunStats::append(const RunStats& other) {
   tempd_read_errors += other.tempd_read_errors;
   sensor_read_failures += other.sensor_read_failures;
   heartbeats += other.heartbeats;
+  events_suppressed += other.events_suppressed;
+  events_throttled += other.events_throttled;
+  events_overwritten += other.events_overwritten;
+  calls_observed += other.calls_observed;
+  ring_snapshots += other.ring_snapshots;
   peak_rss_kb = std::max(peak_rss_kb, other.peak_rss_kb);
   // Ranks run concurrently: wall time is the longest rank, CPU adds up.
   wall_seconds = std::max(wall_seconds, other.wall_seconds);
   tempd_cpu_seconds += other.tempd_cpu_seconds;
+  present = true;
+}
+
+void FilterDecl::append(const FilterDecl& other) {
+  if (!other.present) return;
+  if (source.empty()) source = other.source;
+  resolved = std::max(resolved, other.resolved);
+  for (const std::string& name : other.suppressed) {
+    if (std::find(suppressed.begin(), suppressed.end(), name) ==
+        suppressed.end()) {
+      suppressed.push_back(name);
+    }
+  }
   present = true;
 }
 
@@ -172,6 +190,7 @@ void TraceHeader::append(const TraceHeader& other) {
   synthetic_symbols.insert(synthetic_symbols.end(), other.synthetic_symbols.begin(),
                            other.synthetic_symbols.end());
   run_stats.append(other.run_stats);
+  filter.append(other.filter);
 }
 
 void Trace::sort_by_time() {

@@ -81,7 +81,9 @@ struct SortedRun {
 /// were events dropped, did tempd keep its cadence, what did the
 /// instrumentation itself cost. Optional — `present` is false for
 /// traces written before the section existed, and the field order here
-/// is the serialised field order (15 x 8 bytes, little-endian).
+/// is the serialised field order (20 x 8 bytes, little-endian; readers
+/// also accept the original 15-field record, zero-filling the admission
+/// counters appended by the adaptive-recording runtime).
 struct RunStats {
   std::uint64_t events_recorded = 0;   ///< fn events captured
   std::uint64_t events_dropped = 0;    ///< fn events lost to buffer caps
@@ -99,12 +101,40 @@ struct RunStats {
   double probe_cost_ns_mean = 0.0;      ///< self-measured mean probe cost
   double cadence_jitter_us_mean = 0.0;  ///< mean |tick - deadline|
 
+  // Admission-pipeline accounting (zero in pre-admission traces). The
+  // conservation invariant lint checks:
+  //   calls_observed == events_recorded + events_suppressed
+  //                     + events_throttled + events_dropped
+  //                     + events_overwritten
+  std::uint64_t events_suppressed = 0;   ///< rejected by the TEMPEST_FILTER set
+  std::uint64_t events_throttled = 0;    ///< rejected by rate caps / min-duration
+  std::uint64_t events_overwritten = 0;  ///< discarded by the flight-recorder ring
+  std::uint64_t calls_observed = 0;      ///< every hook invocation seen
+  std::uint64_t ring_snapshots = 0;      ///< flight-recorder snapshots written
+
   bool present = false;  ///< section existed in the trace (not serialised)
 
   /// Fold another run's stats in (multi-rank fan-in): counts add, wall
   /// time takes the max (ranks overlap), CPU adds, means combine
   /// weighted by their populations.
   void append(const RunStats& other);
+};
+
+/// The suppression filter that was active while the trace was
+/// recorded (trace v2 FLTR trailer, optional). Declaring the filter in
+/// the trace lets tempest-lint's --symtab coverage cross-check tell
+/// "function instrumented but deliberately suppressed" apart from
+/// "function instrumented but mysteriously absent" — without this a
+/// filtered run would drown in instrumentation-unused false positives.
+struct FilterDecl {
+  bool present = false;           ///< trailer existed (not serialised)
+  std::string source;             ///< path of the consumed filter file
+  std::uint64_t resolved = 0;     ///< rules resolved to runtime addresses
+  std::vector<std::string> suppressed;  ///< raw symbol names, file order
+
+  /// Merge another rank's declaration (multi-rank fan-in): union of
+  /// suppressed names, first non-empty source wins, resolved takes max.
+  void append(const FilterDecl& other);
 };
 
 /// Run-level metadata: everything in a trace except the bulk record
@@ -123,6 +153,9 @@ struct TraceHeader {
 
   /// Recording-side self-measurement (absent in pre-RUNSTATS traces).
   RunStats run_stats;
+
+  /// Suppression filter active during recording (absent when none).
+  FilterDecl filter;
 
   /// Append another run's metadata in declaration order (multi-rank
   /// fan-in). Ids are not remapped: ranks are expected to carry

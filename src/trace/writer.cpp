@@ -138,7 +138,27 @@ Status write_trace(std::ostream& out, const Trace& trace) {
     p = pack_f64(p, rs.tempd_cpu_seconds);
     p = pack_f64(p, rs.probe_cost_ns_mean);
     p = pack_f64(p, rs.cadence_jitter_us_mean);
+    p = pack_u64(p, rs.events_suppressed);
+    p = pack_u64(p, rs.events_throttled);
+    p = pack_u64(p, rs.events_overwritten);
+    p = pack_u64(p, rs.calls_observed);
+    p = pack_u64(p, rs.ring_snapshots);
     out.write(buf, sizeof(buf));
+  }
+
+  // FLTR trailer — the suppression filter active during recording.
+  if (trace.filter.present) {
+    char buf[4 + 8];
+    char* p = buf;
+    p = pack_u32(p, kFilterMarker);
+    p = pack_u64(p, trace.filter.resolved);
+    out.write(buf, sizeof(buf));
+    put_string(out, trace.filter.source);
+    put<std::uint32_t>(out,
+                       static_cast<std::uint32_t>(trace.filter.suppressed.size()));
+    for (const std::string& name : trace.filter.suppressed) {
+      put_string(out, name);
+    }
   }
 
   if (!out) return Status::error("trace write failed (stream error)");

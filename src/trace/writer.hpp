@@ -42,14 +42,31 @@ inline constexpr std::uint32_t kClockSyncRecordSize = 8 + 8 + 2;          // 18
 ///   marker       u32   'RSTA' (absent in older v2 traces — readers
 ///                       treat a missing marker as "no runstats")
 ///   record_size  u32   (corruption check, like the bulk sections)
-///   payload      15 x 8 bytes, RunStats fields in declaration order
+///   payload      20 x 8 bytes, RunStats fields in declaration order
 ///
 /// The marker's little-endian bytes ("RSTA") cannot be confused with
 /// the start of another trace (magic begins "TMPS"), so a reader that
 /// peeks 4 bytes and finds neither can still report trailing garbage
-/// byte-exactly.
+/// byte-exactly. The record grew from 15 to 20 fields when the
+/// admission pipeline landed; readers accept both sizes and zero-fill
+/// the admission counters for the legacy one.
 inline constexpr std::uint32_t kRunStatsMarker = 0x4154'5352;             // "RSTA"
-inline constexpr std::uint32_t kRunStatsRecordSize = 15 * 8;              // 120
+inline constexpr std::uint32_t kRunStatsRecordSize = 20 * 8;              // 160
+inline constexpr std::uint32_t kRunStatsRecordSizeLegacy = 15 * 8;        // 120
+
+/// Optional FLTR trailer after RUNSTATS, present when a TEMPEST_FILTER
+/// suppression set was active during recording:
+///
+///   marker       u32   'FLTR'
+///   resolved     u64   rules resolved to runtime addresses
+///   source       u32 length + bytes (filter file path)
+///   count        u32
+///   count x      u32 length + bytes (raw suppressed symbol names)
+///
+/// Trailers are self-describing by marker, so RUNSTATS-less traces can
+/// still carry a filter declaration and readers dispatch on the peeked
+/// marker until EOF.
+inline constexpr std::uint32_t kFilterMarker = 0x5254'4C46;               // "FLTR"
 
 /// Serialise a complete trace to a stream. Returns error on I/O failure.
 Status write_trace(std::ostream& out, const Trace& trace);

@@ -294,6 +294,29 @@ TEST(AuditFilter, SuggestSkipsMainAndCapsAtTopN) {
   EXPECT_EQ(filter.rules[0].symbol, "hot");
   EXPECT_EQ(filter.rules[1].symbol, "warm");
   EXPECT_NE(filter.rules[0].reason.find("50 calls"), std::string::npos);
+
+  // Determinism: ties in overhead share break on function address, so
+  // repeated suggestion + serialisation is byte-identical. Give every
+  // function the same call count to make the tiebreak do all the work.
+  Inventory tied = inv;
+  OverheadReport flat;
+  flat.from_trace = true;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    tied.functions[i].trace_calls = 10;
+    flat.ranked.push_back({i, 10, 20, 0.25});
+    flat.total_probes += 20;
+  }
+  std::string first, second;
+  for (std::string* out : {&first, &second}) {
+    std::ostringstream buffer;
+    write_filter_file(buffer, suggest_filter(tied, flat, 3));
+    *out = buffer.str();
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // Address order among the tied non-main functions: hot < warm < cool.
+  EXPECT_LT(first.find("suppress hot"), first.find("suppress warm"));
+  EXPECT_LT(first.find("suppress warm"), first.find("suppress cool"));
 }
 
 class AuditOverheadJoin : public ::testing::Test {

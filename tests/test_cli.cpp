@@ -349,6 +349,26 @@ TEST_F(CliTest, AuditTraceJoinAndFilterOut) {
   EXPECT_NE(slurp(filter_path).find("# TEMPEST_FILTER v1"), std::string::npos);
 }
 
+TEST_F(CliTest, AuditFilterOutIsByteIdenticalAcrossInvocations) {
+  // The suggestion ranking is a strict total order (overhead share
+  // descending, function address ascending), so re-running the exact
+  // same audit must reproduce the filter file byte for byte — filters
+  // checked into a repo should diff clean across regenerations.
+  const std::string a = ::testing::TempDir() + "/cli_repeat_a.filter";
+  const std::string b = ::testing::TempDir() + "/cli_repeat_b.filter";
+  const std::string args_tail = "--trace \"" + *trace_path_ +
+                                "\" --filter-top 5 " TEMPEST_PARSE_BIN;
+  ASSERT_EQ(run_tool(TEMPEST_AUDIT_BIN,
+                     "-q --filter-out \"" + a + "\" " + args_tail, nullptr),
+            0);
+  ASSERT_EQ(run_tool(TEMPEST_AUDIT_BIN,
+                     "-q --filter-out \"" + b + "\" " + args_tail, nullptr),
+            0);
+  const std::string first = slurp(a);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, slurp(b));
+}
+
 TEST_F(CliTest, BadInputsFailGracefully) {
   const std::string out_path = ::testing::TempDir() + "/cli.out";
   EXPECT_NE(std::system((std::string(TEMPEST_PARSE_BIN) + " /nonexistent.trace > " +

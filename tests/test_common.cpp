@@ -69,6 +69,46 @@ TEST(Env, MalformedValuesFallBack) {
   EXPECT_FALSE(tempest::env_bool("TEMPEST_TEST_BAD2", false));
 }
 
+TEST(Env, CheckedLongTellsAbsentFromMalformed) {
+  using tempest::EnvParse;
+  long v = -1;
+  ::unsetenv("TEMPEST_TEST_CHK");
+  EXPECT_EQ(tempest::env_long_checked("TEMPEST_TEST_CHK", &v), EnvParse::kAbsent);
+
+  ::setenv("TEMPEST_TEST_CHK", "131072", 1);
+  EXPECT_EQ(tempest::env_long_checked("TEMPEST_TEST_CHK", &v), EnvParse::kOk);
+  EXPECT_EQ(v, 131072);
+
+  for (const char* bad : {"banana", "12abc", "", "  "}) {
+    ::setenv("TEMPEST_TEST_CHK", bad, 1);
+    v = -1;
+    EXPECT_EQ(tempest::env_long_checked("TEMPEST_TEST_CHK", &v),
+              EnvParse::kMalformed)
+        << "value '" << bad << "'";
+    EXPECT_EQ(v, -1) << "malformed parse must not touch *out";
+  }
+  ::unsetenv("TEMPEST_TEST_CHK");
+}
+
+TEST(Env, CheckedDoubleTellsAbsentFromMalformed) {
+  using tempest::EnvParse;
+  double v = -1.0;
+  ::unsetenv("TEMPEST_TEST_CHKD");
+  EXPECT_EQ(tempest::env_double_checked("TEMPEST_TEST_CHKD", &v),
+            EnvParse::kAbsent);
+
+  ::setenv("TEMPEST_TEST_CHKD", "2.75", 1);
+  EXPECT_EQ(tempest::env_double_checked("TEMPEST_TEST_CHKD", &v), EnvParse::kOk);
+  EXPECT_DOUBLE_EQ(v, 2.75);
+
+  ::setenv("TEMPEST_TEST_CHKD", "not-a-number", 1);
+  v = -1.0;
+  EXPECT_EQ(tempest::env_double_checked("TEMPEST_TEST_CHKD", &v),
+            EnvParse::kMalformed);
+  EXPECT_DOUBLE_EQ(v, -1.0);
+  ::unsetenv("TEMPEST_TEST_CHKD");
+}
+
 TEST(Tsc, MonotonicAndCalibrated) {
   const std::uint64_t a = tempest::rdtsc();
   const std::uint64_t b = tempest::rdtsc();

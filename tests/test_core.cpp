@@ -2,9 +2,11 @@
 // per-block APIs, config parsing, workbench DVFS stretching.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <string>
 #include <thread>
 
 #include "core/api.hpp"
@@ -57,6 +59,70 @@ TEST(SessionConfig, InvalidHzFallsBackToPaperRate) {
   ::setenv("TEMPEST_HZ", "-3", 1);
   EXPECT_DOUBLE_EQ(SessionConfig::from_env().sample_hz, 4.0);
   ::unsetenv("TEMPEST_HZ");
+}
+
+TEST(SessionConfig, MaxEventsRejectsZeroAndGarbage) {
+  // An explicit cap of 0 reads as "record nothing" — never what anyone
+  // meant; it warns and stays unbounded, as do garbage and negatives.
+  for (const char* bad : {"0", "banana", "-5", "1e3"}) {
+    ::setenv("TEMPEST_MAX_EVENTS", bad, 1);
+    EXPECT_EQ(SessionConfig::from_env().max_events_per_thread, 0u)
+        << "value '" << bad << "'";
+  }
+  ::setenv("TEMPEST_MAX_EVENTS", "65536", 1);
+  EXPECT_EQ(SessionConfig::from_env().max_events_per_thread, 65536u);
+  ::unsetenv("TEMPEST_MAX_EVENTS");
+}
+
+TEST(SessionConfig, AdmissionEnvOverrides) {
+  ::setenv("TEMPEST_FILTER", "/tmp/f.filter", 1);
+  ::setenv("TEMPEST_MIN_DURATION_NS", "2500", 1);
+  ::setenv("TEMPEST_RATE_CAP", "1000", 1);
+  ::setenv("TEMPEST_ADAPTIVE", "1", 1);
+  ::setenv("TEMPEST_RING_EVENTS", "200000", 1);
+  ::setenv("TEMPEST_RING_SECONDS", "30", 1);
+  const SessionConfig c = SessionConfig::from_env();
+  EXPECT_EQ(c.filter_path, "/tmp/f.filter");
+  EXPECT_EQ(c.min_duration_ns, 2500);
+  EXPECT_EQ(c.rate_cap, 1000);
+  EXPECT_TRUE(c.adaptive);
+  EXPECT_EQ(c.ring_events, 200000u);
+  EXPECT_DOUBLE_EQ(c.ring_seconds, 30.0);
+  ::unsetenv("TEMPEST_FILTER");
+  ::unsetenv("TEMPEST_MIN_DURATION_NS");
+  ::unsetenv("TEMPEST_RATE_CAP");
+  ::unsetenv("TEMPEST_ADAPTIVE");
+  ::unsetenv("TEMPEST_RING_EVENTS");
+  ::unsetenv("TEMPEST_RING_SECONDS");
+}
+
+TEST(SessionConfig, MalformedAdmissionValuesFallBack) {
+  ::setenv("TEMPEST_RATE_CAP", "often", 1);
+  ::setenv("TEMPEST_RING_EVENTS", "-1", 1);
+  ::setenv("TEMPEST_RING_SECONDS", "a minute", 1);
+  const SessionConfig c = SessionConfig::from_env();
+  EXPECT_EQ(c.rate_cap, 0);
+  EXPECT_EQ(c.ring_events, 0u);
+  EXPECT_DOUBLE_EQ(c.ring_seconds, 0.0);
+  ::unsetenv("TEMPEST_RATE_CAP");
+  ::unsetenv("TEMPEST_RING_EVENTS");
+  ::unsetenv("TEMPEST_RING_SECONDS");
+}
+
+TEST(SessionConfig, SnapshotSignalParsing) {
+  const auto signal_for = [](const char* spec) {
+    ::setenv("TEMPEST_SNAPSHOT_SIGNAL", spec, 1);
+    const int s = SessionConfig::from_env().snapshot_signal;
+    ::unsetenv("TEMPEST_SNAPSHOT_SIGNAL");
+    return s;
+  };
+  EXPECT_EQ(signal_for("USR2"), SIGUSR2);
+  EXPECT_EQ(signal_for("SIGUSR2"), SIGUSR2);
+  EXPECT_EQ(signal_for("USR1"), SIGUSR1);
+  EXPECT_EQ(signal_for(std::to_string(SIGUSR2).c_str()), SIGUSR2);
+  EXPECT_EQ(signal_for("WINCH-ish"), -1);
+  EXPECT_EQ(signal_for(""), -1);
+  EXPECT_EQ(SessionConfig::from_env().snapshot_signal, -1);  // unset
 }
 
 TEST(Session, LifecycleErrors) {

@@ -293,6 +293,112 @@ TEST(RunStatsIo, RoundTripPreservesEveryField) {
   EXPECT_EQ(rs.cadence_jitter_us_mean, 120.25);
 }
 
+TEST(RunStatsIo, AdmissionCountersRoundTrip) {
+  Trace original = sample_trace();
+  original.run_stats = sample_run_stats();
+  original.run_stats.events_suppressed = 1001;
+  original.run_stats.events_throttled = 2002;
+  original.run_stats.events_overwritten = 3003;
+  original.run_stats.calls_observed = 129469;
+  original.run_stats.ring_snapshots = 2;
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  const RunStats& rs = loaded.value().run_stats;
+  EXPECT_EQ(rs.events_suppressed, 1001u);
+  EXPECT_EQ(rs.events_throttled, 2002u);
+  EXPECT_EQ(rs.events_overwritten, 3003u);
+  EXPECT_EQ(rs.calls_observed, 129469u);
+  EXPECT_EQ(rs.ring_snapshots, 2u);
+}
+
+TEST(RunStatsIo, LegacyFifteenFieldRecordReadsWithZeroAdmission) {
+  // Traces written before the admission counters carry a 120-byte
+  // RUNSTATS record. Manufacture one by byte surgery on a current
+  // trace: shrink the declared size and truncate the payload.
+  Trace original = sample_trace();
+  original.run_stats = sample_run_stats();
+  original.run_stats.events_suppressed = 999;  // must NOT survive surgery
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  std::string bytes = buffer.str();
+  const std::size_t record = 4 + 4 + kRunStatsRecordSize;
+  ASSERT_GE(bytes.size(), record);
+  const std::size_t trailer = bytes.size() - record;
+  ASSERT_EQ(static_cast<unsigned char>(bytes[trailer]), 'R');  // "RSTA"
+  ASSERT_EQ(static_cast<unsigned char>(bytes[trailer + 1]), 'S');
+  std::string legacy = bytes.substr(0, trailer);
+  legacy += bytes.substr(trailer, 4);  // marker
+  const std::uint32_t size = kRunStatsRecordSizeLegacy;
+  legacy.append(reinterpret_cast<const char*>(&size), 4);
+  legacy += bytes.substr(trailer + 8, kRunStatsRecordSizeLegacy);
+
+  std::stringstream surgery(legacy);
+  auto loaded = read_trace(surgery);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  const RunStats& rs = loaded.value().run_stats;
+  ASSERT_TRUE(rs.present);
+  EXPECT_EQ(rs.events_recorded, 123456u);  // legacy fields intact
+  EXPECT_EQ(rs.cadence_jitter_us_mean, 120.25);
+  EXPECT_EQ(rs.events_suppressed, 0u);  // admission counters zero-filled
+  EXPECT_EQ(rs.events_throttled, 0u);
+  EXPECT_EQ(rs.events_overwritten, 0u);
+  EXPECT_EQ(rs.calls_observed, 0u);
+  EXPECT_EQ(rs.ring_snapshots, 0u);
+}
+
+TEST(FilterDeclIo, RoundTripThroughTraceAndFile) {
+  Trace original = sample_trace();
+  original.filter.present = true;
+  original.filter.source = "/etc/tempest/hot.filter";
+  original.filter.resolved = 2;
+  original.filter.suppressed = {"_ZN4slowEv", "plain_c_fn", "unresolved_fn"};
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  const FilterDecl& fd = loaded.value().filter;
+  ASSERT_TRUE(fd.present);
+  EXPECT_EQ(fd.source, original.filter.source);
+  EXPECT_EQ(fd.resolved, 2u);
+  EXPECT_EQ(fd.suppressed, original.filter.suppressed);
+
+  const std::string path = ::testing::TempDir() + "/filter_decl.trace";
+  ASSERT_TRUE(write_trace_file(path, original));
+  auto from_file = read_trace_file(path);
+  ASSERT_TRUE(from_file.is_ok()) << from_file.message();
+  EXPECT_TRUE(from_file.value().filter.present);
+  EXPECT_EQ(from_file.value().filter.suppressed, original.filter.suppressed);
+  std::remove(path.c_str());
+}
+
+TEST(FilterDeclIo, AbsentTrailerReadsAsNotPresent) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original));
+  auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  EXPECT_FALSE(loaded.value().filter.present);
+}
+
+TEST(FilterDeclIo, AppendMergesRankDeclarations) {
+  FilterDecl a;
+  a.present = true;
+  a.source = "rank0.filter";
+  a.resolved = 3;
+  a.suppressed = {"alpha", "beta"};
+  FilterDecl b;
+  b.present = true;
+  b.resolved = 5;
+  b.suppressed = {"beta", "gamma"};
+  a.append(b);
+  EXPECT_TRUE(a.present);
+  EXPECT_EQ(a.source, "rank0.filter");  // first non-empty wins
+  EXPECT_EQ(a.resolved, 5u);            // max across ranks
+  ASSERT_EQ(a.suppressed.size(), 3u);   // union, duplicates folded
+}
+
 TEST(RunStatsIo, PreRunstatsTracesReadAsAbsent) {
   // A trace written without run stats is byte-identical to the format
   // before the trailer existed — readers must treat it as absent, not
