@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Structural + equivalence validator for the tempest-collectd query plane.
+
+Used by CI (e2e-asan) after streaming a recording session into a live
+collector daemon:
+
+    check_collectd.py http://127.0.0.1:PORT /tmp/cluster4.json
+
+The second argument is `tempest_parse --format json` output for the
+SAME trace the session also wrote locally (TEMPEST_OUT). Checks go
+beyond json.load:
+
+  * /healthz reports ok and no still-live sessions,
+  * /sessions shows exactly the expected folded sessions, with events,
+    heartbeats and a monotone heartbeat seq actually observed,
+  * /profile matches the offline profile folded by function name:
+    call counts exactly, inclusive times to 1% (the collector folds in
+    the raw clock domain; per-rank alignment only rescales interval
+    lengths by drift, well under that),
+  * /runstats satisfies the conservation invariant server-side and
+    matches the offline RUNSTATS trailer counter-for-counter,
+  * /metrics is a flat heartbeat-schema snapshot whose collector
+    counters are consistent (frames >= events frames, one fold per
+    session, zero protocol errors).
+
+Exit 0 when clean, 1 with a message per violation otherwise.
+"""
+import json
+import sys
+import urllib.request
+
+
+def fetch(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        if resp.status != 200:
+            raise RuntimeError(f"GET {path} -> HTTP {resp.status}")
+        return json.loads(resp.read().decode())
+
+
+def fold_offline(doc):
+    """Fold tempest_parse output by function name — mirrors the
+    collector's fold_profile (calls and inclusive time sum per name)."""
+    fns = {}
+    for node in doc["nodes"]:
+        for fn in node["functions"]:
+            cur = fns.setdefault(fn["name"], {"calls": 0, "total_time_s": 0.0})
+            cur["calls"] += fn["calls"]
+            cur["total_time_s"] += fn["total_time_s"]
+    return fns
+
+
+def check(base, offline, expect_sessions):
+    errors = []
+
+    health = fetch(base, "/healthz")
+    if health.get("status") != "ok":
+        errors.append(f"/healthz status {health.get('status')!r}, want 'ok'")
+    if health.get("sessions_active") != 0:
+        errors.append(
+            f"/healthz sessions_active {health.get('sessions_active')}, "
+            "want 0 after the recording ended")
+
+    sessions = fetch(base, "/sessions").get("sessions", [])
+    folded = [s for s in sessions if s.get("state") == "folded"]
+    if len(folded) != expect_sessions:
+        errors.append(
+            f"/sessions has {len(folded)} folded sessions, "
+            f"want {expect_sessions}: {sessions}")
+    for s in folded:
+        if s.get("events", 0) <= 0:
+            errors.append(f"folded session {s.get('id')} streamed no events")
+        if s.get("heartbeats", 0) < 1:
+            errors.append(f"folded session {s.get('id')} sent no heartbeats")
+        if s.get("last_seq", 0) < s.get("heartbeats", 0):
+            errors.append(
+                f"session {s.get('id')}: last_seq {s.get('last_seq')} < "
+                f"heartbeats {s.get('heartbeats')} (seq not monotone?)")
+        if s.get("heartbeat_restarts", 0) != 0:
+            errors.append(
+                f"session {s.get('id')} reported heartbeat restarts in a "
+                "single clean run")
+
+    profile = fetch(base, "/profile?top=1000")
+    if profile.get("sessions_folded") != expect_sessions:
+        errors.append(
+            f"/profile sessions_folded {profile.get('sessions_folded')}, "
+            f"want {expect_sessions}")
+    fleet = {f["name"]: f for f in profile.get("functions", [])}
+    expected = fold_offline(offline)
+    if set(fleet) != set(expected):
+        errors.append(
+            f"/profile function set differs from offline parse: "
+            f"only-fleet={sorted(set(fleet) - set(expected))} "
+            f"only-offline={sorted(set(expected) - set(fleet))}")
+    for name, off in expected.items():
+        fn = fleet.get(name)
+        if fn is None:
+            continue
+        if fn["calls"] != off["calls"]:
+            errors.append(
+                f"{name}: fleet calls {fn['calls']} != offline "
+                f"{off['calls']}")
+        tol = 0.01 * (1.0 + abs(off["total_time_s"]))
+        if abs(fn["total_time_s"] - off["total_time_s"]) > tol:
+            errors.append(
+                f"{name}: fleet time {fn['total_time_s']} vs offline "
+                f"{off['total_time_s']} (tol {tol})")
+        if fn.get("sessions") != expect_sessions:
+            errors.append(
+                f"{name}: seen in {fn.get('sessions')} sessions, "
+                f"want {expect_sessions}")
+
+    runstats = fetch(base, "/runstats")
+    if not runstats.get("present"):
+        errors.append("/runstats present=false after a folded session")
+    if not runstats.get("conservation_ok"):
+        errors.append(f"/runstats conservation violated: {runstats}")
+    if runstats.get("sessions_aborted", 0) != 0:
+        errors.append(
+            f"/runstats sessions_aborted {runstats.get('sessions_aborted')} "
+            "in a clean run")
+    off_rs = offline.get("run_stats", {})
+    for key in ("events_recorded", "events_dropped", "events_suppressed",
+                "events_throttled", "events_overwritten", "calls_observed",
+                "tempd_samples"):
+        if key in off_rs and runstats.get(key) != off_rs[key] * expect_sessions:
+            errors.append(
+                f"/runstats {key} {runstats.get(key)} != offline "
+                f"{off_rs[key]} x {expect_sessions} sessions")
+
+    metrics = fetch(base, "/metrics")
+    for key in ("t", "collect_frames", "collect_events",
+                "collect_sessions_folded", "collect_protocol_errors"):
+        if key not in metrics:
+            errors.append(f"/metrics missing {key!r}")
+    if not errors:
+        if metrics["collect_sessions_folded"] != expect_sessions:
+            errors.append(
+                f"/metrics collect_sessions_folded "
+                f"{metrics['collect_sessions_folded']}, want {expect_sessions}")
+        if metrics["collect_protocol_errors"] != 0:
+            errors.append(
+                f"/metrics collect_protocol_errors "
+                f"{metrics['collect_protocol_errors']} in a clean run")
+        total_events = sum(s.get("events", 0) for s in folded)
+        if metrics["collect_events"] != total_events:
+            errors.append(
+                f"/metrics collect_events {metrics['collect_events']} != "
+                f"sum of session events {total_events}")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(
+            "usage: check_collectd.py BASE_URL OFFLINE_JSON [EXPECT_SESSIONS]",
+            file=sys.stderr)
+        return 2
+    base = argv[1].rstrip("/")
+    with open(argv[2]) as f:
+        offline = json.load(f)
+    expect_sessions = int(argv[3]) if len(argv) == 4 else 1
+    errors = check(base, offline, expect_sessions)
+    for e in errors:
+        print(f"check_collectd: {e}", file=sys.stderr)
+    if not errors:
+        print(f"check_collectd: query plane consistent with offline parse "
+              f"({expect_sessions} session(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,103 @@
+#include "collectd/client.hpp"
+
+#include <unistd.h>
+
+#include "collectd/net.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tempest::collectd {
+
+Status CollectClient::connect(const std::string& spec, double timeout_s) {
+  Endpoint ep;
+  if (!parse_endpoint(spec, &ep)) {
+    return Status::error("malformed TEMPEST_COLLECT endpoint: " + spec);
+  }
+  auto fd = connect_endpoint(ep, timeout_s);
+  if (!fd.is_ok()) return fd.status();
+  const std::lock_guard<std::mutex> lock(mu_);
+  fd_.store(fd.value(), std::memory_order_release);
+  return Status::ok();
+}
+
+void CollectClient::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+void CollectClient::send_frame(FrameType type, std::string_view payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return;
+  char header[kFrameHeaderBytes];
+  encode_frame_header(header, type, static_cast<std::uint32_t>(payload.size()));
+  Status sent = send_all(fd, header, sizeof(header));
+  if (sent.is_ok() && !payload.empty()) {
+    sent = send_all(fd, payload.data(), payload.size());
+  }
+  if (!sent.is_ok()) {
+    // Dead collector: one warning, then every later send no-ops. The
+    // session keeps recording to its local file.
+    telemetry::count(telemetry::Counter::kStreamSendFailures);
+    telemetry::log_warn("collect", "stream send failed (" + sent.message() +
+                                       "); continuing file-only");
+    fd_.store(-1, std::memory_order_release);
+    ::close(fd);
+    return;
+  }
+  telemetry::count(telemetry::Counter::kStreamFramesSent);
+  telemetry::count(telemetry::Counter::kStreamBytesSent,
+                   sizeof(header) + payload.size());
+}
+
+void CollectClient::send_hello(std::uint64_t pid, const std::string& name) {
+  Hello hello;
+  hello.pid = pid;
+  hello.name = name;
+  send_frame(FrameType::kHello, pack_hello(hello));
+}
+
+void CollectClient::send_heartbeat(const std::string& line) {
+  send_frame(FrameType::kHeartbeat, line);
+}
+
+void CollectClient::send_meta(const trace::TraceHeader& header) {
+  const std::string payload = pack_meta(header);
+  if (payload.empty()) return;
+  send_frame(FrameType::kMeta, payload);
+}
+
+void CollectClient::send_clock_syncs(const std::vector<trace::ClockSync>& syncs) {
+  for (std::size_t i = 0; i < syncs.size(); i += kRecordsPerFrame) {
+    if (!alive()) return;
+    const std::size_t n = std::min(kRecordsPerFrame, syncs.size() - i);
+    send_frame(FrameType::kSyncs, pack_clock_syncs(syncs.data() + i, n));
+  }
+}
+
+void CollectClient::send_fn_events(const trace::FnEvent* events, std::size_t n) {
+  for (std::size_t i = 0; i < n; i += kRecordsPerFrame) {
+    if (!alive()) return;
+    const std::size_t chunk = std::min(kRecordsPerFrame, n - i);
+    send_frame(FrameType::kEvents, pack_fn_events(events + i, chunk));
+  }
+}
+
+void CollectClient::send_temp_samples(const trace::TempSample* samples,
+                                      std::size_t n) {
+  for (std::size_t i = 0; i < n; i += kRecordsPerFrame) {
+    if (!alive()) return;
+    const std::size_t chunk = std::min(kRecordsPerFrame, n - i);
+    send_frame(FrameType::kSamples, pack_temp_samples(samples + i, chunk));
+  }
+}
+
+void CollectClient::send_bye(std::uint64_t events_sent, std::uint64_t samples_sent) {
+  Bye bye;
+  bye.events_sent = events_sent;
+  bye.samples_sent = samples_sent;
+  send_frame(FrameType::kBye, pack_bye(bye));
+}
+
+}  // namespace tempest::collectd

@@ -1,0 +1,63 @@
+// CollectClient: the recording side of the collector stream.
+//
+// One client per session run. connect() is bounded by a short timeout
+// and failure is not an error for the session — the caller logs and
+// records file-only (graceful degradation). After a successful
+// connect, every send is best-effort: the first failing send marks the
+// client dead and all later sends no-op, so a collector crash mid-run
+// costs the profiled application one failed write, never a stall
+// (blocking sends carry a SO_SNDTIMEO) and never a SIGPIPE.
+//
+// Thread contract: connect/close and the bulk sends happen on the
+// session's controlling thread; send_heartbeat is called from the
+// heartbeat thread while the run is live. A mutex serialises frame
+// writes so the two never interleave a frame.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collectd/wire.hpp"
+#include "common/status.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::collectd {
+
+class CollectClient {
+ public:
+  CollectClient() = default;
+  ~CollectClient() { close(); }
+
+  CollectClient(const CollectClient&) = delete;
+  CollectClient& operator=(const CollectClient&) = delete;
+
+  /// Connect to "uds:/path" or "tcp:host:port". Bounded by timeout_s.
+  Status connect(const std::string& spec, double timeout_s = 0.5);
+
+  /// Connected and no send has failed yet.
+  bool alive() const { return fd_.load(std::memory_order_acquire) >= 0; }
+
+  void send_hello(std::uint64_t pid, const std::string& name);
+  void send_heartbeat(const std::string& line);
+  /// Full final metadata (threads, synthetic symbols, RUNSTATS/FLTR
+  /// trailers). Must precede the bulk sections.
+  void send_meta(const trace::TraceHeader& header);
+  void send_clock_syncs(const std::vector<trace::ClockSync>& syncs);
+  void send_fn_events(const trace::FnEvent* events, std::size_t n);
+  void send_temp_samples(const trace::TempSample* samples, std::size_t n);
+  void send_bye(std::uint64_t events_sent, std::uint64_t samples_sent);
+
+  void close();
+
+ private:
+  void send_frame(FrameType type, std::string_view payload);
+
+  std::mutex mu_;
+  std::atomic<int> fd_{-1};
+};
+
+}  // namespace tempest::collectd

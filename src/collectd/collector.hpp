@@ -1,0 +1,124 @@
+// The tempest-collectd collector: sharded live ingestion of recording
+// sessions plus an HTTP/1.0 JSON query plane.
+//
+// Architecture (DESIGN.md §14):
+//
+//   * One non-blocking poll() IO thread owns every socket: the ingest
+//     and HTTP listeners, accepted connections, and a self-pipe the
+//     fold shards use to wake it. It parses frames off ingest
+//     connections and enqueues them — it never folds, so a slow fold
+//     cannot stall accept/heartbeat traffic.
+//   * K fold shards, each a worker thread with a bounded frame queue.
+//     A session is pinned to shard (session_id % K), so all of a
+//     session's frames fold on one thread with no fold-side locking.
+//     Each session folds through its own AnalysisPipeline — the same
+//     incremental TimelineAccumulator/ProfileAssembler core the offline
+//     parser uses — so collector memory is O(timeline + samples) per
+//     session, never O(events).
+//   * Backpressure: when a session's shard queue is full, the IO
+//     thread stops reading that connection (kernel socket buffers push
+//     back to the sender) and resumes once the shard drains below half.
+//   * Disconnect semantics: only a session that completed its BYE is
+//     folded into the fleet rollup. A connection lost, timed out, or
+//     protocol-errored before BYE aborts the session — its partial fold
+//     is discarded and counted, never silently merged.
+//   * Sessions fold in their own clock domain (the fleet shape is one
+//     single-clock session per host). Sync records are accepted and
+//     retained for skew diagnostics but timestamps are not rewritten:
+//     re-sorting an aligned multi-node stream would need unbounded
+//     buffering, and per-function totals are alignment-invariant (calls
+//     exactly, times to the fitted-drift ppm). This mirrors the
+//     offline `tempest_parse --no-align` fold.
+//
+// The query plane serves /healthz, /sessions, /profile?top=N,
+// /runstats, /metrics (the PR-4 registry snapshot), and /top (a
+// heartbeat-schema aggregate across live sessions for
+// `tempest-top --connect`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "parser/profile.hpp"
+#include "trace/trace.hpp"
+
+namespace tempest::collectd {
+
+struct CollectorOptions {
+  /// Unix-domain ingest socket path ("" = disabled).
+  std::string ingest_uds;
+  /// TCP ingest endpoint "host:port" ("" = disabled). At least one
+  /// ingest endpoint must be configured.
+  std::string ingest_tcp;
+  /// HTTP query plane endpoint; port 0 binds ephemerally (read it back
+  /// with http_port()).
+  std::string http_tcp = "127.0.0.1:0";
+  /// Fold shards; 0 = auto (min(4, hardware_concurrency)).
+  unsigned shards = 0;
+  /// Reject any frame whose payload exceeds this.
+  std::size_t max_frame_bytes = std::size_t{8} << 20;
+  /// Bounded per-shard queue; a full queue pauses the feeding sockets.
+  std::size_t max_queue_frames = 256;
+  /// Byte bound on each shard's queued payloads. Frames can be large
+  /// (up to max_frame_bytes), so the frame-count bound alone would let
+  /// a queue hold hundreds of MiB; whichever limit hits first pauses.
+  std::size_t max_queue_bytes = std::size_t{32} << 20;
+  /// Reap connections idle this long (slow-loris guard; also applies
+  /// to ingest sessions that stop sending without BYE).
+  double idle_timeout_s = 30.0;
+  /// Profile options for the per-session folds (unit, significance).
+  parser::ProfileOptions profile;
+};
+
+/// One function's fleet-wide rollup.
+struct FleetFunction {
+  std::uint64_t calls = 0;
+  double total_time_s = 0.0;
+  std::uint64_t sessions = 0;  ///< folded sessions that ran it
+};
+
+/// Roll one run's profile into a fleet function map — exactly the fold
+/// the collector applies when a session completes, exposed so tests
+/// can aggregate an offline RankFanIn result identically.
+void fold_profile(const parser::RunProfile& profile,
+                  std::map<std::string, FleetFunction>* out);
+
+struct FleetSnapshot {
+  std::map<std::string, FleetFunction> functions;
+  trace::RunStats run_stats;  ///< count-weighted append-fold, conservation-safe
+  std::uint64_t sessions_folded = 0;
+  std::uint64_t sessions_aborted = 0;
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorOptions options);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Bind listeners, spawn the IO thread and fold shards.
+  Status start();
+  /// Drain queues, join threads, close sockets. Idempotent.
+  void stop();
+
+  /// Bound TCP port of the query plane (after start()).
+  std::uint16_t http_port() const;
+
+  /// Current fleet rollup (folded sessions only).
+  FleetSnapshot fleet() const;
+
+  /// Serve one query-plane target (e.g. "/profile?top=5") without a
+  /// socket. Returns the HTTP status code and fills *body.
+  int handle_query(const std::string& target, std::string* body) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tempest::collectd

@@ -1,0 +1,49 @@
+// Minimal POSIX socket plumbing shared by the collect client, the
+// collector daemon, and tempest-top --connect.
+//
+// Endpoints are spelled "uds:/path" or "tcp:host:port"; a bare
+// "host:port" is accepted as TCP for CLI ergonomics. Everything here is
+// blocking-with-timeout from the caller's perspective; the collector's
+// IO loop flips accepted fds to non-blocking itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace tempest::collectd {
+
+struct Endpoint {
+  bool uds = false;
+  std::string path;  ///< socket path (uds)
+  std::string host;  ///< numeric or resolvable host (tcp)
+  std::uint16_t port = 0;
+};
+
+/// Parse "uds:/path", "tcp:host:port", or "host:port". False on
+/// malformed specs (empty path, non-numeric port, ...).
+bool parse_endpoint(const std::string& spec, Endpoint* out);
+
+/// Connect with a timeout; the returned fd is blocking again.
+Result<int> connect_endpoint(const Endpoint& ep, double timeout_s);
+
+/// Bind + listen (unlinking a stale UDS path first). TCP port 0 binds
+/// an ephemeral port — read it back with local_port().
+Result<int> listen_endpoint(const Endpoint& ep, int backlog);
+
+/// The locally bound TCP port of a listening/connected socket.
+Result<std::uint16_t> local_port(int fd);
+
+Status set_nonblocking(int fd);
+
+/// Write all of `data`, retrying short writes/EINTR. MSG_NOSIGNAL: a
+/// dead peer returns EPIPE instead of raising SIGPIPE.
+Status send_all(int fd, const char* data, std::size_t n);
+
+/// One-shot HTTP/1.0 GET against a collector endpoint. Returns the
+/// response body on a 200; errors carry the status line otherwise.
+Result<std::string> http_get(const std::string& spec, const std::string& target,
+                             double timeout_s);
+
+}  // namespace tempest::collectd

@@ -102,6 +102,7 @@ SessionConfig SessionConfig::from_env() {
       static_cast<std::size_t>(env_long_or("TEMPEST_MIN_SAMPLES", 2, 0));
   c.heartbeat_period_s = env_double("TEMPEST_HEARTBEAT", c.heartbeat_period_s);
   if (c.heartbeat_period_s < 0.0) c.heartbeat_period_s = 0.0;
+  c.collect_spec = env_string("TEMPEST_COLLECT", c.collect_spec);
   // An explicit cap of 0 is never what anyone meant (it reads as
   // "record nothing"); reject it — and negatives, and garbage — with a
   // warning and stay on the default (unbounded).

@@ -12,6 +12,11 @@
 //   TEMPEST_REPORT  print the standard-output profile at exit (default 1)
 //   TEMPEST_HEARTBEAT      telemetry snapshot period in seconds written
 //                          to <trace>.telemetry.jsonl (0 = off, default)
+//   TEMPEST_COLLECT        stream the session to a tempest-collectd
+//                          daemon: "uds:/path" or "tcp:host:port".
+//                          Heartbeats stream live; the sealed event
+//                          sections ship at stop(). Degrades to
+//                          file-only recording when unreachable.
 //   TEMPEST_MAX_EVENTS     per-thread event-buffer cap (unset = unbounded);
 //                          overflow drops newest events, loudly counted
 //   TEMPEST_WATCHDOG       fail the session stop() when recording
@@ -64,6 +69,11 @@ struct SessionConfig {
   /// Telemetry heartbeat period in seconds; 0 disables the emitter.
   /// Snapshots append to `<output_path>.telemetry.jsonl`.
   double heartbeat_period_s = 0.0;
+  /// Collector endpoint ("uds:/path" or "tcp:host:port"; "" = off).
+  /// When set, the session connects at start(), streams heartbeat
+  /// snapshots live, and ships the sealed trace sections at stop().
+  /// An unreachable daemon degrades the run to file-only recording.
+  std::string collect_spec;
   /// Per-thread event cap (0 = unbounded). Overflow switches the thread
   /// to a scratch chunk: newest events drop, every drop is counted.
   std::size_t max_events_per_thread = 0;

@@ -8,6 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "collectd/client.hpp"
 #include "common/affinity.hpp"
 #include "common/filter_file.hpp"
 #include "common/tsc.hpp"
@@ -219,12 +220,36 @@ Status Session::start(const SessionConfig& config) {
   }
   tempd_.set_tick_hook([this] { on_tempd_tick(); });
 
+  // Live collector stream (TEMPEST_COLLECT). Unreachable is not an
+  // error: the run degrades to file-only recording.
+  collect_.reset();
+  heartbeat_.set_line_sink(nullptr);
+  if (!config_.collect_spec.empty()) {
+    auto client = std::make_unique<collectd::CollectClient>();
+    const Status conn = client->connect(config_.collect_spec);
+    if (conn.is_ok()) {
+      client->send_hello(static_cast<std::uint64_t>(::getpid()),
+                         self_exe_path());
+      collect_ = std::move(client);
+      collectd::CollectClient* raw = collect_.get();
+      heartbeat_.set_line_sink(
+          [raw](const std::string& line) { raw->send_heartbeat(line); });
+    } else {
+      telemetry::log_warn("session", "TEMPEST_COLLECT unreachable (" +
+                                         conn.message() +
+                                         "); recording file-only");
+    }
+  }
+
   start_tsc_ = rdtsc();
   tempd_.start(config_.sample_hz, &nodes_);
-  if (config_.heartbeat_period_s > 0.0 && !config_.output_path.empty()) {
-    const Status hb = heartbeat_.start(
-        telemetry::HeartbeatEmitter::path_for_trace(config_.output_path),
-        config_.heartbeat_period_s);
+  if (config_.heartbeat_period_s > 0.0 &&
+      (!config_.output_path.empty() || collect_ != nullptr)) {
+    const std::string hb_path =
+        config_.output_path.empty()
+            ? std::string()
+            : telemetry::HeartbeatEmitter::path_for_trace(config_.output_path);
+    const Status hb = heartbeat_.start(hb_path, config_.heartbeat_period_s);
     if (!hb.is_ok()) {
       telemetry::log_warn("session", "heartbeat disabled: " + hb.message());
     }
@@ -272,6 +297,22 @@ Status Session::stop() {
   heartbeat_.stop();
   telemetry::count(telemetry::Counter::kSessionStops);
   assemble_run_stats(&trace_.run_stats, totals);
+
+  // Ship the sealed run to the collector: full metadata (with the just
+  // assembled RUNSTATS) first, then the bulk sections, then BYE with
+  // the exact counts so the daemon can verify it folded everything.
+  // The heartbeat thread is already joined, so the stream is ours alone.
+  if (collect_ != nullptr) {
+    collect_->send_meta(trace_);
+    collect_->send_clock_syncs(trace_.clock_syncs);
+    collect_->send_fn_events(trace_.fn_events.data(), trace_.fn_events.size());
+    collect_->send_temp_samples(trace_.temp_samples.data(),
+                                trace_.temp_samples.size());
+    collect_->send_bye(trace_.fn_events.size(), trace_.temp_samples.size());
+    collect_->close();
+    heartbeat_.set_line_sink(nullptr);
+    collect_.reset();
+  }
 
   Status write_status = Status::ok();
   if (!config_.output_path.empty()) {

@@ -24,6 +24,10 @@
 #include "telemetry/heartbeat.hpp"
 #include "trace/trace.hpp"
 
+namespace tempest::collectd {
+class CollectClient;
+}  // namespace tempest::collectd
+
 namespace tempest::core {
 
 class Session {
@@ -207,6 +211,9 @@ class Session {
   Tempd tempd_;
   ThreadRegistry registry_;
   telemetry::HeartbeatEmitter heartbeat_;
+  /// Live stream to a tempest-collectd daemon (TEMPEST_COLLECT); null
+  /// when unset or unreachable — recording then stays file-only.
+  std::unique_ptr<collectd::CollectClient> collect_;
   trace::Trace trace_;
   std::uint64_t start_tsc_ = 0;
 

@@ -1,5 +1,11 @@
 #include "telemetry/heartbeat.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <sstream>
+
 #include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -8,10 +14,16 @@ namespace tempest::telemetry {
 Status HeartbeatEmitter::start(const std::string& path, double period_s) {
   if (thread_.joinable()) return Status::error("heartbeat already running");
   if (!(period_s > 0.0)) return Status::error("heartbeat period must be > 0");
-  out_.open(path, std::ios::trunc);
-  if (!out_) return Status::error("cannot open heartbeat file: " + path);
+  if (path.empty() && !sink_) {
+    return Status::error("heartbeat needs a file path or a line sink");
+  }
+  if (!path.empty()) {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd_ < 0) return Status::error("cannot open heartbeat file: " + path);
+  }
   path_ = path;
   t0_ = std::chrono::steady_clock::now();
+  seq_.store(0, std::memory_order_release);
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   emit_snapshot();  // a very short run still leaves a first line
@@ -25,9 +37,12 @@ void HeartbeatEmitter::stop() {
   thread_.join();
   thread_ = std::thread();
   emit_snapshot();  // final counts, after the session folded its totals
-  out_.close();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
   running_.store(false, std::memory_order_release);
-  log_info("heartbeat", "wrote " + path_);
+  if (!path_.empty()) log_info("heartbeat", "wrote " + path_);
 }
 
 void HeartbeatEmitter::run(double period_s) {
@@ -55,9 +70,34 @@ void HeartbeatEmitter::emit_snapshot() {
   const double t =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
           .count();
-  write_snapshot_json(out_, metrics().snapshot(), t);
-  out_ << "\n";
-  out_.flush();
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::ostringstream line;
+  write_snapshot_json(line, metrics().snapshot(), t, seq);
+  std::string s = line.str();
+  if (sink_) sink_(s);
+  if (fd_ >= 0) {
+    s.push_back('\n');
+    // One write() per line: stdio buffering would let a SIGKILL strand a
+    // partial record, and interleaved short writes would tear lines for
+    // pipe/socket readers. A line is far below PIPE_BUF, so pipe writes
+    // are atomic; regular-file writes only come up short on ENOSPC.
+    ssize_t n;
+    do {
+      n = ::write(fd_, s.data(), s.size());
+    } while (n < 0 && errno == EINTR);
+    if (n >= 0 && static_cast<std::size_t>(n) < s.size()) {
+      // Short write (disk full): finish the line rather than tear it.
+      const char* rest = s.data() + n;
+      std::size_t left = s.size() - static_cast<std::size_t>(n);
+      while (left > 0) {
+        const ssize_t m = ::write(fd_, rest, left);
+        if (m < 0 && errno == EINTR) continue;
+        if (m <= 0) break;
+        rest += m;
+        left -= static_cast<std::size_t>(m);
+      }
+    }
+  }
   count(Counter::kHeartbeats);
 }
 

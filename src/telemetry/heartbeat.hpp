@@ -5,11 +5,24 @@
 // flight recorder for runs that die before RUNSTATS is written. One
 // line is written immediately at start() and one at stop(), so even a
 // very short run leaves at least two snapshots.
+//
+// Each line carries `"schema_version"` and a monotonic `"seq"` so a
+// stream consumer (tempest-collectd) can tell dropped lines from
+// emitter restarts; file readers tolerate both keys being absent in
+// older files. Lines are flushed with a single write() each — a reader
+// on the far end of a pipe or socket never observes a torn record,
+// and a process killed mid-run never leaves a partially buffered final
+// line (there is no userspace buffering to lose).
+//
+// Besides (or instead of) the file, an optional line sink receives
+// every snapshot line — the TEMPEST_COLLECT transport forwards them to
+// the collector daemon without re-reading the file.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <fstream>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -26,14 +39,27 @@ class HeartbeatEmitter {
   HeartbeatEmitter& operator=(const HeartbeatEmitter&) = delete;
 
   /// Truncate `path` and start appending a snapshot every `period_s`
-  /// seconds. Error when already running or the file cannot be opened.
+  /// seconds. An empty `path` emits to the line sink only. Error when
+  /// already running, when the file cannot be opened, or when there is
+  /// neither a path nor a sink.
   Status start(const std::string& path, double period_s);
 
   /// Final snapshot, join, close. Idempotent.
   void stop();
 
+  /// Install (or clear, with nullptr) a per-line consumer. The sink is
+  /// called on the emitter thread with the snapshot line (no trailing
+  /// newline). Only while stopped.
+  void set_line_sink(std::function<void(const std::string&)> sink) {
+    if (!running()) sink_ = std::move(sink);
+  }
+
   bool running() const { return running_.load(std::memory_order_acquire); }
   const std::string& path() const { return path_; }
+
+  /// Sequence number of the last emitted line (1-based; 0 before the
+  /// first line). Resets at every start().
+  std::uint64_t seq() const { return seq_.load(std::memory_order_acquire); }
 
   /// The conventional heartbeat path for a trace output path.
   static std::string path_for_trace(const std::string& trace_path) {
@@ -47,8 +73,10 @@ class HeartbeatEmitter {
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> seq_{0};
   std::string path_;
-  std::ofstream out_;
+  int fd_ = -1;
+  std::function<void(const std::string&)> sink_;
   std::chrono::steady_clock::time_point t0_;
 };
 

@@ -36,6 +36,22 @@ const char* const kCounterNames[kCounterCount] = {
     "events_throttled",
     "events_overwritten",
     "ring_snapshots",
+    "stream_frames_sent",
+    "stream_bytes_sent",
+    "stream_send_failures",
+    "collect_frames",
+    "collect_bytes",
+    "collect_events",
+    "collect_samples",
+    "collect_heartbeats",
+    "collect_heartbeat_gaps",
+    "collect_restarts",
+    "collect_protocol_errors",
+    "collect_disconnects",
+    "collect_sessions_folded",
+    "collect_sessions_aborted",
+    "collect_http_requests",
+    "collect_idle_timeouts",
 };
 
 const char* const kGaugeNames[kGaugeCount] = {
@@ -50,6 +66,8 @@ const char* const kGaugeNames[kGaugeCount] = {
     "sensor_temp_5_mc",
     "sensor_temp_6_mc",
     "sensor_temp_7_mc",
+    "collect_sessions_active",
+    "collect_queue_frames",
 };
 
 const char* const kHistogramNames[kHistogramCount] = {
@@ -58,6 +76,7 @@ const char* const kHistogramNames[kHistogramCount] = {
     "tick_wall_us",
     "sensor_read_us",
     "stage_wall_us",
+    "collect_fold_us",
 };
 
 // Nanosecond scale: covers a handful of instructions up to a pathological
@@ -76,6 +95,7 @@ const double* const kHistogramBoundTable[kHistogramCount] = {
     kUsBounds,  // kTickWallUs
     kUsBounds,  // kSensorReadUs
     kUsBounds,  // kStageWallUs
+    kUsBounds,  // kCollectFoldUs
 };
 
 std::size_t bucket_for(Histogram h, double value) {
@@ -183,6 +203,25 @@ std::int64_t read_peak_rss_kb() {
 #else
   return 0;
 #endif
+}
+
+void write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                         double t_seconds, std::uint64_t seq) {
+  out << "{\"t\":" << t_seconds << ",\"schema_version\":" << kHeartbeatSchemaVersion
+      << ",\"seq\":" << seq;
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    out << ",\"" << kCounterNames[c] << "\":" << snapshot.counters[c];
+  }
+  for (std::size_t g = 0; g < kGaugeCount; ++g) {
+    out << ",\"" << kGaugeNames[g] << "\":" << snapshot.gauges[g];
+  }
+  for (std::size_t h = 0; h < kHistogramCount; ++h) {
+    const HistogramSnapshot& hs = snapshot.histograms[h];
+    out << ",\"" << kHistogramNames[h] << "_count\":" << hs.count << ",\""
+        << kHistogramNames[h] << "_mean\":" << hs.mean() << ",\""
+        << kHistogramNames[h] << "_max\":" << hs.max;
+  }
+  out << "}";
 }
 
 void write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot,

@@ -60,6 +60,22 @@ enum class Counter : std::uint16_t {
   kEventsThrottled,      ///< hook calls rejected by rate caps / min-duration
   kEventsOverwritten,    ///< events discarded by the flight-recorder ring
   kRingSnapshots,        ///< flight-recorder snapshot traces written
+  kStreamFramesSent,     ///< collect-client frames shipped to the daemon
+  kStreamBytesSent,      ///< collect-client bytes shipped (headers + payload)
+  kStreamSendFailures,   ///< collect-client sends that failed (client goes dead)
+  kCollectFrames,        ///< collector: ingest frames accepted
+  kCollectBytes,         ///< collector: ingest payload bytes accepted
+  kCollectEvents,        ///< collector: fn events folded
+  kCollectSamples,       ///< collector: temperature samples folded
+  kCollectHeartbeats,    ///< collector: heartbeat lines ingested
+  kCollectHeartbeatGaps, ///< collector: heartbeat seq gaps (lines lost in flight)
+  kCollectRestarts,      ///< collector: heartbeat seq regressions (sender restarted)
+  kCollectProtocolErrors,///< collector: malformed/oversized frames (session aborted)
+  kCollectDisconnects,   ///< collector: ingest connections lost before BYE
+  kCollectSessionsFolded,///< collector: sessions folded into the fleet profile
+  kCollectSessionsAborted,///< collector: sessions discarded (error or disconnect)
+  kCollectHttpRequests,  ///< collector: query-plane requests served
+  kCollectIdleTimeouts,  ///< collector: connections reaped by the idle sweep
   kCount
 };
 
@@ -75,6 +91,8 @@ enum class Gauge : std::uint16_t {
   kSensorTemp5MilliC,
   kSensorTemp6MilliC,
   kSensorTemp7MilliC,
+  kCollectSessionsActive,  ///< collector: live ingest sessions right now
+  kCollectQueueFrames,     ///< collector: frames queued across fold shards
   kCount
 };
 
@@ -84,6 +102,7 @@ enum class Histogram : std::uint16_t {
   kTickWallUs,           ///< one full tempd sensor sweep
   kSensorReadUs,         ///< one backend read_celsius call
   kStageWallUs,          ///< one pipeline stage/sink call on one batch
+  kCollectFoldUs,        ///< collector: folding one ingest frame into a session
   kCount
 };
 
@@ -132,6 +151,17 @@ struct MetricsSnapshot {
 /// heartbeat file is lines of exactly this; tempest-top parses it back.
 void write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot,
                          double t_seconds);
+
+/// Version of the heartbeat line schema. Bumped when a key changes
+/// meaning; adding keys is not a version bump (readers scan by key and
+/// tolerate absence).
+inline constexpr std::uint64_t kHeartbeatSchemaVersion = 1;
+
+/// As above, prefixed with `"schema_version"` and a monotonic `"seq"`
+/// so stream consumers can tell dropped lines (seq gap) from sender
+/// restarts (seq regression). Readers tolerate both keys being absent.
+void write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                         double t_seconds, std::uint64_t seq);
 
 // -- registry ----------------------------------------------------------
 

@@ -1,9 +1,14 @@
 // tempest-top: live view of a recording session's self-telemetry.
 //
 //   tempest-top [options] <trace file or .telemetry.jsonl>
+//   tempest-top --connect HOST:PORT|uds:PATH [options]
 //     --once                 render the latest snapshot and exit
 //     --interval SECS        refresh period (default 1.0)
 //     --no-clear             append frames instead of redrawing in place
+//     --connect ENDPOINT     read snapshots from a tempest-collectd
+//                            query plane (/top — the fleet aggregate of
+//                            every session's latest heartbeat) instead
+//                            of a local heartbeat file
 //     --assert-tempd-below PCT
 //                            exit 1 unless tempd CPU share of wall time
 //                            in the latest snapshot is below PCT (CI
@@ -28,6 +33,7 @@
 #include <string>
 #include <thread>
 
+#include "collectd/net.hpp"
 #include "common/cli.hpp"
 #include "common/status.hpp"
 #include "trace/writer.hpp"
@@ -36,7 +42,7 @@ namespace {
 
 constexpr const char* kUsage =
     "[--once] [--interval SECS] [--no-clear] [--assert-tempd-below PCT] "
-    "[--version] <trace file or .telemetry.jsonl>";
+    "[--connect ENDPOINT] [--version] <trace file or .telemetry.jsonl>";
 
 /// Extract the numeric value of `"key":` from one flat JSON object
 /// line (the heartbeat writes no nested objects, arrays, or string
@@ -210,6 +216,13 @@ int main(int argc, char** argv) {
     return Status::ok();
   });
 
+  std::string connect;
+  args.add_value("--connect", [&](const std::string& v) {
+    if (v.empty()) return Status::error("--connect needs an endpoint");
+    connect = v;
+    return Status::ok();
+  });
+
   bool version = false;
   args.add_flag("--version", [&] { version = true; });
 
@@ -219,26 +232,48 @@ int main(int argc, char** argv) {
                                 tempest::trace::kTraceVersion);
     return 0;
   }
+  const std::size_t want_positional = connect.empty() ? 1 : 0;
   if (!parsed.is_ok() || args.help_requested() ||
-      args.positional().size() != 1) {
+      args.positional().size() != want_positional) {
     if (!parsed.is_ok()) std::cerr << "error: " << parsed.message() << "\n";
     args.print_usage(std::cerr, argv[0]);
     return 2;
   }
 
-  std::string path = args.positional()[0];
-  const std::string suffix = ".telemetry.jsonl";
-  if (path.size() < suffix.size() ||
-      path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
-    path += suffix;  // a trace path: resolve its conventional sidecar
+  std::string path;
+  if (connect.empty()) {
+    path = args.positional()[0];
+    const std::string suffix = ".telemetry.jsonl";
+    if (path.size() < suffix.size() ||
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      path += suffix;  // a trace path: resolve its conventional sidecar
+    }
   }
 
   std::string last, previous;
   while (true) {
-    const Status st = read_tail(path, &last, &previous);
-    if (!st.is_ok()) {
-      std::cerr << "error: " << st.message() << "\n";
-      return 2;
+    if (connect.empty()) {
+      const Status st = read_tail(path, &last, &previous);
+      if (!st.is_ok()) {
+        std::cerr << "error: " << st.message() << "\n";
+        return 2;
+      }
+    } else {
+      // Remote mode: /top is the collector's fleet aggregate in the
+      // heartbeat line schema, so the render below is shared verbatim.
+      // Rates come from the delta between successive fetches.
+      auto fetched = tempest::collectd::http_get(connect, "/top", 2.0);
+      if (!fetched.is_ok()) {
+        std::cerr << "error: " << fetched.message() << "\n";
+        return 2;
+      }
+      if (fetched.value() == "{}") {
+        std::cerr << "error: collector at " << connect
+                  << " has no session heartbeats yet\n";
+        return 2;
+      }
+      previous = last;
+      last = fetched.value();
     }
     if (!once && !no_clear) std::cout << "\x1b[2J\x1b[H";
     render(last, previous, std::cout);

@@ -1,0 +1,555 @@
+// tempest-collectd: wire codec round-trips, collector fold equivalence
+// against the offline RankFanIn path, and a multi-session hammer with
+// abrupt disconnects, slow-loris stalls, and oversized-frame rejection.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "collectd/client.hpp"
+#include "collectd/collector.hpp"
+#include "collectd/net.hpp"
+#include "collectd/wire.hpp"
+#include "pipeline/rank_fanin.hpp"
+#include "pipeline/sinks.hpp"
+#include "pipeline/stage.hpp"
+#include "trace/trace.hpp"
+#include "trace/writer.hpp"
+
+namespace {
+
+using namespace tempest;
+using namespace tempest::trace;
+namespace collectd = tempest::collectd;
+namespace pipeline = tempest::pipeline;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Short socket path: sun_path is ~108 bytes and TempDir can be deep.
+std::string sock_path(const std::string& name) {
+  return "/tmp/tempest_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+bool wait_until(const std::function<bool()>& pred, double timeout_s = 10.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+/// One session's synthetic trace: its own node/thread/sensor ids
+/// (disjoint across sessions, like real per-rank recordings), no clock
+/// syncs (single clock domain — the collector folds raw timestamps, so
+/// sync-free sessions make the offline comparison exact), time-sorted.
+Trace session_trace(std::uint16_t id, std::size_t pairs) {
+  Trace t;
+  t.tsc_ticks_per_second = 1e9;
+  t.executable = "fleet_app";  // nonexistent: synthetic names resolve
+  t.nodes = {{id, "host" + std::to_string(id)}};
+  t.sensors = {{id, 0, "cpu", 0.0}};
+  t.threads = {{id, id, 0}};
+  const std::uint64_t kShared = kSyntheticAddrBase + 1;
+  const std::uint64_t kOwn = kSyntheticAddrBase + 100 + id;
+  t.synthetic_symbols = {{kShared, "shared_fn"},
+                         {kOwn, "own_fn_" + std::to_string(id)}};
+
+  const std::uint64_t base = 1000 + id * 7;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const std::uint64_t at = base + p * 1000;
+    const std::uint64_t fn = (p % 2 == 0) ? kShared : kOwn;
+    t.fn_events.push_back({at, fn, id, id, FnEventKind::kEnter});
+    t.fn_events.push_back({at + 400 + id, fn, id, id, FnEventKind::kExit});
+  }
+  for (std::size_t s = 0; s < pairs / 4 + 1; ++s) {
+    t.temp_samples.push_back(
+        {base + s * 4000, 40.0 + id * 0.1 + s * 0.5, id, 0});
+  }
+  t.sort_by_time();
+
+  t.run_stats.present = true;
+  t.run_stats.events_recorded = t.fn_events.size();
+  t.run_stats.calls_observed = t.fn_events.size();
+  t.run_stats.tempd_samples = t.temp_samples.size();
+  t.run_stats.threads_registered = 1;
+  t.run_stats.wall_seconds = 0.5;
+  t.run_stats.tempd_cpu_seconds = 0.001;
+  return t;
+}
+
+/// Stream one sealed session over the client, exactly the recording
+/// side's stop() order.
+/// Streams a whole session; returns whether every send succeeded (the
+/// connection was still alive when BYE went out, before close()).
+bool stream_session(collectd::CollectClient* client, const Trace& t,
+                    std::uint64_t pid) {
+  client->send_hello(pid, t.executable);
+  client->send_heartbeat("{\"t\":0.1,\"schema_version\":1,\"seq\":1,"
+                         "\"events_recorded\":1}");
+  client->send_meta(t);
+  client->send_clock_syncs(t.clock_syncs);
+  client->send_fn_events(t.fn_events.data(), t.fn_events.size());
+  client->send_temp_samples(t.temp_samples.data(), t.temp_samples.size());
+  client->send_bye(t.fn_events.size(), t.temp_samples.size());
+  const bool ok = client->alive();
+  client->close();
+  return ok;
+}
+
+/// Offline reference: RankFanIn over the written session files, folded
+/// with the same fleet fold the collector applies.
+std::map<std::string, collectd::FleetFunction> offline_fleet(
+    const std::vector<std::string>& paths) {
+  auto opened = pipeline::RankFanIn::open(paths);
+  EXPECT_TRUE(opened.is_ok()) << opened.message();
+  auto fan = std::move(opened).value();
+  pipeline::AnalysisSink sink;
+  const Status ran = pipeline::run_pipeline(&fan, {}, {&sink});
+  EXPECT_TRUE(ran) << ran.message();
+  std::map<std::string, collectd::FleetFunction> fleet;
+  collectd::fold_profile(sink.result().profile, &fleet);
+  return fleet;
+}
+
+// -- wire codec --------------------------------------------------------
+
+TEST(Wire, FrameHeaderRoundTrip) {
+  char header[collectd::kFrameHeaderBytes];
+  collectd::encode_frame_header(header, collectd::FrameType::kEvents, 12345);
+  collectd::FrameType type;
+  std::uint32_t len = 0;
+  EXPECT_EQ(collectd::decode_frame_header(header, &type, &len),
+            collectd::HeaderParse::kOk);
+  EXPECT_EQ(type, collectd::FrameType::kEvents);
+  EXPECT_EQ(len, 12345u);
+
+  header[0] = 'X';
+  EXPECT_EQ(collectd::decode_frame_header(header, &type, &len),
+            collectd::HeaderParse::kBadMagic);
+  collectd::encode_frame_header(header, collectd::FrameType::kEvents, 1);
+  header[2] = 99;
+  EXPECT_EQ(collectd::decode_frame_header(header, &type, &len),
+            collectd::HeaderParse::kBadType);
+}
+
+TEST(Wire, HelloAndByeRoundTrip) {
+  collectd::Hello hello;
+  hello.pid = 4242;
+  hello.name = "/usr/bin/app";
+  collectd::Hello back;
+  ASSERT_TRUE(collectd::unpack_hello(collectd::pack_hello(hello), &back));
+  EXPECT_EQ(back.protocol, collectd::kProtocolVersion);
+  EXPECT_EQ(back.pid, 4242u);
+  EXPECT_EQ(back.name, "/usr/bin/app");
+  EXPECT_FALSE(collectd::unpack_hello("short", &back));
+
+  collectd::Bye bye;
+  bye.events_sent = 7;
+  bye.samples_sent = 9;
+  collectd::Bye bye_back;
+  ASSERT_TRUE(collectd::unpack_bye(collectd::pack_bye(bye), &bye_back));
+  EXPECT_EQ(bye_back.events_sent, 7u);
+  EXPECT_EQ(bye_back.samples_sent, 9u);
+}
+
+TEST(Wire, RecordSectionsRoundTrip) {
+  const Trace t = session_trace(3, 8);
+  std::vector<FnEvent> events;
+  ASSERT_TRUE(collectd::unpack_fn_events(
+      collectd::pack_fn_events(t.fn_events.data(), t.fn_events.size()),
+      &events));
+  ASSERT_EQ(events.size(), t.fn_events.size());
+  EXPECT_EQ(events.front().tsc, t.fn_events.front().tsc);
+  EXPECT_EQ(events.back().addr, t.fn_events.back().addr);
+
+  std::vector<TempSample> samples;
+  ASSERT_TRUE(collectd::unpack_temp_samples(
+      collectd::pack_temp_samples(t.temp_samples.data(), t.temp_samples.size()),
+      &samples));
+  ASSERT_EQ(samples.size(), t.temp_samples.size());
+  EXPECT_DOUBLE_EQ(samples.front().temp_c, t.temp_samples.front().temp_c);
+
+  // A payload that is not a whole number of records is malformed.
+  std::string truncated =
+      collectd::pack_fn_events(t.fn_events.data(), t.fn_events.size());
+  truncated.pop_back();
+  std::vector<FnEvent> none;
+  EXPECT_FALSE(collectd::unpack_fn_events(truncated, &none));
+}
+
+TEST(Wire, MetaRoundTripCarriesRunStatsAndSymbols) {
+  const Trace t = session_trace(5, 4);
+  const std::string payload = collectd::pack_meta(t);
+  ASSERT_FALSE(payload.empty());
+  Trace back;
+  ASSERT_TRUE(collectd::unpack_meta(payload, &back));
+  EXPECT_EQ(back.nodes.size(), 1u);
+  EXPECT_EQ(back.nodes[0].hostname, "host5");
+  EXPECT_EQ(back.threads.size(), 1u);
+  EXPECT_EQ(back.synthetic_symbols.size(), 2u);
+  EXPECT_EQ(back.synthetic_symbols[0].name, "shared_fn");
+  EXPECT_TRUE(back.run_stats.present);
+  EXPECT_EQ(back.run_stats.calls_observed, t.fn_events.size());
+  // Bulk sections stay behind: META is metadata-only.
+  EXPECT_TRUE(back.fn_events.empty());
+  EXPECT_FALSE(collectd::unpack_meta("not a trace", &back));
+}
+
+TEST(Wire, JsonNumberScansFlatHeartbeatLines) {
+  const std::string line = "{\"t\":1.5,\"schema_version\":1,\"seq\":42}";
+  EXPECT_DOUBLE_EQ(collectd::json_number(line, "t", -1.0), 1.5);
+  EXPECT_DOUBLE_EQ(collectd::json_number(line, "seq", -1.0), 42.0);
+  EXPECT_DOUBLE_EQ(collectd::json_number(line, "absent", -1.0), -1.0);
+}
+
+TEST(Net, EndpointParsing) {
+  collectd::Endpoint ep;
+  EXPECT_TRUE(collectd::parse_endpoint("uds:/tmp/x.sock", &ep));
+  EXPECT_TRUE(ep.uds);
+  EXPECT_EQ(ep.path, "/tmp/x.sock");
+  EXPECT_TRUE(collectd::parse_endpoint("tcp:localhost:9000", &ep));
+  EXPECT_FALSE(ep.uds);
+  EXPECT_EQ(ep.host, "localhost");
+  EXPECT_EQ(ep.port, 9000);
+  EXPECT_TRUE(collectd::parse_endpoint("127.0.0.1:80", &ep));
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_FALSE(collectd::parse_endpoint("uds:", &ep));
+  EXPECT_FALSE(collectd::parse_endpoint("localhost", &ep));
+  EXPECT_FALSE(collectd::parse_endpoint("host:99999", &ep));
+  EXPECT_FALSE(collectd::parse_endpoint("host:12x", &ep));
+}
+
+// -- collector fold ----------------------------------------------------
+
+TEST(Collector, SingleSessionMatchesOfflineFold) {
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("single");
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+
+  const Trace t = session_trace(1, 50);
+  const std::string path = temp_path("single_session.trace");
+  ASSERT_TRUE(write_trace_file(path, t));
+
+  collectd::CollectClient client;
+  ASSERT_TRUE(client.connect("uds:" + options.ingest_uds, 2.0));
+  stream_session(&client, t, 111);
+
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.fleet().sessions_folded == 1; }));
+  const collectd::FleetSnapshot fleet = collector.fleet();
+  EXPECT_EQ(fleet.sessions_aborted, 0u);
+
+  const auto offline = offline_fleet({path});
+  ASSERT_EQ(fleet.functions.size(), offline.size());
+  for (const auto& [name, fn] : offline) {
+    auto it = fleet.functions.find(name);
+    ASSERT_NE(it, fleet.functions.end()) << name;
+    EXPECT_EQ(it->second.calls, fn.calls) << name;
+    EXPECT_NEAR(it->second.total_time_s, fn.total_time_s,
+                1e-9 * (1.0 + std::abs(fn.total_time_s)))
+        << name;
+  }
+
+  // RunStats ride through the fold with the conservation invariant.
+  EXPECT_TRUE(fleet.run_stats.present);
+  EXPECT_EQ(fleet.run_stats.calls_observed, t.fn_events.size());
+  EXPECT_EQ(fleet.run_stats.events_recorded +
+                fleet.run_stats.events_suppressed +
+                fleet.run_stats.events_throttled +
+                fleet.run_stats.events_dropped +
+                fleet.run_stats.events_overwritten,
+            fleet.run_stats.calls_observed);
+  collector.stop();
+}
+
+TEST(Collector, HammerManySessionsWithDisconnects) {
+  // 32 concurrent senders; every 4th vanishes mid-chunk (a partial
+  // EVENTS frame then an abrupt close). The fleet rollup must equal the
+  // offline RankFanIn of exactly the clean sessions.
+  constexpr int kSessions = 32;
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("hammer");
+  options.max_queue_frames = 8;  // exercise backpressure pause/resume
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+
+  std::vector<Trace> traces;
+  std::vector<std::string> clean_paths;
+  std::uint64_t clean_count = 0, dirty_count = 0;
+  for (int i = 0; i < kSessions; ++i) {
+    traces.push_back(session_trace(static_cast<std::uint16_t>(i), 120));
+    if (i % 4 == 3) {
+      ++dirty_count;
+    } else {
+      ++clean_count;
+      const std::string path =
+          temp_path("hammer_" + std::to_string(i) + ".trace");
+      EXPECT_TRUE(write_trace_file(path, traces.back()));
+      clean_paths.push_back(path);
+    }
+  }
+
+  std::vector<std::thread> senders;
+  senders.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    senders.emplace_back([&, i] {
+      const Trace& t = traces[static_cast<std::size_t>(i)];
+      if (i % 4 == 3) {
+        // Abrupt mid-chunk death: a frame header promising more payload
+        // than ever arrives, then close. Must abort, never fold.
+        collectd::Endpoint ep;
+        ASSERT_TRUE(
+            collectd::parse_endpoint("uds:" + options.ingest_uds, &ep));
+        auto fd = collectd::connect_endpoint(ep, 2.0);
+        ASSERT_TRUE(fd.is_ok()) << fd.message();
+        collectd::Hello hello;
+        hello.pid = 1000 + static_cast<std::uint64_t>(i);
+        hello.name = t.executable;
+        const std::string hello_payload = collectd::pack_hello(hello);
+        char header[collectd::kFrameHeaderBytes];
+        collectd::encode_frame_header(
+            header, collectd::FrameType::kHello,
+            static_cast<std::uint32_t>(hello_payload.size()));
+        ASSERT_TRUE(collectd::send_all(fd.value(), header, sizeof(header)));
+        ASSERT_TRUE(collectd::send_all(fd.value(), hello_payload.data(),
+                                       hello_payload.size()));
+        const std::string events =
+            collectd::pack_fn_events(t.fn_events.data(), t.fn_events.size());
+        collectd::encode_frame_header(
+            header, collectd::FrameType::kEvents,
+            static_cast<std::uint32_t>(events.size()));
+        ASSERT_TRUE(collectd::send_all(fd.value(), header, sizeof(header)));
+        ASSERT_TRUE(
+            collectd::send_all(fd.value(), events.data(), events.size() / 2));
+        ::close(fd.value());
+        return;
+      }
+      collectd::CollectClient client;
+      ASSERT_TRUE(client.connect("uds:" + options.ingest_uds, 5.0));
+      EXPECT_TRUE(stream_session(&client, t,
+                                 1000 + static_cast<std::uint64_t>(i)))
+          << "a send failed for clean session " << i;
+    });
+  }
+  for (auto& s : senders) s.join();
+
+  ASSERT_TRUE(wait_until([&] {
+    const auto fleet = collector.fleet();
+    return fleet.sessions_folded == clean_count &&
+           fleet.sessions_aborted == dirty_count;
+  })) << "folded=" << collector.fleet().sessions_folded
+      << " aborted=" << collector.fleet().sessions_aborted;
+
+  const collectd::FleetSnapshot fleet = collector.fleet();
+  const auto offline = offline_fleet(clean_paths);
+  ASSERT_EQ(fleet.functions.size(), offline.size());
+  for (const auto& [name, fn] : offline) {
+    auto it = fleet.functions.find(name);
+    ASSERT_NE(it, fleet.functions.end()) << name;
+    EXPECT_EQ(it->second.calls, fn.calls) << name;
+    EXPECT_NEAR(it->second.total_time_s, fn.total_time_s,
+                1e-6 * (1.0 + std::abs(fn.total_time_s)))
+        << name;
+  }
+  // shared_fn ran in every folded session; the fleet fold tracks that
+  // (the offline merged run can't — it is one run).
+  auto shared = fleet.functions.find("shared_fn");
+  ASSERT_NE(shared, fleet.functions.end());
+  EXPECT_EQ(shared->second.sessions, clean_count);
+
+  // Conservation across the count-weighted RunStats append fold.
+  std::uint64_t expected_calls = 0;
+  for (int i = 0; i < kSessions; ++i) {
+    if (i % 4 != 3) expected_calls += traces[i].fn_events.size();
+  }
+  EXPECT_TRUE(fleet.run_stats.present);
+  EXPECT_EQ(fleet.run_stats.calls_observed, expected_calls);
+  EXPECT_EQ(fleet.run_stats.events_recorded +
+                fleet.run_stats.events_suppressed +
+                fleet.run_stats.events_throttled +
+                fleet.run_stats.events_dropped +
+                fleet.run_stats.events_overwritten,
+            fleet.run_stats.calls_observed);
+  collector.stop();
+}
+
+TEST(Collector, RejectsOversizedFrame) {
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("oversized");
+  options.max_frame_bytes = 1024;
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+
+  collectd::Endpoint ep;
+  ASSERT_TRUE(collectd::parse_endpoint("uds:" + options.ingest_uds, &ep));
+  auto fd = collectd::connect_endpoint(ep, 2.0);
+  ASSERT_TRUE(fd.is_ok()) << fd.message();
+  char header[collectd::kFrameHeaderBytes];
+  collectd::encode_frame_header(header, collectd::FrameType::kEvents,
+                                1u << 20);
+  ASSERT_TRUE(collectd::send_all(fd.value(), header, sizeof(header)));
+
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.fleet().sessions_aborted == 1; }));
+  EXPECT_EQ(collector.fleet().sessions_folded, 0u);
+  ::close(fd.value());
+  collector.stop();
+}
+
+TEST(Collector, SlowLorisIsReapedWhileOthersFold) {
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("loris");
+  options.idle_timeout_s = 0.3;
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+
+  // The stalled connection: half a frame header, then silence.
+  collectd::Endpoint ep;
+  ASSERT_TRUE(collectd::parse_endpoint("uds:" + options.ingest_uds, &ep));
+  auto stalled = collectd::connect_endpoint(ep, 2.0);
+  ASSERT_TRUE(stalled.is_ok()) << stalled.message();
+  ASSERT_TRUE(collectd::send_all(stalled.value(), "TC", 2));
+
+  // A well-behaved session folds while the loris stalls.
+  const Trace t = session_trace(9, 30);
+  collectd::CollectClient client;
+  ASSERT_TRUE(client.connect("uds:" + options.ingest_uds, 2.0));
+  stream_session(&client, t, 99);
+
+  ASSERT_TRUE(wait_until([&] {
+    const auto fleet = collector.fleet();
+    return fleet.sessions_folded == 1 && fleet.sessions_aborted == 1;
+  }));
+  ::close(stalled.value());
+  collector.stop();
+}
+
+TEST(Collector, HeartbeatSeqGapsAndRestartsAreCounted) {
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("hbseq");
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+
+  collectd::CollectClient client;
+  ASSERT_TRUE(client.connect("uds:" + options.ingest_uds, 2.0));
+  client.send_hello(7, "hb_app");
+  client.send_heartbeat("{\"t\":0.1,\"schema_version\":1,\"seq\":1}");
+  client.send_heartbeat("{\"t\":0.5,\"schema_version\":1,\"seq\":5}");  // gap: 2..4 lost
+  client.send_heartbeat("{\"t\":0.2,\"schema_version\":1,\"seq\":2}");  // restart
+
+  std::string body;
+  ASSERT_TRUE(wait_until([&] {
+    body.clear();
+    return collector.handle_query("/sessions", &body) == 200 &&
+           body.find("\"heartbeats\":3") != std::string::npos;
+  }));
+  EXPECT_NE(body.find("\"heartbeat_gaps\":3"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"heartbeat_restarts\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"last_seq\":2"), std::string::npos) << body;
+  client.close();
+  collector.stop();
+}
+
+// -- query plane -------------------------------------------------------
+
+TEST(Collector, QueryPlaneServesAllEndpoints) {
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("http");
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+  ASSERT_GT(collector.http_port(), 0);
+
+  const Trace t = session_trace(2, 20);
+  collectd::CollectClient client;
+  ASSERT_TRUE(client.connect("uds:" + options.ingest_uds, 2.0));
+  stream_session(&client, t, 22);
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.fleet().sessions_folded == 1; }));
+
+  const std::string spec =
+      "127.0.0.1:" + std::to_string(collector.http_port());
+  auto health = collectd::http_get(spec, "/healthz", 2.0);
+  ASSERT_TRUE(health.is_ok()) << health.message();
+  EXPECT_NE(health.value().find("\"status\":\"ok\""), std::string::npos);
+
+  auto profile = collectd::http_get(spec, "/profile?top=1", 2.0);
+  ASSERT_TRUE(profile.is_ok()) << profile.message();
+  EXPECT_NE(profile.value().find("\"sessions_folded\":1"), std::string::npos);
+  // top=1 keeps only the hottest function.
+  EXPECT_EQ(profile.value().find("own_fn") != std::string::npos &&
+                profile.value().find("shared_fn") != std::string::npos,
+            false);
+
+  auto runstats = collectd::http_get(spec, "/runstats", 2.0);
+  ASSERT_TRUE(runstats.is_ok()) << runstats.message();
+  EXPECT_NE(runstats.value().find("\"conservation_ok\":true"),
+            std::string::npos);
+
+  auto metrics = collectd::http_get(spec, "/metrics", 2.0);
+  ASSERT_TRUE(metrics.is_ok()) << metrics.message();
+  EXPECT_NE(metrics.value().find("\"collect_sessions_folded\":"),
+            std::string::npos);
+
+  auto top = collectd::http_get(spec, "/top", 2.0);
+  ASSERT_TRUE(top.is_ok()) << top.message();
+  EXPECT_NE(top.value().find("\"schema_version\":1"), std::string::npos);
+
+  auto missing = collectd::http_get(spec, "/nope", 2.0);
+  EXPECT_FALSE(missing.is_ok());
+
+  // The socket-free path used by tests and the daemon's own plumbing.
+  std::string body;
+  EXPECT_EQ(collector.handle_query("/sessions", &body), 200);
+  EXPECT_NE(body.find("\"state\":\"folded\""), std::string::npos);
+  EXPECT_EQ(collector.handle_query("/bogus", &body), 404);
+  collector.stop();
+}
+
+TEST(Collector, StartRequiresAnIngestEndpoint) {
+  collectd::CollectorOptions options;  // neither uds nor tcp
+  collectd::Collector collector(options);
+  EXPECT_FALSE(collector.start());
+}
+
+TEST(Collector, TcpIngestFoldsASession) {
+  collectd::CollectorOptions options;
+  options.ingest_tcp = "127.0.0.1:0";
+  collectd::Collector collector(options);
+  // Ephemeral TCP ingest: we cannot read the bound port back from the
+  // options, so use a fixed high port with retry-on-busy semantics
+  // instead — bind a throwaway listener to find a free port first.
+  {
+    collectd::Endpoint probe;
+    ASSERT_TRUE(collectd::parse_endpoint("127.0.0.1:0", &probe));
+    auto lfd = collectd::listen_endpoint(probe, 1);
+    ASSERT_TRUE(lfd.is_ok());
+    auto port = collectd::local_port(lfd.value());
+    ASSERT_TRUE(port.is_ok());
+    ::close(lfd.value());
+    options.ingest_tcp = "127.0.0.1:" + std::to_string(port.value());
+  }
+  collectd::Collector bound(options);
+  ASSERT_TRUE(bound.start());
+
+  const Trace t = session_trace(4, 10);
+  collectd::CollectClient client;
+  ASSERT_TRUE(client.connect("tcp:" + options.ingest_tcp, 2.0));
+  stream_session(&client, t, 44);
+  ASSERT_TRUE(wait_until(
+      [&] { return bound.fleet().sessions_folded == 1; }));
+  bound.stop();
+}
+
+}  // namespace

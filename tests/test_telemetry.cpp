@@ -4,10 +4,17 @@
 // is that recording from any thread is safe and exact.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -343,6 +350,112 @@ TEST(Heartbeat, StartTruncatesAndDoubleStopIsSafe) {
 TEST(Heartbeat, PathForTraceAppendsConventionalSuffix) {
   EXPECT_EQ(tempest::telemetry::HeartbeatEmitter::path_for_trace("/tmp/a.trace"),
             "/tmp/a.trace.telemetry.jsonl");
+}
+
+TEST(Heartbeat, LinesCarrySchemaVersionAndMonotonicSeq) {
+  tempest::telemetry::metrics().reset();
+  const std::string path = ::testing::TempDir() + "/hb_seq.jsonl";
+  tempest::telemetry::HeartbeatEmitter hb;
+  ASSERT_TRUE(hb.start(path, 0.01).is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hb.stop();
+  EXPECT_GE(hb.seq(), 3u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::uint64_t last_seq = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("\"schema_version\":1"), std::string::npos);
+    const std::size_t at = line.find("\"seq\":");
+    ASSERT_NE(at, std::string::npos);
+    const auto seq = static_cast<std::uint64_t>(
+        std::strtoull(line.c_str() + at + 6, nullptr, 10));
+    EXPECT_EQ(seq, last_seq + 1);  // strictly monotonic, no gaps
+    last_seq = seq;
+  }
+  EXPECT_EQ(last_seq, hb.seq());
+  std::remove(path.c_str());
+}
+
+TEST(Heartbeat, LineSinkSeesEveryLineAndWorksWithoutAFile) {
+  tempest::telemetry::metrics().reset();
+  tempest::telemetry::HeartbeatEmitter hb;
+  // Neither path nor sink is a configuration error.
+  EXPECT_FALSE(hb.start("", 0.01).is_ok());
+
+  std::mutex mu;
+  std::vector<std::string> lines;
+  hb.set_line_sink([&](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  });
+  ASSERT_TRUE(hb.start("", 0.01).is_ok());  // sink-only, no file
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  hb.stop();
+
+  const std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');  // no trailing newline through the sink
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+  }
+}
+
+#if defined(__SANITIZE_THREAD__)
+#define TEMPEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TEMPEST_TSAN 1
+#endif
+#endif
+
+TEST(Heartbeat, KilledMidRunNeverLeavesATornFinalLine) {
+  // The emitter writes each line with a single write(): a process that
+  // dies between heartbeats can lose whole lines but never leave a
+  // partially buffered record for readers to choke on. Spawn a child
+  // that heartbeats as fast as it can, SIGKILL it mid-run, and require
+  // every line in the file to be complete.
+#ifdef TEMPEST_TSAN
+  GTEST_SKIP() << "fork with running threads is unsupported under TSan";
+#else
+  const std::string path = ::testing::TempDir() + "/hb_kill.jsonl";
+  std::remove(path.c_str());
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    tempest::telemetry::HeartbeatEmitter hb;
+    if (!hb.start(path, 0.0005).is_ok()) ::_exit(3);
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  // Let it write a bunch of lines, then kill it with no warning.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << "torn line " << lines << ": " << line;
+    EXPECT_EQ(line.back(), '}') << "torn line " << lines << ": " << line;
+    ++lines;
+  }
+  // The file must not end mid-record either (no unterminated tail).
+  in.clear();
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  ASSERT_GT(size, 0);
+  in.seekg(-1, std::ios::end);
+  EXPECT_EQ(in.get(), '\n');
+  EXPECT_GE(lines, 2u);
+  std::remove(path.c_str());
+#endif
 }
 
 }  // namespace
