@@ -126,6 +126,10 @@ struct SessionInfo {
   std::atomic<std::uint64_t> hb_gaps{0};
   std::atomic<std::uint64_t> hb_restarts{0};
   std::atomic<std::uint64_t> last_seq{0};
+  /// Collector-clock ms (since Impl::t0) when the session reached a
+  /// terminal state; -1 while handshaking/live. Drives the /top
+  /// freshness window.
+  std::atomic<std::int64_t> finished_at_ms{-1};
   /// Shard thread asks the IO thread to close the connection.
   std::atomic<bool> kill{false};
 
@@ -143,6 +147,10 @@ struct Msg {
   FrameType type = FrameType::kHello;
   std::string payload;
   bool disconnect = false;  ///< connection ended (clean EOF or error)
+  /// IO-thread abort (bad magic / oversized frame): the session is
+  /// already marked kAborted; this message just asks the owning shard
+  /// thread to tear down the fold, which only it may touch.
+  bool abort = false;
 };
 
 struct Shard {
@@ -253,11 +261,17 @@ struct Collector::Impl {
                std::max<std::size_t>(1, options.max_queue_bytes / 2);
   }
 
-  void abort_session(SessionInfo* s, const std::string& reason) {
-    const int st = s->state.load(std::memory_order_acquire);
-    if (st == kFolded || st == kAborted) return;
-    s->state.store(kAborted, std::memory_order_release);
-    s->fold = SessionFold{};  // discard the partial fold
+  /// Transition to kAborted unless already terminal. Safe from any
+  /// thread; returns true for the caller that won the transition (so
+  /// counters are bumped exactly once even if the IO thread and a shard
+  /// thread abort the same session concurrently).
+  bool mark_aborted(SessionInfo* s, const std::string& reason) {
+    int st = s->state.load(std::memory_order_acquire);
+    do {
+      if (st == kFolded || st == kAborted) return false;
+    } while (!s->state.compare_exchange_weak(
+        st, kAborted, std::memory_order_acq_rel, std::memory_order_acquire));
+    s->finished_at_ms.store(now_ms(), std::memory_order_relaxed);
     telemetry::count(Counter::kCollectSessionsAborted);
     {
       const std::lock_guard<std::mutex> lock(fleet_mu);
@@ -266,12 +280,36 @@ struct Collector::Impl {
     telemetry::log_warn("collectd", "session " + std::to_string(s->id) +
                                         " aborted: " + reason);
     s->kill.store(true, std::memory_order_release);
-    wake_io();
+    return true;
+  }
+
+  /// Shard-thread abort: marks the session and tears down its fold.
+  /// Must only run on the session's owning shard thread — SessionFold
+  /// is shard-thread-only state.
+  void abort_session(SessionInfo* s, const std::string& reason) {
+    if (mark_aborted(s, reason)) wake_io();
+    s->fold = SessionFold{};  // discard the partial fold
   }
 
   void protocol_error(SessionInfo* s, const std::string& what) {
     telemetry::count(Counter::kCollectProtocolErrors);
     abort_session(s, "protocol error: " + what);
+  }
+
+  /// IO-thread abort (framing errors seen before the payload ever
+  /// reaches a shard). Never touches s->fold: the shard thread may be
+  /// folding already-queued frames for this session right now. Instead
+  /// an abort message rides the same FIFO queue — by the time the shard
+  /// processes it, every earlier frame has been dropped (state is
+  /// already kAborted) and the fold can be torn down safely.
+  void protocol_error_io(const std::shared_ptr<SessionInfo>& s,
+                         const std::string& what) {
+    telemetry::count(Counter::kCollectProtocolErrors);
+    mark_aborted(s.get(), "protocol error: " + what);
+    Msg msg;
+    msg.sess = s;
+    msg.abort = true;
+    enqueue(s->shard, std::move(msg));
   }
 
   void fold_heartbeat(SessionInfo* s, const std::string& line) {
@@ -326,12 +364,20 @@ struct Collector::Impl {
     }
     telemetry::count(Counter::kCollectSessionsFolded);
     s->state.store(kFolded, std::memory_order_release);
+    s->finished_at_ms.store(now_ms(), std::memory_order_relaxed);
     s->fold = SessionFold{};  // free the pipeline; the rollup is merged
   }
 
   void fold_msg(Msg* msg) {
     SessionInfo* s = msg->sess.get();
     const int st = s->state.load(std::memory_order_acquire);
+    if (msg->abort) {
+      // Deferred teardown for an IO-thread abort: we are the owning
+      // shard thread, and FIFO ordering guarantees no earlier frame of
+      // this session is still queued ahead of us.
+      s->fold = SessionFold{};
+      return;
+    }
     if (msg->disconnect) {
       if (st != kFolded && st != kAborted) {
         telemetry::count(Counter::kCollectDisconnects);
@@ -496,6 +542,29 @@ struct Collector::Impl {
     return s;
   }
 
+  /// Drop the oldest terminal (folded/aborted) sessions beyond the
+  /// retention cap. Session ids are monotonic and the map is ordered,
+  /// so a forward scan reaps oldest-first. Shard queues hold shared_ptr
+  /// references, so erasing here never invalidates in-flight messages.
+  void reap_sessions() {
+    const std::lock_guard<std::mutex> lock(sessions_mu);
+    std::size_t terminal = 0;
+    for (const auto& [id, s] : sessions) {
+      const int st = s->state.load(std::memory_order_acquire);
+      if (st == kFolded || st == kAborted) ++terminal;
+    }
+    for (auto it = sessions.begin();
+         it != sessions.end() && terminal > options.max_terminal_sessions;) {
+      const int st = it->second->state.load(std::memory_order_acquire);
+      if (st == kFolded || st == kAborted) {
+        it = sessions.erase(it);
+        --terminal;
+      } else {
+        ++it;
+      }
+    }
+  }
+
   /// Parse complete frames off an ingest connection's buffer into its
   /// shard queue. Pauses (returns) when the shard is full; closes with
   /// a protocol error on malformed/oversized frames.
@@ -513,15 +582,15 @@ struct Collector::Impl {
       const HeaderParse hp =
           decode_frame_header(c->in.data() + consumed, &type, &len);
       if (hp != HeaderParse::kOk) {
-        protocol_error(c->sess.get(), hp == HeaderParse::kBadMagic
-                                          ? "bad frame magic"
-                                          : "unknown frame type");
+        protocol_error_io(c->sess, hp == HeaderParse::kBadMagic
+                                       ? "bad frame magic"
+                                       : "unknown frame type");
         ok = false;
         break;
       }
       if (len > options.max_frame_bytes) {
-        protocol_error(c->sess.get(),
-                       "oversized frame (" + std::to_string(len) + " bytes)");
+        protocol_error_io(c->sess, "oversized frame (" + std::to_string(len) +
+                                       " bytes)");
         ok = false;
         break;
       }
@@ -578,6 +647,12 @@ struct Collector::Impl {
 
   double uptime_s() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  std::int64_t now_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - t0)
         .count();
   }
 
@@ -742,9 +817,21 @@ struct Collector::Impl {
   int handle_top(std::string* body) const {
     std::vector<std::string> lines;
     {
+      const std::int64_t now = now_ms();
+      const auto window_ms =
+          static_cast<std::int64_t>(options.top_freshness_s * 1000.0);
       const std::lock_guard<std::mutex> lock(sessions_mu);
       lines.reserve(sessions.size());
       for (const auto& [id, s] : sessions) {
+        // Live fleet view: a finished session's final heartbeat fades
+        // out after the freshness window — keeping it forever would
+        // double-count every dead run in the aggregate.
+        const int st = s->state.load(std::memory_order_acquire);
+        if (st == kFolded || st == kAborted) {
+          const std::int64_t fin =
+              s->finished_at_ms.load(std::memory_order_relaxed);
+          if (fin < 0 || now - fin >= window_ms) continue;
+        }
         const std::lock_guard<std::mutex> slock(s->mu);
         if (!s->last_heartbeat.empty()) lines.push_back(s->last_heartbeat);
       }
@@ -943,6 +1030,9 @@ struct Collector::Impl {
         }
         if (c.paused && shard_low(*shards[c.sess->shard])) {
           c.paused = false;
+          // The pause was our backpressure, not peer silence — restart
+          // the idle clock so the resumed sender isn't instantly reaped.
+          c.last_active = now;
           if (!drain_ingest_buffer(&c)) {
             close_late.emplace_back(fd, false);
             continue;
@@ -955,12 +1045,16 @@ struct Collector::Impl {
           close_late.emplace_back(fd, true);
           continue;
         }
-        if (now - c.last_active > idle_timeout) {
+        // A paused conn is not polled for POLLIN, so last_active cannot
+        // advance; reaping it would punish a healthy sender for a full
+        // shard. Only unpaused-and-silent peers are idle.
+        if (!c.paused && now - c.last_active > idle_timeout) {
           telemetry::count(Counter::kCollectIdleTimeouts);
           close_late.emplace_back(fd, !c.http);
         }
       }
       for (const auto& [fd, lost] : close_late) close_conn(fd, lost);
+      reap_sessions();
 
       std::size_t queued = 0;
       for (const auto& sh : shards) {

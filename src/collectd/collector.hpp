@@ -67,8 +67,22 @@ struct CollectorOptions {
   /// a queue hold hundreds of MiB; whichever limit hits first pauses.
   std::size_t max_queue_bytes = std::size_t{32} << 20;
   /// Reap connections idle this long (slow-loris guard; also applies
-  /// to ingest sessions that stop sending without BYE).
+  /// to ingest sessions that stop sending without BYE). Connections
+  /// paused for shard backpressure are exempt — they are waiting on
+  /// us, not silent.
   double idle_timeout_s = 30.0;
+  /// Retain at most this many folded/aborted sessions in the /sessions
+  /// detail map; the oldest beyond the cap are reaped so a long-running
+  /// daemon ingesting many short runs stays bounded. Fleet rollups
+  /// (profile, runstats, folded/aborted counts) are kept separately and
+  /// survive reaping.
+  std::size_t max_terminal_sessions = 512;
+  /// /top is a live fleet view: a finished (folded/aborted) session's
+  /// final heartbeat keeps contributing to the aggregate for this long
+  /// after it ends, then drops out — a fleet of short runs reads
+  /// continuously, but dead sessions are never double-counted forever.
+  /// 0 excludes finished sessions immediately.
+  double top_freshness_s = 60.0;
   /// Profile options for the per-session folds (unit, significance).
   parser::ProfileOptions profile;
 };

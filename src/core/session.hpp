@@ -210,10 +210,14 @@ class Session {
   std::vector<NodeBinding> nodes_;
   Tempd tempd_;
   ThreadRegistry registry_;
-  telemetry::HeartbeatEmitter heartbeat_;
   /// Live stream to a tempest-collectd daemon (TEMPEST_COLLECT); null
   /// when unset or unreachable — recording then stays file-only.
+  /// Declared before heartbeat_ on purpose: the emitter's line sink
+  /// captures this client raw, so the emitter must be destroyed (final
+  /// snapshot emitted, thread joined) while the client is still alive —
+  /// members destroy in reverse declaration order.
   std::unique_ptr<collectd::CollectClient> collect_;
+  telemetry::HeartbeatEmitter heartbeat_;
   trace::Trace trace_;
   std::uint64_t start_tsc_ = 0;
 

@@ -13,6 +13,9 @@
 //     --queue-frames N       per-shard queue frame bound (default 256)
 //     --queue-bytes BYTES    per-shard queue byte bound (default 32 MiB)
 //     --idle-timeout SECS    reap silent connections (default 30)
+//     --retain-sessions N    keep at most N finished sessions in the
+//                            /sessions detail map (default 512); fleet
+//                            rollups survive reaping
 //     --unit C|F             temperature unit for folded profiles
 //     --version              print tool and trace-format version
 //
@@ -50,7 +53,8 @@ void stop_signal_handler(int /*signo*/) {
 constexpr const char* kUsage =
     "[--uds PATH] [--tcp HOST:PORT] [--http HOST:PORT] [--port-file PATH] "
     "[--shards N] [--max-frame BYTES] [--queue-frames N] "
-    "[--queue-bytes BYTES] [--idle-timeout SECS] [--unit C|F] [--version]";
+    "[--queue-bytes BYTES] [--idle-timeout SECS] [--retain-sessions N] "
+    "[--unit C|F] [--version]";
 
 }  // namespace
 
@@ -117,6 +121,13 @@ int main(int argc, char** argv) {
         options.idle_timeout_s <= 0.0) {
       return Status::error("bad --idle-timeout value '" + v + "'");
     }
+    return Status::ok();
+  });
+  args.add_value("--retain-sessions", [&](const std::string& v) {
+    std::size_t n = 0;
+    const Status st = tempest::cli::parse_size(v, &n);
+    if (!st.is_ok()) return st;
+    options.max_terminal_sessions = n;
     return Status::ok();
   });
   args.add_value("--unit", [&](const std::string& v) {

@@ -462,6 +462,77 @@ TEST(Collector, HeartbeatSeqGapsAndRestartsAreCounted) {
   collector.stop();
 }
 
+TEST(Collector, TopFadesOutFinishedSessions) {
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("topfade");
+  options.top_freshness_s = 0.0;  // finished sessions drop out at once
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+
+  // One session folds (its stream_session heartbeat says
+  // events_recorded:1), one stays live with events_recorded:10.
+  const Trace t = session_trace(3, 8);
+  collectd::CollectClient done;
+  ASSERT_TRUE(done.connect("uds:" + options.ingest_uds, 2.0));
+  ASSERT_TRUE(stream_session(&done, t, 31));
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.fleet().sessions_folded == 1; }));
+
+  collectd::CollectClient live;
+  ASSERT_TRUE(live.connect("uds:" + options.ingest_uds, 2.0));
+  live.send_hello(32, "live_app");
+  live.send_heartbeat("{\"t\":1.5,\"schema_version\":1,\"seq\":1,"
+                      "\"events_recorded\":10}");
+  ASSERT_TRUE(wait_until([&] {
+    std::string body;
+    return collector.handle_query("/sessions", &body) == 200 &&
+           body.find("\"last_t\":1.5") != std::string::npos;
+  }));
+
+  // The dead session's final heartbeat must not be double-counted into
+  // the live fleet view: only the live session contributes.
+  std::string top;
+  ASSERT_EQ(collector.handle_query("/top", &top), 200);
+  EXPECT_NE(top.find("\"events_recorded\":10"), std::string::npos) << top;
+  live.close();
+  collector.stop();
+}
+
+TEST(Collector, TerminalSessionsAreReapedBeyondRetentionCap) {
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("reap");
+  options.max_terminal_sessions = 2;
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+
+  constexpr int kRuns = 5;
+  for (int i = 0; i < kRuns; ++i) {
+    const Trace t = session_trace(static_cast<std::uint16_t>(i + 1), 4);
+    collectd::CollectClient client;
+    ASSERT_TRUE(client.connect("uds:" + options.ingest_uds, 2.0));
+    ASSERT_TRUE(stream_session(&client, t, 100 + i));
+  }
+  ASSERT_TRUE(wait_until([&] {
+    return collector.fleet().sessions_folded == kRuns;
+  }));
+
+  // The /sessions detail map is bounded by the cap; the fleet rollup
+  // still remembers every fold.
+  ASSERT_TRUE(wait_until([&] {
+    std::string body;
+    if (collector.handle_query("/sessions", &body) != 200) return false;
+    std::size_t entries = 0;
+    for (std::size_t pos = body.find("\"id\":"); pos != std::string::npos;
+         pos = body.find("\"id\":", pos + 1)) {
+      ++entries;
+    }
+    return entries <= options.max_terminal_sessions;
+  }));
+  EXPECT_EQ(collector.fleet().sessions_folded,
+            static_cast<std::uint64_t>(kRuns));
+  collector.stop();
+}
+
 // -- query plane -------------------------------------------------------
 
 TEST(Collector, QueryPlaneServesAllEndpoints) {
@@ -477,6 +548,19 @@ TEST(Collector, QueryPlaneServesAllEndpoints) {
   stream_session(&client, t, 22);
   ASSERT_TRUE(wait_until(
       [&] { return collector.fleet().sessions_folded == 1; }));
+
+  // A second session that stays live: /top is a live fleet view, so
+  // only this one's heartbeat may contribute to the aggregate.
+  collectd::CollectClient live;
+  ASSERT_TRUE(live.connect("uds:" + options.ingest_uds, 2.0));
+  live.send_hello(23, "live_app");
+  live.send_heartbeat("{\"t\":2.5,\"schema_version\":1,\"seq\":3,"
+                      "\"events_recorded\":10}");
+  ASSERT_TRUE(wait_until([&] {
+    std::string body;
+    return collector.handle_query("/sessions", &body) == 200 &&
+           body.find("\"last_t\":2.5") != std::string::npos;
+  }));
 
   const std::string spec =
       "127.0.0.1:" + std::to_string(collector.http_port());
@@ -505,6 +589,12 @@ TEST(Collector, QueryPlaneServesAllEndpoints) {
   auto top = collectd::http_get(spec, "/top", 2.0);
   ASSERT_TRUE(top.is_ok()) << top.message();
   EXPECT_NE(top.value().find("\"schema_version\":1"), std::string::npos);
+  // The just-folded session is still inside the /top freshness window,
+  // so its final heartbeat (events_recorded:1) sums with the live
+  // session's (10). TopFadesOutFinishedSessions pins the fade-out.
+  EXPECT_NE(top.value().find("\"events_recorded\":11"), std::string::npos)
+      << top.value();
+  live.close();
 
   auto missing = collectd::http_get(spec, "/nope", 2.0);
   EXPECT_FALSE(missing.is_ok());
