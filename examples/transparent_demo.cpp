@@ -8,10 +8,16 @@
 //   $ ./examples/transparent_demo
 //   $ TEMPEST_OUT=/tmp/demo.trace TEMPEST_REPORT=0 ./examples/transparent_demo
 //   $ ./tools/tempest_parse --plot /tmp/demo.trace
+//
+// TEMPEST_DEMO_MATRIX_N overrides the matrix dimension (default 200).
+// CI's differential-profiling leg records one run at the default and
+// one perturbed run, then checks tempest-diff ranks matrix_mult_pass
+// as the top regression.
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -37,7 +43,11 @@ __attribute__((noinline)) double matrix_mult_pass(std::vector<double>& m, int n)
 }
 
 __attribute__((noinline)) double crunch_numbers() {
-  const int n = 200;
+  int n = 200;
+  if (const char* env = std::getenv("TEMPEST_DEMO_MATRIX_N")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 8 && v <= 2048) n = static_cast<int>(v);
+  }
   std::vector<double> m(static_cast<std::size_t>(n * n));
   for (std::size_t i = 0; i < m.size(); ++i) m[i] = std::sin(static_cast<double>(i));
   double acc = 0.0;

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Structural validator for tempest-diff output.
+
+Used by the CI differential-profiling leg after recording a baseline
+and a seeded-regression run of the instrumented demo:
+
+    check_diff.py regression DIFF.json FUNCTION [--min-confidence 0.95]
+    check_diff.py self DIFF.json
+    check_diff.py trend TREND.jsonl --runs N
+
+Modes:
+
+  * regression — FUNCTION must be ranked FIRST among the significant
+    regressions, at or above the confidence threshold. Catching the
+    perturbed function somewhere in the list is not enough: the whole
+    point of Welch gating is that the leaf culprit outranks inclusive
+    ancestors and noise. FUNCTION matches as a substring of the ranked
+    key, so `matrix_mult_pass` matches the full demangled signature.
+  * self — a run diffed against itself must produce zero significant
+    regressions and zero significant improvements (identical numbers
+    carry no evidence of change).
+  * trend — the JSONL series must open with the schema-versioned
+    header, declare the expected run count, and contain exactly one
+    entry per run for every function that appears in any run (a
+    function surviving filters in every run yields an unbroken series).
+
+Exit 0 when clean, 1 with a message per violation otherwise.
+"""
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check_regression(args):
+    doc = load_json(args.diff_json)
+    errors = []
+    if doc.get("schema") != "tempest-diff":
+        errors.append(f"schema is {doc.get('schema')!r}, not 'tempest-diff'")
+    regressions = doc.get("regressions", [])
+    if not regressions:
+        errors.append("no significant regressions found at all")
+    else:
+        top = regressions[0]
+        if args.function not in top.get("function", ""):
+            ranked = [r.get("function") for r in regressions[:5]]
+            errors.append(
+                f"expected {args.function!r} ranked first, got {ranked}")
+        if top.get("confidence", 0.0) < args.min_confidence:
+            errors.append(
+                f"top regression confidence {top.get('confidence')} below "
+                f"{args.min_confidence}")
+        if not top.get("significant", False):
+            errors.append("top regression not marked significant")
+        if not top.get("time_significant", True):
+            errors.append("top regression ranked on sensor evidence only, "
+                          "not rankable time evidence")
+        if top.get("delta_time_s", 0.0) <= 0.0:
+            errors.append(
+                f"top regression delta_time_s {top.get('delta_time_s')} "
+                "is not a slowdown")
+    return errors
+
+
+def check_self(args):
+    doc = load_json(args.diff_json)
+    errors = []
+    if doc.get("schema") != "tempest-diff":
+        errors.append(f"schema is {doc.get('schema')!r}, not 'tempest-diff'")
+    for kind in ("regressions", "improvements"):
+        entries = doc.get(kind, [])
+        if entries:
+            names = [e.get("function") for e in entries[:5]]
+            errors.append(
+                f"self-diff produced {len(entries)} significant {kind}: "
+                f"{names}")
+    if not doc.get("insignificant"):
+        errors.append("self-diff reported no functions at all "
+                      "(did both loads succeed?)")
+    return errors
+
+
+def check_trend(args):
+    errors = []
+    with open(args.trend_jsonl, "r", encoding="utf-8") as fh:
+        lines = [ln for ln in (l.strip() for l in fh) if ln]
+    if not lines:
+        return ["trend file is empty"]
+    header = json.loads(lines[0])
+    if header.get("schema") != "tempest-diff-trend":
+        errors.append(
+            f"header schema is {header.get('schema')!r}, "
+            "not 'tempest-diff-trend'")
+    if header.get("schema_version") != 1:
+        errors.append(
+            f"header schema_version is {header.get('schema_version')!r}")
+    if header.get("runs") != args.runs:
+        errors.append(
+            f"header declares {header.get('runs')} runs, expected {args.runs}")
+
+    per_run = {}  # run -> {function: count}
+    for i, line in enumerate(lines[1:], start=2):
+        entry = json.loads(line)
+        for key in ("run", "function", "calls", "total_time_s"):
+            if key not in entry:
+                errors.append(f"line {i}: missing {key!r}")
+        run = entry.get("run")
+        fn = entry.get("function")
+        per_run.setdefault(run, {})
+        per_run[run][fn] = per_run[run].get(fn, 0) + 1
+
+    if sorted(per_run) != list(range(args.runs)):
+        errors.append(
+            f"entries cover runs {sorted(per_run)}, expected 0..{args.runs - 1}")
+    else:
+        all_fns = set()
+        for fns in per_run.values():
+            all_fns.update(fns)
+        for run in range(args.runs):
+            for fn in sorted(all_fns):
+                n = per_run[run].get(fn, 0)
+                if n != 1:
+                    errors.append(
+                        f"function {fn!r} has {n} entries in run {run}, "
+                        "expected exactly 1 per run")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    p_reg = sub.add_parser("regression")
+    p_reg.add_argument("diff_json")
+    p_reg.add_argument("function")
+    p_reg.add_argument("--min-confidence", type=float, default=0.95)
+    p_reg.set_defaults(func=check_regression)
+
+    p_self = sub.add_parser("self")
+    p_self.add_argument("diff_json")
+    p_self.set_defaults(func=check_self)
+
+    p_trend = sub.add_parser("trend")
+    p_trend.add_argument("trend_jsonl")
+    p_trend.add_argument("--runs", type=int, required=True)
+    p_trend.set_defaults(func=check_trend)
+
+    args = parser.parse_args()
+    errors = args.func(args)
+    if errors:
+        for err in errors:
+            print(f"check_diff [{args.mode}]: {err}", file=sys.stderr)
+        return 1
+    print(f"check_diff [{args.mode}]: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -61,6 +62,36 @@ void append_num(std::string* out, double v) {
   std::ostringstream os;
   os << v;
   *out += os.str();
+}
+
+/// Value of the first `name:` header in an HTTP header block (the
+/// request line plus CRLF-separated headers), "" when absent. Header
+/// names compare case-insensitively; the value is trimmed of spaces.
+std::string header_value(const std::string& headers, const std::string& name) {
+  std::size_t pos = headers.find("\r\n");
+  while (pos != std::string::npos && pos + 2 < headers.size()) {
+    pos += 2;
+    const std::size_t eol = headers.find("\r\n", pos);
+    const std::size_t colon = headers.find(':', pos);
+    if (colon == std::string::npos || (eol != std::string::npos && colon > eol)) {
+      pos = eol;
+      continue;
+    }
+    bool match = colon - pos == name.size();
+    for (std::size_t i = 0; match && i < name.size(); ++i) {
+      match = std::tolower(static_cast<unsigned char>(headers[pos + i])) ==
+              std::tolower(static_cast<unsigned char>(name[i]));
+    }
+    if (match) {
+      std::size_t vb = colon + 1;
+      std::size_t ve = eol == std::string::npos ? headers.size() : eol;
+      while (vb < ve && headers[vb] == ' ') ++vb;
+      while (ve > vb && headers[ve - 1] == ' ') --ve;
+      return headers.substr(vb, ve - vb);
+    }
+    pos = eol;
+  }
+  return "";
 }
 
 /// Scan a flat heartbeat-schema JSON object for "key":number pairs.
@@ -190,6 +221,19 @@ void fold_profile(const parser::RunProfile& profile,
       f.calls += fn.calls;
       f.total_time_s += fn.total_time_s;
       if (seen_this_run.insert(fn.name).second) ++f.sessions;
+      // Chan's parallel combine: pool this run's per-activation
+      // duration moments into the fleet rollup so variance composes
+      // exactly as if every interval had been folded in one pass.
+      if (fn.time.count > 0) {
+        const double nb = static_cast<double>(fn.time.count);
+        const double na = static_cast<double>(f.activations);
+        const double n = na + nb;
+        const double delta = fn.time.mean_s - f.time_mean_s;
+        const double m2_b = fn.time.var_s2 * nb;
+        f.time_m2 += m2_b + delta * delta * na * nb / n;
+        f.time_mean_s += delta * nb / n;
+        f.activations += fn.time.count;
+      }
     }
   }
 }
@@ -619,13 +663,16 @@ struct Collector::Impl {
     const std::size_t line_end = c->in.find("\r\n");
     const std::string request_line = c->in.substr(0, line_end);
     std::string body;
+    std::string content_type = "application/json";
     int code = 404;
     std::string target;
     if (request_line.rfind("GET ", 0) == 0) {
       const std::size_t sp = request_line.find(' ', 4);
       target = request_line.substr(4, sp == std::string::npos ? std::string::npos
                                                               : sp - 4);
-      code = handle(target, &body);
+      const std::string accept =
+          header_value(c->in.substr(0, header_end), "accept");
+      code = handle(target, accept, &body, &content_type);
     } else {
       code = 405;
     }
@@ -635,9 +682,10 @@ struct Collector::Impl {
                                        : "Not Found";
     if (code != 200 && body.empty()) {
       body = "{\"error\":" + std::to_string(code) + "}";
+      content_type = "application/json";
     }
     c->out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
-             "\r\nContent-Type: application/json\r\nContent-Length: " +
+             "\r\nContent-Type: " + content_type + "\r\nContent-Length: " +
              std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
     c->close_after_write = true;
     c->in.clear();
@@ -656,7 +704,8 @@ struct Collector::Impl {
         .count();
   }
 
-  int handle(const std::string& target, std::string* body) const {
+  int handle(const std::string& target, const std::string& accept,
+             std::string* body, std::string* content_type) const {
     std::string path = target;
     std::string query;
     const std::size_t qmark = target.find('?');
@@ -668,7 +717,9 @@ struct Collector::Impl {
     if (path == "/sessions") return handle_sessions(body);
     if (path == "/profile") return handle_profile(query, body);
     if (path == "/runstats") return handle_runstats(body);
-    if (path == "/metrics") return handle_metrics(body);
+    if (path == "/metrics") {
+      return handle_metrics(query, accept, body, content_type);
+    }
     if (path == "/top") return handle_top(body);
     return 404;
   }
@@ -760,7 +811,13 @@ struct Collector::Impl {
       *body += ",\"calls\":" + std::to_string(fns[i].second.calls);
       *body += ",\"total_time_s\":";
       append_num(body, fns[i].second.total_time_s);
-      *body += ",\"sessions\":" + std::to_string(fns[i].second.sessions) + "}";
+      *body += ",\"sessions\":" + std::to_string(fns[i].second.sessions);
+      *body += ",\"activations\":" + std::to_string(fns[i].second.activations);
+      *body += ",\"time_mean_s\":";
+      append_num(body, fns[i].second.time_mean_s);
+      *body += ",\"time_var_s2\":";
+      append_num(body, fns[i].second.time_var_s2());
+      *body += "}";
     }
     *body += "]}";
     return 200;
@@ -803,10 +860,30 @@ struct Collector::Impl {
     return 200;
   }
 
-  int handle_metrics(std::string* body) const {
+  /// /metrics serves the registry snapshot as heartbeat-schema JSON by
+  /// default, or Prometheus text exposition when ?format=prometheus is
+  /// given or the Accept header prefers text/plain / OpenMetrics over
+  /// JSON. An explicit ?format= always wins over Accept.
+  int handle_metrics(const std::string& query, const std::string& accept,
+                     std::string* body, std::string* content_type) const {
+    bool prometheus = false;
+    if (query.find("format=prometheus") != std::string::npos) {
+      prometheus = true;
+    } else if (query.find("format=json") == std::string::npos) {
+      prometheus = accept.find("text/plain") != std::string::npos ||
+                   accept.find("application/openmetrics-text") !=
+                       std::string::npos;
+    }
     std::ostringstream os;
-    telemetry::write_snapshot_json(os, telemetry::metrics().snapshot(),
-                                   uptime_s());
+    if (prometheus) {
+      telemetry::write_snapshot_prometheus(os, telemetry::metrics().snapshot(),
+                                           uptime_s());
+      *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    } else {
+      telemetry::write_snapshot_json(os, telemetry::metrics().snapshot(),
+                                     uptime_s());
+      *content_type = "application/json";
+    }
     *body = std::move(os).str();
     return 200;
   }
@@ -1212,7 +1289,13 @@ FleetSnapshot Collector::fleet() const {
 }
 
 int Collector::handle_query(const std::string& target, std::string* body) const {
-  return impl_->handle(target, body);
+  std::string content_type;
+  return impl_->handle(target, "", body, &content_type);
+}
+
+int Collector::handle_query(const std::string& target, const std::string& accept,
+                            std::string* body, std::string* content_type) const {
+  return impl_->handle(target, accept, body, content_type);
 }
 
 }  // namespace tempest::collectd

@@ -92,6 +92,18 @@ struct FleetFunction {
   std::uint64_t calls = 0;
   double total_time_s = 0.0;
   std::uint64_t sessions = 0;  ///< folded sessions that ran it
+  /// Pooled per-activation duration moments across every folded
+  /// session (Chan parallel combine of each run's mean/variance), so
+  /// `tempest-diff --poll` can score fleet-level drift with the same
+  /// Welch statistic the offline diff uses.
+  std::uint64_t activations = 0;  ///< closed outermost intervals
+  double time_mean_s = 0.0;       ///< pooled mean seconds per activation
+  double time_m2 = 0.0;           ///< pooled sum of squared deviations
+
+  /// Pooled population variance (seconds²); 0 with no activations.
+  double time_var_s2() const {
+    return activations == 0 ? 0.0 : time_m2 / static_cast<double>(activations);
+  }
 };
 
 /// Roll one run's profile into a fleet function map — exactly the fold
@@ -129,6 +141,14 @@ class Collector {
   /// Serve one query-plane target (e.g. "/profile?top=5") without a
   /// socket. Returns the HTTP status code and fills *body.
   int handle_query(const std::string& target, std::string* body) const;
+
+  /// As above with content negotiation: `accept` is the request's
+  /// Accept header value ("" = any), and *content_type receives the
+  /// media type of the response (/metrics serves Prometheus text when
+  /// the query says format=prometheus or the Accept header prefers
+  /// text/plain; everything else is application/json).
+  int handle_query(const std::string& target, const std::string& accept,
+                   std::string* body, std::string* content_type) const;
 
  private:
   struct Impl;

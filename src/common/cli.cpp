@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <optional>
 #include <thread>
@@ -118,6 +119,21 @@ Status parse_size(const std::string& value, std::size_t* out) {
     return Status::error("expected a number, got '" + value + "'");
   }
   *out = static_cast<std::size_t>(parsed);
+  return Status::ok();
+}
+
+Status parse_double(const std::string& value, double* out) {
+  if (value.empty()) return Status::error("expected a number, got ''");
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::error("number out of range: '" + value + "'");
+  }
+  if (end == value.c_str() || *end != '\0' || !std::isfinite(parsed)) {
+    return Status::error("expected a number, got '" + value + "'");
+  }
+  *out = parsed;
   return Status::ok();
 }
 

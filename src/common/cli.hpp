@@ -69,6 +69,10 @@ class ArgParser {
 /// and overflow ("--top banana" must be an error, not 0).
 Status parse_size(const std::string& value, std::size_t* out);
 
+/// Strict finite-double parse with the same rejection rules; negative
+/// values are accepted (callers range-check their own options).
+Status parse_double(const std::string& value, double* out);
+
 /// Default worker count for --threads: TEMPEST_ANALYSIS_THREADS when
 /// set to a positive value, else the hardware concurrency (minimum 1,
 /// also the floor when the runtime cannot report a count). Shared by

@@ -1,0 +1,158 @@
+#include "diff/trend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <thread>
+
+#include "collectd/profile_client.hpp"
+#include "common/fastwrite.hpp"
+#include "report/json.hpp"
+
+namespace tempest::diff {
+namespace {
+
+void append_time(std::string& out, double v) {
+  fastwrite::append_fixed(out, v, 9);
+}
+
+void write_header(std::ostream& out, const char* mode, std::size_t runs) {
+  std::string buf = "{\"schema\":\"tempest-diff-trend\",\"schema_version\":1,";
+  buf += "\"mode\":\"";
+  buf += mode;
+  buf += "\",\"runs\":";
+  fastwrite::append_u64(buf, runs);
+  buf += "}\n";
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+void write_entry(std::ostream& out, std::size_t run, const std::string& source,
+                 const std::string& function, std::uint64_t calls,
+                 double total_time_s, const parser::TimeStats* time,
+                 const std::uint64_t* sessions) {
+  std::string buf = "{\"run\":";
+  fastwrite::append_u64(buf, run);
+  buf += ",\"source\":";
+  report::append_json_string(&buf, source);
+  buf += ",\"function\":";
+  report::append_json_string(&buf, function);
+  buf += ",\"calls\":";
+  fastwrite::append_u64(buf, calls);
+  buf += ",\"total_time_s\":";
+  append_time(buf, total_time_s);
+  if (time != nullptr) {
+    buf += ",\"activations\":";
+    fastwrite::append_u64(buf, time->count);
+    buf += ",\"time_mean_s\":";
+    append_time(buf, time->mean_s);
+    buf += ",\"time_sdv_s\":";
+    append_time(buf, time->sdv_s);
+  }
+  if (sessions != nullptr) {
+    buf += ",\"sessions\":";
+    fastwrite::append_u64(buf, *sessions);
+  }
+  buf += "}\n";
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+/// Pool one run across nodes the same way the diff aligns it, so the
+/// series keys match `tempest-diff` output keys.
+struct SeriesRow {
+  std::uint64_t calls = 0;
+  double total_time_s = 0.0;
+  parser::TimeStats time;
+};
+
+std::map<std::string, SeriesRow> pool_for_series(
+    const parser::RunProfile& profile) {
+  std::map<std::string, SeriesRow> rows;
+  for (const auto& node : profile.nodes) {
+    for (const auto& fn : node.functions) {
+      std::string key = fn.name;
+      if (key.empty() || key == "<unknown>") {
+        char buf[2 + 16 + 2];
+        std::snprintf(buf, sizeof buf, "@0x%llx",
+                      static_cast<unsigned long long>(fn.addr));
+        key = buf;
+      }
+      SeriesRow& row = rows[key];
+      // Combine per-activation stats across nodes via exact-enough
+      // pooled moments (same Chan combine the diff pool uses).
+      const double n0 = static_cast<double>(row.time.count);
+      const double n1 = static_cast<double>(fn.time.count);
+      if (n1 > 0.0) {
+        const double total = n0 + n1;
+        const double m2 = row.time.var_s2 * n0 + fn.time.var_s2 * n1 +
+                          (fn.time.mean_s - row.time.mean_s) *
+                              (fn.time.mean_s - row.time.mean_s) * n0 * n1 /
+                              total;
+        row.time.mean_s += (fn.time.mean_s - row.time.mean_s) * n1 / total;
+        row.time.var_s2 = m2 / total;
+        row.time.sdv_s = std::sqrt(row.time.var_s2);
+        row.time.count += fn.time.count;
+      }
+      row.calls += fn.calls;
+      row.total_time_s += fn.total_time_s;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+Status write_trend(const std::vector<std::string>& paths, std::ostream& out,
+                   const TrendOptions& options) {
+  if (paths.size() < 2) {
+    return Status::error("trend mode needs at least 2 runs");
+  }
+  write_header(out, "files", paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    auto run = load_run(paths[i], options.load);
+    if (!run.is_ok()) return Status::error(run.message());
+    const auto rows = pool_for_series(run.value().profile);
+
+    std::vector<std::pair<std::string, const SeriesRow*>> ordered;
+    ordered.reserve(rows.size());
+    for (const auto& [key, row] : rows) ordered.emplace_back(key, &row);
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+      if (a.second->total_time_s != b.second->total_time_s) {
+        return a.second->total_time_s > b.second->total_time_s;
+      }
+      return a.first < b.first;
+    });
+    if (options.top > 0 && ordered.size() > options.top) {
+      ordered.resize(options.top);
+    }
+    for (const auto& [key, row] : ordered) {
+      write_entry(out, i, paths[i], key, row->calls, row->total_time_s,
+                  &row->time, nullptr);
+    }
+  }
+  return Status::ok();
+}
+
+Status write_trend_poll(const PollOptions& options, std::ostream& out) {
+  if (options.count < 1) return Status::error("poll count must be at least 1");
+  write_header(out, "poll", options.count);
+  for (std::size_t i = 0; i < options.count; ++i) {
+    if (i > 0 && options.interval_s > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.interval_s));
+    }
+    auto view = collectd::fetch_fleet_profile(options.endpoint, options.top,
+                                              options.timeout_s);
+    if (!view.is_ok()) return Status::error(view.message());
+    for (const auto& fn : view.value().functions) {
+      write_entry(out, i, options.endpoint, fn.name, fn.calls, fn.total_time_s,
+                  nullptr, &fn.sessions);
+    }
+    out.flush();  // tailers read poll mode live
+  }
+  return Status::ok();
+}
+
+}  // namespace tempest::diff

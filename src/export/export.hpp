@@ -38,6 +38,17 @@ struct ExportStats {
 /// Record `stats` into the process-wide metrics registry.
 void publish_export_telemetry(const ExportStats& stats);
 
+/// One tempest-diff finding to mark on an exported timeline: an
+/// instant event lands on the function's first span and the finding is
+/// echoed in the metadata section, so a user scrubbing the baseline
+/// sees where the ranked regressions live.
+struct DiffAnnotation {
+  std::string function;      ///< symbolised name, as ranked by the diff
+  double delta_time_s = 0.0; ///< current - baseline total time
+  double confidence = 0.0;   ///< Welch confidence the diff assigned
+  bool regression = true;    ///< false marks a ranked improvement
+};
+
 /// Interns (addr -> name, frame index) with the same precedence the
 /// profile builder uses: synthetic region names win, then the ELF
 /// resolver (demangled), then hex. Indices are dense in first-use

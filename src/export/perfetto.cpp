@@ -105,6 +105,12 @@ const PerfettoExporter::CounterFragments& PerfettoExporter::counter_fragments(
   return it->second;
 }
 
+void PerfettoExporter::set_annotations(std::vector<DiffAnnotation> annotations) {
+  for (DiffAnnotation& a : annotations) {
+    annotations_by_name_.insert_or_assign(a.function, std::move(a));
+  }
+}
+
 void PerfettoExporter::put_event(const std::string& json) {
   if (any_event_) {
     write(",\n");
@@ -176,6 +182,40 @@ Status PerfettoExporter::on_batch(const pipeline::TraceMeta& /*meta*/,
     const TrackFragments& track = track_fragments(e.node_id, e.thread_id);
     if (e.kind == trace::FnEventKind::kEnter) {
       scrubber_.push(key, e.addr);
+      if (!annotations_by_name_.empty()) {
+        // Lazy name match: an annotation binds to an address the first
+        // time that address enters, then fires one instant on that
+        // first span.
+        auto [slot, inserted] = annotation_by_addr_.try_emplace(e.addr, nullptr);
+        if (inserted) {
+          const auto found = annotations_by_name_.find(names_->name_of(e.addr));
+          if (found != annotations_by_name_.end()) slot->second = &found->second;
+        }
+        if (slot->second != nullptr) {
+          const DiffAnnotation* a = slot->second;
+          slot->second = nullptr;  // one marker per function
+          annotations_marked_.push_back(a);
+          line_.clear();
+          line_ += "{\"ph\":\"i\",\"pid\":";
+          append_u64(&line_, e.node_id);
+          line_ += ",\"tid\":";
+          append_u64(&line_, e.thread_id);
+          line_ += ",\"ts\":";
+          append_ts(&line_, ts);
+          line_ += ",\"s\":\"t\",\"name\":";
+          report::append_json_string(
+              &line_, std::string(a->regression ? "tempest-diff regression: "
+                                                : "tempest-diff improvement: ") +
+                          a->function);
+          line_ += ",\"args\":{\"delta_time_s\":";
+          append_double(&line_, a->delta_time_s);
+          line_ += ",\"confidence\":";
+          append_double(&line_, a->confidence);
+          line_ += "}}";
+          put_event(line_);
+          ++stats_.events_exported;
+        }
+      }
       line_.clear();
       line_ += track.begin_prefix;
       append_ts(&line_, ts);
@@ -299,7 +339,30 @@ Status PerfettoExporter::on_end(const pipeline::TraceMeta& meta) {
   append_u64(&line_, stats_.spans_dropped);
   line_ += ",\"spans_force_closed\":";
   append_u64(&line_, stats_.spans_force_closed);
-  line_ += "}}}\n";
+  line_ += "}";
+  if (!annotations_by_name_.empty()) {
+    // Echo the diff findings so a viewer (or check script) can read the
+    // marks without scanning the event stream; `marked` lists the ones
+    // that bound to a span, in first-seen order.
+    line_ += ",\"tempest_diff\":{\"annotations\":";
+    append_u64(&line_, annotations_by_name_.size());
+    line_ += ",\"marked\":[";
+    for (std::size_t i = 0; i < annotations_marked_.size(); ++i) {
+      const DiffAnnotation* a = annotations_marked_[i];
+      if (i > 0) line_ += ",";
+      line_ += "{\"function\":";
+      report::append_json_string(&line_, a->function);
+      line_ += ",\"delta_time_s\":";
+      append_double(&line_, a->delta_time_s);
+      line_ += ",\"confidence\":";
+      append_double(&line_, a->confidence);
+      line_ += ",\"regression\":";
+      line_ += a->regression ? "true" : "false";
+      line_ += "}";
+    }
+    line_ += "]}";
+  }
+  line_ += "}}\n";
   write(line_);
 
   writer_.flush();

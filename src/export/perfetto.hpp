@@ -42,6 +42,11 @@ class PerfettoExporter : public pipeline::BatchSink {
   PerfettoExporter(std::ostream& out, ClockCorrelator correlator,
                    const symtab::Resolver* resolver = nullptr);
 
+  /// Mark these diff findings on the timeline: a thread-scoped instant
+  /// at each function's first span plus a `tempest_diff` metadata
+  /// block. Must be called before begin().
+  void set_annotations(std::vector<DiffAnnotation> annotations);
+
   Status begin(const pipeline::TraceMeta& meta) override;
   Status on_batch(const pipeline::TraceMeta& meta,
                   const pipeline::EventBatch& batch) override;
@@ -97,6 +102,13 @@ class PerfettoExporter : public pipeline::BatchSink {
   SamplePeriodEstimator sample_period_;
   /// (node, sensor) -> counter-track name, from the sensor inventory.
   std::map<std::pair<std::uint16_t, std::uint16_t>, std::string> sensor_names_;
+
+  /// Pending diff annotations by function name; resolved to addresses
+  /// lazily at each address's first B event (names are only knowable
+  /// once the resolver has seen the address).
+  std::map<std::string, DiffAnnotation> annotations_by_name_;
+  std::vector<const DiffAnnotation*> annotations_marked_;
+  std::unordered_map<std::uint64_t, const DiffAnnotation*> annotation_by_addr_;
 
   ExportStats stats_;
   std::vector<std::string> warnings_;

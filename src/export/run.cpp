@@ -137,10 +137,17 @@ Result<ExportRunResult> run_export(const std::vector<std::string>& paths,
   pipeline::BatchSink* sink = nullptr;
   if (options.format == Format::kPerfetto) {
     perfetto.emplace(out, std::move(correlator), resolver_ptr);
+    if (!options.annotations.empty()) {
+      perfetto->set_annotations(options.annotations);
+    }
     sink = &*perfetto;
   } else {
     speedscope.emplace(out, std::move(correlator), options.spool_prefix,
                        resolver_ptr);
+    if (!options.annotations.empty()) {
+      result.warnings.push_back(
+          "diff annotations are perfetto-only; speedscope output unmarked");
+    }
     sink = &*speedscope;
   }
 

@@ -47,6 +47,9 @@ struct ExportRunOptions {
   /// bytes are identical at any count (emission itself stays ordered on
   /// the consumer thread); 1 is the historical serial path.
   unsigned threads = 1;
+  /// tempest-diff findings to mark on the timeline (perfetto only; the
+  /// speedscope format has no instant/metadata vocabulary for them).
+  std::vector<DiffAnnotation> annotations;
 };
 
 struct ExportRunResult {

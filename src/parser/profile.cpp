@@ -148,6 +148,23 @@ static RunProfile assemble_profile(
     fn.total_time_s = static_cast<double>(fn_intervals.total_ticks) / ticks_per_s;
     fn.calls = fn_intervals.calls;
 
+    // Per-activation duration stats from the exact integer sums. The
+    // sums are identical across sharded and serial folds, so these
+    // doubles are too — the stream/batch and threads-N byte-identity
+    // gates stay intact.
+    fn.time.count = fn_intervals.activations;
+    if (fn_intervals.activations > 0) {
+      const double n_act = static_cast<double>(fn_intervals.activations);
+      const double mean_ticks =
+          static_cast<double>(fn_intervals.total_ticks) / n_act;
+      const double sq_ticks = static_cast<double>(fn_intervals.ticks_sq) / n_act;
+      const double var_ticks =
+          std::max(0.0, sq_ticks - mean_ticks * mean_ticks);
+      fn.time.mean_s = mean_ticks / ticks_per_s;
+      fn.time.var_s2 = var_ticks / (ticks_per_s * ticks_per_s);
+      fn.time.sdv_s = std::sqrt(fn.time.var_s2);
+    }
+
     // Per-sensor attribution: samples landing inside the intervals.
     // Merge-join over the time-sorted samples and the function's sorted,
     // non-overlapping merged intervals, iterating whichever side is

@@ -27,11 +27,25 @@ struct SensorProfile {
   StatsSummary stats;  ///< in the profile's display unit
 };
 
+/// Per-call (outermost-activation) inclusive duration statistics,
+/// derived from the timeline's exact integer sums at assembly time.
+/// `count` is the number of closed outermost activations — the sample
+/// count behind mean/var, smaller than `calls` under recursion.
+/// Variance is population variance (matching StatsSummary), so a
+/// Welch-style comparison between two runs divides by count, not n-1.
+struct TimeStats {
+  std::uint64_t count = 0;
+  double mean_s = 0.0;
+  double sdv_s = 0.0;
+  double var_s2 = 0.0;  ///< seconds²
+};
+
 struct FunctionProfile {
   std::uint64_t addr = 0;
   std::string name;
   double total_time_s = 0.0;  ///< inclusive
   std::uint64_t calls = 0;
+  TimeStats time;  ///< per-activation duration stats (diff significance input)
   bool significant = true;  ///< enough samples for meaningful thermal stats
   std::vector<SensorProfile> sensors;  ///< ordered by sensor id
 };

@@ -61,9 +61,16 @@ class ThreadNodeTable {
 struct FnAccum {
   std::uint64_t total_ticks = 0;
   std::uint64_t calls = 0;
+  std::uint64_t activations = 0;
+  unsigned __int128 ticks_sq = 0;
   std::vector<Interval> raw;
   std::vector<std::size_t> run_starts;  ///< fold offsets into `raw`
 };
+
+/// Squared activation length widened before the multiply overflows.
+inline unsigned __int128 squared_ticks(std::uint64_t len) {
+  return static_cast<unsigned __int128>(len) * len;
+}
 
 /// Minimal open-addressing hash map from an (a, b) key pair to a dense
 /// value index. The event loop below probes these maps once or twice
@@ -295,6 +302,8 @@ struct TimelineAccumulator::Impl {
     std::uint64_t first_enter = 0;
     std::uint64_t calls = 0;
     std::uint64_t total_ticks = 0;
+    std::uint64_t activations = 0;
+    unsigned __int128 ticks_sq = 0;
     std::vector<Interval> raw;
   };
 
@@ -368,10 +377,14 @@ void TimelineAccumulator::add_events(const trace::FnEvent* events, std::size_t n
         if (im.thread_node.node_or_negative(e.thread_id) >= 0) {
           st.raw.push_back(iv);
           st.total_ticks += iv.length();
+          ++st.activations;
+          st.ticks_sq += squared_ticks(iv.length());
         } else {
           FnAccum& fn = im.accum_at(e.addr, e.node_id);
           fn.raw.push_back(iv);
           fn.total_ticks += iv.length();
+          ++fn.activations;
+          fn.ticks_sq += squared_ticks(iv.length());
         }
       }
     }
@@ -397,12 +410,16 @@ TimelineMap TimelineAccumulator::finish(std::uint64_t end_tsc,
       const Interval iv{st.first_enter, end_tsc};
       st.raw.push_back(iv);
       st.total_ticks += iv.length();
+      ++st.activations;
+      st.ticks_sq += squared_ticks(iv.length());
     }
     if (st.calls == 0 && st.raw.empty()) continue;
     const std::uint16_t node = im.thread_node.node_of(tid, 0);
     FnAccum& fn = im.accum_at(addr, node);
     fn.calls += st.calls;
     fn.total_ticks += st.total_ticks;
+    fn.activations += st.activations;
+    fn.ticks_sq += st.ticks_sq;
     if (st.raw.empty()) continue;
     fn.run_starts.push_back(fn.raw.size());
     if (fn.raw.empty()) {
@@ -433,6 +450,8 @@ TimelineMap TimelineAccumulator::finish(std::uint64_t end_tsc,
     fi.node_id = node;
     fi.total_ticks = a.total_ticks;
     fi.calls = a.calls;
+    fi.activations = a.activations;
+    fi.ticks_sq = a.ticks_sq;
     fi.merged = std::move(a.raw);
     result.emplace(std::make_pair(node, addr), std::move(fi));
   }

@@ -39,6 +39,15 @@ struct FunctionIntervals {
   /// ranks running the function concurrently both count).
   std::uint64_t total_ticks = 0;
   std::uint64_t calls = 0;
+  /// Outermost activations closed (the per-call duration sample count;
+  /// under recursion this is smaller than `calls`, which counts every
+  /// enter).
+  std::uint64_t activations = 0;
+  /// Exact sum of squared activation lengths, in ticks². 128-bit integer
+  /// so the per-call duration mean/variance derive exactly: integer sums
+  /// commute, keeping the sharded fold bit-identical to the serial one
+  /// regardless of merge order (a float Welford fold would not).
+  unsigned __int128 ticks_sq = 0;
 
   /// True when `tsc` falls inside any merged interval.
   bool contains(std::uint64_t tsc) const;

@@ -58,6 +58,8 @@ TimelineMap merge_timeline_maps(std::vector<TimelineMap>* parts) {
       FunctionIntervals& dst = it->second;
       dst.total_ticks += fi.total_ticks;
       dst.calls += fi.calls;
+      dst.activations += fi.activations;
+      dst.ticks_sq += fi.ticks_sq;
       append_merged(&dst.merged, std::move(fi.merged));
     }
   }

@@ -67,6 +67,14 @@ void write_profile_json(std::ostream& out, const parser::RunProfile& profile,
       append_num(buf, fn.total_time_s);
       buf += ",\"calls\":";
       fastwrite::append_u64(buf, fn.calls);
+      buf += ",\"activations\":";
+      fastwrite::append_u64(buf, fn.time.count);
+      buf += ",\"time_mean_s\":";
+      append_num(buf, fn.time.mean_s);
+      buf += ",\"time_sdv_s\":";
+      append_num(buf, fn.time.sdv_s);
+      buf += ",\"time_var_s2\":";
+      append_num(buf, fn.time.var_s2);
       buf += ",\"significant\":";
       buf += fn.significant ? "true" : "false";
       buf += ",\"sensors\":[";

@@ -224,6 +224,35 @@ void write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot,
   out << "}";
 }
 
+void write_snapshot_prometheus(std::ostream& out, const MetricsSnapshot& snapshot,
+                               double t_seconds) {
+  out << "# TYPE tempest_uptime_seconds gauge\n"
+      << "tempest_uptime_seconds " << t_seconds << "\n";
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    out << "# TYPE tempest_" << kCounterNames[c] << " counter\n"
+        << "tempest_" << kCounterNames[c] << " " << snapshot.counters[c] << "\n";
+  }
+  for (std::size_t g = 0; g < kGaugeCount; ++g) {
+    out << "# TYPE tempest_" << kGaugeNames[g] << " gauge\n"
+        << "tempest_" << kGaugeNames[g] << " " << snapshot.gauges[g] << "\n";
+  }
+  for (std::size_t h = 0; h < kHistogramCount; ++h) {
+    const HistogramSnapshot& hs = snapshot.histograms[h];
+    const double* bounds = kHistogramBoundTable[h];
+    out << "# TYPE tempest_" << kHistogramNames[h] << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets - 1; ++b) {
+      cumulative += hs.buckets[b];
+      out << "tempest_" << kHistogramNames[h] << "_bucket{le=\"" << bounds[b]
+          << "\"} " << cumulative << "\n";
+    }
+    out << "tempest_" << kHistogramNames[h] << "_bucket{le=\"+Inf\"} "
+        << hs.count << "\n";
+    out << "tempest_" << kHistogramNames[h] << "_sum " << hs.sum << "\n";
+    out << "tempest_" << kHistogramNames[h] << "_count " << hs.count << "\n";
+  }
+}
+
 void write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot,
                          double t_seconds) {
   out << "{\"t\":" << t_seconds;

@@ -163,6 +163,15 @@ inline constexpr std::uint64_t kHeartbeatSchemaVersion = 1;
 void write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot,
                          double t_seconds, std::uint64_t seq);
 
+/// Prometheus text exposition (format 0.0.4) of the same snapshot:
+/// every counter/gauge under a `tempest_` prefix with TYPE comments,
+/// each histogram as a native Prometheus histogram (cumulative
+/// `_bucket{le=...}` series from the preregistered bounds plus `_sum`
+/// and `_count`), and `tempest_uptime_seconds`. Serve it with
+/// `Content-Type: text/plain; version=0.0.4; charset=utf-8`.
+void write_snapshot_prometheus(std::ostream& out, const MetricsSnapshot& snapshot,
+                               double t_seconds);
+
 // -- registry ----------------------------------------------------------
 
 class Metrics {

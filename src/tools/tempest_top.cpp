@@ -264,7 +264,10 @@ int main(int argc, char** argv) {
       // Rates come from the delta between successive fetches.
       auto fetched = tempest::collectd::http_get(connect, "/top", 2.0);
       if (!fetched.is_ok()) {
-        std::cerr << "error: " << fetched.message() << "\n";
+        // One actionable line naming the endpoint: CI wrappers grep
+        // this and scripts branch on the nonzero exit.
+        std::cerr << "error: collector at " << connect
+                  << " unreachable or unhealthy: " << fetched.message() << "\n";
         return 2;
       }
       if (fetched.value() == "{}") {

@@ -2,6 +2,7 @@
 // tempest_parse binary over it in every output mode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -28,6 +29,9 @@
 #endif
 #ifndef TEMPEST_AUDIT_BIN
 #define TEMPEST_AUDIT_BIN "tools/tempest-audit"
+#endif
+#ifndef TEMPEST_DIFF_BIN
+#define TEMPEST_DIFF_BIN "tools/tempest-diff"
 #endif
 
 namespace {
@@ -379,6 +383,89 @@ TEST_F(CliTest, BadInputsFailGracefully) {
                          " 2>/dev/null")
                             .c_str()),
             0);
+}
+
+TEST_F(CliTest, DiffSelfHasNoSignificantDeltas) {
+  std::string out;
+  ASSERT_EQ(run_tool(TEMPEST_DIFF_BIN,
+                     "\"" + *trace_path_ + "\" \"" + *trace_path_ + "\"", &out),
+            0);
+  EXPECT_NE(out.find("regressions (0)"), std::string::npos) << out;
+  EXPECT_NE(out.find("improvements (0)"), std::string::npos) << out;
+
+  // --fail-on-regression must stay exit 0 on a self-diff; the JSON
+  // schema must declare itself.
+  EXPECT_EQ(run_tool(TEMPEST_DIFF_BIN,
+                     "--fail-on-regression \"" + *trace_path_ + "\" \"" +
+                         *trace_path_ + "\"",
+                     nullptr),
+            0);
+  ASSERT_EQ(run_tool(TEMPEST_DIFF_BIN,
+                     "--format json \"" + *trace_path_ + "\" \"" + *trace_path_ +
+                         "\"",
+                     &out),
+            0);
+  EXPECT_NE(out.find("\"schema\":\"tempest-diff\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"regressions\":[]"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, DiffUsageAndReadErrors) {
+  EXPECT_EQ(run_tool(TEMPEST_DIFF_BIN, "", nullptr), 2);  // needs 2 traces
+  EXPECT_EQ(run_tool(TEMPEST_DIFF_BIN, "\"" + *trace_path_ + "\"", nullptr), 2);
+  EXPECT_EQ(run_tool(TEMPEST_DIFF_BIN,
+                     "--bogus \"" + *trace_path_ + "\" \"" + *trace_path_ + "\"",
+                     nullptr),
+            2);
+  EXPECT_EQ(run_tool(TEMPEST_DIFF_BIN,
+                     "--confidence 1.5 \"" + *trace_path_ + "\" \"" +
+                         *trace_path_ + "\"",
+                     nullptr),
+            2);
+  EXPECT_EQ(run_tool(TEMPEST_DIFF_BIN,
+                     "\"" + *trace_path_ + "\" /nonexistent.trace", nullptr),
+            1);
+}
+
+TEST_F(CliTest, DiffVersionFlagPrintsTraceFormatVersion) {
+  std::string out;
+  ASSERT_EQ(run_tool(TEMPEST_DIFF_BIN, "--version", &out), 0);
+  EXPECT_NE(out.find("tempest-diff"), std::string::npos) << out;
+  EXPECT_NE(out.find("trace format v"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, DiffTrendEmitsSchemaVersionedSeries) {
+  std::string out;
+  ASSERT_EQ(run_tool(TEMPEST_DIFF_BIN,
+                     "--trend \"" + *trace_path_ + "\" \"" + *trace_path_ +
+                         "\" \"" + *trace_path_ + "\"",
+                     &out),
+            0);
+  EXPECT_NE(out.find("\"schema\":\"tempest-diff-trend\""), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"runs\":3"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"run\":2"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"function\":\"cli_hot\""), std::string::npos) << out;
+
+  // Trend mode needs at least two runs.
+  EXPECT_EQ(run_tool(TEMPEST_DIFF_BIN, "--trend \"" + *trace_path_ + "\"",
+                     nullptr),
+            2);
+}
+
+TEST_F(CliTest, TopConnectUnreachableCollectorIsOneLineError) {
+  // Nothing listens on this port; the tool must fail fast with exit 2
+  // and a single actionable stderr line naming the endpoint.
+  const std::string err_path = ::testing::TempDir() + "/top_connect.err";
+  const std::string cmd = std::string(TEMPEST_TOP_BIN) +
+                          " --connect 127.0.0.1:1 --once >/dev/null 2> " +
+                          err_path;
+  const int rc = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 2);
+  const std::string err = slurp(err_path);
+  EXPECT_NE(err.find("collector at 127.0.0.1:1 unreachable"), std::string::npos)
+      << err;
+  EXPECT_EQ(std::count(err.begin(), err.end(), '\n'), 1) << err;
 }
 
 }  // namespace

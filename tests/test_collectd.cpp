@@ -16,7 +16,9 @@
 #include "collectd/client.hpp"
 #include "collectd/collector.hpp"
 #include "collectd/net.hpp"
+#include "collectd/profile_client.hpp"
 #include "collectd/wire.hpp"
+#include "parser/profile.hpp"
 #include "pipeline/rank_fanin.hpp"
 #include "pipeline/sinks.hpp"
 #include "pipeline/stage.hpp"
@@ -640,6 +642,129 @@ TEST(Collector, TcpIngestFoldsASession) {
   ASSERT_TRUE(wait_until(
       [&] { return bound.fleet().sessions_folded == 1; }));
   bound.stop();
+}
+
+// -- fleet time-moment pooling and the Prometheus exposition ----------
+
+TEST(Collector, FoldProfilePoolsTimeMoments) {
+  // Two "sessions" with known per-activation moments: n=2 mean 10 var 4
+  // then n=3 mean 20 var 9. Chan combine: n=5, mean 16,
+  // M2 = 2*4 + 3*9 + (20-10)^2 * 2*3/5 = 155, var = 31.
+  auto run_with = [](std::uint64_t count, double mean, double var) {
+    parser::RunProfile profile;
+    parser::NodeProfile node;
+    node.node_id = 0;
+    parser::FunctionProfile fn;
+    fn.name = "pooled_fn";
+    fn.calls = count;
+    fn.total_time_s = mean * static_cast<double>(count);
+    fn.time.count = count;
+    fn.time.mean_s = mean;
+    fn.time.var_s2 = var;
+    fn.time.sdv_s = std::sqrt(var);
+    node.functions.push_back(fn);
+    profile.nodes.push_back(node);
+    return profile;
+  };
+
+  std::map<std::string, collectd::FleetFunction> fleet;
+  collectd::fold_profile(run_with(2, 10.0, 4.0), &fleet);
+  collectd::fold_profile(run_with(3, 20.0, 9.0), &fleet);
+
+  ASSERT_EQ(fleet.count("pooled_fn"), 1u);
+  const collectd::FleetFunction& f = fleet["pooled_fn"];
+  EXPECT_EQ(f.sessions, 2u);
+  EXPECT_EQ(f.activations, 5u);
+  EXPECT_NEAR(f.time_mean_s, 16.0, 1e-12);
+  EXPECT_NEAR(f.time_m2, 155.0, 1e-9);
+  EXPECT_NEAR(f.time_var_s2(), 31.0, 1e-9);
+
+  // A profile with no activation stats still folds calls/time but
+  // leaves the moments untouched.
+  parser::RunProfile no_stats = run_with(0, 0.0, 0.0);
+  no_stats.nodes[0].functions[0].calls = 7;
+  no_stats.nodes[0].functions[0].total_time_s = 1.5;
+  collectd::fold_profile(no_stats, &fleet);
+  EXPECT_EQ(fleet["pooled_fn"].activations, 5u);
+  EXPECT_EQ(fleet["pooled_fn"].calls, 12u);
+}
+
+TEST(Collector, MetricsServesPrometheusOnRequest) {
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("prom");
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+
+  std::string body, content_type;
+  // Default stays JSON (existing scrapers and the 2-arg overload).
+  EXPECT_EQ(collector.handle_query("/metrics", "", &body, &content_type), 200);
+  EXPECT_EQ(content_type, "application/json");
+  EXPECT_EQ(body.front(), '{');
+
+  // Explicit query parameter wins regardless of Accept.
+  EXPECT_EQ(collector.handle_query("/metrics?format=prometheus",
+                                   "application/json", &body, &content_type),
+            200);
+  EXPECT_EQ(content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(body.find("# TYPE tempest_collect_sessions_folded counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("tempest_uptime_seconds "), std::string::npos);
+  // Histograms expose cumulative buckets with the canonical +Inf bound.
+  EXPECT_NE(body.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE tempest_collect_fold_us histogram"),
+            std::string::npos);
+
+  // Accept-header negotiation picks Prometheus for text/plain scrapers…
+  EXPECT_EQ(collector.handle_query("/metrics", "text/plain;version=0.0.4",
+                                   &body, &content_type),
+            200);
+  EXPECT_EQ(content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(body.compare(0, 7, "# TYPE "), 0);
+
+  // …and ?format=json forces JSON back even for such a scraper.
+  EXPECT_EQ(collector.handle_query("/metrics?format=json", "text/plain", &body,
+                                   &content_type),
+            200);
+  EXPECT_EQ(content_type, "application/json");
+  EXPECT_EQ(body.front(), '{');
+  collector.stop();
+}
+
+TEST(Collector, ProfileServesPooledTimeStats) {
+  collectd::CollectorOptions options;
+  options.ingest_uds = sock_path("timestats");
+  collectd::Collector collector(options);
+  ASSERT_TRUE(collector.start());
+
+  const Trace t = session_trace(6, 20);
+  collectd::CollectClient client;
+  ASSERT_TRUE(client.connect("uds:" + options.ingest_uds, 2.0));
+  ASSERT_TRUE(stream_session(&client, t, 66));
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.fleet().sessions_folded == 1; }));
+
+  std::string body;
+  ASSERT_EQ(collector.handle_query("/profile", &body), 200);
+  EXPECT_NE(body.find("\"activations\":"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"time_mean_s\":"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"time_var_s2\":"), std::string::npos) << body;
+
+  // The diff's poll-mode client parses the same body back; every
+  // session_trace activation lasts (400 + id) ticks at 1e9/s, so the
+  // pooled mean is exact and the variance is zero.
+  auto view = collectd::parse_fleet_profile(body);
+  ASSERT_TRUE(view.is_ok()) << view.message();
+  EXPECT_EQ(view.value().sessions_folded, 1u);
+  bool shared_seen = false;
+  for (const auto& fn : view.value().functions) {
+    if (fn.name != "shared_fn") continue;
+    shared_seen = true;
+    EXPECT_EQ(fn.sessions, 1u);
+    EXPECT_NEAR(fn.time_mean_s, 406e-9, 1e-15);
+    EXPECT_NEAR(fn.time_var_s2, 0.0, 1e-18);
+  }
+  EXPECT_TRUE(shared_seen) << body;
+  collector.stop();
 }
 
 }  // namespace
